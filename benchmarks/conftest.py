@@ -1,0 +1,44 @@
+"""Benchmark fixtures: a session-scoped SMOKE-scale workbench.
+
+Model training happens once here (untimed fixture setup); each benchmark
+then measures its experiment's compute phase.  ``pytest benchmarks/
+--benchmark-only`` regenerates every paper table/figure at smoke scale;
+run the experiments CLI at ``--scale medium`` for the EXPERIMENTS.md
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE, Workbench
+from repro.trace import DeviceType
+
+
+@pytest.fixture(scope="session")
+def bench_workbench() -> Workbench:
+    return Workbench(SMOKE)
+
+
+@pytest.fixture(scope="session")
+def trained_workbench(bench_workbench: Workbench) -> Workbench:
+    """Workbench with all generators pre-trained and traces pre-generated.
+
+    Forces every (generator, device) cell so that individual benchmarks
+    measure evaluation, not shared training.
+    """
+    for device in DeviceType.ALL:
+        for generator in ("SMM-1", "SMM-20k", "NetShare", "CPT-GPT"):
+            bench_workbench.generated(generator, device)
+    return bench_workbench
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(2024)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight function with a single round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

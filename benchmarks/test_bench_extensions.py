@@ -1,0 +1,25 @@
+"""Benchmarks for the Table 4 view and the 5G extension experiment."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import exp5g, table4
+
+
+def test_bench_table4_netshare_transfer_cost(benchmark, bench_workbench):
+    result = run_once(
+        benchmark, lambda: table4.compute(bench_workbench, hours=(10, 11, 12, 13))
+    )
+    print("\nTable 4 cells (seconds):", {k: round(v, 2) for k, v in result.items()})
+    assert result["six_hourly_models_transfer_total"] >= result["one_hour_scratch"]
+
+
+def test_bench_exp5g_future_work(benchmark, bench_workbench):
+    result = run_once(benchmark, lambda: exp5g.compute(bench_workbench))
+    print("\n" + exp5g.run.__module__ + ": d_token =", result["d_token"])
+    metrics = result["metrics"]
+    print({k: round(v, 4) for k, v in metrics.items()})
+    # Shape: the domain-knowledge-free pipeline works unchanged on 5G.
+    assert result["d_token"] == 8
+    assert metrics["violation_streams"] < 1.0

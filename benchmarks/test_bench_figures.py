@@ -1,0 +1,48 @@
+"""Benchmarks regenerating the paper's figures (2, 5, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig2, fig5, fig6, fig7
+from repro.trace import DeviceType
+
+
+def test_bench_fig2_sojourn_cdf(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: fig2.compute(trained_workbench))
+    print("\n" + fig2.run(trained_workbench))
+    assert set(result["max_y_distance"]) == {"NetShare", "CPT-GPT"}
+    for series in result["series"].values():
+        assert np.all(np.diff(series["cdf"]) >= -1e-12)
+
+
+def test_bench_fig5_cdf_grid(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: fig5.compute(trained_workbench))
+    print("\n" + fig5.run(trained_workbench))
+    assert set(result) == set(DeviceType.ALL)
+    for device in DeviceType.ALL:
+        for column in fig5.COLUMNS:
+            assert set(result[device][column]["series"]) == {
+                "Real", "SMM-1", "SMM-20k", "NetShare", "CPT-GPT",
+            }
+
+
+def test_bench_fig6_scalability(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: fig6.compute(trained_workbench))
+    print("\n" + fig6.run(trained_workbench))
+    counts = sorted(result)
+    assert len(counts) >= 3
+    # Shape: fidelity stays flat with population size — the largest sweep
+    # point must not be drastically worse than the smallest.
+    small, large = result[counts[0]], result[counts[-1]]
+    assert large["flow_length_all"] <= small["flow_length_all"] + 0.25
+
+
+def test_bench_fig7_interarrival_distribution(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: fig7.compute(trained_workbench))
+    print("\n" + fig7.run(trained_workbench))
+    stats = result["stats"]
+    # Shape (Figure 7): raw distribution long-tailed; log scaling evens it.
+    assert stats["skew_ratio"] > 1.5
+    assert stats["log_skew_ratio"] < 1.5

@@ -1,0 +1,72 @@
+"""Benchmarks regenerating the paper's tables (3, 5, 6, 7, 11).
+
+Each benchmark runs the corresponding experiment module against the
+shared SMOKE-scale workbench and prints the paper-style table, so
+``pytest benchmarks/ --benchmark-only -s`` shows every reproduced row.
+Assertions pin the reproduction *shape* (orderings), not absolute
+values.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table3, table5, table6, table7, table11
+from repro.trace import DeviceType
+
+
+def test_bench_table3_netshare_violations(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: table3.compute(trained_workbench))
+    print("\n" + table3.run(trained_workbench))
+    # Shape: NetShare produces substantial semantic violations (paper:
+    # 2.61% of events / 22.1% of streams).  The event rate is the robust
+    # assertion: when the GAN collapses to near-empty streams, most
+    # streams carry no counted events at all and the stream rate can dip
+    # below the event rate.
+    assert result["event_rate"] > 0.01
+
+
+def test_bench_table5_violation_gap(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: table5.compute(trained_workbench))
+    print("\n" + table5.run(trained_workbench))
+    # Shape: CPT-GPT violates far less than NetShare on every device type
+    # (paper: two orders of magnitude).  Compared on the *event* rate:
+    # degenerate NetShare collapse modes (1-2 event streams) make the
+    # stream rate meaningless while the event rate stays robust.
+    for device in DeviceType.ALL:
+        assert (
+            result[device]["CPT-GPT/events"] < result[device]["NetShare/events"]
+        ), device
+
+
+def test_bench_table6_distribution_distances(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: table6.compute(trained_workbench))
+    print("\n" + table6.run(trained_workbench))
+    # Shape: the clustered SMM dominates SMM-1 on flow length (the paper's
+    # core argument for why 20k models were needed).
+    wins = sum(
+        1
+        for device in DeviceType.ALL
+        if result["flow/all"][device]["SMM-20k"] <= result["flow/all"][device]["SMM-1"]
+    )
+    assert wins >= 2
+
+
+def test_bench_table7_event_breakdown(benchmark, trained_workbench):
+    result = run_once(benchmark, lambda: table7.compute(trained_workbench))
+    print("\n" + table7.run(trained_workbench))
+    # Shape: CPT-GPT's dominant-event discrepancies stay within a few
+    # percent of real (paper: within 0.66-3.62%).
+    for device in DeviceType.ALL:
+        assert abs(result[device]["CPT-GPT"]["SRV_REQ"]) < 0.15, device
+
+
+def test_bench_table11_memorization(benchmark, trained_workbench):
+    result = run_once(
+        benchmark, lambda: table11.compute(trained_workbench, max_ngrams=2000)
+    )
+    print("\n" + table11.run(trained_workbench))
+    # Shape (paper Table 11): repeats vanish as n grows; n=20 is zero.
+    for eps in table11.EPSILONS:
+        assert result[(20, eps)] == 0.0
+        assert result[(5, eps)] >= result[(10, eps)]

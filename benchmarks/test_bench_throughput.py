@@ -1,0 +1,100 @@
+"""Micro-benchmarks: core-path throughput (multi-round, statistical).
+
+These complement the per-table benches with stable timing signals for
+the hot paths: training steps, batched KV-cache generation, replay, SMM
+fitting and the MCN simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+from repro.core.train import _build_batch, encode_training_set
+from repro.mcn import MCNSimulator
+from repro.baselines import SemiMarkovModel
+from repro.statemachine import LTE_EVENTS, LTE_SPEC, replay_dataset
+from repro.tokenization import StreamTokenizer
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SyntheticTraceConfig(num_ues=200, seed=77))
+
+
+@pytest.fixture(scope="module")
+def tokenizer(trace):
+    return StreamTokenizer(LTE_EVENTS).fit(trace)
+
+
+def test_bench_trace_synthesis(benchmark):
+    result = benchmark(
+        lambda: generate_trace(SyntheticTraceConfig(num_ues=100, seed=5))
+    )
+    assert len(result) == 100
+
+
+def test_bench_replay_throughput(benchmark, trace):
+    pairs = trace.replay_pairs()
+    replay = benchmark(lambda: replay_dataset(pairs, LTE_SPEC))
+    assert replay.violating_events == 0
+
+
+def test_bench_tokenize_encode(benchmark, trace, tokenizer):
+    streams = trace.drop_singletons().streams[:100]
+    encoded = benchmark(lambda: [tokenizer.encode(s) for s in streams])
+    assert len(encoded) == 100
+
+
+def test_bench_training_step(benchmark, trace, tokenizer):
+    config = CPTGPTConfig(
+        d_model=32, num_layers=2, num_heads=4, d_ff=64, head_hidden=64, max_len=128
+    )
+    model = CPTGPT(config, np.random.default_rng(0))
+    encoded = encode_training_set(trace, tokenizer, config.max_len)
+    batch = _build_batch(encoded[:32], tokenizer)
+
+    from repro.core.train import _batch_loss
+    from repro.nn import Adam, clip_grad_norm
+
+    optimizer = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        optimizer.zero_grad()
+        total, *_ = _batch_loss(model, batch, (1.0, 1.0, 1.0))
+        total.backward()
+        clip_grad_norm(model.parameters(), 1.0)
+        optimizer.step()
+        return float(total.item())
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_bench_generation_throughput(benchmark, trace, tokenizer):
+    config = CPTGPTConfig(
+        d_model=32, num_layers=2, num_heads=4, d_ff=64, head_hidden=64, max_len=128
+    )
+    model = CPTGPT(config, np.random.default_rng(0))
+    train(model, trace, tokenizer, TrainingConfig(epochs=1, batch_size=48, seed=0))
+    from repro.core import GeneratorPackage
+
+    package = GeneratorPackage(
+        model, tokenizer, trace.initial_event_distribution(), "phone"
+    )
+    rng = np.random.default_rng(1)
+    generated = benchmark(lambda: package.generate(64, rng, batch_size=64))
+    assert len(generated) == 64
+
+
+def test_bench_smm_fit(benchmark, trace):
+    model = benchmark(lambda: SemiMarkovModel.fit(trace, LTE_SPEC))
+    assert model.num_cdfs > 0
+
+
+def test_bench_mcn_simulator(benchmark, trace):
+    simulator = MCNSimulator(workers=8, seed=0)
+    report = benchmark(lambda: simulator.run(trace))
+    assert report.num_events == trace.total_events

@@ -1,0 +1,61 @@
+"""Benchmarks for the training-centric experiments (Tables 8, 9, 10).
+
+These train models inside the measured region (the experiments *are*
+training-time measurements), so they run a single round each.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table8, table9, table10
+
+
+def test_bench_table8_ablation(benchmark, bench_workbench):
+    result = run_once(benchmark, lambda: table8.compute(bench_workbench))
+    print("\n" + _render_cached(table8, bench_workbench, result))
+    assert set(result) == {name for name, _, _ in table8.VARIANTS}
+    # Shape: removing the distribution head collapses generation
+    # stochasticity, so flow-length fidelity must not *improve* over the
+    # default (paper: it degrades 15x, 3.8% -> 69.9%).
+    default = result["1:1:1"]
+    ablated = result["no-dist"]
+    assert ablated["flow_length_all"] >= default["flow_length_all"] * 0.8
+
+
+def test_bench_table9_transfer_time(benchmark, bench_workbench):
+    result = run_once(benchmark, lambda: table9.compute(bench_workbench))
+    print("\n" + _render_cached(table9, bench_workbench, result))
+    # The rank-based checkpoint selector sees only 4 checkpoints per run
+    # at smoke scale, so which checkpoint "wins" is noise-dominated; the
+    # assertable content here is structural (the protocol produced valid
+    # positive times and ratios).  The paper-shape discussion — CPT-GPT's
+    # supervised fine-tuning converging earlier than GAN fine-tuning —
+    # is evaluated at medium scale in EXPERIMENTS.md.
+    for model in ("CPT-GPT", "NetShare"):
+        for key in ("no_transfer", "first_hour", "finetune_avg", "transfer_total"):
+            assert result[model][key] > 0, (model, key)
+    assert result["ratio"]["finetune_speedup"] > 0
+
+
+def test_bench_table10_transfer_fidelity(benchmark, bench_workbench):
+    result = run_once(benchmark, lambda: table10.compute(bench_workbench))
+    print("\n" + _render_cached(table10, bench_workbench, result))
+    for model in ("CPT-GPT", "NetShare"):
+        for regime in ("scratch", "transfer"):
+            metrics = result[model][regime]
+            assert 0.0 <= metrics["violation_streams"] <= 1.0
+
+
+def _render_cached(module, bench, result):
+    """Render a module's table from an existing compute() result.
+
+    The run() helpers call compute() again; monkey-patching here avoids
+    paying for a second full training pass just to print.
+    """
+    original = module.compute
+    module.compute = lambda *_args, **_kwargs: result
+    try:
+        return module.run(bench)
+    finally:
+        module.compute = original

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Exists so fully offline environments without the ``wheel`` package can
+still do an editable install via ``python setup.py develop`` (the PEP
+660 path ``pip install -e .`` requires wheel).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — reproduction of CPT-GPT (IMC 2024).
+
+High-fidelity cellular network control-plane traffic generation without
+domain knowledge: a decoder-only transformer (built on a from-scratch
+numpy autograd engine) plus the full evaluation stack — 3GPP UE state
+machines, a synthetic operator-trace substrate, SMM and NetShare
+baselines, fidelity metrics, downstream MCN consumers, and a harness
+regenerating every table and figure of the paper.
+
+Quick start::
+
+    import numpy as np
+    from repro.trace import SyntheticTraceConfig, generate_trace
+    from repro.tokenization import StreamTokenizer
+    from repro.statemachine import LTE_EVENTS
+    from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train, GeneratorPackage
+
+    trace = generate_trace(SyntheticTraceConfig(num_ues=500, seed=0))
+    tokenizer = StreamTokenizer(LTE_EVENTS).fit(trace)
+    model = CPTGPT(CPTGPTConfig(), np.random.default_rng(0))
+    train(model, trace, tokenizer, TrainingConfig(epochs=20))
+    package = GeneratorPackage(model, tokenizer,
+                               trace.initial_event_distribution(), "phone")
+    synthetic = package.generate(1000, np.random.default_rng(1))
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "nn",
+    "statemachine",
+    "trace",
+    "tokenization",
+    "core",
+    "baselines",
+    "metrics",
+    "mcn",
+    "experiments",
+]

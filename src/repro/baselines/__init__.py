@@ -1,0 +1,37 @@
+"""``repro.baselines`` — the paper's comparison generators.
+
+* SMM-1 / SMM-k (``smm``): the traditional semi-Markov approach with the
+  3GPP state machine built in (domain knowledge required).
+* NetShare (``netshare``): the state-of-the-art GAN+LSTM data-plane
+  generator, adapted per §4.2.1.
+"""
+
+from .clustering import KMeans, cluster_dataset, ue_features
+from .netshare import (
+    GANTrainingResult,
+    NetShare,
+    NetShareConfig,
+    NetShareDiscriminator,
+    NetShareGenerator,
+)
+from .smm import (
+    EmpiricalDistribution,
+    SMM1Generator,
+    SMMClusteredGenerator,
+    SemiMarkovModel,
+)
+
+__all__ = [
+    "SemiMarkovModel",
+    "EmpiricalDistribution",
+    "SMM1Generator",
+    "SMMClusteredGenerator",
+    "KMeans",
+    "ue_features",
+    "cluster_dataset",
+    "NetShare",
+    "NetShareConfig",
+    "NetShareGenerator",
+    "NetShareDiscriminator",
+    "GANTrainingResult",
+]

@@ -1,0 +1,125 @@
+"""UE clustering for the SMM-20k baseline.
+
+SMM (§3.3) copes with per-UE diversity by clustering UEs on
+domain-specific features (flow length, sojourn-time statistics) and
+fitting one semi-Markov model per cluster.  This module provides the
+feature extraction and a small k-means implementation (numpy only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..statemachine.base import MachineSpec
+from ..statemachine.replay import replay_events
+from ..trace.dataset import TraceDataset
+
+__all__ = ["ue_features", "KMeans", "cluster_dataset"]
+
+
+def ue_features(dataset: TraceDataset, spec: MachineSpec) -> np.ndarray:
+    """Per-UE feature matrix for clustering.
+
+    Features (log-scaled where heavy-tailed): flow length, events/hour
+    rate, mean CONNECTED sojourn, mean IDLE sojourn.  Missing sojourns
+    (UE never completed a visit) fall back to the population mean.
+    """
+    rows = []
+    for stream in dataset:
+        replay = replay_events(stream.as_pairs(), spec)
+        length = len(stream)
+        duration = max(stream.duration(), 1.0)
+        rate = length / duration * 3600.0
+        conn = replay.mean_sojourn(spec.connected_state)
+        idle = replay.mean_sojourn(spec.idle_state)
+        rows.append(
+            [
+                np.log1p(length),
+                np.log1p(rate),
+                np.log1p(conn) if conn is not None else np.nan,
+                np.log1p(idle) if idle is not None else np.nan,
+            ]
+        )
+    features = np.asarray(rows, dtype=np.float64)
+    # Impute missing sojourn features with the column mean.
+    for col in range(features.shape[1]):
+        column = features[:, col]
+        missing = np.isnan(column)
+        if missing.any():
+            fill = column[~missing].mean() if (~missing).any() else 0.0
+            column[missing] = fill
+    return features
+
+
+@dataclass
+class KMeans:
+    """Plain k-means with k-means++ seeding."""
+
+    num_clusters: int
+    max_iterations: int = 50
+    seed: int = 0
+
+    def fit(self, features: np.ndarray) -> np.ndarray:
+        """Cluster rows of ``features``; returns integer labels.
+
+        Features are standardized internally.  When there are fewer rows
+        than clusters, each row gets its own cluster.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        n = features.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster an empty feature matrix")
+        k = min(self.num_clusters, n)
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        scaled = (features - features.mean(axis=0)) / std
+
+        rng = np.random.default_rng(self.seed)
+        centers = self._seed_centers(scaled, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        for _ in range(self.max_iterations):
+            distances = ((scaled[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for j in range(k):
+                members = scaled[labels == j]
+                if len(members):
+                    centers[j] = members.mean(axis=0)
+        self.centers_ = centers
+        return labels
+
+    @staticmethod
+    def _seed_centers(scaled: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ initialization."""
+        n = scaled.shape[0]
+        centers = [scaled[rng.integers(n)]]
+        for _ in range(1, k):
+            distances = np.min(
+                [((scaled - c) ** 2).sum(axis=1) for c in centers], axis=0
+            )
+            total = distances.sum()
+            if total == 0:
+                centers.append(scaled[rng.integers(n)])
+                continue
+            probs = distances / total
+            centers.append(scaled[rng.choice(n, p=probs)])
+        return np.array(centers)
+
+
+def cluster_dataset(
+    dataset: TraceDataset, spec: MachineSpec, num_clusters: int, seed: int = 0
+) -> list[TraceDataset]:
+    """Split ``dataset`` into per-cluster datasets (empty clusters dropped)."""
+    if len(dataset) == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    features = ue_features(dataset, spec)
+    labels = KMeans(num_clusters=num_clusters, seed=seed).fit(features)
+    clusters = []
+    for j in sorted(set(labels.tolist())):
+        members = [dataset[i] for i in np.flatnonzero(labels == j)]
+        clusters.append(TraceDataset(streams=members, vocabulary=dataset.vocabulary))
+    return clusters

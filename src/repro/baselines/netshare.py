@@ -1,0 +1,313 @@
+"""NetShare-style GAN baseline, adapted to control-plane traffic.
+
+Follows §4.2.1 of the paper: the original NetShare pairs an MLP metadata
+generator with an LSTM time-series generator inside a GAN.  For cellular
+control traffic the metadata (UE ID) is a semantics-free hashed string,
+so the metadata generator is dropped (UE IDs come from a random string
+generator) and only the LSTM generator remains, producing per sample
+three fields — event type, interarrival time and a stop flag.
+
+Faithful-to-the-original details that the paper calls out as weaknesses:
+
+* **Batch generation** (L4): the LSTM emits ``batch_generation`` samples
+  per step to curb state forgetting, sacrificing intra-batch
+  dependencies between consecutive control events.
+* **GAN training** (L5): adversarial BCE objective; no mode-collapse
+  countermeasures beyond what the adaptation keeps.
+* Categorical fields leave the generator as softmax simplices and the
+  discriminator sees those soft encodings; at sampling time NetShare
+  takes the argmax (§ Design 2 discussion).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.generate import random_ue_id
+from ..nn import (
+    LSTM,
+    Adam,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    bce_with_logits,
+    clip_grad_norm,
+    no_grad,
+    softmax,
+)
+from ..nn.layers import MLP
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+
+__all__ = ["NetShareConfig", "NetShareGenerator", "NetShareDiscriminator", "NetShare"]
+
+
+@dataclass(frozen=True)
+class NetShareConfig:
+    """Hyperparameters of the adapted NetShare."""
+
+    num_event_types: int = 6
+    latent_dim: int = 16
+    hidden_size: int = 64
+    #: Samples emitted per LSTM step (DoppelGANger/NetShare batch
+    #: generation; the paper's L4).
+    batch_generation: int = 5
+    max_len: int = 130
+    disc_hidden: int = 128
+    generator_lr: float = 1e-3
+    discriminator_lr: float = 1e-3
+    grad_clip: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_len % self.batch_generation != 0:
+            raise ValueError(
+                f"max_len ({self.max_len}) must be a multiple of "
+                f"batch_generation ({self.batch_generation})"
+            )
+
+    @property
+    def d_field(self) -> int:
+        """Per-sample feature width: events + interarrival + stop pair."""
+        return self.num_event_types + 1 + 2
+
+    @property
+    def lstm_steps(self) -> int:
+        return self.max_len // self.batch_generation
+
+
+class NetShareGenerator(Module):
+    """LSTM generator: noise sequence -> soft token sequence."""
+
+    def __init__(self, config: NetShareConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.lstm = LSTM(config.latent_dim, config.hidden_size, rng)
+        self.output = Linear(
+            config.hidden_size, config.batch_generation * config.d_field, rng
+        )
+
+    def forward(self, noise: Tensor) -> Tensor:
+        """Map ``(B, lstm_steps, latent)`` noise to ``(B, max_len, d_field)``.
+
+        Event and stop blocks are softmax simplices; the interarrival
+        column is squashed to (0, 1) with a sigmoid.
+        """
+        cfg = self.config
+        hidden, _ = self.lstm(noise)  # (B, steps, H)
+        flat = self.output(hidden)  # (B, steps, S * d_field)
+        batch = flat.shape[0]
+        samples = flat.reshape((batch, cfg.max_len, cfg.d_field))
+        events = softmax(samples[:, :, : cfg.num_event_types], axis=-1)
+        iat = samples[:, :, cfg.num_event_types : cfg.num_event_types + 1].sigmoid()
+        stops = softmax(samples[:, :, cfg.num_event_types + 1 :], axis=-1)
+        from ..nn import concatenate
+
+        return concatenate([events, iat, stops], axis=-1)
+
+
+class NetShareDiscriminator(Module):
+    """MLP discriminator over the flattened (padded) soft sequence."""
+
+    def __init__(self, config: NetShareConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.mlp = MLP(
+            config.max_len * config.d_field, config.disc_hidden, 1, rng, activation="relu"
+        )
+
+    def forward(self, sequences: Tensor) -> Tensor:
+        batch = sequences.shape[0]
+        flat = sequences.reshape((batch, self.config.max_len * self.config.d_field))
+        return self.mlp(flat)[:, 0]
+
+
+@dataclass
+class GANTrainingResult:
+    """Per-epoch adversarial losses and the wall-clock cost."""
+
+    generator_losses: list[float] = field(default_factory=list)
+    discriminator_losses: list[float] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    steps: int = 0
+
+
+class NetShare:
+    """Adapted NetShare: training, fine-tuning and sampling.
+
+    Parameters
+    ----------
+    config:
+        Model hyperparameters.
+    tokenizer:
+        Shared :class:`StreamTokenizer`; NetShare consumes the same
+        multi-modal encoding as CPT-GPT so comparisons are apples-to-
+        apples (the original's per-field encodings are subsumed by the
+        log/min-max interarrival scaling).
+    """
+
+    def __init__(
+        self,
+        config: NetShareConfig,
+        tokenizer: StreamTokenizer,
+        rng: np.random.Generator,
+    ) -> None:
+        if config.num_event_types != tokenizer.num_events:
+            raise ValueError(
+                f"config has {config.num_event_types} event types but tokenizer "
+                f"has {tokenizer.num_events}"
+            )
+        self.config = config
+        self.tokenizer = tokenizer
+        self._rng = rng
+        self.generator = NetShareGenerator(config, rng)
+        self.discriminator = NetShareDiscriminator(config, rng)
+        self._gen_opt = Adam(self.generator.parameters(), lr=config.generator_lr)
+        self._disc_opt = Adam(self.discriminator.parameters(), lr=config.discriminator_lr)
+
+    # ------------------------------------------------------------------
+    # Data preparation
+    # ------------------------------------------------------------------
+    def _encode_padded(self, dataset: TraceDataset) -> np.ndarray:
+        """Encode streams to fixed-length padded matrices.
+
+        Streams longer than ``max_len`` are dropped (§5.1); shorter ones
+        are zero-padded after their stop token.
+        """
+        usable = dataset.drop_singletons().truncate_streams(self.config.max_len)
+        if len(usable) == 0:
+            raise ValueError("no trainable streams after length filtering")
+        out = np.zeros((len(usable), self.config.max_len, self.config.d_field))
+        for i, stream in enumerate(usable):
+            matrix = self.tokenizer.encode(stream)
+            out[i, : matrix.shape[0]] = matrix
+        return out
+
+    # ------------------------------------------------------------------
+    # Adversarial training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        dataset: TraceDataset,
+        epochs: int,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> GANTrainingResult:
+        """Alternate discriminator/generator updates over ``epochs``."""
+        rng = np.random.default_rng(seed)
+        real = self._encode_padded(dataset)
+        result = GANTrainingResult()
+        self.generator.train()
+        self.discriminator.train()
+        start = time.perf_counter()
+        for _ in range(epochs):
+            order = rng.permutation(len(real))
+            gen_losses: list[float] = []
+            disc_losses: list[float] = []
+            for begin in range(0, len(order), batch_size):
+                chunk = order[begin : begin + batch_size]
+                batch_real = real[chunk]
+                disc_l, gen_l = self._adversarial_step(batch_real, rng)
+                disc_losses.append(disc_l)
+                gen_losses.append(gen_l)
+                result.steps += 1
+            result.generator_losses.append(float(np.mean(gen_losses)))
+            result.discriminator_losses.append(float(np.mean(disc_losses)))
+        result.wall_time_seconds = time.perf_counter() - start
+        self.generator.eval()
+        self.discriminator.eval()
+        return result
+
+    def fine_tune(
+        self,
+        dataset: TraceDataset,
+        epochs: int,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> GANTrainingResult:
+        """Continue adversarial training on a new hour's trace (§5.5)."""
+        return self.train(dataset, epochs, batch_size, seed)
+
+    def _noise(self, batch: int, rng: np.random.Generator) -> Tensor:
+        cfg = self.config
+        return Tensor(rng.standard_normal((batch, cfg.lstm_steps, cfg.latent_dim)))
+
+    def _adversarial_step(
+        self, batch_real: np.ndarray, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        batch = batch_real.shape[0]
+
+        # Discriminator update.
+        self._disc_opt.zero_grad()
+        with no_grad():
+            fake = self.generator(self._noise(batch, rng))
+        real_logits = self.discriminator(Tensor(batch_real))
+        fake_logits = self.discriminator(Tensor(fake.data))
+        disc_loss = bce_with_logits(real_logits, np.ones(batch)) + bce_with_logits(
+            fake_logits, np.zeros(batch)
+        )
+        disc_loss.backward()
+        clip_grad_norm(self.discriminator.parameters(), self.config.grad_clip)
+        self._disc_opt.step()
+
+        # Generator update (through the discriminator).
+        self._gen_opt.zero_grad()
+        fake = self.generator(self._noise(batch, rng))
+        gen_logits = self.discriminator(fake)
+        gen_loss = bce_with_logits(gen_logits, np.ones(batch))
+        gen_loss.backward()
+        # Only generator parameters are stepped; discriminator grads from
+        # this pass are discarded on its next zero_grad.
+        clip_grad_norm(self.generator.parameters(), self.config.grad_clip)
+        self._gen_opt.step()
+
+        return float(disc_loss.item()), float(gen_loss.item())
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        device_type: str,
+        start_time: float = 0.0,
+        batch_size: int = 128,
+    ) -> TraceDataset:
+        """Sample ``count`` streams.
+
+        Categorical fields take the argmax of the generator's softmax
+        (NetShare's convention); each stream is truncated at its first
+        stop flag, or kept at full length when none fires.
+        """
+        cfg = self.config
+        streams = []
+        remaining = count
+        with no_grad():
+            while remaining > 0:
+                size = min(batch_size, remaining)
+                soft = self.generator(self._noise(size, rng)).data
+                events = soft[:, :, : cfg.num_event_types].argmax(axis=2)
+                iats = soft[:, :, cfg.num_event_types]
+                stops = soft[:, :, cfg.num_event_types + 1 :].argmax(axis=2)
+                for i in range(size):
+                    stop_positions = np.flatnonzero(stops[i])
+                    length = int(stop_positions[0]) + 1 if stop_positions.size else cfg.max_len
+                    iat_row = iats[i, :length].copy()
+                    iat_row[0] = 0.0
+                    tokens = self.tokenizer.assemble(
+                        events[i, :length], iat_row, stops[i, :length]
+                    )
+                    streams.append(
+                        self.tokenizer.decode(
+                            tokens,
+                            ue_id=random_ue_id(rng),
+                            device_type=device_type,
+                            start_time=start_time,
+                        )
+                    )
+                remaining -= size
+        return TraceDataset(streams=streams, vocabulary=self.tokenizer.vocabulary)

@@ -1,0 +1,169 @@
+"""Command-line interface: ``cpt-gpt <command>``.
+
+Commands
+--------
+``synthesize``    generate a synthetic operator trace (the data substrate)
+``train``         train a CPT-GPT package on a JSONL trace
+``generate``      sample streams from a trained package
+``evaluate``      fidelity report of a synthesized trace vs a real one
+``experiments``   run the paper's tables/figures at a chosen scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
+from .experiments import ALL_EXPERIMENTS, MEDIUM, SMOKE, Workbench, run_all
+from .metrics import fidelity_report
+from .statemachine import LTE_EVENTS
+from .tokenization import StreamTokenizer
+from .trace import SyntheticTraceConfig, generate_trace, load_jsonl, save_jsonl
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cpt-gpt",
+        description="CPT-GPT reproduction: cellular control-plane traffic generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="generate a synthetic operator trace")
+    p.add_argument("output", help="output JSONL path")
+    p.add_argument("--ues", type=int, default=500)
+    p.add_argument("--device-type", default="phone",
+                   choices=("phone", "connected_car", "tablet"))
+    p.add_argument("--hour", type=int, default=10)
+    p.add_argument("--technology", default="4G", choices=("4G", "5G"))
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("train", help="train a CPT-GPT package on a JSONL trace")
+    p.add_argument("trace", help="training trace (JSONL)")
+    p.add_argument("output", help="output package path (.npz)")
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument("--batch-size", type=int, default=48)
+    p.add_argument("--learning-rate", type=float, default=3e-3)
+    p.add_argument("--d-model", type=int, default=64)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--heads", type=int, default=4)
+    p.add_argument("--d-ff", type=int, default=160)
+    p.add_argument("--max-len", type=int, default=192)
+    p.add_argument("--device-type", default="phone")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("generate", help="sample streams from a trained package")
+    p.add_argument("package", help="trained package (.npz)")
+    p.add_argument("output", help="output JSONL path")
+    p.add_argument("--count", type=int, default=1000)
+    p.add_argument("--start-time", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("evaluate", help="fidelity of a synthesized trace vs real")
+    p.add_argument("real", help="real trace (JSONL)")
+    p.add_argument("synthesized", help="synthesized trace (JSONL)")
+
+    p = sub.add_parser("experiments", help="run the paper's tables/figures")
+    p.add_argument("--scale", default="smoke", choices=("smoke", "medium"))
+    p.add_argument("--only", nargs="*", default=None,
+                   help=f"subset of {sorted(ALL_EXPERIMENTS)}")
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            num_ues=args.ues,
+            device_type=args.device_type,
+            hour=args.hour,
+            technology=args.technology,
+            seed=args.seed,
+        )
+    )
+    save_jsonl(trace, args.output)
+    print(f"wrote {len(trace)} streams / {trace.total_events} events to {args.output}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = load_jsonl(args.trace)
+    vocabulary = dataset.vocabulary if dataset.vocabulary is not None else LTE_EVENTS
+    tokenizer = StreamTokenizer(vocabulary).fit(dataset)
+    config = CPTGPTConfig(
+        num_event_types=len(vocabulary),
+        d_model=args.d_model,
+        num_layers=args.layers,
+        num_heads=args.heads,
+        d_ff=args.d_ff,
+        head_hidden=2 * args.d_model,
+        max_len=args.max_len,
+    )
+    model = CPTGPT(config, np.random.default_rng(args.seed))
+    result = train(
+        model,
+        dataset,
+        tokenizer,
+        TrainingConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+        ),
+    )
+    package = GeneratorPackage(
+        model, tokenizer, dataset.initial_event_distribution(), args.device_type
+    )
+    package.save(args.output)
+    print(
+        f"trained {model.num_parameters()} params in "
+        f"{result.wall_time_seconds:.1f}s (final loss {result.final_loss:.3f}); "
+        f"saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    package = GeneratorPackage.load(args.package)
+    trace = package.generate(
+        args.count, np.random.default_rng(args.seed), start_time=args.start_time
+    )
+    save_jsonl(trace, args.output)
+    print(f"wrote {len(trace)} streams / {trace.total_events} events to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    real = load_jsonl(args.real)
+    synthesized = load_jsonl(args.synthesized)
+    report = fidelity_report(real, synthesized)
+    print(report.summary())
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    scale = SMOKE if args.scale == "smoke" else MEDIUM
+    bench = Workbench(scale)
+    print(run_all(bench, args.only))
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "train": _cmd_train,
+    "generate": _cmd_generate,
+    "evaluate": _cmd_evaluate,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

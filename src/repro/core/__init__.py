@@ -1,0 +1,31 @@
+"""``repro.core`` — the CPT-GPT model, training, transfer and generation.
+
+The paper's primary contribution: a decoder-only transformer over
+multi-modal control-plane tokens, trained with supervised maximum
+likelihood (no GAN), with a distribution-parameter head for interarrival
+times and transfer learning for hourly drift.
+"""
+
+from .config import CPTGPTConfig, TrainingConfig
+from .generate import GeneratorPackage, InferenceEngine, random_ue_id
+from .model import CPTGPT, FieldPredictions
+from .train import EpochStats, TrainingResult, encode_training_set, iterate_batches, train
+from .transfer import HourlyModels, derive_hourly_models, fine_tune
+
+__all__ = [
+    "CPTGPTConfig",
+    "TrainingConfig",
+    "CPTGPT",
+    "FieldPredictions",
+    "train",
+    "TrainingResult",
+    "EpochStats",
+    "encode_training_set",
+    "iterate_batches",
+    "GeneratorPackage",
+    "InferenceEngine",
+    "random_ue_id",
+    "fine_tune",
+    "derive_hourly_models",
+    "HourlyModels",
+]

@@ -1,0 +1,334 @@
+"""Autoregressive generation with batched KV-cache inference.
+
+Implements the inference side of Figure 4: the released artifact is a
+:class:`GeneratorPackage` — trained weights, the fitted tokenizer and
+the initial-event-type distribution.  Generation bootstraps each stream
+by sampling the first event type from that distribution, building a
+first token with interarrival 0 and stop 0, then recursively sampling
+next tokens until a stop flag of 1 (or the configured maximum length).
+
+The autograd engine is bypassed here: a dedicated numpy path with
+per-layer key/value caches makes one decoder step O(context) instead of
+O(context²), and whole batches of streams advance in a single step.
+Equivalence with the training-time forward pass is covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import MLP, no_grad
+from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from ..trace.schema import Stream
+from .config import CPTGPTConfig
+from .model import CPTGPT
+
+__all__ = ["GeneratorPackage", "InferenceEngine", "random_ue_id"]
+
+#: Must match the floor used by repro.nn.losses.gaussian_nll.
+_MIN_SCALE = 1e-3
+
+
+def random_ue_id(rng: np.random.Generator, length: int = 16) -> str:
+    """Random hex UE identifier.
+
+    §4.2.1: UE IDs in the real trace are hashed strings with no semantic
+    content, so both CPT-GPT and the NetShare adaptation generate them
+    with a plain random string generator.
+    """
+    digits = rng.integers(0, 16, size=length)
+    return "".join("0123456789abcdef"[d] for d in digits)
+
+
+def _layer_norm(x: np.ndarray, gain: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / np.sqrt(var + 1e-5) * gain + shift
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def _mlp(x: np.ndarray, head: MLP) -> np.ndarray:
+    hidden = x @ head.fc1.weight.data + head.fc1.bias.data
+    if head.activation == "gelu":
+        hidden = _gelu(hidden)
+    elif head.activation == "relu":
+        hidden = np.maximum(hidden, 0.0)
+    else:
+        hidden = np.tanh(hidden)
+    return hidden @ head.fc2.weight.data + head.fc2.bias.data
+
+
+@dataclass
+class _Cache:
+    """Per-layer key/value cache for one generation batch."""
+
+    keys: list[np.ndarray]  # each (B, H, max_steps, head_dim)
+    values: list[np.ndarray]
+    position: int = 0
+
+
+class InferenceEngine:
+    """Fast numpy forward pass over a trained :class:`CPTGPT`.
+
+    Holds *references* to the model's parameter arrays, so an engine
+    built once stays valid as the model trains further.
+    """
+
+    def __init__(self, model: CPTGPT) -> None:
+        self.model = model
+        self.config = model.config
+
+    # ------------------------------------------------------------------
+    def new_cache(self, batch: int, max_steps: int) -> _Cache:
+        cfg = self.config
+        head_dim = cfg.d_model // cfg.num_heads
+        shape = (batch, cfg.num_heads, max_steps, head_dim)
+        return _Cache(
+            keys=[np.zeros(shape) for _ in range(cfg.num_layers)],
+            values=[np.zeros(shape) for _ in range(cfg.num_layers)],
+        )
+
+    def step(self, tokens: np.ndarray, cache: _Cache) -> dict[str, np.ndarray]:
+        """Advance one position for the whole batch.
+
+        Parameters
+        ----------
+        tokens:
+            ``(batch, d_token)`` tokens at the current position.
+        cache:
+            The KV cache; ``cache.position`` is the index of this token.
+
+        Returns
+        -------
+        dict with ``event_logits`` (B, E), ``iat_mean`` (B,),
+        ``iat_raw_scale`` (B,) or absent, ``stop_logits`` (B, 2).
+        """
+        model = self.model
+        cfg = self.config
+        pos = cache.position
+        if pos >= cfg.max_len:
+            raise ValueError(f"position {pos} exceeds model max_len {cfg.max_len}")
+        decoder = model.decoder
+        x = (
+            tokens @ decoder.input_proj.weight.data
+            + decoder.input_proj.bias.data
+            + decoder.positional.data[pos]
+        )
+        batch = x.shape[0]
+        heads = cfg.num_heads
+        head_dim = cfg.d_model // heads
+        for layer, block in enumerate(decoder.blocks):
+            normed = _layer_norm(x, block.norm1.gain.data, block.norm1.shift.data)
+            qkv = normed @ block.attn.qkv.weight.data + block.attn.qkv.bias.data
+            qkv = qkv.reshape(batch, 3, heads, head_dim)
+            q, k, v = qkv[:, 0], qkv[:, 1], qkv[:, 2]  # (B, H, hd)
+            cache.keys[layer][:, :, pos] = k
+            cache.values[layer][:, :, pos] = v
+            seen_k = cache.keys[layer][:, :, : pos + 1]  # (B, H, t, hd)
+            seen_v = cache.values[layer][:, :, : pos + 1]
+            scores = np.einsum("bhd,bhtd->bht", q, seen_k) / np.sqrt(head_dim)
+            weights = _softmax(scores)
+            context = np.einsum("bht,bhtd->bhd", weights, seen_v)
+            context = context.reshape(batch, cfg.d_model)
+            attn_out = context @ block.attn.out.weight.data + block.attn.out.bias.data
+            x = x + attn_out
+            normed2 = _layer_norm(x, block.norm2.gain.data, block.norm2.shift.data)
+            hidden = _gelu(normed2 @ block.ff1.weight.data + block.ff1.bias.data)
+            x = x + hidden @ block.ff2.weight.data + block.ff2.bias.data
+        x = _layer_norm(x, decoder.final_norm.gain.data, decoder.final_norm.shift.data)
+        cache.position = pos + 1
+
+        out = {
+            "event_logits": _mlp(x, model.event_head),
+            "stop_logits": _mlp(x, model.stop_head),
+        }
+        iat = _mlp(x, model.iat_head)
+        out["iat_mean"] = iat[:, 0]
+        if cfg.distribution_head:
+            out["iat_raw_scale"] = iat[:, 1]
+        return out
+
+
+@dataclass
+class GeneratorPackage:
+    """The deployable artifact of Figure 4.
+
+    Bundles the trained model, the fitted tokenizer and the
+    initial-event-type distribution extracted from the training set.
+    """
+
+    model: CPTGPT
+    tokenizer: StreamTokenizer
+    initial_event_distribution: dict[str, float]
+    device_type: str
+
+    def __post_init__(self) -> None:
+        total = sum(self.initial_event_distribution.values())
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"initial-event distribution sums to {total}, expected 1")
+        for name in self.initial_event_distribution:
+            if name not in self.tokenizer.vocabulary:
+                raise ValueError(f"initial-event distribution names unknown event {name!r}")
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        batch_size: int = 128,
+        temperature: float = 1.0,
+        max_len: int | None = None,
+    ) -> TraceDataset:
+        """Synthesize ``count`` streams.
+
+        Each stream is bootstrapped from the initial-event distribution
+        and extended token-by-token until its sampled stop flag is 1 or
+        ``max_len`` tokens have been produced.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        limit = self.model.config.max_len if max_len is None else max_len
+        if limit > self.model.config.max_len:
+            raise ValueError(
+                f"max_len {limit} exceeds the model's trained horizon "
+                f"{self.model.config.max_len}"
+            )
+        streams: list[Stream] = []
+        with no_grad():
+            remaining = count
+            while remaining > 0:
+                size = min(batch_size, remaining)
+                streams.extend(
+                    self._generate_batch(size, rng, start_time, temperature, limit)
+                )
+                remaining -= size
+        return TraceDataset(streams=streams, vocabulary=self.tokenizer.vocabulary)
+
+    def _generate_batch(
+        self,
+        batch: int,
+        rng: np.random.Generator,
+        start_time: float,
+        temperature: float,
+        limit: int,
+    ) -> list[Stream]:
+        engine = InferenceEngine(self.model)
+        tokenizer = self.tokenizer
+        names = list(self.initial_event_distribution)
+        probs = np.array([self.initial_event_distribution[n] for n in names])
+        first_names = rng.choice(len(names), size=batch, p=probs)
+        first_indices = np.array(
+            [tokenizer.vocabulary.index(names[i]) for i in first_names], dtype=np.int64
+        )
+
+        events = np.zeros((batch, limit), dtype=np.int64)
+        iats = np.zeros((batch, limit), dtype=np.float64)
+        stops = np.zeros((batch, limit), dtype=np.int64)
+        lengths = np.ones(batch, dtype=np.int64)
+        events[:, 0] = first_indices
+
+        cache = engine.new_cache(batch, limit)
+        active = np.ones(batch, dtype=bool)
+        current = tokenizer.assemble(
+            first_indices, np.zeros(batch), np.zeros(batch, dtype=np.int64)
+        )
+        for pos in range(limit - 1):
+            out = engine.step(current, cache)
+            event_probs = _softmax(out["event_logits"] / temperature)
+            next_events = _sample_rows(event_probs, rng)
+            stop_probs = _softmax(out["stop_logits"] / temperature)
+            next_stops = _sample_rows(stop_probs, rng)
+            if "iat_raw_scale" in out:
+                scale = _softplus(out["iat_raw_scale"]) + _MIN_SCALE
+                next_iats = rng.normal(out["iat_mean"], scale)
+            else:
+                next_iats = out["iat_mean"]
+            next_iats = np.clip(next_iats, 0.0, 1.0)
+
+            slot = pos + 1
+            events[active, slot] = next_events[active]
+            iats[active, slot] = next_iats[active]
+            stops[active, slot] = next_stops[active]
+            lengths[active] = slot + 1
+            active = active & (next_stops == 0)
+            if not active.any():
+                break
+            current = tokenizer.assemble(next_events, next_iats, next_stops)
+
+        streams = []
+        for i in range(batch):
+            length = int(lengths[i])
+            tokens = tokenizer.assemble(
+                events[i, :length], iats[i, :length], stops[i, :length]
+            )
+            streams.append(
+                tokenizer.decode(
+                    tokens,
+                    ue_id=random_ue_id(rng),
+                    device_type=self.device_type,
+                    start_time=start_time,
+                )
+            )
+        return streams
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write weights + tokenizer + initial-event distribution."""
+        metadata = {
+            "config": self.model.config.to_dict(),
+            "tokenizer": self.tokenizer.to_dict(),
+            "initial_event_distribution": self.initial_event_distribution,
+            "device_type": self.device_type,
+        }
+        save_checkpoint(self.model, path, metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GeneratorPackage":
+        """Load a package written by :meth:`save`."""
+        # Model shape is in the metadata, so peek at it first.
+        with np.load(Path(path)) as archive:
+            metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+        config = CPTGPTConfig.from_dict(metadata["config"])
+        model = CPTGPT(config, np.random.default_rng(0))
+        load_checkpoint(model, path)
+        return cls(
+            model=model,
+            tokenizer=StreamTokenizer.from_dict(metadata["tokenizer"]),
+            initial_event_distribution=metadata["initial_event_distribution"],
+            device_type=metadata["device_type"],
+        )
+
+
+def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample one category per row from a (B, K) probability matrix."""
+    cumulative = np.cumsum(probs, axis=1)
+    draws = rng.random((probs.shape[0], 1))
+    return (draws < cumulative).argmax(axis=1)

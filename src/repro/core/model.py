@@ -1,0 +1,90 @@
+"""The CPT-GPT model: transformer decoder + three per-field MLP heads.
+
+Architecture (Figure 3):
+
+* tokens (``d_token = |events| + 1 + 2``) are mapped by a linear layer to
+  ``d_model`` and summed with learned positional embeddings,
+* N causal decoder blocks produce hidden states,
+* three MLP heads read each hidden state and predict the *next* token's
+  fields: event-type logits, interarrival-time distribution parameters
+  (mean and raw scale — Design 2), and stop-flag logits.
+
+With ``distribution_head=False`` (the Table 8 ablation) the interarrival
+head outputs a single scalar and generation becomes deterministic for
+that field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, TransformerDecoder
+from .config import CPTGPTConfig
+
+__all__ = ["CPTGPT", "FieldPredictions"]
+
+
+@dataclass
+class FieldPredictions:
+    """Per-position predictions for the three token fields.
+
+    All tensors have leading shape ``(batch, time)``; position ``t``
+    predicts token ``t + 1``.
+    """
+
+    event_logits: Tensor  # (B, T, num_events)
+    iat_mean: Tensor  # (B, T)
+    iat_raw_scale: Tensor | None  # (B, T); None for the ablated model
+    stop_logits: Tensor  # (B, T, 2)
+
+
+class CPTGPT(Module):
+    """Decoder-only transformer for control-plane traffic generation."""
+
+    def __init__(self, config: CPTGPTConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.decoder = TransformerDecoder(
+            d_token=config.d_token,
+            d_model=config.d_model,
+            num_layers=config.num_layers,
+            num_heads=config.num_heads,
+            d_ff=config.d_ff,
+            max_len=config.max_len,
+            rng=rng,
+            dropout=config.dropout,
+        )
+        self.event_head = MLP(
+            config.d_model, config.head_hidden, config.num_event_types, rng
+        )
+        iat_out = 2 if config.distribution_head else 1
+        self.iat_head = MLP(config.d_model, config.head_hidden, iat_out, rng)
+        self.stop_head = MLP(config.d_model, config.head_hidden, 2, rng)
+
+    def forward(self, tokens: Tensor) -> FieldPredictions:
+        """Predict next-token fields for every position.
+
+        Parameters
+        ----------
+        tokens:
+            ``(batch, time, d_token)`` input tokens.
+        """
+        hidden = self.decoder(tokens)
+        event_logits = self.event_head(hidden)
+        iat = self.iat_head(hidden)
+        stop_logits = self.stop_head(hidden)
+        batch, time, _ = tokens.shape
+        if self.config.distribution_head:
+            iat_mean = iat[:, :, 0]
+            iat_raw_scale = iat[:, :, 1]
+        else:
+            iat_mean = iat[:, :, 0]
+            iat_raw_scale = None
+        return FieldPredictions(
+            event_logits=event_logits,
+            iat_mean=iat_mean,
+            iat_raw_scale=iat_raw_scale,
+            stop_logits=stop_logits,
+        )

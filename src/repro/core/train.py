@@ -1,0 +1,206 @@
+"""Supervised next-token training for CPT-GPT.
+
+CPT-GPT needs no GAN: it trains with plain maximum likelihood (§4.3's
+point (4)) — cross-entropy on the categorical fields plus Gaussian NLL
+on the interarrival field, summed with configurable weights (§5.3's
+Table 8 sweeps those weights).  Variable-length streams are padded per
+batch and masked out of every loss term.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy, gaussian_nll, mse
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from .config import TrainingConfig
+from .model import CPTGPT
+
+__all__ = ["TrainingResult", "EpochStats", "encode_training_set", "iterate_batches", "train"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Average losses over one epoch."""
+
+    total: float
+    event: float
+    interarrival: float
+    stop: float
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    steps: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1].total
+
+
+def encode_training_set(
+    dataset: TraceDataset, tokenizer: StreamTokenizer, max_len: int
+) -> list[np.ndarray]:
+    """Tokenize the training streams.
+
+    Applies the paper's §4.5/§5.1 filters: streams of length 1 are
+    excluded (their first token would carry a stop flag), and streams
+    longer than ``max_len`` are disregarded.
+    """
+    usable = dataset.drop_singletons().truncate_streams(max_len)
+    encoded = [tokenizer.encode(stream) for stream in usable]
+    if not encoded:
+        raise ValueError(
+            "no trainable streams: all streams are singletons or exceed max_len"
+        )
+    return encoded
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One padded training batch with next-token targets."""
+
+    tokens: np.ndarray  # (B, T, d_token) inputs (positions 0..T-1)
+    event_targets: np.ndarray  # (B, T) int
+    iat_targets: np.ndarray  # (B, T) float
+    stop_targets: np.ndarray  # (B, T) int
+    mask: np.ndarray  # (B, T) bool — True where a target exists
+
+
+def _build_batch(encoded: list[np.ndarray], tokenizer: StreamTokenizer) -> Batch:
+    batch = len(encoded)
+    longest = max(m.shape[0] for m in encoded)
+    width = tokenizer.d_token
+    # Inputs feed positions 0..L-2; targets are tokens 1..L-1.
+    tokens = np.zeros((batch, longest - 1, width), dtype=np.float64)
+    event_targets = np.zeros((batch, longest - 1), dtype=np.int64)
+    iat_targets = np.zeros((batch, longest - 1), dtype=np.float64)
+    stop_targets = np.zeros((batch, longest - 1), dtype=np.int64)
+    mask = np.zeros((batch, longest - 1), dtype=bool)
+    num_events = tokenizer.num_events
+    for i, matrix in enumerate(encoded):
+        length = matrix.shape[0]
+        tokens[i, : length - 1] = matrix[:-1]
+        targets = matrix[1:]
+        event_targets[i, : length - 1] = targets[:, :num_events].argmax(axis=1)
+        iat_targets[i, : length - 1] = targets[:, tokenizer.iat_column]
+        stop_targets[i, : length - 1] = targets[:, tokenizer.stop_columns].argmax(axis=1)
+        mask[i, : length - 1] = True
+    return Batch(tokens, event_targets, iat_targets, stop_targets, mask)
+
+
+def iterate_batches(
+    encoded: list[np.ndarray],
+    tokenizer: StreamTokenizer,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+    length_bucketing: bool = False,
+):
+    """Yield training batches.
+
+    With ``length_bucketing`` streams are sorted by length so batch
+    padding stays small — faster, but it correlates batch composition
+    with stream length and biases per-batch mean losses (see
+    ``TrainingConfig.length_bucketing``).  The default mixes lengths
+    randomly.
+    """
+    if length_bucketing:
+        order = np.argsort([m.shape[0] for m in encoded], kind="stable")
+        chunks = [order[i : i + batch_size] for i in range(0, len(order), batch_size)]
+        if shuffle:
+            rng.shuffle(chunks)
+    else:
+        order = np.arange(len(encoded))
+        if shuffle:
+            rng.shuffle(order)
+        chunks = [order[i : i + batch_size] for i in range(0, len(order), batch_size)]
+    for chunk in chunks:
+        yield _build_batch([encoded[i] for i in chunk], tokenizer)
+
+
+def _batch_loss(model: CPTGPT, batch: Batch, weights: tuple[float, float, float]):
+    """Weighted multi-field loss for one batch.
+
+    Returns (total, event, iat, stop) — the last three as floats for
+    logging.
+    """
+    predictions = model(Tensor(batch.tokens))
+    w_event, w_iat, w_stop = weights
+    event_loss = cross_entropy(predictions.event_logits, batch.event_targets, batch.mask)
+    if model.config.distribution_head:
+        iat_loss = gaussian_nll(
+            predictions.iat_mean,
+            predictions.iat_raw_scale,
+            batch.iat_targets,
+            batch.mask,
+        )
+    else:
+        iat_loss = mse(predictions.iat_mean, batch.iat_targets, batch.mask)
+    stop_loss = cross_entropy(predictions.stop_logits, batch.stop_targets, batch.mask)
+    total = event_loss * w_event + iat_loss * w_iat + stop_loss * w_stop
+    return total, float(event_loss.item()), float(iat_loss.item()), float(stop_loss.item())
+
+
+def train(
+    model: CPTGPT,
+    dataset: TraceDataset,
+    tokenizer: StreamTokenizer,
+    config: TrainingConfig,
+    optimizer: Adam | None = None,
+) -> TrainingResult:
+    """Train ``model`` on ``dataset``; returns per-epoch loss statistics.
+
+    Passing an existing ``optimizer`` continues its moment estimates —
+    used by transfer learning to fine-tune smoothly.
+    """
+    if config.lr_schedule not in ("constant", "cosine"):
+        raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}")
+    rng = np.random.default_rng(config.seed)
+    encoded = encode_training_set(dataset, tokenizer, model.config.max_len)
+    if optimizer is None:
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+
+    result = TrainingResult()
+    model.train()
+    start = time.perf_counter()
+    for epoch in range(config.epochs):
+        if config.lr_schedule == "cosine" and config.epochs > 1:
+            progress = epoch / (config.epochs - 1)
+            floor = config.final_lr_fraction
+            optimizer.lr = config.learning_rate * (
+                floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
+            )
+        sums = np.zeros(4)
+        batches = 0
+        for batch in iterate_batches(
+            encoded,
+            tokenizer,
+            config.batch_size,
+            rng,
+            config.shuffle,
+            config.length_bucketing,
+        ):
+            optimizer.zero_grad()
+            total, event_l, iat_l, stop_l = _batch_loss(model, batch, config.loss_weights)
+            total.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            sums += (float(total.item()), event_l, iat_l, stop_l)
+            batches += 1
+            result.steps += 1
+        avg = sums / max(batches, 1)
+        result.epochs.append(EpochStats(*avg))
+    result.wall_time_seconds = time.perf_counter() - start
+    model.eval()
+    return result

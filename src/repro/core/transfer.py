@@ -1,0 +1,94 @@
+"""Transfer learning across hours-of-day (Design 3, §5.5).
+
+The operator trains a base model on one hour's trace, then adapts it to
+each subsequent hour by fine-tuning — far cheaper per hour than training
+from scratch, because supervised transformer training converges quickly
+from a pretrained initialization (unlike GAN fine-tuning; the paper's
+L3).  ``derive_hourly_models`` reproduces the recursive protocol used in
+Tables 4 and 9: hour h's model initializes hour h+1's fine-tune.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from .config import TrainingConfig
+from .model import CPTGPT
+from .train import TrainingResult, train
+
+__all__ = ["fine_tune", "derive_hourly_models", "HourlyModels"]
+
+
+def fine_tune(
+    base: CPTGPT,
+    dataset: TraceDataset,
+    tokenizer: StreamTokenizer,
+    config: TrainingConfig,
+) -> tuple[CPTGPT, TrainingResult]:
+    """Adapt a copy of ``base`` to ``dataset``.
+
+    The base model is left untouched; the returned model starts from its
+    weights.  ``config`` should typically use fewer epochs and a lower
+    learning rate than from-scratch training.
+    """
+    adapted = copy.deepcopy(base)
+    result = train(adapted, dataset, tokenizer, config)
+    return adapted, result
+
+
+@dataclass
+class HourlyModels:
+    """Ensemble of per-hour models plus their training costs."""
+
+    models: dict[int, CPTGPT]
+    results: dict[int, TrainingResult]
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(r.wall_time_seconds for r in self.results.values())
+
+
+def derive_hourly_models(
+    model_factory,
+    hourly_traces: dict[int, TraceDataset],
+    tokenizer: StreamTokenizer,
+    scratch_config: TrainingConfig,
+    finetune_config: TrainingConfig,
+) -> HourlyModels:
+    """Train the first hour from scratch, then fine-tune recursively.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh :class:`CPTGPT`.
+    hourly_traces:
+        Hour-of-day -> training trace, in chronological order.
+    scratch_config / finetune_config:
+        Training configurations for the base hour and for each
+        subsequent fine-tune.
+    """
+    if not hourly_traces:
+        raise ValueError("hourly_traces is empty")
+    hours = sorted(hourly_traces)
+    models: dict[int, CPTGPT] = {}
+    results: dict[int, TrainingResult] = {}
+
+    first = hours[0]
+    base = model_factory()
+    results[first] = train(base, hourly_traces[first], tokenizer, scratch_config)
+    models[first] = base
+
+    previous = base
+    for hour in hours[1:]:
+        adapted, result = fine_tune(
+            previous, hourly_traces[hour], tokenizer, finetune_config
+        )
+        models[hour] = adapted
+        results[hour] = result
+        previous = adapted
+    return HourlyModels(models=models, results=results)

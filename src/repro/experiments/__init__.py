@@ -1,0 +1,81 @@
+"""``repro.experiments`` — one module per paper table/figure.
+
+Each module exposes ``compute(bench)`` (structured results) and
+``run(bench)`` (a formatted paper-style table).  ``run_all`` executes
+the full suite; the ``cpt-gpt experiments`` CLI is the entry point.
+
+Index (see DESIGN.md §4):
+
+=========  ==================================================
+table3     NetShare semantic violations
+table4     NetShare training time (the NetShare half of table9)
+table5     violations: NetShare vs CPT-GPT × device types
+table6     max CDF y-distances (sojourn + flow length)
+table7     event-type breakdowns
+table8     loss-weight sweep + no-distribution-head ablation
+table9     Tables 4 & 9 — training time w/ and w/o transfer
+table10    fidelity at the 4th hour w/ and w/o transfer
+table11    n-gram memorization
+fig2       CONNECTED sojourn CDFs (phones)
+fig5       full CDF grid (3 devices × 5 metrics × 5 sources)
+fig6       fidelity vs synthesized population size
+fig7       interarrival distribution, raw vs log
+exp5g      extension: CPT-GPT on 5G traffic (paper future work)
+=========  ==================================================
+"""
+
+from . import exp5g, fig2, fig5, fig6, fig7, table3, table4, table5, table6, table7, table8, table9, table10, table11
+from .common import MEDIUM, SMOKE, ExperimentScale, Workbench, format_table
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE",
+    "MEDIUM",
+    "Workbench",
+    "format_table",
+    "run_all",
+    "ALL_EXPERIMENTS",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "exp5g",
+]
+
+ALL_EXPERIMENTS = {
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "fig2": fig2,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "exp5g": exp5g,
+}
+
+
+def run_all(bench: Workbench, names: list[str] | None = None) -> str:
+    """Run the selected experiments (all by default); returns the report."""
+    selected = names if names is not None else list(ALL_EXPERIMENTS)
+    unknown = [n for n in selected if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; have {sorted(ALL_EXPERIMENTS)}")
+    sections = []
+    for name in selected:
+        sections.append(ALL_EXPERIMENTS[name].run(bench))
+    return "\n\n".join(sections)

@@ -1,0 +1,318 @@
+"""Shared experiment infrastructure: scales, the workbench, table output.
+
+Every table/figure module builds on :class:`Workbench`, which lazily
+trains and caches the four generators the paper compares — SMM-1, SMM-k
+(the SMM-20k analogue), NetShare and CPT-GPT — per device type, against
+synthetic operator traces.  Mirroring §5.1, CPT-GPT and NetShare are
+trained from scratch on phones and adapted to connected cars and tablets
+with transfer learning.
+
+Two preset scales are provided:
+
+* ``SMOKE`` — seconds-per-experiment; used by the pytest benchmarks.
+* ``MEDIUM`` — minutes-per-experiment; used to produce EXPERIMENTS.md.
+
+Both run the identical code path; only sizes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..baselines import NetShare, NetShareConfig, SMM1Generator, SMMClusteredGenerator
+from ..core import (
+    CPTGPT,
+    CPTGPTConfig,
+    GeneratorPackage,
+    TrainingConfig,
+    fine_tune,
+    train,
+)
+from ..statemachine import LTE_EVENTS, LTE_SPEC
+from ..tokenization import StreamTokenizer
+from ..trace import DeviceType, SyntheticTraceConfig, TraceDataset, generate_trace
+
+__all__ = ["ExperimentScale", "SMOKE", "MEDIUM", "Workbench", "format_table", "GENERATOR_NAMES"]
+
+GENERATOR_NAMES = ("SMM-1", "SMM-20k", "NetShare", "CPT-GPT")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for wall-clock."""
+
+    name: str
+    train_ues: int = 300
+    eval_ues: int = 300
+    generated_streams: int = 300
+    hour: int = 20
+    seed: int = 7
+    # CPT-GPT
+    cpt_config: CPTGPTConfig = field(
+        default_factory=lambda: CPTGPTConfig(
+            d_model=32, num_layers=2, num_heads=4, d_ff=64, head_hidden=64, max_len=128
+        )
+    )
+    cpt_epochs: int = 10
+    cpt_transfer_epochs: int = 4
+    cpt_batch_size: int = 48
+    cpt_lr: float = 3e-3
+    cpt_transfer_lr: float = 1e-3
+    #: Length-bucketed batching is ~4x faster but biases the stop-flag
+    #: hazard (see TrainingConfig.length_bucketing).  The smoke scale
+    #: trades that bias for wall-clock; medium uses unbiased batching.
+    cpt_length_bucketing: bool = False
+    # NetShare
+    ns_config: NetShareConfig = field(
+        default_factory=lambda: NetShareConfig(max_len=130, batch_generation=5)
+    )
+    ns_epochs: int = 15
+    ns_transfer_epochs: int = 8
+    ns_batch_size: int = 32
+    # SMM
+    smm_clusters: int = 12
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    train_ues=300,
+    eval_ues=250,
+    generated_streams=250,
+    cpt_config=CPTGPTConfig(
+        d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+    ),
+    cpt_epochs=16,
+    cpt_transfer_epochs=6,
+    cpt_length_bucketing=True,
+    ns_epochs=20,
+    ns_transfer_epochs=8,
+    smm_clusters=10,
+)
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    train_ues=700,
+    eval_ues=700,
+    generated_streams=700,
+    cpt_config=CPTGPTConfig(
+        d_model=64, num_layers=2, num_heads=4, d_ff=160, head_hidden=128, max_len=192
+    ),
+    cpt_epochs=22,
+    cpt_transfer_epochs=8,
+    cpt_batch_size=64,
+    cpt_length_bucketing=False,
+    ns_config=NetShareConfig(max_len=190, batch_generation=5, hidden_size=96),
+    ns_epochs=30,
+    ns_transfer_epochs=12,
+    smm_clusters=16,
+)
+
+
+class Workbench:
+    """Lazily-built, cached pipeline shared by all experiments.
+
+    The cache keys are device types; training happens at most once per
+    (generator, device type).  All experiments read generated traces of
+    ``scale.generated_streams`` streams, evaluated against a held-out
+    test trace generated with a different seed (the paper's train/test
+    split across different days).
+    """
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self.spec = LTE_SPEC
+        self.vocabulary = LTE_EVENTS
+        self._train: dict[str, TraceDataset] = {}
+        self._test: dict[str, TraceDataset] = {}
+        self._tokenizer: StreamTokenizer | None = None
+        self._cpt: dict[str, GeneratorPackage] = {}
+        self._netshare: dict[str, NetShare] = {}
+        self._smm1: dict[str, SMM1Generator] = {}
+        self._smmk: dict[str, SMMClusteredGenerator] = {}
+        self._generated: dict[tuple[str, str], TraceDataset] = {}
+        self.training_times: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def train_trace(self, device: str = DeviceType.PHONE) -> TraceDataset:
+        if device not in self._train:
+            self._train[device] = generate_trace(
+                SyntheticTraceConfig(
+                    num_ues=self.scale.train_ues,
+                    device_type=device,
+                    hour=self.scale.hour,
+                    seed=self.scale.seed,
+                )
+            )
+        return self._train[device]
+
+    def test_trace(self, device: str = DeviceType.PHONE) -> TraceDataset:
+        if device not in self._test:
+            self._test[device] = generate_trace(
+                SyntheticTraceConfig(
+                    num_ues=self.scale.eval_ues,
+                    device_type=device,
+                    hour=self.scale.hour,
+                    seed=self.scale.seed + 104729,  # a different capture day
+                )
+            )
+        return self._test[device]
+
+    @property
+    def tokenizer(self) -> StreamTokenizer:
+        """Tokenizer fitted on the phone training trace (shared, §5.1)."""
+        if self._tokenizer is None:
+            self._tokenizer = StreamTokenizer(self.vocabulary).fit(
+                self.train_trace(DeviceType.PHONE)
+            )
+        return self._tokenizer
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    def cptgpt(self, device: str = DeviceType.PHONE) -> GeneratorPackage:
+        """CPT-GPT for ``device``: phones from scratch, others transferred."""
+        if device in self._cpt:
+            return self._cpt[device]
+        scale = self.scale
+        phone = DeviceType.PHONE
+        if phone not in self._cpt:
+            model = CPTGPT(scale.cpt_config, np.random.default_rng(scale.seed))
+            result = train(
+                model,
+                self.train_trace(phone),
+                self.tokenizer,
+                TrainingConfig(
+                    epochs=scale.cpt_epochs,
+                    batch_size=scale.cpt_batch_size,
+                    learning_rate=scale.cpt_lr,
+                    seed=scale.seed,
+                    length_bucketing=scale.cpt_length_bucketing,
+                ),
+            )
+            self.training_times["cptgpt/phone"] = result.wall_time_seconds
+            self._cpt[phone] = GeneratorPackage(
+                model,
+                self.tokenizer,
+                self.train_trace(phone).initial_event_distribution(),
+                phone,
+            )
+        if device != phone and device not in self._cpt:
+            adapted, result = fine_tune(
+                self._cpt[phone].model,
+                self.train_trace(device),
+                self.tokenizer,
+                TrainingConfig(
+                    epochs=scale.cpt_transfer_epochs,
+                    batch_size=scale.cpt_batch_size,
+                    learning_rate=scale.cpt_transfer_lr,
+                    seed=scale.seed,
+                    length_bucketing=scale.cpt_length_bucketing,
+                ),
+            )
+            self.training_times[f"cptgpt/{device}"] = result.wall_time_seconds
+            self._cpt[device] = GeneratorPackage(
+                adapted,
+                self.tokenizer,
+                self.train_trace(device).initial_event_distribution(),
+                device,
+            )
+        return self._cpt[device]
+
+    def netshare(self, device: str = DeviceType.PHONE) -> NetShare:
+        """NetShare for ``device`` (phone scratch, others fine-tuned)."""
+        if device in self._netshare:
+            return self._netshare[device]
+        scale = self.scale
+        phone = DeviceType.PHONE
+        if phone not in self._netshare:
+            model = NetShare(
+                scale.ns_config, self.tokenizer, np.random.default_rng(scale.seed + 1)
+            )
+            result = model.train(
+                self.train_trace(phone), epochs=scale.ns_epochs,
+                batch_size=scale.ns_batch_size, seed=scale.seed,
+            )
+            self.training_times["netshare/phone"] = result.wall_time_seconds
+            self._netshare[phone] = model
+        if device != phone and device not in self._netshare:
+            import copy
+
+            adapted = copy.deepcopy(self._netshare[phone])
+            result = adapted.fine_tune(
+                self.train_trace(device),
+                epochs=scale.ns_transfer_epochs,
+                batch_size=scale.ns_batch_size,
+                seed=scale.seed,
+            )
+            self.training_times[f"netshare/{device}"] = result.wall_time_seconds
+            self._netshare[device] = adapted
+        return self._netshare[device]
+
+    def smm1(self, device: str = DeviceType.PHONE) -> SMM1Generator:
+        if device not in self._smm1:
+            self._smm1[device] = SMM1Generator.fit(self.train_trace(device), device)
+        return self._smm1[device]
+
+    def smmk(self, device: str = DeviceType.PHONE) -> SMMClusteredGenerator:
+        if device not in self._smmk:
+            self._smmk[device] = SMMClusteredGenerator.fit(
+                self.train_trace(device),
+                device,
+                num_clusters=self.scale.smm_clusters,
+                seed=self.scale.seed,
+            )
+        return self._smmk[device]
+
+    # ------------------------------------------------------------------
+    # Generated traces (the evaluation inputs)
+    # ------------------------------------------------------------------
+    def generated(self, generator: str, device: str = DeviceType.PHONE) -> TraceDataset:
+        """Synthesized trace from ``generator`` for ``device`` (cached).
+
+        ``generator`` is one of :data:`GENERATOR_NAMES`.
+        """
+        key = (generator, device)
+        if key in self._generated:
+            return self._generated[key]
+        count = self.scale.generated_streams
+        start_time = self.scale.hour * 3600.0
+        rng = np.random.default_rng(self.scale.seed + 31337)
+        if generator == "SMM-1":
+            trace = self.smm1(device).generate(count, rng, start_time)
+        elif generator == "SMM-20k":
+            trace = self.smmk(device).generate(count, rng, start_time)
+        elif generator == "NetShare":
+            trace = self.netshare(device).generate(count, rng, device, start_time)
+        elif generator == "CPT-GPT":
+            trace = self.cptgpt(device).generate(count, rng, start_time)
+        else:
+            raise ValueError(
+                f"unknown generator {generator!r}; expected one of {GENERATOR_NAMES}"
+            )
+        self._generated[key] = trace
+        return trace
+
+
+def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table (the harness's paper-style output)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

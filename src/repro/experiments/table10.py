@@ -1,0 +1,151 @@
+"""Table 10 — fidelity at the 4th hour, with vs without transfer learning.
+
+Both models are evaluated on the 4th of six hourly traces, trained two
+ways: from scratch on that hour ("w/o xfer") and by recursive
+fine-tuning from the first hour ("w/ xfer").  Paper headline: transfer
+learning has no systematic fidelity cost for either model — some metrics
+improve, others degrade slightly.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..baselines import NetShare
+from ..core import CPTGPT, GeneratorPackage, TrainingConfig, train
+from ..metrics import fidelity_report
+from ..trace import DeviceType, SyntheticTraceConfig, generate_hourly_traces, generate_trace
+from .common import Workbench, format_table
+from .table9 import HOURS
+
+__all__ = ["compute", "run"]
+
+
+def compute(bench: Workbench, hours: tuple[int, ...] = HOURS) -> dict:
+    """{"CPT-GPT"|"NetShare"} -> {"scratch"|"transfer"} -> metrics."""
+    scale = bench.scale
+    per_hour_ues = max(scale.train_ues // len(hours), 40)
+    hourly = generate_hourly_traces(
+        per_hour_ues, list(hours), device_type=DeviceType.PHONE, seed=scale.seed
+    )
+    ordered = sorted(hourly)
+    target_hour = ordered[3]  # the 4th hour
+    tokenizer = bench.tokenizer
+    test = generate_trace(
+        SyntheticTraceConfig(
+            num_ues=scale.eval_ues,
+            device_type=DeviceType.PHONE,
+            hour=target_hour,
+            seed=scale.seed + 555,
+        )
+    )
+    gen_count = scale.generated_streams
+    start_time = target_hour * 3600.0
+
+    scratch_cfg = TrainingConfig(
+        epochs=scale.cpt_epochs,
+        batch_size=scale.cpt_batch_size,
+        learning_rate=scale.cpt_lr,
+        seed=scale.seed,
+        length_bucketing=scale.cpt_length_bucketing,
+    )
+    transfer_cfg = scratch_cfg.replace(
+        epochs=scale.cpt_transfer_epochs, learning_rate=scale.cpt_transfer_lr
+    )
+
+    out: dict[str, dict[str, dict[str, float]]] = {"CPT-GPT": {}, "NetShare": {}}
+
+    # CPT-GPT from scratch on the target hour.
+    model = CPTGPT(scale.cpt_config, np.random.default_rng(scale.seed))
+    train(model, hourly[target_hour], tokenizer, scratch_cfg)
+    package = GeneratorPackage(
+        model, tokenizer, hourly[target_hour].initial_event_distribution(),
+        DeviceType.PHONE,
+    )
+    generated = package.generate(
+        gen_count, np.random.default_rng(scale.seed + 1), start_time
+    )
+    out["CPT-GPT"]["scratch"] = fidelity_report(test, generated, bench.spec).as_flat_dict()
+
+    # CPT-GPT via recursive transfer from the first hour.
+    model = CPTGPT(scale.cpt_config, np.random.default_rng(scale.seed))
+    train(model, hourly[ordered[0]], tokenizer, scratch_cfg)
+    for hour in ordered[1:4]:
+        adapted = copy.deepcopy(model)
+        train(adapted, hourly[hour], tokenizer, transfer_cfg)
+        model = adapted
+    package = GeneratorPackage(
+        model, tokenizer, hourly[target_hour].initial_event_distribution(),
+        DeviceType.PHONE,
+    )
+    generated = package.generate(
+        gen_count, np.random.default_rng(scale.seed + 2), start_time
+    )
+    out["CPT-GPT"]["transfer"] = fidelity_report(test, generated, bench.spec).as_flat_dict()
+
+    # NetShare from scratch.
+    netshare = NetShare(scale.ns_config, tokenizer, np.random.default_rng(scale.seed))
+    netshare.train(
+        hourly[target_hour], epochs=scale.ns_epochs, batch_size=scale.ns_batch_size,
+        seed=scale.seed,
+    )
+    generated = netshare.generate(
+        gen_count, np.random.default_rng(scale.seed + 3), DeviceType.PHONE, start_time
+    )
+    out["NetShare"]["scratch"] = fidelity_report(test, generated, bench.spec).as_flat_dict()
+
+    # NetShare via recursive transfer.
+    netshare = NetShare(scale.ns_config, tokenizer, np.random.default_rng(scale.seed))
+    netshare.train(
+        hourly[ordered[0]], epochs=scale.ns_epochs, batch_size=scale.ns_batch_size,
+        seed=scale.seed,
+    )
+    for hour in ordered[1:4]:
+        netshare = copy.deepcopy(netshare)
+        netshare.fine_tune(
+            hourly[hour], epochs=scale.ns_transfer_epochs,
+            batch_size=scale.ns_batch_size, seed=scale.seed,
+        )
+    generated = netshare.generate(
+        gen_count, np.random.default_rng(scale.seed + 4), DeviceType.PHONE, start_time
+    )
+    out["NetShare"]["transfer"] = fidelity_report(test, generated, bench.spec).as_flat_dict()
+    return out
+
+
+_ROWS = (
+    ("Violation events", "violation_events", "{:.3%}"),
+    ("Violation streams", "violation_streams", "{:.1%}"),
+    ("Sojourn (CONN)", "sojourn_connected", "{:.1%}"),
+    ("Sojourn (IDLE)", "sojourn_idle", "{:.1%}"),
+    ("Flow length", "flow_length_all", "{:.1%}"),
+)
+
+
+def run(bench: Workbench) -> str:
+    result = compute(bench)
+    headers = [
+        "metric",
+        "NetShare w/o xfer",
+        "CPT-GPT w/o xfer",
+        "NetShare w/ xfer",
+        "CPT-GPT w/ xfer",
+    ]
+    rows = []
+    for label, key, fmt in _ROWS:
+        rows.append(
+            [
+                label,
+                fmt.format(result["NetShare"]["scratch"][key]),
+                fmt.format(result["CPT-GPT"]["scratch"][key]),
+                fmt.format(result["NetShare"]["transfer"][key]),
+                fmt.format(result["CPT-GPT"]["transfer"][key]),
+            ]
+        )
+    return format_table(
+        "Table 10: fidelity at the 4th hour w/ and w/o transfer learning",
+        headers,
+        rows,
+    )

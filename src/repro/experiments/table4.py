@@ -1,0 +1,49 @@
+"""Table 4 — NetShare training time with and without transfer learning.
+
+Table 4 is the NetShare-only half of the Table 9 measurement (the paper
+presents it first, in §4.2.1, to motivate limitation L3: GAN fine-tuning
+saves little, so deriving six hourly models via transfer costs ~2× a
+single 6-hour model).  The computation is shared with
+:mod:`repro.experiments.table9`; this module re-reports its NetShare
+column in Table 4's row layout.
+"""
+
+from __future__ import annotations
+
+from . import table9
+from .common import Workbench, format_table
+
+__all__ = ["compute", "run"]
+
+
+def compute(bench: Workbench, hours: tuple[int, ...] = table9.HOURS) -> dict:
+    """NetShare's Table 4 rows (seconds at reproduction scale)."""
+    full = table9.compute(bench, hours)
+    netshare = full["NetShare"]
+    return {
+        "six_hour_scratch": netshare["no_transfer"],
+        "one_hour_scratch": netshare["first_hour"],
+        "one_hour_finetune": netshare["finetune_avg"],
+        "six_hourly_models_transfer_total": netshare["transfer_total"],
+    }
+
+
+def run(bench: Workbench) -> str:
+    result = compute(bench)
+    rows = [
+        ["6-hour model from scratch", f"{result['six_hour_scratch']:.1f}s"],
+        ["1-hour model from scratch", f"{result['one_hour_scratch']:.1f}s"],
+        [
+            "1-hour model from finetuning from another hour",
+            f"{result['one_hour_finetune']:.1f}s",
+        ],
+        [
+            "6 1-hour models total from transfer learning",
+            f"{result['six_hourly_models_transfer_total']:.1f}s",
+        ],
+    ]
+    return format_table(
+        "Table 4: NetShare training time, from scratch vs transfer learning",
+        ["setup", "time"],
+        rows,
+    )

@@ -1,0 +1,51 @@
+"""Table 5 — violations: NetShare vs CPT-GPT across device types.
+
+Paper values: NetShare 2.614% / 3.915% / 3.572% event violations
+(phone / connected car / tablet) against CPT-GPT's 0.004% / 0.034% /
+0.079% — a two-order-of-magnitude gap; SMM variants are omitted as they
+produce zero violations by construction.
+"""
+
+from __future__ import annotations
+
+from ..metrics import violation_stats
+from ..trace import DeviceType
+from .common import Workbench, format_table
+
+__all__ = ["compute", "run"]
+
+
+def compute(bench: Workbench) -> dict:
+    """Event/stream violation rates per device type for both models."""
+    out: dict[str, dict[str, float]] = {}
+    for device in DeviceType.ALL:
+        row: dict[str, float] = {}
+        for generator in ("NetShare", "CPT-GPT"):
+            stats = violation_stats(bench.generated(generator, device), bench.spec)
+            row[f"{generator}/events"] = stats.event_rate
+            row[f"{generator}/streams"] = stats.stream_rate
+        out[device] = row
+    return out
+
+
+def run(bench: Workbench) -> str:
+    result = compute(bench)
+    headers = ["metric"]
+    for device in DeviceType.ALL:
+        headers += [f"{device}/NetShare", f"{device}/CPT-GPT"]
+    event_row = ["Event violations (%)"]
+    stream_row = ["Streams w/ violation (%)"]
+    for device in DeviceType.ALL:
+        event_row += [
+            f"{result[device]['NetShare/events']:.3%}",
+            f"{result[device]['CPT-GPT/events']:.3%}",
+        ]
+        stream_row += [
+            f"{result[device]['NetShare/streams']:.1%}",
+            f"{result[device]['CPT-GPT/streams']:.1%}",
+        ]
+    return format_table(
+        "Table 5: Stateful-semantics violations (SMM rows omitted: zero by construction)",
+        headers,
+        [event_row, stream_row],
+    )

@@ -1,0 +1,25 @@
+"""``repro.mcn`` — downstream consumers of synthesized traffic (§2.2).
+
+An event-driven control-plane anchor simulator (latency / throughput /
+stateful context footprint), an autoscaling evaluation harness, and
+sampling-based telemetry with a count-min sketch.
+"""
+
+from .autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
+from .nf import LTE_COSTS, NR_COSTS, ServiceCostModel
+from .simulator import MCNSimulator, SimulationReport
+from .telemetry import CountMinSketch, SampledBreakdownMonitor, calibrate_sampling_rate
+
+__all__ = [
+    "ServiceCostModel",
+    "LTE_COSTS",
+    "NR_COSTS",
+    "MCNSimulator",
+    "SimulationReport",
+    "AutoscalePolicy",
+    "AutoscaleTrace",
+    "simulate_autoscaling",
+    "CountMinSketch",
+    "SampledBreakdownMonitor",
+    "calibrate_sampling_rate",
+]

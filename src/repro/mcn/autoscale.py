@@ -1,0 +1,112 @@
+"""Autoscaling evaluation over time-varying control-plane load.
+
+§2.2 / C5: accurately modelling traffic drift "enables evaluating
+autoscaling capabilities of MCN implementations".  This module replays a
+trace in fixed windows, estimates per-window offered load, and drives a
+target-utilization autoscaler over the window sequence — the experiment
+a CoreKube-style elastic core would run against a synthesized trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace.dataset import TraceDataset
+from .nf import LTE_COSTS, ServiceCostModel
+
+__all__ = ["AutoscalePolicy", "AutoscaleTrace", "simulate_autoscaling"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Target-utilization scaler with bounded step size.
+
+    Each window the policy computes required workers =
+    ``offered_load / target_utilization`` and moves toward it by at most
+    ``max_step`` workers, clamped to [min_workers, max_workers].
+    """
+
+    target_utilization: float = 0.6
+    min_workers: int = 1
+    max_workers: int = 64
+    max_step: int = 4
+
+    def next_workers(self, current: int, offered_load: float) -> int:
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+        required = int(np.ceil(offered_load / self.target_utilization))
+        required = max(self.min_workers, min(self.max_workers, required))
+        if required > current:
+            return min(current + self.max_step, required)
+        if required < current:
+            return max(current - self.max_step, required)
+        return current
+
+
+@dataclass
+class AutoscaleTrace:
+    """Per-window record of the autoscaling run."""
+
+    window_seconds: float
+    offered_load: list[float] = field(default_factory=list)  # worker-equivalents
+    workers: list[int] = field(default_factory=list)
+    utilization: list[float] = field(default_factory=list)
+
+    @property
+    def scaling_actions(self) -> int:
+        """Number of windows where the worker count changed."""
+        return sum(
+            1 for a, b in zip(self.workers, self.workers[1:]) if a != b
+        )
+
+    @property
+    def peak_workers(self) -> int:
+        return max(self.workers) if self.workers else 0
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return float(np.mean(self.utilization))
+
+
+def simulate_autoscaling(
+    dataset: TraceDataset,
+    policy: AutoscalePolicy,
+    window_seconds: float = 300.0,
+    cost_model: ServiceCostModel = LTE_COSTS,
+    initial_workers: int = 2,
+) -> AutoscaleTrace:
+    """Drive ``policy`` over ``dataset`` replayed in fixed windows.
+
+    Offered load per window is the total mean service demand divided by
+    the window length — i.e. the number of fully-busy workers the window
+    requires.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    arrivals = sorted(
+        (event.timestamp, event.event) for stream in dataset for event in stream
+    )
+    trace = AutoscaleTrace(window_seconds=window_seconds)
+    if not arrivals:
+        return trace
+
+    start = arrivals[0][0]
+    end = arrivals[-1][0]
+    edges = np.arange(start, end + window_seconds, window_seconds)
+    demands = np.zeros(len(edges))
+    for timestamp, event in arrivals:
+        slot = min(int((timestamp - start) // window_seconds), len(edges) - 1)
+        demands[slot] += cost_model.mean_cost(event) / 1000.0
+
+    workers = initial_workers
+    for demand_seconds in demands:
+        offered = demand_seconds / window_seconds
+        workers = policy.next_workers(workers, offered)
+        trace.offered_load.append(float(offered))
+        trace.workers.append(workers)
+        trace.utilization.append(float(min(offered / workers, 1.0)))
+    return trace

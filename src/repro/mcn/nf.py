@@ -1,0 +1,67 @@
+"""Network-function cost model for the mobile core network.
+
+§2.2's first use case: evaluating MCN designs (throughput, latency,
+scalability) under realistic control-plane workloads.  Each control
+event triggers a fixed chain of control-plane message exchanges (the
+paper notes the event→message mapping is dictated by 3GPP), which we
+summarize as a per-event-type CPU service time at the control-plane
+anchor (MME in 4G, AMF in 5G).
+
+Costs are stylized but ordered like 3GPP procedure complexity: attach /
+registration is the heaviest (authentication, session setup), service
+request and release are mid-weight, handover heavier than TAU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceCostModel", "LTE_COSTS", "NR_COSTS"]
+
+
+@dataclass(frozen=True)
+class ServiceCostModel:
+    """Mean CPU service time (milliseconds) per control event type."""
+
+    costs_ms: dict[str, float]
+    #: Service times are drawn from an exponential around the mean when
+    #: ``stochastic`` is on (M/M/c-like); deterministic otherwise.
+    stochastic: bool = True
+
+    def mean_cost(self, event: str) -> float:
+        if event not in self.costs_ms:
+            raise KeyError(
+                f"no service cost for event {event!r}; have {sorted(self.costs_ms)}"
+            )
+        return self.costs_ms[event]
+
+    def sample_cost(self, event: str, rng) -> float:
+        """One service time in milliseconds."""
+        mean = self.mean_cost(event)
+        if not self.stochastic:
+            return mean
+        return float(rng.exponential(mean))
+
+
+#: 4G: MME-anchored procedure costs.
+LTE_COSTS = ServiceCostModel(
+    costs_ms={
+        "ATCH": 12.0,  # authentication + default bearer setup
+        "DTCH": 6.0,
+        "SRV_REQ": 3.0,  # S1 setup + bearer activation
+        "S1_CONN_REL": 2.0,
+        "HO": 5.0,  # path switch + context transfer
+        "TAU": 1.5,
+    }
+)
+
+#: 5G: AMF-anchored; registration heavier (slice selection, SEAF).
+NR_COSTS = ServiceCostModel(
+    costs_ms={
+        "REGISTER": 14.0,
+        "DEREGISTER": 6.0,
+        "SRV_REQ": 3.0,
+        "AN_REL": 2.0,
+        "HO": 5.0,
+    }
+)

@@ -1,0 +1,120 @@
+"""Sampling-based control-plane telemetry (§2.2's second use case).
+
+Real-time network management monitors traffic with bounded memory.  The
+paper argues accurate control-plane models help pick e.g. a sampling
+rate for telemetry collection.  This module provides:
+
+* :class:`CountMinSketch` — the standard bounded-memory frequency
+  sketch, for per-UE event counting;
+* :class:`SampledBreakdownMonitor` — uniform event sampling that
+  estimates the event-type breakdown;
+* :func:`calibrate_sampling_rate` — the model-driven workflow: find the
+  smallest sampling rate whose estimated breakdown stays within a target
+  error on a *synthesized* trace, then apply it to live traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.dataset import TraceDataset
+
+__all__ = ["CountMinSketch", "SampledBreakdownMonitor", "calibrate_sampling_rate"]
+
+
+class CountMinSketch:
+    """Count-min sketch over string keys.
+
+    ``depth`` independent hash rows of ``width`` counters; point queries
+    return the row-minimum, an overestimate with error bounded by
+    ``total / width`` per row with high probability.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        # Random odd multipliers for a simple multiply-shift hash family.
+        self._salts = rng.integers(1, 2**61 - 1, size=depth) | 1
+
+    def _indices(self, key: str) -> np.ndarray:
+        base = hash(key) & 0x7FFFFFFFFFFFFFFF
+        return (base * self._salts) % self.width
+
+    def add(self, key: str, count: int = 1) -> None:
+        rows = np.arange(self.depth)
+        self._table[rows, self._indices(key)] += count
+
+    def query(self, key: str) -> int:
+        rows = np.arange(self.depth)
+        return int(self._table[rows, self._indices(key)].min())
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._table.nbytes
+
+    def heavy_hitters(
+        self, keys: list[str], threshold: int
+    ) -> list[tuple[str, int]]:
+        """Keys whose estimated count is at least ``threshold``."""
+        hits = [(key, self.query(key)) for key in keys]
+        return [(k, c) for k, c in hits if c >= threshold]
+
+
+@dataclass
+class SampledBreakdownMonitor:
+    """Uniform event sampling estimator of the event-type breakdown."""
+
+    sampling_rate: float
+    seed: int = 0
+
+    def estimate(self, dataset: TraceDataset) -> dict[str, float]:
+        """Estimated event-type shares from a ``sampling_rate`` subsample."""
+        if not 0 < self.sampling_rate <= 1:
+            raise ValueError("sampling_rate must be in (0, 1]")
+        rng = np.random.default_rng(self.seed)
+        counts: dict[str, int] = {}
+        total = 0
+        for stream in dataset:
+            for event in stream:
+                if rng.random() <= self.sampling_rate:
+                    counts[event.event] = counts.get(event.event, 0) + 1
+                    total += 1
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in sorted(counts.items())}
+
+    def max_error(self, dataset: TraceDataset) -> float:
+        """Largest absolute share error vs the full-trace breakdown."""
+        truth = dataset.event_breakdown()
+        estimate = self.estimate(dataset)
+        names = set(truth) | set(estimate)
+        return max(
+            abs(truth.get(name, 0.0) - estimate.get(name, 0.0)) for name in names
+        )
+
+
+def calibrate_sampling_rate(
+    synthesized: TraceDataset,
+    target_error: float,
+    rates: tuple[float, ...] = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5),
+    seed: int = 0,
+) -> float:
+    """Smallest rate whose breakdown error on ``synthesized`` meets target.
+
+    This is the model-driven calibration the paper motivates: tune the
+    monitor against high-fidelity synthetic traffic before deployment.
+    Returns 1.0 when no candidate rate meets the target.
+    """
+    if target_error <= 0:
+        raise ValueError("target_error must be positive")
+    for rate in sorted(rates):
+        monitor = SampledBreakdownMonitor(sampling_rate=rate, seed=seed)
+        if monitor.max_error(synthesized) <= target_error:
+            return rate
+    return 1.0

@@ -1,0 +1,45 @@
+"""``repro.metrics`` — the fidelity metrics of Table 2 plus memorization.
+
+* semantic violations (replay against the 3GPP machine),
+* sojourn-time CDF max y-distance,
+* event-type breakdown differences,
+* flow-length CDF max y-distance,
+* n-gram memorization (§5.6),
+* checkpoint selection by fidelity ranking (§5.5).
+"""
+
+from .bootstrap import BootstrapCI, bootstrap_max_y_distance, compare_generators
+from .breakdown import average_breakdown_difference, breakdown_difference
+from .distance import cdf_points, empirical_cdf, max_y_distance
+from .flowlength import FlowLengthComparison, compare_flow_lengths
+from .memorization import NGramIndex, extract_ngrams, ngram_repeat_fraction
+from .report import FidelityReport, fidelity_report
+from .selection import Checkpoint, select_checkpoint
+from .sojourn import SojournComparison, compare_sojourns, per_ue_sojourns
+from .violations import ViolationStats, stats_from_replay, violation_stats
+
+__all__ = [
+    "max_y_distance",
+    "BootstrapCI",
+    "bootstrap_max_y_distance",
+    "compare_generators",
+    "empirical_cdf",
+    "cdf_points",
+    "ViolationStats",
+    "violation_stats",
+    "stats_from_replay",
+    "SojournComparison",
+    "compare_sojourns",
+    "per_ue_sojourns",
+    "breakdown_difference",
+    "average_breakdown_difference",
+    "FlowLengthComparison",
+    "compare_flow_lengths",
+    "extract_ngrams",
+    "NGramIndex",
+    "ngram_repeat_fraction",
+    "Checkpoint",
+    "select_checkpoint",
+    "FidelityReport",
+    "fidelity_report",
+]

@@ -1,0 +1,50 @@
+"""Flow-length fidelity (Table 6's bottom rows, Figure 5's right columns).
+
+Flow length is the number of events per stream — for all events, and
+separately for the two dominant event types (SRV_REQ, S1_CONN_REL in
+4G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace.dataset import TraceDataset
+from .distance import max_y_distance
+
+__all__ = ["FlowLengthComparison", "compare_flow_lengths"]
+
+
+@dataclass(frozen=True)
+class FlowLengthComparison:
+    """Max y-distances of flow-length CDFs."""
+
+    all_events: float
+    per_event: dict[str, float]
+
+    def for_event(self, event: str) -> float:
+        if event not in self.per_event:
+            raise KeyError(
+                f"no flow-length comparison for {event!r}; "
+                f"have {sorted(self.per_event)}"
+            )
+        return self.per_event[event]
+
+
+def compare_flow_lengths(
+    real: TraceDataset,
+    synthesized: TraceDataset,
+    events: tuple[str, ...] = ("SRV_REQ", "S1_CONN_REL"),
+) -> FlowLengthComparison:
+    """Max y-distance of flow-length CDFs (all events + each in ``events``)."""
+    all_distance = max_y_distance(
+        real.flow_lengths().astype(float), synthesized.flow_lengths().astype(float)
+    )
+    per_event = {
+        event: max_y_distance(
+            real.flow_lengths(event).astype(float),
+            synthesized.flow_lengths(event).astype(float),
+        )
+        for event in events
+    }
+    return FlowLengthComparison(all_events=all_distance, per_event=per_event)

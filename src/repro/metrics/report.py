@@ -1,0 +1,69 @@
+"""One-call fidelity report: every Table 2 metric for one generator.
+
+Used by the experiment harness (Tables 5-10, Figure 6) and by the
+checkpoint-selection heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..statemachine.base import MachineSpec
+from ..statemachine.lte import LTE_SPEC
+from ..trace.dataset import TraceDataset
+from .breakdown import average_breakdown_difference, breakdown_difference
+from .flowlength import FlowLengthComparison, compare_flow_lengths
+from .sojourn import SojournComparison, compare_sojourns
+from .violations import ViolationStats, violation_stats
+
+__all__ = ["FidelityReport", "fidelity_report"]
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """All fidelity metrics of a synthesized dataset vs the real one."""
+
+    violations: ViolationStats
+    sojourn: SojournComparison
+    flow_length: FlowLengthComparison
+    breakdown_diff: dict[str, float]
+    avg_breakdown_diff: float
+
+    def as_flat_dict(self) -> dict[str, float]:
+        """Scalar metrics, lower = better (checkpoint-selection input)."""
+        return {
+            "violation_events": self.violations.event_rate,
+            "violation_streams": self.violations.stream_rate,
+            "sojourn_connected": self.sojourn.connected,
+            "sojourn_idle": self.sojourn.idle,
+            "flow_length_all": self.flow_length.all_events,
+            "avg_breakdown_diff": self.avg_breakdown_diff,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (Table 8 / Table 10 style)."""
+        lines = [
+            f"violations    events {self.violations.event_rate:8.4%}   "
+            f"streams {self.violations.stream_rate:7.2%}",
+            f"sojourn max-y CONN   {self.sojourn.connected:8.2%}   "
+            f"IDLE    {self.sojourn.idle:7.2%}",
+            f"flow length   all    {self.flow_length.all_events:8.2%}",
+            f"breakdown     avg    {self.avg_breakdown_diff:8.4%}",
+        ]
+        return "\n".join(lines)
+
+
+def fidelity_report(
+    real: TraceDataset,
+    synthesized: TraceDataset,
+    spec: MachineSpec = LTE_SPEC,
+    dominant_events: tuple[str, ...] = ("SRV_REQ", "S1_CONN_REL"),
+) -> FidelityReport:
+    """Compute every fidelity metric of ``synthesized`` against ``real``."""
+    return FidelityReport(
+        violations=violation_stats(synthesized, spec),
+        sojourn=compare_sojourns(real, synthesized, spec),
+        flow_length=compare_flow_lengths(real, synthesized, dominant_events),
+        breakdown_diff=breakdown_difference(real, synthesized),
+        avg_breakdown_diff=average_breakdown_difference(real, synthesized),
+    )

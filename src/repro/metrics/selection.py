@@ -1,0 +1,61 @@
+"""Checkpoint selection by fidelity ranking (§5.5's heuristic).
+
+GAN losses do not track sample quality, so the paper compares training
+times fairly by checkpointing every N epochs, computing fidelity metrics
+per checkpoint against a validation trace, ranking checkpoints per
+metric, summing ranks, keeping the best 20% and picking the earliest —
+i.e. "training stops when fidelity metrics show diminishing returns".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Checkpoint", "select_checkpoint"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A checkpoint's position in training and its fidelity metrics.
+
+    ``metrics`` maps metric name to value, lower = better (all the
+    paper's fidelity metrics are "smaller is more faithful").
+    """
+
+    index: int
+    wall_time_seconds: float
+    metrics: dict[str, float]
+
+
+def select_checkpoint(
+    checkpoints: list[Checkpoint], keep_fraction: float = 0.2
+) -> Checkpoint:
+    """Pick the earliest checkpoint among the best ``keep_fraction``.
+
+    Raises ``ValueError`` on empty input or inconsistent metric keys.
+    """
+    if not checkpoints:
+        raise ValueError("no checkpoints to select from")
+    keys = sorted(checkpoints[0].metrics)
+    for checkpoint in checkpoints:
+        if sorted(checkpoint.metrics) != keys:
+            raise ValueError(
+                "checkpoints must share the same metric keys; "
+                f"expected {keys}, got {sorted(checkpoint.metrics)}"
+            )
+
+    # Rank per metric (1 = best), then sum ranks per checkpoint.
+    totals = np.zeros(len(checkpoints))
+    for key in keys:
+        values = np.array([c.metrics[key] for c in checkpoints])
+        order = np.argsort(values, kind="stable")
+        ranks = np.empty(len(checkpoints))
+        ranks[order] = np.arange(1, len(checkpoints) + 1)
+        totals += ranks
+
+    keep = max(1, int(np.ceil(len(checkpoints) * keep_fraction)))
+    best = np.argsort(totals, kind="stable")[:keep]
+    earliest = min(best, key=lambda i: checkpoints[i].index)
+    return checkpoints[earliest]

@@ -1,0 +1,63 @@
+"""``repro.nn`` — a from-scratch neural-network substrate on numpy.
+
+The paper implements CPT-GPT in PyTorch; this environment has no torch,
+so the package provides the minimal-but-complete pieces both CPT-GPT and
+the NetShare GAN baseline need: a reverse-mode autograd engine, linear /
+layer-norm / attention / transformer-decoder / LSTM layers, Adam and SGD
+optimizers, and the three loss families used in the paper (cross-entropy,
+Gaussian NLL, binary cross-entropy).
+"""
+
+from .attention import MultiHeadSelfAttention
+from .functional import causal_mask, log_softmax, one_hot, softmax, softplus
+from .layers import (
+    MLP,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+)
+from .losses import bce_with_logits, cross_entropy, gaussian_nll, mse
+from .lstm import LSTM, LSTMCell
+from .optim import SGD, Adam, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .transformer import DecoderBlock, TransformerDecoder
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "concatenate",
+    "stack",
+    "where",
+    "softmax",
+    "log_softmax",
+    "softplus",
+    "one_hot",
+    "causal_mask",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "DecoderBlock",
+    "TransformerDecoder",
+    "LSTM",
+    "LSTMCell",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cross_entropy",
+    "gaussian_nll",
+    "bce_with_logits",
+    "mse",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,81 @@
+"""Multi-head self-attention with causal masking.
+
+This is the core of the CPT-GPT decoder (§4.3 of the paper): attention
+lets the model capture dependencies between control events regardless of
+their distance in the stream, which LSTMs struggle with (the paper's L4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+from .layers import Dropout, Linear, Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Causal multi-head self-attention over ``(batch, time, d_model)``.
+
+    Parameters
+    ----------
+    d_model:
+        Attention hidden size (the paper's ``d_model``).
+    num_heads:
+        Number of attention heads; must divide ``d_model``.
+    rng:
+        Source of initialization randomness.
+    dropout:
+        Dropout probability applied to attention weights and output.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(
+                f"d_model ({d_model}) must be divisible by num_heads ({num_heads})"
+            )
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.qkv = Linear(d_model, 3 * d_model, rng)
+        self.out = Linear(d_model, d_model, rng)
+        self.attn_dropout = Dropout(dropout, rng)
+        self.out_dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Apply attention.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, time, d_model)``.
+        mask:
+            Additive attention mask broadcastable to
+            ``(batch, heads, time, time)``; typically the causal mask from
+            :func:`repro.nn.functional.causal_mask`.
+        """
+        batch, time, _ = x.shape
+        qkv = self.qkv(x)  # (B, T, 3*D)
+        qkv = qkv.reshape((batch, time, 3, self.num_heads, self.head_dim))
+        qkv = qkv.transpose((2, 0, 3, 1, 4))  # (3, B, H, T, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose((0, 1, 3, 2))) * scale  # (B, H, T, T)
+        if mask is not None:
+            scores = scores + mask
+        weights = softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+
+        context = weights @ v  # (B, H, T, hd)
+        context = context.transpose((0, 2, 1, 3)).reshape((batch, time, self.d_model))
+        return self.out_dropout(self.out(context))

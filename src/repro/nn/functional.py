@@ -1,0 +1,72 @@
+"""Composite differentiable functions built from :mod:`repro.nn.tensor`.
+
+These are the numerically-careful building blocks shared by the models:
+stable softmax / log-softmax, one-hot encoding and causal masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "causal_mask",
+    "softplus",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    The max subtraction uses a detached tensor: the subtraction of a
+    constant does not change the mathematical gradient of softmax.
+    """
+    x = as_tensor(x)
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softplus(x: Tensor) -> Tensor:
+    """Stable ``log(1 + exp(x))``; used to keep predicted scales positive."""
+    x = as_tensor(x)
+    # softplus(x) = max(x, 0) + log1p(exp(-|x|)); build it from primitives.
+    return x.relu() + ((-x.abs()).exp() + 1.0).log()
+
+
+def one_hot(indices: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """One-hot encode an integer array into ``(*indices.shape, num_classes)``.
+
+    Returns a plain ndarray: encodings are model *inputs* and never need
+    gradients.
+    """
+    indices = np.asarray(indices)
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError(
+            f"indices must lie in [0, {num_classes}); "
+            f"got range [{indices.min()}, {indices.max()}]"
+        )
+    out = np.zeros(indices.shape + (num_classes,), dtype=dtype)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive causal attention mask of shape ``(length, length)``.
+
+    Entry ``(i, j)`` is ``0`` when ``j <= i`` (token *i* may attend to *j*)
+    and ``-inf``-like (a large negative constant) otherwise.
+    """
+    mask = np.triu(np.full((length, length), -1e9), k=1)
+    return mask

@@ -1,0 +1,230 @@
+"""Neural-network layers: Module base class, Linear, LayerNorm, MLP.
+
+The :class:`Module` container mirrors the familiar torch API at a small
+scale: named parameters, sub-module registration, ``state_dict`` /
+``load_state_dict``, and train/eval mode switching (used by Dropout).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "LayerNorm", "Dropout", "Sequential", "MLP"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is always trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters are discovered through attribute
+    assignment, exactly like torch's ``nn.Module``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module and its children."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper quotes 725K for CPT-GPT)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # Mode switching
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every named parameter's data."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters in-place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with ``W`` stored ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_std: float | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if init_std is None:
+            weight = init.xavier_uniform((in_features, out_features), rng)
+        else:
+            weight = init.normal((in_features, out_features), rng, std=init_std)
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim))
+        self.shift = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout; identity when ``p == 0`` or in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = self._rng.random(x.shape) < keep
+        return x * (mask.astype(np.float64) / keep)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+
+class MLP(Module):
+    """Two-layer perceptron head: ``Linear -> activation -> Linear``.
+
+    CPT-GPT attaches one such head per output field (event type,
+    interarrival time, stop flag) after the final attention block.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "gelu",
+    ) -> None:
+        super().__init__()
+        if activation not in ("gelu", "relu", "tanh"):
+            raise ValueError(f"unsupported activation: {activation!r}")
+        self.fc1 = Linear(in_features, hidden, rng)
+        self.fc2 = Linear(hidden, out_features, rng)
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        if self.activation == "gelu":
+            hidden = hidden.gelu()
+        elif self.activation == "relu":
+            hidden = hidden.relu()
+        else:
+            hidden = hidden.tanh()
+        return self.fc2(hidden)

@@ -1,0 +1,107 @@
+"""Loss functions.
+
+CPT-GPT trains with a weighted sum of:
+
+* cross-entropy for categorical fields (event type, stop flag), and
+* Gaussian negative log-likelihood for the numerical field (interarrival
+  time), whose head predicts a mean and a standard deviation (Design 2).
+
+The NetShare GAN baseline additionally uses binary cross-entropy with
+logits for its discriminator.  All losses support an optional boolean
+mask so that padded positions in a batch of variable-length streams do
+not contribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, softplus
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "gaussian_nll",
+    "bce_with_logits",
+    "mse",
+]
+
+
+def _masked_mean(values: Tensor, mask: np.ndarray | None) -> Tensor:
+    """Mean of ``values`` over positions where ``mask`` is True."""
+    if mask is None:
+        return values.mean()
+    mask = np.asarray(mask, dtype=np.float64)
+    count = float(mask.sum())
+    if count == 0:
+        raise ValueError("loss mask selects zero positions")
+    return (values * mask).sum() / count
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., num_classes)``.
+    targets:
+        Integer array of shape ``(...)``.
+    mask:
+        Optional boolean array of shape ``(...)``; False positions are
+        excluded from the mean.
+    """
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    num_classes = logits.shape[-1]
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError(
+            f"targets must lie in [0, {num_classes}); got max {targets.max()}"
+        )
+    gather = np.zeros(logits.shape, dtype=np.float64)
+    np.put_along_axis(gather, targets[..., None], 1.0, axis=-1)
+    picked = (log_probs * gather).sum(axis=-1)
+    return -_masked_mean(picked, mask)
+
+
+def gaussian_nll(
+    mean: Tensor,
+    raw_scale: Tensor,
+    targets: np.ndarray,
+    mask: np.ndarray | None = None,
+    min_scale: float = 1e-3,
+) -> Tensor:
+    """Gaussian negative log-likelihood with a learned scale.
+
+    ``raw_scale`` is unconstrained; it is mapped through softplus (plus a
+    floor) so that the predicted standard deviation stays positive, which
+    keeps the NLL well-defined throughout training.
+    """
+    targets = as_tensor(np.asarray(targets, dtype=np.float64))
+    scale = softplus(raw_scale) + min_scale
+    var = scale * scale
+    diff = targets - mean
+    nll = 0.5 * (var.log() + diff * diff / var + np.log(2.0 * np.pi))
+    return _masked_mean(nll, mask)
+
+
+def bce_with_logits(
+    logits: Tensor, targets: np.ndarray, mask: np.ndarray | None = None
+) -> Tensor:
+    """Binary cross-entropy on logits, the GAN discriminator loss.
+
+    Uses the numerically stable form
+    ``max(x, 0) - x * y + log(1 + exp(-|x|))``.
+    """
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    loss = logits.relu() - logits * targets_arr + ((-logits.abs()).exp() + 1.0).log()
+    return _masked_mean(loss, mask)
+
+
+def mse(pred: Tensor, targets: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+    """Mean squared error; used by the no-distribution-head ablation."""
+    targets = as_tensor(np.asarray(targets, dtype=np.float64))
+    diff = pred - targets
+    return _masked_mean(diff * diff, mask)

@@ -1,0 +1,115 @@
+"""LSTM layers for the NetShare baseline generator.
+
+DoppelGANger/NetShare generate traffic with an LSTM inside a GAN
+(§4.2 of the paper).  The cell follows the standard formulation with a
+single fused input/hidden projection; sequences are unrolled in Python,
+which is exactly the sequential bottleneck the paper's L3/L4 describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Linear, Module, Parameter
+from .tensor import Tensor, concatenate, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step.
+
+    Gate layout in the fused projection: input, forget, cell, output.
+    The forget-gate bias is initialized to one, the standard trick that
+    stabilizes early training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight = Parameter(
+            init.xavier_uniform((input_size + hidden_size, 4 * hidden_size), rng)
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
+        """Advance one step.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        state:
+            Tuple ``(h, c)`` each of shape ``(batch, hidden_size)``.
+
+        Returns
+        -------
+        The new ``(h, c)`` state.
+        """
+        h_prev, c_prev = state
+        fused = concatenate([x, h_prev], axis=-1) @ self.weight + self.bias
+        hs = self.hidden_size
+        i_gate = fused[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = fused[:, 1 * hs : 2 * hs].sigmoid()
+        g_cell = fused[:, 2 * hs : 3 * hs].tanh()
+        o_gate = fused[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_cell
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unrolled (optionally stacked) LSTM over ``(batch, time, input)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        num_layers: int = 1,
+    ) -> None:
+        super().__init__()
+        self.num_layers = num_layers
+        self.hidden_size = hidden_size
+        self.cells: list[LSTMCell] = []
+        for i in range(num_layers):
+            cell = LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng)
+            setattr(self, f"cell{i}", cell)
+            self.cells.append(cell)
+
+    def forward(
+        self,
+        x: Tensor,
+        states: list[tuple[Tensor, Tensor]] | None = None,
+    ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Run the full sequence.
+
+        Returns
+        -------
+        outputs:
+            Hidden states of the top layer, shape ``(batch, time, hidden)``.
+        states:
+            Final ``(h, c)`` per layer, for incremental generation.
+        """
+        batch, time, _ = x.shape
+        if states is None:
+            states = [cell.initial_state(batch) for cell in self.cells]
+        outputs: list[Tensor] = []
+        for t in range(time):
+            step = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(step, states[layer])
+                states[layer] = (h, c)
+                step = h
+            outputs.append(step)
+        return stack(outputs, axis=1), states

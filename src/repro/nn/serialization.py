@@ -1,0 +1,47 @@
+"""Checkpoint (de)serialization for :class:`repro.nn.layers.Module`.
+
+Checkpoints are ``.npz`` archives holding every named parameter plus a
+JSON metadata blob (model configuration, training provenance).  The
+paper's operational model (Figure 4) packages trained weights together
+with the initial-event-type distribution for public release; metadata is
+where that distribution travels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_METADATA_KEY = "__metadata__"
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Write ``module``'s parameters and optional JSON metadata to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = module.state_dict()
+    if _METADATA_KEY in arrays:
+        raise ValueError(f"parameter name {_METADATA_KEY!r} is reserved")
+    payload = dict(arrays)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load parameters into ``module`` in-place; returns the metadata dict."""
+    path = Path(path)
+    with np.load(path) as archive:
+        metadata_bytes = archive[_METADATA_KEY].tobytes()
+        state = {
+            name: archive[name] for name in archive.files if name != _METADATA_KEY
+        }
+    module.load_state_dict(state)
+    return json.loads(metadata_bytes.decode("utf-8"))

@@ -1,0 +1,609 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the foundation of the ``repro.nn`` substrate.  The public
+surface is a single class, :class:`Tensor`, which wraps a ``numpy.ndarray``
+and records the operations applied to it so that :meth:`Tensor.backward`
+can propagate gradients to every reachable leaf.
+
+The engine is intentionally small but complete enough to train the models
+this repository needs: a decoder-only transformer (CPT-GPT) and an
+LSTM-based GAN (the NetShare baseline).  Supported differentiable
+operations include broadcasting arithmetic, batched matrix multiplication,
+reductions, shape manipulation, slicing/gather, concatenation and the
+non-linearities used by the models.
+
+Gradient correctness for every primitive is verified against central
+finite differences in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+# Global switch used by ``no_grad`` to disable graph construction during
+# inference.  Inference of autoregressive models runs many thousands of
+# forward passes; skipping graph bookkeeping there matters.
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking.
+
+    Mirrors ``torch.no_grad``: inside the ``with`` block, every operation
+    produces tensors with ``requires_grad=False`` and records no graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    Numpy broadcasting implicitly expands operands; the corresponding
+    gradient must be summed over the expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size one.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, dtype=None) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``numpy.ndarray`` (``float64`` data
+        is preserved; everything else is converted with ``np.asarray``).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node if grad tracking is on, else a plain tensor."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Each op's ``_backward_fn`` receives the upstream gradient and
+        returns per-parent gradients; ``backward`` walks the graph in
+        reverse topological order routing those gradients until every
+        reachable leaf with ``requires_grad`` has its ``.grad`` populated.
+
+        Parameters
+        ----------
+        grad:
+            Incoming gradient.  Defaults to ones (the common case of a
+            scalar loss calling ``backward()`` with no argument).
+        """
+        _backward_impl(self, grad)
+
+
+def _toposort(root: Tensor) -> list[Tensor]:
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def _backward_impl(self: Tensor, grad: np.ndarray | None = None) -> None:
+    if grad is None:
+        grad = np.ones_like(self.data, dtype=self.data.dtype)
+    else:
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+    order = _toposort(self)
+    grads: dict[int, np.ndarray] = {id(self): grad}
+
+    for node in reversed(order):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node._backward_fn is None:
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            continue
+        parent_grads = node._backward_fn(node_grad)
+        for parent, pgrad in zip(node._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+        # Release references so big intermediates free early.
+        node._backward_fn = None
+        node._parents = ()
+
+
+# ----------------------------------------------------------------------
+# Primitive operations
+# ----------------------------------------------------------------------
+def _add(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _sub(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data - b.data
+
+    def backward(grad: np.ndarray):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _mul(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(grad * b.data, a.shape),
+            _unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _div(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data / b.data
+
+    def backward(grad: np.ndarray):
+        ga = grad / b.data
+        gb = -grad * a.data / (b.data * b.data)
+        return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _matmul(a: Tensor, b: Tensor) -> Tensor:
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        ga = gb = None
+        if a.requires_grad:
+            if b.ndim == 1:
+                # (..., n) @ (n,) -> (...): grad has shape (...)
+                ga = grad[..., None] * b.data
+            else:
+                ga = grad @ np.swapaxes(b.data, -1, -2)
+                ga = _unbroadcast(ga, a.shape)
+        if b.requires_grad:
+            if a.ndim == 1:
+                gb = a.data[:, None] * grad
+            else:
+                gb = np.swapaxes(a.data, -1, -2) @ grad
+                gb = _unbroadcast(gb, b.shape)
+        return (ga, gb)
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _pow(a: Tensor, exponent: float) -> Tensor:
+    data = a.data**exponent
+
+    def backward(grad: np.ndarray):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _neg(a: Tensor) -> Tensor:
+    def backward(grad: np.ndarray):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def _exp(a: Tensor) -> Tensor:
+    data = np.exp(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * data,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _log(a: Tensor) -> Tensor:
+    data = np.log(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad / a.data,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _sqrt(a: Tensor) -> Tensor:
+    data = np.sqrt(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * 0.5 / data,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _tanh(a: Tensor) -> Tensor:
+    data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - data * data),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _sigmoid(a: Tensor) -> Tensor:
+    # Numerically stable logistic.
+    data = np.where(
+        a.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60))),
+        np.exp(np.clip(a.data, -60, 60)) / (1.0 + np.exp(np.clip(a.data, -60, 60))),
+    )
+
+    def backward(grad: np.ndarray):
+        return (grad * data * (1.0 - data),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+    data = np.where(mask, a.data, 0.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def _gelu(a: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    data = 0.5 * x * (1.0 + t)
+
+    def backward(grad: np.ndarray):
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+        dt = (1.0 - t * t) * dinner
+        return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        return (np.broadcast_to(g, a.shape).astype(a.data.dtype, copy=False),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.shape[ax] for ax in axis]))
+    else:
+        count = a.shape[axis]
+
+    def backward(grad: np.ndarray):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        g = np.broadcast_to(g, a.shape).astype(a.data.dtype, copy=False)
+        return (g / count,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = grad
+        d = data
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+            d = np.expand_dims(d, axis=axis)
+        mask = (a.data == d).astype(a.data.dtype)
+        # Split gradient equally among ties (matches subgradient choice).
+        mask /= mask.sum(axis=axis, keepdims=True)
+        return (mask * g,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(a.shape),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _transpose(a: Tensor, axes: tuple[int, ...] | None) -> Tensor:
+    data = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = tuple(np.argsort(axes))
+
+    def backward(grad: np.ndarray):
+        return (grad.transpose(inverse),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _getitem(a: Tensor, index) -> Tensor:
+    data = a.data[index]
+
+    def backward(grad: np.ndarray):
+        out = np.zeros_like(a.data)
+        np.add.at(out, index, grad)
+        return (out,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _concatenate(tensors: Sequence[Tensor], axis: int) -> Tensor:
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        grads = []
+        for i in range(len(tensors)):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def _stack(tensors: Sequence[Tensor], axis: int) -> Tensor:
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def _where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        ga = _unbroadcast(np.where(cond, grad, 0.0), a.shape)
+        gb = _unbroadcast(np.where(cond, 0.0, grad), b.shape)
+        return (ga, gb)
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def _abs(a: Tensor) -> Tensor:
+    data = np.abs(a.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def _clip(a: Tensor, low: float | None, high: float | None) -> Tensor:
+    data = np.clip(a.data, low, high)
+    mask = np.ones_like(a.data, dtype=bool)
+    if low is not None:
+        mask &= a.data >= low
+    if high is not None:
+        mask &= a.data <= high
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return Tensor._make(data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Operator bindings
+# ----------------------------------------------------------------------
+def _binary(op):
+    def bound(self: Tensor, other) -> Tensor:
+        return op(self, as_tensor(other, dtype=self.dtype))
+
+    return bound
+
+
+def _rbinary(op):
+    def bound(self: Tensor, other) -> Tensor:
+        return op(as_tensor(other, dtype=self.dtype), self)
+
+    return bound
+
+
+Tensor.__add__ = _binary(_add)
+Tensor.__radd__ = _rbinary(_add)
+Tensor.__sub__ = _binary(_sub)
+Tensor.__rsub__ = _rbinary(_sub)
+Tensor.__mul__ = _binary(_mul)
+Tensor.__rmul__ = _rbinary(_mul)
+Tensor.__truediv__ = _binary(_div)
+Tensor.__rtruediv__ = _rbinary(_div)
+Tensor.__matmul__ = _binary(_matmul)
+Tensor.__neg__ = _neg
+Tensor.__pow__ = _pow
+Tensor.__getitem__ = _getitem
+
+Tensor.exp = _exp
+Tensor.log = _log
+Tensor.sqrt = _sqrt
+Tensor.tanh = _tanh
+Tensor.sigmoid = _sigmoid
+Tensor.relu = _relu
+Tensor.gelu = _gelu
+Tensor.abs = _abs
+Tensor.sum = _sum
+Tensor.mean = _mean
+Tensor.max = _max
+Tensor.reshape = _reshape
+
+
+def _transpose_method(self: Tensor, *axes) -> Tensor:
+    if not axes:
+        return _transpose(self, None)
+    if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+        return _transpose(self, tuple(axes[0]))
+    return _transpose(self, axes)
+
+
+def _clip_method(self: Tensor, low=None, high=None) -> Tensor:
+    return _clip(self, low, high)
+
+
+Tensor.transpose = _transpose_method
+Tensor.clip = _clip_method
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate`` over :class:`Tensor` inputs."""
+    return _concatenate(list(tensors), axis)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack`` over :class:`Tensor` inputs."""
+    return _stack(list(tensors), axis)
+
+
+def where(condition, a, b) -> Tensor:
+    """Differentiable ``np.where`` (condition is non-differentiable)."""
+    return _where(condition, as_tensor(a), as_tensor(b))
+
+
+__all__ += ["concatenate", "stack", "where"]

@@ -1,0 +1,109 @@
+"""Decoder-only transformer backbone (GPT-style).
+
+CPT-GPT (Figure 3 of the paper) replaces the NLP embedding table with a
+linear projection from the multi-modal token space (``d_token = 9``) to
+``d_model``, adds learned positional embeddings, stacks pre-norm decoder
+blocks, and exposes the final hidden states to per-field MLP heads.
+The backbone here implements everything up to the hidden states; heads
+live with the model in :mod:`repro.core.model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .attention import MultiHeadSelfAttention
+from .functional import causal_mask
+from .layers import Dropout, LayerNorm, Linear, Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["DecoderBlock", "TransformerDecoder"]
+
+
+class DecoderBlock(Module):
+    """Pre-norm transformer decoder block: attention + position-wise MLP."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(d_model)
+        self.attn = MultiHeadSelfAttention(d_model, num_heads, rng, dropout)
+        self.norm2 = LayerNorm(d_model)
+        self.ff1 = Linear(d_model, d_ff, rng)
+        self.ff2 = Linear(d_ff, d_model, rng)
+        self.ff_dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), mask)
+        hidden = self.ff2(self.ff1(self.norm2(x)).gelu())
+        return x + self.ff_dropout(hidden)
+
+
+class TransformerDecoder(Module):
+    """Stack of causal decoder blocks over linearly-projected tokens.
+
+    Parameters
+    ----------
+    d_token:
+        Dimension of the raw multi-modal tokens (9 for CPT-GPT: 6-way
+        one-hot event type + 1 interarrival + 2-way stop flag).
+    d_model:
+        Attention hidden size.
+    num_layers / num_heads / d_ff:
+        Standard transformer hyperparameters.
+    max_len:
+        Maximum sequence length for the learned positional embedding.
+    """
+
+    def __init__(
+        self,
+        d_token: int,
+        d_model: int,
+        num_layers: int,
+        num_heads: int,
+        d_ff: int,
+        max_len: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.d_token = d_token
+        self.d_model = d_model
+        self.max_len = max_len
+        self.input_proj = Linear(d_token, d_model, rng)
+        self.positional = Parameter(init.normal((max_len, d_model), rng, std=0.02))
+        self.blocks: list[DecoderBlock] = []
+        for i in range(num_layers):
+            block = DecoderBlock(d_model, num_heads, d_ff, rng, dropout)
+            setattr(self, f"block{i}", block)
+            self.blocks.append(block)
+        self.final_norm = LayerNorm(d_model)
+        self.embed_dropout = Dropout(dropout, rng)
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        """Map ``(batch, time, d_token)`` tokens to hidden states.
+
+        Returns the ``(batch, time, d_model)`` hidden-state sequence after
+        the final layer norm; position ``t`` encodes the prefix up to and
+        including token ``t`` (causal masking).
+        """
+        batch, time, d_token = tokens.shape
+        if d_token != self.d_token:
+            raise ValueError(f"expected token dim {self.d_token}, got {d_token}")
+        if time > self.max_len:
+            raise ValueError(
+                f"sequence length {time} exceeds positional table ({self.max_len})"
+            )
+        x = self.input_proj(tokens) + self.positional[:time]
+        x = self.embed_dropout(x)
+        mask = causal_mask(time)
+        for block in self.blocks:
+            x = block(x, mask)
+        return self.final_norm(x)

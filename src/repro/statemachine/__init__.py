@@ -1,0 +1,67 @@
+"""``repro.statemachine`` — 3GPP UE state machines and the replay engine.
+
+The two-level hierarchical machines of Figure 1 (4G and 5G), expressed
+as declarative transition tables, plus the replay procedure (§5.2.1)
+that the fidelity metrics use to count semantic violations and extract
+sojourn times.  The *generators* in this repository that rely on this
+domain knowledge are the ground-truth trace simulator and the SMM
+baselines; CPT-GPT itself never imports these rules.
+"""
+
+from .base import MachineSpec, MachineState, StateMachine
+from .events import (
+    AN_REL,
+    ATCH,
+    DEREGISTER,
+    DTCH,
+    HO,
+    LTE_EVENTS,
+    NR_EVENTS,
+    REGISTER,
+    S1_CONN_REL,
+    SRV_REQ,
+    TAU,
+    EventVocabulary,
+)
+from .lte import CONNECTED, DEREGISTERED, IDLE, LTE_SPEC, make_lte_machine
+from .nr import CM_CONNECTED, CM_IDLE, NR_SPEC, RM_DEREGISTERED, make_nr_machine
+from .replay import (
+    DatasetReplay,
+    StreamReplay,
+    ViolationRecord,
+    replay_dataset,
+    replay_events,
+)
+
+__all__ = [
+    "EventVocabulary",
+    "LTE_EVENTS",
+    "NR_EVENTS",
+    "ATCH",
+    "DTCH",
+    "SRV_REQ",
+    "S1_CONN_REL",
+    "HO",
+    "TAU",
+    "REGISTER",
+    "DEREGISTER",
+    "AN_REL",
+    "MachineSpec",
+    "MachineState",
+    "StateMachine",
+    "LTE_SPEC",
+    "NR_SPEC",
+    "DEREGISTERED",
+    "CONNECTED",
+    "IDLE",
+    "RM_DEREGISTERED",
+    "CM_CONNECTED",
+    "CM_IDLE",
+    "make_lte_machine",
+    "make_nr_machine",
+    "ViolationRecord",
+    "StreamReplay",
+    "DatasetReplay",
+    "replay_events",
+    "replay_dataset",
+]

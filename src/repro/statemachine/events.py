@@ -1,0 +1,84 @@
+"""Control-plane event vocabularies for 4G (LTE) and 5G (NR).
+
+Table 1 of the paper lists the primary control-plane events.  Models in
+this repository never see these names — they operate on categorical
+indices — but the evaluation harness needs the vocabulary to replay
+streams against the 3GPP state machines and to report per-event-type
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EventVocabulary",
+    "LTE_EVENTS",
+    "NR_EVENTS",
+    "ATCH",
+    "DTCH",
+    "SRV_REQ",
+    "S1_CONN_REL",
+    "HO",
+    "TAU",
+    "REGISTER",
+    "DEREGISTER",
+    "AN_REL",
+]
+
+# 4G event names (Table 1, left column).
+ATCH = "ATCH"
+DTCH = "DTCH"
+SRV_REQ = "SRV_REQ"
+S1_CONN_REL = "S1_CONN_REL"
+HO = "HO"
+TAU = "TAU"
+
+# 5G replacements (Table 1, right column); SRV_REQ and HO are shared.
+REGISTER = "REGISTER"
+DEREGISTER = "DEREGISTER"
+AN_REL = "AN_REL"
+
+
+@dataclass(frozen=True)
+class EventVocabulary:
+    """Bidirectional mapping between event names and categorical indices.
+
+    The index order is fixed at construction; tokenizers one-hot encode
+    against ``len(vocabulary)`` classes.
+    """
+
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate event names: {self.names}")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def __iter__(self):
+        return iter(self.names)
+
+    def index(self, name: str) -> int:
+        """Index of ``name``; raises ``KeyError`` for unknown events."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown event {name!r}; vocabulary: {self.names}")
+
+    def name(self, index: int) -> str:
+        """Name at ``index``; raises ``IndexError`` when out of range."""
+        if not 0 <= index < len(self.names):
+            raise IndexError(f"event index {index} outside [0, {len(self.names)})")
+        return self.names[index]
+
+
+#: 4G vocabulary — six event types, giving CPT-GPT's d_token = 6 + 1 + 2 = 9.
+LTE_EVENTS = EventVocabulary((ATCH, DTCH, SRV_REQ, S1_CONN_REL, HO, TAU))
+
+#: 5G vocabulary — TAU does not exist in 5G (Figure 1b).
+NR_EVENTS = EventVocabulary((REGISTER, DEREGISTER, SRV_REQ, AN_REL, HO))

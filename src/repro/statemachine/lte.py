@@ -1,0 +1,102 @@
+"""The 4G (LTE) two-level hierarchical UE state machine of Figure 1a.
+
+Top level merges the EMM and ECM machines into three states —
+``DEREGISTERED``, ``CONNECTED`` and ``IDLE``.  Sub-states record the
+event that brought the UE into the top-level state, which is what the
+paper's violation reports name (e.g. ``S1_REL_S, HO`` — a handover
+attempted while idle after a connection release).
+
+Interpretation choices (documented in DESIGN.md §5): entering ``IDLE``
+via ``S1_CONN_REL`` lands in ``S1_REL_S_1`` when released from a
+service-request/attach/TAU connection and in ``S1_REL_S_2`` when
+released from a handover, matching the two release sub-states the
+figure draws.
+"""
+
+from __future__ import annotations
+
+from .base import MachineSpec, MachineState, StateMachine
+from .events import ATCH, DTCH, HO, LTE_EVENTS, S1_CONN_REL, SRV_REQ, TAU
+
+__all__ = [
+    "DEREGISTERED",
+    "CONNECTED",
+    "IDLE",
+    "LTE_SPEC",
+    "make_lte_machine",
+]
+
+# Top-level states.
+DEREGISTERED = "DEREGISTERED"
+CONNECTED = "CONNECTED"
+IDLE = "IDLE"
+
+# Sub-states (bottom level of Figure 1a).
+_DEREG_S = "DEREG_S"
+_ATCH_S = "ATCH_S"
+_SRV_REQ_S = "SRV_REQ_S"
+_HO_S = "HO_S"
+_TAU_S_CONN = "TAU_S_CONN"
+_S1_REL_S_1 = "S1_REL_S_1"
+_S1_REL_S_2 = "S1_REL_S_2"
+_TAU_S_IDLE = "TAU_S_IDLE"
+
+LTE_SPEC = MachineSpec(
+    name="4G",
+    vocabulary=LTE_EVENTS,
+    top_states=(DEREGISTERED, CONNECTED, IDLE),
+    sub_states={
+        DEREGISTERED: (_DEREG_S,),
+        CONNECTED: (_ATCH_S, _SRV_REQ_S, _HO_S, _TAU_S_CONN),
+        IDLE: (_S1_REL_S_1, _S1_REL_S_2, _TAU_S_IDLE),
+    },
+    transitions={
+        # Registration.
+        (DEREGISTERED, ATCH): (CONNECTED, _ATCH_S),
+        # Detach is legal from both registered top-level states.
+        (CONNECTED, DTCH): (DEREGISTERED, _DEREG_S),
+        (IDLE, DTCH): (DEREGISTERED, _DEREG_S),
+        # Connection release: the landing sub-state depends on how the
+        # connection was being used (Figure 1a's S1_REL_S_1 / S1_REL_S_2).
+        (CONNECTED, S1_CONN_REL): (
+            IDLE,
+            {
+                _ATCH_S: _S1_REL_S_1,
+                _SRV_REQ_S: _S1_REL_S_1,
+                _TAU_S_CONN: _S1_REL_S_1,
+                _HO_S: _S1_REL_S_2,
+            },
+        ),
+        # Mobility while connected.
+        (CONNECTED, HO): (CONNECTED, _HO_S),
+        (CONNECTED, TAU): (CONNECTED, _TAU_S_CONN),
+        # Idle-mode activity.
+        (IDLE, SRV_REQ): (CONNECTED, _SRV_REQ_S),
+        (IDLE, TAU): (IDLE, _TAU_S_IDLE),
+    },
+    # §5.2.1: ATCH, DTCH, SRV_REQ and HO have deterministic destinations
+    # regardless of source state, so they bootstrap the replay.
+    bootstrap_events={
+        ATCH: (CONNECTED, _ATCH_S),
+        DTCH: (DEREGISTERED, _DEREG_S),
+        SRV_REQ: (CONNECTED, _SRV_REQ_S),
+        HO: (CONNECTED, _HO_S),
+    },
+    connected_state=CONNECTED,
+    idle_state=IDLE,
+    initial=MachineState(DEREGISTERED, _DEREG_S),
+)
+
+
+def make_lte_machine(bootstrapped: bool = False) -> StateMachine:
+    """Create a fresh 4G machine.
+
+    Parameters
+    ----------
+    bootstrapped:
+        When False (the replay default) the machine starts with an
+        *undetermined* state and must be bootstrapped from the stream;
+        when True it starts in ``DEREGISTERED`` (the generation default).
+    """
+    state = LTE_SPEC.initial if bootstrapped else None
+    return StateMachine(LTE_SPEC, state)

@@ -1,0 +1,66 @@
+"""The 5G (NR) two-level hierarchical UE state machine of Figure 1b.
+
+Compared with 4G: ``TAU`` (and its states/transitions) disappears, and
+``ATCH``/``DTCH``/``S1_CONN_REL`` are renamed ``REGISTER``/``DEREGISTER``
+/``AN_REL``.  The machine is otherwise the same shape — which is exactly
+the paper's argument about domain knowledge: every generation requires a
+hand-re-derived machine for SMM, while CPT-GPT consumes either trace
+unchanged.
+"""
+
+from __future__ import annotations
+
+from .base import MachineSpec, MachineState, StateMachine
+from .events import AN_REL, DEREGISTER, HO, NR_EVENTS, REGISTER, SRV_REQ
+
+__all__ = [
+    "RM_DEREGISTERED",
+    "CM_CONNECTED",
+    "CM_IDLE",
+    "NR_SPEC",
+    "make_nr_machine",
+]
+
+RM_DEREGISTERED = "RM-DEREGISTERED"
+CM_CONNECTED = "CM-CONNECTED"
+CM_IDLE = "CM-IDLE"
+
+_DEREG_S = "DEREG_S"
+_REG_S = "REG_S"
+_SRV_REQ_S = "SRV_REQ_S"
+_HO_S = "HO_S"
+_AN_REL_S = "AN_REL_S"
+
+NR_SPEC = MachineSpec(
+    name="5G",
+    vocabulary=NR_EVENTS,
+    top_states=(RM_DEREGISTERED, CM_CONNECTED, CM_IDLE),
+    sub_states={
+        RM_DEREGISTERED: (_DEREG_S,),
+        CM_CONNECTED: (_REG_S, _SRV_REQ_S, _HO_S),
+        CM_IDLE: (_AN_REL_S,),
+    },
+    transitions={
+        (RM_DEREGISTERED, REGISTER): (CM_CONNECTED, _REG_S),
+        (CM_CONNECTED, DEREGISTER): (RM_DEREGISTERED, _DEREG_S),
+        (CM_IDLE, DEREGISTER): (RM_DEREGISTERED, _DEREG_S),
+        (CM_CONNECTED, AN_REL): (CM_IDLE, _AN_REL_S),
+        (CM_CONNECTED, HO): (CM_CONNECTED, _HO_S),
+        (CM_IDLE, SRV_REQ): (CM_CONNECTED, _SRV_REQ_S),
+    },
+    bootstrap_events={
+        REGISTER: (CM_CONNECTED, _REG_S),
+        DEREGISTER: (RM_DEREGISTERED, _DEREG_S),
+        SRV_REQ: (CM_CONNECTED, _SRV_REQ_S),
+        HO: (CM_CONNECTED, _HO_S),
+    },
+    connected_state=CM_CONNECTED,
+    idle_state=CM_IDLE,
+    initial=MachineState(RM_DEREGISTERED, _DEREG_S),
+)
+
+
+def make_nr_machine(bootstrapped: bool = False) -> StateMachine:
+    """Create a fresh 5G machine (see :func:`make_lte_machine`)."""
+    state = NR_SPEC.initial if bootstrapped else None
+    return StateMachine(NR_SPEC, state)

@@ -1,0 +1,222 @@
+"""Replay engine: validate streams against a 3GPP state machine.
+
+This implements the paper's evaluation procedure (§5.2.1):
+
+* Bootstrap the machine from the first event with a deterministic
+  destination (``ATCH``/``DTCH``/``SRV_REQ``/``HO`` in 4G); events before
+  the bootstrap are excluded from violation accounting.
+* Replay each subsequent event; a violating event increments a counter
+  and leaves the state unchanged.
+* Record the duration spent in each top-level state (sojourn times);
+  trailing incomplete sojourns are discarded.
+
+The outputs feed every fidelity metric that depends on domain rules:
+Table 3, Table 5 (violations) and the sojourn columns of Table 6.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .base import MachineSpec, StateMachine
+
+__all__ = ["ViolationRecord", "StreamReplay", "DatasetReplay", "replay_events", "replay_dataset"]
+
+#: Sub-state families reported by the paper: both numbered release
+#: sub-states collapse to the ``S1_REL_S`` label of Table 3.
+_SUB_STATE_FAMILIES = {
+    "S1_REL_S_1": "S1_REL_S",
+    "S1_REL_S_2": "S1_REL_S",
+}
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One state-violating event.
+
+    ``state_label`` follows the paper's reporting convention: the
+    sub-state family when the violation happens in a sub-state the paper
+    names (e.g. ``S1_REL_S``), otherwise the top-level state.
+    """
+
+    index: int
+    top_state: str
+    sub_state: str
+    event: str
+
+    @property
+    def state_label(self) -> str:
+        family = _SUB_STATE_FAMILIES.get(self.sub_state)
+        if family is not None:
+            return family
+        return self.top_state
+
+    @property
+    def pattern(self) -> tuple[str, str]:
+        """(state label, event) pair, the unit Table 3 counts."""
+        return (self.state_label, self.event)
+
+
+@dataclass
+class StreamReplay:
+    """Replay outcome for a single stream."""
+
+    total_events: int
+    counted_events: int
+    violations: list[ViolationRecord]
+    sojourns: dict[str, list[float]]
+    bootstrapped: bool
+
+    @property
+    def violating_events(self) -> int:
+        return len(self.violations)
+
+    @property
+    def has_violation(self) -> bool:
+        return bool(self.violations)
+
+    def mean_sojourn(self, state: str) -> float | None:
+        """Average completed sojourn in ``state``; None when never visited."""
+        values = self.sojourns.get(state)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+@dataclass
+class DatasetReplay:
+    """Aggregated replay outcome across a dataset of streams."""
+
+    streams: list[StreamReplay] = field(default_factory=list)
+
+    def add(self, replay: StreamReplay) -> None:
+        self.streams.append(replay)
+
+    # ------------------------------------------------------------------
+    # Violation statistics (Tables 3 and 5)
+    # ------------------------------------------------------------------
+    @property
+    def counted_events(self) -> int:
+        return sum(s.counted_events for s in self.streams)
+
+    @property
+    def violating_events(self) -> int:
+        return sum(s.violating_events for s in self.streams)
+
+    @property
+    def event_violation_rate(self) -> float:
+        """Fraction of counted events that violate state transitions."""
+        total = self.counted_events
+        if total == 0:
+            return 0.0
+        return self.violating_events / total
+
+    @property
+    def stream_violation_rate(self) -> float:
+        """Fraction of streams with at least one violating event."""
+        if not self.streams:
+            return 0.0
+        return sum(1 for s in self.streams if s.has_violation) / len(self.streams)
+
+    def top_violation_patterns(self, k: int = 3) -> list[tuple[tuple[str, str], float]]:
+        """The ``k`` most frequent (state label, event) violation pairs.
+
+        Returns pairs with their share of *counted events*, matching
+        Table 3's percentages.
+        """
+        counter: Counter[tuple[str, str]] = Counter()
+        for stream in self.streams:
+            for violation in stream.violations:
+                counter[violation.pattern] += 1
+        total = self.counted_events
+        if total == 0:
+            return []
+        return [(pattern, count / total) for pattern, count in counter.most_common(k)]
+
+    # ------------------------------------------------------------------
+    # Sojourn statistics (Figure 2, Table 6)
+    # ------------------------------------------------------------------
+    def per_ue_mean_sojourns(self, state: str) -> list[float]:
+        """Average sojourn in ``state`` for every UE that visited it.
+
+        This is the quantity whose CDF Figures 2 and 5 plot.
+        """
+        means = (s.mean_sojourn(state) for s in self.streams)
+        return [m for m in means if m is not None]
+
+    def all_sojourns(self, state: str) -> list[float]:
+        """Every completed sojourn in ``state``, pooled across UEs."""
+        values: list[float] = []
+        for stream in self.streams:
+            values.extend(stream.sojourns.get(state, ()))
+        return values
+
+
+def replay_events(
+    events: Sequence[tuple[float, str]], spec: MachineSpec
+) -> StreamReplay:
+    """Replay one stream of ``(timestamp, event_name)`` pairs.
+
+    Timestamps must be non-decreasing; violations of that are a data bug,
+    not a semantic violation, so they raise ``ValueError``.
+    """
+    machine = StateMachine(spec, state=None)
+    violations: list[ViolationRecord] = []
+    sojourns: dict[str, list[float]] = {top: [] for top in spec.top_states}
+
+    counted = 0
+    entered_at: float | None = None
+    previous_time: float | None = None
+
+    for index, (timestamp, event) in enumerate(events):
+        if previous_time is not None and timestamp < previous_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing; event {index} at "
+                f"{timestamp} follows {previous_time}"
+            )
+        previous_time = timestamp
+
+        if not machine.started:
+            if machine.try_bootstrap(event):
+                entered_at = timestamp
+            # Pre-bootstrap events are excluded from the violation count.
+            continue
+
+        counted += 1
+        before = machine.state
+        legal = machine.step(event)
+        if not legal:
+            violations.append(
+                ViolationRecord(
+                    index=index,
+                    top_state=before.top,
+                    sub_state=before.sub,
+                    event=event,
+                )
+            )
+            continue
+        if machine.state.top != before.top:
+            # Top-level state changed: the sojourn in the old state ends.
+            if entered_at is not None:
+                sojourns[before.top].append(timestamp - entered_at)
+            entered_at = timestamp
+
+    return StreamReplay(
+        total_events=len(events),
+        counted_events=counted,
+        violations=violations,
+        sojourns=sojourns,
+        bootstrapped=machine.started,
+    )
+
+
+def replay_dataset(
+    streams: Iterable[Sequence[tuple[float, str]]], spec: MachineSpec
+) -> DatasetReplay:
+    """Replay every stream and aggregate (see :class:`DatasetReplay`)."""
+    result = DatasetReplay()
+    for events in streams:
+        result.add(replay_events(events, spec))
+    return result

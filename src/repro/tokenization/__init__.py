@@ -1,0 +1,6 @@
+"""``repro.tokenization`` — multi-modal token encoding (Design 1 of the paper)."""
+
+from .scaler import LogMinMaxScaler
+from .tokenizer import StreamTokenizer, TokenizedStream
+
+__all__ = ["LogMinMaxScaler", "StreamTokenizer", "TokenizedStream"]

@@ -1,0 +1,175 @@
+"""Multi-modal tokenization for control-plane streams (Design 1, Fig. 3).
+
+Each sample becomes one token: the concatenation of three sub-tokens —
+
+* event type: one-hot over the vocabulary (6 classes in 4G),
+* interarrival time: one scalar, log-scaled then min-max'd to [0, 1],
+* stop flag: one-hot over {continue, stop} (2 classes).
+
+For the 4G vocabulary this gives the paper's ``d_token = 6 + 1 + 2 = 9``.
+The first token of every stream carries interarrival 0 and stop 0; the
+last token carries stop 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..statemachine.events import EventVocabulary, LTE_EVENTS, NR_EVENTS
+from ..trace.dataset import TraceDataset
+from ..trace.schema import Stream
+from .scaler import LogMinMaxScaler
+
+__all__ = ["TokenizedStream", "StreamTokenizer"]
+
+_VOCABULARY_TAGS = {"4G": LTE_EVENTS, "5G": NR_EVENTS}
+
+
+@dataclass(frozen=True)
+class TokenizedStream:
+    """Decoded view of a token matrix."""
+
+    event_indices: np.ndarray  # (T,) int
+    interarrivals_scaled: np.ndarray  # (T,) float in [0, 1]
+    stop_flags: np.ndarray  # (T,) int in {0, 1}
+
+
+class StreamTokenizer:
+    """Encode/decode streams to/from ``(T, d_token)`` matrices.
+
+    Parameters
+    ----------
+    vocabulary:
+        The event vocabulary (fixes the one-hot width).
+    scaler:
+        A fitted :class:`LogMinMaxScaler`; use :meth:`fit` to derive one
+        from a training dataset.
+    """
+
+    def __init__(
+        self, vocabulary: EventVocabulary, scaler: LogMinMaxScaler | None = None
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.scaler = scaler if scaler is not None else LogMinMaxScaler()
+
+    # Layout: [event one-hot | interarrival | stop one-hot]
+    @property
+    def num_events(self) -> int:
+        return len(self.vocabulary)
+
+    @property
+    def d_token(self) -> int:
+        return self.num_events + 1 + 2
+
+    @property
+    def iat_column(self) -> int:
+        return self.num_events
+
+    @property
+    def stop_columns(self) -> slice:
+        return slice(self.num_events + 1, self.num_events + 3)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, dataset: TraceDataset) -> "StreamTokenizer":
+        """Fit the interarrival scaler on every delta in ``dataset``."""
+        deltas = [s.interarrivals() for s in dataset if len(s) > 0]
+        if not deltas:
+            raise ValueError("cannot fit tokenizer on an empty dataset")
+        self.scaler.fit(np.concatenate(deltas))
+        return self
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, stream: Stream) -> np.ndarray:
+        """Encode one stream into a ``(T, d_token)`` float matrix."""
+        if len(stream) == 0:
+            raise ValueError(f"stream {stream.ue_id} is empty")
+        indices = np.array(
+            [self.vocabulary.index(e) for e in stream.event_names()], dtype=np.int64
+        )
+        scaled = self.scaler.transform(stream.interarrivals())
+        scaled[0] = 0.0  # the first token always carries interarrival zero
+        stops = np.zeros(len(stream), dtype=np.int64)
+        stops[-1] = 1
+        return self.assemble(indices, scaled, stops)
+
+    def assemble(
+        self,
+        event_indices: np.ndarray,
+        interarrivals_scaled: np.ndarray,
+        stop_flags: np.ndarray,
+    ) -> np.ndarray:
+        """Build a token matrix from decoded fields (generation path)."""
+        event_indices = np.asarray(event_indices, dtype=np.int64)
+        interarrivals_scaled = np.asarray(interarrivals_scaled, dtype=np.float64)
+        stop_flags = np.asarray(stop_flags, dtype=np.int64)
+        length = event_indices.shape[0]
+        if interarrivals_scaled.shape[0] != length or stop_flags.shape[0] != length:
+            raise ValueError("field arrays must have equal length")
+        tokens = np.zeros((length, self.d_token), dtype=np.float64)
+        tokens[np.arange(length), event_indices] = 1.0
+        tokens[:, self.iat_column] = np.clip(interarrivals_scaled, 0.0, 1.0)
+        tokens[np.arange(length), self.num_events + 1 + stop_flags] = 1.0
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_fields(self, tokens: np.ndarray) -> TokenizedStream:
+        """Split a token matrix back into its three fields."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2 or tokens.shape[1] != self.d_token:
+            raise ValueError(
+                f"expected (T, {self.d_token}) token matrix; got {tokens.shape}"
+            )
+        events = tokens[:, : self.num_events].argmax(axis=1)
+        iat = tokens[:, self.iat_column]
+        stops = tokens[:, self.stop_columns].argmax(axis=1)
+        return TokenizedStream(events, iat.copy(), stops)
+
+    def decode(
+        self,
+        tokens: np.ndarray,
+        ue_id: str,
+        device_type: str,
+        start_time: float = 0.0,
+    ) -> Stream:
+        """Reconstruct a :class:`Stream` from a token matrix.
+
+        Interarrivals are inverse-transformed to seconds and accumulated
+        into absolute timestamps starting at ``start_time``.
+        """
+        fields = self.decode_fields(tokens)
+        seconds = self.scaler.inverse(fields.interarrivals_scaled)
+        seconds[0] = 0.0
+        timestamps = start_time + np.cumsum(seconds)
+        names = [self.vocabulary.name(int(i)) for i in fields.event_indices]
+        return Stream.from_arrays(ue_id, device_type, timestamps, names)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        tag = None
+        for name, vocab in _VOCABULARY_TAGS.items():
+            if vocab.names == self.vocabulary.names:
+                tag = name
+        payload = {"scaler": self.scaler.to_dict()}
+        if tag is not None:
+            payload["vocabulary"] = tag
+        else:
+            payload["event_names"] = list(self.vocabulary.names)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamTokenizer":
+        if "vocabulary" in payload:
+            vocabulary = _VOCABULARY_TAGS[payload["vocabulary"]]
+        else:
+            vocabulary = EventVocabulary(tuple(payload["event_names"]))
+        return cls(vocabulary, LogMinMaxScaler.from_dict(payload["scaler"]))

@@ -1,0 +1,42 @@
+"""``repro.trace`` — trace data model, IO and the synthetic operator simulator."""
+
+from .anonymize import jitter_timestamps, k_anonymous_device_counts, pseudonymize
+from .dataset import TraceDataset
+from .device import DEVICE_PROFILES, DeviceProfile, LogNormalMixture, get_profile
+from .diurnal import DiurnalProfile, Harmonic
+from .io import load_csv, load_jsonl, save_csv, save_jsonl
+from .schema import ControlEvent, DeviceType, Stream
+from .splits import kfold_by_ue, split_by_time, split_by_ue
+from .synthetic import (
+    SyntheticTraceConfig,
+    generate_hourly_traces,
+    generate_mixed_trace,
+    generate_trace,
+)
+
+__all__ = [
+    "ControlEvent",
+    "Stream",
+    "DeviceType",
+    "TraceDataset",
+    "DeviceProfile",
+    "LogNormalMixture",
+    "DEVICE_PROFILES",
+    "get_profile",
+    "DiurnalProfile",
+    "Harmonic",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "generate_mixed_trace",
+    "generate_hourly_traces",
+    "pseudonymize",
+    "jitter_timestamps",
+    "k_anonymous_device_counts",
+    "split_by_ue",
+    "split_by_time",
+    "kfold_by_ue",
+    "save_jsonl",
+    "load_jsonl",
+    "save_csv",
+    "load_csv",
+]

@@ -1,0 +1,86 @@
+"""Trace anonymization utilities (paper Appendix A, Ethics).
+
+The paper's dataset was collected "with UE-specific information
+obfuscated" so that neither the training trace nor the synthesized one
+reveals UE identities.  These helpers implement that pipeline for
+operators using this library on real captures:
+
+* :func:`pseudonymize` — replace UE IDs with salted-hash pseudonyms
+  (consistent within a dataset, irreversible without the salt);
+* :func:`jitter_timestamps` — bounded random time jitter, breaking exact
+  temporal fingerprints while preserving interarrival statistics;
+* :func:`k_anonymous_device_counts` — verify each device-type population
+  is large enough that membership is not identifying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .dataset import TraceDataset
+from .schema import ControlEvent, Stream
+
+__all__ = ["pseudonymize", "jitter_timestamps", "k_anonymous_device_counts"]
+
+
+def pseudonymize(dataset: TraceDataset, salt: str) -> TraceDataset:
+    """Replace every UE ID with a salted SHA-256 pseudonym.
+
+    The same (salt, ue_id) pair always maps to the same pseudonym, so
+    multi-capture joins remain possible for the salt holder; without the
+    salt the mapping is one-way.
+    """
+    if not salt:
+        raise ValueError("an empty salt defeats pseudonymization")
+    out = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    for stream in dataset:
+        digest = hashlib.sha256(f"{salt}:{stream.ue_id}".encode("utf-8")).hexdigest()
+        out.add(
+            Stream(
+                ue_id=digest[:16],
+                device_type=stream.device_type,
+                events=[ControlEvent(e.timestamp, e.event) for e in stream],
+            )
+        )
+    return out
+
+
+def jitter_timestamps(
+    dataset: TraceDataset, max_jitter_seconds: float, rng: np.random.Generator
+) -> TraceDataset:
+    """Shift each stream by a uniform offset in ±``max_jitter_seconds``.
+
+    A per-stream (not per-event) shift preserves every interarrival time
+    — and therefore all fidelity metrics — while decoupling streams from
+    wall-clock instants that could be cross-referenced.
+    """
+    if max_jitter_seconds < 0:
+        raise ValueError("max_jitter_seconds must be non-negative")
+    out = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    for stream in dataset:
+        offset = float(rng.uniform(-max_jitter_seconds, max_jitter_seconds))
+        out.add(
+            Stream(
+                ue_id=stream.ue_id,
+                device_type=stream.device_type,
+                events=[ControlEvent(e.timestamp + offset, e.event) for e in stream],
+            )
+        )
+    return out
+
+
+def k_anonymous_device_counts(dataset: TraceDataset, k: int) -> dict[str, bool]:
+    """Check k-anonymity of the device-type attribute.
+
+    Returns, per device type present, whether at least ``k`` UEs share
+    it.  Types failing the check should be dropped or merged before
+    release.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    counts: dict[str, int] = {}
+    for stream in dataset:
+        counts[stream.device_type] = counts.get(stream.device_type, 0) + 1
+    return {device: count >= k for device, count in sorted(counts.items())}

@@ -1,0 +1,149 @@
+"""Dataset container: a collection of streams plus its event vocabulary."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..statemachine.events import EventVocabulary
+from .schema import Stream
+
+__all__ = ["TraceDataset"]
+
+
+@dataclass
+class TraceDataset:
+    """A control-plane traffic dataset ``D = {S_1, ..., S_n}`` (§3.1).
+
+    Thin wrapper over a list of :class:`Stream` carrying the event
+    vocabulary, with the filtering / statistics helpers the pipeline and
+    metrics need.
+    """
+
+    streams: list[Stream] = field(default_factory=list)
+    vocabulary: EventVocabulary | None = None
+
+    def __len__(self) -> int:
+        return len(self.streams)
+
+    def __iter__(self) -> Iterator[Stream]:
+        return iter(self.streams)
+
+    def __getitem__(self, index: int) -> Stream:
+        return self.streams[index]
+
+    def add(self, stream: Stream) -> None:
+        self.streams.append(stream)
+
+    def validate(self) -> None:
+        """Validate every stream; also checks events are in-vocabulary."""
+        for stream in self.streams:
+            stream.validate()
+            if self.vocabulary is not None:
+                for event in stream.event_names():
+                    if event not in self.vocabulary:
+                        raise ValueError(
+                            f"stream {stream.ue_id}: event {event!r} "
+                            f"not in vocabulary {tuple(self.vocabulary)}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Stream], bool]) -> "TraceDataset":
+        """New dataset holding the streams for which ``predicate`` is True."""
+        return TraceDataset(
+            streams=[s for s in self.streams if predicate(s)],
+            vocabulary=self.vocabulary,
+        )
+
+    def by_device_type(self, device_type: str) -> "TraceDataset":
+        return self.filter(lambda s: s.device_type == device_type)
+
+    def sample(self, count: int, rng: np.random.Generator) -> "TraceDataset":
+        """Uniform random subset of ``count`` streams (without replacement)."""
+        if count > len(self.streams):
+            raise ValueError(
+                f"cannot sample {count} streams from a dataset of {len(self.streams)}"
+            )
+        indices = rng.choice(len(self.streams), size=count, replace=False)
+        return TraceDataset(
+            streams=[self.streams[i] for i in sorted(indices)],
+            vocabulary=self.vocabulary,
+        )
+
+    def truncate_streams(self, max_length: int) -> "TraceDataset":
+        """Drop streams longer than ``max_length``.
+
+        §5.1: models are trained to synthesize streams up to a maximum
+        length, disregarding the (0.07%) longer ones.
+        """
+        return self.filter(lambda s: len(s) <= max_length)
+
+    def drop_singletons(self) -> "TraceDataset":
+        """Drop streams of length < 2.
+
+        §4.5: streams of length 1 are excluded from CPT-GPT training
+        because the first token always carries a stop flag of zero.
+        """
+        return self.filter(lambda s: len(s) >= 2)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        return sum(len(s) for s in self.streams)
+
+    def device_types(self) -> list[str]:
+        return sorted({s.device_type for s in self.streams})
+
+    def event_breakdown(self) -> dict[str, float]:
+        """Fraction of each event type across the dataset (Table 7's rows)."""
+        counter: Counter[str] = Counter()
+        for stream in self.streams:
+            counter.update(stream.event_names())
+        total = sum(counter.values())
+        names = (
+            tuple(self.vocabulary) if self.vocabulary is not None else sorted(counter)
+        )
+        if total == 0:
+            return {name: 0.0 for name in names}
+        return {name: counter.get(name, 0) / total for name in names}
+
+    def flow_lengths(self, event: str | None = None) -> np.ndarray:
+        """Per-stream event counts (all events, or one event type).
+
+        This is the flow-length metric of Table 6 / Figure 5.
+        """
+        if event is None:
+            return np.array([len(s) for s in self.streams], dtype=np.int64)
+        return np.array([s.count(event) for s in self.streams], dtype=np.int64)
+
+    def interarrival_pool(self) -> np.ndarray:
+        """All within-stream interarrival times, pooled (Figure 7)."""
+        pools = [s.interarrivals()[1:] for s in self.streams if len(s) > 1]
+        if not pools:
+            return np.empty(0)
+        return np.concatenate(pools)
+
+    def initial_event_distribution(self) -> dict[str, float]:
+        """Distribution of each stream's first event type.
+
+        Extracted at training time and shipped with the model to
+        bootstrap generation (Figure 4's operational architecture).
+        """
+        counter: Counter[str] = Counter(
+            s.events[0].event for s in self.streams if len(s) > 0
+        )
+        total = sum(counter.values())
+        if total == 0:
+            raise ValueError("cannot derive initial-event distribution: empty dataset")
+        return {name: count / total for name, count in sorted(counter.items())}
+
+    def replay_pairs(self) -> list[list[tuple[float, str]]]:
+        """Per-stream ``(timestamp, event)`` pairs for the replay engine."""
+        return [s.as_pairs() for s in self.streams]

@@ -1,0 +1,57 @@
+"""Time-of-day (diurnal) activity modulation.
+
+The paper's C5 requires capturing long-term data drifts such as diurnal
+variations in UE behaviour.  The synthetic operator trace models this
+with a per-device-type activity profile: a strictly positive multiplier
+over hour-of-day built from a small number of cosine harmonics.  A
+multiplier above one means a busier hour (shorter idle dwells, more
+sessions per hour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Harmonic", "DiurnalProfile"]
+
+_HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class Harmonic:
+    """One cosine component: ``amplitude * cos(2*pi*k*(h - peak_hour)/24)``."""
+
+    amplitude: float
+    peak_hour: float
+    cycles_per_day: int = 1
+
+    def value(self, hour: float) -> float:
+        phase = 2.0 * np.pi * self.cycles_per_day * (hour - self.peak_hour)
+        return self.amplitude * float(np.cos(phase / _HOURS_PER_DAY))
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Activity multiplier over hour-of-day.
+
+    ``activity(h) = exp(sum_k harmonic_k(h))`` — the log-link keeps the
+    multiplier positive and makes amplitudes compose multiplicatively.
+    """
+
+    harmonics: tuple[Harmonic, ...] = ()
+
+    def activity(self, hour: float) -> float:
+        """Multiplier at (possibly fractional) ``hour``; period is 24h."""
+        hour = float(hour) % _HOURS_PER_DAY
+        return float(np.exp(sum(h.value(hour) for h in self.harmonics)))
+
+    def activity_series(self, hours: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`activity` over an array of hours."""
+        return np.array([self.activity(h) for h in np.asarray(hours, dtype=np.float64)])
+
+    @classmethod
+    def flat(cls) -> "DiurnalProfile":
+        """No modulation (activity identically 1)."""
+        return cls(harmonics=())

@@ -1,0 +1,121 @@
+"""Trace serialization: JSONL (one stream per line) and flat CSV.
+
+JSONL is the primary interchange format — it preserves stream structure
+and round-trips exactly.  CSV (``ue_id,device_type,timestamp,event``
+rows) is provided for interoperability with dataframe tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..statemachine.events import EventVocabulary, LTE_EVENTS, NR_EVENTS
+from .dataset import TraceDataset
+from .schema import ControlEvent, Stream
+
+__all__ = ["save_jsonl", "load_jsonl", "save_csv", "load_csv"]
+
+_VOCABULARIES = {"4G": LTE_EVENTS, "5G": NR_EVENTS}
+
+
+def _vocabulary_tag(vocabulary: EventVocabulary | None) -> str | None:
+    for tag, vocab in _VOCABULARIES.items():
+        if vocabulary is not None and vocabulary.names == vocab.names:
+            return tag
+    return None
+
+
+def save_jsonl(dataset: TraceDataset, path: str | Path) -> None:
+    """Write ``dataset`` as JSON-lines; first line is a header record."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "format": "repro-cpt-trace-v1",
+            "streams": len(dataset),
+            "vocabulary": _vocabulary_tag(dataset.vocabulary),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for stream in dataset:
+            record = {
+                "ue_id": stream.ue_id,
+                "device_type": stream.device_type,
+                "events": [[event.timestamp, event.event] for event in stream],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: str | Path) -> TraceDataset:
+    """Load a JSONL trace written by :func:`save_jsonl`."""
+    path = Path(path)
+    streams: list[Stream] = []
+    vocabulary: EventVocabulary | None = None
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-cpt-trace-v1":
+            raise ValueError(f"{path}: unrecognized trace format {header.get('format')!r}")
+        tag = header.get("vocabulary")
+        if tag is not None:
+            vocabulary = _VOCABULARIES.get(tag)
+            if vocabulary is None:
+                raise ValueError(f"{path}: unknown vocabulary tag {tag!r}")
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            stream = Stream(
+                ue_id=record["ue_id"],
+                device_type=record["device_type"],
+                events=[ControlEvent(float(t), e) for t, e in record["events"]],
+            )
+            stream.validate()
+            streams.append(stream)
+    dataset = TraceDataset(streams=streams, vocabulary=vocabulary)
+    return dataset
+
+
+def save_csv(dataset: TraceDataset, path: str | Path) -> None:
+    """Write ``dataset`` as a flat event-per-row CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ue_id", "device_type", "timestamp", "event"])
+        for stream in dataset:
+            for event in stream:
+                writer.writerow(
+                    [stream.ue_id, stream.device_type, repr(event.timestamp), event.event]
+                )
+
+
+def load_csv(path: str | Path, vocabulary: EventVocabulary | None = None) -> TraceDataset:
+    """Load a CSV trace; rows are grouped into streams by ``ue_id``.
+
+    Row order within a UE is preserved, so a file written by
+    :func:`save_csv` round-trips exactly.
+    """
+    path = Path(path)
+    by_ue: dict[str, Stream] = {}
+    order: list[str] = []
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"ue_id", "device_type", "timestamp", "event"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(f"{path}: CSV must have columns {sorted(required)}")
+        for row in reader:
+            ue_id = row["ue_id"]
+            if ue_id not in by_ue:
+                by_ue[ue_id] = Stream(ue_id=ue_id, device_type=row["device_type"])
+                order.append(ue_id)
+            by_ue[ue_id].events.append(
+                ControlEvent(float(row["timestamp"]), row["event"])
+            )
+    streams = [by_ue[ue_id] for ue_id in order]
+    for stream in streams:
+        stream.validate()
+    return TraceDataset(streams=streams, vocabulary=vocabulary)

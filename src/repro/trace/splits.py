@@ -1,0 +1,90 @@
+"""Train/validation/test splitting utilities.
+
+The paper trains on seven days of June 2022 and tests on one day of
+August 2022, treating the same UE on different days as different UEs
+(§5.1).  With the synthetic substrate, distinct capture days are
+distinct seeds; these helpers cover the remaining splitting needs:
+deterministic UE-level holdouts and time-window slicing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from .dataset import TraceDataset
+from .schema import ControlEvent, Stream
+
+__all__ = ["split_by_ue", "split_by_time", "kfold_by_ue"]
+
+
+def _ue_fraction(ue_id: str, salt: str) -> float:
+    """Deterministic hash of a UE id to [0, 1)."""
+    digest = hashlib.sha256(f"{salt}:{ue_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def split_by_ue(
+    dataset: TraceDataset, train_fraction: float, salt: str = "split"
+) -> tuple[TraceDataset, TraceDataset]:
+    """Deterministic UE-level split into (train, held-out).
+
+    Stable across runs and machine boundaries: assignment depends only
+    on the UE id and ``salt``, so re-splitting an extended trace keeps
+    previously assigned UEs on their side.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1); got {train_fraction}")
+    train = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    test = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    for stream in dataset:
+        target = train if _ue_fraction(stream.ue_id, salt) < train_fraction else test
+        target.add(stream)
+    return train, test
+
+
+def split_by_time(
+    dataset: TraceDataset, boundary: float
+) -> tuple[TraceDataset, TraceDataset]:
+    """Split every stream at an absolute timestamp.
+
+    Events strictly before ``boundary`` go left, the rest right; streams
+    that end up empty on a side are dropped from that side.  Useful for
+    within-capture drift studies (first vs second half-hour).
+    """
+    left = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    right = TraceDataset(streams=[], vocabulary=dataset.vocabulary)
+    for stream in dataset:
+        before = [e for e in stream if e.timestamp < boundary]
+        after = [e for e in stream if e.timestamp >= boundary]
+        if before:
+            left.add(
+                Stream(
+                    ue_id=stream.ue_id,
+                    device_type=stream.device_type,
+                    events=[ControlEvent(e.timestamp, e.event) for e in before],
+                )
+            )
+        if after:
+            right.add(
+                Stream(
+                    ue_id=stream.ue_id,
+                    device_type=stream.device_type,
+                    events=[ControlEvent(e.timestamp, e.event) for e in after],
+                )
+            )
+    return left, right
+
+
+def kfold_by_ue(dataset: TraceDataset, folds: int, salt: str = "fold") -> list[TraceDataset]:
+    """Deterministic k-way UE partition (for cross-validated fidelity)."""
+    if folds < 2:
+        raise ValueError("folds must be >= 2")
+    buckets = [
+        TraceDataset(streams=[], vocabulary=dataset.vocabulary) for _ in range(folds)
+    ]
+    for stream in dataset:
+        index = int(_ue_fraction(stream.ue_id, salt) * folds)
+        buckets[min(index, folds - 1)].add(stream)
+    return buckets

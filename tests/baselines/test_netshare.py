@@ -1,0 +1,113 @@
+"""NetShare GAN baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NetShare, NetShareConfig, NetShareDiscriminator, NetShareGenerator
+from repro.nn import Tensor
+from repro.statemachine import LTE_EVENTS
+from repro.tokenization import LogMinMaxScaler, StreamTokenizer
+
+
+@pytest.fixture
+def ns_config():
+    return NetShareConfig(
+        num_event_types=6, latent_dim=8, hidden_size=16, batch_generation=5,
+        max_len=30, disc_hidden=32,
+    )
+
+
+@pytest.fixture
+def tokenizer():
+    tok = StreamTokenizer(LTE_EVENTS)
+    tok.scaler = LogMinMaxScaler.from_bounds(0.0, 3600.0)
+    return tok
+
+
+class TestConfig:
+    def test_max_len_must_be_multiple_of_batch_generation(self):
+        with pytest.raises(ValueError, match="multiple"):
+            NetShareConfig(max_len=33, batch_generation=5)
+
+    def test_derived_properties(self, ns_config):
+        assert ns_config.d_field == 9
+        assert ns_config.lstm_steps == 6
+
+    def test_vocab_mismatch_rejected(self, ns_config, rng):
+        from repro.statemachine import NR_EVENTS
+
+        tok = StreamTokenizer(NR_EVENTS)
+        with pytest.raises(ValueError, match="event types"):
+            NetShare(ns_config, tok, rng)
+
+
+class TestGenerator:
+    def test_output_shape_and_simplices(self, ns_config, rng):
+        generator = NetShareGenerator(ns_config, rng)
+        noise = Tensor(rng.standard_normal((4, ns_config.lstm_steps, ns_config.latent_dim)))
+        out = generator(noise).data
+        assert out.shape == (4, 30, 9)
+        np.testing.assert_allclose(out[:, :, :6].sum(axis=2), 1.0, rtol=1e-9)
+        np.testing.assert_allclose(out[:, :, 7:].sum(axis=2), 1.0, rtol=1e-9)
+        assert np.all((out[:, :, 6] >= 0) & (out[:, :, 6] <= 1))
+
+    def test_discriminator_scalar_logits(self, ns_config, rng):
+        disc = NetShareDiscriminator(ns_config, rng)
+        sequences = Tensor(rng.random((3, 30, 9)))
+        assert disc(sequences).shape == (3,)
+
+
+class TestTrainingAndSampling:
+    def test_adversarial_training_runs(self, ns_config, tokenizer, phone_trace):
+        model = NetShare(ns_config, tokenizer, np.random.default_rng(0))
+        result = model.train(phone_trace.truncate_streams(30), epochs=2, batch_size=16)
+        assert len(result.generator_losses) == 2
+        assert len(result.discriminator_losses) == 2
+        assert result.wall_time_seconds > 0
+        assert all(np.isfinite(v) for v in result.generator_losses)
+
+    def test_training_updates_both_players(self, ns_config, tokenizer, phone_trace):
+        model = NetShare(ns_config, tokenizer, np.random.default_rng(0))
+        gen_before = {k: v.copy() for k, v in model.generator.state_dict().items()}
+        disc_before = {k: v.copy() for k, v in model.discriminator.state_dict().items()}
+        model.train(phone_trace.truncate_streams(30), epochs=1, batch_size=16)
+        assert any(
+            not np.array_equal(model.generator.state_dict()[k], gen_before[k])
+            for k in gen_before
+        )
+        assert any(
+            not np.array_equal(model.discriminator.state_dict()[k], disc_before[k])
+            for k in disc_before
+        )
+
+    def test_generation_count_and_schema(self, ns_config, tokenizer, phone_trace, rng):
+        model = NetShare(ns_config, tokenizer, np.random.default_rng(0))
+        model.train(phone_trace.truncate_streams(30), epochs=1, batch_size=16)
+        trace = model.generate(12, rng, "phone", start_time=100.0)
+        assert len(trace) == 12
+        for stream in trace:
+            assert 1 <= len(stream) <= ns_config.max_len
+            assert stream.device_type == "phone"
+            stream.validate()
+            assert stream.timestamps()[0] >= 100.0
+
+    def test_generation_truncates_at_stop(self, ns_config, tokenizer, phone_trace, rng):
+        model = NetShare(ns_config, tokenizer, np.random.default_rng(0))
+        model.train(phone_trace.truncate_streams(30), epochs=1, batch_size=16)
+        trace = model.generate(20, rng, "phone")
+        for stream in trace:
+            # length < max_len implies a stop flag fired at the last event;
+            # we can't see flags here, but no stream may exceed max_len.
+            assert len(stream) <= ns_config.max_len
+
+    def test_no_trainable_streams_rejected(self, ns_config, tokenizer):
+        from repro.trace import Stream, TraceDataset
+
+        singletons = TraceDataset(
+            streams=[Stream.from_arrays("a", "phone", [0.0], ["SRV_REQ"])]
+        )
+        model = NetShare(ns_config, tokenizer, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="no trainable streams"):
+            model.train(singletons, epochs=1)

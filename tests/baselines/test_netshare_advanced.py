@@ -1,0 +1,80 @@
+"""Deeper NetShare behaviors: batch generation, state dict, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NetShare, NetShareConfig, NetShareGenerator
+from repro.nn import Tensor
+from repro.statemachine import LTE_EVENTS
+from repro.tokenization import LogMinMaxScaler, StreamTokenizer
+
+
+@pytest.fixture
+def tokenizer():
+    tok = StreamTokenizer(LTE_EVENTS)
+    tok.scaler = LogMinMaxScaler.from_bounds(0.0, 3600.0)
+    return tok
+
+
+class TestBatchGeneration:
+    def test_lstm_steps_scale_inversely_with_batch_generation(self):
+        """The paper's L4 mechanism: larger S means fewer LSTM passes."""
+        few = NetShareConfig(max_len=60, batch_generation=2)
+        many = NetShareConfig(max_len=60, batch_generation=10)
+        assert few.lstm_steps == 30
+        assert many.lstm_steps == 6
+
+    def test_samples_within_one_step_share_hidden_state(self, rng):
+        """Batch generation emits S samples from ONE hidden state.
+
+        Consequence (the paper's intra-batch dependency loss): changing
+        noise at step k changes all S samples of that step together, and
+        no samples of earlier steps.
+        """
+        config = NetShareConfig(
+            num_event_types=6, latent_dim=4, hidden_size=8, batch_generation=5,
+            max_len=20,
+        )
+        generator = NetShareGenerator(config, rng)
+        noise = rng.standard_normal((1, config.lstm_steps, config.latent_dim))
+        from repro.nn import no_grad
+
+        with no_grad():
+            base = generator(Tensor(noise)).data.copy()
+            perturbed = noise.copy()
+            perturbed[0, 2] += 5.0  # third LSTM step => samples 10..14
+            out = generator(Tensor(perturbed)).data
+        np.testing.assert_allclose(out[0, :10], base[0, :10], atol=1e-10)
+        assert not np.allclose(out[0, 10:15], base[0, 10:15])
+
+
+class TestDeterminismAndState:
+    def test_generation_deterministic_given_rng(self, tokenizer):
+        config = NetShareConfig(
+            num_event_types=6, latent_dim=4, hidden_size=8, batch_generation=5,
+            max_len=20,
+        )
+        model = NetShare(config, tokenizer, np.random.default_rng(3))
+        a = model.generate(5, np.random.default_rng(9), "phone")
+        b = model.generate(5, np.random.default_rng(9), "phone")
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_generator_discriminator_state_dicts_roundtrip(self, tokenizer, rng):
+        config = NetShareConfig(
+            num_event_types=6, latent_dim=4, hidden_size=8, batch_generation=5,
+            max_len=20,
+        )
+        model = NetShare(config, tokenizer, np.random.default_rng(0))
+        clone = NetShare(config, tokenizer, np.random.default_rng(99))
+        clone.generator.load_state_dict(model.generator.state_dict())
+        noise = model._noise(3, np.random.default_rng(5))
+        from repro.nn import no_grad
+
+        with no_grad():
+            np.testing.assert_allclose(
+                model.generator(noise).data, clone.generator(noise).data
+            )

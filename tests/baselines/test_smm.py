@@ -1,0 +1,151 @@
+"""SMM baselines: empirical distributions, fitting, generation, clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EmpiricalDistribution,
+    KMeans,
+    SMM1Generator,
+    SMMClusteredGenerator,
+    SemiMarkovModel,
+    cluster_dataset,
+    ue_features,
+)
+from repro.statemachine import LTE_SPEC, replay_dataset
+from repro.trace import TraceDataset
+
+
+class TestEmpiricalDistribution:
+    def test_samples_within_range(self, rng):
+        dist = EmpiricalDistribution(np.array([3.0, 1.0, 2.0]))
+        draws = dist.sample(rng, size=1000)
+        assert draws.min() >= 1.0 and draws.max() <= 3.0
+
+    def test_scalar_sample(self, rng):
+        dist = EmpiricalDistribution(np.array([5.0]))
+        assert dist.sample(rng) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(np.array([]))
+
+    def test_cdf_monotone(self, rng):
+        samples = rng.exponential(10, size=200)
+        dist = EmpiricalDistribution(samples)
+        grid = np.linspace(0, samples.max(), 50)
+        cdf = dist.cdf(grid)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == 1.0
+
+    def test_quantiles_match_source(self, rng):
+        samples = rng.normal(100, 10, size=5000)
+        dist = EmpiricalDistribution(samples)
+        draws = dist.sample(rng, size=5000)
+        assert np.median(draws) == pytest.approx(np.median(samples), rel=0.05)
+
+
+class TestSemiMarkovModel:
+    def test_fit_transition_probs_sum_to_one(self, phone_trace):
+        model = SemiMarkovModel.fit(phone_trace, LTE_SPEC)
+        for state, menu in model.transition_probs.items():
+            assert sum(menu.values()) == pytest.approx(1.0), state
+
+    def test_fit_on_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SemiMarkovModel.fit(TraceDataset(), LTE_SPEC)
+
+    def test_num_cdfs_positive(self, phone_trace):
+        model = SemiMarkovModel.fit(phone_trace, LTE_SPEC)
+        assert model.num_cdfs >= 4
+
+    def test_generated_stream_is_legal(self, phone_trace, rng):
+        model = SemiMarkovModel.fit(phone_trace, LTE_SPEC)
+        streams = [
+            model.generate_stream(rng, duration=3600.0, device_type="phone").as_pairs()
+            for _ in range(30)
+        ]
+        replay = replay_dataset(streams, LTE_SPEC)
+        assert replay.violating_events == 0
+
+    def test_generated_timestamps_in_window(self, phone_trace, rng):
+        model = SemiMarkovModel.fit(phone_trace, LTE_SPEC)
+        stream = model.generate_stream(rng, duration=600.0, device_type="phone", start_time=1000.0)
+        times = stream.timestamps()
+        if times.size:
+            assert times.min() >= 1000.0
+            assert times.max() < 1600.0
+
+
+class TestSMM1:
+    def test_fit_generate(self, phone_trace, rng):
+        generator = SMM1Generator.fit(phone_trace, "phone")
+        trace = generator.generate(25, rng)
+        assert len(trace) == 25
+        replay = replay_dataset(trace.replay_pairs(), LTE_SPEC)
+        assert replay.violating_events == 0
+
+    def test_breakdown_close_to_training(self, phone_trace, rng):
+        generator = SMM1Generator.fit(phone_trace, "phone")
+        trace = generator.generate(150, rng)
+        real = phone_trace.event_breakdown()
+        synth = trace.event_breakdown()
+        assert abs(real["SRV_REQ"] - synth.get("SRV_REQ", 0)) < 0.05
+
+
+class TestSMMClustered:
+    def test_fit_produces_multiple_models(self, phone_trace):
+        generator = SMMClusteredGenerator.fit(phone_trace, "phone", num_clusters=6)
+        assert 2 <= generator.num_models <= 6
+        assert generator.num_cdfs > generator.num_models
+
+    def test_generation_legal_and_sized(self, phone_trace, rng):
+        generator = SMMClusteredGenerator.fit(phone_trace, "phone", num_clusters=6)
+        trace = generator.generate(40, rng)
+        assert len(trace) == 40
+        replay = replay_dataset(trace.replay_pairs(), LTE_SPEC)
+        assert replay.violating_events == 0
+
+    def test_clustered_beats_single_on_flow_length(self, phone_trace, phone_trace_alt, rng):
+        """The paper's SMM-1 vs SMM-20k gap: clustering restores diversity."""
+        from repro.metrics import max_y_distance
+
+        smm1 = SMM1Generator.fit(phone_trace, "phone").generate(150, rng)
+        smmk = SMMClusteredGenerator.fit(phone_trace, "phone", num_clusters=10).generate(150, rng)
+        real = phone_trace_alt.flow_lengths().astype(float)
+        d1 = max_y_distance(real, smm1.flow_lengths().astype(float))
+        dk = max_y_distance(real, smmk.flow_lengths().astype(float))
+        assert dk < d1
+
+
+class TestClustering:
+    def test_ue_features_shape(self, phone_trace):
+        features = ue_features(phone_trace, LTE_SPEC)
+        assert features.shape == (len(phone_trace), 4)
+        assert np.all(np.isfinite(features))
+
+    def test_kmeans_labels_range(self, rng):
+        points = np.vstack(
+            [rng.normal(0, 1, (30, 2)), rng.normal(10, 1, (30, 2))]
+        )
+        labels = KMeans(num_clusters=2, seed=0).fit(points)
+        assert set(labels.tolist()) == {0, 1}
+        # The two blobs must separate.
+        assert len(set(labels[:30].tolist())) == 1
+        assert len(set(labels[30:].tolist())) == 1
+
+    def test_kmeans_fewer_points_than_clusters(self, rng):
+        points = rng.normal(size=(3, 2))
+        labels = KMeans(num_clusters=10, seed=0).fit(points)
+        assert len(labels) == 3
+
+    def test_kmeans_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=2).fit(np.empty((0, 2)))
+
+    def test_cluster_dataset_partition(self, phone_trace):
+        clusters = cluster_dataset(phone_trace, LTE_SPEC, num_clusters=5)
+        assert sum(len(c) for c in clusters) == len(phone_trace)
+        assert all(len(c) > 0 for c in clusters)

@@ -1,0 +1,95 @@
+"""Shared fixtures: RNGs, small traces, fitted tokenizers, tiny models.
+
+Heavyweight artifacts (trained models, the experiment workbench) are
+session-scoped so the suite stays fast; they use deliberately tiny
+configurations — fidelity quality is asserted loosely here and measured
+properly by the benchmark/experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
+from repro.experiments import ExperimentScale, Workbench
+from repro.statemachine import LTE_EVENTS
+from repro.tokenization import StreamTokenizer
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def phone_trace():
+    """A small phone trace used across test modules (read-only)."""
+    return generate_trace(
+        SyntheticTraceConfig(num_ues=120, device_type="phone", hour=20, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def phone_trace_alt():
+    """A second, statistically similar phone trace (different seed)."""
+    return generate_trace(
+        SyntheticTraceConfig(num_ues=120, device_type="phone", hour=20, seed=1213)
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_tokenizer(phone_trace) -> StreamTokenizer:
+    return StreamTokenizer(LTE_EVENTS).fit(phone_trace)
+
+
+TINY_CONFIG = CPTGPTConfig(
+    num_event_types=6,
+    d_model=16,
+    num_layers=1,
+    num_heads=2,
+    d_ff=32,
+    head_hidden=32,
+    max_len=96,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_package(phone_trace, fitted_tokenizer) -> GeneratorPackage:
+    """A CPT-GPT trained for a few epochs — enough for plumbing tests."""
+    model = CPTGPT(TINY_CONFIG, np.random.default_rng(0))
+    train(
+        model,
+        phone_trace,
+        fitted_tokenizer,
+        TrainingConfig(epochs=3, batch_size=32, learning_rate=3e-3, seed=0),
+    )
+    return GeneratorPackage(
+        model,
+        fitted_tokenizer,
+        phone_trace.initial_event_distribution(),
+        "phone",
+    )
+
+
+MICRO_SCALE = ExperimentScale(
+    name="micro",
+    train_ues=60,
+    eval_ues=60,
+    generated_streams=60,
+    cpt_config=CPTGPTConfig(
+        d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+    ),
+    cpt_epochs=2,
+    cpt_transfer_epochs=1,
+    ns_epochs=2,
+    ns_transfer_epochs=1,
+    smm_clusters=4,
+)
+
+
+@pytest.fixture(scope="session")
+def micro_workbench() -> Workbench:
+    """Workbench at micro scale for experiment-harness tests."""
+    return Workbench(MICRO_SCALE)

@@ -1,0 +1,63 @@
+"""Configuration objects and experiment-scale plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CPTGPTConfig, TrainingConfig
+from repro.experiments import MEDIUM, SMOKE, ExperimentScale
+
+
+class TestCPTGPTConfig:
+    def test_paper_preset_shape(self):
+        config = CPTGPTConfig.paper()
+        # §5.1: 2 attention blocks, embedding 128, MLP hidden 1024.
+        assert config.num_layers == 2
+        assert config.d_model == 128
+        assert config.d_ff == 1024
+        assert config.max_len == 500
+
+    def test_paper_preset_5g(self):
+        config = CPTGPTConfig.paper(num_event_types=5)
+        assert config.d_token == 8
+
+    def test_frozen(self):
+        config = CPTGPTConfig()
+        with pytest.raises(AttributeError):
+            config.d_model = 1
+
+
+class TestTrainingConfig:
+    def test_defaults_unbiased_batching(self):
+        # The stop-hazard bias analysis (DESIGN.md §8) made this the default.
+        assert TrainingConfig().length_bucketing is False
+
+    def test_replace_preserves_other_fields(self):
+        config = TrainingConfig(epochs=7, loss_weights=(3.0, 1.0, 1.0))
+        updated = config.replace(learning_rate=1e-4)
+        assert updated.epochs == 7
+        assert updated.loss_weights == (3.0, 1.0, 1.0)
+        assert updated.learning_rate == 1e-4
+
+
+class TestExperimentScales:
+    def test_presets_are_ordered(self):
+        assert SMOKE.train_ues < MEDIUM.train_ues
+        assert SMOKE.cpt_epochs < MEDIUM.cpt_epochs
+
+    def test_smoke_trades_bias_for_speed(self):
+        assert SMOKE.cpt_length_bucketing is True
+        assert MEDIUM.cpt_length_bucketing is False
+
+    def test_with_overrides(self):
+        custom = SMOKE.with_overrides(train_ues=42)
+        assert custom.train_ues == 42
+        assert custom.cpt_epochs == SMOKE.cpt_epochs
+
+    def test_custom_scale_validates_netshare_multiples(self):
+        from repro.baselines import NetShareConfig
+
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", ns_config=NetShareConfig(max_len=101, batch_generation=5)
+            )

@@ -1,0 +1,199 @@
+"""Generation: engine equivalence, stop semantics, packaging, transfer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPTGPT,
+    CPTGPTConfig,
+    GeneratorPackage,
+    InferenceEngine,
+    TrainingConfig,
+    derive_hourly_models,
+    fine_tune,
+    random_ue_id,
+)
+from repro.nn import Tensor, no_grad
+from repro.trace import generate_hourly_traces
+
+
+class TestInferenceEngine:
+    def test_matches_training_forward(self, tiny_trained_package, phone_trace, fitted_tokenizer):
+        """The KV-cache step path must equal the full forward pass."""
+        model = tiny_trained_package.model
+        stream = next(s for s in phone_trace if 5 <= len(s) <= 60)
+        tokens = fitted_tokenizer.encode(stream)
+        with no_grad():
+            reference = model(Tensor(tokens[None, :, :]))
+        engine = InferenceEngine(model)
+        cache = engine.new_cache(1, tokens.shape[0])
+        for t in range(tokens.shape[0]):
+            out = engine.step(tokens[None, t, :], cache)
+            np.testing.assert_allclose(
+                out["event_logits"][0], reference.event_logits.data[0, t], atol=1e-10
+            )
+            np.testing.assert_allclose(
+                out["iat_mean"][0], reference.iat_mean.data[0, t], atol=1e-10
+            )
+            np.testing.assert_allclose(
+                out["stop_logits"][0], reference.stop_logits.data[0, t], atol=1e-10
+            )
+
+    def test_batched_step_matches_individual(self, tiny_trained_package, rng):
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model)
+        tokens = rng.random((3, 9))
+        batch_cache = engine.new_cache(3, 4)
+        batched = engine.step(tokens, batch_cache)
+        for i in range(3):
+            solo_cache = engine.new_cache(1, 4)
+            solo = engine.step(tokens[i : i + 1], solo_cache)
+            np.testing.assert_allclose(
+                solo["event_logits"][0], batched["event_logits"][i], atol=1e-10
+            )
+
+    def test_position_limit_enforced(self, tiny_trained_package, rng):
+        engine = InferenceEngine(tiny_trained_package.model)
+        max_len = tiny_trained_package.model.config.max_len
+        cache = engine.new_cache(1, max_len)
+        cache.position = max_len
+        with pytest.raises(ValueError, match="exceeds model max_len"):
+            engine.step(rng.random((1, 9)), cache)
+
+
+class TestGeneration:
+    def test_generates_requested_count(self, tiny_trained_package, rng):
+        trace = tiny_trained_package.generate(17, rng, batch_size=8)
+        assert len(trace) == 17
+
+    def test_zero_count(self, tiny_trained_package, rng):
+        assert len(tiny_trained_package.generate(0, rng)) == 0
+
+    def test_negative_count_rejected(self, tiny_trained_package, rng):
+        with pytest.raises(ValueError):
+            tiny_trained_package.generate(-1, rng)
+
+    def test_streams_respect_max_len(self, tiny_trained_package, rng):
+        trace = tiny_trained_package.generate(20, rng, max_len=12)
+        assert all(1 <= len(s) <= 12 for s in trace)
+
+    def test_max_len_beyond_model_rejected(self, tiny_trained_package, rng):
+        with pytest.raises(ValueError, match="trained horizon"):
+            tiny_trained_package.generate(1, rng, max_len=10_000)
+
+    def test_start_time_offsets_timestamps(self, tiny_trained_package, rng):
+        trace = tiny_trained_package.generate(5, rng, start_time=7200.0)
+        for stream in trace:
+            assert stream.timestamps()[0] >= 7200.0
+
+    def test_timestamps_non_decreasing(self, tiny_trained_package, rng):
+        trace = tiny_trained_package.generate(15, rng)
+        for stream in trace:
+            stream.validate()
+
+    def test_deterministic_given_seed(self, tiny_trained_package):
+        a = tiny_trained_package.generate(6, np.random.default_rng(5))
+        b = tiny_trained_package.generate(6, np.random.default_rng(5))
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_first_events_follow_initial_distribution(self, tiny_trained_package):
+        trace = tiny_trained_package.generate(300, np.random.default_rng(0))
+        dist = tiny_trained_package.initial_event_distribution
+        firsts = [s.events[0].event for s in trace if len(s)]
+        for name, share in dist.items():
+            observed = sum(1 for f in firsts if f == name) / len(firsts)
+            assert observed == pytest.approx(share, abs=0.12)
+
+    def test_device_type_tagged(self, tiny_trained_package, rng):
+        trace = tiny_trained_package.generate(3, rng)
+        assert all(s.device_type == "phone" for s in trace)
+
+    def test_invalid_initial_distribution_rejected(self, tiny_trained_package):
+        with pytest.raises(ValueError, match="sums to"):
+            GeneratorPackage(
+                tiny_trained_package.model,
+                tiny_trained_package.tokenizer,
+                {"SRV_REQ": 0.5},
+                "phone",
+            )
+
+    def test_unknown_initial_event_rejected(self, tiny_trained_package):
+        with pytest.raises(ValueError, match="unknown event"):
+            GeneratorPackage(
+                tiny_trained_package.model,
+                tiny_trained_package.tokenizer,
+                {"NOPE": 1.0},
+                "phone",
+            )
+
+
+class TestPackagePersistence:
+    def test_save_load_roundtrip(self, tiny_trained_package, tmp_path):
+        path = tmp_path / "package.npz"
+        tiny_trained_package.save(path)
+        restored = GeneratorPackage.load(path)
+        assert restored.device_type == "phone"
+        assert restored.model.config == tiny_trained_package.model.config
+        a = tiny_trained_package.generate(4, np.random.default_rng(3))
+        b = restored.generate(4, np.random.default_rng(3))
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+
+class TestRandomUEID:
+    def test_format(self, rng):
+        ue_id = random_ue_id(rng)
+        assert len(ue_id) == 16
+        assert all(c in "0123456789abcdef" for c in ue_id)
+
+    def test_uniqueness(self, rng):
+        ids = {random_ue_id(rng) for _ in range(500)}
+        assert len(ids) == 500
+
+
+class TestTransfer:
+    def test_fine_tune_leaves_base_untouched(self, tiny_trained_package, phone_trace_alt, fitted_tokenizer):
+        base = tiny_trained_package.model
+        before = {k: v.copy() for k, v in base.state_dict().items()}
+        adapted, result = fine_tune(
+            base, phone_trace_alt, fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0),
+        )
+        after = base.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        assert any(
+            not np.array_equal(adapted.state_dict()[k], before[k]) for k in before
+        )
+        assert result.wall_time_seconds > 0
+
+    def test_derive_hourly_models(self, fitted_tokenizer):
+        hourly = generate_hourly_traces(40, [9, 10, 11], seed=5)
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        )
+        ensemble = derive_hourly_models(
+            lambda: CPTGPT(config, np.random.default_rng(0)),
+            hourly,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+            TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0),
+        )
+        assert set(ensemble.models) == {9, 10, 11}
+        assert ensemble.total_wall_time > 0
+        # Hour 10's model must differ from hour 9's (it was fine-tuned).
+        h9 = ensemble.models[9].state_dict()
+        h10 = ensemble.models[10].state_dict()
+        assert any(not np.array_equal(h9[k], h10[k]) for k in h9)
+
+    def test_empty_hourly_rejected(self, fitted_tokenizer):
+        with pytest.raises(ValueError, match="empty"):
+            derive_hourly_models(
+                lambda: None, {}, fitted_tokenizer,
+                TrainingConfig(), TrainingConfig(),
+            )

@@ -1,0 +1,84 @@
+"""Additional generation-path edge cases and sampling statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generate import _sample_rows, _softmax, _softplus
+
+
+class TestSampleRows:
+    def test_respects_distribution(self, rng):
+        probs = np.tile(np.array([[0.8, 0.2]]), (20000, 1))
+        draws = _sample_rows(probs, rng)
+        assert draws.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic_distribution(self, rng):
+        probs = np.tile(np.array([[0.0, 0.0, 1.0]]), (50, 1))
+        draws = _sample_rows(probs, rng)
+        assert np.all(draws == 2)
+
+    def test_row_independence(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        draws = _sample_rows(probs, np.random.default_rng(0))
+        np.testing.assert_array_equal(draws, [0, 1])
+
+
+class TestNumericHelpers:
+    def test_softmax_matches_nn(self, rng):
+        from repro.nn import Tensor, softmax as nn_softmax
+
+        x = rng.normal(size=(4, 6)) * 10
+        np.testing.assert_allclose(_softmax(x), nn_softmax(Tensor(x)).data, atol=1e-12)
+
+    def test_softplus_matches_nn(self, rng):
+        from repro.nn import Tensor, softplus as nn_softplus
+
+        x = rng.normal(size=(20,)) * 5
+        np.testing.assert_allclose(_softplus(x), nn_softplus(Tensor(x)).data, atol=1e-12)
+
+    def test_softplus_extreme_stable(self):
+        out = _softplus(np.array([-800.0, 800.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(800.0)
+
+
+class TestGenerationStatistics:
+    def test_iat_scale_floor_matches_loss_floor(self):
+        """The inference scale floor must equal the training NLL floor.
+
+        If they diverge, the model is sampled from a different
+        distribution than it was trained to parameterize.
+        """
+        from repro.core.generate import _MIN_SCALE
+        import inspect
+        from repro.nn.losses import gaussian_nll
+
+        default = inspect.signature(gaussian_nll).parameters["min_scale"].default
+        assert _MIN_SCALE == default
+
+    def test_generation_stochastic_across_streams(self, tiny_trained_package):
+        """Distribution head on: streams must not be identical clones."""
+        trace = tiny_trained_package.generate(20, np.random.default_rng(11))
+        signatures = {tuple(s.event_names()) + tuple(np.round(s.interarrivals(), 3)) for s in trace}
+        assert len(signatures) > 10
+
+    def test_interarrivals_non_negative(self, tiny_trained_package):
+        trace = tiny_trained_package.generate(30, np.random.default_rng(1))
+        for stream in trace:
+            assert np.all(stream.interarrivals() >= 0)
+
+    def test_temperature_zero_like_behavior_not_required(self, tiny_trained_package):
+        # High temperature flattens the event distribution: more distinct
+        # event types should appear than at low temperature.
+        hot = tiny_trained_package.generate(
+            50, np.random.default_rng(2), temperature=3.0
+        )
+        cold = tiny_trained_package.generate(
+            50, np.random.default_rng(2), temperature=0.3
+        )
+        hot_types = {e for s in hot for e in s.event_names()}
+        cold_types = {e for s in cold for e in s.event_names()}
+        assert len(hot_types) >= len(cold_types)

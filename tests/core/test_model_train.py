@@ -1,0 +1,186 @@
+"""CPT-GPT model and training loop tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPTGPT,
+    CPTGPTConfig,
+    TrainingConfig,
+    encode_training_set,
+    iterate_batches,
+    train,
+)
+from repro.core.train import _build_batch
+from repro.nn import Tensor
+from repro.trace import Stream, TraceDataset
+
+
+@pytest.fixture
+def tiny_model(rng):
+    config = CPTGPTConfig(
+        d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=64
+    )
+    return CPTGPT(config, rng)
+
+
+class TestModel:
+    def test_forward_shapes(self, tiny_model, rng):
+        tokens = Tensor(rng.normal(size=(3, 10, 9)))
+        preds = tiny_model(tokens)
+        assert preds.event_logits.shape == (3, 10, 6)
+        assert preds.iat_mean.shape == (3, 10)
+        assert preds.iat_raw_scale.shape == (3, 10)
+        assert preds.stop_logits.shape == (3, 10, 2)
+
+    def test_ablated_model_has_no_scale_head(self, rng):
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32,
+            max_len=64, distribution_head=False,
+        )
+        model = CPTGPT(config, rng)
+        preds = model(Tensor(rng.normal(size=(2, 5, 9))))
+        assert preds.iat_raw_scale is None
+
+    def test_paper_config_parameter_count(self):
+        # §5.1: ~725K parameters for the published configuration.
+        model = CPTGPT(CPTGPTConfig.paper(), np.random.default_rng(0))
+        assert 5e5 < model.num_parameters() < 1.1e6
+
+    def test_d_token_property(self):
+        assert CPTGPTConfig(num_event_types=6).d_token == 9
+        assert CPTGPTConfig(num_event_types=5).d_token == 8
+
+    def test_config_dict_roundtrip(self):
+        config = CPTGPTConfig(d_model=48, max_len=100)
+        assert CPTGPTConfig.from_dict(config.to_dict()) == config
+
+    def test_causality(self, tiny_model, rng):
+        """Changing a future token must not affect earlier predictions."""
+        tokens = rng.normal(size=(1, 8, 9))
+        before = tiny_model(Tensor(tokens)).event_logits.data[:, :4].copy()
+        perturbed = tokens.copy()
+        perturbed[0, 6] += 10.0
+        after = tiny_model(Tensor(perturbed)).event_logits.data[:, :4]
+        np.testing.assert_allclose(before, after, atol=1e-10)
+
+
+class TestBatching:
+    def test_encode_drops_singletons_and_long(self, fitted_tokenizer):
+        streams = [
+            Stream.from_arrays("a", "phone", [0.0], ["SRV_REQ"]),
+            Stream.from_arrays("b", "phone", [0.0, 1.0], ["SRV_REQ", "S1_CONN_REL"]),
+            Stream.from_arrays(
+                "c", "phone", list(np.arange(200.0)), ["SRV_REQ", "S1_CONN_REL"] * 100
+            ),
+        ]
+        dataset = TraceDataset(streams=streams)
+        encoded = encode_training_set(dataset, fitted_tokenizer, max_len=64)
+        assert len(encoded) == 1  # only "b" survives
+
+    def test_encode_empty_raises(self, fitted_tokenizer):
+        dataset = TraceDataset(
+            streams=[Stream.from_arrays("a", "phone", [0.0], ["SRV_REQ"])]
+        )
+        with pytest.raises(ValueError, match="no trainable streams"):
+            encode_training_set(dataset, fitted_tokenizer, max_len=64)
+
+    def test_build_batch_targets_shifted(self, fitted_tokenizer):
+        stream = Stream.from_arrays(
+            "a", "phone", [0.0, 5.0, 9.0], ["ATCH", "HO", "S1_CONN_REL"]
+        )
+        batch = _build_batch([fitted_tokenizer.encode(stream)], fitted_tokenizer)
+        assert batch.tokens.shape == (1, 2, 9)
+        # Targets are tokens 1..2: HO then S1_CONN_REL.
+        vocab = fitted_tokenizer.vocabulary
+        np.testing.assert_array_equal(
+            batch.event_targets[0], [vocab.index("HO"), vocab.index("S1_CONN_REL")]
+        )
+        np.testing.assert_array_equal(batch.stop_targets[0], [0, 1])
+        assert batch.mask.all()
+
+    def test_build_batch_padding_masked(self, fitted_tokenizer):
+        short = Stream.from_arrays("a", "phone", [0.0, 1.0], ["SRV_REQ", "S1_CONN_REL"])
+        long = Stream.from_arrays(
+            "b", "phone", [0.0, 1.0, 2.0, 3.0],
+            ["SRV_REQ", "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL"],
+        )
+        batch = _build_batch(
+            [fitted_tokenizer.encode(short), fitted_tokenizer.encode(long)],
+            fitted_tokenizer,
+        )
+        assert batch.mask.shape == (2, 3)
+        np.testing.assert_array_equal(batch.mask[0], [True, False, False])
+        np.testing.assert_array_equal(batch.mask[1], [True, True, True])
+
+    def test_iterate_batches_covers_all(self, fitted_tokenizer, phone_trace, rng):
+        encoded = encode_training_set(phone_trace, fitted_tokenizer, max_len=96)
+        total = sum(
+            batch.tokens.shape[0]
+            for batch in iterate_batches(encoded, fitted_tokenizer, 16, rng)
+        )
+        assert total == len(encoded)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_model, phone_trace, fitted_tokenizer):
+        result = train(
+            tiny_model,
+            phone_trace,
+            fitted_tokenizer,
+            TrainingConfig(epochs=4, batch_size=32, learning_rate=3e-3, seed=0),
+        )
+        assert len(result.epochs) == 4
+        assert result.epochs[-1].total < result.epochs[0].total
+        assert result.wall_time_seconds > 0
+        assert result.steps > 0
+
+    def test_invalid_schedule_rejected(self, tiny_model, phone_trace, fitted_tokenizer):
+        with pytest.raises(ValueError, match="lr_schedule"):
+            train(
+                tiny_model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=1, lr_schedule="warmup"),
+            )
+
+    def test_ablated_model_trains(self, rng, phone_trace, fitted_tokenizer):
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32,
+            max_len=96, distribution_head=False,
+        )
+        model = CPTGPT(config, rng)
+        result = train(
+            model, phone_trace, fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+        )
+        assert np.isfinite(result.final_loss)
+
+    def test_loss_weights_change_total(self, rng, phone_trace, fitted_tokenizer):
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        )
+        totals = []
+        for weights in ((1.0, 1.0, 1.0), (3.0, 1.0, 1.0)):
+            model = CPTGPT(config, np.random.default_rng(0))
+            result = train(
+                model, phone_trace, fitted_tokenizer,
+                TrainingConfig(epochs=1, batch_size=32, seed=0, loss_weights=weights,
+                               shuffle=False),
+            )
+            totals.append(result.epochs[0].total)
+        assert totals[0] != totals[1]
+
+    def test_final_loss_requires_epochs(self):
+        from repro.core.train import TrainingResult
+
+        with pytest.raises(ValueError):
+            TrainingResult().final_loss
+
+    def test_training_config_replace(self):
+        config = TrainingConfig(epochs=10)
+        updated = config.replace(epochs=3)
+        assert updated.epochs == 3
+        assert updated.batch_size == config.batch_size

@@ -1,0 +1,160 @@
+"""Experiment harness tests on a micro-scale workbench (session-scoped).
+
+These verify the *plumbing* of every table/figure — structure, keys,
+value ranges — not fidelity quality, which needs larger scales (see
+benchmarks/ and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    Workbench,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    format_table,
+    run_all,
+    table3,
+    table5,
+    table6,
+    table7,
+    table11,
+)
+from repro.trace import DeviceType
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table("T", ["a", "long-header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert "333" in lines[4]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table("T", ["a"], [["1", "2"]])
+
+
+class TestWorkbenchCaching:
+    def test_traces_cached(self, micro_workbench):
+        a = micro_workbench.train_trace(DeviceType.PHONE)
+        b = micro_workbench.train_trace(DeviceType.PHONE)
+        assert a is b
+
+    def test_train_test_differ(self, micro_workbench):
+        train = micro_workbench.train_trace(DeviceType.PHONE)
+        test = micro_workbench.test_trace(DeviceType.PHONE)
+        assert {s.ue_id for s in train}.isdisjoint({s.ue_id for s in test})
+
+    def test_generated_cached_and_sized(self, micro_workbench):
+        a = micro_workbench.generated("SMM-1", DeviceType.PHONE)
+        b = micro_workbench.generated("SMM-1", DeviceType.PHONE)
+        assert a is b
+        assert len(a) == micro_workbench.scale.generated_streams
+
+    def test_unknown_generator_rejected(self, micro_workbench):
+        with pytest.raises(ValueError, match="unknown generator"):
+            micro_workbench.generated("GPT-5", DeviceType.PHONE)
+
+    def test_cptgpt_transfer_records_times(self, micro_workbench):
+        micro_workbench.cptgpt(DeviceType.TABLET)
+        assert "cptgpt/phone" in micro_workbench.training_times
+        assert "cptgpt/tablet" in micro_workbench.training_times
+
+
+class TestExperimentOutputs:
+    def test_table3_structure(self, micro_workbench):
+        result = table3.compute(micro_workbench)
+        assert 0.0 <= result["event_rate"] <= 1.0
+        assert 0.0 <= result["stream_rate"] <= 1.0
+        assert len(result["top_patterns"]) <= 3
+        assert "Table 3" in table3.run(micro_workbench)
+
+    def test_table5_structure(self, micro_workbench):
+        result = table5.compute(micro_workbench)
+        assert set(result) == set(DeviceType.ALL)
+        for device in DeviceType.ALL:
+            for key in ("NetShare/events", "CPT-GPT/events"):
+                assert 0.0 <= result[device][key] <= 1.0
+
+    def test_table6_structure(self, micro_workbench):
+        result = table6.compute(micro_workbench)
+        assert set(result) == set(table6.METRIC_ROWS)
+        for metric in table6.METRIC_ROWS:
+            for device in DeviceType.ALL:
+                for generator, value in result[metric][device].items():
+                    assert 0.0 <= value <= 1.0, (metric, device, generator)
+
+    def test_table6_smm_has_zero_violation_semantics(self, micro_workbench):
+        from repro.metrics import violation_stats
+
+        for name in ("SMM-1", "SMM-20k"):
+            stats = violation_stats(
+                micro_workbench.generated(name, DeviceType.PHONE), micro_workbench.spec
+            )
+            assert stats.event_rate == 0.0
+
+    def test_table7_structure(self, micro_workbench):
+        result = table7.compute(micro_workbench)
+        for device in DeviceType.ALL:
+            assert "real" in result[device]
+            assert sum(result[device]["real"].values()) == pytest.approx(1.0)
+            # Diffs must sum to ~0 (both are probability simplices).
+            assert sum(result[device]["CPT-GPT"].values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_table11_structure(self, micro_workbench):
+        result = table11.compute(micro_workbench, max_ngrams=300)
+        assert set(result) == {
+            (n, eps) for n in table11.N_VALUES for eps in table11.EPSILONS
+        }
+        for value in result.values():
+            assert 0.0 <= value <= 1.0
+        # Larger epsilon can only increase repeats at fixed n.
+        for n in table11.N_VALUES:
+            assert result[(n, 0.20)] >= result[(n, 0.10)] - 1e-12
+
+    def test_fig2_structure(self, micro_workbench):
+        result = fig2.compute(micro_workbench)
+        assert set(result["series"]) == {"Real", "NetShare", "CPT-GPT"}
+        for name, series in result["series"].items():
+            cdf = series["cdf"]
+            assert np.all(np.diff(cdf) >= -1e-12), name
+
+    def test_fig5_structure(self, micro_workbench):
+        result = fig5.compute(micro_workbench)
+        for device in DeviceType.ALL:
+            assert set(result[device]) == set(fig5.COLUMNS)
+
+    def test_fig6_counts_and_values(self, micro_workbench):
+        result = fig6.compute(micro_workbench)
+        counts = fig6.sweep_counts(micro_workbench)
+        assert set(result) == set(counts)
+        for metrics in result.values():
+            assert 0.0 <= metrics["flow_length_all"] <= 1.0
+
+    def test_fig7_long_tail_summary(self, micro_workbench):
+        result = fig7.compute(micro_workbench)
+        stats = result["stats"]
+        assert stats["skew_ratio"] > 1.2  # raw distribution is long-tailed
+        assert stats["log_skew_ratio"] < stats["skew_ratio"]  # log evens it out
+
+    def test_run_all_subset(self, micro_workbench):
+        report = run_all(micro_workbench, ["table3", "fig7"])
+        assert "Table 3" in report and "Figure 7" in report
+
+    def test_run_all_unknown_rejected(self, micro_workbench):
+        with pytest.raises(KeyError):
+            run_all(micro_workbench, ["table99"])
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table3", "table4", "table5", "table6", "table7", "table8",
+            "table9", "table10", "table11", "fig2", "fig5", "fig6", "fig7",
+            "exp5g",
+        }

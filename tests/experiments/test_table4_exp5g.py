@@ -1,0 +1,38 @@
+"""Tests for the Table 4 view and the 5G extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp5g, table4
+
+
+class TestTable4:
+    def test_structure_and_rendering(self, micro_workbench):
+        result = table4.compute(micro_workbench, hours=(10, 11, 12))
+        assert set(result) == {
+            "six_hour_scratch",
+            "one_hour_scratch",
+            "one_hour_finetune",
+            "six_hourly_models_transfer_total",
+        }
+        for value in result.values():
+            assert value > 0
+        # Transfer total must cost at least the first-hour scratch run.
+        assert (
+            result["six_hourly_models_transfer_total"]
+            >= result["one_hour_scratch"] * 0.99
+        )
+
+
+class TestExp5G:
+    def test_structure(self, micro_workbench):
+        result = exp5g.compute(micro_workbench)
+        assert result["d_token"] == 8  # 5 events + 1 interarrival + 2 stop
+        metrics = result["metrics"]
+        for key in ("violation_events", "sojourn_connected", "flow_length_all"):
+            assert 0.0 <= metrics[key] <= 1.0
+        assert "TAU" not in result["breakdown_diff"]
+        # 5G breakdown diffs also sum to zero (both simplices).
+        assert sum(result["breakdown_diff"].values()) == pytest.approx(0.0, abs=1e-9)
+        assert "5G" in exp5g.run(micro_workbench)

@@ -1,0 +1,192 @@
+"""MCN simulator, autoscaler and telemetry tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcn import (
+    AutoscalePolicy,
+    CountMinSketch,
+    LTE_COSTS,
+    MCNSimulator,
+    SampledBreakdownMonitor,
+    ServiceCostModel,
+    calibrate_sampling_rate,
+    simulate_autoscaling,
+)
+from repro.trace import Stream, TraceDataset
+
+
+def _burst_dataset(n_ues=5, events_per_ue=10, spacing=0.5):
+    streams = []
+    for u in range(n_ues):
+        times, events = [], []
+        for k in range(events_per_ue):
+            times.append(u * 0.01 + k * spacing)
+            events.append("SRV_REQ" if k % 2 == 0 else "S1_CONN_REL")
+        streams.append(Stream.from_arrays(f"ue{u}", "phone", times, events))
+    return TraceDataset(streams=streams)
+
+
+class TestCostModel:
+    def test_known_costs(self):
+        assert LTE_COSTS.mean_cost("ATCH") > LTE_COSTS.mean_cost("TAU")
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            LTE_COSTS.mean_cost("NOPE")
+
+    def test_deterministic_mode(self, rng):
+        model = ServiceCostModel(costs_ms={"SRV_REQ": 3.0}, stochastic=False)
+        assert model.sample_cost("SRV_REQ", rng) == 3.0
+
+    def test_stochastic_mean(self, rng):
+        samples = [LTE_COSTS.sample_cost("SRV_REQ", rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.1)
+
+
+class TestSimulator:
+    def test_latency_at_least_service_time(self):
+        sim = MCNSimulator(workers=4, cost_model=ServiceCostModel(
+            costs_ms={"SRV_REQ": 3.0, "S1_CONN_REL": 2.0}, stochastic=False))
+        report = sim.run(_burst_dataset())
+        assert report.latency_percentile(0) >= 2.0 - 1e-9
+
+    def test_utilization_bounded(self):
+        report = MCNSimulator(workers=2).run(_burst_dataset())
+        assert 0.0 <= report.utilization <= 1.0
+
+    def test_all_events_processed_unbounded_queue(self):
+        data = _burst_dataset()
+        report = MCNSimulator(workers=1).run(data)
+        assert report.num_events == data.total_events
+        assert report.dropped_events == 0
+
+    def test_fewer_workers_higher_latency(self):
+        data = _burst_dataset(n_ues=20, spacing=0.005)
+        fast = MCNSimulator(workers=16, seed=1).run(data)
+        slow = MCNSimulator(workers=1, seed=1).run(data)
+        assert slow.latency_percentile(95) >= fast.latency_percentile(95)
+
+    def test_peak_connected_contexts(self):
+        # Two UEs connect (SRV_REQ) before either releases.
+        streams = [
+            Stream.from_arrays("a", "phone", [0.0, 10.0], ["SRV_REQ", "S1_CONN_REL"]),
+            Stream.from_arrays("b", "phone", [1.0, 11.0], ["SRV_REQ", "S1_CONN_REL"]),
+        ]
+        report = MCNSimulator(workers=4).run(TraceDataset(streams=streams))
+        assert report.peak_connected_contexts == 2
+
+    def test_empty_dataset(self):
+        report = MCNSimulator(workers=2).run(TraceDataset())
+        assert report.num_events == 0
+        assert report.throughput_eps == 0.0
+        with pytest.raises(ValueError):
+            report.latency_percentile(50)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            MCNSimulator(workers=0).run(_burst_dataset())
+
+    def test_per_event_latency_query(self):
+        report = MCNSimulator(workers=4).run(_burst_dataset())
+        assert report.latency_percentile(50, "SRV_REQ") > 0
+        with pytest.raises(ValueError):
+            report.latency_percentile(50, "HO")
+
+    def test_throughput_positive(self):
+        report = MCNSimulator(workers=4).run(_burst_dataset())
+        assert report.throughput_eps > 0
+        assert report.mean_latency() > 0
+
+
+class TestAutoscaler:
+    def test_policy_scales_up_toward_demand(self):
+        policy = AutoscalePolicy(target_utilization=0.5, max_step=2)
+        assert policy.next_workers(2, offered_load=4.0) == 4  # step-limited
+        assert policy.next_workers(6, offered_load=4.0) == 8
+
+    def test_policy_scales_down(self):
+        policy = AutoscalePolicy(target_utilization=0.5, max_step=3, min_workers=1)
+        assert policy.next_workers(10, offered_load=0.5) == 7
+
+    def test_policy_clamps_to_bounds(self):
+        policy = AutoscalePolicy(max_workers=4, max_step=100)
+        assert policy.next_workers(1, offered_load=1000.0) == 4
+
+    def test_invalid_target_rejected(self):
+        policy = AutoscalePolicy(target_utilization=0.0)
+        with pytest.raises(ValueError):
+            policy.next_workers(1, 1.0)
+
+    def test_simulation_tracks_windows(self):
+        data = _burst_dataset(n_ues=10, events_per_ue=40, spacing=30.0)
+        trace = simulate_autoscaling(data, AutoscalePolicy(), window_seconds=120.0)
+        assert len(trace.workers) == len(trace.offered_load)
+        assert trace.peak_workers >= 1
+        assert 0.0 <= trace.mean_utilization <= 1.0
+
+    def test_empty_dataset_empty_trace(self):
+        trace = simulate_autoscaling(TraceDataset(), AutoscalePolicy())
+        assert trace.workers == []
+        assert trace.scaling_actions == 0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_autoscaling(TraceDataset(), AutoscalePolicy(), window_seconds=0)
+
+
+class TestTelemetry:
+    def test_cms_overestimates_never_under(self, rng):
+        sketch = CountMinSketch(width=64, depth=4)
+        truth: dict[str, int] = {}
+        for _ in range(2000):
+            key = f"ue{rng.integers(0, 300)}"
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.query(key) >= count
+
+    def test_cms_exact_when_sparse(self):
+        sketch = CountMinSketch(width=4096, depth=4)
+        sketch.add("alice", 7)
+        assert sketch.query("alice") == 7
+        assert sketch.query("bob") == 0
+
+    def test_cms_memory_accounting(self):
+        sketch = CountMinSketch(width=128, depth=2)
+        assert sketch.memory_bytes == 128 * 2 * 8
+
+    def test_cms_heavy_hitters(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        sketch.add("big", 100)
+        sketch.add("small", 1)
+        hits = sketch.heavy_hitters(["big", "small"], threshold=50)
+        assert hits == [("big", 100)]
+
+    def test_cms_invalid_dims(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+
+    def test_sampling_error_decreases_with_rate(self, phone_trace):
+        low = SampledBreakdownMonitor(sampling_rate=0.01, seed=0).max_error(phone_trace)
+        high = SampledBreakdownMonitor(sampling_rate=0.5, seed=0).max_error(phone_trace)
+        assert high <= low + 0.02
+
+    def test_full_sampling_exact(self, phone_trace):
+        monitor = SampledBreakdownMonitor(sampling_rate=1.0)
+        assert monitor.max_error(phone_trace) == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_rate_rejected(self, phone_trace):
+        with pytest.raises(ValueError):
+            SampledBreakdownMonitor(sampling_rate=0.0).estimate(phone_trace)
+
+    def test_calibrate_sampling_rate_monotone(self, phone_trace):
+        loose = calibrate_sampling_rate(phone_trace, target_error=0.2)
+        tight = calibrate_sampling_rate(phone_trace, target_error=0.005)
+        assert loose <= tight
+
+    def test_calibrate_invalid_target(self, phone_trace):
+        with pytest.raises(ValueError):
+            calibrate_sampling_rate(phone_trace, target_error=0.0)

@@ -1,0 +1,74 @@
+"""Failure-injection and saturation behavior of the MCN simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcn import MCNSimulator, ServiceCostModel
+from repro.trace import Stream, TraceDataset
+
+
+def _storm(num_ues: int, interval: float = 0.001) -> TraceDataset:
+    """A signaling storm: all UEs fire service requests near-simultaneously."""
+    streams = []
+    for u in range(num_ues):
+        t = u * interval
+        streams.append(
+            Stream.from_arrays(
+                f"ue{u}", "phone", [t, t + 1.0], ["SRV_REQ", "S1_CONN_REL"]
+            )
+        )
+    return TraceDataset(streams=streams)
+
+
+class TestSaturation:
+    def test_queue_limit_drops_under_storm(self):
+        data = _storm(200)
+        bounded = MCNSimulator(
+            workers=1,
+            cost_model=ServiceCostModel(costs_ms={"SRV_REQ": 50.0, "S1_CONN_REL": 50.0},
+                                        stochastic=False),
+            queue_limit=5,
+        ).run(data)
+        assert bounded.dropped_events > 0
+        assert bounded.num_events + bounded.dropped_events == data.total_events
+
+    def test_unbounded_queue_never_drops(self):
+        data = _storm(200)
+        report = MCNSimulator(workers=1).run(data)
+        assert report.dropped_events == 0
+
+    def test_latency_grows_under_overload(self):
+        data = _storm(150)
+        slow_cost = ServiceCostModel(
+            costs_ms={"SRV_REQ": 20.0, "S1_CONN_REL": 20.0}, stochastic=False
+        )
+        light = MCNSimulator(workers=32, cost_model=slow_cost).run(_storm(10))
+        heavy = MCNSimulator(workers=1, cost_model=slow_cost).run(data)
+        assert heavy.latency_percentile(99) > light.latency_percentile(99) * 5
+
+    def test_utilization_saturates_at_one(self):
+        data = _storm(300)
+        report = MCNSimulator(
+            workers=1,
+            cost_model=ServiceCostModel(costs_ms={"SRV_REQ": 100.0, "S1_CONN_REL": 100.0},
+                                        stochastic=False),
+        ).run(data)
+        assert report.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_contexts_released_after_storm(self):
+        report = MCNSimulator(workers=8).run(_storm(50))
+        # Every UE released its connection; peak reflects the overlap.
+        assert report.peak_connected_contexts >= 40
+
+    def test_deterministic_cost_model_reproducible(self):
+        data = _storm(30)
+        cost = ServiceCostModel(costs_ms={"SRV_REQ": 5.0, "S1_CONN_REL": 5.0},
+                                stochastic=False)
+        a = MCNSimulator(workers=2, cost_model=cost, seed=0).run(data)
+        b = MCNSimulator(workers=2, cost_model=cost, seed=1).run(data)
+        np.testing.assert_allclose(
+            sorted(np.concatenate(list(a.latencies_ms.values()))),
+            sorted(np.concatenate(list(b.latencies_ms.values()))),
+        )

@@ -1,0 +1,76 @@
+"""Bootstrap confidence-interval tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import BootstrapCI, bootstrap_max_y_distance, compare_generators
+
+
+class TestBootstrapCI:
+    def test_contains(self):
+        ci = BootstrapCI(estimate=0.5, low=0.4, high=0.6, confidence=0.95)
+        assert 0.5 in ci
+        assert 0.39 not in ci
+
+    def test_overlaps(self):
+        a = BootstrapCI(0.5, 0.4, 0.6, 0.95)
+        b = BootstrapCI(0.55, 0.5, 0.7, 0.95)
+        c = BootstrapCI(0.9, 0.8, 1.0, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestBootstrapDistance:
+    def test_interval_brackets_estimate(self, rng):
+        real = rng.normal(0, 1, 300)
+        synth = rng.normal(0.2, 1, 300)
+        ci = bootstrap_max_y_distance(real, synth, rng, num_resamples=200)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+        # With resampling noise the point estimate sits near the interval;
+        # it must not be wildly outside it.
+        assert ci.low - 0.1 <= ci.estimate <= ci.high + 0.1
+
+    def test_identical_distributions_small_distance(self, rng):
+        sample = rng.normal(0, 1, 500)
+        ci = bootstrap_max_y_distance(sample, sample.copy(), rng, num_resamples=100)
+        assert ci.high < 0.2
+
+    def test_disjoint_distributions_near_one(self, rng):
+        ci = bootstrap_max_y_distance(
+            rng.normal(0, 0.1, 200), rng.normal(10, 0.1, 200), rng, num_resamples=100
+        )
+        assert ci.low > 0.9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_max_y_distance([], [1.0], rng)
+        with pytest.raises(ValueError):
+            bootstrap_max_y_distance([1.0], [1.0], rng, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_max_y_distance([1.0], [1.0], rng, num_resamples=2)
+
+
+class TestCompareGenerators:
+    def test_clearly_better_generator_detected(self, rng):
+        real = rng.normal(0, 1, 400)
+        close = rng.normal(0.05, 1, 400)  # generator A: close to real
+        far = rng.normal(3.0, 1, 400)  # generator B: far from real
+        result = compare_generators(real, close, far, rng, num_resamples=200)
+        assert result["difference"] < 0
+        assert result["a_significantly_better"]
+        assert not result["b_significantly_better"]
+
+    def test_equivalent_generators_not_significant(self, rng):
+        real = rng.normal(0, 1, 300)
+        a = rng.normal(0.5, 1, 300)
+        b = rng.normal(-0.5, 1, 300)
+        result = compare_generators(real, a, b, rng, num_resamples=200)
+        assert not (
+            result["a_significantly_better"] and result["b_significantly_better"]
+        )
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            compare_generators([], [1.0], [1.0], rng)

@@ -1,0 +1,167 @@
+"""Memorization n-grams and checkpoint selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    Checkpoint,
+    NGramIndex,
+    extract_ngrams,
+    ngram_repeat_fraction,
+    select_checkpoint,
+)
+from repro.trace import Stream, TraceDataset
+
+
+def make_stream(ue, deltas, events):
+    times = np.cumsum([0.0] + list(deltas))
+    return Stream.from_arrays(ue, "phone", times.tolist(), events)
+
+
+class TestExtractNgrams:
+    def test_count_and_contents(self):
+        stream = make_stream("u", [5.0, 7.0], ["A", "B", "C"][:3])
+        # 3 events -> two 2-grams
+        stream = Stream.from_arrays("u", "phone", [0.0, 5.0, 12.0], ["SRV_REQ", "S1_CONN_REL", "SRV_REQ"])
+        grams = extract_ngrams(stream, 2)
+        assert len(grams) == 2
+        events, iats = grams[0]
+        assert events == ("SRV_REQ", "S1_CONN_REL")
+        np.testing.assert_allclose(iats, [0.0, 5.0])
+
+    def test_n_longer_than_stream(self):
+        stream = Stream.from_arrays("u", "phone", [0.0], ["SRV_REQ"])
+        assert extract_ngrams(stream, 5) == []
+
+    def test_invalid_n(self):
+        stream = Stream.from_arrays("u", "phone", [0.0], ["SRV_REQ"])
+        with pytest.raises(ValueError):
+            extract_ngrams(stream, 0)
+
+
+class TestRepeatFraction:
+    def _training(self):
+        return TraceDataset(
+            streams=[
+                Stream.from_arrays(
+                    "t", "phone", [0.0, 10.0, 30.0, 40.0],
+                    ["SRV_REQ", "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL"],
+                )
+            ]
+        )
+
+    def test_exact_copy_fully_repeats(self):
+        training = self._training()
+        assert ngram_repeat_fraction(training, training, n=2, epsilon=0.1) == 1.0
+
+    def test_within_tolerance_repeats(self):
+        training = self._training()
+        generated = TraceDataset(
+            streams=[
+                Stream.from_arrays(
+                    "g", "phone", [0.0, 10.5, 31.0, 41.5],
+                    ["SRV_REQ", "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL"],
+                )
+            ]
+        )
+        assert ngram_repeat_fraction(training, generated, n=2, epsilon=0.10) == 1.0
+
+    def test_outside_tolerance_does_not_repeat(self):
+        training = self._training()
+        generated = TraceDataset(
+            streams=[
+                Stream.from_arrays(
+                    "g", "phone", [0.0, 20.0, 80.0, 100.0],
+                    ["SRV_REQ", "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL"],
+                )
+            ]
+        )
+        fraction = ngram_repeat_fraction(training, generated, n=2, epsilon=0.10)
+        assert fraction < 1.0
+
+    def test_different_events_never_repeat(self):
+        training = self._training()
+        generated = TraceDataset(
+            streams=[
+                Stream.from_arrays(
+                    "g", "phone", [0.0, 10.0, 30.0], ["SRV_REQ", "HO", "TAU"]
+                )
+            ]
+        )
+        assert ngram_repeat_fraction(training, generated, n=2, epsilon=0.2) == 0.0
+
+    def test_empty_generated_returns_zero(self):
+        training = self._training()
+        generated = TraceDataset(
+            streams=[Stream.from_arrays("g", "phone", [0.0], ["SRV_REQ"])]
+        )
+        assert ngram_repeat_fraction(training, generated, n=2, epsilon=0.1) == 0.0
+
+    def test_invalid_epsilon(self):
+        training = self._training()
+        with pytest.raises(ValueError):
+            ngram_repeat_fraction(training, training, n=2, epsilon=1.5)
+
+    def test_max_ngrams_subsampling(self):
+        training = self._training()
+        fraction = ngram_repeat_fraction(
+            training, training, n=2, epsilon=0.1, max_ngrams=1
+        )
+        assert fraction == 1.0
+
+    def test_zero_iats_treated_as_matching(self):
+        # First-token IATs are zero on both sides; ratio is undefined but
+        # the pair must count as matching.
+        training = TraceDataset(
+            streams=[Stream.from_arrays("t", "phone", [0.0, 0.0], ["SRV_REQ", "S1_CONN_REL"])]
+        )
+        assert ngram_repeat_fraction(training, training, n=2, epsilon=0.1) == 1.0
+
+    def test_index_groups_by_events(self):
+        index = NGramIndex.build(self._training(), 2)
+        assert ("SRV_REQ", "S1_CONN_REL") in index.groups
+        assert index.has_repeat(
+            ("SRV_REQ", "S1_CONN_REL"), np.array([0.0, 10.0]), epsilon=0.1
+        )
+        assert not index.has_repeat(("HO", "TAU"), np.array([0.0, 1.0]), epsilon=0.1)
+
+
+class TestCheckpointSelection:
+    def _checkpoint(self, index, time, **metrics):
+        return Checkpoint(index=index, wall_time_seconds=time, metrics=metrics)
+
+    def test_picks_best(self):
+        checkpoints = [
+            self._checkpoint(1, 10.0, a=0.9, b=0.9),
+            self._checkpoint(2, 20.0, a=0.1, b=0.1),
+            self._checkpoint(3, 30.0, a=0.5, b=0.5),
+            self._checkpoint(4, 40.0, a=0.6, b=0.7),
+            self._checkpoint(5, 50.0, a=0.8, b=0.8),
+        ]
+        assert select_checkpoint(checkpoints).index == 2
+
+    def test_earliest_among_ties(self):
+        checkpoints = [
+            self._checkpoint(1, 10.0, a=0.2),
+            self._checkpoint(2, 20.0, a=0.1),
+            self._checkpoint(3, 30.0, a=0.15),
+            self._checkpoint(4, 40.0, a=0.9),
+        ]
+        # keep_fraction=0.5 keeps ranks {2, 3}; earliest index wins.
+        assert select_checkpoint(checkpoints, keep_fraction=0.5).index == 2
+
+    def test_single_checkpoint(self):
+        checkpoint = self._checkpoint(1, 5.0, a=1.0)
+        assert select_checkpoint([checkpoint]) is checkpoint
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_checkpoint([])
+
+    def test_inconsistent_metrics_rejected(self):
+        with pytest.raises(ValueError, match="same metric keys"):
+            select_checkpoint(
+                [self._checkpoint(1, 1.0, a=1.0), self._checkpoint(2, 2.0, b=1.0)]
+            )

@@ -1,0 +1,178 @@
+"""Fidelity metrics: distances, violations, sojourns, breakdowns, flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_breakdown_difference,
+    breakdown_difference,
+    cdf_points,
+    compare_flow_lengths,
+    compare_sojourns,
+    empirical_cdf,
+    fidelity_report,
+    max_y_distance,
+    per_ue_sojourns,
+    violation_stats,
+)
+from repro.statemachine import LTE_SPEC
+from repro.trace import Stream, TraceDataset
+
+
+class TestMaxYDistance:
+    def test_identical_samples_zero(self, rng):
+        sample = rng.normal(size=200)
+        assert max_y_distance(sample, sample) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert max_y_distance([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_known_value(self):
+        # CDFs diverge by exactly 0.5 between the overlapping halves.
+        assert max_y_distance([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_y_distance([], [1.0])
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import ks_2samp
+
+        a, b = rng.normal(0, 1, 300), rng.normal(0.3, 1.2, 250)
+        ours = max_y_distance(a, b)
+        assert ours == pytest.approx(ks_2samp(a, b).statistic, abs=1e-12)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounded_and_symmetric(self, a, b):
+        d = max_y_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(max_y_distance(b, a))
+
+    def test_empirical_cdf_heights(self):
+        values, heights = empirical_cdf([3.0, 1.0, 2.0])
+        np.testing.assert_allclose(values, [1, 2, 3])
+        np.testing.assert_allclose(heights, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_points_monotone(self, rng):
+        grid, cdf = cdf_points(rng.exponential(10, 400))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] <= 1.0
+
+
+def _dataset(streams):
+    return TraceDataset(streams=streams)
+
+
+def _legal_stream(ue="u", n_cycles=3, conn=10.0, idle=50.0):
+    times, events = [], []
+    t = 0.0
+    for _ in range(n_cycles):
+        times.append(t)
+        events.append("SRV_REQ")
+        t += conn
+        times.append(t)
+        events.append("S1_CONN_REL")
+        t += idle
+    return Stream.from_arrays(ue, "phone", times, events)
+
+
+class TestViolationStats:
+    def test_legal_dataset_zero(self):
+        stats = violation_stats(_dataset([_legal_stream()]), LTE_SPEC)
+        assert stats.event_rate == 0.0
+        assert stats.stream_rate == 0.0
+        assert stats.top_patterns == ()
+
+    def test_violating_dataset_counts(self):
+        bad = Stream.from_arrays(
+            "b", "phone", [0.0, 1.0, 2.0], ["SRV_REQ", "SRV_REQ", "S1_CONN_REL"]
+        )
+        stats = violation_stats(_dataset([bad, _legal_stream()]), LTE_SPEC)
+        assert stats.event_rate > 0
+        assert stats.stream_rate == pytest.approx(0.5)
+        assert stats.top_patterns[0][0] == ("CONNECTED", "SRV_REQ")
+        assert "CONNECTED" in str(stats)
+
+
+class TestSojournMetrics:
+    def test_per_ue_sojourns_values(self):
+        ds = _dataset([_legal_stream(conn=10.0, idle=50.0)])
+        sojourns = per_ue_sojourns(ds, LTE_SPEC)
+        np.testing.assert_allclose(sojourns["CONNECTED"], [10.0])
+        np.testing.assert_allclose(sojourns["IDLE"], [50.0])
+
+    def test_compare_identical_traces_zero(self):
+        ds = _dataset([_legal_stream(ue=f"u{i}", conn=5 + i) for i in range(10)])
+        comparison = compare_sojourns(ds, ds, LTE_SPEC)
+        assert comparison.connected == 0.0
+        assert comparison.idle == 0.0
+        assert comparison.average == 0.0
+
+    def test_compare_shifted_traces_positive(self):
+        a = _dataset([_legal_stream(ue=f"a{i}", conn=5 + 0.3 * i) for i in range(10)])
+        b = _dataset([_legal_stream(ue=f"b{i}", conn=50 + 0.3 * i) for i in range(10)])
+        comparison = compare_sojourns(a, b, LTE_SPEC)
+        assert comparison.connected == 1.0
+
+
+class TestBreakdownMetrics:
+    def test_difference_signs(self):
+        real = _dataset([_legal_stream()])
+        ho_heavy = Stream.from_arrays(
+            "h", "phone", [0.0, 1.0, 2.0, 3.0], ["SRV_REQ", "HO", "HO", "S1_CONN_REL"]
+        )
+        synth = _dataset([ho_heavy])
+        diffs = breakdown_difference(real, synth)
+        assert diffs["HO"] > 0
+        assert diffs["SRV_REQ"] < 0
+
+    def test_average_difference_zero_for_identical(self):
+        ds = _dataset([_legal_stream()])
+        assert average_breakdown_difference(ds, ds) == 0.0
+
+
+class TestFlowLengthMetrics:
+    def test_identical_zero(self):
+        ds = _dataset([_legal_stream(ue=f"u{i}", n_cycles=2 + i) for i in range(5)])
+        comparison = compare_flow_lengths(ds, ds)
+        assert comparison.all_events == 0.0
+        assert comparison.for_event("SRV_REQ") == 0.0
+
+    def test_unknown_event_raises(self):
+        ds = _dataset([_legal_stream()])
+        comparison = compare_flow_lengths(ds, ds)
+        with pytest.raises(KeyError):
+            comparison.for_event("REGISTER")
+
+    def test_longer_flows_detected(self):
+        short = _dataset([_legal_stream(ue=f"s{i}", n_cycles=2) for i in range(8)])
+        long = _dataset([_legal_stream(ue=f"l{i}", n_cycles=20) for i in range(8)])
+        comparison = compare_flow_lengths(short, long)
+        assert comparison.all_events == 1.0
+
+
+class TestFidelityReport:
+    def test_report_assembles_all_metrics(self, phone_trace, phone_trace_alt):
+        report = fidelity_report(phone_trace, phone_trace_alt, LTE_SPEC)
+        flat = report.as_flat_dict()
+        assert set(flat) == {
+            "violation_events",
+            "violation_streams",
+            "sojourn_connected",
+            "sojourn_idle",
+            "flow_length_all",
+            "avg_breakdown_diff",
+        }
+        # Two same-distribution traces: all distances should be small.
+        assert flat["violation_events"] == 0.0
+        assert flat["sojourn_connected"] < 0.25
+        assert flat["flow_length_all"] < 0.25
+        assert "violations" in report.summary()

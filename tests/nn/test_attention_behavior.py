@@ -1,0 +1,114 @@
+"""Behavioral tests of attention and the transformer backbone."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerDecoder,
+    causal_mask,
+    no_grad,
+)
+
+
+class TestCausalMask:
+    def test_shape_and_pattern(self):
+        mask = causal_mask(4)
+        assert mask.shape == (4, 4)
+        # Diagonal and below: visible (0); above: blocked (very negative).
+        for i in range(4):
+            for j in range(4):
+                if j <= i:
+                    assert mask[i, j] == 0.0
+                else:
+                    assert mask[i, j] < -1e8
+
+
+class TestAttentionBehavior:
+    def test_causal_masking_blocks_future(self, rng):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        x = rng.normal(size=(1, 6, 8))
+        mask = causal_mask(6)
+        with no_grad():
+            base = attn(Tensor(x), mask).data.copy()
+            perturbed = x.copy()
+            perturbed[0, 5] += 100.0  # only the last position changes
+            out = attn(Tensor(perturbed), mask).data
+        # Positions 0..4 must be unaffected by position 5.
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-10)
+        assert not np.allclose(out[0, 5], base[0, 5])
+
+    def test_unmasked_attention_is_bidirectional(self, rng):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        with no_grad():
+            base = attn(Tensor(x), None).data.copy()
+            perturbed = x.copy()
+            perturbed[0, 3] += 100.0
+            out = attn(Tensor(perturbed), None).data
+        # Without a mask, earlier positions do see position 3.
+        assert not np.allclose(out[0, 0], base[0, 0])
+
+    def test_permutation_of_batch_items_independent(self, rng):
+        attn = MultiHeadSelfAttention(d_model=8, num_heads=2, rng=rng)
+        a = rng.normal(size=(1, 5, 8))
+        b = rng.normal(size=(1, 5, 8))
+        mask = causal_mask(5)
+        with no_grad():
+            separate_a = attn(Tensor(a), mask).data
+            stacked = attn(Tensor(np.concatenate([b, a])), mask).data
+        np.testing.assert_allclose(stacked[1], separate_a[0], atol=1e-10)
+
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(d_model=12, num_heads=3, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 7, 12))), causal_mask(7))
+        assert out.shape == (2, 7, 12)
+
+
+class TestTransformerBehavior:
+    def test_prefix_stability(self, rng):
+        """Hidden state at position t depends only on tokens 0..t.
+
+        This is the property that makes KV-cache generation valid.
+        """
+        decoder = TransformerDecoder(
+            d_token=9, d_model=16, num_layers=2, num_heads=2, d_ff=32,
+            max_len=32, rng=rng,
+        )
+        tokens = rng.normal(size=(1, 10, 9))
+        with no_grad():
+            full = decoder(Tensor(tokens)).data
+            prefix = decoder(Tensor(tokens[:, :6])).data
+        np.testing.assert_allclose(full[0, :6], prefix[0], atol=1e-10)
+
+    def test_positional_embedding_breaks_permutation_symmetry(self, rng):
+        decoder = TransformerDecoder(
+            d_token=9, d_model=16, num_layers=1, num_heads=2, d_ff=32,
+            max_len=16, rng=rng,
+        )
+        token = rng.normal(size=(9,))
+        same = np.tile(token, (1, 3, 1))
+        with no_grad():
+            out = decoder(Tensor(same)).data
+        # Identical tokens at different positions must map differently.
+        assert not np.allclose(out[0, 0], out[0, 1])
+
+    def test_dropout_only_active_in_training(self, rng):
+        decoder = TransformerDecoder(
+            d_token=9, d_model=16, num_layers=1, num_heads=2, d_ff=32,
+            max_len=16, rng=rng, dropout=0.5,
+        )
+        tokens = rng.normal(size=(1, 5, 9))
+        decoder.eval()
+        with no_grad():
+            a = decoder(Tensor(tokens)).data
+            b = decoder(Tensor(tokens)).data
+        np.testing.assert_array_equal(a, b)
+        decoder.train()
+        with no_grad():
+            c = decoder(Tensor(tokens)).data
+            d = decoder(Tensor(tokens)).data
+        assert not np.array_equal(c, d)

@@ -1,0 +1,206 @@
+"""Finite-difference gradient checks for every primitive and key composites.
+
+Central differences at eps=1e-6 on float64 give ~1e-9 accuracy; the
+tolerance of 1e-5 leaves ample headroom while catching any sign/shape
+error outright.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    MLP,
+    LayerNorm,
+    Linear,
+    MultiHeadSelfAttention,
+    Tensor,
+    bce_with_logits,
+    causal_mask,
+    concatenate,
+    cross_entropy,
+    gaussian_nll,
+    log_softmax,
+    mse,
+    softmax,
+    softplus,
+    stack,
+    where,
+)
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def gradcheck(fn, *arrays):
+    """Compare autograd gradients of sum(fn(*tensors)) to finite differences."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.sum().backward()
+    for t, base in zip(tensors, arrays):
+        analytic = t.grad
+        assert analytic is not None, "missing gradient"
+        numeric = np.zeros_like(base)
+        flat = base.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + EPS
+            hi = fn(*[Tensor(a) for a in arrays]).data.sum()
+            flat[i] = original - EPS
+            lo = fn(*[Tensor(a) for a in arrays]).data.sum()
+            flat[i] = original
+            num_flat[i] = (hi - lo) / (2 * EPS)
+        np.testing.assert_allclose(analytic, numeric, atol=TOL, rtol=TOL)
+
+
+class TestPrimitiveGrads:
+    def test_add_broadcast(self, rng):
+        gradcheck(lambda a, b: a + b, rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_sub_broadcast(self, rng):
+        gradcheck(lambda a, b: a - b, rng.normal(size=(2, 1, 4)), rng.normal(size=(3, 1)))
+
+    def test_mul_broadcast(self, rng):
+        gradcheck(lambda a, b: a * b, rng.normal(size=(3, 4)), rng.normal(size=(3, 1)))
+
+    def test_div(self, rng):
+        gradcheck(
+            lambda a, b: a / b,
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4)) + 3.0,
+        )
+
+    def test_matmul(self, rng):
+        gradcheck(lambda a, b: a @ b, rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+
+    def test_matmul_batched(self, rng):
+        gradcheck(
+            lambda a, b: a @ b, rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 2))
+        )
+
+    def test_matmul_broadcast_weight(self, rng):
+        gradcheck(
+            lambda a, b: a @ b, rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 5))
+        )
+
+    def test_pow(self, rng):
+        gradcheck(lambda a: a**3.0, rng.normal(size=(5,)))
+
+    def test_exp_log_sqrt(self, rng):
+        base = np.abs(rng.normal(size=(4,))) + 0.5
+        gradcheck(lambda a: a.exp(), rng.normal(size=(4,)))
+        gradcheck(lambda a: a.log(), base.copy())
+        gradcheck(lambda a: a.sqrt(), base.copy())
+
+    def test_tanh_sigmoid_relu_gelu_abs(self, rng):
+        x = rng.normal(size=(3, 3)) * 2
+        gradcheck(lambda a: a.tanh(), x.copy())
+        gradcheck(lambda a: a.sigmoid(), x.copy())
+        # Keep away from the ReLU/abs kinks where the subgradient is ambiguous.
+        off_kink = x + np.sign(x) * 0.05
+        gradcheck(lambda a: a.relu(), off_kink.copy())
+        gradcheck(lambda a: a.abs(), off_kink.copy())
+        gradcheck(lambda a: a.gelu(), x.copy())
+
+    def test_reductions(self, rng):
+        x = rng.normal(size=(3, 4))
+        gradcheck(lambda a: a.sum(axis=0), x.copy())
+        gradcheck(lambda a: a.mean(axis=1, keepdims=True), x.copy())
+        gradcheck(lambda a: a.sum(), x.copy())
+
+    def test_max_reduction(self, rng):
+        # Unique maxima keep the subgradient well-defined.
+        x = rng.permutation(20).astype(np.float64).reshape(4, 5)
+        gradcheck(lambda a: a.max(axis=1), x.copy())
+
+    def test_shape_ops(self, rng):
+        x = rng.normal(size=(2, 6))
+        gradcheck(lambda a: a.reshape((3, 4)) * 2.0, x.copy())
+        gradcheck(lambda a: a.transpose((1, 0)) * 3.0, x.copy())
+
+    def test_getitem(self, rng):
+        x = rng.normal(size=(4, 5))
+        gradcheck(lambda a: a[1:3, ::2] * 2.0, x.copy())
+
+    def test_concatenate_stack(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        gradcheck(lambda x, y: concatenate([x, y], axis=1), a.copy(), b.copy())
+        c, d = rng.normal(size=(2, 3)), rng.normal(size=(2, 3))
+        gradcheck(lambda x, y: stack([x, y], axis=1), c.copy(), d.copy())
+
+    def test_where(self, rng):
+        a, b = rng.normal(size=(3, 3)), rng.normal(size=(3, 3))
+        cond = rng.random((3, 3)) > 0.5
+        gradcheck(lambda x, y: where(cond, x, y), a.copy(), b.copy())
+
+    def test_clip(self, rng):
+        x = rng.normal(size=(6,)) * 2
+        # Keep values away from the clip boundaries.
+        x = x + np.sign(x) * 0.05
+        gradcheck(lambda a: a.clip(-1.0, 1.0), x.copy())
+
+
+class TestCompositeGrads:
+    def test_softmax(self, rng):
+        w = rng.normal(size=(3, 5))
+        gradcheck(lambda a: softmax(a, axis=-1) * w, rng.normal(size=(3, 5)))
+
+    def test_log_softmax(self, rng):
+        w = rng.normal(size=(2, 4))
+        gradcheck(lambda a: log_softmax(a, axis=-1) * w, rng.normal(size=(2, 4)))
+
+    def test_softplus(self, rng):
+        gradcheck(lambda a: softplus(a), rng.normal(size=(7,)) * 3)
+
+    def test_cross_entropy(self, rng):
+        targets = rng.integers(0, 4, size=(3, 5))
+        mask = rng.random((3, 5)) > 0.3
+        gradcheck(
+            lambda a: cross_entropy(a, targets, mask), rng.normal(size=(3, 5, 4))
+        )
+
+    def test_gaussian_nll(self, rng):
+        targets = rng.normal(size=(3, 4))
+        gradcheck(
+            lambda m, s: gaussian_nll(m, s, targets),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(3, 4)),
+        )
+
+    def test_bce_with_logits(self, rng):
+        targets = (rng.random((6,)) > 0.5).astype(float)
+        gradcheck(lambda a: bce_with_logits(a, targets), rng.normal(size=(6,)) * 2)
+
+    def test_mse(self, rng):
+        targets = rng.normal(size=(4,))
+        gradcheck(lambda a: mse(a, targets), rng.normal(size=(4,)))
+
+
+class TestModuleGrads:
+    def test_linear(self, rng):
+        layer = Linear(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        out = layer(Tensor(x, requires_grad=True))
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.weight.grad.shape == (4, 3)
+        assert layer.bias.grad is not None and layer.bias.grad.shape == (3,)
+
+    def test_layernorm_grad(self, rng):
+        norm = LayerNorm(5)
+        gradcheck(lambda a: norm(a), rng.normal(size=(3, 5)))
+
+    def test_mlp_grad(self, rng):
+        mlp = MLP(4, 8, 2, rng)
+        gradcheck(lambda a: mlp(a), rng.normal(size=(3, 4)))
+
+    def test_attention_grad_small(self, rng):
+        attn = MultiHeadSelfAttention(d_model=4, num_heads=2, rng=rng)
+        mask = causal_mask(3)
+        gradcheck(lambda a: attn(a, mask), rng.normal(size=(1, 3, 4)))
+
+    def test_lstm_grad_small(self, rng):
+        lstm = LSTM(3, 4, rng)
+        gradcheck(lambda a: lstm(a)[0], rng.normal(size=(1, 3, 3)))

@@ -1,0 +1,65 @@
+"""Initializers and functional helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import one_hot
+from repro.nn.init import kaiming_uniform, normal, ones, xavier_uniform, zeros
+
+
+class TestInitializers:
+    def test_xavier_bounds(self, rng):
+        w = xavier_uniform((64, 64), rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.all(np.abs(w) <= bound)
+        assert w.std() > bound / 4  # actually spread out, not degenerate
+
+    def test_xavier_gain_scales(self, rng):
+        small = xavier_uniform((32, 32), np.random.default_rng(0), gain=1.0)
+        large = xavier_uniform((32, 32), np.random.default_rng(0), gain=2.0)
+        np.testing.assert_allclose(large, 2.0 * small)
+
+    def test_kaiming_bounds(self, rng):
+        w = kaiming_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_normal_std(self, rng):
+        w = normal((200, 200), rng, std=0.02)
+        assert w.std() == pytest.approx(0.02, rel=0.1)
+        assert abs(w.mean()) < 0.005
+
+    def test_zeros_ones(self):
+        np.testing.assert_array_equal(zeros((2, 3)), np.zeros((2, 3)))
+        np.testing.assert_array_equal(ones((4,)), np.ones(4))
+
+    def test_1d_fans(self, rng):
+        w = xavier_uniform((10,), rng)
+        assert w.shape == (10,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            xavier_uniform((), rng)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), num_classes=3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_multidimensional(self):
+        out = one_hot(np.array([[0, 1], [1, 0]]), num_classes=2)
+        assert out.shape == (2, 2, 2)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+
+    def test_empty_input(self):
+        out = one_hot(np.array([], dtype=int), num_classes=4)
+        assert out.shape == (0, 4)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), num_classes=3)

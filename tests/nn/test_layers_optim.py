@@ -1,0 +1,270 @@
+"""Module system, layers, optimizers, losses edge cases, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    MLP,
+    Adam,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    TransformerDecoder,
+    bce_with_logits,
+    clip_grad_norm,
+    cross_entropy,
+    gaussian_nll,
+    load_checkpoint,
+    save_checkpoint,
+    softmax,
+)
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self, rng):
+        mlp = MLP(3, 4, 2, rng)
+        names = dict(mlp.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 4, rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 2, rng)
+        out = layer(Tensor(rng.normal(size=(1, 2))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        model.eval()
+        assert not model.training
+        assert all(not m.training for m in model)
+        model.train()
+        assert model.training
+
+    def test_state_dict_roundtrip(self, rng):
+        a = MLP(3, 4, 2, rng)
+        b = MLP(3, 4, 2, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_load_state_dict_missing_key(self, rng):
+        mlp = MLP(3, 4, 2, rng)
+        state = mlp.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            mlp.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        mlp = MLP(3, 4, 2, rng)
+        state = mlp.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mlp.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 7, rng)
+        assert layer(Tensor(rng.normal(size=(5, 4)))).shape == (5, 7)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 7, rng, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 28
+
+    def test_layernorm_normalizes(self, rng):
+        norm = LayerNorm(16)
+        out = norm(Tensor(rng.normal(3.0, 5.0, size=(4, 16)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_eval_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_array_equal(drop(Tensor(x)).data, x)
+
+    def test_dropout_train_masks_and_scales(self, rng):
+        drop = Dropout(0.5, rng)
+        x = np.ones((200, 200))
+        out = drop(Tensor(x)).data
+        kept = out != 0
+        assert 0.4 < kept.mean() < 0.6
+        np.testing.assert_allclose(out[kept], 2.0)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_mlp_activations(self, rng):
+        for activation in ("gelu", "relu", "tanh"):
+            mlp = MLP(3, 4, 2, rng, activation=activation)
+            assert mlp(Tensor(rng.normal(size=(2, 3)))).shape == (2, 2)
+        with pytest.raises(ValueError):
+            MLP(3, 4, 2, rng, activation="swish")
+
+    def test_attention_head_divisibility(self, rng):
+        from repro.nn import MultiHeadSelfAttention
+
+        with pytest.raises(ValueError, match="divisible"):
+            MultiHeadSelfAttention(d_model=10, num_heads=3, rng=rng)
+
+    def test_transformer_rejects_long_input(self, rng):
+        decoder = TransformerDecoder(9, 8, 1, 2, 16, max_len=4, rng=rng)
+        with pytest.raises(ValueError, match="exceeds positional"):
+            decoder(Tensor(rng.normal(size=(1, 5, 9))))
+
+    def test_transformer_rejects_wrong_token_dim(self, rng):
+        decoder = TransformerDecoder(9, 8, 1, 2, 16, max_len=8, rng=rng)
+        with pytest.raises(ValueError, match="token dim"):
+            decoder(Tensor(rng.normal(size=(1, 3, 7))))
+
+    def test_lstm_state_threading(self, rng):
+        lstm = LSTM(3, 5, rng, num_layers=2)
+        x = Tensor(rng.normal(size=(2, 4, 3)))
+        out, states = lstm(x)
+        assert out.shape == (2, 4, 5)
+        assert len(states) == 2
+        # Continuing from returned state differs from a fresh start.
+        y = Tensor(rng.normal(size=(2, 1, 3)))
+        cont, _ = lstm(y, states)
+        fresh, _ = lstm(y)
+        assert not np.allclose(cont.data, fresh.data)
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer, param):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+        return float((param.data**2).sum())
+
+    def test_sgd_descends(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = SGD([param], lr=0.1)
+        values = [self._quadratic_step(optimizer, param) for _ in range(20)]
+        assert values[-1] < values[0] * 0.1
+
+    def test_sgd_momentum_descends(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = SGD([param], lr=0.05, momentum=0.9)
+        values = [self._quadratic_step(optimizer, param) for _ in range(30)]
+        assert values[-1] < values[0]
+
+    def test_adam_descends(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([param], lr=0.3)
+        values = [self._quadratic_step(optimizer, param) for _ in range(50)]
+        assert values[-1] < values[0] * 0.01
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_step_skips_gradless_params(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        optimizer.step()  # no grad accumulated; must not raise
+        np.testing.assert_array_equal(param.data, [1.0])
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(20):
+            optimizer.zero_grad()
+            param.grad = np.zeros(1)
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_clip_grad_norm(self):
+        params = [Parameter(np.zeros(3)) for _ in range(2)]
+        params[0].grad = np.array([3.0, 0.0, 0.0])
+        params[1].grad = np.array([0.0, 4.0, 0.0])
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(sum((p.grad**2).sum() for p in params))
+        assert total == pytest.approx(1.0)
+
+    def test_clip_noop_when_small(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.3, 0.4])
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+
+class TestLossEdgeCases:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        loss = cross_entropy(Tensor(logits), targets).item()
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), targets]).mean()
+        assert loss == pytest.approx(manual)
+
+    def test_cross_entropy_target_range_checked(self, rng):
+        with pytest.raises(ValueError, match="targets must lie"):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([0, 5]))
+
+    def test_empty_mask_rejected(self, rng):
+        with pytest.raises(ValueError, match="zero positions"):
+            cross_entropy(
+                Tensor(rng.normal(size=(2, 3))), np.array([0, 1]), np.zeros(2, bool)
+            )
+
+    def test_gaussian_nll_matches_scipy(self, rng):
+        from scipy.stats import norm as scipy_norm
+
+        mean = rng.normal(size=(5,))
+        raw = rng.normal(size=(5,))
+        targets = rng.normal(size=(5,))
+        loss = gaussian_nll(Tensor(mean), Tensor(raw), targets, min_scale=1e-3).item()
+        scale = np.log1p(np.exp(-np.abs(raw))) + np.maximum(raw, 0) + 1e-3
+        manual = -scipy_norm.logpdf(targets, mean, scale).mean()
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_bce_extreme_logits_finite(self):
+        loss = bce_with_logits(Tensor(np.array([500.0, -500.0])), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(3, 7)) * 50)).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+        assert np.all(out >= 0)
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip_with_metadata(self, rng, tmp_path):
+        model = MLP(3, 4, 2, rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, metadata={"note": "hello", "epochs": 3})
+        clone = MLP(3, 4, 2, np.random.default_rng(7))
+        metadata = load_checkpoint(clone, path)
+        assert metadata == {"note": "hello", "epochs": 3}
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_checkpoint_without_metadata(self, rng, tmp_path):
+        model = Linear(2, 2, rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        assert load_checkpoint(model, path) == {}

@@ -1,0 +1,183 @@
+"""Forward-pass correctness of Tensor primitives against numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concatenate, no_grad, stack, where
+from repro.nn.tensor import is_grad_enabled
+
+
+class TestArithmetic:
+    def test_add_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_add_broadcasts(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        np.testing.assert_allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_right_ops(self, rng):
+        a = rng.normal(size=(2, 3))
+        np.testing.assert_allclose((2.0 - Tensor(a)).data, 2.0 - a)
+        np.testing.assert_allclose((2.0 / Tensor(np.abs(a) + 1)).data, 2.0 / (np.abs(a) + 1))
+        np.testing.assert_allclose((3.0 * Tensor(a)).data, 3.0 * a)
+
+    def test_sub_mul_div(self, rng):
+        a, b = rng.normal(size=(5,)), rng.normal(size=(5,)) + 3.0
+        np.testing.assert_allclose((Tensor(a) - Tensor(b)).data, a - b)
+        np.testing.assert_allclose((Tensor(a) * Tensor(b)).data, a * b)
+        np.testing.assert_allclose((Tensor(a) / Tensor(b)).data, a / b)
+
+    def test_neg_pow(self, rng):
+        a = np.abs(rng.normal(size=(4,))) + 0.5
+        np.testing.assert_allclose((-Tensor(a)).data, -a)
+        np.testing.assert_allclose((Tensor(a) ** 2.5).data, a**2.5)
+
+    def test_matmul_2d(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_batched(self, rng):
+        a, b = rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_matmul_broadcast_weight(self, rng):
+        a, w = rng.normal(size=(2, 7, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(w)).data, a @ w)
+
+
+class TestActivationsAndReductions:
+    def test_exp_log_sqrt(self, rng):
+        a = np.abs(rng.normal(size=(6,))) + 0.1
+        np.testing.assert_allclose(Tensor(a).exp().data, np.exp(a))
+        np.testing.assert_allclose(Tensor(a).log().data, np.log(a))
+        np.testing.assert_allclose(Tensor(a).sqrt().data, np.sqrt(a))
+
+    def test_tanh_sigmoid_relu_abs(self, rng):
+        a = rng.normal(size=(4, 4)) * 3
+        np.testing.assert_allclose(Tensor(a).tanh().data, np.tanh(a))
+        np.testing.assert_allclose(Tensor(a).sigmoid().data, 1 / (1 + np.exp(-a)), rtol=1e-12)
+        np.testing.assert_allclose(Tensor(a).relu().data, np.maximum(a, 0))
+        np.testing.assert_allclose(Tensor(a).abs().data, np.abs(a))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = Tensor(np.array([-1000.0, 1000.0])).sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_sum_axes(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        np.testing.assert_allclose(Tensor(a).sum().data, a.sum())
+        np.testing.assert_allclose(Tensor(a).sum(axis=1).data, a.sum(axis=1))
+        np.testing.assert_allclose(
+            Tensor(a).sum(axis=(0, 2), keepdims=True).data, a.sum(axis=(0, 2), keepdims=True)
+        )
+
+    def test_mean_axes(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).mean().data, a.mean())
+        np.testing.assert_allclose(
+            Tensor(a).mean(axis=-1, keepdims=True).data, a.mean(axis=-1, keepdims=True)
+        )
+
+    def test_max(self, rng):
+        a = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).max().data, a.max())
+        np.testing.assert_allclose(Tensor(a).max(axis=0).data, a.max(axis=0))
+
+    def test_clip(self, rng):
+        a = rng.normal(size=(10,)) * 3
+        np.testing.assert_allclose(Tensor(a).clip(-1, 1).data, np.clip(a, -1, 1))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(Tensor(a).reshape((3, 4)).data, a.reshape(3, 4))
+
+    def test_transpose_default_and_axes(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        np.testing.assert_allclose(Tensor(a).transpose().data, a.transpose())
+        np.testing.assert_allclose(
+            Tensor(a).transpose((2, 0, 1)).data, a.transpose(2, 0, 1)
+        )
+
+    def test_getitem_slices(self, rng):
+        a = rng.normal(size=(4, 5, 6))
+        np.testing.assert_allclose(Tensor(a)[1].data, a[1])
+        np.testing.assert_allclose(Tensor(a)[:, 2:4, :].data, a[:, 2:4, :])
+        np.testing.assert_allclose(Tensor(a)[:, 1, ::2].data, a[:, 1, ::2])
+
+    def test_concatenate(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 5))
+        out = concatenate([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=1))
+
+    def test_stack(self, rng):
+        parts = [rng.normal(size=(3, 2)) for _ in range(4)]
+        out = stack([Tensor(p) for p in parts], axis=1)
+        np.testing.assert_allclose(out.data, np.stack(parts, axis=1))
+
+    def test_where(self, rng):
+        a, b = rng.normal(size=(3, 3)), rng.normal(size=(3, 3))
+        cond = a > 0
+        np.testing.assert_allclose(where(cond, Tensor(a), Tensor(b)).data, np.where(cond, a, b))
+
+
+class TestGradMachinery:
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(3))
+        assert as_tensor(t) is t
+
+    def test_no_grad_disables_graph(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert is_grad_enabled()
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = (x * 2.0).detach() * 3.0
+        y.sum().backward()
+        assert x.grad is None
+
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_backward_default_seed_ones(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (x * 2.0).backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_requires_grad_propagates(self, rng):
+        a = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2,)))
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_item_and_len_and_repr(self):
+        t = Tensor(np.array([[1.0, 2.0]]))
+        assert len(t) == 1
+        assert "shape=(1, 2)" in repr(t)
+        assert Tensor(np.array(5.0)).item() == 5.0
+
+
+class TestErrorCases:
+    def test_log_of_negative_is_nan(self):
+        # numpy semantics: nan, not an exception (documents behavior)
+        with np.errstate(invalid="ignore"):
+            out = Tensor(np.array([-1.0])).log().data
+        assert np.isnan(out[0])
+
+    def test_one_hot_out_of_range_raises(self):
+        from repro.nn import one_hot
+
+        with pytest.raises(ValueError, match="indices must lie"):
+            one_hot(np.array([0, 7]), num_classes=6)

@@ -1,0 +1,78 @@
+"""MachineSpec validation and StateMachine edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.statemachine import LTE_EVENTS, MachineSpec, MachineState, StateMachine
+
+
+def _minimal_spec(**overrides) -> MachineSpec:
+    base = dict(
+        name="mini",
+        vocabulary=LTE_EVENTS,
+        top_states=("A", "B"),
+        sub_states={"A": ("a",), "B": ("b1", "b2")},
+        transitions={
+            ("A", "ATCH"): ("B", "b1"),
+            ("B", "DTCH"): ("A", "a"),
+            ("B", "HO"): ("B", {"b1": "b2", "b2": "b1"}),
+        },
+        bootstrap_events={"ATCH": ("B", "b1")},
+        connected_state="B",
+        idle_state="A",
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestSpecEdgeCases:
+    def test_minimal_spec_validates(self):
+        _minimal_spec().validate()
+
+    def test_empty_substates_rejected(self):
+        spec = _minimal_spec(sub_states={"A": (), "B": ("b1", "b2")})
+        with pytest.raises(ValueError, match="no sub-states"):
+            spec.validate()
+
+    def test_mapping_substate_target_validated(self):
+        spec = _minimal_spec(
+            transitions={("B", "HO"): ("B", {"b1": "missing"})}
+        )
+        with pytest.raises(ValueError, match="unknown sub-state"):
+            spec.validate()
+
+    def test_bootstrap_unknown_event_rejected(self):
+        spec = _minimal_spec(bootstrap_events={"NOPE": ("B", "b1")})
+        with pytest.raises(ValueError, match="unknown event"):
+            spec.validate()
+
+    def test_sojourn_state_must_exist(self):
+        spec = _minimal_spec(connected_state="Z")
+        with pytest.raises(ValueError, match="not a top-level"):
+            spec.validate()
+
+
+class TestConditionalSubstateTransitions:
+    def test_mapping_routes_by_current_substate(self):
+        machine = StateMachine(_minimal_spec(), MachineState("B", "b1"))
+        assert machine.step("HO")
+        assert machine.state == MachineState("B", "b2")
+        assert machine.step("HO")
+        assert machine.state == MachineState("B", "b1")
+
+    def test_mapping_without_entry_is_violation(self):
+        spec = _minimal_spec(
+            transitions={
+                ("A", "ATCH"): ("B", "b1"),
+                ("B", "HO"): ("B", {"b2": "b1"}),  # no entry for b1
+            }
+        )
+        machine = StateMachine(spec, MachineState("B", "b1"))
+        before = machine.state
+        assert not machine.step("HO")
+        assert machine.state == before
+
+    def test_legal_events_before_bootstrap_lists_bootstraps(self):
+        machine = StateMachine(_minimal_spec(), state=None)
+        assert machine.legal_events() == ("ATCH",)

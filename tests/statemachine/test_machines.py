@@ -1,0 +1,208 @@
+"""Exhaustive legality tests of the 4G and 5G hierarchical machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.statemachine import (
+    LTE_EVENTS,
+    LTE_SPEC,
+    NR_EVENTS,
+    NR_SPEC,
+    MachineSpec,
+    MachineState,
+    StateMachine,
+    make_lte_machine,
+    make_nr_machine,
+)
+
+
+class TestVocabulary:
+    def test_lte_has_six_events(self):
+        assert len(LTE_EVENTS) == 6
+
+    def test_nr_has_five_events(self):
+        assert len(NR_EVENTS) == 5
+        assert "TAU" not in NR_EVENTS
+
+    def test_index_name_roundtrip(self):
+        for i, name in enumerate(LTE_EVENTS):
+            assert LTE_EVENTS.index(name) == i
+            assert LTE_EVENTS.name(i) == name
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            LTE_EVENTS.index("NOPE")
+
+    def test_bad_index_raises(self):
+        with pytest.raises(IndexError):
+            LTE_EVENTS.name(6)
+
+    def test_duplicate_names_rejected(self):
+        from repro.statemachine import EventVocabulary
+
+        with pytest.raises(ValueError):
+            EventVocabulary(("A", "A"))
+
+
+class TestSpecValidation:
+    def test_shipped_specs_validate(self):
+        LTE_SPEC.validate()
+        NR_SPEC.validate()
+
+    def test_transition_to_unknown_state_rejected(self):
+        spec = MachineSpec(
+            name="bad",
+            vocabulary=LTE_EVENTS,
+            top_states=("A",),
+            sub_states={"A": ("a",)},
+            transitions={("A", "ATCH"): ("B", "b")},
+            bootstrap_events={},
+            connected_state="A",
+            idle_state="A",
+        )
+        with pytest.raises(ValueError, match="unknown state"):
+            spec.validate()
+
+    def test_transition_on_unknown_event_rejected(self):
+        spec = MachineSpec(
+            name="bad",
+            vocabulary=LTE_EVENTS,
+            top_states=("A",),
+            sub_states={"A": ("a",)},
+            transitions={("A", "NOPE"): ("A", "a")},
+            bootstrap_events={},
+            connected_state="A",
+            idle_state="A",
+        )
+        with pytest.raises(ValueError, match="unknown event"):
+            spec.validate()
+
+
+# Expected legality matrix for 4G: state -> set of legal events.
+LTE_LEGAL = {
+    "DEREGISTERED": {"ATCH"},
+    "CONNECTED": {"DTCH", "S1_CONN_REL", "HO", "TAU"},
+    "IDLE": {"SRV_REQ", "TAU", "DTCH"},
+}
+
+
+class TestLTEMachine:
+    @pytest.mark.parametrize("top", sorted(LTE_LEGAL))
+    def test_legality_matrix(self, top):
+        for event in LTE_EVENTS:
+            machine = make_lte_machine(bootstrapped=True)
+            machine.state = _enter(machine, top)
+            legal = machine.step(event)
+            assert legal == (event in LTE_LEGAL[top]), (top, event)
+
+    def test_violation_keeps_state(self):
+        machine = make_lte_machine(bootstrapped=True)
+        before = machine.state
+        assert not machine.step("SRV_REQ")  # illegal in DEREGISTERED
+        assert machine.state == before
+
+    def test_attach_connects(self):
+        machine = make_lte_machine(bootstrapped=True)
+        assert machine.step("ATCH")
+        assert machine.state.top == "CONNECTED"
+
+    def test_release_from_service_lands_rel1(self):
+        machine = make_lte_machine(bootstrapped=True)
+        machine.step("ATCH")
+        machine.step("S1_CONN_REL")
+        assert machine.state == MachineState("IDLE", "S1_REL_S_1")
+
+    def test_release_from_handover_lands_rel2(self):
+        machine = make_lte_machine(bootstrapped=True)
+        machine.step("ATCH")
+        machine.step("HO")
+        machine.step("S1_CONN_REL")
+        assert machine.state == MachineState("IDLE", "S1_REL_S_2")
+
+    def test_tau_in_idle_stays_idle(self):
+        machine = make_lte_machine(bootstrapped=True)
+        machine.step("ATCH")
+        machine.step("S1_CONN_REL")
+        assert machine.step("TAU")
+        assert machine.state == MachineState("IDLE", "TAU_S_IDLE")
+
+    def test_full_session_cycle(self):
+        machine = make_lte_machine(bootstrapped=True)
+        for event in ("ATCH", "S1_CONN_REL", "SRV_REQ", "HO", "TAU",
+                      "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL", "DTCH"):
+            assert machine.step(event), event
+        assert machine.state.top == "DEREGISTERED"
+
+    def test_bootstrap_events(self):
+        for event, expected_top in (
+            ("ATCH", "CONNECTED"),
+            ("DTCH", "DEREGISTERED"),
+            ("SRV_REQ", "CONNECTED"),
+            ("HO", "CONNECTED"),
+        ):
+            machine = make_lte_machine()
+            assert machine.try_bootstrap(event)
+            assert machine.state.top == expected_top
+
+    def test_non_bootstrap_events_do_not_determine_state(self):
+        for event in ("TAU", "S1_CONN_REL"):
+            machine = make_lte_machine()
+            assert not machine.try_bootstrap(event)
+            assert not machine.started
+
+    def test_step_before_bootstrap_raises(self):
+        machine = make_lte_machine()
+        with pytest.raises(RuntimeError, match="bootstrapped"):
+            machine.step("ATCH")
+
+    def test_double_bootstrap_raises(self):
+        machine = make_lte_machine()
+        machine.try_bootstrap("ATCH")
+        with pytest.raises(RuntimeError):
+            machine.try_bootstrap("ATCH")
+
+    def test_unknown_event_raises(self):
+        machine = make_lte_machine(bootstrapped=True)
+        with pytest.raises(KeyError):
+            machine.step("REGISTER")
+
+    def test_legal_events_listing(self):
+        machine = make_lte_machine(bootstrapped=True)
+        machine.step("ATCH")
+        assert set(machine.legal_events()) == LTE_LEGAL["CONNECTED"]
+
+
+NR_LEGAL = {
+    "RM-DEREGISTERED": {"REGISTER"},
+    "CM-CONNECTED": {"DEREGISTER", "AN_REL", "HO"},
+    "CM-IDLE": {"SRV_REQ", "DEREGISTER"},
+}
+
+
+class TestNRMachine:
+    @pytest.mark.parametrize("top", sorted(NR_LEGAL))
+    def test_legality_matrix(self, top):
+        for event in NR_EVENTS:
+            machine = make_nr_machine(bootstrapped=True)
+            machine.state = _enter_nr(machine, top)
+            legal = machine.step(event)
+            assert legal == (event in NR_LEGAL[top]), (top, event)
+
+    def test_no_tau_anywhere(self):
+        assert all(event != "TAU" for (_, event) in NR_SPEC.transitions)
+
+    def test_session_cycle(self):
+        machine = make_nr_machine(bootstrapped=True)
+        for event in ("REGISTER", "HO", "AN_REL", "SRV_REQ", "AN_REL", "DEREGISTER"):
+            assert machine.step(event), event
+        assert machine.state.top == "RM-DEREGISTERED"
+
+
+def _enter(machine: StateMachine, top: str) -> MachineState:
+    """A valid MachineState with the given 4G top-level state."""
+    return MachineState(top, machine.spec.sub_states[top][0])
+
+
+def _enter_nr(machine: StateMachine, top: str) -> MachineState:
+    return MachineState(top, machine.spec.sub_states[top][0])

@@ -1,0 +1,129 @@
+"""Replay engine: bootstrap, violation accounting, sojourn extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.statemachine import LTE_SPEC, replay_dataset, replay_events
+
+
+def _stream(*pairs):
+    return list(pairs)
+
+
+class TestBootstrap:
+    def test_leading_non_bootstrap_events_excluded(self):
+        replay = replay_events(
+            _stream((0.0, "TAU"), (1.0, "S1_CONN_REL"), (2.0, "SRV_REQ"), (3.0, "S1_CONN_REL")),
+            LTE_SPEC,
+        )
+        # TAU and S1_CONN_REL precede the bootstrap (SRV_REQ): excluded.
+        assert replay.counted_events == 1
+        assert replay.violating_events == 0
+        assert replay.bootstrapped
+
+    def test_never_bootstrapped_stream(self):
+        replay = replay_events(_stream((0.0, "TAU"), (5.0, "TAU")), LTE_SPEC)
+        assert not replay.bootstrapped
+        assert replay.counted_events == 0
+        assert not replay.has_violation
+
+    def test_empty_stream(self):
+        replay = replay_events([], LTE_SPEC)
+        assert replay.total_events == 0
+        assert replay.counted_events == 0
+
+
+class TestViolations:
+    def test_legal_stream_has_none(self):
+        replay = replay_events(
+            _stream((0.0, "ATCH"), (5.0, "S1_CONN_REL"), (30.0, "SRV_REQ"), (40.0, "S1_CONN_REL")),
+            LTE_SPEC,
+        )
+        assert replay.violating_events == 0
+
+    def test_violation_counted_and_state_kept(self):
+        replay = replay_events(
+            # After release we're IDLE; HO is illegal there, then SRV_REQ
+            # must still be legal (state unchanged by the violation).
+            _stream((0.0, "ATCH"), (5.0, "S1_CONN_REL"), (6.0, "HO"), (10.0, "SRV_REQ")),
+            LTE_SPEC,
+        )
+        assert replay.violating_events == 1
+        violation = replay.violations[0]
+        assert violation.top_state == "IDLE"
+        assert violation.event == "HO"
+        assert violation.state_label == "S1_REL_S"  # the paper's Table 3 label
+
+    def test_paper_table3_patterns_reportable(self):
+        streams = [
+            _stream((0.0, "SRV_REQ"), (1.0, "S1_CONN_REL"), (2.0, "S1_CONN_REL")),
+            _stream((0.0, "SRV_REQ"), (1.0, "S1_CONN_REL"), (2.0, "HO")),
+            _stream((0.0, "SRV_REQ"), (1.0, "SRV_REQ")),
+        ]
+        replay = replay_dataset(streams, LTE_SPEC)
+        patterns = dict(replay.top_violation_patterns(3))
+        assert ("S1_REL_S", "S1_CONN_REL") in patterns
+        assert ("S1_REL_S", "HO") in patterns
+        assert ("CONNECTED", "SRV_REQ") in patterns
+
+    def test_out_of_order_timestamps_raise(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            replay_events(_stream((5.0, "ATCH"), (1.0, "DTCH")), LTE_SPEC)
+
+    def test_event_violation_rate(self):
+        streams = [
+            _stream((0.0, "SRV_REQ"), (1.0, "S1_CONN_REL"), (2.0, "S1_CONN_REL")),
+            _stream((0.0, "SRV_REQ"), (1.0, "S1_CONN_REL")),
+        ]
+        replay = replay_dataset(streams, LTE_SPEC)
+        # counted events: stream1 -> 2 (after bootstrap), stream2 -> 1.
+        assert replay.counted_events == 3
+        assert replay.violating_events == 1
+        assert replay.event_violation_rate == pytest.approx(1 / 3)
+        assert replay.stream_violation_rate == pytest.approx(1 / 2)
+
+
+class TestSojourns:
+    def test_connected_sojourn_duration(self):
+        replay = replay_events(
+            _stream((0.0, "SRV_REQ"), (12.5, "S1_CONN_REL"), (100.0, "SRV_REQ"), (110.0, "S1_CONN_REL")),
+            LTE_SPEC,
+        )
+        np.testing.assert_allclose(replay.sojourns["CONNECTED"], [12.5, 10.0])
+        np.testing.assert_allclose(replay.sojourns["IDLE"], [87.5])
+
+    def test_self_transitions_do_not_split_sojourn(self):
+        replay = replay_events(
+            _stream((0.0, "SRV_REQ"), (5.0, "HO"), (9.0, "TAU"), (20.0, "S1_CONN_REL")),
+            LTE_SPEC,
+        )
+        # HO and TAU stay in CONNECTED; one 20-second sojourn.
+        np.testing.assert_allclose(replay.sojourns["CONNECTED"], [20.0])
+
+    def test_trailing_incomplete_sojourn_discarded(self):
+        replay = replay_events(_stream((0.0, "SRV_REQ"), (5.0, "HO")), LTE_SPEC)
+        assert replay.sojourns["CONNECTED"] == []
+
+    def test_mean_sojourn_none_when_never_visited(self):
+        replay = replay_events(_stream((0.0, "DTCH"), (1.0, "ATCH")), LTE_SPEC)
+        assert replay.mean_sojourn("IDLE") is None
+
+    def test_violating_event_does_not_end_sojourn(self):
+        replay = replay_events(
+            _stream((0.0, "SRV_REQ"), (5.0, "SRV_REQ"), (10.0, "S1_CONN_REL")),
+            LTE_SPEC,
+        )
+        # The illegal SRV_REQ at t=5 must not cut the CONNECTED sojourn.
+        np.testing.assert_allclose(replay.sojourns["CONNECTED"], [10.0])
+
+    def test_per_ue_mean_sojourns_aggregation(self):
+        streams = [
+            _stream((0.0, "SRV_REQ"), (10.0, "S1_CONN_REL")),
+            _stream((0.0, "SRV_REQ"), (30.0, "S1_CONN_REL")),
+            _stream((0.0, "DTCH")),  # never visits CONNECTED
+        ]
+        replay = replay_dataset(streams, LTE_SPEC)
+        assert sorted(replay.per_ue_mean_sojourns("CONNECTED")) == [10.0, 30.0]
+        assert replay.all_sojourns("CONNECTED") == [10.0, 30.0]

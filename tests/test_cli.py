@@ -1,0 +1,72 @@
+"""CLI end-to-end tests through temporary files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import load_jsonl
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("synthesize", "train", "generate", "evaluate", "experiments"):
+            args = parser.parse_args([command] + _required_args(command))
+            assert args.command == command
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+def _required_args(command: str) -> list[str]:
+    return {
+        "synthesize": ["out.jsonl"],
+        "train": ["trace.jsonl", "model.npz"],
+        "generate": ["model.npz", "out.jsonl"],
+        "evaluate": ["real.jsonl", "synth.jsonl"],
+        "experiments": [],
+    }[command]
+
+
+class TestEndToEnd:
+    def test_synthesize_then_evaluate(self, tmp_path, capsys):
+        real = tmp_path / "real.jsonl"
+        other = tmp_path / "other.jsonl"
+        assert main(["synthesize", str(real), "--ues", "40", "--seed", "1"]) == 0
+        assert main(["synthesize", str(other), "--ues", "40", "--seed", "2"]) == 0
+        assert len(load_jsonl(real)) == 40
+        assert main(["evaluate", str(real), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "violations" in out
+        assert "sojourn" in out
+
+    def test_train_and_generate_pipeline(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        package = tmp_path / "model.npz"
+        generated = tmp_path / "generated.jsonl"
+        main(["synthesize", str(trace), "--ues", "60", "--seed", "3"])
+        code = main(
+            [
+                "train", str(trace), str(package),
+                "--epochs", "1", "--d-model", "16", "--d-ff", "32",
+                "--heads", "2", "--layers", "1", "--max-len", "96",
+            ]
+        )
+        assert code == 0
+        assert package.exists()
+        code = main(
+            ["generate", str(package), str(generated), "--count", "12", "--seed", "4"]
+        )
+        assert code == 0
+        loaded = load_jsonl(generated)
+        assert len(loaded) == 12
+        out = capsys.readouterr().out
+        assert "trained" in out
+
+    def test_synthesize_5g(self, tmp_path):
+        path = tmp_path / "nr.jsonl"
+        main(["synthesize", str(path), "--ues", "10", "--technology", "5G"])
+        loaded = load_jsonl(path)
+        assert "REGISTER" in loaded.vocabulary

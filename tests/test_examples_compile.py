@@ -1,0 +1,54 @@
+"""Examples stay importable/compilable.
+
+Full example runs take minutes (they train models); these tests compile
+each script and exercise its import-time dependencies, which catches the
+most common rot (renamed APIs) without the training cost.  The examples
+themselves are executed in the repo's verification runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every ``from repro...`` import in the example must resolve."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = __import__(node.module, fromlist=[alias.name for alias in node.names])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} does not exist"
+                )
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {
+        "quickstart.py",
+        "baseline_comparison.py",
+        "mcn_load_evaluation.py",
+        "hourly_drift_transfer.py",
+        "telemetry_calibration.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    source = path.read_text(encoding="utf-8")
+    assert 'if __name__ == "__main__":' in source
+    assert '"""' in source.split("\n\n")[0] or source.startswith('"""')

@@ -1,0 +1,171 @@
+"""Cross-module integration tests: full pipelines through the public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NetShare, NetShareConfig, SMM1Generator
+from repro.core import GeneratorPackage
+from repro.mcn import AutoscalePolicy, MCNSimulator, simulate_autoscaling
+from repro.metrics import fidelity_report, ngram_repeat_fraction, violation_stats
+from repro.statemachine import LTE_SPEC, NR_SPEC, replay_dataset
+from repro.trace import (
+    SyntheticTraceConfig,
+    generate_trace,
+    load_jsonl,
+    save_jsonl,
+)
+
+
+class TestCPTGPTPipeline:
+    def test_generate_replay_metrics(self, tiny_trained_package, phone_trace_alt):
+        """Train -> generate -> replay -> full fidelity report."""
+        generated = tiny_trained_package.generate(
+            80, np.random.default_rng(8), start_time=72000.0
+        )
+        report = fidelity_report(phone_trace_alt, generated, LTE_SPEC)
+        flat = report.as_flat_dict()
+        # Plumbing guarantees (quality is benchmarked elsewhere): every
+        # metric exists and is a valid probability/distance.
+        for key, value in flat.items():
+            assert 0.0 <= value <= 1.0, key
+        assert sum(report.breakdown_diff.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_generated_trace_roundtrips_through_jsonl(
+        self, tiny_trained_package, tmp_path
+    ):
+        generated = tiny_trained_package.generate(20, np.random.default_rng(0))
+        path = tmp_path / "generated.jsonl"
+        save_jsonl(generated, path)
+        loaded = load_jsonl(path)
+        assert len(loaded) == 20
+        stats_direct = violation_stats(generated, LTE_SPEC)
+        stats_loaded = violation_stats(loaded, LTE_SPEC)
+        assert stats_direct.event_rate == stats_loaded.event_rate
+
+    def test_package_roundtrip_then_downstream_mcn(
+        self, tiny_trained_package, tmp_path
+    ):
+        """Released artifact -> loaded by a 'user' -> drives the MCN sim."""
+        path = tmp_path / "release.npz"
+        tiny_trained_package.save(path)
+        user_package = GeneratorPackage.load(path)
+        workload = user_package.generate(50, np.random.default_rng(3))
+        report = MCNSimulator(workers=4, seed=0).run(workload)
+        assert report.num_events == workload.total_events
+        assert report.utilization <= 1.0
+
+    def test_memorization_pipeline(self, tiny_trained_package, phone_trace):
+        generated = tiny_trained_package.generate(40, np.random.default_rng(5))
+        fraction = ngram_repeat_fraction(
+            phone_trace, generated, n=20, epsilon=0.2, max_ngrams=500
+        )
+        # Table 11's headline: length-20 windows are never memorized.
+        assert fraction == pytest.approx(0.0, abs=0.01)
+
+
+class TestBaselinePipelines:
+    def test_smm_to_autoscaler(self, phone_trace, rng):
+        generator = SMM1Generator.fit(phone_trace, "phone")
+        synthetic = generator.generate(100, rng, start_time=0.0)
+        trace = simulate_autoscaling(
+            synthetic, AutoscalePolicy(target_utilization=0.7), window_seconds=300.0
+        )
+        assert trace.peak_workers >= 1
+
+    def test_netshare_to_metrics(self, phone_trace, phone_trace_alt, fitted_tokenizer):
+        model = NetShare(
+            NetShareConfig(max_len=100, batch_generation=5, latent_dim=8, hidden_size=16),
+            fitted_tokenizer,
+            np.random.default_rng(0),
+        )
+        model.train(phone_trace, epochs=2, batch_size=32)
+        generated = model.generate(60, np.random.default_rng(1), "phone")
+        report = fidelity_report(phone_trace_alt, generated, LTE_SPEC)
+        assert 0.0 <= report.violations.event_rate <= 1.0
+
+    def test_four_generators_one_capture(self, micro_workbench):
+        """The Workbench's full cross-product stays consistent."""
+        sizes = set()
+        for generator in ("SMM-1", "SMM-20k", "NetShare", "CPT-GPT"):
+            trace = micro_workbench.generated(generator, "phone")
+            sizes.add(len(trace))
+        assert sizes == {micro_workbench.scale.generated_streams}
+
+
+class TestFiveGPipeline:
+    def test_end_to_end_5g(self, tmp_path):
+        """5G trace -> tokenizer (d_token 8) -> train -> generate -> replay."""
+        from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+        from repro.statemachine import NR_EVENTS
+        from repro.tokenization import StreamTokenizer
+
+        trace = generate_trace(
+            SyntheticTraceConfig(num_ues=80, technology="5G", seed=17)
+        )
+        tokenizer = StreamTokenizer(NR_EVENTS).fit(trace)
+        assert tokenizer.d_token == 8
+        config = CPTGPTConfig(
+            num_event_types=5, d_model=16, num_layers=1, num_heads=2,
+            d_ff=32, head_hidden=32, max_len=96,
+        )
+        model = CPTGPT(config, np.random.default_rng(0))
+        train(model, trace, tokenizer, TrainingConfig(epochs=2, batch_size=32, seed=0))
+        package = GeneratorPackage(
+            model, tokenizer, trace.initial_event_distribution(), "phone"
+        )
+        generated = package.generate(30, np.random.default_rng(1))
+        replay = replay_dataset(generated.replay_pairs(), NR_SPEC)
+        assert replay.counted_events > 0
+        assert all("TAU" not in s.event_names() for s in generated)
+
+
+class TestSplitsIntegration:
+    def test_split_by_ue_partition(self, phone_trace):
+        from repro.trace import split_by_ue
+
+        train, test = split_by_ue(phone_trace, train_fraction=0.7)
+        assert len(train) + len(test) == len(phone_trace)
+        assert {s.ue_id for s in train}.isdisjoint({s.ue_id for s in test})
+        assert 0.4 < len(train) / len(phone_trace) < 0.95
+
+    def test_split_by_ue_deterministic(self, phone_trace):
+        from repro.trace import split_by_ue
+
+        a_train, _ = split_by_ue(phone_trace, 0.5, salt="x")
+        b_train, _ = split_by_ue(phone_trace, 0.5, salt="x")
+        assert [s.ue_id for s in a_train] == [s.ue_id for s in b_train]
+
+    def test_split_by_ue_bad_fraction(self, phone_trace):
+        from repro.trace import split_by_ue
+
+        with pytest.raises(ValueError):
+            split_by_ue(phone_trace, 1.0)
+
+    def test_split_by_time_boundary(self, phone_trace):
+        from repro.trace import split_by_time
+
+        times = np.concatenate([s.timestamps() for s in phone_trace if len(s)])
+        boundary = float(np.median(times))
+        left, right = split_by_time(phone_trace, boundary)
+        for stream in left:
+            assert stream.timestamps().max() < boundary
+        for stream in right:
+            assert stream.timestamps().min() >= boundary
+
+    def test_kfold_partition(self, phone_trace):
+        from repro.trace import kfold_by_ue
+
+        folds = kfold_by_ue(phone_trace, 4)
+        assert sum(len(f) for f in folds) == len(phone_trace)
+        ids = [frozenset(s.ue_id for s in fold) for fold in folds]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert ids[i].isdisjoint(ids[j])
+
+    def test_kfold_requires_two(self, phone_trace):
+        from repro.trace import kfold_by_ue
+
+        with pytest.raises(ValueError):
+            kfold_by_ue(phone_trace, 1)

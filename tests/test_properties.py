@@ -1,0 +1,135 @@
+"""Hypothesis property tests on core invariants across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EmpiricalDistribution
+from repro.nn import Tensor, softmax
+from repro.statemachine import LTE_EVENTS, LTE_SPEC, StateMachine, replay_events
+from repro.trace import Stream, SyntheticTraceConfig, generate_trace
+
+# ----------------------------------------------------------------------
+# State machine / replay invariants
+# ----------------------------------------------------------------------
+events_list = st.lists(st.sampled_from(list(LTE_EVENTS)), min_size=0, max_size=40)
+
+
+@given(events_list)
+@settings(max_examples=100, deadline=None)
+def test_replay_accounting_invariants(names):
+    """Counted <= total; violations <= counted; sojourns non-negative."""
+    pairs = [(float(i), name) for i, name in enumerate(names)]
+    replay = replay_events(pairs, LTE_SPEC)
+    assert replay.counted_events <= replay.total_events
+    assert replay.violating_events <= replay.counted_events
+    for durations in replay.sojourns.values():
+        assert all(d >= 0 for d in durations)
+
+
+@given(events_list)
+@settings(max_examples=100, deadline=None)
+def test_replay_is_deterministic(names):
+    pairs = [(float(i), name) for i, name in enumerate(names)]
+    a = replay_events(pairs, LTE_SPEC)
+    b = replay_events(pairs, LTE_SPEC)
+    assert a.violating_events == b.violating_events
+    assert a.sojourns == b.sojourns
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(2, 40))
+@settings(max_examples=25, deadline=None)
+def test_random_legal_walks_always_replay_clean(seed, steps):
+    """Any walk that only takes legal transitions replays with 0 violations."""
+    rng = np.random.default_rng(seed)
+    machine = StateMachine(LTE_SPEC, LTE_SPEC.initial)
+    pairs = []
+    t = 0.0
+    for _ in range(steps):
+        legal = machine.legal_events()
+        event = legal[rng.integers(len(legal))]
+        assert machine.step(event)
+        t += float(rng.exponential(10.0))
+        pairs.append((t, event))
+    replay = replay_events(pairs, LTE_SPEC)
+    assert replay.violating_events == 0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_synthetic_traces_always_legal(seed):
+    """The operator simulator never emits illegal sequences, any seed."""
+    trace = generate_trace(SyntheticTraceConfig(num_ues=5, seed=seed))
+    from repro.statemachine import replay_dataset
+
+    assert replay_dataset(trace.replay_pairs(), LTE_SPEC).violating_events == 0
+
+
+# ----------------------------------------------------------------------
+# Tensor / nn invariants
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(-50, 50), min_size=2, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_softmax_simplex_invariant(values):
+    out = softmax(Tensor(np.array(values))).data
+    assert out.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(out >= 0)
+
+
+@given(
+    st.lists(st.floats(-10, 10), min_size=1, max_size=20),
+    st.floats(-10, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_softmax_shift_invariance(values, shift):
+    x = np.array(values)
+    a = softmax(Tensor(x)).data
+    b = softmax(Tensor(x + shift)).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_sum_backward_is_ones(values):
+    t = Tensor(np.array(values), requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones(len(values)))
+
+
+# ----------------------------------------------------------------------
+# Empirical distribution invariants
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0.001, 1e4), min_size=1, max_size=60),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_empirical_samples_within_hull(samples, seed):
+    dist = EmpiricalDistribution(np.array(samples))
+    draws = dist.sample(np.random.default_rng(seed), size=50)
+    assert draws.min() >= min(samples) - 1e-9
+    assert draws.max() <= max(samples) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Stream / interarrival invariants
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=30),
+    st.integers(0, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_interarrivals_reconstruct_timestamps(deltas, first_event_index):
+    times = np.cumsum([abs(d) for d in deltas])
+    names = [list(LTE_EVENTS)[first_event_index]] * len(deltas)
+    stream = Stream.from_arrays("u", "phone", times.tolist(), names)
+    interarrivals = stream.interarrivals()
+    assert interarrivals[0] == 0.0
+    np.testing.assert_allclose(
+        times[0] + np.cumsum(interarrivals), times, rtol=1e-9, atol=1e-6
+    )

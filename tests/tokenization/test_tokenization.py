@@ -1,0 +1,160 @@
+"""Tokenizer and scaler tests, including hypothesis round-trip properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statemachine import LTE_EVENTS, NR_EVENTS
+from repro.tokenization import LogMinMaxScaler, StreamTokenizer
+from repro.trace import Stream
+
+
+class TestScaler:
+    def test_fit_transform_range(self, rng):
+        values = rng.exponential(60.0, size=500)
+        scaler = LogMinMaxScaler().fit(values)
+        scaled = scaler.transform(values)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self, rng):
+        values = rng.exponential(60.0, size=200)
+        scaler = LogMinMaxScaler().fit(values)
+        np.testing.assert_allclose(scaler.inverse(scaler.transform(values)), values, rtol=1e-9)
+
+    def test_transform_clips_out_of_range(self):
+        scaler = LogMinMaxScaler.from_bounds(1.0, 100.0)
+        assert scaler.transform(np.array([0.0]))[0] == 0.0
+        assert scaler.transform(np.array([1e6]))[0] == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogMinMaxScaler().transform(np.array([1.0]))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LogMinMaxScaler().fit(np.array([]))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LogMinMaxScaler().fit(np.array([-1.0, 2.0]))
+
+    def test_degenerate_constant_data(self):
+        scaler = LogMinMaxScaler().fit(np.full(10, 5.0))
+        assert scaler.transform(np.array([5.0]))[0] == 0.0
+        assert scaler.inverse(np.array([0.0]))[0] == pytest.approx(5.0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            LogMinMaxScaler.from_bounds(10.0, 1.0)
+
+    def test_dict_roundtrip(self):
+        scaler = LogMinMaxScaler.from_bounds(0.0, 3600.0)
+        clone = LogMinMaxScaler.from_dict(scaler.to_dict())
+        values = np.array([0.0, 10.0, 1000.0])
+        np.testing.assert_allclose(clone.transform(values), scaler.transform(values))
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=2, max_size=50),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_inverse_of_transform(self, values, probe):
+        scaler = LogMinMaxScaler().fit(np.asarray(values))
+        lo, hi = min(values), max(values)
+        clipped_probe = min(max(probe, lo), hi)
+        restored = scaler.inverse(scaler.transform(np.array([clipped_probe])))[0]
+        assert restored == pytest.approx(clipped_probe, rel=1e-6, abs=1e-6)
+
+
+def make_stream(times, events):
+    return Stream.from_arrays("ue-1", "phone", times, events)
+
+
+class TestTokenizer:
+    @pytest.fixture
+    def tokenizer(self):
+        tok = StreamTokenizer(LTE_EVENTS)
+        tok.scaler = LogMinMaxScaler.from_bounds(0.0, 3600.0)
+        return tok
+
+    def test_d_token_is_nine_for_lte(self, tokenizer):
+        # The paper's d_token = 6 (events) + 1 (interarrival) + 2 (stop).
+        assert tokenizer.d_token == 9
+
+    def test_d_token_for_nr(self):
+        assert StreamTokenizer(NR_EVENTS).d_token == 8
+
+    def test_encode_shape_and_onehot(self, tokenizer):
+        stream = make_stream([0.0, 5.0, 30.0], ["SRV_REQ", "S1_CONN_REL", "SRV_REQ"])
+        tokens = tokenizer.encode(stream)
+        assert tokens.shape == (3, 9)
+        np.testing.assert_allclose(tokens[:, :6].sum(axis=1), 1.0)
+        np.testing.assert_allclose(tokens[:, 7:].sum(axis=1), 1.0)
+
+    def test_first_token_iat_zero_stop_last(self, tokenizer):
+        stream = make_stream([100.0, 105.0], ["SRV_REQ", "S1_CONN_REL"])
+        tokens = tokenizer.encode(stream)
+        assert tokens[0, tokenizer.iat_column] == 0.0
+        stops = tokens[:, tokenizer.stop_columns].argmax(axis=1)
+        np.testing.assert_array_equal(stops, [0, 1])
+
+    def test_empty_stream_rejected(self, tokenizer):
+        with pytest.raises(ValueError, match="empty"):
+            tokenizer.encode(Stream(ue_id="x", device_type="phone"))
+
+    def test_decode_roundtrip(self, tokenizer):
+        stream = make_stream([0.0, 5.0, 17.0, 44.0], ["ATCH", "S1_CONN_REL", "SRV_REQ", "S1_CONN_REL"])
+        tokens = tokenizer.encode(stream)
+        restored = tokenizer.decode(tokens, "ue-2", "phone", start_time=0.0)
+        assert restored.event_names() == stream.event_names()
+        np.testing.assert_allclose(restored.timestamps(), stream.timestamps(), rtol=1e-6)
+
+    def test_decode_start_time_offset(self, tokenizer):
+        stream = make_stream([0.0, 10.0], ["SRV_REQ", "S1_CONN_REL"])
+        restored = tokenizer.decode(tokenizer.encode(stream), "u", "phone", start_time=500.0)
+        assert restored.timestamps()[0] == pytest.approx(500.0)
+
+    def test_decode_shape_validation(self, tokenizer):
+        with pytest.raises(ValueError, match="token matrix"):
+            tokenizer.decode_fields(np.zeros((3, 7)))
+
+    def test_assemble_field_mismatch(self, tokenizer):
+        with pytest.raises(ValueError, match="equal length"):
+            tokenizer.assemble(np.array([0]), np.array([0.0, 0.1]), np.array([0]))
+
+    def test_fit_from_dataset(self, phone_trace):
+        tok = StreamTokenizer(LTE_EVENTS).fit(phone_trace)
+        assert tok.scaler.fitted
+        pool = phone_trace.interarrival_pool()
+        assert tok.scaler.transform(np.array([pool.max()]))[0] == pytest.approx(1.0)
+
+    def test_dict_roundtrip(self, tokenizer):
+        clone = StreamTokenizer.from_dict(tokenizer.to_dict())
+        assert clone.vocabulary.names == tokenizer.vocabulary.names
+        stream = make_stream([0.0, 9.0], ["HO", "TAU"])
+        np.testing.assert_allclose(clone.encode(stream), tokenizer.encode(stream))
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_encode_decode_identity(self, data):
+        names = data.draw(
+            st.lists(st.sampled_from(list(LTE_EVENTS)), min_size=1, max_size=12)
+        )
+        deltas = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=3000),
+                min_size=len(names),
+                max_size=len(names),
+            )
+        )
+        times = np.cumsum(np.asarray(deltas, dtype=float))
+        tok = StreamTokenizer(LTE_EVENTS)
+        tok.scaler = LogMinMaxScaler.from_bounds(0.0, 3600.0)
+        stream = make_stream(times.tolist(), names)
+        restored = tok.decode(tok.encode(stream), "u", "phone", start_time=times[0])
+        assert restored.event_names() == names
+        np.testing.assert_allclose(restored.timestamps(), times, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,76 @@
+"""Anonymization pipeline tests (paper Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    jitter_timestamps,
+    k_anonymous_device_counts,
+    pseudonymize,
+)
+
+
+class TestPseudonymize:
+    def test_ids_replaced_and_consistent(self, phone_trace):
+        anonymized = pseudonymize(phone_trace, salt="secret")
+        originals = {s.ue_id for s in phone_trace}
+        pseudonyms = {s.ue_id for s in anonymized}
+        assert originals.isdisjoint(pseudonyms)
+        assert len(pseudonyms) == len(originals)  # mapping is injective here
+        again = pseudonymize(phone_trace, salt="secret")
+        assert [s.ue_id for s in again] == [s.ue_id for s in anonymized]
+
+    def test_different_salts_differ(self, phone_trace):
+        a = pseudonymize(phone_trace, salt="a")
+        b = pseudonymize(phone_trace, salt="b")
+        assert [s.ue_id for s in a] != [s.ue_id for s in b]
+
+    def test_events_preserved(self, phone_trace):
+        anonymized = pseudonymize(phone_trace, salt="s")
+        for original, anon in zip(phone_trace, anonymized):
+            assert original.event_names() == anon.event_names()
+            np.testing.assert_array_equal(original.timestamps(), anon.timestamps())
+
+    def test_empty_salt_rejected(self, phone_trace):
+        with pytest.raises(ValueError):
+            pseudonymize(phone_trace, salt="")
+
+
+class TestJitter:
+    def test_interarrivals_preserved_exactly(self, phone_trace, rng):
+        jittered = jitter_timestamps(phone_trace, 30.0, rng)
+        for original, moved in zip(phone_trace, jittered):
+            np.testing.assert_allclose(
+                original.interarrivals(), moved.interarrivals(), atol=1e-9
+            )
+
+    def test_offsets_bounded(self, phone_trace, rng):
+        jittered = jitter_timestamps(phone_trace, 30.0, rng)
+        for original, moved in zip(phone_trace, jittered):
+            if len(original) == 0:
+                continue
+            offset = moved.timestamps()[0] - original.timestamps()[0]
+            assert abs(offset) <= 30.0
+
+    def test_zero_jitter_identity(self, phone_trace, rng):
+        jittered = jitter_timestamps(phone_trace, 0.0, rng)
+        for original, moved in zip(phone_trace, jittered):
+            np.testing.assert_array_equal(original.timestamps(), moved.timestamps())
+
+    def test_negative_jitter_rejected(self, phone_trace, rng):
+        with pytest.raises(ValueError):
+            jitter_timestamps(phone_trace, -1.0, rng)
+
+
+class TestKAnonymity:
+    def test_counts(self, phone_trace):
+        result = k_anonymous_device_counts(phone_trace, k=10)
+        assert result == {"phone": True}
+        result = k_anonymous_device_counts(phone_trace, k=10**6)
+        assert result == {"phone": False}
+
+    def test_invalid_k(self, phone_trace):
+        with pytest.raises(ValueError):
+            k_anonymous_device_counts(phone_trace, k=0)

@@ -1,0 +1,52 @@
+"""Diurnal activity profile tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import DiurnalProfile, Harmonic
+
+
+class TestHarmonic:
+    def test_peak_at_peak_hour(self):
+        h = Harmonic(amplitude=0.5, peak_hour=20.0)
+        assert h.value(20.0) == pytest.approx(0.5)
+
+    def test_trough_half_day_away(self):
+        h = Harmonic(amplitude=0.5, peak_hour=20.0)
+        assert h.value(8.0) == pytest.approx(-0.5)
+
+    def test_two_cycles_per_day(self):
+        h = Harmonic(amplitude=0.3, peak_hour=8.0, cycles_per_day=2)
+        assert h.value(8.0) == pytest.approx(0.3)
+        assert h.value(20.0) == pytest.approx(0.3)  # 12h later, same phase
+
+
+class TestDiurnalProfile:
+    def test_flat_profile_is_unity(self):
+        profile = DiurnalProfile.flat()
+        for hour in (0, 6.5, 12, 23.9):
+            assert profile.activity(hour) == pytest.approx(1.0)
+
+    def test_activity_positive_everywhere(self):
+        profile = DiurnalProfile((Harmonic(1.5, 10.0), Harmonic(0.7, 3.0, 2)))
+        hours = np.linspace(0, 24, 97)
+        values = profile.activity_series(hours)
+        assert np.all(values > 0)
+
+    def test_periodicity(self):
+        profile = DiurnalProfile((Harmonic(0.4, 20.0),))
+        assert profile.activity(3.0) == pytest.approx(profile.activity(27.0))
+        assert profile.activity(-4.0) == pytest.approx(profile.activity(20.0))
+
+    def test_peak_exceeds_trough(self):
+        profile = DiurnalProfile((Harmonic(0.5, 20.0),))
+        assert profile.activity(20.0) > profile.activity(8.0)
+
+    def test_series_matches_scalar(self):
+        profile = DiurnalProfile((Harmonic(0.3, 9.0),))
+        hours = np.array([0.0, 9.0, 15.5])
+        series = profile.activity_series(hours)
+        for hour, value in zip(hours, series):
+            assert value == pytest.approx(profile.activity(hour))

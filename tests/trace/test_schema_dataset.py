@@ -1,0 +1,145 @@
+"""Stream/dataset data model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.statemachine import LTE_EVENTS
+from repro.trace import ControlEvent, DeviceType, Stream, TraceDataset
+
+
+def make_stream(ue="u1", device="phone", times=(0.0, 5.0, 17.0), events=("SRV_REQ", "S1_CONN_REL", "SRV_REQ")):
+    return Stream.from_arrays(ue, device, list(times), list(events))
+
+
+class TestStream:
+    def test_from_arrays_roundtrip(self):
+        s = make_stream()
+        assert len(s) == 3
+        assert s.event_names() == ["SRV_REQ", "S1_CONN_REL", "SRV_REQ"]
+        np.testing.assert_allclose(s.timestamps(), [0.0, 5.0, 17.0])
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            Stream.from_arrays("u", "phone", [0.0], ["A", "B"])
+
+    def test_interarrivals_first_zero(self):
+        s = make_stream()
+        np.testing.assert_allclose(s.interarrivals(), [0.0, 5.0, 12.0])
+
+    def test_interarrivals_empty(self):
+        s = Stream(ue_id="u", device_type="phone")
+        assert s.interarrivals().size == 0
+
+    def test_validate_rejects_unordered(self):
+        s = Stream(
+            ue_id="u",
+            device_type="phone",
+            events=[ControlEvent(5.0, "SRV_REQ"), ControlEvent(1.0, "S1_CONN_REL")],
+        )
+        with pytest.raises(ValueError, match="out of order"):
+            s.validate()
+
+    def test_bad_device_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown device type"):
+            Stream(ue_id="u", device_type="fridge")
+
+    def test_non_finite_timestamp_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ControlEvent(float("nan"), "SRV_REQ")
+
+    def test_count_and_duration(self):
+        s = make_stream()
+        assert s.count("SRV_REQ") == 2
+        assert s.count("HO") == 0
+        assert s.duration() == 17.0
+        assert Stream(ue_id="u", device_type="phone").duration() == 0.0
+
+    def test_as_pairs(self):
+        assert make_stream().as_pairs()[0] == (0.0, "SRV_REQ")
+
+
+class TestTraceDataset:
+    def _dataset(self):
+        return TraceDataset(
+            streams=[
+                make_stream("u1"),
+                make_stream("u2", device="tablet", times=(0.0, 3.0), events=("SRV_REQ", "S1_CONN_REL")),
+                make_stream("u3", times=(0.0,), events=("ATCH",)),
+            ],
+            vocabulary=LTE_EVENTS,
+        )
+
+    def test_len_iter_getitem(self):
+        ds = self._dataset()
+        assert len(ds) == 3
+        assert ds[0].ue_id == "u1"
+        assert [s.ue_id for s in ds] == ["u1", "u2", "u3"]
+
+    def test_by_device_type(self):
+        ds = self._dataset()
+        assert len(ds.by_device_type("tablet")) == 1
+        assert len(ds.by_device_type("connected_car")) == 0
+
+    def test_sample_without_replacement(self, rng):
+        ds = self._dataset()
+        sampled = ds.sample(2, rng)
+        assert len(sampled) == 2
+        assert len({s.ue_id for s in sampled}) == 2
+
+    def test_sample_too_many_raises(self, rng):
+        with pytest.raises(ValueError, match="cannot sample"):
+            self._dataset().sample(10, rng)
+
+    def test_truncate_and_singletons(self):
+        ds = self._dataset()
+        assert len(ds.truncate_streams(2)) == 2
+        assert len(ds.drop_singletons()) == 2
+
+    def test_total_events_and_breakdown(self):
+        ds = self._dataset()
+        assert ds.total_events == 6
+        breakdown = ds.event_breakdown()
+        assert breakdown["SRV_REQ"] == pytest.approx(3 / 6)
+        assert breakdown["ATCH"] == pytest.approx(1 / 6)
+        assert breakdown["HO"] == 0.0
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_flow_lengths(self):
+        ds = self._dataset()
+        np.testing.assert_array_equal(ds.flow_lengths(), [3, 2, 1])
+        np.testing.assert_array_equal(ds.flow_lengths("SRV_REQ"), [2, 1, 0])
+
+    def test_interarrival_pool_skips_first_tokens(self):
+        ds = self._dataset()
+        pool = ds.interarrival_pool()
+        np.testing.assert_allclose(np.sort(pool), [3.0, 5.0, 12.0])
+
+    def test_initial_event_distribution(self):
+        dist = self._dataset().initial_event_distribution()
+        assert dist["SRV_REQ"] == pytest.approx(2 / 3)
+        assert dist["ATCH"] == pytest.approx(1 / 3)
+
+    def test_initial_event_distribution_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceDataset().initial_event_distribution()
+
+    def test_validate_rejects_foreign_event(self):
+        ds = TraceDataset(
+            streams=[make_stream(events=("SRV_REQ", "S1_CONN_REL", "REGISTER"))],
+            vocabulary=LTE_EVENTS,
+        )
+        with pytest.raises(ValueError, match="not in vocabulary"):
+            ds.validate()
+
+    def test_device_types_listing(self):
+        assert self._dataset().device_types() == ["phone", "tablet"]
+
+
+class TestDeviceTypeEnum:
+    def test_all_members(self):
+        assert set(DeviceType.ALL) == {"phone", "connected_car", "tablet"}
+
+    def test_validate_passthrough(self):
+        assert DeviceType.validate("phone") == "phone"

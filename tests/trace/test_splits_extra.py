@@ -1,0 +1,76 @@
+"""Additional splitting-utility properties (hypothesis-driven)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import Stream, TraceDataset, kfold_by_ue, split_by_time, split_by_ue
+
+
+def _dataset(num_streams: int) -> TraceDataset:
+    streams = [
+        Stream.from_arrays(f"ue-{i:04d}", "phone", [float(i), float(i) + 5.0],
+                           ["SRV_REQ", "S1_CONN_REL"])
+        for i in range(num_streams)
+    ]
+    return TraceDataset(streams=streams)
+
+
+@given(st.integers(5, 80), st.floats(0.1, 0.9))
+@settings(max_examples=40, deadline=None)
+def test_split_partitions_everything(num_streams, fraction):
+    dataset = _dataset(num_streams)
+    train, test = split_by_ue(dataset, fraction)
+    assert len(train) + len(test) == num_streams
+    train_ids = {s.ue_id for s in train}
+    test_ids = {s.ue_id for s in test}
+    assert train_ids.isdisjoint(test_ids)
+
+
+@given(st.integers(10, 60), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_kfold_is_a_partition(num_streams, folds):
+    dataset = _dataset(num_streams)
+    parts = kfold_by_ue(dataset, folds)
+    assert len(parts) == folds
+    all_ids = [s.ue_id for part in parts for s in part]
+    assert sorted(all_ids) == sorted(s.ue_id for s in dataset)
+
+
+def test_split_fraction_approximately_respected():
+    dataset = _dataset(2000)
+    train, _ = split_by_ue(dataset, 0.7)
+    assert 0.65 < len(train) / 2000 < 0.75
+
+
+def test_split_salt_changes_assignment():
+    dataset = _dataset(200)
+    a_train, _ = split_by_ue(dataset, 0.5, salt="a")
+    b_train, _ = split_by_ue(dataset, 0.5, salt="b")
+    assert {s.ue_id for s in a_train} != {s.ue_id for s in b_train}
+
+
+def test_split_by_time_preserves_event_total():
+    dataset = _dataset(50)
+    left, right = split_by_time(dataset, boundary=25.0)
+    assert left.total_events + right.total_events == dataset.total_events
+
+
+def test_split_by_time_empty_side():
+    dataset = _dataset(10)
+    left, right = split_by_time(dataset, boundary=-1.0)
+    assert len(left) == 0
+    assert right.total_events == dataset.total_events
+
+
+def test_split_by_time_mid_stream_splits_stream():
+    stream = Stream.from_arrays("u", "phone", [0.0, 10.0, 20.0],
+                                ["SRV_REQ", "S1_CONN_REL", "SRV_REQ"])
+    dataset = TraceDataset(streams=[stream])
+    left, right = split_by_time(dataset, boundary=15.0)
+    assert left.total_events == 2
+    assert right.total_events == 1
+    assert left[0].ue_id == right[0].ue_id == "u"

@@ -1,0 +1,172 @@
+"""Synthetic operator-trace simulator: legality, statistics, drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.statemachine import LTE_SPEC, NR_SPEC, replay_dataset
+from repro.trace import (
+    DEVICE_PROFILES,
+    DeviceType,
+    LogNormalMixture,
+    SyntheticTraceConfig,
+    generate_hourly_traces,
+    generate_mixed_trace,
+    generate_trace,
+    get_profile,
+)
+
+
+class TestConfigValidation:
+    def test_bad_device_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(num_ues=1, device_type="toaster")
+
+    def test_bad_technology_rejected(self):
+        with pytest.raises(ValueError, match="4G or 5G"):
+            SyntheticTraceConfig(num_ues=1, technology="6G")
+
+    def test_negative_ues_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(num_ues=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(num_ues=1, duration=0)
+
+
+class TestLegality:
+    def test_4g_trace_has_zero_violations(self, phone_trace):
+        replay = replay_dataset(phone_trace.replay_pairs(), LTE_SPEC)
+        assert replay.violating_events == 0
+
+    def test_5g_trace_has_zero_violations(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(num_ues=60, technology="5G", seed=3)
+        )
+        replay = replay_dataset(trace.replay_pairs(), NR_SPEC)
+        assert replay.violating_events == 0
+
+    def test_5g_trace_has_no_tau(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(num_ues=40, technology="5G", seed=3)
+        )
+        assert "TAU" not in trace.event_breakdown()
+        assert trace.event_breakdown().get("REGISTER", 0) >= 0
+
+
+class TestStatistics:
+    def test_reproducible_with_seed(self):
+        config = SyntheticTraceConfig(num_ues=20, seed=9)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(SyntheticTraceConfig(num_ues=20, seed=1))
+        b = generate_trace(SyntheticTraceConfig(num_ues=20, seed=2))
+        assert any(
+            s1.event_names() != s2.event_names() for s1, s2 in zip(a, b)
+        )
+
+    def test_phone_breakdown_near_paper(self, phone_trace):
+        breakdown = phone_trace.event_breakdown()
+        # Paper Table 7 real values: SRV_REQ 47.06%, S1_CONN_REL 48.25%.
+        assert 0.40 < breakdown["SRV_REQ"] < 0.55
+        assert 0.40 < breakdown["S1_CONN_REL"] < 0.55
+        assert breakdown["HO"] < 0.08
+        assert breakdown["ATCH"] < 0.02
+
+    def test_car_has_more_handovers_than_phone(self, phone_trace):
+        car = generate_trace(
+            SyntheticTraceConfig(num_ues=120, device_type="connected_car", seed=5)
+        )
+        assert car.event_breakdown()["HO"] > phone_trace.event_breakdown()["HO"] * 2
+
+    def test_timestamps_within_window(self):
+        config = SyntheticTraceConfig(num_ues=30, hour=5, seed=2)
+        trace = generate_trace(config)
+        start, end = 5 * 3600.0, 6 * 3600.0
+        for stream in trace:
+            times = stream.timestamps()
+            if times.size:
+                assert times.min() >= start
+                assert times.max() < end
+
+    def test_timestamps_quantized_to_resolution(self):
+        trace = generate_trace(SyntheticTraceConfig(num_ues=20, seed=4, time_resolution=1.0))
+        for stream in trace:
+            times = stream.timestamps()
+            np.testing.assert_allclose(times, np.floor(times))
+
+    def test_continuous_timestamps_when_resolution_zero(self):
+        trace = generate_trace(SyntheticTraceConfig(num_ues=30, seed=4, time_resolution=0.0))
+        pool = trace.interarrival_pool()
+        fractional = pool - np.floor(pool)
+        assert np.any(fractional > 1e-9)
+
+    def test_long_tailed_interarrivals(self, phone_trace):
+        pool = phone_trace.interarrival_pool()
+        pool = pool[pool > 0]
+        # Figure 7: long tail, mean well above median.
+        assert pool.mean() / np.median(pool) > 1.5
+
+
+class TestDiurnalDrift:
+    def test_busy_hour_produces_more_events(self):
+        # Phone diurnal peaks at 20h; 8h is a trough.
+        hourly = generate_hourly_traces(80, [8, 20], seed=6)
+        assert hourly[20].total_events > hourly[8].total_events * 1.1
+
+    def test_hourly_traces_keyed_by_hour(self):
+        hourly = generate_hourly_traces(10, [3, 7], seed=1)
+        assert set(hourly) == {3, 7}
+
+
+class TestMixedTrace:
+    def test_mixed_population(self):
+        mixed = generate_mixed_trace({"phone": 10, "tablet": 5}, seed=2)
+        assert len(mixed) == 15
+        assert set(mixed.device_types()) == {"phone", "tablet"}
+
+
+class TestDeviceProfiles:
+    def test_profiles_exist_for_all_device_types(self):
+        assert set(DEVICE_PROFILES) == set(DeviceType.ALL)
+
+    def test_get_profile_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_profile("fridge")
+
+    def test_profile_probabilities_sum_to_one(self):
+        for profile in DEVICE_PROFILES.values():
+            connected = (
+                profile.p_ho
+                + profile.p_tau_connected
+                + profile.p_release
+                + profile.p_detach_connected
+            )
+            idle = profile.p_service_request + profile.p_tau_idle + profile.p_detach_idle
+            assert connected == pytest.approx(1.0)
+            assert idle == pytest.approx(1.0)
+
+    def test_mixture_weights_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            LogNormalMixture(((0.5, 0.0, 1.0),))
+
+    def test_mixture_sigma_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            LogNormalMixture(((1.0, 0.0, -1.0),))
+
+    def test_mixture_sampling_matches_mean(self, rng):
+        mixture = LogNormalMixture(((0.6, np.log(10.0), 0.5), (0.4, np.log(50.0), 0.5)))
+        samples = mixture.sample(rng, size=40000)
+        assert samples.mean() == pytest.approx(mixture.mean(), rel=0.05)
+
+    def test_mixture_scalar_sample(self, rng):
+        mixture = LogNormalMixture(((1.0, 0.0, 0.5),))
+        value = mixture.sample(rng)
+        assert isinstance(value, float) and value > 0
