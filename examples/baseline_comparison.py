@@ -1,69 +1,52 @@
-"""Side-by-side comparison of all four generators on one device type.
+"""Side-by-side comparison of every registered generator on one capture.
 
-A miniature of the paper's Tables 5-7 for phones: fit/train SMM-1,
-SMM-k, NetShare and CPT-GPT on the same capture, generate the same
-number of streams from each, and print every fidelity metric.
+A miniature of the paper's Tables 5-7 for phones, driven entirely by the
+registry: every backend — SMM-1, SMM-k, NetShare, CPT-GPT, and any
+plugin you register — is fitted on the same capture through the uniform
+``TrafficGenerator`` protocol, generates the same number of streams,
+and is scored with every fidelity metric.
 
 Run:  python examples/baseline_comparison.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.baselines import NetShare, NetShareConfig, SMM1Generator, SMMClusteredGenerator
-from repro.core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
-from repro.metrics import fidelity_report
-from repro.statemachine import LTE_EVENTS
-from repro.tokenization import StreamTokenizer
-from repro.trace import SyntheticTraceConfig, generate_trace
+from repro import ScenarioSpec, Session, available_generators
+from repro.baselines import NetShareConfig
+from repro.core import CPTGPTConfig, TrainingConfig
 
 STREAMS = 300
+SCENARIO = ScenarioSpec(
+    name="baseline-comparison", device_type="phone", hour=20, num_ues=400, seed=31
+)
+
+#: Per-backend constructor options at example scale (backends without an
+#: entry run with their defaults).
+OPTIONS = {
+    "smm-k": dict(num_clusters=12),
+    "netshare": dict(
+        config=NetShareConfig(max_len=160, batch_generation=5), epochs=20
+    ),
+    "cpt-gpt": dict(
+        config=CPTGPTConfig(
+            d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+        ),
+        training=TrainingConfig(epochs=20, batch_size=48, learning_rate=3e-3, seed=0),
+    ),
+}
 
 
 def main() -> None:
     print("== data ==")
-    training = generate_trace(
-        SyntheticTraceConfig(num_ues=400, device_type="phone", hour=20, seed=31)
-    )
-    test = generate_trace(
-        SyntheticTraceConfig(num_ues=300, device_type="phone", hour=20, seed=3131)
-    )
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(training)
-    start = 20 * 3600.0
-
-    generators = {}
-
-    print("fitting SMM-1 (domain knowledge, 1 model)...")
-    generators["SMM-1"] = lambda rng: SMM1Generator.fit(training, "phone").generate(
-        STREAMS, rng, start
+    session = Session(SCENARIO).synthesize()
+    print(
+        f"capture: {len(session.dataset)} UEs / "
+        f"{session.dataset.total_events} events"
     )
 
-    print("fitting SMM-k (domain knowledge, clustered)...")
-    smmk = SMMClusteredGenerator.fit(training, "phone", num_clusters=12)
-    print(f"  {smmk.num_models} cluster models, {smmk.num_cdfs} sojourn CDFs")
-    generators["SMM-20k"] = lambda rng: smmk.generate(STREAMS, rng, start)
-
-    print("training NetShare (GAN + LSTM)...")
-    netshare = NetShare(
-        NetShareConfig(max_len=160, batch_generation=5), tokenizer,
-        np.random.default_rng(1),
-    )
-    netshare.train(training, epochs=20, batch_size=32, seed=0)
-    generators["NetShare"] = lambda rng: netshare.generate(STREAMS, rng, "phone", start)
-
-    print("training CPT-GPT (transformer, no domain knowledge)...")
-    model = CPTGPT(
-        CPTGPTConfig(d_model=48, num_layers=2, num_heads=4, d_ff=96,
-                     head_hidden=96, max_len=160),
-        np.random.default_rng(0),
-    )
-    train(model, training, tokenizer,
-          TrainingConfig(epochs=20, batch_size=48, learning_rate=3e-3, seed=0))
-    package = GeneratorPackage(
-        model, tokenizer, training.initial_event_distribution(), "phone"
-    )
-    generators["CPT-GPT"] = lambda rng: package.generate(STREAMS, rng, start)
+    for name in available_generators():
+        print(f"fitting {name}...")
+        session.fit(name, **OPTIONS.get(name, {}))
 
     print(f"\n== fidelity vs held-out capture ({STREAMS} streams each) ==")
     header = (
@@ -72,9 +55,9 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name, generate in generators.items():
-        trace = generate(np.random.default_rng(77))
-        flat = fidelity_report(test, trace).as_flat_dict()
+    for name in available_generators():
+        session.generate(STREAMS, seed=77, generator=name)
+        flat = session.evaluate(generator=name).as_flat_dict()
         print(
             f"{name:<10} {flat['violation_events']:>8.3%} "
             f"{flat['violation_streams']:>8.1%} {flat['sojourn_connected']:>9.1%} "

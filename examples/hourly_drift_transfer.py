@@ -2,8 +2,9 @@
 
 Control-plane traffic drifts over the day (diurnal UE behaviour — the
 paper's C5).  Instead of training one model per hour from scratch, the
-operator trains a base model on the first hour and fine-tunes it
-recursively for each subsequent hour.  This example measures both the
+operator trains a base model on the first hour and adapts it
+recursively for each subsequent hour through the ``TrafficGenerator``
+protocol's transfer hook (``adapt``).  This example measures both the
 time savings and the per-hour fidelity of the adapted models.
 
 Run:  python examples/hourly_drift_transfer.py
@@ -11,27 +12,24 @@ Run:  python examples/hourly_drift_transfer.py
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core import (
-    CPTGPT,
-    CPTGPTConfig,
-    GeneratorPackage,
-    TrainingConfig,
-    derive_hourly_models,
-    train,
-)
+from repro import ScenarioSpec
+from repro.api import CPTGPTGenerator
+from repro.core import CPTGPTConfig, TrainingConfig
 from repro.metrics import fidelity_report
-from repro.statemachine import LTE_EVENTS
-from repro.tokenization import StreamTokenizer
 from repro.trace import SyntheticTraceConfig, generate_hourly_traces, generate_trace
 
 HOURS = [8, 12, 16, 20]
 MODEL_CONFIG = CPTGPTConfig(
     d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
 )
+SCRATCH = TrainingConfig(epochs=14, batch_size=48, learning_rate=3e-3, seed=0)
+FINETUNE = TrainingConfig(epochs=5, batch_size=48, learning_rate=1e-3, seed=0)
+
+
+def scenario_for(hour: int) -> ScenarioSpec:
+    return ScenarioSpec(name=f"phone-h{hour}", device_type="phone", hour=hour, seed=11)
 
 
 def main() -> None:
@@ -41,34 +39,30 @@ def main() -> None:
         print(f"  hour {hour:2d}: {trace.total_events:6d} events "
               f"({trace.total_events / len(trace):.1f} per UE)")
 
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(hourly[HOURS[0]])
-
-    # --- scratch ensemble: one model per hour, all from scratch --------
+    # --- scratch ensemble: one generator per hour, all from scratch ----
     print("\n== from-scratch ensemble ==")
-    scratch_cfg = TrainingConfig(epochs=14, batch_size=48, learning_rate=3e-3, seed=0)
-    t0 = time.perf_counter()
     scratch_models = {}
     for hour in HOURS:
-        model = CPTGPT(MODEL_CONFIG, np.random.default_rng(0))
-        result = train(model, hourly[hour], tokenizer, scratch_cfg)
-        scratch_models[hour] = model
-        print(f"  hour {hour:2d}: {result.wall_time_seconds:6.1f}s")
-    scratch_total = time.perf_counter() - t0
+        generator = CPTGPTGenerator(config=MODEL_CONFIG, training=SCRATCH)
+        generator.fit(hourly[hour], scenario_for(hour))
+        scratch_models[hour] = generator
+        print(f"  hour {hour:2d}: {generator.fit_seconds:6.1f}s")
+    scratch_total = sum(g.fit_seconds for g in scratch_models.values())
 
-    # --- transfer ensemble: first hour scratch, rest fine-tuned --------
-    print("\n== transfer-learning ensemble ==")
-    finetune_cfg = TrainingConfig(epochs=5, batch_size=48, learning_rate=1e-3, seed=0)
-    t0 = time.perf_counter()
-    ensemble = derive_hourly_models(
-        lambda: CPTGPT(MODEL_CONFIG, np.random.default_rng(0)),
-        hourly,
-        tokenizer,
-        scratch_cfg,
-        finetune_cfg,
-    )
-    transfer_total = time.perf_counter() - t0
-    for hour in HOURS:
-        print(f"  hour {hour:2d}: {ensemble.results[hour].wall_time_seconds:6.1f}s")
+    # --- transfer ensemble: first hour scratch, rest adapted -----------
+    # Hour h's model initializes hour h+1's fine-tune (Tables 4 and 9).
+    print("\n== transfer-learning ensemble (recursive adapt) ==")
+    ensemble = {}
+    previous = CPTGPTGenerator(
+        config=MODEL_CONFIG, training=SCRATCH, transfer=FINETUNE
+    ).fit(hourly[HOURS[0]], scenario_for(HOURS[0]))
+    ensemble[HOURS[0]] = previous
+    print(f"  hour {HOURS[0]:2d}: {previous.fit_seconds:6.1f}s (scratch)")
+    for hour in HOURS[1:]:
+        previous = previous.adapt(hourly[hour], scenario_for(hour))
+        ensemble[hour] = previous
+        print(f"  hour {hour:2d}: {previous.fit_seconds:6.1f}s (adapted)")
+    transfer_total = sum(g.fit_seconds for g in ensemble.values())
     print(
         f"\nensemble wall time: scratch {scratch_total:.1f}s vs "
         f"transfer {transfer_total:.1f}s "
@@ -79,13 +73,7 @@ def main() -> None:
     print("\n== per-hour fidelity of the transferred models ==")
     print("hour  violations  sojourn-CONN  sojourn-IDLE  flow-length")
     for hour in HOURS:
-        package = GeneratorPackage(
-            ensemble.models[hour],
-            tokenizer,
-            hourly[hour].initial_event_distribution(),
-            "phone",
-        )
-        generated = package.generate(
+        generated = ensemble[hour].generate(
             200, np.random.default_rng(hour), start_time=hour * 3600.0
         )
         test = generate_trace(

@@ -7,39 +7,28 @@ Aether 5G community.
 
 This example:
 
-1. trains CPT-GPT on a real (simulated-operator) capture,
+1. trains CPT-GPT through the ``Session`` facade on a real
+   (simulated-operator) capture,
 2. synthesizes a *larger* UE population than was captured,
 3. replays both traces through the event-driven MME simulator and
    compares the load profiles they induce, and
 4. sweeps worker counts to find the provisioning knee, then evaluates a
-   target-utilization autoscaler against a multi-hour synthetic day.
+   target-utilization autoscaler against a multi-hour synthetic day
+   assembled with constant-memory streaming (``iter_streams``).
 
 Run:  python examples/mcn_load_evaluation.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
+from repro import ScenarioSpec, Session
+from repro.core import CPTGPTConfig, TrainingConfig
 from repro.mcn import AutoscalePolicy, MCNSimulator, simulate_autoscaling
-from repro.statemachine import LTE_EVENTS
-from repro.tokenization import StreamTokenizer
-from repro.trace import SyntheticTraceConfig, TraceDataset, generate_trace
+from repro.trace import TraceDataset
 
-
-def train_generator(trace: TraceDataset) -> GeneratorPackage:
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(trace)
-    model = CPTGPT(
-        CPTGPTConfig(d_model=48, num_layers=2, num_heads=4, d_ff=96,
-                     head_hidden=96, max_len=160),
-        np.random.default_rng(0),
-    )
-    train(model, trace, tokenizer,
-          TrainingConfig(epochs=16, batch_size=48, learning_rate=3e-3, seed=0))
-    return GeneratorPackage(
-        model, tokenizer, trace.initial_event_distribution(), "phone"
-    )
+SCENARIO = ScenarioSpec(
+    name="mcn-load", device_type="phone", hour=20, num_ues=400, seed=3
+)
 
 
 def compare_load_profiles(real: TraceDataset, synthetic: TraceDataset) -> None:
@@ -66,18 +55,20 @@ def provisioning_sweep(synthetic: TraceDataset) -> None:
         )
 
 
-def autoscaling_day(package: GeneratorPackage) -> None:
+def autoscaling_day(session: Session) -> None:
     """Autoscaling across an evening ramp built from per-hour populations.
 
     The synthetic populations for hours 17-22 emulate the diurnal load
     the operator would see; sizes follow the phone activity profile.
+    Streams for each hour are consumed lazily off the generator
+    (``iter_streams``), so building the ramp never materializes more
+    than one generation batch at a time.
     """
     print("\n== autoscaling over an evening ramp (17:00-22:00) ==")
     day = TraceDataset(streams=[])
-    rng = np.random.default_rng(9)
     for hour, ues in ((17, 150), (18, 200), (19, 260), (20, 320), (21, 280), (22, 200)):
-        chunk = package.generate(ues, rng, start_time=hour * 3600.0)
-        for stream in chunk:
+        streams = session.iter_streams(ues, seed=9 + hour, start_time=hour * 3600.0)
+        for stream in streams:
             day.add(stream)
     trace = simulate_autoscaling(
         day,
@@ -97,18 +88,21 @@ def autoscaling_day(package: GeneratorPackage) -> None:
 
 def main() -> None:
     print("== capturing + training ==")
-    captured = generate_trace(
-        SyntheticTraceConfig(num_ues=400, device_type="phone", hour=20, seed=3)
+    session = Session(SCENARIO).synthesize().fit(
+        "cpt-gpt",
+        config=CPTGPTConfig(
+            d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+        ),
+        training=TrainingConfig(epochs=16, batch_size=48, learning_rate=3e-3, seed=0),
     )
-    package = train_generator(captured)
 
     # Synthesize a population 2x the captured one — the point of a traffic
     # generator is extrapolating beyond the captured UEs.
-    synthetic = package.generate(800, np.random.default_rng(5), start_time=20 * 3600.0)
+    synthetic = session.generated(800, seed=5)
 
-    compare_load_profiles(captured, synthetic)
+    compare_load_profiles(session.dataset, synthetic)
     provisioning_sweep(synthetic)
-    autoscaling_day(package)
+    autoscaling_day(session)
 
 
 if __name__ == "__main__":

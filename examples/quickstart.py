@@ -1,77 +1,63 @@
-"""Quickstart: synthesize a trace, train CPT-GPT, generate, evaluate.
+"""Quickstart: the whole Figure 4 pipeline through the Session facade.
 
-Walks the full Figure 4 pipeline end to end in a couple of minutes on a
-laptop CPU:
+One chainable object drives everything:
 
-1. simulate an operator control-plane trace (the proprietary-data
-   substitute),
-2. fit the multi-modal tokenizer and train a small CPT-GPT,
-3. package the model with its initial-event distribution,
-4. generate a synthetic UE population, and
-5. score it with every fidelity metric from Table 2.
+1. ``synthesize`` — simulate an operator control-plane capture (the
+   proprietary-data substitute) plus a held-out test capture,
+2. ``fit``        — train CPT-GPT (any registered backend works),
+3. ``generate``   — synthesize a fresh UE population (cached),
+4. ``evaluate``   — score it with every fidelity metric from Table 2.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro import ScenarioSpec, Session
+from repro.core import CPTGPTConfig, TrainingConfig
 
-from repro.core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
-from repro.metrics import fidelity_report
-from repro.statemachine import LTE_EVENTS
-from repro.tokenization import StreamTokenizer
-from repro.trace import SyntheticTraceConfig, generate_trace
+SCENARIO = ScenarioSpec(
+    name="quickstart", device_type="phone", hour=20, num_ues=400, seed=7
+)
 
 
 def main() -> None:
     # 1. A one-hour capture of 400 phone UEs at 20:00 (evening peak).
     print("== synthesizing operator trace ==")
-    training_trace = generate_trace(
-        SyntheticTraceConfig(num_ues=400, device_type="phone", hour=20, seed=7)
-    )
-    test_trace = generate_trace(
-        SyntheticTraceConfig(num_ues=300, device_type="phone", hour=20, seed=1007)
-    )
+    session = Session(SCENARIO).synthesize()
     print(
-        f"training: {len(training_trace)} UEs, {training_trace.total_events} events; "
-        f"test: {len(test_trace)} UEs"
+        f"training: {len(session.dataset)} UEs, "
+        f"{session.dataset.total_events} events; "
+        f"test: {len(session.test_dataset)} UEs"
     )
 
-    # 2. Tokenize (Design 1) and train with supervised ML (no GAN).
+    # 2+3. Tokenize (Design 1), train with supervised ML (no GAN), and
+    # package the model with its initial-event distribution.
     print("\n== training CPT-GPT ==")
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(training_trace)
-    config = CPTGPTConfig(
-        d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+    session.fit(
+        "cpt-gpt",
+        config=CPTGPTConfig(
+            d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+        ),
+        training=TrainingConfig(epochs=20, batch_size=48, learning_rate=3e-3, seed=0),
     )
-    model = CPTGPT(config, np.random.default_rng(0))
-    print(f"model: {model.num_parameters():,} parameters (paper-scale is ~725K)")
-    result = train(
-        model,
-        training_trace,
-        tokenizer,
-        TrainingConfig(epochs=20, batch_size=48, learning_rate=3e-3, seed=0),
-    )
+    generator = session.generator()
+    result = generator.last_training_result
+    print(f"model: {generator.unwrap().model.num_parameters():,} parameters "
+          f"(paper-scale is ~725K)")
     print(
         f"trained {len(result.epochs)} epochs in {result.wall_time_seconds:.1f}s; "
         f"loss {result.epochs[0].total:.3f} -> {result.final_loss:.3f}"
     )
 
-    # 3. The released artifact: weights + tokenizer + initial-event dist.
-    package = GeneratorPackage(
-        model, tokenizer, training_trace.initial_event_distribution(), "phone"
-    )
-
     # 4. Synthesize a fresh UE population.
     print("\n== generating synthetic traffic ==")
-    generated = package.generate(
-        300, np.random.default_rng(42), start_time=20 * 3600.0
-    )
+    generated = session.generated(300, seed=42)
     print(f"generated {len(generated)} streams, {generated.total_events} events")
 
     # 5. Fidelity vs the held-out capture (Table 2's metrics).
     print("\n== fidelity report (vs held-out real trace) ==")
-    report = fidelity_report(test_trace, generated)
+    report = session.evaluate()
     print(report.summary())
     print("\nevent breakdown differences (synthesized - real):")
     for event, diff in report.breakdown_diff.items():

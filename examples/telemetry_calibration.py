@@ -4,7 +4,7 @@ Network management monitors control traffic with bounded memory; the
 paper argues high-fidelity traffic models help choose monitoring
 parameters (e.g. a sampling rate) *before* deployment.  This example:
 
-1. trains CPT-GPT on one capture,
+1. trains CPT-GPT through the ``Session`` facade on one capture,
 2. calibrates the smallest sampling rate that keeps the event-breakdown
    estimate within a target error — using only *synthesized* traffic,
 3. validates the chosen rate on a held-out "live" capture, and
@@ -18,34 +18,29 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
+from repro import ScenarioSpec, Session
+from repro.core import CPTGPTConfig, TrainingConfig
 from repro.mcn import CountMinSketch, SampledBreakdownMonitor, calibrate_sampling_rate
-from repro.statemachine import LTE_EVENTS
-from repro.tokenization import StreamTokenizer
 from repro.trace import SyntheticTraceConfig, generate_trace
 
 TARGET_ERROR = 0.01  # 1 percentage point on any event-type share
+SCENARIO = ScenarioSpec(
+    name="telemetry", device_type="phone", hour=20, num_ues=350, seed=21
+)
 
 
 def main() -> None:
     print("== training the traffic model ==")
-    captured = generate_trace(
-        SyntheticTraceConfig(num_ues=350, device_type="phone", hour=20, seed=21)
-    )
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(captured)
-    model = CPTGPT(
-        CPTGPTConfig(d_model=48, num_layers=2, num_heads=4, d_ff=96,
-                     head_hidden=96, max_len=160),
-        np.random.default_rng(0),
-    )
-    train(model, captured, tokenizer,
-          TrainingConfig(epochs=16, batch_size=48, learning_rate=3e-3, seed=0))
-    package = GeneratorPackage(
-        model, tokenizer, captured.initial_event_distribution(), "phone"
+    session = Session(SCENARIO).synthesize().fit(
+        "cpt-gpt",
+        config=CPTGPTConfig(
+            d_model=48, num_layers=2, num_heads=4, d_ff=96, head_hidden=96, max_len=160
+        ),
+        training=TrainingConfig(epochs=16, batch_size=48, learning_rate=3e-3, seed=0),
     )
 
     print("\n== calibrating the sampling rate on synthesized traffic ==")
-    synthesized = package.generate(600, np.random.default_rng(4), start_time=72000.0)
+    synthesized = session.generated(600, seed=4)
     print("rate     max breakdown error (synthesized)")
     for rate in (0.005, 0.01, 0.05, 0.1, 0.5):
         error = SampledBreakdownMonitor(sampling_rate=rate, seed=0).max_error(synthesized)

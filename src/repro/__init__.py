@@ -7,26 +7,70 @@ machines, a synthetic operator-trace substrate, SMM and NetShare
 baselines, fidelity metrics, downstream MCN consumers, and a harness
 regenerating every table and figure of the paper.
 
+The public entry point is the :mod:`repro.api` facade — one protocol
+(:class:`TrafficGenerator`), a registry of backends and scenarios, and
+a chainable :class:`Session`:
+
 Quick start::
 
-    import numpy as np
-    from repro.trace import SyntheticTraceConfig, generate_trace
-    from repro.tokenization import StreamTokenizer
-    from repro.statemachine import LTE_EVENTS
-    from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train, GeneratorPackage
+    from repro import Session
 
-    trace = generate_trace(SyntheticTraceConfig(num_ues=500, seed=0))
-    tokenizer = StreamTokenizer(LTE_EVENTS).fit(trace)
-    model = CPTGPT(CPTGPTConfig(), np.random.default_rng(0))
-    train(model, trace, tokenizer, TrainingConfig(epochs=20))
-    package = GeneratorPackage(model, tokenizer,
-                               trace.initial_event_distribution(), "phone")
-    synthetic = package.generate(1000, np.random.default_rng(1))
+    session = (
+        Session("phone-evening")      # a registered ScenarioSpec
+        .synthesize()                  # simulate the operator capture
+        .fit("cpt-gpt")                # any registered backend:
+        .generate(1000, seed=42)       #   cpt-gpt, smm-1, smm-k, netshare
+    )
+    print(session.evaluate().summary())
+
+    # Constant-memory generation at any scale:
+    for stream in session.iter_streams(1_000_000, seed=7):
+        consume(stream)
+
+Register your own backend or workload::
+
+    from repro import GeneratorBase, ScenarioSpec
+    from repro import register_generator, register_scenario
+
+    @register_generator("my-gen")
+    class MyGenerator(GeneratorBase):
+        ...  # implement _fit, _generate_batch, save, load
+
+    register_scenario("rush-hour")(ScenarioSpec(name="rush-hour", hour=8))
+
+The lower-level packages (``repro.core``, ``repro.baselines``,
+``repro.trace``, ...) stay importable for fine-grained control.
 """
 
-__version__ = "0.1.0"
+from .api import (
+    GeneratorBase,
+    ScenarioSpec,
+    Session,
+    TrafficGenerator,
+    available_generators,
+    available_scenarios,
+    get_scenario,
+    load_generator,
+    register_generator,
+    register_scenario,
+)
+
+__version__ = "0.2.0"
 
 __all__ = [
+    # facade (re-exported from repro.api)
+    "Session",
+    "ScenarioSpec",
+    "TrafficGenerator",
+    "GeneratorBase",
+    "register_generator",
+    "register_scenario",
+    "available_generators",
+    "available_scenarios",
+    "get_scenario",
+    "load_generator",
+    # subpackages
+    "api",
     "nn",
     "statemachine",
     "trace",

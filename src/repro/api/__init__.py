@@ -1,0 +1,58 @@
+"""``repro.api`` — the public entry point: protocol, registry, session.
+
+This package is the single stable API surface of the reproduction:
+
+* :class:`TrafficGenerator` — the protocol every backend implements
+  (``fit`` / ``generate`` / ``save`` / ``load``), with
+  :class:`GeneratorBase` as the adapter base class;
+* :class:`ScenarioSpec` and the scenario registry — declarative
+  workload descriptions (device type, technology, hour, UE count);
+* ``@register_generator`` / ``@register_scenario`` — plug in new
+  backends and workloads without touching core code;
+* :class:`Session` — the chainable facade
+  (``synthesize → fit → generate → evaluate``) with artifact caching
+  and constant-memory streaming via :meth:`Session.iter_streams`.
+
+Importing this package registers the four built-in backends (CPT-GPT,
+SMM-1, SMM-k, NetShare) and the built-in scenarios.
+"""
+
+from .adapters import (
+    CPTGPTGenerator,
+    NetShareGenerator,
+    SMMKGenerator,
+    SMMOneGenerator,
+    load_generator,
+)
+from .protocol import GeneratorBase, TrafficGenerator
+from .registry import (
+    GENERATORS,
+    SCENARIOS,
+    Registry,
+    available_generators,
+    available_scenarios,
+    register_generator,
+    register_scenario,
+)
+from .scenario import ScenarioSpec, get_scenario
+from .session import Session
+
+__all__ = [
+    "TrafficGenerator",
+    "GeneratorBase",
+    "ScenarioSpec",
+    "get_scenario",
+    "Session",
+    "Registry",
+    "GENERATORS",
+    "SCENARIOS",
+    "register_generator",
+    "register_scenario",
+    "available_generators",
+    "available_scenarios",
+    "CPTGPTGenerator",
+    "SMMOneGenerator",
+    "SMMKGenerator",
+    "NetShareGenerator",
+    "load_generator",
+]

@@ -1,0 +1,556 @@
+"""Protocol adapters for the four generator backends, plus ``load_generator``.
+
+Each adapter wraps one backend behind the :class:`TrafficGenerator`
+protocol and registers it:
+
+==========  ===========================  ===========================
+registry    aliases                      backend
+==========  ===========================  ===========================
+cpt-gpt     CPT-GPT, cptgpt              :class:`GeneratorPackage`
+smm-1       SMM-1, smm1                  :class:`SMM1Generator`
+smm-k       SMM-20k, smmk                :class:`SMMClusteredGenerator`
+netshare    NetShare                     :class:`NetShare`
+==========  ===========================  ===========================
+
+Persistence is self-describing: every artifact carries a ``kind`` tag
+(``.npz`` metadata or a JSON field), so :func:`load_generator` restores
+the right adapter without the caller knowing which backend produced the
+file.  Legacy :meth:`GeneratorPackage.save` archives (no ``kind``) load
+as ``cpt-gpt``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import time
+from dataclasses import asdict, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.netshare import NetShare, NetShareConfig
+from ..baselines.smm import (
+    EmpiricalDistribution,
+    SemiMarkovModel,
+    SMM1Generator,
+    SMMClusteredGenerator,
+)
+from ..core.config import CPTGPTConfig, TrainingConfig
+from ..core.generate import GeneratorPackage
+from ..core.model import CPTGPT
+from ..core.train import train
+from ..core.transfer import fine_tune
+from ..nn.serialization import (
+    METADATA_KEY,
+    read_metadata,
+    save_checkpoint,
+    write_npz,
+)
+from ..statemachine.lte import LTE_SPEC
+from ..statemachine.nr import NR_SPEC
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from ..trace.schema import DeviceType, Stream
+from .protocol import GeneratorBase
+from .registry import GENERATORS, register_generator
+from .scenario import ScenarioSpec
+
+__all__ = [
+    "CPTGPTGenerator",
+    "SMMOneGenerator",
+    "SMMKGenerator",
+    "NetShareGenerator",
+    "load_generator",
+]
+
+_SPECS = {"4G": LTE_SPEC, "5G": NR_SPEC}
+
+
+def _tokenizer_for(
+    provided: StreamTokenizer | None, dataset: TraceDataset, scenario: ScenarioSpec
+) -> StreamTokenizer:
+    """Use the injected tokenizer when compatible, else fit a fresh one."""
+    vocabulary = scenario.vocabulary
+    if provided is not None and tuple(provided.vocabulary) == tuple(vocabulary):
+        return provided
+    return StreamTokenizer(vocabulary).fit(dataset)
+
+
+def _training_to_dict(config: TrainingConfig) -> dict:
+    payload = asdict(config)
+    payload["loss_weights"] = list(payload["loss_weights"])
+    return payload
+
+
+def _training_from_dict(payload: dict | None) -> TrainingConfig | None:
+    """Restore a training schedule (None for pre-schedule artifacts)."""
+    if payload is None:
+        return None
+    payload = dict(payload)
+    payload["loss_weights"] = tuple(payload["loss_weights"])
+    return TrainingConfig(**payload)
+
+
+def _legacy_scenario(metadata: dict) -> ScenarioSpec:
+    """Scenario for artifacts saved before scenarios existed."""
+    payload = metadata.get("scenario")
+    if payload is not None:
+        return ScenarioSpec.from_dict(payload)
+    return ScenarioSpec(
+        name="loaded",
+        device_type=metadata.get("device_type", DeviceType.PHONE),
+    )
+
+
+# ----------------------------------------------------------------------
+# CPT-GPT
+# ----------------------------------------------------------------------
+@register_generator("cpt-gpt", aliases=("CPT-GPT", "cptgpt"))
+class CPTGPTGenerator(GeneratorBase):
+    """The paper's generator: decoder-only transformer, supervised ML."""
+
+    transfers = True
+    uses_tokenizer = True
+
+    def __init__(
+        self,
+        *,
+        config: CPTGPTConfig | None = None,
+        training: TrainingConfig | None = None,
+        transfer: TrainingConfig | None = None,
+        tokenizer: StreamTokenizer | None = None,
+        init_seed: int = 0,
+    ) -> None:
+        super().__init__(tokenizer=tokenizer)
+        self.config = config if config is not None else CPTGPTConfig()
+        self.training = training if training is not None else TrainingConfig()
+        #: Fine-tune schedule for :meth:`adapt`; defaults to the paper's
+        #: lower-LR, fewer-epoch recipe derived from ``training``.
+        self.transfer_training = (
+            transfer
+            if transfer is not None
+            else self.training.replace(
+                epochs=max(1, self.training.epochs // 3),
+                learning_rate=self.training.learning_rate / 3.0,
+            )
+        )
+        self.init_seed = init_seed
+        self.package: GeneratorPackage | None = None
+        self.last_training_result = None
+
+    # ------------------------------------------------------------------
+    def _fit(self, dataset: TraceDataset, scenario: ScenarioSpec) -> None:
+        tokenizer = _tokenizer_for(self._tokenizer, dataset, scenario)
+        config = self.config
+        if config.num_event_types != tokenizer.num_events:
+            config = replace(config, num_event_types=tokenizer.num_events)
+        model = CPTGPT(config, np.random.default_rng(self.init_seed))
+        self.last_training_result = train(model, dataset, tokenizer, self.training)
+        self.package = GeneratorPackage(
+            model, tokenizer, dataset.initial_event_distribution(), scenario.device_type
+        )
+
+    def adapt(self, dataset: TraceDataset, scenario: ScenarioSpec) -> "CPTGPTGenerator":
+        """Fine-tune a copy of the fitted model on a new scenario (§5.5)."""
+        self._require_fitted()
+        clone = copy.copy(self)
+        start = time.perf_counter()
+        adapted, result = fine_tune(
+            self.package.model, dataset, self.package.tokenizer, self.transfer_training
+        )
+        clone.package = GeneratorPackage(
+            adapted,
+            self.package.tokenizer,
+            dataset.initial_event_distribution(),
+            scenario.device_type,
+        )
+        clone.last_training_result = result
+        clone.fit_seconds = time.perf_counter() - start
+        clone.scenario = scenario
+        return clone
+
+    def _generate_batch(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> list[Stream]:
+        return self.package.generate(count, rng, start_time=start_time).streams
+
+    @property
+    def vocabulary(self):
+        if self.package is not None:
+            return self.package.tokenizer.vocabulary
+        return super().vocabulary
+
+    def unwrap(self) -> GeneratorPackage:
+        self._require_fitted()
+        return self.package
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        self._require_fitted()
+        metadata = {
+            "kind": self.name,
+            "scenario": self.scenario.to_dict(),
+            "config": self.package.model.config.to_dict(),
+            "tokenizer": self.package.tokenizer.to_dict(),
+            "initial_event_distribution": self.package.initial_event_distribution,
+            "device_type": self.package.device_type,
+            "training": _training_to_dict(self.training),
+            "transfer": _training_to_dict(self.transfer_training),
+        }
+        save_checkpoint(self.package.model, path, metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CPTGPTGenerator":
+        metadata = read_metadata(path)
+        package = GeneratorPackage.load(path)
+        generator = cls(
+            config=package.model.config,
+            training=_training_from_dict(metadata.get("training")),
+            transfer=_training_from_dict(metadata.get("transfer")),
+            tokenizer=package.tokenizer,
+        )
+        generator.package = package
+        generator.scenario = _legacy_scenario(metadata)
+        return generator
+
+
+# ----------------------------------------------------------------------
+# Semi-Markov baselines
+# ----------------------------------------------------------------------
+def _smm_to_dict(model: SemiMarkovModel) -> dict:
+    return {
+        "spec": model.spec.name,
+        "transition_probs": model.transition_probs,
+        "initial_states": model.initial_states,
+        "weight": model.weight,
+        "dwell": [
+            [state, event, [float(x) for x in dist.samples]]
+            for (state, event), dist in model.dwell.items()
+        ],
+    }
+
+
+def _smm_from_dict(payload: dict) -> SemiMarkovModel:
+    spec = _SPECS[payload["spec"]]
+    dwell = {
+        (state, event): EmpiricalDistribution(np.asarray(samples, dtype=np.float64))
+        for state, event, samples in payload["dwell"]
+    }
+    return SemiMarkovModel(
+        spec=spec,
+        transition_probs=payload["transition_probs"],
+        dwell=dwell,
+        initial_states=payload["initial_states"],
+        weight=int(payload["weight"]),
+    )
+
+
+def _write_json_artifact(path: str | Path, payload: dict) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"format": "repro-generator-v1", **payload}
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _read_json_artifact(path: str | Path, expected_kind: str) -> dict:
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != expected_kind:
+        raise ValueError(
+            f"{path}: artifact kind {payload.get('kind')!r}, "
+            f"expected {expected_kind!r}"
+        )
+    return payload
+
+
+@register_generator("smm-1", aliases=("SMM-1", "smm1"))
+class SMMOneGenerator(GeneratorBase):
+    """SMM-1 baseline: one semi-Markov model per device type."""
+
+    def __init__(self, *, duration: float | None = None, tokenizer=None) -> None:
+        super().__init__(tokenizer=tokenizer)
+        #: Generation window in seconds; None = the scenario's duration.
+        self.duration = duration
+        self.model: SMM1Generator | None = None
+
+    def _fit(self, dataset: TraceDataset, scenario: ScenarioSpec) -> None:
+        self.model = SMM1Generator.fit(
+            dataset,
+            scenario.device_type,
+            spec=scenario.machine_spec,
+            duration=self.duration if self.duration is not None else scenario.duration,
+        )
+
+    def _generate_batch(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> list[Stream]:
+        return self.model.generate(count, rng, start_time).streams
+
+    def unwrap(self) -> SMM1Generator:
+        self._require_fitted()
+        return self.model
+
+    def save(self, path: str | Path) -> None:
+        self._require_fitted()
+        _write_json_artifact(
+            path,
+            {
+                "kind": self.name,
+                "scenario": self.scenario.to_dict(),
+                "duration": self.model.duration,
+                "device_type": self.model.device_type,
+                "model": _smm_to_dict(self.model.model),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SMMOneGenerator":
+        payload = _read_json_artifact(path, "smm-1")
+        generator = cls(duration=payload["duration"])
+        generator.model = SMM1Generator(
+            model=_smm_from_dict(payload["model"]),
+            device_type=payload["device_type"],
+            duration=payload["duration"],
+        )
+        generator.scenario = _legacy_scenario(payload)
+        return generator
+
+
+@register_generator("smm-k", aliases=("SMM-20k", "smmk", "smm-20k"))
+class SMMKGenerator(GeneratorBase):
+    """SMM-20k analogue: one semi-Markov model per UE cluster."""
+
+    def __init__(
+        self,
+        *,
+        num_clusters: int = 16,
+        duration: float | None = None,
+        seed: int = 0,
+        tokenizer=None,
+    ) -> None:
+        super().__init__(tokenizer=tokenizer)
+        self.num_clusters = num_clusters
+        #: Generation window in seconds; None = the scenario's duration.
+        self.duration = duration
+        self.seed = seed
+        self.model: SMMClusteredGenerator | None = None
+
+    def _fit(self, dataset: TraceDataset, scenario: ScenarioSpec) -> None:
+        self.model = SMMClusteredGenerator.fit(
+            dataset,
+            scenario.device_type,
+            num_clusters=self.num_clusters,
+            spec=scenario.machine_spec,
+            duration=(
+                self.duration if self.duration is not None else scenario.duration
+            ),
+            seed=self.seed,
+        )
+
+    def _generate_batch(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> list[Stream]:
+        return self.model.generate(count, rng, start_time).streams
+
+    def unwrap(self) -> SMMClusteredGenerator:
+        self._require_fitted()
+        return self.model
+
+    def save(self, path: str | Path) -> None:
+        self._require_fitted()
+        _write_json_artifact(
+            path,
+            {
+                "kind": self.name,
+                "scenario": self.scenario.to_dict(),
+                "duration": self.model.duration,
+                "device_type": self.model.device_type,
+                "num_clusters": self.num_clusters,
+                "seed": self.seed,
+                "models": [_smm_to_dict(m) for m in self.model.models],
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SMMKGenerator":
+        payload = _read_json_artifact(path, "smm-k")
+        generator = cls(
+            num_clusters=payload["num_clusters"],
+            duration=payload["duration"],
+            seed=payload["seed"],
+        )
+        generator.model = SMMClusteredGenerator(
+            models=[_smm_from_dict(m) for m in payload["models"]],
+            device_type=payload["device_type"],
+            duration=payload["duration"],
+        )
+        generator.scenario = _legacy_scenario(payload)
+        return generator
+
+
+# ----------------------------------------------------------------------
+# NetShare
+# ----------------------------------------------------------------------
+@register_generator("netshare", aliases=("NetShare", "net-share"))
+class NetShareGenerator(GeneratorBase):
+    """Adapted NetShare baseline: LSTM generator trained adversarially."""
+
+    transfers = True
+    uses_tokenizer = True
+
+    def __init__(
+        self,
+        *,
+        config: NetShareConfig | None = None,
+        epochs: int = 15,
+        transfer_epochs: int = 8,
+        batch_size: int = 32,
+        seed: int = 0,
+        init_seed: int = 1,
+        tokenizer: StreamTokenizer | None = None,
+    ) -> None:
+        super().__init__(tokenizer=tokenizer)
+        self.config = config if config is not None else NetShareConfig()
+        self.epochs = epochs
+        self.transfer_epochs = transfer_epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.init_seed = init_seed
+        self.model: NetShare | None = None
+        self.last_training_result = None
+
+    def _fit(self, dataset: TraceDataset, scenario: ScenarioSpec) -> None:
+        tokenizer = _tokenizer_for(self._tokenizer, dataset, scenario)
+        config = self.config
+        if config.num_event_types != tokenizer.num_events:
+            config = replace(config, num_event_types=tokenizer.num_events)
+        self.model = NetShare(config, tokenizer, np.random.default_rng(self.init_seed))
+        self.last_training_result = self.model.train(
+            dataset, epochs=self.epochs, batch_size=self.batch_size, seed=self.seed
+        )
+
+    def adapt(self, dataset: TraceDataset, scenario: ScenarioSpec) -> "NetShareGenerator":
+        """Continue adversarial training on the new scenario's trace."""
+        self._require_fitted()
+        clone = copy.copy(self)
+        start = time.perf_counter()
+        clone.model = copy.deepcopy(self.model)
+        clone.last_training_result = clone.model.fine_tune(
+            dataset,
+            epochs=self.transfer_epochs,
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        clone.fit_seconds = time.perf_counter() - start
+        clone.scenario = scenario
+        return clone
+
+    def _generate_batch(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> list[Stream]:
+        return self.model.generate(
+            count, rng, self.scenario.device_type, start_time
+        ).streams
+
+    @property
+    def vocabulary(self):
+        if self.model is not None:
+            return self.model.tokenizer.vocabulary
+        return super().vocabulary
+
+    def unwrap(self) -> NetShare:
+        self._require_fitted()
+        return self.model
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        self._require_fitted()
+        arrays = {
+            f"generator.{name}": value
+            for name, value in self.model.generator.state_dict().items()
+        }
+        arrays.update(
+            {
+                f"discriminator.{name}": value
+                for name, value in self.model.discriminator.state_dict().items()
+            }
+        )
+        metadata = {
+            "kind": self.name,
+            "scenario": self.scenario.to_dict(),
+            "config": asdict(self.model.config),
+            "tokenizer": self.model.tokenizer.to_dict(),
+            "epochs": self.epochs,
+            "transfer_epochs": self.transfer_epochs,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "init_seed": self.init_seed,
+        }
+        write_npz(path, arrays, metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NetShareGenerator":
+        metadata = read_metadata(path)
+        with np.load(Path(path)) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != METADATA_KEY
+            }
+        config = NetShareConfig(**metadata["config"])
+        tokenizer = StreamTokenizer.from_dict(metadata["tokenizer"])
+        generator = cls(
+            config=config,
+            epochs=metadata["epochs"],
+            transfer_epochs=metadata["transfer_epochs"],
+            batch_size=metadata["batch_size"],
+            seed=metadata["seed"],
+            init_seed=metadata["init_seed"],
+            tokenizer=tokenizer,
+        )
+        model = NetShare(config, tokenizer, np.random.default_rng(metadata["init_seed"]))
+        model.generator.load_state_dict(
+            {
+                name[len("generator."):]: value
+                for name, value in arrays.items()
+                if name.startswith("generator.")
+            }
+        )
+        model.discriminator.load_state_dict(
+            {
+                name[len("discriminator."):]: value
+                for name, value in arrays.items()
+                if name.startswith("discriminator.")
+            }
+        )
+        generator.model = model
+        generator.scenario = _legacy_scenario(metadata)
+        return generator
+
+
+# ----------------------------------------------------------------------
+# Self-describing load
+# ----------------------------------------------------------------------
+def load_generator(path: str | Path) -> GeneratorBase:
+    """Restore any saved generator, dispatching on the artifact's kind.
+
+    ``.npz`` archives carry the kind in their JSON metadata (legacy
+    CPT-GPT packages without one load as ``cpt-gpt``); JSON artifacts
+    carry a top-level ``kind`` field.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        magic = handle.read(2)
+    if magic == b"PK":  # npz archives are zip files
+        kind = read_metadata(path).get("kind", "cpt-gpt")
+    else:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ValueError(
+                f"{path}: not a generator artifact (neither npz nor JSON): {error}"
+            ) from error
+        kind = payload.get("kind")
+        if kind is None:
+            raise ValueError(f"{path}: JSON artifact has no 'kind' field")
+    return GENERATORS.get(kind).load(path)

@@ -1,0 +1,203 @@
+"""The unified ``TrafficGenerator`` protocol and its adapter base class.
+
+Every generator backend — CPT-GPT, the SMM baselines, NetShare, and any
+user-registered plugin — speaks the same four-verb API:
+
+* ``fit(dataset, scenario)``    learn from a trace (returns ``self``),
+* ``generate(n, rng, *, start_time, stream=False)``  synthesize ``n``
+  streams, either materialized as a :class:`TraceDataset` or, with
+  ``stream=True``, as a lazy iterator of :class:`Stream` objects
+  (constant memory for arbitrarily large populations),
+* ``save(path)`` / ``load(path)``  persist and restore the fitted state.
+
+:class:`TrafficGenerator` is the structural type (``isinstance`` works
+via ``runtime_checkable``); :class:`GeneratorBase` is the convenience
+base class adapters derive from — subclasses implement ``_fit`` and
+``_generate_batch`` and inherit batching, streaming, timing and the
+transfer-learning hook (``adapt``).
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..statemachine.events import EventVocabulary
+from ..trace.dataset import TraceDataset
+from ..trace.schema import Stream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .scenario import ScenarioSpec
+
+__all__ = ["TrafficGenerator", "GeneratorBase"]
+
+
+@runtime_checkable
+class TrafficGenerator(Protocol):
+    """Structural type every generator backend satisfies."""
+
+    name: str
+
+    def fit(self, dataset: TraceDataset, scenario: "ScenarioSpec") -> "TrafficGenerator":
+        """Learn from ``dataset`` under ``scenario``; returns ``self``."""
+        ...
+
+    def generate(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        start_time: float = 0.0,
+        stream: bool = False,
+    ):
+        """Synthesize ``count`` streams (dataset, or iterator if ``stream``)."""
+        ...
+
+    def save(self, path) -> None:
+        """Persist the fitted state to ``path``."""
+        ...
+
+
+class GeneratorBase(abc.ABC):
+    """Adapter base class: batching, streaming, timing, transfer hook.
+
+    Subclasses set :attr:`name` (via ``@register_generator``), implement
+    :meth:`_fit` and :meth:`_generate_batch`, and optionally override
+    :meth:`adapt` (transfer learning) and the persistence pair
+    :meth:`save` / :meth:`load`.
+    """
+
+    #: Canonical registry name; set by ``@register_generator``.
+    name: str = "abstract"
+    #: Whether :meth:`adapt` reuses fitted state (transfer learning)
+    #: rather than refitting from scratch.  Drives the workbench's
+    #: phone-scratch / other-devices-transferred policy (§5.1).
+    transfers: bool = False
+    #: Whether the backend consumes a :class:`StreamTokenizer`.  Callers
+    #: that share a tokenizer (Session, Workbench) only materialize it
+    #: for backends that declare this — fitting one is a full pass over
+    #: the training capture.
+    uses_tokenizer: bool = False
+    #: Streams synthesized per internal batch when streaming.
+    generation_batch: int = 128
+
+    def __init__(self, *, tokenizer=None) -> None:
+        self._tokenizer = tokenizer
+        self.scenario: "ScenarioSpec | None" = None
+        self.fit_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit(self, dataset: TraceDataset, scenario: "ScenarioSpec") -> None:
+        """Backend-specific fitting; stores fitted state on ``self``."""
+
+    def fit(self, dataset: TraceDataset, scenario: "ScenarioSpec") -> "GeneratorBase":
+        start = time.perf_counter()
+        self._fit(dataset, scenario)
+        self.fit_seconds = time.perf_counter() - start
+        self.scenario = scenario
+        return self
+
+    def adapt(self, dataset: TraceDataset, scenario: "ScenarioSpec") -> "GeneratorBase":
+        """A new generator for ``scenario``, derived from this one.
+
+        The default refits from scratch (correct for the SMM baselines,
+        which have no transferable state); backends with
+        ``transfers = True`` override this to fine-tune.  The shallow
+        copy relies on the ``_fit`` contract: fitted state is
+        *assigned*, never mutated in place, so refitting the clone
+        cannot leak into the original.
+        """
+        clone = copy.copy(self)
+        return clone.fit(dataset, scenario)
+
+    @property
+    def fitted(self) -> bool:
+        return self.scenario is not None
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit() or load()ed before use"
+            )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _generate_batch(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> list[Stream]:
+        """Synthesize one batch of ``count`` streams."""
+
+    @property
+    def vocabulary(self) -> EventVocabulary | None:
+        """Vocabulary of generated traces (the scenario's, by default)."""
+        return self.scenario.vocabulary if self.scenario is not None else None
+
+    def generate(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        start_time: float = 0.0,
+        stream: bool = False,
+    ):
+        """Synthesize ``count`` streams.
+
+        With ``stream=False`` (default) the full population is
+        materialized as a :class:`TraceDataset`.  With ``stream=True``
+        a lazy iterator of :class:`Stream` objects is returned instead:
+        batches are synthesized on demand, so memory stays constant no
+        matter how large ``count`` is.
+        """
+        self._require_fitted()
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        iterator = self._stream_iterator(count, rng, start_time)
+        if stream:
+            return iterator
+        return TraceDataset(streams=list(iterator), vocabulary=self.vocabulary)
+
+    def iter_streams(
+        self, count: int, rng: np.random.Generator, *, start_time: float = 0.0
+    ) -> Iterator[Stream]:
+        """Alias for ``generate(..., stream=True)``."""
+        return self.generate(count, rng, start_time=start_time, stream=True)
+
+    def _stream_iterator(
+        self, count: int, rng: np.random.Generator, start_time: float
+    ) -> Iterator[Stream]:
+        remaining = count
+        while remaining > 0:
+            size = min(self.generation_batch, remaining)
+            yield from self._generate_batch(size, rng, start_time)
+            remaining -= size
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def save(self, path: str | Path) -> None:
+        """Persist the fitted state to ``path``."""
+
+    @classmethod
+    @abc.abstractmethod
+    def load(cls, path: str | Path) -> "GeneratorBase":
+        """Restore a generator saved by :meth:`save`."""
+
+    # ------------------------------------------------------------------
+    def unwrap(self):
+        """The backend-native object behind this adapter (for legacy code)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fitted" if self.fitted else "unfitted"
+        return f"<{type(self).__name__} name={self.name!r} {state}>"

@@ -1,0 +1,156 @@
+"""Name-based registries for generator backends and scenarios.
+
+The public API is registry-driven: backends and workloads are looked up
+by name, so new ones plug in without touching core code.  Two global
+registries exist —
+
+* :data:`GENERATORS` maps names ("cpt-gpt", "smm-1", ...) to
+  :class:`~repro.api.protocol.TrafficGenerator` classes, and
+* :data:`SCENARIOS` maps names ("phone-evening", ...) to
+  :class:`~repro.api.scenario.ScenarioSpec` instances.
+
+Lookup is case-insensitive and alias-aware, so the paper's display
+names ("CPT-GPT", "SMM-20k") resolve to the same entries as the
+canonical slugs.  Register a custom backend with::
+
+    from repro.api import register_generator
+
+    @register_generator("my-gen", aliases=("MyGen",))
+    class MyGenerator(GeneratorBase):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Registry",
+    "GENERATORS",
+    "SCENARIOS",
+    "register_generator",
+    "register_scenario",
+    "available_generators",
+    "available_scenarios",
+]
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower()
+
+
+class Registry:
+    """A case-insensitive, alias-aware mapping of names to objects."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._items: dict[str, Any] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any, *, aliases: tuple[str, ...] = ()) -> Any:
+        """Register ``obj`` under ``name`` (plus optional aliases)."""
+        if not name or not name.strip():
+            raise ValueError(f"{self.kind} name must be non-empty")
+        key = _normalize(name)
+        if key in self._aliases:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"(canonical: {self._aliases[key]!r})"
+            )
+        self._items[name] = obj
+        self._aliases[key] = name
+        for alias in aliases:
+            akey = _normalize(alias)
+            if akey in self._aliases and self._aliases[akey] != name:
+                raise ValueError(
+                    f"alias {alias!r} already taken by "
+                    f"{self.kind} {self._aliases[akey]!r}"
+                )
+            self._aliases[akey] = name
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and all of its aliases (test/plugin teardown)."""
+        canonical = self.canonical(name)
+        del self._items[canonical]
+        self._aliases = {
+            alias: target
+            for alias, target in self._aliases.items()
+            if target != canonical
+        }
+
+    # ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (canonical or alias) to the canonical name."""
+        key = _normalize(name)
+        if key not in self._aliases:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"registered: {sorted(self._items)}"
+            )
+        return self._aliases[key]
+
+    def get(self, name: str) -> Any:
+        return self._items[self.canonical(name)]
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names, in registration order."""
+        return tuple(self._items)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._items.items())
+
+    def __contains__(self, name: str) -> bool:
+        return _normalize(name) in self._aliases
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {sorted(self._items)})"
+
+
+GENERATORS = Registry("generator")
+SCENARIOS = Registry("scenario")
+
+
+def register_generator(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
+    """Class decorator registering a :class:`TrafficGenerator` backend."""
+
+    def decorator(cls):
+        cls.name = name
+        GENERATORS.register(name, cls, aliases=aliases)
+        return cls
+
+    return decorator
+
+
+def register_scenario(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
+    """Register a scenario: decorate a zero-arg factory or pass a spec.
+
+    Both forms are supported::
+
+        @register_scenario("rush-hour")
+        def _rush_hour():
+            return ScenarioSpec(name="rush-hour", hour=8, ...)
+
+        register_scenario("late-night")(ScenarioSpec(name="late-night", ...))
+    """
+
+    def decorator(obj):
+        spec = obj() if callable(obj) else obj
+        SCENARIOS.register(name, spec, aliases=aliases)
+        return obj
+
+    return decorator
+
+
+def available_generators() -> tuple[str, ...]:
+    """Canonical names of every registered generator backend."""
+    return GENERATORS.names()
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Canonical names of every registered scenario."""
+    return SCENARIOS.names()

@@ -1,0 +1,161 @@
+"""Scenario specifications: what traffic to model, in one value object.
+
+A :class:`ScenarioSpec` pins down everything the pipeline needs to know
+about a workload — device type, cellular technology, hour of day, UE
+population and seed — and derives the technology-dependent artifacts
+(event vocabulary, 3GPP machine spec, dominant events) that previously
+had to be threaded by hand through every call site.
+
+Common workloads are pre-registered in :data:`~repro.api.registry.SCENARIOS`
+and can be looked up by name (``get_scenario("phone-evening")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from ..statemachine.base import MachineSpec
+from ..statemachine.events import LTE_EVENTS, NR_EVENTS, EventVocabulary
+from ..statemachine.lte import LTE_SPEC
+from ..statemachine.nr import NR_SPEC
+from ..trace.schema import DeviceType
+from ..trace.synthetic import SyntheticTraceConfig
+from .registry import SCENARIOS, register_scenario
+
+__all__ = ["ScenarioSpec", "get_scenario"]
+
+_SECONDS_PER_HOUR = 3600.0
+
+#: Technology tag -> (vocabulary, machine spec, dominant events for the
+#: sojourn-by-dominant-event fidelity metrics).
+_TECHNOLOGIES = {
+    "4G": (LTE_EVENTS, LTE_SPEC, ("SRV_REQ", "S1_CONN_REL")),
+    "5G": (NR_EVENTS, NR_SPEC, ("SRV_REQ", "AN_REL")),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One workload: who generates traffic, when, and on which network.
+
+    Attributes
+    ----------
+    name:
+        Identifier used for registry lookup and cache keys.
+    device_type:
+        One of :class:`repro.trace.schema.DeviceType`.
+    technology:
+        ``"4G"`` or ``"5G"``; selects vocabulary and state machine.
+    hour:
+        Hour-of-day of the capture window (diurnal modulation, and the
+        default ``start_time`` of generated traces).
+    num_ues:
+        UE population of the synthesized training capture.
+    duration:
+        Window length in seconds.
+    seed:
+        Base RNG seed for the synthetic substrate.
+    """
+
+    name: str = "custom"
+    device_type: str = DeviceType.PHONE
+    technology: str = "4G"
+    hour: int = 20
+    num_ues: int = 300
+    duration: float = _SECONDS_PER_HOUR
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        DeviceType.validate(self.device_type)
+        if self.technology not in _TECHNOLOGIES:
+            raise ValueError(
+                f"technology must be one of {sorted(_TECHNOLOGIES)}; "
+                f"got {self.technology!r}"
+            )
+        if self.num_ues < 0:
+            raise ValueError("num_ues must be non-negative")
+        if not 0 <= self.hour < 24:
+            raise ValueError(f"hour must be in [0, 24); got {self.hour}")
+
+    # ------------------------------------------------------------------
+    # Technology-derived artifacts
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary(self) -> EventVocabulary:
+        """Event vocabulary of this scenario's technology."""
+        return _TECHNOLOGIES[self.technology][0]
+
+    @property
+    def machine_spec(self) -> MachineSpec:
+        """3GPP state machine used for replay-based evaluation."""
+        return _TECHNOLOGIES[self.technology][1]
+
+    @property
+    def dominant_events(self) -> tuple[str, str]:
+        """The two dominant events the sojourn metrics report."""
+        return _TECHNOLOGIES[self.technology][2]
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp (seconds) at which the capture window opens."""
+        return self.hour * _SECONDS_PER_HOUR
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def trace_config(
+        self, *, num_ues: int | None = None, seed_offset: int = 0
+    ) -> SyntheticTraceConfig:
+        """The synthetic-substrate configuration for this scenario."""
+        return SyntheticTraceConfig(
+            num_ues=self.num_ues if num_ues is None else num_ues,
+            device_type=self.device_type,
+            hour=self.hour,
+            duration=self.duration,
+            technology=self.technology,
+            seed=self.seed + seed_offset,
+        )
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        return cls(**payload)
+
+
+def get_scenario(name: str | ScenarioSpec) -> ScenarioSpec:
+    """Resolve a scenario by name (or pass a spec through unchanged)."""
+    if isinstance(name, ScenarioSpec):
+        return name
+    return SCENARIOS.get(name)
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios (the paper's evaluation grid, §5.1 and §5.6)
+# ----------------------------------------------------------------------
+register_scenario("phone-evening", aliases=("phone",))(
+    ScenarioSpec(name="phone-evening", device_type=DeviceType.PHONE, hour=20, seed=7)
+)
+register_scenario("phone-morning")(
+    ScenarioSpec(name="phone-morning", device_type=DeviceType.PHONE, hour=8, seed=7)
+)
+register_scenario("connected-car-evening", aliases=("connected-car", "car"))(
+    ScenarioSpec(
+        name="connected-car-evening",
+        device_type=DeviceType.CONNECTED_CAR,
+        hour=20,
+        seed=7,
+    )
+)
+register_scenario("tablet-evening", aliases=("tablet",))(
+    ScenarioSpec(name="tablet-evening", device_type=DeviceType.TABLET, hour=20, seed=7)
+)
+register_scenario("phone-5g", aliases=("5g",))(
+    ScenarioSpec(
+        name="phone-5g", device_type=DeviceType.PHONE, technology="5G", hour=20, seed=7
+    )
+)

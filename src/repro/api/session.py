@@ -1,0 +1,327 @@
+"""The ``Session`` facade: one chainable object for the whole pipeline.
+
+A session binds a scenario to cached pipeline artifacts and exposes the
+paper's workflow as chainable steps::
+
+    from repro.api import Session
+
+    report = (
+        Session("phone-evening")
+        .synthesize()                  # operator-trace substrate
+        .fit("cpt-gpt", training=TrainingConfig(epochs=16))
+        .generate(500, seed=42)        # cached TraceDataset
+        .evaluate()                    # FidelityReport vs held-out capture
+    )
+    print(report.summary())
+
+Every step is cached: traces are synthesized once, each backend is
+fitted once, and generated populations are keyed by (backend, count,
+seed).  For constant-memory large-scale generation,
+:meth:`Session.iter_streams` yields streams lazily straight off the
+backend without materializing the population.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..metrics.report import FidelityReport, fidelity_report
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from ..trace.schema import Stream
+from ..trace.synthetic import generate_trace
+from .adapters import load_generator
+from .protocol import GeneratorBase, TrafficGenerator
+from .registry import GENERATORS
+from .scenario import ScenarioSpec, get_scenario
+
+__all__ = ["Session"]
+
+#: Seed offset between the training capture and the held-out test
+#: capture (the paper's different-day train/test split).
+_TEST_SEED_OFFSET = 104729
+
+
+class Session:
+    """Scenario-bound pipeline with cached artifacts.
+
+    Parameters
+    ----------
+    scenario:
+        A registered scenario name ("phone-evening", ...) or a
+        :class:`ScenarioSpec`.
+    """
+
+    def __init__(self, scenario: str | ScenarioSpec = "phone-evening") -> None:
+        self.scenario = get_scenario(scenario)
+        self._dataset: TraceDataset | None = None
+        self._test_dataset: TraceDataset | None = None
+        self._tokenizer: StreamTokenizer | None = None
+        self._generators: dict[str, TrafficGenerator] = {}
+        #: (name, count, seed, start_time) -> generated population.
+        self._generated: dict[tuple[str, int, int, float], TraceDataset] = {}
+        self._active: str | None = None
+        self._last_generated: tuple[str, int, int, float] | None = None
+        self._last_by_name: dict[str, tuple[str, int, int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def synthesize(self, *, force: bool = False) -> "Session":
+        """Simulate the training and held-out captures (cached)."""
+        if self._dataset is None or force:
+            self._set_datasets(
+                generate_trace(self.scenario.trace_config()),
+                generate_trace(
+                    self.scenario.trace_config(seed_offset=_TEST_SEED_OFFSET)
+                ),
+            )
+        return self
+
+    def use_dataset(
+        self, dataset: TraceDataset, test_dataset: TraceDataset | None = None
+    ) -> "Session":
+        """Supply captures directly instead of synthesizing them."""
+        self._set_datasets(dataset, test_dataset)
+        return self
+
+    def _set_datasets(
+        self, dataset: TraceDataset, test_dataset: TraceDataset | None
+    ) -> None:
+        """Install captures; on *replacement*, drop derived artifacts.
+
+        The tokenizer, fitted generators and cached populations were
+        built from the previous dataset; keeping them would silently
+        serve models trained on stale data.  When no dataset existed
+        yet nothing can be derived from one — generators present at
+        that point were loaded from disk or fitted externally and must
+        survive (e.g. ``Session().load(path)`` before lazy synthesis).
+        """
+        replacing = self._dataset is not None
+        self._dataset = dataset
+        self._test_dataset = test_dataset
+        if replacing:
+            self._tokenizer = None
+            self._generators = {}
+            self._generated = {}
+            self._last_generated = None
+            self._last_by_name = {}
+            self._active = None
+
+    @property
+    def dataset(self) -> TraceDataset:
+        """The training capture (synthesized on first access)."""
+        self.synthesize()
+        return self._dataset
+
+    @property
+    def test_dataset(self) -> TraceDataset:
+        """The held-out capture used by :meth:`evaluate`."""
+        self.synthesize()
+        if self._test_dataset is None:
+            raise RuntimeError(
+                "no held-out capture: use_dataset() was called without one"
+            )
+        return self._test_dataset
+
+    @property
+    def tokenizer(self) -> StreamTokenizer:
+        """Tokenizer fitted on the training capture (shared by backends)."""
+        if self._tokenizer is None:
+            self._tokenizer = StreamTokenizer(self.scenario.vocabulary).fit(
+                self.dataset
+            )
+        return self._tokenizer
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    def fit(
+        self, generator: str | TrafficGenerator = "cpt-gpt", **options
+    ) -> "Session":
+        """Fit a backend on the training capture (cached by name).
+
+        ``generator`` is a registry name or an already-constructed
+        :class:`TrafficGenerator`; ``options`` are forwarded to the
+        backend's constructor when a name is given.  Refitting the same
+        name without options is a cache hit; passing options for an
+        already-fitted name refits with the new options (and drops that
+        backend's cached populations), so explicit configuration is
+        never silently ignored.
+        """
+        if isinstance(generator, str):
+            name = GENERATORS.canonical(generator)
+            if name not in self._generators or options:
+                cls = GENERATORS.get(name)
+                if getattr(cls, "uses_tokenizer", False):
+                    options.setdefault("tokenizer", self.tokenizer)
+                self._generators[name] = cls(**options).fit(
+                    self.dataset, self.scenario
+                )
+                self._invalidate_populations(name)
+        else:
+            name = getattr(generator, "name", None)
+            if not name or name == GeneratorBase.name:
+                # Unregistered subclasses inherit the base placeholder;
+                # key them by class so distinct plugins don't collide.
+                name = type(generator).__name__
+            if not getattr(generator, "fitted", False):
+                generator.fit(self.dataset, self.scenario)
+            if self._generators.get(name) is not generator:
+                self._invalidate_populations(name)
+            self._generators[name] = generator
+        self._active = name
+        return self
+
+    def _invalidate_populations(self, name: str) -> None:
+        """Drop cached populations of ``name`` after its backend changed."""
+        self._generated = {
+            key: trace for key, trace in self._generated.items() if key[0] != name
+        }
+        self._last_by_name.pop(name, None)
+        if self._last_generated and self._last_generated[0] == name:
+            self._last_generated = None
+
+    def generator(self, name: str | None = None) -> TrafficGenerator:
+        """A fitted backend by name (default: the most recently fitted)."""
+        name = self._resolve(name)
+        return self._generators[name]
+
+    def _resolve(self, name: str | None) -> str:
+        if name is None:
+            if self._active is None:
+                raise RuntimeError("no generator fitted yet; call fit() first")
+            return self._active
+        canonical = GENERATORS.canonical(name) if name in GENERATORS else name
+        if canonical not in self._generators:
+            raise RuntimeError(
+                f"generator {name!r} is not fitted in this session; "
+                f"fitted: {sorted(self._generators)}"
+            )
+        return canonical
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        count: int | None = None,
+        *,
+        seed: int = 1,
+        generator: str | None = None,
+        start_time: float | None = None,
+    ) -> "Session":
+        """Synthesize and cache a population from a fitted backend.
+
+        ``start_time`` defaults to the scenario's hour; pass an
+        explicit value to place the population elsewhere in the day
+        without building a new session.
+        """
+        name = self._resolve(generator)
+        count = self.scenario.num_ues if count is None else count
+        start = self.scenario.start_time if start_time is None else start_time
+        key = (name, count, seed, start)
+        if key not in self._generated:
+            self._generated[key] = self._generators[name].generate(
+                count, np.random.default_rng(seed), start_time=start
+            )
+        self._last_generated = key
+        self._last_by_name[name] = key
+        return self
+
+    def generated(
+        self,
+        count: int | None = None,
+        *,
+        seed: int = 1,
+        generator: str | None = None,
+        start_time: float | None = None,
+    ) -> TraceDataset:
+        """The cached population (generating it on first access)."""
+        self.generate(count, seed=seed, generator=generator, start_time=start_time)
+        return self._generated[self._last_generated]
+
+    def iter_streams(
+        self,
+        count: int,
+        *,
+        seed: int = 1,
+        generator: str | None = None,
+        start_time: float | None = None,
+    ) -> Iterator[Stream]:
+        """Lazily yield ``count`` streams without materializing a dataset.
+
+        Streams come straight off the backend in generation batches, so
+        memory stays constant regardless of ``count``; nothing is
+        cached.
+        """
+        name = self._resolve(generator)
+        return self._generators[name].generate(
+            count,
+            np.random.default_rng(seed),
+            start_time=(
+                self.scenario.start_time if start_time is None else start_time
+            ),
+            stream=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        synthesized: TraceDataset | None = None,
+        *,
+        generator: str | None = None,
+    ) -> FidelityReport:
+        """Fidelity of a generated population vs the held-out capture.
+
+        Without arguments, scores the most recently generated
+        population; with ``generator=``, the most recent population of
+        that backend (generating one at the scenario's default size if
+        none exists yet).
+        """
+        if synthesized is None:
+            if generator is None and self._last_generated is not None:
+                key = self._last_generated
+            else:
+                name = self._resolve(generator)
+                key = self._last_by_name.get(name)
+                if key is None:
+                    self.generate(generator=name)
+                    key = self._last_by_name[name]
+            synthesized = self._generated[key]
+        return fidelity_report(
+            self.test_dataset,
+            synthesized,
+            self.scenario.machine_spec,
+            dominant_events=self.scenario.dominant_events,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path, *, generator: str | None = None) -> "Session":
+        """Persist a fitted backend's artifact to ``path``."""
+        self.generator(generator).save(path)
+        return self
+
+    def load(self, path: str | Path) -> "Session":
+        """Load a saved generator artifact into this session."""
+        loaded = load_generator(path)
+        if not isinstance(loaded, GeneratorBase):  # pragma: no cover - plugins
+            raise TypeError(f"loaded object {loaded!r} is not a generator")
+        if self._generators.get(loaded.name) is not loaded:
+            self._invalidate_populations(loaded.name)
+        self._generators[loaded.name] = loaded
+        self._active = loaded.name
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session scenario={self.scenario.name!r} "
+            f"fitted={sorted(self._generators)}>"
+        )

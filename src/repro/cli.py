@@ -1,12 +1,17 @@
-"""Command-line interface: ``cpt-gpt <command>``.
+"""Command-line interface: ``cpt-gpt <command>`` (or ``python -m repro``).
+
+Built on the :mod:`repro.api` facade — every command goes through the
+:class:`~repro.api.Session` / registry surface rather than touching the
+backends directly.
 
 Commands
 --------
 ``synthesize``    generate a synthetic operator trace (the data substrate)
 ``train``         train a CPT-GPT package on a JSONL trace
-``generate``      sample streams from a trained package
+``generate``      sample streams from any saved generator artifact
 ``evaluate``      fidelity report of a synthesized trace vs a real one
 ``experiments``   run the paper's tables/figures at a chosen scale
+``registry``      list registered generator backends and scenarios
 """
 
 from __future__ import annotations
@@ -16,12 +21,19 @@ import sys
 
 import numpy as np
 
-from .core import CPTGPT, CPTGPTConfig, GeneratorPackage, TrainingConfig, train
+from .api import (
+    ScenarioSpec,
+    Session,
+    available_generators,
+    available_scenarios,
+    get_scenario,
+    load_generator,
+)
+from .core import CPTGPTConfig, TrainingConfig
 from .experiments import ALL_EXPERIMENTS, MEDIUM, SMOKE, Workbench, run_all
 from .metrics import fidelity_report
-from .statemachine import LTE_EVENTS
-from .tokenization import StreamTokenizer
-from .trace import SyntheticTraceConfig, generate_trace, load_jsonl, save_jsonl
+from .trace import load_jsonl, save_jsonl
+from .trace.synthetic import generate_trace
 
 __all__ = ["main", "build_parser"]
 
@@ -52,12 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", type=int, default=2)
     p.add_argument("--heads", type=int, default=4)
     p.add_argument("--d-ff", type=int, default=160)
-    p.add_argument("--max-len", type=int, default=192)
+    p.add_argument("--max-len", type=int, default=None,
+                   help="maximum stream length (default: 192, or the "
+                        "paper's 500 with --paper)")
+    p.add_argument("--paper", action="store_true",
+                   help="use the published §5.1 configuration (~725K params); "
+                        "overrides the model-shape flags")
     p.add_argument("--device-type", default="phone")
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("generate", help="sample streams from a trained package")
-    p.add_argument("package", help="trained package (.npz)")
+    p = sub.add_parser("generate", help="sample streams from a saved generator")
+    p.add_argument("package", help="trained artifact (.npz or .json)")
     p.add_argument("output", help="output JSONL path")
     p.add_argument("--count", type=int, default=1000)
     p.add_argument("--start-time", type=float, default=0.0)
@@ -71,55 +88,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="smoke", choices=("smoke", "medium"))
     p.add_argument("--only", nargs="*", default=None,
                    help=f"subset of {sorted(ALL_EXPERIMENTS)}")
+
+    sub.add_parser("registry", help="list registered generators and scenarios")
     return parser
 
 
 def _cmd_synthesize(args) -> int:
-    trace = generate_trace(
-        SyntheticTraceConfig(
-            num_ues=args.ues,
-            device_type=args.device_type,
-            hour=args.hour,
-            technology=args.technology,
-            seed=args.seed,
-        )
+    scenario = ScenarioSpec(
+        name="cli-synthesize",
+        num_ues=args.ues,
+        device_type=args.device_type,
+        hour=args.hour,
+        technology=args.technology,
+        seed=args.seed,
     )
+    trace = generate_trace(scenario.trace_config())
     save_jsonl(trace, args.output)
     print(f"wrote {len(trace)} streams / {trace.total_events} events to {args.output}")
     return 0
 
 
-def _cmd_train(args) -> int:
-    dataset = load_jsonl(args.trace)
-    vocabulary = dataset.vocabulary if dataset.vocabulary is not None else LTE_EVENTS
-    tokenizer = StreamTokenizer(vocabulary).fit(dataset)
-    config = CPTGPTConfig(
-        num_event_types=len(vocabulary),
+def _model_config(args, num_event_types: int) -> CPTGPTConfig:
+    """The CPT-GPT configuration the ``train`` flags describe."""
+    if args.paper:
+        max_len = 500 if args.max_len is None else args.max_len
+        return CPTGPTConfig.paper(num_event_types=num_event_types, max_len=max_len)
+    return CPTGPTConfig(
+        num_event_types=num_event_types,
         d_model=args.d_model,
         num_layers=args.layers,
         num_heads=args.heads,
         d_ff=args.d_ff,
         head_hidden=2 * args.d_model,
-        max_len=args.max_len,
+        max_len=192 if args.max_len is None else args.max_len,
     )
-    model = CPTGPT(config, np.random.default_rng(args.seed))
-    result = train(
-        model,
-        dataset,
-        tokenizer,
-        TrainingConfig(
+
+
+def _cmd_train(args) -> int:
+    dataset = load_jsonl(args.trace)
+    scenario = ScenarioSpec(
+        name="cli-train",
+        device_type=args.device_type,
+        technology=dataset.infer_technology(),
+        seed=args.seed,
+    )
+    session = Session(scenario).use_dataset(dataset)
+    session.fit(
+        "cpt-gpt",
+        config=_model_config(args, len(scenario.vocabulary)),
+        training=TrainingConfig(
             epochs=args.epochs,
             batch_size=args.batch_size,
             learning_rate=args.learning_rate,
             seed=args.seed,
         ),
+        init_seed=args.seed,
     )
-    package = GeneratorPackage(
-        model, tokenizer, dataset.initial_event_distribution(), args.device_type
-    )
-    package.save(args.output)
+    session.save(args.output)
+    generator = session.generator()
+    result = generator.last_training_result
     print(
-        f"trained {model.num_parameters()} params in "
+        f"trained {generator.unwrap().model.num_parameters()} params in "
         f"{result.wall_time_seconds:.1f}s (final loss {result.final_loss:.3f}); "
         f"saved to {args.output}"
     )
@@ -127,8 +156,8 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    package = GeneratorPackage.load(args.package)
-    trace = package.generate(
+    generator = load_generator(args.package)
+    trace = generator.generate(
         args.count, np.random.default_rng(args.seed), start_time=args.start_time
     )
     save_jsonl(trace, args.output)
@@ -139,7 +168,15 @@ def _cmd_generate(args) -> int:
 def _cmd_evaluate(args) -> int:
     real = load_jsonl(args.real)
     synthesized = load_jsonl(args.synthesized)
-    report = fidelity_report(real, synthesized)
+    scenario = ScenarioSpec(
+        name="cli-evaluate", technology=real.infer_technology()
+    )
+    report = fidelity_report(
+        real,
+        synthesized,
+        scenario.machine_spec,
+        dominant_events=scenario.dominant_events,
+    )
     print(report.summary())
     return 0
 
@@ -151,12 +188,27 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    print("generators:")
+    for name in available_generators():
+        print(f"  {name}")
+    print("scenarios:")
+    for name in available_scenarios():
+        spec = get_scenario(name)
+        print(
+            f"  {name}  ({spec.device_type}, {spec.technology}, "
+            f"hour {spec.hour}, {spec.num_ues} UEs)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "train": _cmd_train,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
+    "registry": _cmd_registry,
 }
 
 

@@ -22,7 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from ..nn import MLP, no_grad
-from ..nn.serialization import load_checkpoint, save_checkpoint
+from ..nn.serialization import load_checkpoint, read_metadata, save_checkpoint
 from ..tokenization import StreamTokenizer
 from ..trace.dataset import TraceDataset
 from ..trace.schema import Stream
@@ -314,8 +314,7 @@ class GeneratorPackage:
     def load(cls, path: str | Path) -> "GeneratorPackage":
         """Load a package written by :meth:`save`."""
         # Model shape is in the metadata, so peek at it first.
-        with np.load(Path(path)) as archive:
-            metadata = json.loads(archive["__metadata__"].tobytes().decode("utf-8"))
+        metadata = read_metadata(path)
         config = CPTGPTConfig.from_dict(metadata["config"])
         model = CPTGPT(config, np.random.default_rng(0))
         load_checkpoint(model, path)

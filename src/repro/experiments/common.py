@@ -21,21 +21,17 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..api import GENERATORS, ScenarioSpec, TrafficGenerator
 from ..baselines import NetShare, NetShareConfig, SMM1Generator, SMMClusteredGenerator
-from ..core import (
-    CPTGPT,
-    CPTGPTConfig,
-    GeneratorPackage,
-    TrainingConfig,
-    fine_tune,
-    train,
-)
+from ..core import CPTGPTConfig, GeneratorPackage, TrainingConfig
 from ..statemachine import LTE_EVENTS, LTE_SPEC
 from ..tokenization import StreamTokenizer
-from ..trace import DeviceType, SyntheticTraceConfig, TraceDataset, generate_trace
+from ..trace import DeviceType, TraceDataset, generate_trace
 
 __all__ = ["ExperimentScale", "SMOKE", "MEDIUM", "Workbench", "format_table", "GENERATOR_NAMES"]
 
+#: Paper display names of the compared generators — registry aliases,
+#: so ``Workbench.generated`` accepts them as-is.
 GENERATOR_NAMES = ("SMM-1", "SMM-20k", "NetShare", "CPT-GPT")
 
 
@@ -77,6 +73,45 @@ class ExperimentScale:
     def with_overrides(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)
 
+    def generator_options(self) -> dict[str, dict]:
+        """Constructor options per registered backend at this scale.
+
+        Keyed by canonical registry name; the workbench instantiates
+        every backend through the registry with these options, so a
+        newly registered backend runs with its own defaults until a
+        scale declares options for it.
+        """
+        return {
+            "cpt-gpt": dict(
+                config=self.cpt_config,
+                training=TrainingConfig(
+                    epochs=self.cpt_epochs,
+                    batch_size=self.cpt_batch_size,
+                    learning_rate=self.cpt_lr,
+                    seed=self.seed,
+                    length_bucketing=self.cpt_length_bucketing,
+                ),
+                transfer=TrainingConfig(
+                    epochs=self.cpt_transfer_epochs,
+                    batch_size=self.cpt_batch_size,
+                    learning_rate=self.cpt_transfer_lr,
+                    seed=self.seed,
+                    length_bucketing=self.cpt_length_bucketing,
+                ),
+                init_seed=self.seed,
+            ),
+            "netshare": dict(
+                config=self.ns_config,
+                epochs=self.ns_epochs,
+                transfer_epochs=self.ns_transfer_epochs,
+                batch_size=self.ns_batch_size,
+                seed=self.seed,
+                init_seed=self.seed + 1,
+            ),
+            "smm-1": {},
+            "smm-k": dict(num_clusters=self.smm_clusters, seed=self.seed),
+        }
+
 
 SMOKE = ExperimentScale(
     name="smoke",
@@ -116,11 +151,16 @@ MEDIUM = ExperimentScale(
 class Workbench:
     """Lazily-built, cached pipeline shared by all experiments.
 
-    The cache keys are device types; training happens at most once per
-    (generator, device type).  All experiments read generated traces of
-    ``scale.generated_streams`` streams, evaluated against a held-out
-    test trace generated with a different seed (the paper's train/test
-    split across different days).
+    Generators are resolved through the :data:`repro.api.GENERATORS`
+    registry — any registered backend works, with per-scale options
+    from :meth:`ExperimentScale.generator_options`.  The cache keys are
+    (canonical name, device type); training happens at most once per
+    key.  Backends with ``transfers = True`` are trained from scratch
+    on phones and adapted to the other device types (§5.1).  All
+    experiments read generated traces of ``scale.generated_streams``
+    streams, evaluated against a held-out test trace generated with a
+    different seed (the paper's train/test split across different
+    days).
     """
 
     def __init__(self, scale: ExperimentScale) -> None:
@@ -130,10 +170,7 @@ class Workbench:
         self._train: dict[str, TraceDataset] = {}
         self._test: dict[str, TraceDataset] = {}
         self._tokenizer: StreamTokenizer | None = None
-        self._cpt: dict[str, GeneratorPackage] = {}
-        self._netshare: dict[str, NetShare] = {}
-        self._smm1: dict[str, SMM1Generator] = {}
-        self._smmk: dict[str, SMMClusteredGenerator] = {}
+        self._generators: dict[tuple[str, str], TrafficGenerator] = {}
         self._generated: dict[tuple[str, str], TraceDataset] = {}
         self.training_times: dict[str, float] = {}
 
@@ -142,24 +179,15 @@ class Workbench:
     # ------------------------------------------------------------------
     def train_trace(self, device: str = DeviceType.PHONE) -> TraceDataset:
         if device not in self._train:
-            self._train[device] = generate_trace(
-                SyntheticTraceConfig(
-                    num_ues=self.scale.train_ues,
-                    device_type=device,
-                    hour=self.scale.hour,
-                    seed=self.scale.seed,
-                )
-            )
+            self._train[device] = generate_trace(self.scenario(device).trace_config())
         return self._train[device]
 
     def test_trace(self, device: str = DeviceType.PHONE) -> TraceDataset:
         if device not in self._test:
             self._test[device] = generate_trace(
-                SyntheticTraceConfig(
+                self.scenario(device).trace_config(
                     num_ues=self.scale.eval_ues,
-                    device_type=device,
-                    hour=self.scale.hour,
-                    seed=self.scale.seed + 104729,  # a different capture day
+                    seed_offset=104729,  # a different capture day
                 )
             )
         return self._test[device]
@@ -173,102 +201,64 @@ class Workbench:
             )
         return self._tokenizer
 
+    def scenario(self, device: str = DeviceType.PHONE) -> ScenarioSpec:
+        """The workbench's workload for ``device`` as a scenario spec."""
+        return ScenarioSpec(
+            name=f"workbench-{device}",
+            device_type=device,
+            technology="4G",
+            hour=self.scale.hour,
+            num_ues=self.scale.train_ues,
+            seed=self.scale.seed,
+        )
+
     # ------------------------------------------------------------------
-    # Generators
+    # Generators (registry-driven)
     # ------------------------------------------------------------------
+    def generator(
+        self, name: str, device: str = DeviceType.PHONE
+    ) -> TrafficGenerator:
+        """The fitted backend for (``name``, ``device``), trained lazily.
+
+        ``name`` is any registry name or alias.  Backends that support
+        transfer learning are trained from scratch on phones and
+        adapted to the requested device; the rest fit per device.
+        """
+        canonical = GENERATORS.canonical(name)
+        key = (canonical, device)
+        if key in self._generators:
+            return self._generators[key]
+        cls = GENERATORS.get(canonical)
+        options = self.scale.generator_options().get(canonical, {})
+        phone = DeviceType.PHONE
+        if getattr(cls, "transfers", False) and device != phone:
+            base = self.generator(canonical, phone)
+            fitted = base.adapt(self.train_trace(device), self.scenario(device))
+        else:
+            if getattr(cls, "uses_tokenizer", False):
+                options = {**options, "tokenizer": self.tokenizer}
+            fitted = cls(**options).fit(
+                self.train_trace(device), self.scenario(device)
+            )
+        self._generators[key] = fitted
+        slug = canonical.replace("-", "")
+        self.training_times[f"{slug}/{device}"] = fitted.fit_seconds
+        return fitted
+
+    # Backward-compatible accessors returning the backend-native objects.
     def cptgpt(self, device: str = DeviceType.PHONE) -> GeneratorPackage:
         """CPT-GPT for ``device``: phones from scratch, others transferred."""
-        if device in self._cpt:
-            return self._cpt[device]
-        scale = self.scale
-        phone = DeviceType.PHONE
-        if phone not in self._cpt:
-            model = CPTGPT(scale.cpt_config, np.random.default_rng(scale.seed))
-            result = train(
-                model,
-                self.train_trace(phone),
-                self.tokenizer,
-                TrainingConfig(
-                    epochs=scale.cpt_epochs,
-                    batch_size=scale.cpt_batch_size,
-                    learning_rate=scale.cpt_lr,
-                    seed=scale.seed,
-                    length_bucketing=scale.cpt_length_bucketing,
-                ),
-            )
-            self.training_times["cptgpt/phone"] = result.wall_time_seconds
-            self._cpt[phone] = GeneratorPackage(
-                model,
-                self.tokenizer,
-                self.train_trace(phone).initial_event_distribution(),
-                phone,
-            )
-        if device != phone and device not in self._cpt:
-            adapted, result = fine_tune(
-                self._cpt[phone].model,
-                self.train_trace(device),
-                self.tokenizer,
-                TrainingConfig(
-                    epochs=scale.cpt_transfer_epochs,
-                    batch_size=scale.cpt_batch_size,
-                    learning_rate=scale.cpt_transfer_lr,
-                    seed=scale.seed,
-                    length_bucketing=scale.cpt_length_bucketing,
-                ),
-            )
-            self.training_times[f"cptgpt/{device}"] = result.wall_time_seconds
-            self._cpt[device] = GeneratorPackage(
-                adapted,
-                self.tokenizer,
-                self.train_trace(device).initial_event_distribution(),
-                device,
-            )
-        return self._cpt[device]
+        return self.generator("cpt-gpt", device).unwrap()
 
     def netshare(self, device: str = DeviceType.PHONE) -> NetShare:
         """NetShare for ``device`` (phone scratch, others fine-tuned)."""
-        if device in self._netshare:
-            return self._netshare[device]
-        scale = self.scale
-        phone = DeviceType.PHONE
-        if phone not in self._netshare:
-            model = NetShare(
-                scale.ns_config, self.tokenizer, np.random.default_rng(scale.seed + 1)
-            )
-            result = model.train(
-                self.train_trace(phone), epochs=scale.ns_epochs,
-                batch_size=scale.ns_batch_size, seed=scale.seed,
-            )
-            self.training_times["netshare/phone"] = result.wall_time_seconds
-            self._netshare[phone] = model
-        if device != phone and device not in self._netshare:
-            import copy
-
-            adapted = copy.deepcopy(self._netshare[phone])
-            result = adapted.fine_tune(
-                self.train_trace(device),
-                epochs=scale.ns_transfer_epochs,
-                batch_size=scale.ns_batch_size,
-                seed=scale.seed,
-            )
-            self.training_times[f"netshare/{device}"] = result.wall_time_seconds
-            self._netshare[device] = adapted
-        return self._netshare[device]
+        return self.generator("netshare", device).unwrap()
 
     def smm1(self, device: str = DeviceType.PHONE) -> SMM1Generator:
-        if device not in self._smm1:
-            self._smm1[device] = SMM1Generator.fit(self.train_trace(device), device)
-        return self._smm1[device]
+        return self.generator("smm-1", device).unwrap()
 
     def smmk(self, device: str = DeviceType.PHONE) -> SMMClusteredGenerator:
-        if device not in self._smmk:
-            self._smmk[device] = SMMClusteredGenerator.fit(
-                self.train_trace(device),
-                device,
-                num_clusters=self.scale.smm_clusters,
-                seed=self.scale.seed,
-            )
-        return self._smmk[device]
+        return self.generator("smm-k", device).unwrap()
 
     # ------------------------------------------------------------------
     # Generated traces (the evaluation inputs)
@@ -276,26 +266,17 @@ class Workbench:
     def generated(self, generator: str, device: str = DeviceType.PHONE) -> TraceDataset:
         """Synthesized trace from ``generator`` for ``device`` (cached).
 
-        ``generator`` is one of :data:`GENERATOR_NAMES`.
+        ``generator`` is any name the registry resolves — the paper
+        display names in :data:`GENERATOR_NAMES` included.
         """
-        key = (generator, device)
+        key = (GENERATORS.canonical(generator), device)
         if key in self._generated:
             return self._generated[key]
         count = self.scale.generated_streams
-        start_time = self.scale.hour * 3600.0
         rng = np.random.default_rng(self.scale.seed + 31337)
-        if generator == "SMM-1":
-            trace = self.smm1(device).generate(count, rng, start_time)
-        elif generator == "SMM-20k":
-            trace = self.smmk(device).generate(count, rng, start_time)
-        elif generator == "NetShare":
-            trace = self.netshare(device).generate(count, rng, device, start_time)
-        elif generator == "CPT-GPT":
-            trace = self.cptgpt(device).generate(count, rng, start_time)
-        else:
-            raise ValueError(
-                f"unknown generator {generator!r}; expected one of {GENERATOR_NAMES}"
-            )
+        trace = self.generator(generator, device).generate(
+            count, rng, start_time=self.scale.hour * 3600.0
+        )
         self._generated[key] = trace
         return trace
 

@@ -16,32 +16,55 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "METADATA_KEY",
+    "save_checkpoint",
+    "load_checkpoint",
+    "write_npz",
+    "read_metadata",
+]
 
-_METADATA_KEY = "__metadata__"
+METADATA_KEY = "__metadata__"
+
+
+def write_npz(
+    path: str | Path, arrays: dict[str, np.ndarray], metadata: dict | None = None
+) -> None:
+    """Write named arrays plus a JSON metadata blob to an npz archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if METADATA_KEY in arrays:
+        raise ValueError(f"array name {METADATA_KEY!r} is reserved")
+    payload = dict(arrays)
+    payload[METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    # Write through a file object so numpy honors the exact path rather
+    # than appending ".npz" to suffix-less filenames.
+    with open(path, "wb") as handle:
+        np.savez(handle, **payload)
+
+
+def read_metadata(path: str | Path) -> dict:
+    """The JSON metadata blob of an archive written by :func:`write_npz`."""
+    with np.load(Path(path)) as archive:
+        if METADATA_KEY not in archive.files:
+            raise ValueError(f"{path}: npz archive has no metadata block")
+        return json.loads(archive[METADATA_KEY].tobytes().decode("utf-8"))
 
 
 def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> None:
     """Write ``module``'s parameters and optional JSON metadata to ``path``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = module.state_dict()
-    if _METADATA_KEY in arrays:
-        raise ValueError(f"parameter name {_METADATA_KEY!r} is reserved")
-    payload = dict(arrays)
-    payload[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez(path, **payload)
+    write_npz(path, module.state_dict(), metadata)
 
 
 def load_checkpoint(module: Module, path: str | Path) -> dict:
     """Load parameters into ``module`` in-place; returns the metadata dict."""
     path = Path(path)
     with np.load(path) as archive:
-        metadata_bytes = archive[_METADATA_KEY].tobytes()
+        metadata_bytes = archive[METADATA_KEY].tobytes()
         state = {
-            name: archive[name] for name in archive.files if name != _METADATA_KEY
+            name: archive[name] for name in archive.files if name != METADATA_KEY
         }
     module.load_state_dict(state)
     return json.loads(metadata_bytes.decode("utf-8"))

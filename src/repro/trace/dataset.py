@@ -101,6 +101,23 @@ class TraceDataset:
     def device_types(self) -> list[str]:
         return sorted({s.device_type for s in self.streams})
 
+    def infer_technology(self) -> str:
+        """``"4G"`` or ``"5G"``, from the vocabulary or observed events.
+
+        Prefers the attached vocabulary; vocabulary-less datasets (CSV
+        imports, headerless traces) are classified by their event names
+        — REGISTER / DEREGISTER / AN_REL exist only in 5G (Table 1).
+        """
+        from ..statemachine.events import NR_EVENTS
+
+        if self.vocabulary is not None:
+            return "5G" if self.vocabulary.names == NR_EVENTS.names else "4G"
+        nr_only = {"REGISTER", "DEREGISTER", "AN_REL"}
+        for stream in self.streams:
+            if nr_only.intersection(stream.event_names()):
+                return "5G"
+        return "4G"
+
     def event_breakdown(self) -> dict[str, float]:
         """Fraction of each event type across the dataset (Table 7's rows)."""
         counter: Counter[str] = Counter()

@@ -1,0 +1,178 @@
+"""Protocol conformance, parametrized over every registered backend.
+
+Each registered generator must satisfy the same contract: fit →
+generate (right count, deterministic under a fixed seed) → save → load
+round-trip reproducing generation exactly, plus lazy streaming that
+never materializes the population.  A backend registered by a plugin is
+automatically picked up (with default constructor options).
+"""
+
+from __future__ import annotations
+
+import itertools
+import types
+
+import numpy as np
+import pytest
+
+from repro.api import GENERATORS, ScenarioSpec, TrafficGenerator, load_generator
+from repro.api import available_generators
+from repro.baselines import NetShareConfig
+from repro.core import CPTGPTConfig, TrainingConfig
+from repro.trace import SyntheticTraceConfig, TraceDataset, generate_trace
+
+#: Tiny constructor options per backend; unknown backends run defaults.
+TINY_OPTIONS = {
+    "cpt-gpt": dict(
+        config=CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        ),
+        training=TrainingConfig(epochs=2, batch_size=32, seed=0),
+    ),
+    "netshare": dict(
+        config=NetShareConfig(
+            max_len=100, batch_generation=5, latent_dim=8, hidden_size=16,
+            disc_hidden=32,
+        ),
+        epochs=2,
+    ),
+    "smm-k": dict(num_clusters=3, seed=0),
+}
+
+#: Artifact suffix per backend (npz-based backends need .npz so numpy
+#: does not append one behind our back).
+SUFFIX = {"smm-1": ".json", "smm-k": ".json"}
+
+
+@pytest.fixture(scope="module")
+def scenario() -> ScenarioSpec:
+    return ScenarioSpec(name="conformance", num_ues=60, hour=20, seed=5)
+
+
+@pytest.fixture(scope="module")
+def capture(scenario) -> TraceDataset:
+    return generate_trace(scenario.trace_config())
+
+
+@pytest.fixture(scope="module", params=available_generators())
+def fitted(request, capture, scenario):
+    cls = GENERATORS.get(request.param)
+    return cls(**TINY_OPTIONS.get(request.param, {})).fit(capture, scenario)
+
+
+def _signature(dataset_or_streams):
+    streams = getattr(dataset_or_streams, "streams", dataset_or_streams)
+    return [
+        (s.ue_id, s.device_type, [(e.timestamp, e.event) for e in s.events])
+        for s in streams
+    ]
+
+
+class TestProtocol:
+    def test_satisfies_runtime_protocol(self, fitted):
+        assert isinstance(fitted, TrafficGenerator)
+
+    def test_fit_returns_self_and_marks_fitted(self, fitted):
+        assert fitted.fitted
+        assert fitted.scenario is not None
+
+    def test_generate_count_and_type(self, fitted):
+        trace = fitted.generate(12, np.random.default_rng(3))
+        assert isinstance(trace, TraceDataset)
+        assert len(trace) == 12
+
+    def test_generate_zero(self, fitted):
+        assert len(fitted.generate(0, np.random.default_rng(0))) == 0
+
+    def test_generate_negative_rejected(self, fitted):
+        with pytest.raises(ValueError, match="non-negative"):
+            fitted.generate(-1, np.random.default_rng(0))
+
+    def test_deterministic_under_fixed_seed(self, fitted):
+        a = fitted.generate(10, np.random.default_rng(42))
+        b = fitted.generate(10, np.random.default_rng(42))
+        assert _signature(a) == _signature(b)
+
+    def test_unfitted_generate_rejected(self, fitted):
+        fresh = type(fitted)()
+        with pytest.raises(RuntimeError, match="fit"):
+            fresh.generate(1, np.random.default_rng(0))
+
+
+class TestStreaming:
+    def test_stream_returns_lazy_iterator(self, fitted):
+        iterator = fitted.generate(10, np.random.default_rng(1), stream=True)
+        assert isinstance(iterator, types.GeneratorType)
+        assert not isinstance(iterator, list)
+
+    def test_stream_is_constant_memory(self, fitted):
+        """Pulling a few streams from an astronomically large request
+        must return immediately — nothing is materialized up front."""
+        iterator = fitted.generate(10**9, np.random.default_rng(1), stream=True)
+        first = list(itertools.islice(iterator, 3))
+        assert len(first) == 3
+        iterator.close()
+
+    def test_stream_matches_materialized(self, fitted):
+        lazy = list(fitted.generate(8, np.random.default_rng(6), stream=True))
+        eager = fitted.generate(8, np.random.default_rng(6))
+        assert _signature(lazy) == _signature(eager)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fitted, tmp_path):
+        path = tmp_path / f"artifact{SUFFIX.get(fitted.name, '.npz')}"
+        fitted.save(path)
+        restored = load_generator(path)
+        assert restored.name == fitted.name
+        a = fitted.generate(10, np.random.default_rng(7))
+        b = restored.generate(10, np.random.default_rng(7))
+        assert _signature(a) == _signature(b)
+
+    def test_save_honors_exact_path_without_suffix(self, fitted, tmp_path):
+        """numpy must not append .npz behind the caller's back."""
+        path = tmp_path / "artifact.generator"
+        fitted.save(path)
+        assert path.exists()
+        assert not path.with_name("artifact.generator.npz").exists()
+        restored = load_generator(path)
+        assert restored.name == fitted.name
+
+    def test_loaded_generator_keeps_scenario(self, fitted, tmp_path, scenario):
+        path = tmp_path / f"artifact{SUFFIX.get(fitted.name, '.npz')}"
+        fitted.save(path)
+        restored = load_generator(path)
+        assert restored.scenario.device_type == scenario.device_type
+        assert restored.scenario.technology == scenario.technology
+
+
+class TestAdapterSpecifics:
+    """Behaviors pinned for individual adapters (not protocol-wide)."""
+
+    def test_cptgpt_training_schedule_survives_round_trip(self, tmp_path, capture, scenario):
+        from repro.api import CPTGPTGenerator
+
+        training = TrainingConfig(epochs=2, batch_size=16, learning_rate=1e-3, seed=4)
+        generator = CPTGPTGenerator(
+            config=TINY_OPTIONS["cpt-gpt"]["config"], training=training
+        ).fit(capture, scenario)
+        path = tmp_path / "cpt.npz"
+        generator.save(path)
+        restored = load_generator(path)
+        assert restored.training == training
+        assert restored.transfer_training == generator.transfer_training
+
+    def test_smm_generation_window_follows_scenario_duration(self, capture):
+        from repro.api import SMMOneGenerator
+
+        half_hour = ScenarioSpec(name="half", num_ues=60, hour=20, seed=5,
+                                 duration=1800.0)
+        generator = SMMOneGenerator().fit(capture, half_hour)
+        assert generator.unwrap().duration == 1800.0
+        trace = generator.generate(
+            40, np.random.default_rng(1), start_time=half_hour.start_time
+        )
+        end = half_hour.start_time + 1800.0
+        for stream in trace:
+            for event in stream.events:
+                assert event.timestamp < end

@@ -1,0 +1,110 @@
+"""Registry semantics: aliases, case-insensitivity, plugin registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    GENERATORS,
+    SCENARIOS,
+    Registry,
+    ScenarioSpec,
+    available_generators,
+    available_scenarios,
+    register_generator,
+    register_scenario,
+)
+
+
+class TestBuiltins:
+    def test_four_backends_registered(self):
+        assert set(available_generators()) >= {"cpt-gpt", "smm-1", "smm-k", "netshare"}
+
+    def test_paper_display_names_are_aliases(self):
+        assert GENERATORS.canonical("CPT-GPT") == "cpt-gpt"
+        assert GENERATORS.canonical("SMM-1") == "smm-1"
+        assert GENERATORS.canonical("SMM-20k") == "smm-k"
+        assert GENERATORS.canonical("NetShare") == "netshare"
+
+    def test_lookup_is_case_insensitive(self):
+        assert GENERATORS.canonical("Cpt-Gpt") == "cpt-gpt"
+        assert "NETSHARE" in GENERATORS
+
+    def test_builtin_scenarios(self):
+        assert set(available_scenarios()) >= {
+            "phone-evening",
+            "phone-morning",
+            "connected-car-evening",
+            "tablet-evening",
+            "phone-5g",
+        }
+
+
+class TestErrors:
+    def test_unknown_generator_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            GENERATORS.canonical("GPT-5")
+
+    def test_unknown_scenario_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            SCENARIOS.get("mars-rover")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", object())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("A", object())
+
+    def test_alias_collision_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", object(), aliases=("x",))
+        with pytest.raises(ValueError, match="already taken"):
+            registry.register("b", object(), aliases=("X",))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Registry("thing").register("  ", object())
+
+
+class TestPlugins:
+    def test_register_and_unregister_generator(self):
+        from repro.api import GeneratorBase
+
+        @register_generator("test-dummy", aliases=("TestDummy",))
+        class Dummy(GeneratorBase):
+            def _fit(self, dataset, scenario):
+                pass
+
+            def _generate_batch(self, count, rng, start_time):
+                return []
+
+            def save(self, path):
+                pass
+
+            @classmethod
+            def load(cls, path):
+                return cls()
+
+        try:
+            assert "test-dummy" in GENERATORS
+            assert GENERATORS.canonical("TestDummy") == "test-dummy"
+            assert Dummy.name == "test-dummy"
+        finally:
+            GENERATORS.unregister("test-dummy")
+        assert "test-dummy" not in GENERATORS
+        assert "testdummy" not in GENERATORS
+
+    def test_register_scenario_factory_and_instance(self):
+        @register_scenario("test-factory-scenario")
+        def _factory():
+            return ScenarioSpec(name="test-factory-scenario", hour=3)
+
+        register_scenario("test-instance-scenario")(
+            ScenarioSpec(name="test-instance-scenario", hour=4)
+        )
+        try:
+            assert SCENARIOS.get("test-factory-scenario").hour == 3
+            assert SCENARIOS.get("test-instance-scenario").hour == 4
+        finally:
+            SCENARIOS.unregister("test-factory-scenario")
+            SCENARIOS.unregister("test-instance-scenario")

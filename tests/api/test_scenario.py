@@ -1,0 +1,81 @@
+"""ScenarioSpec: validation, technology-derived artifacts, derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec, get_scenario
+from repro.statemachine import LTE_EVENTS, LTE_SPEC, NR_EVENTS, NR_SPEC
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.device_type == "phone"
+        assert spec.technology == "4G"
+
+    def test_bad_technology_rejected(self):
+        with pytest.raises(ValueError, match="technology"):
+            ScenarioSpec(technology="6G")
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(ValueError, match="device type"):
+            ScenarioSpec(device_type="toaster")
+
+    def test_bad_hour_rejected(self):
+        with pytest.raises(ValueError, match="hour"):
+            ScenarioSpec(hour=24)
+
+    def test_negative_ues_rejected(self):
+        with pytest.raises(ValueError, match="num_ues"):
+            ScenarioSpec(num_ues=-1)
+
+
+class TestTechnologyArtifacts:
+    def test_4g_artifacts(self):
+        spec = ScenarioSpec(technology="4G")
+        assert spec.vocabulary is LTE_EVENTS
+        assert spec.machine_spec is LTE_SPEC
+        assert spec.dominant_events == ("SRV_REQ", "S1_CONN_REL")
+
+    def test_5g_artifacts(self):
+        spec = ScenarioSpec(technology="5G")
+        assert spec.vocabulary is NR_EVENTS
+        assert spec.machine_spec is NR_SPEC
+        assert spec.dominant_events == ("SRV_REQ", "AN_REL")
+
+    def test_start_time_from_hour(self):
+        assert ScenarioSpec(hour=20).start_time == 20 * 3600.0
+
+
+class TestDerivation:
+    def test_trace_config_round_trip(self):
+        spec = ScenarioSpec(
+            name="t", device_type="tablet", technology="5G", hour=6,
+            num_ues=42, seed=9,
+        )
+        config = spec.trace_config()
+        assert config.num_ues == 42
+        assert config.device_type == "tablet"
+        assert config.technology == "5G"
+        assert config.hour == 6
+        assert config.seed == 9
+
+    def test_trace_config_overrides(self):
+        config = ScenarioSpec(num_ues=10, seed=1).trace_config(
+            num_ues=99, seed_offset=1000
+        )
+        assert config.num_ues == 99
+        assert config.seed == 1001
+
+    def test_with_overrides_and_dict_round_trip(self):
+        spec = ScenarioSpec(name="a", hour=5)
+        other = spec.with_overrides(hour=6)
+        assert other.hour == 6 and spec.hour == 5
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_get_scenario_passthrough_and_lookup(self):
+        spec = ScenarioSpec(name="inline")
+        assert get_scenario(spec) is spec
+        looked_up = get_scenario("phone-5g")
+        assert looked_up.technology == "5G"

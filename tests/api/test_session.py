@@ -1,0 +1,241 @@
+"""Session facade: chaining, caching, streaming, evaluation."""
+
+from __future__ import annotations
+
+import itertools
+import types
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    GENERATORS,
+    GeneratorBase,
+    ScenarioSpec,
+    Session,
+    register_generator,
+)
+from repro.metrics import FidelityReport
+from repro.trace import Stream, SyntheticTraceConfig, generate_trace
+
+TINY = ScenarioSpec(name="session-test", num_ues=50, hour=20, seed=3)
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    """One SMM-1-fitted session shared by the read-only tests."""
+    return Session(TINY).synthesize().fit("smm-1")
+
+
+class TestChaining:
+    def test_steps_return_the_session(self, session):
+        assert session.synthesize() is session
+        assert session.fit("smm-1") is session
+        assert session.generate(10, seed=1) is session
+
+    def test_named_scenario_lookup(self):
+        assert Session("phone-5g").scenario.technology == "5G"
+
+    def test_full_chain_yields_report(self):
+        report = (
+            Session(TINY)
+            .synthesize()
+            .fit("SMM-1")  # paper display alias resolves via the registry
+            .generate(20, seed=2)
+            .evaluate()
+        )
+        assert isinstance(report, FidelityReport)
+
+
+class TestCaching:
+    def test_datasets_cached(self, session):
+        assert session.dataset is session.dataset
+        assert session.test_dataset is session.test_dataset
+
+    def test_train_and_test_captures_differ(self, session):
+        train_ids = {s.ue_id for s in session.dataset}
+        test_ids = {s.ue_id for s in session.test_dataset}
+        assert train_ids.isdisjoint(test_ids)
+
+    def test_fit_is_idempotent_per_backend(self, session):
+        before = session.generator("smm-1")
+        session.fit("smm-1")
+        assert session.generator("smm-1") is before
+
+    def test_fit_with_options_refits_and_drops_stale_populations(self):
+        """Explicit options must never be silently ignored by the cache."""
+        fresh = Session(TINY).synthesize().fit("smm-k", num_clusters=2, seed=0)
+        first = fresh.generator("smm-k")
+        stale = fresh.generated(6, seed=1)
+        fresh.fit("smm-k", num_clusters=4, seed=0)
+        assert fresh.generator("smm-k") is not first
+        assert fresh.generator("smm-k").num_clusters == 4
+        assert fresh.generated(6, seed=1) is not stale
+
+    def test_generated_cached_by_count_and_seed(self, session):
+        a = session.generated(15, seed=4)
+        b = session.generated(15, seed=4)
+        c = session.generated(15, seed=5)
+        assert a is b
+        assert a is not c
+        assert len(a) == 15
+
+    def test_unfitted_generator_lookup_rejected(self, session):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            session.generator("cpt-gpt")
+
+    def test_no_active_generator_rejected(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            Session(TINY).generate(5)
+
+
+class TestStreaming:
+    def test_iter_streams_is_lazy(self, session):
+        iterator = session.iter_streams(10**9, seed=11)
+        assert isinstance(iterator, types.GeneratorType)
+        first = list(itertools.islice(iterator, 4))
+        iterator.close()
+        assert len(first) == 4
+        assert all(isinstance(s, Stream) for s in first)
+
+    def test_iter_streams_matches_generate(self, session):
+        lazy = [s.ue_id for s in session.iter_streams(12, seed=13)]
+        eager = [s.ue_id for s in session.generated(12, seed=13)]
+        assert lazy == eager
+
+    def test_streams_start_at_scenario_hour(self, session):
+        for stream in itertools.islice(session.iter_streams(30, seed=1), 30):
+            if stream.events:
+                assert stream.events[0].timestamp >= TINY.start_time
+
+
+class TestEvaluation:
+    def test_evaluate_targets_last_generated_of_backend(self, session):
+        session.generate(10, seed=21)
+        report = session.evaluate(generator="smm-1")
+        explicit = session.evaluate(session.generated(10, seed=21))
+        assert report.as_flat_dict() == explicit.as_flat_dict()
+
+    def test_evaluate_without_test_capture_rejected(self):
+        trace = generate_trace(SyntheticTraceConfig(num_ues=20, seed=1))
+        bare = Session(TINY.with_overrides(name="no-test")).use_dataset(trace)
+        bare.fit("smm-1").generate(5, seed=1)
+        with pytest.raises(RuntimeError, match="held-out"):
+            bare.evaluate()
+
+
+class TestPersistenceAndPlugins:
+    def test_save_and_load_through_session(self, session, tmp_path):
+        path = tmp_path / "smm1.json"
+        session.save(path, generator="smm-1")
+        other = Session(TINY).load(path)
+        a = [s.ue_id for s in other.generated(8, seed=6)]
+        b = [s.ue_id for s in session.generated(8, seed=6)]
+        assert a == b
+
+    def test_custom_backend_through_session(self):
+        @register_generator("session-test-constant")
+        class ConstantGenerator(GeneratorBase):
+            """Yields empty streams — just enough to exercise the plumbing."""
+
+            def _fit(self, dataset, scenario):
+                self._device = scenario.device_type
+
+            def _generate_batch(self, count, rng, start_time):
+                return [
+                    Stream(ue_id=f"ue{rng.integers(1 << 30):08x}",
+                           device_type=self._device, events=[])
+                    for _ in range(count)
+                ]
+
+            def save(self, path):  # pragma: no cover - not exercised
+                raise NotImplementedError
+
+            @classmethod
+            def load(cls, path):  # pragma: no cover - not exercised
+                raise NotImplementedError
+
+        try:
+            trace = Session(TINY).fit("session-test-constant").generated(7, seed=1)
+            assert len(trace) == 7
+            assert all(s.device_type == "phone" for s in trace)
+        finally:
+            GENERATORS.unregister("session-test-constant")
+
+    def test_fit_accepts_prebuilt_instance(self, session):
+        prebuilt = GENERATORS.get("smm-1")()
+        fresh = Session(TINY).fit(prebuilt)
+        assert fresh.generator() is prebuilt
+        assert prebuilt.fitted
+
+    def test_unregistered_plugin_instances_do_not_collide(self):
+        """Two unregistered plugin classes must get distinct cache keys."""
+
+        class _PluginBase(GeneratorBase):
+            def _fit(self, dataset, scenario):
+                pass
+
+            def _generate_batch(self, count, rng, start_time):
+                return []
+
+            def save(self, path):  # pragma: no cover - not exercised
+                raise NotImplementedError
+
+            @classmethod
+            def load(cls, path):  # pragma: no cover - not exercised
+                raise NotImplementedError
+
+        class PluginA(_PluginBase):
+            pass
+
+        class PluginB(_PluginBase):
+            pass
+
+        fresh = Session(TINY).fit(PluginA()).fit(PluginB())
+        assert isinstance(fresh.generator("PluginA"), PluginA)
+        assert isinstance(fresh.generator("PluginB"), PluginB)
+
+    def test_fit_instance_drops_stale_populations_of_same_name(self):
+        fresh = Session(TINY).synthesize().fit("smm-1")
+        stale = fresh.generated(6, seed=1)
+        fresh.fit(GENERATORS.get("smm-1")())  # a different backend object
+        assert fresh.generated(6, seed=1) is not stale
+
+    def test_use_dataset_drops_artifacts_of_previous_dataset(self):
+        """Swapping captures must invalidate everything fitted on them."""
+        fresh = Session(TINY).synthesize().fit("smm-1")
+        old_generator = fresh.generator("smm-1")
+        stale = fresh.generated(6, seed=1)
+        other = generate_trace(SyntheticTraceConfig(num_ues=30, seed=4))
+        fresh.use_dataset(other, other)
+        fresh.fit("smm-1")
+        assert fresh.generator("smm-1") is not old_generator
+        # The semi-Markov model's weight records the UE count it was
+        # fitted on — proof the refit used the new 30-UE capture.
+        assert fresh.generator("smm-1").unwrap().model.weight == 30
+        assert fresh.generated(6, seed=1) is not stale
+
+    def test_load_drops_stale_populations_of_same_name(self, session, tmp_path):
+        path = tmp_path / "reload.json"
+        session.save(path, generator="smm-1")
+        fresh = Session(TINY).synthesize().fit("smm-1")
+        stale = fresh.generated(6, seed=2)
+        fresh.load(path)
+        assert fresh.generated(6, seed=2) is not stale
+
+
+class TestStartTimeOverride:
+    def test_generate_start_time_override_and_cache_key(self, session):
+        default = session.generated(8, seed=30)
+        shifted = session.generated(8, seed=30, start_time=3 * 3600.0)
+        assert default is not shifted
+        assert session.generated(8, seed=30) is default  # cache intact
+        for stream in shifted:
+            if stream.events:
+                assert stream.events[0].timestamp >= 3 * 3600.0
+                assert stream.events[0].timestamp < TINY.start_time
+
+    def test_iter_streams_start_time_override(self, session):
+        for stream in session.iter_streams(10, seed=2, start_time=0.0):
+            if stream.events:
+                assert stream.events[0].timestamp < TINY.start_time

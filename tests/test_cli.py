@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,13 +16,37 @@ from repro.trace import load_jsonl
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("synthesize", "train", "generate", "evaluate", "experiments"):
+        for command in (
+            "synthesize", "train", "generate", "evaluate", "experiments", "registry",
+        ):
             args = parser.parse_args([command] + _required_args(command))
             assert args.command == command
 
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_train_paper_flag(self):
+        args = build_parser().parse_args(["train", "t.jsonl", "m.npz", "--paper"])
+        assert args.paper is True
+
+        from repro.cli import _model_config
+
+        config = _model_config(args, num_event_types=6)
+        assert (config.d_model, config.d_ff) == (128, 1024)  # §5.1 shape
+        assert config.max_len == 500  # the paper's horizon, not the CLI default
+        default = _model_config(
+            build_parser().parse_args(["train", "t.jsonl", "m.npz"]), 6
+        )
+        assert default.d_model == 64
+        assert default.max_len == 192
+        explicit = _model_config(
+            build_parser().parse_args(
+                ["train", "t.jsonl", "m.npz", "--paper", "--max-len", "256"]
+            ),
+            6,
+        )
+        assert explicit.max_len == 256
 
 
 def _required_args(command: str) -> list[str]:
@@ -27,7 +56,25 @@ def _required_args(command: str) -> list[str]:
         "generate": ["model.npz", "out.jsonl"],
         "evaluate": ["real.jsonl", "synth.jsonl"],
         "experiments": [],
+        "registry": [],
     }[command]
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """``python -m repro`` reaches the CLI (satellite: __main__)."""
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "registry"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "cpt-gpt" in proc.stdout
+        assert "phone-evening" in proc.stdout
 
 
 class TestEndToEnd:
@@ -70,3 +117,65 @@ class TestEndToEnd:
         main(["synthesize", str(path), "--ues", "10", "--technology", "5G"])
         loaded = load_jsonl(path)
         assert "REGISTER" in loaded.vocabulary
+
+    def test_train_derives_nr_vocabulary_for_5g(self, tmp_path):
+        """Training on a 5G trace must use the NR vocabulary, not LTE."""
+        trace = tmp_path / "nr.jsonl"
+        package = tmp_path / "nr.npz"
+        main(["synthesize", str(trace), "--ues", "40", "--technology", "5G",
+              "--seed", "1"])
+        code = main(
+            [
+                "train", str(trace), str(package),
+                "--epochs", "1", "--d-model", "16", "--d-ff", "32",
+                "--heads", "2", "--layers", "1", "--max-len", "96",
+            ]
+        )
+        assert code == 0
+
+        from repro import load_generator
+
+        generator = load_generator(package)
+        assert "REGISTER" in generator.vocabulary
+        assert "ATCH" not in generator.vocabulary
+        assert generator.scenario.technology == "5G"
+
+    def test_registry_command_lists_backends(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cpt-gpt", "smm-1", "smm-k", "netshare", "phone-5g"):
+            assert name in out
+
+
+class TestSessionFacadeEndToEnd:
+    def test_cli_artifact_round_trips_through_session(self, tmp_path):
+        """CLI-trained artifacts plug straight into the Session facade."""
+        import numpy as np
+
+        from repro import ScenarioSpec, Session
+
+        trace = tmp_path / "trace.jsonl"
+        package = tmp_path / "model.npz"
+        main(["synthesize", str(trace), "--ues", "50", "--seed", "8",
+              "--hour", "20"])
+        main(
+            [
+                "train", str(trace), str(package),
+                "--epochs", "1", "--d-model", "16", "--d-ff", "32",
+                "--heads", "2", "--layers", "1", "--max-len", "96",
+            ]
+        )
+
+        session = Session(
+            ScenarioSpec(name="cli-e2e", num_ues=50, hour=20, seed=8)
+        ).load(package)
+        report = session.generate(15, seed=3).evaluate()
+        assert 0.0 <= report.violations.event_rate <= 1.0
+
+        # The session's generation matches the CLI's generate command.
+        out = tmp_path / "out.jsonl"
+        main(["generate", str(package), str(out), "--count", "15",
+              "--start-time", str(20 * 3600.0), "--seed", "3"])
+        cli_trace = load_jsonl(out)
+        session_trace = session.generated(15, seed=3)
+        assert [s.ue_id for s in cli_trace] == [s.ue_id for s in session_trace]
