@@ -73,20 +73,52 @@ def test_bench_training_step(benchmark, trace, tokenizer):
     assert np.isfinite(loss)
 
 
-def test_bench_generation_throughput(benchmark, trace, tokenizer):
+@pytest.fixture(scope="module")
+def trained_package(trace, tokenizer):
+    """One trained package shared by the generation benchmarks."""
+    from repro.core import GeneratorPackage
+
     config = CPTGPTConfig(
         d_model=32, num_layers=2, num_heads=4, d_ff=64, head_hidden=64, max_len=128
     )
     model = CPTGPT(config, np.random.default_rng(0))
     train(model, trace, tokenizer, TrainingConfig(epochs=1, batch_size=48, seed=0))
-    from repro.core import GeneratorPackage
-
-    package = GeneratorPackage(
+    return GeneratorPackage(
         model, tokenizer, trace.initial_event_distribution(), "phone"
     )
+
+
+def test_bench_generation_throughput(benchmark, trained_package):
+    """Headline number: continuous batching at batch 128 / max_len 128.
+
+    The pre-PR static float64 engine measured ~1339 streams/sec on this
+    workload (see BENCH_throughput.json); the acceptance bar is >= 3x.
+    """
     rng = np.random.default_rng(1)
-    generated = benchmark(lambda: package.generate(64, rng, batch_size=64))
-    assert len(generated) == 64
+    generated = benchmark(
+        lambda: trained_package.generate(512, rng, batch_size=128)
+    )
+    assert len(generated) == 512
+
+
+def test_bench_generation_throughput_float32(benchmark, trained_package):
+    """The reduced-precision fast path on the same workload."""
+    rng = np.random.default_rng(1)
+    generated = benchmark(
+        lambda: trained_package.generate(512, rng, batch_size=128, float32=True)
+    )
+    assert len(generated) == 512
+
+
+def test_bench_generation_static(benchmark, trained_package):
+    """Static batching kept for comparison (the pre-PR strategy)."""
+    rng = np.random.default_rng(1)
+    generated = benchmark(
+        lambda: trained_package.generate(
+            512, rng, batch_size=128, continuous=False
+        )
+    )
+    assert len(generated) == 512
 
 
 def test_bench_smm_fit(benchmark, trace):

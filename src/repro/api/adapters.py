@@ -108,10 +108,19 @@ def _legacy_scenario(metadata: dict) -> ScenarioSpec:
 # ----------------------------------------------------------------------
 @register_generator("cpt-gpt", aliases=("CPT-GPT", "cptgpt"))
 class CPTGPTGenerator(GeneratorBase):
-    """The paper's generator: decoder-only transformer, supervised ML."""
+    """The paper's generator: decoder-only transformer, supervised ML.
+
+    ``float32=True`` switches generation to the reduced-precision
+    throughput mode of :class:`~repro.core.generate.InferenceEngine`
+    (training always runs float64).  Streaming chunks are large
+    (``generation_batch``) so the continuous-batching engine can keep
+    recycling slots within each chunk; the engine's internal step batch
+    stays at its own default.
+    """
 
     transfers = True
     uses_tokenizer = True
+    generation_batch = 1024
 
     def __init__(
         self,
@@ -121,8 +130,11 @@ class CPTGPTGenerator(GeneratorBase):
         transfer: TrainingConfig | None = None,
         tokenizer: StreamTokenizer | None = None,
         init_seed: int = 0,
+        float32: bool = False,
     ) -> None:
         super().__init__(tokenizer=tokenizer)
+        #: Generate with the float32 fast path (flip any time).
+        self.float32 = float32
         self.config = config if config is not None else CPTGPTConfig()
         self.training = training if training is not None else TrainingConfig()
         #: Fine-tune schedule for :meth:`adapt`; defaults to the paper's
@@ -173,7 +185,9 @@ class CPTGPTGenerator(GeneratorBase):
     def _generate_batch(
         self, count: int, rng: np.random.Generator, start_time: float
     ) -> list[Stream]:
-        return self.package.generate(count, rng, start_time=start_time).streams
+        return self.package.generate(
+            count, rng, start_time=start_time, float32=self.float32
+        ).streams
 
     @property
     def vocabulary(self):

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..core.sharding import run_sharded, shard_counts, shard_rngs
 from ..statemachine.events import EventVocabulary
 from ..trace.dataset import TraceDataset
 from ..trace.schema import Stream
@@ -54,6 +55,7 @@ class TrafficGenerator(Protocol):
         *,
         start_time: float = 0.0,
         stream: bool = False,
+        num_workers: int = 1,
     ):
         """Synthesize ``count`` streams (dataset, or iterator if ``stream``)."""
         ...
@@ -149,6 +151,7 @@ class GeneratorBase(abc.ABC):
         *,
         start_time: float = 0.0,
         stream: bool = False,
+        num_workers: int = 1,
     ):
         """Synthesize ``count`` streams.
 
@@ -157,20 +160,38 @@ class GeneratorBase(abc.ABC):
         a lazy iterator of :class:`Stream` objects is returned instead:
         batches are synthesized on demand, so memory stays constant no
         matter how large ``count`` is.
+
+        ``num_workers > 1`` shards generation across forked worker
+        processes with independent ``SeedSequence``-derived RNGs (see
+        :mod:`repro.core.sharding`): output is deterministic given
+        ``rng`` and identical to running the same shards inline.  Note
+        that sharded results are collected per worker, so with
+        ``stream=True`` peak memory is the sharded population rather
+        than one generation batch.
         """
         self._require_fitted()
         if count < 0:
             raise ValueError("count must be non-negative")
-        iterator = self._stream_iterator(count, rng, start_time)
+        if num_workers > 1:
+            iterator = self._sharded_iterator(count, rng, start_time, num_workers)
+        else:
+            iterator = self._stream_iterator(count, rng, start_time)
         if stream:
             return iterator
         return TraceDataset(streams=list(iterator), vocabulary=self.vocabulary)
 
     def iter_streams(
-        self, count: int, rng: np.random.Generator, *, start_time: float = 0.0
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        start_time: float = 0.0,
+        num_workers: int = 1,
     ) -> Iterator[Stream]:
         """Alias for ``generate(..., stream=True)``."""
-        return self.generate(count, rng, start_time=start_time, stream=True)
+        return self.generate(
+            count, rng, start_time=start_time, stream=True, num_workers=num_workers
+        )
 
     def _stream_iterator(
         self, count: int, rng: np.random.Generator, start_time: float
@@ -180,6 +201,18 @@ class GeneratorBase(abc.ABC):
             size = min(self.generation_batch, remaining)
             yield from self._generate_batch(size, rng, start_time)
             remaining -= size
+
+    def _sharded_iterator(
+        self, count: int, rng: np.random.Generator, start_time: float, num_workers: int
+    ) -> Iterator[Stream]:
+        counts = shard_counts(count, num_workers)
+        rngs = shard_rngs(rng, num_workers)
+
+        def shard(i: int) -> list[Stream]:
+            return list(self._stream_iterator(counts[i], rngs[i], start_time))
+
+        for part in run_sharded(shard, num_workers, num_workers):
+            yield from part
 
     # ------------------------------------------------------------------
     # Persistence

@@ -61,11 +61,14 @@ class Session:
         self._test_dataset: TraceDataset | None = None
         self._tokenizer: StreamTokenizer | None = None
         self._generators: dict[str, TrafficGenerator] = {}
-        #: (name, count, seed, start_time) -> generated population.
-        self._generated: dict[tuple[str, int, int, float], TraceDataset] = {}
+        #: (name, count, seed, start_time, num_workers) -> population.
+        #: num_workers is part of the key because sharded runs split the
+        #: RNG differently and thus produce different (equally valid)
+        #: populations.
+        self._generated: dict[tuple, TraceDataset] = {}
         self._active: str | None = None
-        self._last_generated: tuple[str, int, int, float] | None = None
-        self._last_by_name: dict[str, tuple[str, int, int, float]] = {}
+        self._last_generated: tuple | None = None
+        self._last_by_name: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Data
@@ -213,20 +216,24 @@ class Session:
         seed: int = 1,
         generator: str | None = None,
         start_time: float | None = None,
+        num_workers: int = 1,
     ) -> "Session":
         """Synthesize and cache a population from a fitted backend.
 
         ``start_time`` defaults to the scenario's hour; pass an
         explicit value to place the population elsewhere in the day
-        without building a new session.
+        without building a new session.  ``num_workers > 1`` shards
+        generation across worker processes (deterministic given
+        ``seed``).
         """
         name = self._resolve(generator)
         count = self.scenario.num_ues if count is None else count
         start = self.scenario.start_time if start_time is None else start_time
-        key = (name, count, seed, start)
+        key = (name, count, seed, start, num_workers)
         if key not in self._generated:
+            options = {} if num_workers == 1 else {"num_workers": num_workers}
             self._generated[key] = self._generators[name].generate(
-                count, np.random.default_rng(seed), start_time=start
+                count, np.random.default_rng(seed), start_time=start, **options
             )
         self._last_generated = key
         self._last_by_name[name] = key
@@ -239,9 +246,16 @@ class Session:
         seed: int = 1,
         generator: str | None = None,
         start_time: float | None = None,
+        num_workers: int = 1,
     ) -> TraceDataset:
         """The cached population (generating it on first access)."""
-        self.generate(count, seed=seed, generator=generator, start_time=start_time)
+        self.generate(
+            count,
+            seed=seed,
+            generator=generator,
+            start_time=start_time,
+            num_workers=num_workers,
+        )
         return self._generated[self._last_generated]
 
     def iter_streams(
@@ -251,14 +265,18 @@ class Session:
         seed: int = 1,
         generator: str | None = None,
         start_time: float | None = None,
+        num_workers: int = 1,
     ) -> Iterator[Stream]:
         """Lazily yield ``count`` streams without materializing a dataset.
 
         Streams come straight off the backend in generation batches, so
         memory stays constant regardless of ``count``; nothing is
-        cached.
+        cached.  With ``num_workers > 1`` generation is sharded across
+        worker processes (per-worker results are buffered, so peak
+        memory grows to the sharded population).
         """
         name = self._resolve(generator)
+        options = {} if num_workers == 1 else {"num_workers": num_workers}
         return self._generators[name].generate(
             count,
             np.random.default_rng(seed),
@@ -266,6 +284,7 @@ class Session:
                 self.scenario.start_time if start_time is None else start_time
             ),
             stream=True,
+            **options,
         )
 
     # ------------------------------------------------------------------

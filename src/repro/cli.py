@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--count", type=int, default=1000)
     p.add_argument("--start-time", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard generation across N worker processes "
+                        "(deterministic given --seed)")
+    p.add_argument("--float32", action="store_true",
+                   help="use the reduced-precision inference fast path "
+                        "(CPT-GPT packages only)")
 
     p = sub.add_parser("evaluate", help="fidelity of a synthesized trace vs real")
     p.add_argument("real", help="real trace (JSONL)")
@@ -157,8 +163,20 @@ def _cmd_train(args) -> int:
 
 def _cmd_generate(args) -> int:
     generator = load_generator(args.package)
+    if args.float32:
+        if not hasattr(generator, "float32"):
+            print(
+                f"warning: {generator.name} has no float32 fast path; "
+                "generating at full precision",
+                file=sys.stderr,
+            )
+        else:
+            generator.float32 = True
     trace = generator.generate(
-        args.count, np.random.default_rng(args.seed), start_time=args.start_time
+        args.count,
+        np.random.default_rng(args.seed),
+        start_time=args.start_time,
+        num_workers=args.workers,
     )
     save_jsonl(trace, args.output)
     print(f"wrote {len(trace)} streams / {trace.total_events} events to {args.output}")

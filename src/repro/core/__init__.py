@@ -9,7 +9,16 @@ times and transfer learning for hourly drift.
 from .config import CPTGPTConfig, TrainingConfig
 from .generate import GeneratorPackage, InferenceEngine, random_ue_id
 from .model import CPTGPT, FieldPredictions
-from .train import EpochStats, TrainingResult, encode_training_set, iterate_batches, train
+from .sharding import fork_available, run_sharded, shard_counts, shard_rngs
+from .train import (
+    EncodedStream,
+    EpochStats,
+    TrainingResult,
+    bucketed_batches,
+    encode_training_set,
+    iterate_batches,
+    train,
+)
 from .transfer import HourlyModels, derive_hourly_models, fine_tune
 
 __all__ = [
@@ -20,8 +29,14 @@ __all__ = [
     "train",
     "TrainingResult",
     "EpochStats",
+    "EncodedStream",
     "encode_training_set",
+    "bucketed_batches",
     "iterate_batches",
+    "shard_counts",
+    "shard_rngs",
+    "run_sharded",
+    "fork_available",
     "GeneratorPackage",
     "InferenceEngine",
     "random_ue_id",

@@ -1,4 +1,4 @@
-"""Autoregressive generation with batched KV-cache inference.
+"""Autoregressive generation: a continuous-batching numpy inference engine.
 
 Implements the inference side of Figure 4: the released artifact is a
 :class:`GeneratorPackage` — trained weights, the fitted tokenizer and
@@ -7,32 +7,66 @@ by sampling the first event type from that distribution, building a
 first token with interarrival 0 and stop 0, then recursively sampling
 next tokens until a stop flag of 1 (or the configured maximum length).
 
-The autograd engine is bypassed here: a dedicated numpy path with
-per-layer key/value caches makes one decoder step O(context) instead of
-O(context²), and whole batches of streams advance in a single step.
-Equivalence with the training-time forward pass is covered by tests.
+The autograd engine is bypassed here in favor of a dedicated numpy path
+built for throughput:
+
+* **Continuous batching** — every batch slot always carries a *live*
+  stream.  When a stream samples its stop flag, the finished stream is
+  decoded immediately and the slot is re-bootstrapped from the
+  initial-event distribution (position reset, cache rows reused in
+  place), so batch utilization stays ~100% instead of decaying as
+  streams die.  Once no new streams remain to start, retired slots are
+  compacted out so the step cost tracks the number of live streams.
+* **Per-layer KV caches with ragged positions** — one decoder step is
+  O(window) instead of O(context²), and each slot advances at its own
+  position.  Caches are pooled and reused across batches.
+* **A float32 fast path** — ``float32=True`` threads a reduced dtype
+  through weight views, cache allocation, activations and sampling.
+  The float64 engine in its default *exact* mode is bit-equivalent to
+  the autograd forward pass: attention uses the same ``einsum`` kernels
+  as :mod:`repro.nn.attention` (shape-independent accumulation),
+  activations come from :mod:`repro.nn.numpy_ops` (the single source
+  shared with the training losses), and matmuls are padded to the
+  training call shapes.  Throughput generation drops the padding
+  (``exact=False``, ~1e-15 agreement).
+* **Vectorized sampling** — categorical fields are drawn with the
+  Gumbel-argmax trick in one shot per step; the first-token lookup is a
+  precomputed index table instead of per-stream ``vocabulary.index``.
+* **Sharded generation** — ``num_workers`` splits the population into
+  per-worker shards with :class:`numpy.random.SeedSequence`-derived
+  RNGs (see :mod:`repro.core.sharding`); output is deterministic given
+  the seed and identical to the single-process run of the same shards.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from ..nn import MLP, no_grad
+from ..nn import MLP
+from ..nn.numpy_ops import (
+    MIN_SCALE as _MIN_SCALE,
+    gelu as _gelu,
+    layer_norm as _layer_norm,
+    softmax as _softmax,
+    softplus as _softplus,
+)
 from ..nn.serialization import load_checkpoint, read_metadata, save_checkpoint
 from ..tokenization import StreamTokenizer
 from ..trace.dataset import TraceDataset
 from ..trace.schema import Stream
 from .config import CPTGPTConfig
 from .model import CPTGPT
+from .sharding import run_sharded, shard_counts, shard_rngs
 
 __all__ = ["GeneratorPackage", "InferenceEngine", "random_ue_id"]
 
-#: Must match the floor used by repro.nn.losses.gaussian_nll.
-_MIN_SCALE = 1e-3
+#: Additive mask value for out-of-window attention scores; matches
+#: :func:`repro.nn.functional.causal_mask` so masked weights underflow
+#: to exactly 0.0 on both paths.
+_MASK_VALUE = -1e9
 
 
 def random_ue_id(rng: np.random.Generator, length: int = 16) -> str:
@@ -46,126 +80,342 @@ def random_ue_id(rng: np.random.Generator, length: int = 16) -> str:
     return "".join("0123456789abcdef"[d] for d in digits)
 
 
-def _layer_norm(x: np.ndarray, gain: np.ndarray, shift: np.ndarray) -> np.ndarray:
-    mean = x.mean(axis=-1, keepdims=True)
-    centered = x - mean
-    var = (centered * centered).mean(axis=-1, keepdims=True)
-    return centered / np.sqrt(var + 1e-5) * gain + shift
+def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample one category per row from a (B, K) probability matrix.
+
+    Retained for reference and statistical tests; the generation hot
+    loop uses :func:`_gumbel_argmax`, which needs no normalization and
+    no cumulative-sum scan.
+    """
+    cumulative = np.cumsum(probs, axis=1)
+    draws = rng.random((probs.shape[0], 1))
+    return (draws < cumulative).argmax(axis=1)
 
 
-_GELU_C = np.sqrt(2.0 / np.pi)
+def _gumbel_argmax(
+    logits: np.ndarray, temperature: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample per row from ``softmax(logits / temperature)``.
+
+    ``argmax(logits / T + g)`` with i.i.d. Gumbel noise is distributed
+    exactly as the tempered softmax — one vectorized pass, no
+    normalization, no cumulative sums.
+    """
+    noise = rng.gumbel(size=logits.shape).astype(logits.dtype, copy=False)
+    if temperature != 1.0:
+        logits = logits / temperature
+    return (logits + noise).argmax(axis=1)
 
 
-def _gelu(x: np.ndarray) -> np.ndarray:
-    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+# ----------------------------------------------------------------------
+# Weight binding
+# ----------------------------------------------------------------------
+class _BoundHead:
+    """Dtype-cast weight views of one output :class:`~repro.nn.MLP`."""
+
+    __slots__ = ("w1", "b1", "w2", "b2", "activation")
+
+    def __init__(self, head: MLP, cast) -> None:
+        self.w1 = cast(head.fc1.weight.data)
+        self.b1 = cast(head.fc1.bias.data)
+        self.w2 = cast(head.fc2.weight.data)
+        self.b2 = cast(head.fc2.bias.data)
+        self.activation = head.activation
+
+    def __call__(self, x: np.ndarray, mm) -> np.ndarray:
+        hidden = mm(x, self.w1) + self.b1
+        if self.activation == "gelu":
+            hidden = _gelu(hidden)
+        elif self.activation == "relu":
+            hidden = np.maximum(hidden, 0.0)
+        else:
+            hidden = np.tanh(hidden)
+        return mm(hidden, self.w2) + self.b2
 
 
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    exps = np.exp(shifted)
-    return exps / exps.sum(axis=-1, keepdims=True)
+class _BoundLayer:
+    """Dtype-cast weight views of one decoder block."""
 
+    __slots__ = (
+        "norm1_gain", "norm1_shift", "qkv_w", "qkv_b", "out_w", "out_b",
+        "norm2_gain", "norm2_shift", "ff1_w", "ff1_b", "ff2_w", "ff2_b",
+    )
 
-def _softplus(x: np.ndarray) -> np.ndarray:
-    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
-
-
-def _mlp(x: np.ndarray, head: MLP) -> np.ndarray:
-    hidden = x @ head.fc1.weight.data + head.fc1.bias.data
-    if head.activation == "gelu":
-        hidden = _gelu(hidden)
-    elif head.activation == "relu":
-        hidden = np.maximum(hidden, 0.0)
-    else:
-        hidden = np.tanh(hidden)
-    return hidden @ head.fc2.weight.data + head.fc2.bias.data
+    def __init__(self, block, cast) -> None:
+        self.norm1_gain = cast(block.norm1.gain.data)
+        self.norm1_shift = cast(block.norm1.shift.data)
+        self.qkv_w = cast(block.attn.qkv.weight.data)
+        self.qkv_b = cast(block.attn.qkv.bias.data)
+        self.out_w = cast(block.attn.out.weight.data)
+        self.out_b = cast(block.attn.out.bias.data)
+        self.norm2_gain = cast(block.norm2.gain.data)
+        self.norm2_shift = cast(block.norm2.shift.data)
+        self.ff1_w = cast(block.ff1.weight.data)
+        self.ff1_b = cast(block.ff1.bias.data)
+        self.ff2_w = cast(block.ff2.weight.data)
+        self.ff2_b = cast(block.ff2.bias.data)
 
 
 @dataclass
 class _Cache:
-    """Per-layer key/value cache for one generation batch."""
+    """Per-layer key/value cache for one generation batch.
+
+    ``positions`` is per-slot: with continuous batching each slot sits at
+    its own depth, and a recycled slot simply resets its position to 0 —
+    the stale rows beyond a slot's position are masked out of attention,
+    so cache memory is reused ring-style without clearing.
+    """
 
     keys: list[np.ndarray]  # each (B, H, max_steps, head_dim)
     values: list[np.ndarray]
-    position: int = 0
+    positions: np.ndarray  # (B,) int64, next write index per slot
+    steps: np.ndarray  # (max_steps,) arange, reused for window masks
+
+    @property
+    def batch(self) -> int:
+        return self.keys[0].shape[0]
+
+    @property
+    def max_steps(self) -> int:
+        return self.keys[0].shape[2]
+
+    @property
+    def position(self) -> int:
+        """The deepest slot position (the only one in uniform batches)."""
+        return int(self.positions.max())
+
+    @position.setter
+    def position(self, value: int) -> None:
+        self.positions[:] = value
+
+    def compact(self, keep: np.ndarray) -> "_Cache":
+        """A cache holding only the ``keep``-masked slots (copies rows)."""
+        return _Cache(
+            keys=[k[keep] for k in self.keys],
+            values=[v[keep] for v in self.values],
+            positions=self.positions[keep],
+            steps=self.steps,
+        )
 
 
 class InferenceEngine:
     """Fast numpy forward pass over a trained :class:`CPTGPT`.
 
-    Holds *references* to the model's parameter arrays, so an engine
-    built once stays valid as the model trains further.
+    Parameters
+    ----------
+    model:
+        The trained model.  Weight views are (re)bound from the model's
+        parameters whenever they change, so an engine built once stays
+        valid as the model trains further.
+    dtype:
+        Inference precision.  float32 halves memory traffic and is the
+        throughput mode (logits agree with the autograd forward to
+        ~1e-4); float64 (default) agrees to machine precision.
+    exact:
+        When True (the default for float64), every step is
+        *bit-equivalent* to the autograd forward pass of a
+        length-``max_steps`` sequence.  The attention contractions
+        already use the training ``einsum`` kernels (whose accumulation
+        is shape-independent), but BLAS GEMM accumulation is not: a
+        ``(B, d) @ (d, k)`` step product can differ from the training
+        ``(B, T, d) @ (d, k)`` product in the last bit.  Exact mode
+        therefore pads each step matmul to the training call shape —
+        about ``max_steps``× more matmul work, the right trade for
+        validation and small populations.  Throughput generation
+        (:meth:`GeneratorPackage.generate`) uses ``exact=False``, which
+        agrees with the autograd forward to ~1e-15 relative.
     """
 
-    def __init__(self, model: CPTGPT) -> None:
+    def __init__(self, model: CPTGPT, dtype=np.float64, exact: bool | None = None) -> None:
         self.model = model
         self.config = model.config
+        self.dtype = np.dtype(dtype)
+        self.exact = (self.dtype == np.float64) if exact is None else exact
+        self._layers: list[_BoundLayer] | None = None
+        self._sources: list[np.ndarray] = []
+        self._pooled: _Cache | None = None
+        # Python float: a numpy scalar would promote float32 scores.
+        self._scale = float(
+            1.0 / np.sqrt(self.config.d_model // self.config.num_heads)
+        )
 
     # ------------------------------------------------------------------
+    # Weight binding (hoisted out of the step loop)
+    # ------------------------------------------------------------------
+    def _cast(self, array: np.ndarray) -> np.ndarray:
+        if array.dtype == self.dtype:
+            return array  # float64: live view, no copy
+        return array.astype(self.dtype)
+
+    def bind(self) -> None:
+        """Snapshot dtype-cast views of every weight the step loop reads."""
+        model = self.model
+        decoder = model.decoder
+        cast = self._cast
+        self._input_w = cast(decoder.input_proj.weight.data)
+        self._input_b = cast(decoder.input_proj.bias.data)
+        self._positional = cast(decoder.positional.data)
+        self._layers = [_BoundLayer(block, cast) for block in decoder.blocks]
+        self._final_gain = cast(decoder.final_norm.gain.data)
+        self._final_shift = cast(decoder.final_norm.shift.data)
+        self._event_head = _BoundHead(model.event_head, cast)
+        self._iat_head = _BoundHead(model.iat_head, cast)
+        self._stop_head = _BoundHead(model.stop_head, cast)
+        self._params = model.parameters()
+        # Hold references (not just ids) to the source arrays: a freed
+        # array's address can be reused, which would defeat an id check
+        # in the float32 path where the bound views are copies.
+        self._sources = [p.data for p in self._params]
+
+    def _ensure_bound(self) -> None:
+        """Rebind if any parameter array was replaced (e.g. by Adam)."""
+        if self._layers is None or any(
+            p.data is not source for p, source in zip(self._params, self._sources)
+        ):
+            self.bind()
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
     def new_cache(self, batch: int, max_steps: int) -> _Cache:
+        """A KV cache for ``batch`` slots, reusing pooled allocations.
+
+        Returned caches may hold stale keys/values from earlier batches;
+        attention masks everything beyond each slot's position, so no
+        clearing is needed (ring reuse).
+        """
+        self._ensure_bound()
+        pooled = self._pooled
+        if (
+            pooled is not None
+            and pooled.batch == batch
+            and pooled.max_steps == max_steps
+        ):
+            self._pooled = None
+            pooled.positions[:] = 0
+            return pooled
         cfg = self.config
         head_dim = cfg.d_model // cfg.num_heads
         shape = (batch, cfg.num_heads, max_steps, head_dim)
         return _Cache(
-            keys=[np.zeros(shape) for _ in range(cfg.num_layers)],
-            values=[np.zeros(shape) for _ in range(cfg.num_layers)],
+            keys=[np.zeros(shape, dtype=self.dtype) for _ in range(cfg.num_layers)],
+            values=[np.zeros(shape, dtype=self.dtype) for _ in range(cfg.num_layers)],
+            positions=np.zeros(batch, dtype=np.int64),
+            steps=np.arange(max_steps),
         )
 
+    def release_cache(self, cache: _Cache) -> None:
+        """Return a cache for reuse by the next batch.
+
+        Only the most recently released cache is retained, so pool
+        memory stays bounded at one allocation no matter how many
+        distinct batch shapes an engine serves over its lifetime.
+        """
+        self._pooled = cache
+
+    # ------------------------------------------------------------------
     def step(self, tokens: np.ndarray, cache: _Cache) -> dict[str, np.ndarray]:
         """Advance one position for the whole batch.
 
         Parameters
         ----------
         tokens:
-            ``(batch, d_token)`` tokens at the current position.
+            ``(batch, d_token)`` tokens at each slot's current position.
         cache:
-            The KV cache; ``cache.position`` is the index of this token.
+            The KV cache; ``cache.positions[i]`` is the index slot ``i``'s
+            token is written to (per-slot — slots may sit at different
+            depths under continuous batching).
 
         Returns
         -------
         dict with ``event_logits`` (B, E), ``iat_mean`` (B,),
         ``iat_raw_scale`` (B,) or absent, ``stop_logits`` (B, 2).
         """
-        model = self.model
+        self._ensure_bound()
         cfg = self.config
-        pos = cache.position
-        if pos >= cfg.max_len:
-            raise ValueError(f"position {pos} exceeds model max_len {cfg.max_len}")
-        decoder = model.decoder
-        x = (
-            tokens @ decoder.input_proj.weight.data
-            + decoder.input_proj.bias.data
-            + decoder.positional.data[pos]
-        )
-        batch = x.shape[0]
+        positions = cache.positions
+        deepest = int(positions.max())
+        if deepest >= cfg.max_len:
+            raise ValueError(
+                f"position {deepest} exceeds model max_len {cfg.max_len}"
+            )
+        if deepest >= cache.max_steps:
+            raise ValueError(
+                f"position {deepest} exceeds cache window {cache.max_steps}"
+            )
+        batch = tokens.shape[0]
         heads = cfg.num_heads
         head_dim = cfg.d_model // heads
-        for layer, block in enumerate(decoder.blocks):
-            normed = _layer_norm(x, block.norm1.gain.data, block.norm1.shift.data)
-            qkv = normed @ block.attn.qkv.weight.data + block.attn.qkv.bias.data
+        rows = np.arange(batch)
+        dtype = self.dtype
+        if self.exact:
+            window = cache.max_steps
+            arange = rows
+
+            def mm(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+                # Same gufunc call shape as the training forward on a
+                # length-`window` sequence: (B, S, d) @ (d, k), every row
+                # a copy of the step input.  GEMM output rows depend only
+                # on their own input row, but the *kernel path* a row
+                # takes depends on its index (skinny-n kernels handle the
+                # odd trailing row specially), so the result is read at
+                # each slot's sequence position — exactly the row the
+                # training forward computed.  The padded operand must
+                # also be contiguous: stride-0 inputs push numpy off the
+                # BLAS path entirely.
+                padded = np.ascontiguousarray(
+                    np.broadcast_to(a[:, None, :], (a.shape[0], window, a.shape[1]))
+                )
+                return (padded @ w)[arange, positions]
+
+        else:
+            def mm(a: np.ndarray, w: np.ndarray) -> np.ndarray:
+                return a @ w
+
+        x = (
+            mm(tokens.astype(dtype, copy=False), self._input_w)
+            + self._input_b
+            + self._positional[positions]
+        )
+        # Attention window: exact mode always spans the whole cache so the
+        # softmax row length matches the training forward; the throughput
+        # mode only reaches the deepest live position.
+        window = cache.max_steps if self.exact else deepest + 1
+        # (B, 1, W) mask: slot i attends to cache rows 0..pos_i.
+        allowed = cache.steps[None, None, :window] <= positions[:, None, None]
+        masked = np.array(_MASK_VALUE, dtype=dtype)
+        for layer, (keys, values) in zip(
+            self._layers, zip(cache.keys, cache.values)
+        ):
+            normed = _layer_norm(x, layer.norm1_gain, layer.norm1_shift)
+            qkv = mm(normed, layer.qkv_w) + layer.qkv_b
             qkv = qkv.reshape(batch, 3, heads, head_dim)
             q, k, v = qkv[:, 0], qkv[:, 1], qkv[:, 2]  # (B, H, hd)
-            cache.keys[layer][:, :, pos] = k
-            cache.values[layer][:, :, pos] = v
-            seen_k = cache.keys[layer][:, :, : pos + 1]  # (B, H, t, hd)
-            seen_v = cache.values[layer][:, :, : pos + 1]
-            scores = np.einsum("bhd,bhtd->bht", q, seen_k) / np.sqrt(head_dim)
+            keys[rows, :, positions] = k
+            values[rows, :, positions] = v
+            # Same einsum kernels as repro.nn.attention (single-row form):
+            # einsum accumulation is shape-independent, so these match the
+            # training contractions bitwise in float64.
+            scores = (
+                np.einsum("bhd,bhsd->bhs", q, keys[:, :, :window]) * self._scale
+            )
+            scores = np.where(allowed, scores, masked)
             weights = _softmax(scores)
-            context = np.einsum("bht,bhtd->bhd", weights, seen_v)
+            context = np.einsum("bhs,bhsd->bhd", weights, values[:, :, :window])
             context = context.reshape(batch, cfg.d_model)
-            attn_out = context @ block.attn.out.weight.data + block.attn.out.bias.data
-            x = x + attn_out
-            normed2 = _layer_norm(x, block.norm2.gain.data, block.norm2.shift.data)
-            hidden = _gelu(normed2 @ block.ff1.weight.data + block.ff1.bias.data)
-            x = x + hidden @ block.ff2.weight.data + block.ff2.bias.data
-        x = _layer_norm(x, decoder.final_norm.gain.data, decoder.final_norm.shift.data)
-        cache.position = pos + 1
+            x = x + (mm(context, layer.out_w) + layer.out_b)
+            normed2 = _layer_norm(x, layer.norm2_gain, layer.norm2_shift)
+            hidden = _gelu(mm(normed2, layer.ff1_w) + layer.ff1_b)
+            # Parenthesized to match training's `x + ff2(...)` association.
+            x = x + (mm(hidden, layer.ff2_w) + layer.ff2_b)
+        x = _layer_norm(x, self._final_gain, self._final_shift)
+        cache.positions = positions + 1
 
         out = {
-            "event_logits": _mlp(x, model.event_head),
-            "stop_logits": _mlp(x, model.stop_head),
+            "event_logits": self._event_head(x, mm),
+            "stop_logits": self._stop_head(x, mm),
         }
-        iat = _mlp(x, model.iat_head)
+        iat = self._iat_head(x, mm)
         out["iat_mean"] = iat[:, 0]
         if cfg.distribution_head:
             out["iat_raw_scale"] = iat[:, 1]
@@ -184,6 +434,9 @@ class GeneratorPackage:
     tokenizer: StreamTokenizer
     initial_event_distribution: dict[str, float]
     device_type: str
+    _engines: dict[str, InferenceEngine] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         total = sum(self.initial_event_distribution.values())
@@ -192,10 +445,34 @@ class GeneratorPackage:
         for name in self.initial_event_distribution:
             if name not in self.tokenizer.vocabulary:
                 raise ValueError(f"initial-event distribution names unknown event {name!r}")
+        names = list(self.initial_event_distribution)
+        self._initial_probs = np.array(
+            [self.initial_event_distribution[n] for n in names]
+        )
+        # Vectorized first-token lookup: one vocabulary.index per *event
+        # type* here, then a table gather per stream at bootstrap time.
+        self._initial_indices = np.array(
+            [self.tokenizer.vocabulary.index(n) for n in names], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
+    def engine(self, float32: bool = False) -> InferenceEngine:
+        """The persistent inference engine for the requested precision.
+
+        Generation engines run with ``exact=False`` — the throughput
+        mode, which agrees with the autograd forward to ~1e-15 (float64)
+        / ~1e-4 (float32); construct :class:`InferenceEngine` directly
+        for the bit-exact validation mode.
+        """
+        key = "float32" if float32 else "float64"
+        if key not in self._engines:
+            self._engines[key] = InferenceEngine(
+                self.model, dtype=np.float32 if float32 else np.float64, exact=False
+            )
+        return self._engines[key]
+
     def generate(
         self,
         count: int,
@@ -204,12 +481,22 @@ class GeneratorPackage:
         batch_size: int = 128,
         temperature: float = 1.0,
         max_len: int | None = None,
+        float32: bool = False,
+        num_workers: int = 1,
+        continuous: bool = True,
     ) -> TraceDataset:
         """Synthesize ``count`` streams.
 
         Each stream is bootstrapped from the initial-event distribution
         and extended token-by-token until its sampled stop flag is 1 or
         ``max_len`` tokens have been produced.
+
+        ``float32`` switches the engine to the reduced-precision
+        throughput mode; ``num_workers > 1`` shards the population
+        across forked worker processes (deterministic given ``rng`` —
+        see :mod:`repro.core.sharding`); ``continuous=False`` falls back
+        to static batching (each batch steps until every member stops),
+        kept for equivalence testing.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
@@ -219,37 +506,206 @@ class GeneratorPackage:
                 f"max_len {limit} exceeds the model's trained horizon "
                 f"{self.model.config.max_len}"
             )
-        streams: list[Stream] = []
-        with no_grad():
-            remaining = count
-            while remaining > 0:
-                size = min(batch_size, remaining)
-                streams.extend(
-                    self._generate_batch(size, rng, start_time, temperature, limit)
+        if num_workers > 1:
+            counts = shard_counts(count, num_workers)
+            rngs = shard_rngs(rng, num_workers)
+
+            def shard(i: int) -> list[Stream]:
+                return self._generate_streams(
+                    counts[i], rngs[i], start_time, batch_size, temperature,
+                    limit, float32, continuous,
                 )
-                remaining -= size
+
+            shards = run_sharded(shard, num_workers, num_workers)
+            streams = [stream for part in shards for stream in part]
+        else:
+            streams = self._generate_streams(
+                count, rng, start_time, batch_size, temperature, limit,
+                float32, continuous,
+            )
         return TraceDataset(streams=streams, vocabulary=self.tokenizer.vocabulary)
 
-    def _generate_batch(
+    # ------------------------------------------------------------------
+    def _sample_initial(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Vocabulary indices of ``size`` bootstrap events."""
+        picks = rng.choice(len(self._initial_probs), size=size, p=self._initial_probs)
+        return self._initial_indices[picks]
+
+    def _generate_streams(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        start_time: float,
+        batch_size: int,
+        temperature: float,
+        limit: int,
+        float32: bool,
+        continuous: bool,
+    ) -> list[Stream]:
+        if count == 0:
+            return []
+        engine = self.engine(float32)
+        # A horizon of 1 leaves nothing to step (streams are bootstrap
+        # only); the static loop handles that degenerate case directly.
+        if continuous and limit > 1:
+            return self._generate_continuous(
+                count, rng, start_time, batch_size, temperature, limit, engine
+            )
+        streams: list[Stream] = []
+        remaining = count
+        while remaining > 0:
+            size = min(batch_size, remaining)
+            streams.extend(
+                self._generate_static(size, rng, start_time, temperature, limit, engine)
+            )
+            remaining -= size
+        return streams
+
+    def _sample_step(
+        self,
+        out: dict[str, np.ndarray],
+        temperature: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw (events, iats, stops) for one step from engine outputs."""
+        next_events = _gumbel_argmax(out["event_logits"], temperature, rng)
+        next_stops = _gumbel_argmax(out["stop_logits"], temperature, rng)
+        if "iat_raw_scale" in out:
+            scale = _softplus(out["iat_raw_scale"]) + _MIN_SCALE
+            next_iats = rng.normal(out["iat_mean"], scale)
+        else:
+            next_iats = np.asarray(out["iat_mean"], dtype=np.float64)
+        return next_events, np.clip(next_iats, 0.0, 1.0), next_stops
+
+    def _decode_slot(
+        self,
+        events: np.ndarray,
+        iats: np.ndarray,
+        length: int,
+        rng: np.random.Generator,
+        start_time: float,
+    ) -> Stream:
+        """Build the finished stream straight from the sampled fields.
+
+        Equivalent to ``tokenizer.decode(tokenizer.assemble(...))`` but
+        without the one-hot round-trip: the generation loop already
+        holds the decoded event indices and (clipped) scaled
+        interarrivals.
+        """
+        tokenizer = self.tokenizer
+        seconds = tokenizer.scaler.inverse(iats[:length])
+        seconds[0] = 0.0
+        timestamps = start_time + np.cumsum(seconds)
+        names = [tokenizer.vocabulary.name(int(i)) for i in events[:length]]
+        return Stream.from_arrays(
+            random_ue_id(rng), self.device_type, timestamps, names
+        )
+
+    def _generate_continuous(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        start_time: float,
+        batch_size: int,
+        temperature: float,
+        limit: int,
+        engine: InferenceEngine,
+    ) -> list[Stream]:
+        """Continuous batching: recycle slots the moment streams stop.
+
+        A finished slot is immediately re-bootstrapped from the
+        initial-event distribution.  While streams remain to start, the
+        new rollout counts toward the population; once all ``count``
+        streams have started, finished slots keep cycling as *scrap*
+        (their rollouts are discarded) so the batch never carries dead
+        rows — when half the batch is scrap, it is compacted away so the
+        tail drain cost tracks the number of live streams.  Every
+        started stream completes exactly once, so the returned
+        population carries no length bias.
+        """
+        tokenizer = self.tokenizer
+        batch = min(batch_size, count)
+        cache = engine.new_cache(batch, limit)
+        full_size_cache = True
+        events = np.zeros((batch, limit), dtype=np.int64)
+        iats = np.zeros((batch, limit), dtype=np.float64)
+        lengths = np.ones(batch, dtype=np.int64)
+        scrap = np.zeros(batch, dtype=bool)
+        first = self._sample_initial(rng, batch)
+        events[:, 0] = first
+        started = batch
+        rows = np.arange(batch)
+        streams: list[Stream] = []
+        current = tokenizer.assemble(
+            first, np.zeros(batch), np.zeros(batch, dtype=np.int64)
+        )
+        while True:
+            out = engine.step(current, cache)
+            next_events, next_iats, next_stops = self._sample_step(
+                out, temperature, rng
+            )
+            slots = lengths  # next write index per slot
+            events[rows, slots] = next_events
+            iats[rows, slots] = next_iats
+            lengths = lengths + 1
+            finished = (next_stops == 1) | (lengths >= limit)
+            if finished.any():
+                finished_idx = np.flatnonzero(finished)
+                for i in finished_idx:
+                    if not scrap[i]:
+                        streams.append(
+                            self._decode_slot(
+                                events[i], iats[i], int(lengths[i]),
+                                rng, start_time,
+                            )
+                        )
+                if len(streams) >= count:
+                    break
+                # Re-bootstrap every finished slot: the first `refill`
+                # carry new population streams, the rest cycle as scrap.
+                refill = min(count - started, len(finished_idx))
+                started += refill
+                new_first = self._sample_initial(rng, len(finished_idx))
+                events[finished_idx, 0] = new_first
+                lengths[finished_idx] = 1
+                cache.positions[finished_idx] = 0
+                next_events[finished_idx] = new_first
+                next_iats[finished_idx] = 0.0
+                next_stops[finished_idx] = 0
+                scrap[finished_idx[:refill]] = False
+                scrap[finished_idx[refill:]] = True
+                if batch > 8 and int(scrap.sum()) * 2 >= batch:
+                    keep = ~scrap
+                    events = events[keep]
+                    iats = iats[keep]
+                    lengths = lengths[keep]
+                    next_events = next_events[keep]
+                    next_iats = next_iats[keep]
+                    next_stops = next_stops[keep]
+                    scrap = scrap[keep]
+                    cache = cache.compact(keep)
+                    full_size_cache = False
+                    batch = len(lengths)
+                    rows = np.arange(batch)
+            current = tokenizer.assemble(next_events, next_iats, next_stops)
+        if full_size_cache:
+            engine.release_cache(cache)
+        return streams
+
+    def _generate_static(
         self,
         batch: int,
         rng: np.random.Generator,
         start_time: float,
         temperature: float,
         limit: int,
+        engine: InferenceEngine,
     ) -> list[Stream]:
-        engine = InferenceEngine(self.model)
+        """Static batching: the whole batch steps until every stream stops."""
         tokenizer = self.tokenizer
-        names = list(self.initial_event_distribution)
-        probs = np.array([self.initial_event_distribution[n] for n in names])
-        first_names = rng.choice(len(names), size=batch, p=probs)
-        first_indices = np.array(
-            [tokenizer.vocabulary.index(names[i]) for i in first_names], dtype=np.int64
-        )
-
+        first_indices = self._sample_initial(rng, batch)
         events = np.zeros((batch, limit), dtype=np.int64)
         iats = np.zeros((batch, limit), dtype=np.float64)
-        stops = np.zeros((batch, limit), dtype=np.int64)
         lengths = np.ones(batch, dtype=np.int64)
         events[:, 0] = first_indices
 
@@ -260,42 +716,23 @@ class GeneratorPackage:
         )
         for pos in range(limit - 1):
             out = engine.step(current, cache)
-            event_probs = _softmax(out["event_logits"] / temperature)
-            next_events = _sample_rows(event_probs, rng)
-            stop_probs = _softmax(out["stop_logits"] / temperature)
-            next_stops = _sample_rows(stop_probs, rng)
-            if "iat_raw_scale" in out:
-                scale = _softplus(out["iat_raw_scale"]) + _MIN_SCALE
-                next_iats = rng.normal(out["iat_mean"], scale)
-            else:
-                next_iats = out["iat_mean"]
-            next_iats = np.clip(next_iats, 0.0, 1.0)
-
+            next_events, next_iats, next_stops = self._sample_step(
+                out, temperature, rng
+            )
             slot = pos + 1
             events[active, slot] = next_events[active]
             iats[active, slot] = next_iats[active]
-            stops[active, slot] = next_stops[active]
             lengths[active] = slot + 1
             active = active & (next_stops == 0)
             if not active.any():
                 break
             current = tokenizer.assemble(next_events, next_iats, next_stops)
+        engine.release_cache(cache)
 
-        streams = []
-        for i in range(batch):
-            length = int(lengths[i])
-            tokens = tokenizer.assemble(
-                events[i, :length], iats[i, :length], stops[i, :length]
-            )
-            streams.append(
-                tokenizer.decode(
-                    tokens,
-                    ue_id=random_ue_id(rng),
-                    device_type=self.device_type,
-                    start_time=start_time,
-                )
-            )
-        return streams
+        return [
+            self._decode_slot(events[i], iats[i], int(lengths[i]), rng, start_time)
+            for i in range(batch)
+        ]
 
     # ------------------------------------------------------------------
     # Persistence
@@ -324,10 +761,3 @@ class GeneratorPackage:
             initial_event_distribution=metadata["initial_event_distribution"],
             device_type=metadata["device_type"],
         )
-
-
-def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Sample one category per row from a (B, K) probability matrix."""
-    cumulative = np.cumsum(probs, axis=1)
-    draws = rng.random((probs.shape[0], 1))
-    return (draws < cumulative).argmax(axis=1)

@@ -1,0 +1,100 @@
+"""Multi-process sharded generation helpers.
+
+Generation is embarrassingly parallel across streams: a population of
+``count`` streams splits into per-worker shards, each driven by an
+independent RNG derived from one :class:`numpy.random.SeedSequence`.
+The sharded output is *defined* as the concatenation of the shard
+outputs in shard order, so it is deterministic given the parent seed and
+identical whether shards run in worker processes or inline — platforms
+without ``fork`` (and ``num_workers=1``) transparently fall back to the
+inline path with byte-identical results.
+
+Workers are forked, so the generator state (model weights, tokenizer)
+is inherited copy-on-write and never pickled; only the finished
+:class:`~repro.trace.schema.Stream` lists travel back over the pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["shard_counts", "shard_rngs", "run_sharded", "fork_available"]
+
+T = TypeVar("T")
+
+#: Task table consumed by forked workers.  Set only for the duration of a
+#: ``run_sharded`` call; children inherit it through fork, so the parent
+#: never serializes the task's closed-over state.  The lock keeps
+#: concurrent ``run_sharded`` calls from racing on it (they serialize).
+_ACTIVE_TASK: Callable[[int], object] | None = None
+_ACTIVE_TASK_LOCK = threading.Lock()
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (Linux/macOS yes, Windows no)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_counts(count: int, num_shards: int) -> list[int]:
+    """Split ``count`` into ``num_shards`` near-equal non-negative parts.
+
+    The first ``count % num_shards`` shards take the extra stream, and
+    empty shards are kept (a worker simply returns no streams) so the
+    shard ↔ RNG pairing never depends on the population size.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    base, extra = divmod(count, num_shards)
+    return [base + (1 if i < extra else 0) for i in range(num_shards)]
+
+
+def shard_rngs(rng: np.random.Generator, num_shards: int) -> list[np.random.Generator]:
+    """Independent per-shard generators derived from ``rng``.
+
+    One draw from the parent seeds a :class:`~numpy.random.SeedSequence`
+    whose spawned children seed the shard RNGs — the standard recipe for
+    statistically independent, reproducible parallel streams.  The
+    single parent draw means the parent RNG advances identically no
+    matter how many shards are requested.
+    """
+    entropy = int(rng.integers(np.iinfo(np.int64).max))
+    children = np.random.SeedSequence(entropy).spawn(num_shards)
+    return [np.random.default_rng(child) for child in children]
+
+
+def _invoke_shard(index: int):
+    """Top-level trampoline executed inside forked workers."""
+    assert _ACTIVE_TASK is not None, "worker invoked outside run_sharded"
+    return _ACTIVE_TASK(index)
+
+
+def run_sharded(
+    task: Callable[[int], T], num_shards: int, num_workers: int
+) -> list[T]:
+    """Run ``task(0..num_shards-1)``, in forked workers when possible.
+
+    Results come back in shard order regardless of completion order, so
+    output is deterministic.  With ``num_workers <= 1``, or when the
+    platform cannot fork, shards run inline in the calling process and
+    produce identical results.
+    """
+    global _ACTIVE_TASK
+    if num_workers <= 1 or num_shards <= 1 or not fork_available():
+        return [task(i) for i in range(num_shards)]
+    context = multiprocessing.get_context("fork")
+    with _ACTIVE_TASK_LOCK:
+        _ACTIVE_TASK = task
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(num_workers, num_shards), mp_context=context
+            ) as pool:
+                return list(pool.map(_invoke_shard, range(num_shards)))
+        finally:
+            _ACTIVE_TASK = None

@@ -20,7 +20,15 @@ from ..trace.dataset import TraceDataset
 from .config import TrainingConfig
 from .model import CPTGPT
 
-__all__ = ["TrainingResult", "EpochStats", "encode_training_set", "iterate_batches", "train"]
+__all__ = [
+    "TrainingResult",
+    "EpochStats",
+    "EncodedStream",
+    "encode_training_set",
+    "bucketed_batches",
+    "iterate_batches",
+    "train",
+]
 
 
 @dataclass(frozen=True)
@@ -48,17 +56,55 @@ class TrainingResult:
         return self.epochs[-1].total
 
 
+@dataclass(frozen=True)
+class EncodedStream:
+    """One tokenized stream with next-token targets pre-extracted.
+
+    Target extraction (the per-field ``argmax`` over one-hot columns)
+    happens once at encoding time instead of every epoch in
+    ``_build_batch`` — batch assembly then only pads and copies.
+    """
+
+    tokens: np.ndarray  # (L-1, d_token) inputs (positions 0..L-2)
+    event_targets: np.ndarray  # (L-1,) int
+    iat_targets: np.ndarray  # (L-1,) float
+    stop_targets: np.ndarray  # (L-1,) int
+
+    @property
+    def length(self) -> int:
+        """Number of supervised positions (stream length minus one)."""
+        return self.tokens.shape[0]
+
+    @classmethod
+    def from_matrix(
+        cls, matrix: np.ndarray, tokenizer: StreamTokenizer
+    ) -> "EncodedStream":
+        """Split a raw ``(L, d_token)`` token matrix into inputs/targets."""
+        targets = matrix[1:]
+        num_events = tokenizer.num_events
+        return cls(
+            tokens=matrix[:-1],
+            event_targets=targets[:, :num_events].argmax(axis=1),
+            iat_targets=targets[:, tokenizer.iat_column],
+            stop_targets=targets[:, tokenizer.stop_columns].argmax(axis=1),
+        )
+
+
 def encode_training_set(
     dataset: TraceDataset, tokenizer: StreamTokenizer, max_len: int
-) -> list[np.ndarray]:
+) -> list[EncodedStream]:
     """Tokenize the training streams.
 
     Applies the paper's §4.5/§5.1 filters: streams of length 1 are
     excluded (their first token would carry a stop flag), and streams
-    longer than ``max_len`` are disregarded.
+    longer than ``max_len`` are disregarded.  Next-token targets are
+    extracted here, once, rather than on every epoch.
     """
     usable = dataset.drop_singletons().truncate_streams(max_len)
-    encoded = [tokenizer.encode(stream) for stream in usable]
+    encoded = [
+        EncodedStream.from_matrix(tokenizer.encode(stream), tokenizer)
+        for stream in usable
+    ]
     if not encoded:
         raise ValueError(
             "no trainable streams: all streams are singletons or exceed max_len"
@@ -77,30 +123,55 @@ class Batch:
     mask: np.ndarray  # (B, T) bool — True where a target exists
 
 
-def _build_batch(encoded: list[np.ndarray], tokenizer: StreamTokenizer) -> Batch:
-    batch = len(encoded)
-    longest = max(m.shape[0] for m in encoded)
+def _as_encoded(item, tokenizer: StreamTokenizer) -> EncodedStream:
+    """Accept raw ``(L, d_token)`` matrices alongside ``EncodedStream``s."""
+    if isinstance(item, EncodedStream):
+        return item
+    return EncodedStream.from_matrix(np.asarray(item), tokenizer)
+
+
+def _build_batch(encoded: list, tokenizer: StreamTokenizer) -> Batch:
+    items = [_as_encoded(item, tokenizer) for item in encoded]
+    batch = len(items)
+    longest = max(item.length for item in items)
     width = tokenizer.d_token
     # Inputs feed positions 0..L-2; targets are tokens 1..L-1.
-    tokens = np.zeros((batch, longest - 1, width), dtype=np.float64)
-    event_targets = np.zeros((batch, longest - 1), dtype=np.int64)
-    iat_targets = np.zeros((batch, longest - 1), dtype=np.float64)
-    stop_targets = np.zeros((batch, longest - 1), dtype=np.int64)
-    mask = np.zeros((batch, longest - 1), dtype=bool)
-    num_events = tokenizer.num_events
-    for i, matrix in enumerate(encoded):
-        length = matrix.shape[0]
-        tokens[i, : length - 1] = matrix[:-1]
-        targets = matrix[1:]
-        event_targets[i, : length - 1] = targets[:, :num_events].argmax(axis=1)
-        iat_targets[i, : length - 1] = targets[:, tokenizer.iat_column]
-        stop_targets[i, : length - 1] = targets[:, tokenizer.stop_columns].argmax(axis=1)
-        mask[i, : length - 1] = True
+    tokens = np.zeros((batch, longest, width), dtype=np.float64)
+    event_targets = np.zeros((batch, longest), dtype=np.int64)
+    iat_targets = np.zeros((batch, longest), dtype=np.float64)
+    stop_targets = np.zeros((batch, longest), dtype=np.int64)
+    mask = np.zeros((batch, longest), dtype=bool)
+    for i, item in enumerate(items):
+        length = item.length
+        tokens[i, :length] = item.tokens
+        event_targets[i, :length] = item.event_targets
+        iat_targets[i, :length] = item.iat_targets
+        stop_targets[i, :length] = item.stop_targets
+        mask[i, :length] = True
     return Batch(tokens, event_targets, iat_targets, stop_targets, mask)
 
 
+def bucketed_batches(
+    encoded: list, tokenizer: StreamTokenizer, batch_size: int
+) -> list[Batch]:
+    """Padded length-bucketed batches, built once and reusable every epoch.
+
+    Bucketing sorts streams by length, so batch membership is a pure
+    function of the encoded set — shuffling between epochs only permutes
+    *batch order*.  The padded arrays can therefore be cached across the
+    whole run instead of being rebuilt from Python lists each epoch
+    (``train`` relies on exactly that).
+    """
+    items = [_as_encoded(item, tokenizer) for item in encoded]
+    order = np.argsort([item.length for item in items], kind="stable")
+    return [
+        _build_batch([items[i] for i in order[start : start + batch_size]], tokenizer)
+        for start in range(0, len(order), batch_size)
+    ]
+
+
 def iterate_batches(
-    encoded: list[np.ndarray],
+    encoded: list,
     tokenizer: StreamTokenizer,
     batch_size: int,
     rng: np.random.Generator,
@@ -116,17 +187,17 @@ def iterate_batches(
     randomly.
     """
     if length_bucketing:
-        order = np.argsort([m.shape[0] for m in encoded], kind="stable")
-        chunks = [order[i : i + batch_size] for i in range(0, len(order), batch_size)]
+        batches = bucketed_batches(encoded, tokenizer, batch_size)
         if shuffle:
-            rng.shuffle(chunks)
+            rng.shuffle(batches)
+        yield from batches
     else:
         order = np.arange(len(encoded))
         if shuffle:
             rng.shuffle(order)
-        chunks = [order[i : i + batch_size] for i in range(0, len(order), batch_size)]
-    for chunk in chunks:
-        yield _build_batch([encoded[i] for i in chunk], tokenizer)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start : start + batch_size]
+            yield _build_batch([encoded[i] for i in chunk], tokenizer)
 
 
 def _batch_loss(model: CPTGPT, batch: Batch, weights: tuple[float, float, float]):
@@ -171,6 +242,24 @@ def train(
     if optimizer is None:
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
 
+    # Length-bucketed batch membership never changes between epochs
+    # (shuffle only permutes batch order), so the padded arrays are
+    # built once here and reused for the whole run.
+    cached_batches = (
+        bucketed_batches(encoded, tokenizer, config.batch_size)
+        if config.length_bucketing
+        else None
+    )
+
+    def epoch_batches():
+        if cached_batches is None:
+            return iterate_batches(
+                encoded, tokenizer, config.batch_size, rng, config.shuffle
+            )
+        if config.shuffle:
+            return (cached_batches[i] for i in rng.permutation(len(cached_batches)))
+        return iter(cached_batches)
+
     result = TrainingResult()
     model.train()
     start = time.perf_counter()
@@ -183,14 +272,7 @@ def train(
             )
         sums = np.zeros(4)
         batches = 0
-        for batch in iterate_batches(
-            encoded,
-            tokenizer,
-            config.batch_size,
-            rng,
-            config.shuffle,
-            config.length_bucketing,
-        ):
+        for batch in epoch_batches():
             optimizer.zero_grad()
             total, event_l, iat_l, stop_l = _batch_loss(model, batch, config.loss_weights)
             total.backward()

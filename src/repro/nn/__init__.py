@@ -8,8 +8,9 @@ optimizers, and the three loss families used in the paper (cross-entropy,
 Gaussian NLL, binary cross-entropy).
 """
 
-from .attention import MultiHeadSelfAttention
+from .attention import MultiHeadSelfAttention, attention_mix, attention_scores
 from .functional import causal_mask, log_softmax, one_hot, softmax, softplus
+from .numpy_ops import MIN_SCALE
 from .layers import (
     MLP,
     Dropout,
@@ -47,6 +48,9 @@ __all__ = [
     "Sequential",
     "MLP",
     "MultiHeadSelfAttention",
+    "attention_scores",
+    "attention_mix",
+    "MIN_SCALE",
     "DecoderBlock",
     "TransformerDecoder",
     "LSTM",

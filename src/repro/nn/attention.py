@@ -3,6 +3,17 @@
 This is the core of the CPT-GPT decoder (§4.3 of the paper): attention
 lets the model capture dependencies between control events regardless of
 their distance in the stream, which LSTMs struggle with (the paper's L4).
+
+The two attention contractions (query·key scores and weight·value
+mixing) are computed with ``np.einsum`` rather than batched ``matmul``.
+``einsum``'s accumulation order per output element is independent of the
+other operand dimensions, so the single-position inference engine in
+:mod:`repro.core.generate` — which contracts one query row against a
+cached key/value window — reproduces the training forward pass *bitwise*
+in float64.  BLAS ``matmul`` kernels do not have that property (a
+``m=1`` GEMV accumulates differently from a ``m=T`` GEMM).  Gradients
+carry no bitwise contract, so the backward passes keep fast BLAS
+``matmul``.
 """
 
 from __future__ import annotations
@@ -11,9 +22,44 @@ import numpy as np
 
 from .functional import softmax
 from .layers import Dropout, Linear, Module
-from .tensor import Tensor
+from .tensor import Tensor, as_tensor
 
-__all__ = ["MultiHeadSelfAttention"]
+__all__ = ["MultiHeadSelfAttention", "attention_scores", "attention_mix"]
+
+#: Subscripts shared with the inference engine; single-position steps use
+#: the same contractions with the ``t`` axis dropped.
+SCORES_SUBSCRIPTS = "bhtd,bhsd->bhts"
+MIX_SUBSCRIPTS = "bhts,bhsd->bhtd"
+
+
+def attention_scores(q: Tensor, k: Tensor) -> Tensor:
+    """``q @ k^T`` over heads: ``(B,H,T,hd),(B,H,S,hd) -> (B,H,T,S)``.
+
+    Forward is ``einsum`` (bitwise shape-independent, see module
+    docstring); backward uses ``matmul``.
+    """
+    q, k = as_tensor(q), as_tensor(k)
+    data = np.einsum(SCORES_SUBSCRIPTS, q.data, k.data)
+
+    def backward(grad: np.ndarray):
+        dq = grad @ k.data  # (B,H,T,S)@(B,H,S,hd)
+        dk = grad.transpose(0, 1, 3, 2) @ q.data  # (B,H,S,T)@(B,H,T,hd)
+        return dq, dk
+
+    return Tensor._make(data, (q, k), backward)
+
+
+def attention_mix(weights: Tensor, v: Tensor) -> Tensor:
+    """``weights @ v``: ``(B,H,T,S),(B,H,S,hd) -> (B,H,T,hd)``."""
+    weights, v = as_tensor(weights), as_tensor(v)
+    data = np.einsum(MIX_SUBSCRIPTS, weights.data, v.data)
+
+    def backward(grad: np.ndarray):
+        dw = grad @ v.data.transpose(0, 1, 3, 2)  # (B,H,T,hd)@(B,H,hd,S)
+        dv = weights.data.transpose(0, 1, 3, 2) @ grad  # (B,H,S,T)@(B,H,T,hd)
+        return dw, dv
+
+    return Tensor._make(data, (weights, v), backward)
 
 
 class MultiHeadSelfAttention(Module):
@@ -70,12 +116,12 @@ class MultiHeadSelfAttention(Module):
         q, k, v = qkv[0], qkv[1], qkv[2]
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = (q @ k.transpose((0, 1, 3, 2))) * scale  # (B, H, T, T)
+        scores = attention_scores(q, k) * scale  # (B, H, T, T)
         if mask is not None:
             scores = scores + mask
         weights = softmax(scores, axis=-1)
         weights = self.attn_dropout(weights)
 
-        context = weights @ v  # (B, H, T, hd)
+        context = attention_mix(weights, v)  # (B, H, T, hd)
         context = context.transpose((0, 2, 1, 3)).reshape((batch, time, self.d_model))
         return self.out_dropout(self.out(context))

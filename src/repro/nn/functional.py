@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, sum_last_stable
 
 __all__ = [
     "softmax",
@@ -23,11 +23,17 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``.
 
     The max subtraction uses a detached tensor: the subtraction of a
-    constant does not change the mathematical gradient of softmax.
+    constant does not change the mathematical gradient of softmax.  The
+    last-axis normalization sums through
+    :func:`repro.nn.tensor.sum_last_stable` so the inference fast path
+    (which reduces differently-shaped score windows) reproduces training
+    softmax weights bitwise.
     """
     x = as_tensor(x)
     shifted = x - x.data.max(axis=axis, keepdims=True)
     exps = shifted.exp()
+    if axis == -1 or axis == exps.data.ndim - 1:
+        return exps / sum_last_stable(exps)
     return exps / exps.sum(axis=axis, keepdims=True)
 
 

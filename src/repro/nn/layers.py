@@ -86,8 +86,15 @@ class Module:
         """Copy of every named parameter's data."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters in-place; shapes must match exactly."""
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], dtype: np.dtype | type = np.float64
+    ) -> None:
+        """Load parameters in-place; shapes must match exactly.
+
+        ``dtype`` is the precision parameters are cast to.  The default
+        (float64) is what training requires; inference-only consumers can
+        pass ``np.float32`` to halve resident weight memory.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -97,7 +104,7 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .functional import log_softmax, softplus
+from .numpy_ops import MIN_SCALE
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -71,13 +72,16 @@ def gaussian_nll(
     raw_scale: Tensor,
     targets: np.ndarray,
     mask: np.ndarray | None = None,
-    min_scale: float = 1e-3,
+    min_scale: float = MIN_SCALE,
 ) -> Tensor:
     """Gaussian negative log-likelihood with a learned scale.
 
     ``raw_scale`` is unconstrained; it is mapped through softplus (plus a
     floor) so that the predicted standard deviation stays positive, which
-    keeps the NLL well-defined throughout training.
+    keeps the NLL well-defined throughout training.  The default floor is
+    :data:`repro.nn.numpy_ops.MIN_SCALE`, the same constant generation
+    applies when sampling interarrival times — training and inference
+    must parameterize the same distribution.
     """
     targets = as_tensor(np.asarray(targets, dtype=np.float64))
     scale = softplus(raw_scale) + min_scale

@@ -1,0 +1,102 @@
+"""Plain-ndarray math shared by training and the inference fast path.
+
+The autograd ops in :mod:`repro.nn.tensor` / :mod:`repro.nn.functional`
+and the numpy-only inference engine in :mod:`repro.core.generate` must
+compute *the same functions with the same floating-point expressions*:
+any drift between the two silently breaks train/inference equivalence
+(the model is then sampled from a different distribution than it was
+trained to parameterize).  This module is the single source of truth
+for those expressions — both sides import from here, and the fast-path
+equivalence tests enforce bit-identical float64 results.
+
+Everything here is dtype-preserving: float32 inputs stay float32, which
+is how the inference engine threads its reduced-precision mode through
+every activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MIN_SCALE",
+    "GELU_TANH_C",
+    "gelu",
+    "softplus",
+    "softmax",
+    "stable_last_sum",
+    "layer_norm",
+    "LAYER_NORM_EPS",
+]
+
+#: Floor added to predicted standard deviations.  Shared by the
+#: Gaussian-NLL training loss and generation-time sampling.
+MIN_SCALE = 1e-3
+
+#: ``sqrt(2 / pi)`` — the tanh-approximation GELU constant.  A Python
+#: float: numpy scalar constants are "strong" under NEP 50 and would
+#: promote float32 activations back to float64.
+GELU_TANH_C = float(np.sqrt(2.0 / np.pi))
+
+#: Epsilon used by every layer norm (training and inference).
+LAYER_NORM_EPS = 1e-5
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GELU, the exact expression autograd uses.
+
+    The cube is spelled ``x * x * x``: ``x**3`` routes through
+    ``np.power`` (~60× slower) and rounds differently, and this
+    expression must stay bitwise identical between training and the
+    inference fast path.
+    """
+    return 0.5 * x * (1.0 + np.tanh(GELU_TANH_C * (x + 0.044715 * (x * x * x))))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Stable ``log(1 + exp(x))`` = ``max(x, 0) + log1p(exp(-|x|))``."""
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def stable_last_sum(x: np.ndarray) -> np.ndarray:
+    """Sum over the last axis with a layout-independent rounding order.
+
+    ``np.sum`` (and ``np.einsum``) reduce with SIMD kernels whose
+    accumulation grouping depends on the array's shape and buffer
+    alignment, so summing bitwise-identical rows embedded in
+    differently-shaped arrays can differ in the last bit.  Here the
+    pairing is fixed by explicit slicing — a binary tree of elementwise
+    adds, which are bitwise deterministic on any layout — so training
+    (``(B, H, T, T)`` scores) and inference (``(B, H, S)`` windows)
+    round identically.  Returns the ``keepdims`` shape ``(..., 1)``.
+    """
+    while x.shape[-1] > 1:
+        n = x.shape[-1]
+        even = n - (n % 2)
+        paired = x[..., 0:even:2] + x[..., 1:even:2]
+        if n % 2:
+            # Fold the odd element into the last pair (fixed position).
+            paired[..., -1] = paired[..., -1] + x[..., -1]
+        x = paired
+    return x
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis.
+
+    Mirrors :func:`repro.nn.functional.softmax` term by term (shift by
+    the max, exponentiate, normalize through :func:`stable_last_sum`) so
+    inference softmax is bitwise identical to the training-time op on
+    equal input rows.
+    """
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / stable_last_sum(exps)
+
+
+def layer_norm(x: np.ndarray, gain: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Layer norm over the last axis, matching :class:`repro.nn.LayerNorm`."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / np.sqrt(var + LAYER_NORM_EPS) * gain + shift

@@ -58,13 +58,20 @@ def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = No
     write_npz(path, module.state_dict(), metadata)
 
 
-def load_checkpoint(module: Module, path: str | Path) -> dict:
-    """Load parameters into ``module`` in-place; returns the metadata dict."""
+def load_checkpoint(
+    module: Module, path: str | Path, dtype: np.dtype | type = np.float64
+) -> dict:
+    """Load parameters into ``module`` in-place; returns the metadata dict.
+
+    ``dtype`` selects the parameter precision (see
+    :meth:`Module.load_state_dict`); pass ``np.float32`` for
+    inference-only deployments where weight memory matters.
+    """
     path = Path(path)
     with np.load(path) as archive:
         metadata_bytes = archive[METADATA_KEY].tobytes()
         state = {
             name: archive[name] for name in archive.files if name != METADATA_KEY
         }
-    module.load_state_dict(state)
+    module.load_state_dict(state, dtype=dtype)
     return json.loads(metadata_bytes.decode("utf-8"))

@@ -22,7 +22,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled", "sum_last_stable"]
 
 # Global switch used by ``no_grad`` to disable graph construction during
 # inference.  Inference of autoregressive models runs many thousands of
@@ -371,18 +371,24 @@ def _relu(a: Tensor) -> Tensor:
     return Tensor._make(data, (a,), backward)
 
 
-_GELU_C = np.sqrt(2.0 / np.pi)
+from .numpy_ops import GELU_TANH_C as _GELU_C
 
 
 def _gelu(a: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation)."""
+    """Gaussian error linear unit (tanh approximation).
+
+    Keeps the expression of :func:`repro.nn.numpy_ops.gelu` exactly —
+    the inference fast path relies on bitwise-identical activations.
+    (``x * x * x`` rather than ``x**3``: same expression there, and
+    ``np.power`` is far slower.)
+    """
     x = a.data
-    inner = _GELU_C * (x + 0.044715 * x**3)
+    inner = _GELU_C * (x + 0.044715 * (x * x * x))
     t = np.tanh(inner)
     data = 0.5 * x * (1.0 + t)
 
     def backward(grad: np.ndarray):
-        dinner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * (x * x))
         dt = (1.0 - t * t) * dinner
         return (grad * (0.5 * (1.0 + t) + 0.5 * x * dt),)
 
@@ -397,6 +403,30 @@ def _sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
         if axis is not None and not keepdims:
             g = np.expand_dims(g, axis=axis)
         return (np.broadcast_to(g, a.shape).astype(a.data.dtype, copy=False),)
+
+    return Tensor._make(data, (a,), backward)
+
+
+def sum_last_stable(a: Tensor) -> Tensor:
+    """Sum over the last axis with a layout-stable accumulation order.
+
+    ``np.sum``'s SIMD reduction can round a row differently depending on
+    the shape and alignment of the buffer the row sits in, so summing
+    bitwise-identical rows inside differently-shaped arrays may differ
+    in the last bit.  The forward therefore reduces through
+    :func:`repro.nn.numpy_ops.stable_last_sum` (a fixed binary tree of
+    elementwise adds); the inference engine normalizes its attention
+    windows through the same function, which is what makes inference
+    softmax weights bitwise equal to training's.  Keeps the last axis
+    (``keepdims=True`` semantics).
+    """
+    from .numpy_ops import stable_last_sum
+
+    a = as_tensor(a)
+    data = stable_last_sum(a.data)
+
+    def backward(grad: np.ndarray):
+        return (np.broadcast_to(grad, a.shape).astype(a.data.dtype, copy=False),)
 
     return Tensor._make(data, (a,), backward)
 

@@ -1,0 +1,123 @@
+"""num_workers / float32 plumbing through the api surface and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.api.adapters import CPTGPTGenerator, SMMOneGenerator
+from repro.core import CPTGPTConfig, TrainingConfig
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    session = Session("phone-evening")
+    trace = generate_trace(
+        SyntheticTraceConfig(num_ues=80, device_type="phone", hour=20, seed=4)
+    )
+    test_trace = generate_trace(
+        SyntheticTraceConfig(num_ues=80, device_type="phone", hour=20, seed=5)
+    )
+    session.use_dataset(trace, test_trace)
+    session.fit(
+        "cpt-gpt",
+        config=CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        ),
+        training=TrainingConfig(epochs=1, batch_size=32, seed=0),
+    )
+    return session
+
+
+class TestSessionWorkers:
+    def test_iter_streams_num_workers(self, small_session):
+        streams = list(small_session.iter_streams(30, seed=2, num_workers=2))
+        assert len(streams) == 30
+        for stream in streams:
+            stream.validate()
+
+    def test_generated_num_workers_cached_separately(self, small_session):
+        single = small_session.generated(20, seed=3)
+        sharded = small_session.generated(20, seed=3, num_workers=2)
+        again = small_session.generated(20, seed=3, num_workers=2)
+        assert len(single) == len(sharded) == 20
+        # Same key -> cache hit (identical object); different worker
+        # splits are distinct cache entries.
+        assert sharded is again
+        assert single is not sharded
+
+    def test_smm_backend_shards_too(self, small_session):
+        """Sharding lives in GeneratorBase, so every backend gets it."""
+        small_session.fit("smm-1")
+        trace = small_session.generated(24, seed=1, generator="smm-1", num_workers=2)
+        assert len(trace) == 24
+
+    def test_sharded_deterministic_through_session(self, small_session):
+        a = small_session.generator("cpt-gpt").generate(
+            26, np.random.default_rng(8), num_workers=2
+        )
+        b = small_session.generator("cpt-gpt").generate(
+            26, np.random.default_rng(8), num_workers=2
+        )
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+
+
+class TestFloat32Adapter:
+    def test_cpt_gpt_generator_float32_flag(self, small_session):
+        generator = small_session.generator("cpt-gpt")
+        assert generator.float32 is False
+        generator.float32 = True
+        try:
+            trace = generator.generate(15, np.random.default_rng(0))
+            assert len(trace) == 15
+            for stream in trace:
+                stream.validate()
+        finally:
+            generator.float32 = False
+
+    def test_constructor_flag(self):
+        generator = CPTGPTGenerator(float32=True)
+        assert generator.float32 is True
+
+    def test_smm_has_no_float32(self):
+        assert not hasattr(SMMOneGenerator(), "float32")
+
+
+class TestCLIFlags:
+    def test_generate_with_workers_and_float32(self, small_session, tmp_path, capsys):
+        from repro.cli import main
+
+        artifact = tmp_path / "package.npz"
+        small_session.save(artifact, generator="cpt-gpt")
+        output = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "generate", str(artifact), str(output),
+                "--count", "12", "--seed", "3", "--workers", "2", "--float32",
+            ]
+        )
+        assert code == 0
+        assert "wrote 12 streams" in capsys.readouterr().out
+        from repro.trace import load_jsonl
+
+        assert len(load_jsonl(output)) == 12
+
+    def test_generate_float32_warns_for_smm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = generate_trace(
+            SyntheticTraceConfig(num_ues=40, device_type="phone", hour=20, seed=4)
+        )
+        session = Session("phone-evening").use_dataset(trace)
+        session.fit("smm-1")
+        artifact = tmp_path / "smm.json"
+        session.save(artifact)
+        output = tmp_path / "out.jsonl"
+        code = main(
+            ["generate", str(artifact), str(output), "--count", "5", "--float32"]
+        )
+        assert code == 0
+        assert "no float32 fast path" in capsys.readouterr().err

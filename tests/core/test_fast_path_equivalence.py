@@ -1,0 +1,247 @@
+"""Fast-path ↔ autograd equivalence and continuous-batching semantics.
+
+The contract this file enforces:
+
+* float64 exact mode is **bit-equivalent** to the autograd forward pass,
+* float64 throughput mode agrees to ~1e-12, float32 to ~1e-4,
+* continuous batching recycles slots deterministically, produces the
+  same per-stream statistics as static batching, and a stopped slot
+  never leaks state into the stream that reuses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InferenceEngine
+from repro.nn import Tensor, no_grad
+
+
+def _streams_for_equivalence(trace, low=4, high=80, limit=6):
+    picked = [s for s in trace if low <= len(s) <= high]
+    assert picked, "fixture trace has no usable streams"
+    return picked[:limit]
+
+
+class TestBitEquivalence:
+    def test_float64_exact_is_bit_equivalent(
+        self, tiny_trained_package, phone_trace, fitted_tokenizer
+    ):
+        """Every output field must equal the autograd forward bit for bit."""
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model)
+        assert engine.exact and engine.dtype == np.float64
+        positions = 0
+        for stream in _streams_for_equivalence(phone_trace):
+            tokens = fitted_tokenizer.encode(stream)
+            with no_grad():
+                reference = model(Tensor(tokens[None, :, :]))
+            cache = engine.new_cache(1, tokens.shape[0])
+            for t in range(tokens.shape[0]):
+                out = engine.step(tokens[None, t, :], cache)
+                assert np.array_equal(
+                    out["event_logits"][0], reference.event_logits.data[0, t]
+                ), f"event logits differ at position {t}"
+                assert out["iat_mean"][0] == reference.iat_mean.data[0, t]
+                assert (
+                    out["iat_raw_scale"][0] == reference.iat_raw_scale.data[0, t]
+                )
+                assert np.array_equal(
+                    out["stop_logits"][0], reference.stop_logits.data[0, t]
+                ), f"stop logits differ at position {t}"
+                positions += 1
+        assert positions > 30
+
+    def test_float64_fast_mode_tolerance(
+        self, tiny_trained_package, phone_trace, fitted_tokenizer
+    ):
+        """Throughput mode drops bitwise padding but stays at ~1e-12."""
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model, exact=False)
+        stream = _streams_for_equivalence(phone_trace)[0]
+        tokens = fitted_tokenizer.encode(stream)
+        with no_grad():
+            reference = model(Tensor(tokens[None, :, :]))
+        cache = engine.new_cache(1, tokens.shape[0])
+        for t in range(tokens.shape[0]):
+            out = engine.step(tokens[None, t, :], cache)
+            np.testing.assert_allclose(
+                out["event_logits"][0],
+                reference.event_logits.data[0, t],
+                atol=1e-12,
+            )
+
+    def test_float32_tolerance_tier(
+        self, tiny_trained_package, phone_trace, fitted_tokenizer
+    ):
+        """The float32 fast path agrees to single-precision tolerance."""
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model, dtype=np.float32)
+        assert not engine.exact
+        stream = _streams_for_equivalence(phone_trace)[0]
+        tokens = fitted_tokenizer.encode(stream)
+        with no_grad():
+            reference = model(Tensor(tokens[None, :, :]))
+        cache = engine.new_cache(1, tokens.shape[0])
+        for t in range(tokens.shape[0]):
+            out = engine.step(tokens[None, t, :], cache)
+            assert out["event_logits"].dtype == np.float32
+            np.testing.assert_allclose(
+                out["event_logits"][0],
+                reference.event_logits.data[0, t],
+                atol=1e-3,
+            )
+            np.testing.assert_allclose(
+                out["stop_logits"][0],
+                reference.stop_logits.data[0, t],
+                atol=1e-3,
+            )
+
+    def test_exact_mode_ragged_batch_matches_solo(self, tiny_trained_package, rng):
+        """Ragged per-slot positions must not perturb other slots."""
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model, exact=False)
+        steps = 5
+        tokens = [rng.random((steps, 9)) for _ in range(3)]
+        # Solo runs, one cache per stream.
+        solo = []
+        for stream_tokens in tokens:
+            cache = engine.new_cache(1, steps)
+            outs = [
+                engine.step(stream_tokens[None, t], cache)["event_logits"][0]
+                for t in range(steps)
+            ]
+            solo.append(outs)
+        # Batched run where slot 1 restarts mid-way (ragged positions).
+        # One extra cache row so the ragged replay below has room.
+        cache = engine.new_cache(3, steps + 1)
+        batch_out = []
+        for t in range(steps):
+            current = np.stack([tokens[i][t] for i in range(3)])
+            batch_out.append(engine.step(current, cache))
+        # Slots that ran uninterrupted match their solo runs closely.
+        for i in range(3):
+            for t in range(steps):
+                np.testing.assert_allclose(
+                    batch_out[t]["event_logits"][i], solo[i][t], atol=1e-10
+                )
+        # Restart slot 0 and verify it reproduces its own solo prefix
+        # even though slots 1-2 sit at deeper positions.
+        cache.positions[0] = 0
+        replay = engine.step(
+            np.stack([tokens[0][0], tokens[1][4], tokens[2][4]]), cache
+        )
+        np.testing.assert_allclose(replay["event_logits"][0], solo[0][0], atol=1e-10)
+
+
+class TestSlotRecycling:
+    def test_recycled_slot_sees_no_stale_state(self, tiny_trained_package, rng):
+        """A reset slot must behave exactly like a fresh cache (ring reuse).
+
+        Exact mode pins the attention window to the cache size, so the
+        recycled-slot and fresh-cache steps are comparable bit for bit.
+        """
+        engine = InferenceEngine(tiny_trained_package.model)
+        steps = 8
+        cache = engine.new_cache(2, steps)
+        # Fill the cache with arbitrary history.
+        for _ in range(steps - 1):
+            engine.step(rng.random((2, 9)), cache)
+        # Recycle slot 0: position reset, rows left dirty on purpose.
+        cache.positions[0] = 0
+        probe = rng.random((2, 9))
+        recycled = engine.step(probe, cache)
+        fresh_cache = engine.new_cache(1, steps)
+        fresh = engine.step(probe[:1], fresh_cache)
+        np.testing.assert_array_equal(
+            recycled["event_logits"][0], fresh["event_logits"][0]
+        )
+        np.testing.assert_array_equal(
+            recycled["stop_logits"][0], fresh["stop_logits"][0]
+        )
+
+    def test_continuous_deterministic_under_fixed_seed(self, tiny_trained_package):
+        a = tiny_trained_package.generate(60, np.random.default_rng(9), batch_size=16)
+        b = tiny_trained_package.generate(60, np.random.default_rng(9), batch_size=16)
+        assert len(a) == len(b) == 60
+        for s1, s2 in zip(a, b):
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_continuous_matches_static_distributions(self, tiny_trained_package):
+        """Slot recycling must not bias lengths or event frequencies."""
+        continuous = tiny_trained_package.generate(
+            400, np.random.default_rng(3), batch_size=32
+        )
+        static = tiny_trained_package.generate(
+            400, np.random.default_rng(4), batch_size=32, continuous=False
+        )
+        assert len(continuous) == len(static) == 400
+        len_c = np.array([len(s) for s in continuous])
+        len_s = np.array([len(s) for s in static])
+        assert abs(len_c.mean() - len_s.mean()) < 0.8
+        events_c = [e for s in continuous for e in s.event_names()]
+        events_s = [e for s in static for e in s.event_names()]
+        for name in set(events_s):
+            share_c = events_c.count(name) / len(events_c)
+            share_s = events_s.count(name) / len(events_s)
+            assert share_c == pytest.approx(share_s, abs=0.05)
+
+    def test_stopped_slot_never_contributes_further_tokens(
+        self, tiny_trained_package
+    ):
+        """Regression: once a stream samples stop, it must be finalized.
+
+        Every returned stream ends at its stop sample (or the horizon),
+        so no stream may exceed the horizon and the population size is
+        exact even when slots are recycled many times over.
+        """
+        limit = 12
+        trace = tiny_trained_package.generate(
+            150, np.random.default_rng(5), batch_size=8, max_len=limit
+        )
+        assert len(trace) == 150
+        for stream in trace:
+            assert 1 <= len(stream) <= limit
+            stream.validate()
+
+    def test_small_batch_greater_count_recycles(self, tiny_trained_package):
+        """count >> batch_size forces heavy recycling; count must be exact."""
+        trace = tiny_trained_package.generate(
+            97, np.random.default_rng(2), batch_size=4
+        )
+        assert len(trace) == 97
+
+    def test_max_len_one_degenerates_to_bootstrap(self, tiny_trained_package):
+        """Regression: a horizon of 1 leaves nothing to step."""
+        trace = tiny_trained_package.generate(
+            9, np.random.default_rng(6), max_len=1
+        )
+        assert len(trace) == 9
+        assert all(len(s) == 1 for s in trace)
+
+
+class TestEngineCacheReuse:
+    def test_release_and_reacquire_pools_allocation(self, tiny_trained_package):
+        engine = InferenceEngine(tiny_trained_package.model, exact=False)
+        cache = engine.new_cache(4, 16)
+        buffer_id = id(cache.keys[0])
+        engine.release_cache(cache)
+        again = engine.new_cache(4, 16)
+        assert id(again.keys[0]) == buffer_id
+        assert int(again.positions.max()) == 0
+
+    def test_rebinds_after_parameter_replacement(self, tiny_trained_package, rng):
+        """Engines stay valid when training replaces parameter arrays."""
+        model = tiny_trained_package.model
+        engine = InferenceEngine(model, exact=False)
+        tokens = rng.random((1, 9))
+        cache = engine.new_cache(1, 4)
+        before = engine.step(tokens, cache)["event_logits"].copy()
+        state = model.state_dict()
+        state["event_head.fc2.bias"] = state["event_head.fc2.bias"] + 1.0
+        model.load_state_dict(state)  # replaces every param array
+        cache2 = engine.new_cache(1, 4)
+        after = engine.step(tokens, cache2)["event_logits"]
+        np.testing.assert_allclose(after, before + 1.0, atol=1e-12)

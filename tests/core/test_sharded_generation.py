@@ -1,0 +1,111 @@
+"""Multi-process sharded generation: determinism, parity, plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import fork_available, run_sharded, shard_counts, shard_rngs
+
+
+class TestShardHelpers:
+    def test_shard_counts_cover_population(self):
+        assert shard_counts(10, 3) == [4, 3, 3]
+        assert shard_counts(3, 4) == [1, 1, 1, 0]
+        assert shard_counts(0, 2) == [0, 0]
+        assert sum(shard_counts(1001, 7)) == 1001
+
+    def test_shard_counts_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            shard_counts(-1, 2)
+        with pytest.raises(ValueError):
+            shard_counts(5, 0)
+
+    def test_shard_rngs_deterministic_and_independent(self):
+        a = shard_rngs(np.random.default_rng(7), 3)
+        b = shard_rngs(np.random.default_rng(7), 3)
+        draws_a = [r.random(4) for r in a]
+        draws_b = [r.random(4) for r in b]
+        for da, db in zip(draws_a, draws_b):
+            np.testing.assert_array_equal(da, db)
+        # Distinct shards draw distinct streams.
+        assert not np.allclose(draws_a[0], draws_a[1])
+
+    def test_shard_rngs_advance_parent_once(self):
+        """The parent RNG must advance identically for any shard count."""
+        r1 = np.random.default_rng(5)
+        shard_rngs(r1, 2)
+        r2 = np.random.default_rng(5)
+        shard_rngs(r2, 8)
+        np.testing.assert_array_equal(r1.random(4), r2.random(4))
+
+    def test_run_sharded_inline_matches_processes(self):
+        def task(i):
+            return [i * 10 + j for j in range(3)]
+
+        inline = run_sharded(task, 4, num_workers=1)
+        forked = run_sharded(task, 4, num_workers=2)
+        assert inline == forked == [task(i) for i in range(4)]
+
+
+@pytest.mark.skipif(not fork_available(), reason="platform cannot fork workers")
+class TestShardedPackageGeneration:
+    def test_sharded_count_and_determinism(self, tiny_trained_package):
+        a = tiny_trained_package.generate(
+            50, np.random.default_rng(11), num_workers=2
+        )
+        b = tiny_trained_package.generate(
+            50, np.random.default_rng(11), num_workers=2
+        )
+        assert len(a) == len(b) == 50
+        for s1, s2 in zip(a, b):
+            assert s1.ue_id == s2.ue_id
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_sharded_matches_inline_shards(self, tiny_trained_package):
+        """Worker processes must not change the result: the sharded
+        output is defined by the shard split, not by where shards run."""
+        from repro.core import sharding
+
+        forked = tiny_trained_package.generate(
+            30, np.random.default_rng(3), num_workers=2
+        )
+        original = sharding.fork_available
+        sharding.fork_available = lambda: False
+        try:
+            inline = tiny_trained_package.generate(
+                30, np.random.default_rng(3), num_workers=2
+            )
+        finally:
+            sharding.fork_available = original
+        assert len(forked) == len(inline) == 30
+        for s1, s2 in zip(forked, inline):
+            assert s1.ue_id == s2.ue_id
+            assert s1.event_names() == s2.event_names()
+            np.testing.assert_allclose(s1.timestamps(), s2.timestamps())
+
+    def test_sharded_distribution_parity(self, tiny_trained_package):
+        """Sharding must not change per-stream statistics."""
+        single = tiny_trained_package.generate(300, np.random.default_rng(21))
+        sharded = tiny_trained_package.generate(
+            300, np.random.default_rng(22), num_workers=3
+        )
+        assert len(sharded) == 300
+        mean_single = np.mean([len(s) for s in single])
+        mean_sharded = np.mean([len(s) for s in sharded])
+        assert mean_sharded == pytest.approx(mean_single, rel=0.25)
+        events_single = [e for s in single for e in s.event_names()]
+        events_sharded = [e for s in sharded for e in s.event_names()]
+        for name in set(events_single):
+            share_1 = events_single.count(name) / len(events_single)
+            share_n = events_sharded.count(name) / len(events_sharded)
+            assert share_n == pytest.approx(share_1, abs=0.05)
+
+    def test_float32_sharded(self, tiny_trained_package):
+        trace = tiny_trained_package.generate(
+            40, np.random.default_rng(1), num_workers=2, float32=True
+        )
+        assert len(trace) == 40
+        for stream in trace:
+            stream.validate()

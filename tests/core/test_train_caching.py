@@ -1,0 +1,124 @@
+"""Training batch pipeline: pre-extracted targets and cached bucketing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPTGPT,
+    CPTGPTConfig,
+    EncodedStream,
+    TrainingConfig,
+    bucketed_batches,
+    encode_training_set,
+    train,
+)
+from repro.core.train import _build_batch
+from repro.trace import Stream, TraceDataset
+
+
+class TestEncodedStream:
+    def test_targets_extracted_once(self, fitted_tokenizer):
+        stream = Stream.from_arrays(
+            "a", "phone", [0.0, 5.0, 9.0], ["ATCH", "HO", "S1_CONN_REL"]
+        )
+        matrix = fitted_tokenizer.encode(stream)
+        encoded = EncodedStream.from_matrix(matrix, fitted_tokenizer)
+        assert encoded.length == 2
+        vocab = fitted_tokenizer.vocabulary
+        np.testing.assert_array_equal(
+            encoded.event_targets, [vocab.index("HO"), vocab.index("S1_CONN_REL")]
+        )
+        np.testing.assert_array_equal(encoded.stop_targets, [0, 1])
+        np.testing.assert_array_equal(encoded.tokens, matrix[:-1])
+
+    def test_encode_training_set_returns_encoded_streams(
+        self, phone_trace, fitted_tokenizer
+    ):
+        encoded = encode_training_set(phone_trace, fitted_tokenizer, max_len=96)
+        assert all(isinstance(item, EncodedStream) for item in encoded)
+
+    def test_build_batch_accepts_raw_matrices(self, fitted_tokenizer):
+        """Backwards compatibility: raw (L, d_token) matrices still work."""
+        stream = Stream.from_arrays(
+            "a", "phone", [0.0, 1.0, 2.0], ["SRV_REQ", "HO", "S1_CONN_REL"]
+        )
+        matrix = fitted_tokenizer.encode(stream)
+        from_matrix = _build_batch([matrix], fitted_tokenizer)
+        from_encoded = _build_batch(
+            [EncodedStream.from_matrix(matrix, fitted_tokenizer)], fitted_tokenizer
+        )
+        np.testing.assert_array_equal(from_matrix.tokens, from_encoded.tokens)
+        np.testing.assert_array_equal(
+            from_matrix.event_targets, from_encoded.event_targets
+        )
+        np.testing.assert_array_equal(from_matrix.mask, from_encoded.mask)
+
+
+class TestBucketedBatches:
+    def test_batches_cover_all_and_sort_by_length(
+        self, phone_trace, fitted_tokenizer
+    ):
+        encoded = encode_training_set(phone_trace, fitted_tokenizer, max_len=96)
+        batches = bucketed_batches(encoded, fitted_tokenizer, 16)
+        assert sum(b.tokens.shape[0] for b in batches) == len(encoded)
+        # Within the sorted order, batch padded widths are monotonic.
+        widths = [b.tokens.shape[1] for b in batches]
+        assert widths == sorted(widths)
+
+    def test_cached_batches_identical_across_builds(
+        self, phone_trace, fitted_tokenizer
+    ):
+        """Bucketing is deterministic: cached arrays equal a rebuild."""
+        encoded = encode_training_set(phone_trace, fitted_tokenizer, max_len=96)
+        first = bucketed_batches(encoded, fitted_tokenizer, 16)
+        second = bucketed_batches(encoded, fitted_tokenizer, 16)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.tokens, b.tokens)
+            np.testing.assert_array_equal(a.iat_targets, b.iat_targets)
+
+    def test_training_with_bucketing_and_caching(self, phone_trace, fitted_tokenizer):
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        )
+        model = CPTGPT(config, np.random.default_rng(0))
+        result = train(
+            model,
+            phone_trace,
+            fitted_tokenizer,
+            TrainingConfig(epochs=3, batch_size=32, seed=0, length_bucketing=True),
+        )
+        assert len(result.epochs) == 3
+        assert np.isfinite(result.final_loss)
+
+    def test_bucketed_training_deterministic(self, phone_trace, fitted_tokenizer):
+        config = CPTGPTConfig(
+            d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+        )
+        losses = []
+        for _ in range(2):
+            model = CPTGPT(config, np.random.default_rng(0))
+            result = train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=2, batch_size=32, seed=0, length_bucketing=True),
+            )
+            losses.append(result.final_loss)
+        assert losses[0] == pytest.approx(losses[1], rel=1e-12)
+
+
+class TestSingletonHandling:
+    def test_single_target_stream(self, fitted_tokenizer):
+        dataset = TraceDataset(
+            streams=[
+                Stream.from_arrays(
+                    "b", "phone", [0.0, 1.0], ["SRV_REQ", "S1_CONN_REL"]
+                )
+            ]
+        )
+        encoded = encode_training_set(dataset, fitted_tokenizer, max_len=64)
+        batch = _build_batch(encoded, fitted_tokenizer)
+        assert batch.tokens.shape == (1, 1, 9)
+        assert batch.mask.all()

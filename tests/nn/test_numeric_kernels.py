@@ -1,0 +1,163 @@
+"""Shared numeric kernels: attention einsum ops, stable sums, dtype load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Tensor,
+    attention_mix,
+    attention_scores,
+    load_checkpoint,
+    save_checkpoint,
+    softmax,
+)
+from repro.nn.numpy_ops import (
+    MIN_SCALE,
+    gelu,
+    layer_norm,
+    softmax as np_softmax,
+    softplus,
+    stable_last_sum,
+)
+
+
+class TestAttentionOps:
+    def test_scores_match_matmul(self, rng):
+        q = Tensor(rng.normal(size=(2, 3, 5, 4)))
+        k = Tensor(rng.normal(size=(2, 3, 7, 4)))
+        out = attention_scores(q, k)
+        expected = q.data @ k.data.transpose(0, 1, 3, 2)
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_mix_matches_matmul(self, rng):
+        w = Tensor(rng.normal(size=(2, 3, 5, 7)))
+        v = Tensor(rng.normal(size=(2, 3, 7, 4)))
+        out = attention_mix(w, v)
+        np.testing.assert_allclose(out.data, w.data @ v.data, atol=1e-12)
+
+    def test_scores_gradcheck(self, rng):
+        q = Tensor(rng.normal(size=(1, 2, 3, 4)), requires_grad=True)
+        k = Tensor(rng.normal(size=(1, 2, 3, 4)), requires_grad=True)
+        attention_scores(q, k).sum().backward()
+        eps = 1e-6
+        for tensor in (q, k):
+            flat = tensor.data.ravel()
+            for idx in (0, 7, 23):
+                original = flat[idx]
+                flat[idx] = original + eps
+                up = float(attention_scores(q, k).sum().item())
+                flat[idx] = original - eps
+                down = float(attention_scores(q, k).sum().item())
+                flat[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert tensor.grad.ravel()[idx] == pytest.approx(numeric, abs=1e-4)
+
+    def test_mix_gradcheck(self, rng):
+        w = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        v = Tensor(rng.normal(size=(1, 2, 3, 4)), requires_grad=True)
+        attention_mix(w, v).sum().backward()
+        eps = 1e-6
+        for tensor in (w, v):
+            flat = tensor.data.ravel()
+            for idx in (0, 5, 11):
+                original = flat[idx]
+                flat[idx] = original + eps
+                up = float(attention_mix(w, v).sum().item())
+                flat[idx] = original - eps
+                down = float(attention_mix(w, v).sum().item())
+                flat[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert tensor.grad.ravel()[idx] == pytest.approx(numeric, abs=1e-4)
+
+
+class TestStableSum:
+    def test_matches_sum_value(self, rng):
+        x = rng.random((3, 5, 17))
+        np.testing.assert_allclose(
+            stable_last_sum(x), x.sum(axis=-1, keepdims=True), rtol=1e-14
+        )
+
+    def test_layout_independent(self, rng):
+        """Identical rows in differently-shaped arrays sum identically."""
+        row = rng.random(29)
+        stacked_3d = np.tile(row, (2, 4, 1))
+        stacked_2d = row[None, :]
+        a = stable_last_sum(stacked_3d)[1, 2, 0]
+        b = stable_last_sum(stacked_2d)[0, 0]
+        c = stable_last_sum(row[None])[0, 0]
+        assert a == b == c
+
+    def test_odd_and_single_lengths(self):
+        assert stable_last_sum(np.array([[5.0]]))[0, 0] == 5.0
+        x = np.arange(7.0)[None]
+        assert stable_last_sum(x)[0, 0] == pytest.approx(21.0)
+
+    def test_softmax_pair_bitwise(self, rng):
+        """numpy softmax == Tensor softmax on equal rows, bit for bit."""
+        x = rng.normal(size=(2, 4, 9, 9)) * 8
+        tensor_out = softmax(Tensor(x), axis=-1).data
+        # Same rows presented in a differently-shaped array.
+        for t in range(9):
+            rows = np.ascontiguousarray(x[:, :, t, :])
+            np_out = np_softmax(rows)
+            assert np.array_equal(np_out, tensor_out[:, :, t, :])
+
+
+class TestSharedExpressions:
+    def test_gelu_matches_tensor_gelu(self, rng):
+        x = rng.normal(size=(4, 33)) * 3
+        assert np.array_equal(gelu(x), Tensor(x).gelu().data)
+
+    def test_gelu_preserves_float32(self):
+        out = gelu(np.linspace(-3, 3, 11, dtype=np.float32))
+        assert out.dtype == np.float32
+
+    def test_softplus_min_scale_shared_with_loss(self):
+        import inspect
+
+        from repro.nn.losses import gaussian_nll
+
+        default = inspect.signature(gaussian_nll).parameters["min_scale"].default
+        assert default is MIN_SCALE
+
+    def test_layer_norm_matches_module(self, rng):
+        from repro.nn import LayerNorm
+
+        module = LayerNorm(16)
+        module.gain.data = rng.normal(size=16)
+        module.shift.data = rng.normal(size=16)
+        x = rng.normal(size=(3, 16))
+        expected = module(Tensor(x)).data
+        got = layer_norm(x, module.gain.data, module.shift.data)
+        assert np.array_equal(got, expected)
+
+    def test_softplus_stable(self):
+        out = softplus(np.array([-800.0, 0.0, 800.0]))
+        assert np.all(np.isfinite(out))
+
+
+class TestDtypeOnLoad:
+    def test_load_checkpoint_float32(self, tmp_path, rng):
+        head = MLP(8, 16, 4, rng)
+        path = tmp_path / "head.npz"
+        save_checkpoint(head, path, {"kind": "test"})
+        restored = MLP(8, 16, 4, rng)
+        load_checkpoint(restored, path, dtype=np.float32)
+        for param in restored.parameters():
+            assert param.data.dtype == np.float32
+        # Values round-trip through the cast.
+        np.testing.assert_allclose(
+            restored.fc1.weight.data, head.fc1.weight.data.astype(np.float32)
+        )
+
+    def test_load_checkpoint_default_float64(self, tmp_path, rng):
+        head = MLP(4, 8, 2, rng)
+        path = tmp_path / "head.npz"
+        save_checkpoint(head, path)
+        restored = MLP(4, 8, 2, rng)
+        load_checkpoint(restored, path)
+        for param in restored.parameters():
+            assert param.data.dtype == np.float64
