@@ -1,0 +1,79 @@
+"""Workload-engine benchmarks: merged-timeline throughput into the MCN.
+
+The headline number is events/sec through the k-way heap merge into
+``MCNSimulator`` at a 100k-UE fan-in (tracked in BENCH_workload.json).
+The merge input is synthesized directly as per-shard sorted event
+arrays so the bench isolates the timeline + simulator path from
+generator speed; a second bench measures the full engine (generation →
+shaping → merge) on the stadium preset at reduced scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcn import MCNSimulator
+from repro.workload import TimelineEvent, Workload, get_workload, merge_timelines
+
+from conftest import run_once
+
+#: 100k UEs spread over 128 shard sources, ~5 events each ≈ 500k events.
+NUM_SOURCES = 128
+UES_PER_SOURCE = 800
+EVENTS_PER_UE = 5
+TOTAL_EVENTS = NUM_SOURCES * UES_PER_SOURCE * EVENTS_PER_UE
+
+
+def _shard_events(shard: int, rng: np.random.Generator) -> list[TimelineEvent]:
+    """One shard's sorted events: per-UE SRV_REQ/S1_CONN_REL exchanges."""
+    num_events = UES_PER_SOURCE * EVENTS_PER_UE
+    times = np.sort(rng.uniform(0.0, 3600.0, size=num_events))
+    ue_ids = [f"s{shard:03d}-u{u:05d}" for u in range(UES_PER_SOURCE)]
+    cohort = f"c{shard:03d}"
+    events = []
+    for i, t in enumerate(times):
+        ue = ue_ids[i // EVENTS_PER_UE]
+        name = "SRV_REQ" if i % 2 == 0 else "S1_CONN_REL"
+        events.append(TimelineEvent(float(t), cohort, ue, name))
+    events.sort(key=lambda e: (e.timestamp, e.ue_id))
+    return events
+
+
+@pytest.fixture(scope="module")
+def shard_buffers() -> list[list[TimelineEvent]]:
+    rng = np.random.default_rng(42)
+    return [_shard_events(shard, rng) for shard in range(NUM_SOURCES)]
+
+
+def test_bench_merge_into_simulator_100k_ues(benchmark, shard_buffers):
+    """Headline: merged-timeline events/sec into MCNSimulator (100k UEs)."""
+
+    def run():
+        merged = merge_timelines([iter(buffer) for buffer in shard_buffers])
+        return MCNSimulator(workers=16, seed=0).run(merged)
+
+    report = run_once(benchmark, run)
+    assert report.num_events == TOTAL_EVENTS
+
+
+def test_bench_merge_only_100k_ues(benchmark, shard_buffers):
+    """The k-way heap merge alone, without the queueing simulation."""
+
+    def run():
+        merged = merge_timelines([iter(buffer) for buffer in shard_buffers])
+        return sum(1 for _ in merged)
+
+    count = run_once(benchmark, run)
+    assert count == TOTAL_EVENTS
+
+
+def test_bench_workload_engine_stadium(benchmark):
+    """Full engine: generation → flash-crowd shaping → merge (stadium 10%)."""
+    engine = Workload(get_workload("stadium-flash-crowd").scaled(0.1), seed=3)
+    # Fit the per-cohort generators outside the timed region.
+    for cohort in engine.population.cohorts:
+        engine.generator(cohort)
+
+    count = run_once(benchmark, lambda: sum(1 for _ in engine.events()))
+    assert count > 0

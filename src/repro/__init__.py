@@ -49,13 +49,16 @@ from .api import (
     TrafficGenerator,
     available_generators,
     available_scenarios,
+    available_workloads,
     get_scenario,
     load_generator,
     register_generator,
     register_scenario,
+    register_workload,
 )
+from .workload import Cohort, UEPopulation, Workload, get_workload
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     # facade (re-exported from repro.api)
@@ -65,10 +68,17 @@ __all__ = [
     "GeneratorBase",
     "register_generator",
     "register_scenario",
+    "register_workload",
     "available_generators",
     "available_scenarios",
+    "available_workloads",
     "get_scenario",
     "load_generator",
+    # workload engine (re-exported from repro.workload)
+    "Cohort",
+    "UEPopulation",
+    "Workload",
+    "get_workload",
     # subpackages
     "api",
     "nn",
@@ -79,5 +89,6 @@ __all__ = [
     "baselines",
     "metrics",
     "mcn",
+    "workload",
     "experiments",
 ]

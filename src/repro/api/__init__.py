@@ -28,11 +28,14 @@ from .protocol import GeneratorBase, TrafficGenerator
 from .registry import (
     GENERATORS,
     SCENARIOS,
+    WORKLOADS,
     Registry,
     available_generators,
     available_scenarios,
+    available_workloads,
     register_generator,
     register_scenario,
+    register_workload,
 )
 from .scenario import ScenarioSpec, get_scenario
 from .session import Session
@@ -46,10 +49,13 @@ __all__ = [
     "Registry",
     "GENERATORS",
     "SCENARIOS",
+    "WORKLOADS",
     "register_generator",
     "register_scenario",
+    "register_workload",
     "available_generators",
     "available_scenarios",
+    "available_workloads",
     "CPTGPTGenerator",
     "SMMOneGenerator",
     "SMMKGenerator",

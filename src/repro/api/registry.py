@@ -5,9 +5,13 @@ by name, so new ones plug in without touching core code.  Two global
 registries exist —
 
 * :data:`GENERATORS` maps names ("cpt-gpt", "smm-1", ...) to
-  :class:`~repro.api.protocol.TrafficGenerator` classes, and
+  :class:`~repro.api.protocol.TrafficGenerator` classes,
 * :data:`SCENARIOS` maps names ("phone-evening", ...) to
-  :class:`~repro.api.scenario.ScenarioSpec` instances.
+  :class:`~repro.api.scenario.ScenarioSpec` instances, and
+* :data:`WORKLOADS` maps names ("city-day", "stadium-flash-crowd", ...)
+  to :class:`~repro.workload.population.UEPopulation` composites —
+  multi-cohort workloads built on top of scenarios (registered when
+  :mod:`repro.workload` is imported).
 
 Lookup is case-insensitive and alias-aware, so the paper's display
 names ("CPT-GPT", "SMM-20k") resolve to the same entries as the
@@ -28,10 +32,13 @@ __all__ = [
     "Registry",
     "GENERATORS",
     "SCENARIOS",
+    "WORKLOADS",
     "register_generator",
     "register_scenario",
+    "register_workload",
     "available_generators",
     "available_scenarios",
+    "available_workloads",
 ]
 
 
@@ -113,6 +120,7 @@ class Registry:
 
 GENERATORS = Registry("generator")
 SCENARIOS = Registry("scenario")
+WORKLOADS = Registry("workload")
 
 
 def register_generator(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
@@ -146,6 +154,25 @@ def register_scenario(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
     return decorator
 
 
+def register_workload(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
+    """Register a composite workload: a factory or a ``UEPopulation``.
+
+    Mirrors :func:`register_scenario` — decorate a zero-arg factory or
+    pass an already-built population::
+
+        @register_workload("metro-rush", aliases=("rush",))
+        def _metro_rush():
+            return UEPopulation(name="metro-rush", cohorts=(...))
+    """
+
+    def decorator(obj):
+        population = obj() if callable(obj) else obj
+        WORKLOADS.register(name, population, aliases=aliases)
+        return obj
+
+    return decorator
+
+
 def available_generators() -> tuple[str, ...]:
     """Canonical names of every registered generator backend."""
     return GENERATORS.names()
@@ -154,3 +181,12 @@ def available_generators() -> tuple[str, ...]:
 def available_scenarios() -> tuple[str, ...]:
     """Canonical names of every registered scenario."""
     return SCENARIOS.names()
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Canonical names of every registered composite workload.
+
+    Built-in workloads register on ``import repro.workload`` (which
+    ``import repro`` performs); until then only plugins appear here.
+    """
+    return WORKLOADS.names()

@@ -288,6 +288,48 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def workload(
+        self,
+        population="city-day",
+        *,
+        seed: int = 1,
+        num_workers: int = 1,
+        shard_ues: int = 2048,
+        backend: str | None = None,
+    ):
+        """A population-scale :class:`~repro.workload.Workload` engine.
+
+        ``population`` is a registered workload name ("city-day",
+        "stadium-flash-crowd", ...) or a
+        :class:`~repro.workload.UEPopulation`.  Cohorts whose scenario
+        matches this session's reuse its fitted backend; the rest fit
+        their own (``backend=`` overrides every cohort's choice).  The
+        returned engine streams the merged event timeline into the MCN
+        consumers without materializing a trace::
+
+            report = Session("phone-evening").workload("stadium").simulate(workers=8)
+        """
+        from ..workload import Workload, get_workload
+
+        population = get_workload(population)
+        generators = {}
+        if self._active is not None and backend is None:
+            fitted = self.generator()
+            for cohort in population.cohorts:
+                if cohort.scenario == self.scenario:
+                    generators[cohort.name] = fitted
+        return Workload(
+            population,
+            seed=seed,
+            num_workers=num_workers,
+            shard_ues=shard_ues,
+            backend=backend,
+            generators=generators or None,
+        )
+
+    # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(

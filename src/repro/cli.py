@@ -11,7 +11,8 @@ Commands
 ``generate``      sample streams from any saved generator artifact
 ``evaluate``      fidelity report of a synthesized trace vs a real one
 ``experiments``   run the paper's tables/figures at a chosen scale
-``registry``      list registered generator backends and scenarios
+``workload``      stream a composite workload into the MCN simulator
+``registry``      list registered generators, scenarios and workloads
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from .api import (
     Session,
     available_generators,
     available_scenarios,
+    available_workloads,
     get_scenario,
     load_generator,
 )
@@ -95,7 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--only", nargs="*", default=None,
                    help=f"subset of {sorted(ALL_EXPERIMENTS)}")
 
-    sub.add_parser("registry", help="list registered generators and scenarios")
+    p = sub.add_parser(
+        "workload", help="stream a composite workload into the MCN simulator"
+    )
+    p.add_argument("name", help="registered workload (see the registry command)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale every cohort's UE count by this factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for shard generation "
+                        "(never changes the timeline, only wall time)")
+    p.add_argument("--backend", default=None,
+                   help="override every cohort's generator backend")
+    p.add_argument("--sim-workers", type=int, default=4,
+                   help="control-plane workers in the MCN simulator")
+    p.add_argument("--autoscale", action="store_true",
+                   help="also drive the target-utilization autoscaler")
+    p.add_argument("--window", type=float, default=300.0,
+                   help="autoscaling window in seconds")
+
+    sub.add_parser(
+        "registry", help="list registered generators, scenarios and workloads"
+    )
     return parser
 
 
@@ -206,7 +229,47 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_workload(args) -> int:
+    from .workload import Workload, get_workload
+
+    population = get_workload(args.name)
+    if args.scale != 1.0:
+        population = population.scaled(args.scale)
+    engine = Workload(
+        population,
+        seed=args.seed,
+        num_workers=args.workers,
+        backend=args.backend,
+    )
+    print(population.summary())
+    # With --autoscale both consumers need the timeline; build it once
+    # (a list at CLI scale) instead of generating twice.
+    events = list(engine.events()) if args.autoscale else None
+    report = engine.simulate(workers=args.sim_workers, events=events)
+    print(
+        f"simulated {report.num_events} events over "
+        f"{report.duration_seconds:.0f}s: throughput "
+        f"{report.throughput_eps:.1f} ev/s | p50 "
+        f"{report.latency_percentile(50):.2f} ms | p99 "
+        f"{report.latency_percentile(99):.2f} ms | peak contexts "
+        f"{report.peak_connected_contexts} | utilization "
+        f"{report.utilization:.1%}"
+    )
+    if args.autoscale:
+        trace = engine.autoscale(window_seconds=args.window, events=events)
+        print(
+            f"autoscale over {len(trace.workers)} x {args.window:.0f}s windows: "
+            f"peak workers {trace.peak_workers}, "
+            f"{trace.scaling_actions} scaling actions, "
+            f"mean utilization {trace.mean_utilization:.1%}"
+        )
+    return 0
+
+
 def _cmd_registry(args) -> int:
+    from . import workload as _workload  # noqa: F401  (registers built-ins)
+    from .api import WORKLOADS
+
     print("generators:")
     for name in available_generators():
         print(f"  {name}")
@@ -217,6 +280,16 @@ def _cmd_registry(args) -> int:
             f"  {name}  ({spec.device_type}, {spec.technology}, "
             f"hour {spec.hour}, {spec.num_ues} UEs)"
         )
+    print("workloads:")
+    for name in available_workloads():
+        population = WORKLOADS.get(name)
+        cohorts = ", ".join(
+            f"{c.num_ues}x{c.scenario.device_type}" for c in population.cohorts
+        )
+        print(
+            f"  {name}  ({population.technology}, "
+            f"{population.total_ues} UEs: {cohorts})"
+        )
     return 0
 
 
@@ -226,6 +299,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
+    "workload": _cmd_workload,
     "registry": _cmd_registry,
 }
 

@@ -2,14 +2,23 @@
 
 §2.2 / C5: accurately modelling traffic drift "enables evaluating
 autoscaling capabilities of MCN implementations".  This module replays a
-trace in fixed windows, estimates per-window offered load, and drives a
-target-utilization autoscaler over the window sequence — the experiment
-a CoreKube-style elastic core would run against a synthesized trace.
+workload in fixed windows, estimates per-window offered load, and drives
+a target-utilization autoscaler over the window sequence — the
+experiment a CoreKube-style elastic core would run against a synthesized
+trace.
+
+The window pass is single-sweep: a materialized
+:class:`~repro.trace.TraceDataset` is flattened and sorted first, while
+an already time-ordered event iterable (the streaming merged timeline of
+:class:`repro.workload.Workload`) is consumed as it arrives — per-window
+demand accumulates in O(#windows) memory no matter how many events flow
+through.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -26,6 +35,8 @@ class AutoscalePolicy:
     Each window the policy computes required workers =
     ``offered_load / target_utilization`` and moves toward it by at most
     ``max_step`` workers, clamped to [min_workers, max_workers].
+    Parameters are validated at construction, so an invalid policy fails
+    before the first window, not on the Nth.
     """
 
     target_utilization: float = 0.6
@@ -33,9 +44,17 @@ class AutoscalePolicy:
     max_workers: int = 64
     max_step: int = 4
 
-    def next_workers(self, current: int, offered_load: float) -> int:
+    def __post_init__(self) -> None:
         if not 0 < self.target_utilization <= 1:
             raise ValueError("target_utilization must be in (0, 1]")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.max_step < 1:
+            raise ValueError("max_step must be >= 1")
+
+    def next_workers(self, current: int, offered_load: float) -> int:
         required = int(np.ceil(offered_load / self.target_utilization))
         required = max(self.min_workers, min(self.max_workers, required))
         if required > current:
@@ -72,35 +91,58 @@ class AutoscaleTrace:
         return float(np.mean(self.utilization))
 
 
+def _timed_events(workload: TraceDataset | Iterable) -> Iterator[tuple[float, str]]:
+    """``(timestamp, event)`` in time order, lazily for ordered iterables."""
+    if isinstance(workload, TraceDataset):
+        arrivals = sorted(
+            (event.timestamp, event.event)
+            for stream in workload
+            for event in stream
+        )
+        return iter(arrivals)
+
+    def _adapt() -> Iterator[tuple[float, str]]:
+        for item in workload:
+            # TimelineEvent (t, cohort, ue_id, event) or (t, ue_id, event).
+            yield item[0], item[-1]
+
+    return _adapt()
+
+
 def simulate_autoscaling(
-    dataset: TraceDataset,
+    workload: TraceDataset | Iterable,
     policy: AutoscalePolicy,
     window_seconds: float = 300.0,
     cost_model: ServiceCostModel = LTE_COSTS,
     initial_workers: int = 2,
 ) -> AutoscaleTrace:
-    """Drive ``policy`` over ``dataset`` replayed in fixed windows.
+    """Drive ``policy`` over ``workload`` replayed in fixed windows.
 
     Offered load per window is the total mean service demand divided by
     the window length — i.e. the number of fully-busy workers the window
-    requires.
+    requires.  Windows with no events (gaps in the workload) still
+    appear, with zero offered load.
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
-    arrivals = sorted(
-        (event.timestamp, event.event) for stream in dataset for event in stream
-    )
     trace = AutoscaleTrace(window_seconds=window_seconds)
-    if not arrivals:
-        return trace
 
-    start = arrivals[0][0]
-    end = arrivals[-1][0]
-    edges = np.arange(start, end + window_seconds, window_seconds)
-    demands = np.zeros(len(edges))
-    for timestamp, event in arrivals:
-        slot = min(int((timestamp - start) // window_seconds), len(edges) - 1)
+    demands: list[float] = []
+    start: float | None = None
+    for timestamp, event in _timed_events(workload):
+        if start is None:
+            start = timestamp
+        slot = int((timestamp - start) // window_seconds)
+        if slot < 0:
+            raise ValueError(
+                f"event at t={timestamp} precedes the first event (t={start}); "
+                "streamed workloads must be time-ordered"
+            )
+        while len(demands) <= slot:
+            demands.append(0.0)
         demands[slot] += cost_model.mean_cost(event) / 1000.0
+    if start is None:
+        return trace
 
     workers = initial_workers
     for demand_seconds in demands:

@@ -1,22 +1,30 @@
 """Event-driven MCN control-plane simulator.
 
-Consumes a (real or synthesized) :class:`~repro.trace.TraceDataset` and
-replays it against a multi-worker control-plane anchor (MME/AMF) modeled
-as a c-server FIFO queue.  Reports the quantities MCN design studies
-care about (§2.2): per-event latency percentiles, worker utilization,
-sustained throughput, and the peak number of concurrent UE contexts a
-stateful MCN must hold (driven by sojourn times — the paper's C3
-motivation).
+Consumes a (real or synthesized) workload and replays it against a
+multi-worker control-plane anchor (MME/AMF) modeled as a c-server FIFO
+queue.  Reports the quantities MCN design studies care about (§2.2):
+per-event latency percentiles, worker utilization, sustained
+throughput, and the peak number of concurrent UE contexts a stateful
+MCN must hold (driven by sojourn times — the paper's C3 motivation).
 
-The implementation is a classic discrete-event loop over a heap of
-worker-free times; arrival order comes from merging all streams by
-timestamp.
+Two ingestion paths feed the same discrete-event loop:
+
+* a materialized :class:`~repro.trace.TraceDataset`, whose streams are
+  flattened and sorted by ``(timestamp, ue_id)`` (stable, so a UE's
+  within-stream order survives ties), or
+* any *already time-ordered* iterable of events — in particular the
+  streaming merged timeline of :class:`repro.workload.Workload` — which
+  is consumed one event at a time, so population-scale workloads never
+  materialize.  Items may be
+  :class:`~repro.workload.timeline.TimelineEvent` tuples (UE identity is
+  ``(cohort, ue_id)``) or plain ``(timestamp, ue_id, event)`` triples.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
@@ -87,30 +95,37 @@ class MCNSimulator:
     queue_limit: int | None = None
     seed: int = 0
 
-    def run(self, dataset: TraceDataset) -> SimulationReport:
-        """Replay every event in ``dataset`` through the queue."""
+    def run(self, workload: TraceDataset | Iterable) -> SimulationReport:
+        """Replay every event of ``workload`` through the queue.
+
+        ``workload`` is a :class:`TraceDataset` (sorted here) or an
+        iterable of time-ordered events (consumed lazily: constant
+        memory beyond the per-event latency records in the report).
+        """
         if self.workers < 1:
             raise ValueError("need at least one worker")
-        arrivals = self._merged_arrivals(dataset)
         rng = np.random.default_rng(self.seed)
 
         # Worker pool as a heap of next-free times (seconds), plus a heap
         # of in-system finish times to measure the waiting-queue length
         # (worker-free times alone cannot count queued events).
-        free_at = [0.0] * self.workers
-        if arrivals:
-            free_at = [arrivals[0][0]] * self.workers
-        heapq.heapify(free_at)
+        free_at: list[float] = []
         in_system: list[float] = []
 
         latencies: dict[str, list[float]] = {}
         busy_seconds = 0.0
         dropped = 0
-        connected: set[str] = set()
+        connected: set[Hashable] = set()
         peak_connected = 0
         processed = 0
+        first_timestamp: float | None = None
+        last_timestamp = 0.0
 
-        for timestamp, ue_id, event in arrivals:
+        for timestamp, ue_key, event in _arrivals(workload):
+            if first_timestamp is None:
+                first_timestamp = timestamp
+                free_at = [timestamp] * self.workers
+            last_timestamp = timestamp
             while in_system and in_system[0] <= timestamp:
                 heapq.heappop(in_system)
             if self.queue_limit is not None:
@@ -131,13 +146,13 @@ class MCNSimulator:
             # Stateful context tracking: how many UEs the MCN must hold
             # in CONNECTED state simultaneously.
             if event in _CONNECTING_EVENTS:
-                connected.add(ue_id)
+                connected.add(ue_key)
                 peak_connected = max(peak_connected, len(connected))
             elif event in _RELEASING_EVENTS:
-                connected.discard(ue_id)
+                connected.discard(ue_key)
 
-        if arrivals:
-            duration = arrivals[-1][0] - arrivals[0][0]
+        if first_timestamp is not None:
+            duration = last_timestamp - first_timestamp
         else:
             duration = 0.0
         capacity_seconds = max(duration, 1e-9) * self.workers
@@ -150,12 +165,35 @@ class MCNSimulator:
             dropped_events=dropped,
         )
 
-    @staticmethod
-    def _merged_arrivals(dataset: TraceDataset) -> list[tuple[float, str, str]]:
+
+def _arrivals(
+    workload: TraceDataset | Iterable,
+) -> Iterator[tuple[float, Hashable, str]]:
+    """Normalize a workload to time-ordered ``(timestamp, ue_key, event)``.
+
+    Datasets are flattened and sorted by ``(timestamp, ue_id)`` (the
+    stable sort preserves within-stream order on full ties — the same
+    total order the streaming merge uses, given the prefix-free cohort
+    naming of ``repro.workload``).  Iterables are trusted to be ordered
+    and pass through lazily; 4-field items (``TimelineEvent``) key UE
+    identity as ``(cohort, ue_id)``, 3-tuples as the bare ``ue_id``.
+    """
+    if isinstance(workload, TraceDataset):
         arrivals = [
             (event.timestamp, stream.ue_id, event.event)
-            for stream in dataset
+            for stream in workload
             for event in stream
         ]
-        arrivals.sort(key=lambda item: item[0])
-        return arrivals
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        return iter(arrivals)
+    return _iter_event_items(workload)
+
+
+def _iter_event_items(events: Iterable) -> Iterator[tuple[float, Hashable, str]]:
+    for item in events:
+        if len(item) == 4:
+            timestamp, cohort, ue_id, event = item
+            yield timestamp, (cohort, ue_id), event
+        else:
+            timestamp, ue_id, event = item
+            yield timestamp, ue_id, event

@@ -1,0 +1,62 @@
+"""``repro.workload`` — population-scale workload engine.
+
+The layer between generation and the MCN consumers: composable UE
+cohorts (:class:`Cohort` / :class:`UEPopulation`), time-varying load
+shapes (:mod:`repro.workload.shapes`), and a bounded-memory streaming
+merge of per-shard, per-cohort event streams into one event-time
+ordered timeline (:class:`Workload` / :func:`merge_timelines`) that
+feeds :class:`~repro.mcn.simulator.MCNSimulator` and
+:func:`~repro.mcn.autoscale.simulate_autoscaling` without materializing
+a trace::
+
+    from repro.workload import Workload, get_workload
+
+    report = Workload("stadium-flash-crowd", seed=3, num_workers=4).simulate(workers=8)
+
+Importing this package registers the built-in composite workloads
+(``city-day``, ``stadium-flash-crowd``, ``iot-firmware-storm``,
+``handover-storm``) in :data:`repro.api.registry.WORKLOADS`.
+"""
+
+from .population import Cohort, UEPopulation
+from .presets import (
+    CITY_DAY,
+    HANDOVER_STORM,
+    IOT_FIRMWARE_STORM,
+    STADIUM_FLASH_CROWD,
+)
+from .shapes import (
+    FLAT,
+    ComposedShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    FlatShape,
+    LoadShape,
+    RampShape,
+    RecoveryStormShape,
+    StepShape,
+)
+from .timeline import TimelineEvent, Workload, get_workload, merge_timelines, pace
+
+__all__ = [
+    "Cohort",
+    "UEPopulation",
+    "LoadShape",
+    "FlatShape",
+    "FLAT",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "RecoveryStormShape",
+    "RampShape",
+    "StepShape",
+    "ComposedShape",
+    "TimelineEvent",
+    "merge_timelines",
+    "pace",
+    "Workload",
+    "get_workload",
+    "CITY_DAY",
+    "STADIUM_FLASH_CROWD",
+    "IOT_FIRMWARE_STORM",
+    "HANDOVER_STORM",
+]

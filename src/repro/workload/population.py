@@ -1,0 +1,215 @@
+"""Population models: weighted UE cohorts composed into workloads.
+
+A :class:`Cohort` is one homogeneous slice of a device population — a
+:class:`~repro.api.scenario.ScenarioSpec` (who/when/which network), a UE
+count, a generator backend to synthesize its streams with, and a
+:class:`~repro.workload.shapes.LoadShape` modulating its event-time
+intensity.  A :class:`UEPopulation` composes weighted cohorts into one
+workload ("city-day": phones + tablets + connected cars, each with its
+own diurnal swing) that the streaming timeline
+(:mod:`repro.workload.timeline`) fans out through the sharded generator
+and merges into a single event-time ordered feed for the MCN consumers.
+
+Cohort names double as deterministic tie-break keys in the merged
+timeline and as UE-id prefixes in materialized traces, so they are
+restricted to slug characters and no name may be a prefix of another
+(which keeps string order of ``"{cohort}/{ue_id}"`` identical to tuple
+order of ``(cohort, ue_id)``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from ..api.scenario import ScenarioSpec, get_scenario
+from ..mcn.nf import LTE_COSTS, NR_COSTS, ServiceCostModel
+from ..statemachine.events import EventVocabulary
+from .shapes import FLAT, LoadShape
+
+__all__ = ["Cohort", "UEPopulation"]
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+#: Shape application mechanisms (see :mod:`repro.workload.shapes`).
+_SHAPE_MODES = ("warp", "thin")
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """One weighted slice of the UE population.
+
+    Attributes
+    ----------
+    name:
+        Slug identifying the cohort; used for tie-breaking in the merged
+        timeline and as the UE-id prefix in materialized traces.
+    scenario:
+        A :class:`ScenarioSpec` or a registered scenario name describing
+        the cohort's device type / technology / hour.
+    num_ues:
+        UE count of this cohort (``None`` = the scenario's own count).
+    shape:
+        Event-time intensity modulator (default: flat — no modulation).
+    shape_mode:
+        ``"warp"`` rescales interarrivals through the integrated
+        intensity (all events survive); ``"thin"`` drops events
+        probabilistically, keeping timestamps untouched.
+    backend:
+        Registered generator backend used to synthesize this cohort's
+        streams.  The default is ``smm-1`` — the cheapest backend, the
+        right tool for population-scale fan-out; use ``cpt-gpt`` where
+        per-stream fidelity matters more than volume.
+    weight:
+        Relative share used when a population is resized as a whole
+        (:meth:`UEPopulation.with_total_ues`).
+    """
+
+    name: str
+    scenario: ScenarioSpec | str
+    num_ues: int | None = None
+    shape: LoadShape = FLAT
+    shape_mode: str = "warp"
+    backend: str = "smm-1"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not _NAME_PATTERN.match(self.name):
+            raise ValueError(
+                f"cohort name {self.name!r} must match {_NAME_PATTERN.pattern}"
+            )
+        object.__setattr__(self, "scenario", get_scenario(self.scenario))
+        if self.num_ues is None:
+            object.__setattr__(self, "num_ues", self.scenario.num_ues)
+        if self.num_ues < 0:
+            raise ValueError("num_ues must be non-negative")
+        if self.shape_mode not in _SHAPE_MODES:
+            raise ValueError(
+                f"shape_mode must be one of {_SHAPE_MODES}; got {self.shape_mode!r}"
+            )
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not isinstance(self.shape, LoadShape):
+            raise TypeError(f"shape must be a LoadShape; got {type(self.shape).__name__}")
+
+    @property
+    def technology(self) -> str:
+        return self.scenario.technology
+
+    def scaled(self, factor: float) -> "Cohort":
+        """This cohort with its UE count scaled by ``factor`` (rounded)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return replace(self, num_ues=int(round(self.num_ues * factor)))
+
+
+@dataclass(frozen=True)
+class UEPopulation:
+    """A composite workload: weighted cohorts sharing one technology.
+
+    Cohorts must share a technology — their merged timeline feeds one
+    control-plane anchor whose cost model covers a single event
+    vocabulary.
+    """
+
+    name: str
+    cohorts: tuple[Cohort, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cohorts:
+            raise ValueError("a population needs at least one cohort")
+        object.__setattr__(self, "cohorts", tuple(self.cohorts))
+        names = [cohort.name for cohort in self.cohorts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cohort names must be unique; got {names}")
+        # No name may be a prefix of another: the merged timeline breaks
+        # timestamp ties by (cohort, ue_id) while materialized traces
+        # carry "{cohort}/{ue_id}" UE ids, and the prefix-free property
+        # is what makes both orders identical.
+        for first, second in zip(sorted(names), sorted(names)[1:]):
+            if second.startswith(first):
+                raise ValueError(
+                    f"cohort name {first!r} is a prefix of {second!r}; "
+                    "prefix-free names are required for deterministic merging"
+                )
+        technologies = {cohort.technology for cohort in self.cohorts}
+        if len(technologies) > 1:
+            raise ValueError(
+                f"cohorts must share one technology; got {sorted(technologies)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def technology(self) -> str:
+        return self.cohorts[0].technology
+
+    @property
+    def vocabulary(self) -> EventVocabulary:
+        return self.cohorts[0].scenario.vocabulary
+
+    @property
+    def cost_model(self) -> ServiceCostModel:
+        """The MCN cost model matching this population's technology."""
+        return LTE_COSTS if self.technology == "4G" else NR_COSTS
+
+    @property
+    def total_ues(self) -> int:
+        return sum(cohort.num_ues for cohort in self.cohorts)
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "UEPopulation":
+        """Scale every cohort's UE count by ``factor``."""
+        return replace(
+            self, cohorts=tuple(cohort.scaled(factor) for cohort in self.cohorts)
+        )
+
+    def with_total_ues(self, total: int) -> "UEPopulation":
+        """Resize to ``total`` UEs, splitting by cohort weight.
+
+        Rounding remainders go to the heaviest cohorts first, so the
+        counts always sum to exactly ``total``.
+        """
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        weights = [cohort.weight for cohort in self.cohorts]
+        scale = sum(weights)
+        exact = [total * w / scale for w in weights]
+        counts = [int(e) for e in exact]
+        by_remainder = sorted(
+            range(len(counts)), key=lambda i: exact[i] - counts[i], reverse=True
+        )
+        for i in by_remainder[: total - sum(counts)]:
+            counts[i] += 1
+        return replace(
+            self,
+            cohorts=tuple(
+                replace(cohort, num_ues=count)
+                for cohort, count in zip(self.cohorts, counts)
+            ),
+        )
+
+    def cohort(self, name: str) -> Cohort:
+        """Look up one cohort by name."""
+        for cohort in self.cohorts:
+            if cohort.name == name:
+                return cohort
+        raise KeyError(
+            f"no cohort {name!r} in population {self.name!r}; "
+            f"have {[c.name for c in self.cohorts]}"
+        )
+
+    def summary(self) -> str:
+        """One line per cohort — the CLI ``registry`` listing format."""
+        lines = [
+            f"{self.name}: {self.total_ues} UEs / {len(self.cohorts)} cohorts "
+            f"({self.technology})"
+        ]
+        for cohort in self.cohorts:
+            shape = type(cohort.shape).__name__
+            lines.append(
+                f"  {cohort.name}: {cohort.num_ues} x "
+                f"{cohort.scenario.device_type} via {cohort.backend}, "
+                f"shape {shape}/{cohort.shape_mode}"
+            )
+        return "\n".join(lines)

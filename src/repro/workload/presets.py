@@ -1,0 +1,155 @@
+"""Built-in composite workloads, registered in :data:`WORKLOADS`.
+
+Each preset is a :class:`UEPopulation` that an MCN design study can pick
+up by name (``Session.workload("stadium-flash-crowd")``, ``python -m
+repro workload city-day``) and rescale freely — the registered sizes are
+deliberately modest defaults; ``scaled()`` / ``with_total_ues()`` take
+them to population scale.
+
+* ``city-day`` — the §4.1 device mix (phones, tablets, connected cars)
+  over an evening span, each cohort warped by its device profile's own
+  diurnal curve;
+* ``stadium-flash-crowd`` — a diurnal background city plus a stadium
+  cohort whose events compress into a trapezoidal ingress → match →
+  egress surge;
+* ``iot-firmware-storm`` — a connected-device fleet rebooting after a
+  firmware push: near-silence, then a registration storm with
+  exponential relaxation, over a phone background;
+* ``handover-storm`` — a mobility burst (motorway incident, train
+  arrival): the connected-car cohort's handover-heavy traffic spikes
+  hard and briefly.
+"""
+
+from __future__ import annotations
+
+from ..api.registry import register_workload
+from ..api.scenario import ScenarioSpec
+from ..trace.device import get_profile
+from ..trace.schema import DeviceType
+from .population import Cohort, UEPopulation
+from .shapes import DiurnalShape, FlashCrowdShape, RecoveryStormShape
+
+__all__ = ["CITY_DAY", "STADIUM_FLASH_CROWD", "IOT_FIRMWARE_STORM", "HANDOVER_STORM"]
+
+_HOUR = 3600.0
+
+
+def _scenario(name: str, device_type: str, hour: int, num_ues: int,
+              duration: float = _HOUR) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name, device_type=device_type, hour=hour, num_ues=num_ues,
+        duration=duration, seed=7,
+    )
+
+
+def _diurnal(device_type: str, exponent: float = 1.0) -> DiurnalShape:
+    return DiurnalShape(profile=get_profile(device_type).diurnal, exponent=exponent)
+
+
+CITY_DAY = UEPopulation(
+    name="city-day",
+    description="evening device mix, each cohort on its own diurnal curve",
+    cohorts=(
+        Cohort(
+            name="phones",
+            scenario=_scenario("city-phones", DeviceType.PHONE, 17, 1200, 4 * _HOUR),
+            shape=_diurnal(DeviceType.PHONE),
+            weight=6.0,
+        ),
+        Cohort(
+            name="tablets",
+            scenario=_scenario("city-tablets", DeviceType.TABLET, 17, 400, 4 * _HOUR),
+            shape=_diurnal(DeviceType.TABLET),
+            weight=2.0,
+        ),
+        Cohort(
+            name="cars",
+            scenario=_scenario(
+                "city-cars", DeviceType.CONNECTED_CAR, 17, 400, 4 * _HOUR
+            ),
+            shape=_diurnal(DeviceType.CONNECTED_CAR),
+            weight=2.0,
+        ),
+    ),
+)
+
+STADIUM_FLASH_CROWD = UEPopulation(
+    name="stadium-flash-crowd",
+    description="city background + stadium cohort surging through a match window",
+    cohorts=(
+        Cohort(
+            name="background",
+            scenario=_scenario("stadium-bg", DeviceType.PHONE, 18, 800, 4 * _HOUR),
+            shape=_diurnal(DeviceType.PHONE),
+            weight=2.0,
+        ),
+        Cohort(
+            name="crowd",
+            scenario=_scenario("stadium-crowd", DeviceType.PHONE, 18, 1600, 4 * _HOUR),
+            # Gates open 30 min after the window, 30 min ingress ramp,
+            # 2 h match hold, 30 min egress.
+            shape=FlashCrowdShape(
+                start=18 * _HOUR + 1800.0,
+                ramp_seconds=1800.0,
+                hold_seconds=2 * _HOUR,
+                peak=8.0,
+            ),
+            weight=4.0,
+        ),
+    ),
+)
+
+IOT_FIRMWARE_STORM = UEPopulation(
+    name="iot-firmware-storm",
+    description="IoT fleet re-registering after a firmware push, over phone background",
+    cohorts=(
+        Cohort(
+            name="city",
+            scenario=_scenario("iot-bg", DeviceType.PHONE, 3, 300, 2 * _HOUR),
+            weight=1.0,
+        ),
+        Cohort(
+            name="fleet",
+            scenario=_scenario(
+                "iot-fleet", DeviceType.CONNECTED_CAR, 3, 1500, 2 * _HOUR
+            ),
+            # Maintenance-window push at 03:20: the fleet is near-silent
+            # until the reboot, then storms back with a 10-min tail.
+            shape=RecoveryStormShape(
+                recovery=3 * _HOUR + 1200.0, peak=25.0, decay_seconds=600.0
+            ),
+            weight=5.0,
+        ),
+    ),
+)
+
+HANDOVER_STORM = UEPopulation(
+    name="handover-storm",
+    description="mobility burst: handover-heavy car traffic spikes over background",
+    cohorts=(
+        Cohort(
+            name="ambient",
+            scenario=_scenario("ho-bg", DeviceType.PHONE, 8, 500, 2 * _HOUR),
+            weight=1.0,
+        ),
+        Cohort(
+            name="convoy",
+            scenario=_scenario(
+                "ho-convoy", DeviceType.CONNECTED_CAR, 8, 900, 2 * _HOUR
+            ),
+            # A short, sharp surge: 10-min ramps around a 20-min peak.
+            shape=FlashCrowdShape(
+                start=8 * _HOUR + 1800.0,
+                ramp_seconds=600.0,
+                hold_seconds=1200.0,
+                peak=10.0,
+            ),
+            weight=2.0,
+        ),
+    ),
+)
+
+register_workload("city-day", aliases=("city",))(CITY_DAY)
+register_workload("stadium-flash-crowd", aliases=("stadium",))(STADIUM_FLASH_CROWD)
+register_workload("iot-firmware-storm", aliases=("iot-storm",))(IOT_FIRMWARE_STORM)
+register_workload("handover-storm", aliases=("ho-storm",))(HANDOVER_STORM)

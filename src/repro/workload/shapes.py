@@ -1,0 +1,311 @@
+"""Composable time-varying load shapes.
+
+A :class:`LoadShape` is a strictly positive intensity multiplier over
+absolute event time: ``intensity(t) == 2.0`` means the shaped workload
+fires control events at twice its baseline rate around ``t``.  Shapes
+compose multiplicatively (``diurnal * flash_crowd``), mirroring the
+log-link composition of :class:`~repro.trace.diurnal.DiurnalProfile`.
+
+Two application mechanisms are provided, both deterministic:
+
+* **compression** (:meth:`LoadShape.warp`) — a time warp through the
+  inverse integrated intensity: every event survives, but interarrivals
+  shrink where the intensity is above one and stretch where it is below
+  (the classic inhomogeneous-process time change ``t = Λ⁻¹(u)``);
+* **thinning** (:meth:`LoadShape.thin`) — Lewis–Shedler thinning: event
+  times are kept as generated and each event survives with probability
+  ``intensity(t) / max_intensity``, carving the shape out of a
+  homogeneous baseline without moving any timestamp.
+
+The concrete shapes cover the MCN design-study repertoire: diurnal
+drift, stadium flash crowds (ingress/egress), outage-recovery
+registration storms, handover storms, and ramp/step profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..trace.diurnal import DiurnalProfile
+
+__all__ = [
+    "LoadShape",
+    "FlatShape",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "RecoveryStormShape",
+    "RampShape",
+    "StepShape",
+    "ComposedShape",
+    "FLAT",
+]
+
+_SECONDS_PER_HOUR = 3600.0
+
+#: Intensities are floored here so the warp integral stays invertible
+#: (a zero-intensity stretch would make Λ flat and the inverse ambiguous).
+_MIN_INTENSITY = 1e-9
+
+
+class LoadShape:
+    """Base class: a positive intensity multiplier over absolute time."""
+
+    #: Grid step (seconds) used to integrate the intensity for the warp.
+    warp_resolution: float = 30.0
+
+    def intensity(self, t: float) -> float:
+        """Rate multiplier at absolute time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def intensity_series(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`intensity`, floored to stay positive."""
+        values = np.array(
+            [self.intensity(float(t)) for t in np.asarray(times, dtype=np.float64)]
+        )
+        return np.maximum(values, _MIN_INTENSITY)
+
+    # ------------------------------------------------------------------
+    # Application mechanisms
+    # ------------------------------------------------------------------
+    def warp(self, times: np.ndarray, origin: float) -> np.ndarray:
+        """Map baseline event times to shaped times (compression).
+
+        ``times`` are event timestamps generated under flat unit
+        intensity, all ``>= origin``.  The warped time ``t`` of a
+        baseline time ``u`` solves ``∫_origin^t intensity(s) ds =
+        u - origin``, so the local event rate at ``t`` is multiplied by
+        ``intensity(t)``.  The map is monotone, hence per-stream event
+        order is preserved.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return times.copy()
+        if np.any(times < origin - 1e-9):
+            raise ValueError("warp: event times must not precede the origin")
+        target = float(times.max()) - origin
+        step = float(self.warp_resolution)
+        if step <= 0:
+            raise ValueError("warp_resolution must be positive")
+        # Grow the grid until the integrated intensity covers the last
+        # (unit-rate) event time; low intensities stretch the window.
+        # Spans are quantized to power-of-two multiples of the step so
+        # the cached table is shared across every stream of a cohort.
+        span = step
+        while span < target:
+            span *= 2.0
+        while True:
+            grid, cumulative = _warp_table(self, origin, span)
+            if cumulative[-1] >= target or span > 1e12:
+                break
+            span *= 2.0
+        return np.interp(times - origin, cumulative, grid)
+
+    def thin(
+        self, times: np.ndarray, rng: np.random.Generator, *, peak: float | None = None
+    ) -> np.ndarray:
+        """Boolean keep-mask over ``times`` (Lewis–Shedler thinning).
+
+        Each event at time ``t`` is kept with probability
+        ``intensity(t) / peak`` where ``peak`` defaults to the maximum
+        intensity over the event times, so the busiest instant keeps the
+        full baseline rate.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return np.zeros(0, dtype=bool)
+        rates = self.intensity_series(times)
+        ceiling = float(rates.max()) if peak is None else float(peak)
+        if ceiling <= 0:
+            raise ValueError("thinning peak must be positive")
+        return rng.random(times.size) < np.minimum(rates / ceiling, 1.0)
+
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "LoadShape") -> "ComposedShape":
+        if not isinstance(other, LoadShape):
+            return NotImplemented
+        return ComposedShape(shapes=(self, other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+@lru_cache(maxsize=128)
+def _warp_table(
+    shape: LoadShape, origin: float, span: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``(grid, cumulative ∫intensity)`` over ``[origin, origin+span]``.
+
+    Concrete shapes are frozen dataclasses (hashable), so every stream
+    of a cohort shares one table instead of re-integrating per stream.
+    The returned arrays are shared — callers must treat them read-only.
+    """
+    step = float(shape.warp_resolution)
+    grid = np.arange(origin, origin + span + step, step)
+    rates = shape.intensity_series(grid)
+    # Trapezoid cumulative integral of the intensity over the grid.
+    cumulative = np.concatenate(
+        ([0.0], np.cumsum(0.5 * (rates[1:] + rates[:-1]) * np.diff(grid)))
+    )
+    return grid, cumulative
+
+
+@dataclass(frozen=True)
+class FlatShape(LoadShape):
+    """Constant multiplier (the identity shape at ``level=1``)."""
+
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.level <= 0:
+            raise ValueError("level must be positive")
+
+    def intensity(self, t: float) -> float:
+        return self.level
+
+
+#: The identity shape shared by unshaped cohorts.
+FLAT = FlatShape()
+
+
+@dataclass(frozen=True)
+class DiurnalShape(LoadShape):
+    """Hour-of-day drift, reusing a :class:`DiurnalProfile`.
+
+    ``intensity(t) = profile.activity(t / 3600 mod 24) ** exponent`` —
+    the exponent lets a cohort exaggerate or soften its device profile's
+    diurnal swing without redefining the harmonics.
+    """
+
+    profile: DiurnalProfile
+    exponent: float = 1.0
+
+    def intensity(self, t: float) -> float:
+        hour = (t / _SECONDS_PER_HOUR) % 24.0
+        return float(self.profile.activity(hour)) ** self.exponent
+
+
+@dataclass(frozen=True)
+class FlashCrowdShape(LoadShape):
+    """Stadium ingress/hold/egress: a trapezoidal surge over baseline.
+
+    Intensity ramps linearly from ``baseline`` to ``peak`` over
+    ``ramp_seconds`` starting at ``start``, holds at ``peak`` for
+    ``hold_seconds`` (the event itself), then ramps back down — the
+    load profile a venue cell sees around a match.
+    """
+
+    start: float
+    ramp_seconds: float = 1800.0
+    hold_seconds: float = 3600.0
+    peak: float = 8.0
+    baseline: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ramp_seconds < 0 or self.hold_seconds < 0:
+            raise ValueError("ramp/hold durations must be non-negative")
+        if self.peak <= 0 or self.baseline <= 0:
+            raise ValueError("peak and baseline must be positive")
+
+    def intensity(self, t: float) -> float:
+        rise_end = self.start + self.ramp_seconds
+        fall_start = rise_end + self.hold_seconds
+        fall_end = fall_start + self.ramp_seconds
+        if t <= self.start or t >= fall_end:
+            return self.baseline
+        if t < rise_end:
+            frac = (t - self.start) / max(self.ramp_seconds, 1e-12)
+        elif t <= fall_start:
+            frac = 1.0
+        else:
+            frac = (fall_end - t) / max(self.ramp_seconds, 1e-12)
+        return self.baseline + (self.peak - self.baseline) * frac
+
+
+@dataclass(frozen=True)
+class RecoveryStormShape(LoadShape):
+    """Outage-recovery storm: a spike at ``recovery`` with exponential decay.
+
+    When coverage returns (or a firmware push reboots an IoT fleet),
+    every affected UE re-registers nearly at once: intensity jumps to
+    ``peak`` at ``recovery`` and relaxes back to ``baseline`` with time
+    constant ``decay_seconds``.  Before the recovery instant the cohort
+    sits at ``quiet`` (the outage itself).
+    """
+
+    recovery: float
+    peak: float = 20.0
+    decay_seconds: float = 600.0
+    baseline: float = 1.0
+    quiet: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.peak <= 0 or self.baseline <= 0 or self.quiet <= 0:
+            raise ValueError("peak, baseline and quiet must be positive")
+        if self.decay_seconds <= 0:
+            raise ValueError("decay_seconds must be positive")
+
+    def intensity(self, t: float) -> float:
+        if t < self.recovery:
+            return self.quiet
+        relax = float(np.exp(-(t - self.recovery) / self.decay_seconds))
+        return self.baseline + (self.peak - self.baseline) * relax
+
+
+@dataclass(frozen=True)
+class RampShape(LoadShape):
+    """Linear ramp from ``start_level`` to ``end_level`` over [t0, t1]."""
+
+    t0: float
+    t1: float
+    start_level: float = 1.0
+    end_level: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.t1 <= self.t0:
+            raise ValueError("t1 must be greater than t0")
+        if self.start_level <= 0 or self.end_level <= 0:
+            raise ValueError("levels must be positive")
+
+    def intensity(self, t: float) -> float:
+        if t <= self.t0:
+            return self.start_level
+        if t >= self.t1:
+            return self.end_level
+        frac = (t - self.t0) / (self.t1 - self.t0)
+        return self.start_level + (self.end_level - self.start_level) * frac
+
+
+@dataclass(frozen=True)
+class StepShape(LoadShape):
+    """Instantaneous level change at ``at`` (before → after)."""
+
+    at: float
+    before: float = 1.0
+    after: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.before <= 0 or self.after <= 0:
+            raise ValueError("levels must be positive")
+
+    def intensity(self, t: float) -> float:
+        return self.before if t < self.at else self.after
+
+
+@dataclass(frozen=True)
+class ComposedShape(LoadShape):
+    """Product of component intensities (built by ``shape_a * shape_b``)."""
+
+    shapes: tuple[LoadShape, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ValueError("ComposedShape needs at least one component")
+
+    def intensity(self, t: float) -> float:
+        value = 1.0
+        for shape in self.shapes:
+            value *= shape.intensity(t)
+        return value

@@ -1,0 +1,448 @@
+"""Streaming event-time merge: cohorts → shards → one global timeline.
+
+The timeline layer turns a :class:`~repro.workload.population.UEPopulation`
+into a single event-time ordered feed of :class:`TimelineEvent` without
+ever materializing a :class:`~repro.trace.dataset.TraceDataset`:
+
+1. each cohort's UE count splits into fixed-size generation shards
+   (``shard_ues``), each driven by an independent
+   ``SeedSequence``-derived RNG — the shard plan depends only on the
+   population and seed, **not** on ``num_workers``, so the merged
+   timeline is bit-identical whether shards are generated inline or
+   across worker processes;
+2. each shard's streams are shaped (per-cohort
+   :class:`~repro.workload.shapes.LoadShape`, warp or thin), flattened
+   into a compact columnar buffer (float64 timestamps + small integer
+   UE/event codes — roughly an order of magnitude below materialized
+   ``ControlEvent`` objects) and sorted once;
+3. a lazy k-way heap merge (:func:`merge_timelines`) interleaves the
+   per-shard sources into one globally ordered timeline.
+   :class:`TimelineEvent` tuples are decoded from the columnar buffers
+   one at a time as the merge pulls them, so beyond the compact buffers
+   the merge holds one pending event per source.
+
+A correct global merge cannot emit its first event before every shard
+has generated (any UE may own the earliest event), so peak memory is
+the compact buffers of all shards — far below a materialized
+:class:`~repro.trace.dataset.TraceDataset`, and the simulator /
+autoscaler never see more than one event at a time.
+
+Ordering is total and deterministic: events sort by ``(timestamp,
+cohort, ue_id)`` with within-stream order preserved on full ties (the
+prefix-free cohort-name rule in ``UEPopulation`` makes this identical
+to sorting a materialized trace whose UE ids are ``"{cohort}/{ue_id}"``
+— the :meth:`Workload.materialize` parity path).
+
+:func:`pace` adds open-loop rate control on top: it replays a timeline
+against a wall clock at a chosen speed-up, the way a load generator
+drives a system under test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+import zlib
+from typing import Callable, Iterable, Iterator, NamedTuple
+
+import numpy as np
+
+from ..api.registry import GENERATORS, WORKLOADS
+from ..api.protocol import TrafficGenerator
+from ..core.sharding import run_sharded, shard_counts, shard_rngs
+from ..mcn.autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
+from ..mcn.simulator import MCNSimulator, SimulationReport
+from ..trace.dataset import TraceDataset
+from ..trace.schema import ControlEvent, Stream
+from ..trace.synthetic import generate_trace
+from .population import Cohort, UEPopulation
+from .shapes import FlatShape
+
+__all__ = [
+    "TimelineEvent",
+    "merge_timelines",
+    "pace",
+    "Workload",
+    "get_workload",
+]
+
+
+class TimelineEvent(NamedTuple):
+    """One control-plane event on the merged population timeline."""
+
+    timestamp: float
+    cohort: str
+    ue_id: str
+    event: str
+
+
+#: The merge's total order: event time, then (cohort, ue_id) on ties.
+_MERGE_KEY = lambda e: (e.timestamp, e.cohort, e.ue_id)  # noqa: E731
+
+
+def merge_timelines(
+    sources: Iterable[Iterator[TimelineEvent]],
+) -> Iterator[TimelineEvent]:
+    """Lazy k-way heap merge of time-ordered event sources.
+
+    Each source must already be ordered by ``(timestamp, cohort,
+    ue_id)``; the merge holds exactly one pending event per source
+    (``heapq.merge``), so its own footprint is O(k) regardless of how
+    many events flow through.  Ties across sources resolve by source
+    order, which is deterministic because the shard plan is.
+    """
+    return heapq.merge(*sources, key=_MERGE_KEY)
+
+
+def pace(
+    events: Iterable[TimelineEvent],
+    *,
+    speed: float = 1.0,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[TimelineEvent]:
+    """Open-loop rate control: release events on a wall-clock schedule.
+
+    The first event anchors event time to the wall clock; each
+    subsequent event is released once ``(t - t0) / speed`` seconds of
+    wall time have elapsed, regardless of how fast the consumer keeps
+    up (open loop — a slow consumer sees a backlog, not a slowed
+    generator).  ``speed=60`` replays an hour of traffic in a minute;
+    ``float("inf")`` disables pacing.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    origin_event: float | None = None
+    origin_wall = 0.0
+    for event in events:
+        if origin_event is None:
+            origin_event = event.timestamp
+            origin_wall = clock()
+        elif speed != float("inf"):
+            due = origin_wall + (event.timestamp - origin_event) / speed
+            delay = due - clock()
+            if delay > 0:
+                sleep(delay)
+        yield event
+
+
+def get_workload(name: str | UEPopulation) -> UEPopulation:
+    """Resolve a workload by registry name (or pass a population through)."""
+    if isinstance(name, UEPopulation):
+        return name
+    import repro.workload.presets  # noqa: F401  (registers the built-ins)
+
+    return WORKLOADS.get(name)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class Workload:
+    """A population bound to fitted per-cohort generators.
+
+    Parameters
+    ----------
+    population:
+        A :class:`UEPopulation` or a registered workload name.
+    seed:
+        Base seed; every cohort and shard derives an independent RNG
+        from it.  The merged timeline is a pure function of
+        ``(population, seed, shard_ues)``.
+    num_workers:
+        Worker processes for shard generation.  Changes wall time only
+        — never the timeline (the shard plan is fixed by ``shard_ues``).
+    shard_ues:
+        UEs per generation shard.  Part of the workload identity: the
+        per-shard RNG split depends on it.
+    backend:
+        Overrides every cohort's generator backend when given.
+    generators:
+        Pre-fitted generators by cohort name (e.g. a Session's fitted
+        backend); missing cohorts are fitted on demand from their
+        scenario's synthesized capture.
+    """
+
+    def __init__(
+        self,
+        population: UEPopulation | str,
+        *,
+        seed: int = 0,
+        num_workers: int = 1,
+        shard_ues: int = 2048,
+        backend: str | None = None,
+        generators: dict[str, TrafficGenerator] | None = None,
+    ) -> None:
+        if shard_ues < 1:
+            raise ValueError("shard_ues must be >= 1")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.population = get_workload(population)
+        self.seed = seed
+        self.num_workers = num_workers
+        self.shard_ues = shard_ues
+        self.backend = backend
+        self._injected = dict(generators or {})
+        self._fitted: dict[str, TrafficGenerator] = {}
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    def generator(self, cohort: Cohort) -> TrafficGenerator:
+        """The fitted backend for ``cohort`` (fitting on first use).
+
+        Fitting synthesizes the cohort scenario's training capture and
+        fits the cohort's backend on it — cheap for the default
+        ``smm-1``; inject pre-fitted generators (``generators=`` /
+        :meth:`Session.workload`) to skip it.
+        """
+        if cohort.name in self._injected:
+            return self._injected[cohort.name]
+        if cohort.name not in self._fitted:
+            name = GENERATORS.canonical(self.backend or cohort.backend)
+            cls = GENERATORS.get(name)
+            capture = generate_trace(cohort.scenario.trace_config())
+            options = {}
+            if getattr(cls, "uses_tokenizer", False):
+                from ..tokenization import StreamTokenizer
+
+                options["tokenizer"] = StreamTokenizer(
+                    cohort.scenario.vocabulary
+                ).fit(capture)
+            self._fitted[cohort.name] = cls(**options).fit(capture, cohort.scenario)
+        return self._fitted[cohort.name]
+
+    # ------------------------------------------------------------------
+    # Shard plan
+    # ------------------------------------------------------------------
+    def _shard_plan(self) -> list[tuple[int, Cohort, int]]:
+        """(cohort_index, cohort, shard_index) for every generation shard."""
+        plan: list[tuple[int, Cohort, int]] = []
+        for index, cohort in enumerate(self.population.cohorts):
+            plan.extend(
+                (index, cohort, shard)
+                for shard in range(self._cohort_shards(cohort))
+            )
+        return plan
+
+    def _cohort_shards(self, cohort: Cohort) -> int:
+        return max(1, -(-cohort.num_ues // self.shard_ues))
+
+    def _shard_streams(
+        self, cohort_index: int, cohort: Cohort, shard: int
+    ) -> Iterator[tuple[str, str, np.ndarray, list[str]]]:
+        """One shard's shaped streams as ``(ue_id, device, times, events)``.
+
+        The per-shard RNG split is ``SeedSequence((seed, cohort_index))``
+        fanned out over the cohort's fixed shard count — independent of
+        ``num_workers`` by construction.
+        """
+        shards = self._cohort_shards(cohort)
+        counts = shard_counts(cohort.num_ues, shards)
+        parent = np.random.default_rng(np.random.SeedSequence((self.seed, cohort_index)))
+        rng = shard_rngs(parent, shards)[shard]
+        generator = self.generator(cohort)
+        origin = cohort.scenario.start_time
+        shape = cohort.shape
+        unshaped = isinstance(shape, FlatShape) and shape.level == 1.0
+        for stream in generator.generate(
+            counts[shard], rng, start_time=origin, stream=True
+        ):
+            times = stream.timestamps()
+            names = stream.event_names()
+            if not unshaped:
+                if cohort.shape_mode == "warp":
+                    times = shape.warp(times, origin)
+                else:
+                    # Per-stream thinning RNG keyed by (seed, UE id):
+                    # stable no matter which shard the UE lands in.
+                    key = zlib.crc32(f"{cohort.name}/{stream.ue_id}".encode())
+                    keep = shape.thin(
+                        times,
+                        np.random.default_rng(np.random.SeedSequence((self.seed, key))),
+                    )
+                    times = times[keep]
+                    names = [n for n, k in zip(names, keep) if k]
+            yield stream.ue_id, stream.device_type, times, names
+
+    def _shard_buffer(self, cohort_index: int, cohort: Cohort, shard: int):
+        """One shard as a compact columnar buffer, sorted by the merge key.
+
+        Returns ``(times, ue_codes, event_codes, ue_ids, event_names)``:
+        float64 timestamps plus integer codes into the two string
+        tables — ~13 bytes/event instead of a ``TimelineEvent`` tuple
+        each, which is what makes holding every shard's buffer during
+        the merge cheap.  The sort keys on ``(timestamp, ue_id,
+        position)`` (the cohort is constant within a shard), so a UE's
+        within-stream order survives full ties.
+        """
+        time_chunks: list[np.ndarray] = []
+        ue_chunks: list[np.ndarray] = []
+        code_chunks: list[np.ndarray] = []
+        ue_ids: list[str] = []
+        event_names: list[str] = []
+        code_of: dict[str, int] = {}
+        for ue_id, _, times, names in self._shard_streams(cohort_index, cohort, shard):
+            ue_index = len(ue_ids)
+            ue_ids.append(ue_id)
+            codes = np.empty(len(names), dtype=np.int16)
+            for i, name in enumerate(names):
+                code = code_of.get(name)
+                if code is None:
+                    code = code_of[name] = len(event_names)
+                    event_names.append(name)
+                codes[i] = code
+            time_chunks.append(np.asarray(times, dtype=np.float64))
+            ue_chunks.append(np.full(len(names), ue_index, dtype=np.int32))
+            code_chunks.append(codes)
+        if not time_chunks:
+            empty = np.empty(0)
+            return empty, empty.astype(np.int32), empty.astype(np.int16), [], []
+        times = np.concatenate(time_chunks)
+        ues = np.concatenate(ue_chunks)
+        codes = np.concatenate(code_chunks)
+        # UE codes are in generation order; ties must break by UE-id
+        # *string* order, so rank the ids lexicographically first.
+        rank = np.empty(len(ue_ids), dtype=np.int32)
+        rank[np.asarray(sorted(range(len(ue_ids)), key=ue_ids.__getitem__))] = (
+            np.arange(len(ue_ids), dtype=np.int32)
+        )
+        order = np.lexsort((np.arange(times.size), rank[ues], times))
+        return times[order], ues[order], codes[order], ue_ids, event_names
+
+    # ------------------------------------------------------------------
+    # The merged timeline
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[TimelineEvent]:
+        """The merged, globally event-time ordered population timeline.
+
+        With ``num_workers == 1`` each shard's compact buffer is built
+        lazily on first pull; with more workers, shards are generated in
+        parallel up front (forked workers, shard order preserved — the
+        columnar buffers are what travels back over the pipe).  Either
+        way ``TimelineEvent`` tuples are decoded one at a time as the
+        merge pulls them.
+        """
+        plan = self._shard_plan()
+        # Fit every cohort's generator up front: with forked workers the
+        # fitted state must exist before the fork so children inherit it
+        # copy-on-write instead of each refitting.
+        for cohort in self.population.cohorts:
+            self.generator(cohort)
+        if self.num_workers > 1 and len(plan) > 1:
+            buffers = run_sharded(
+                lambda i: self._shard_buffer(*plan[i]), len(plan), self.num_workers
+            )
+            sources = [
+                _decode(buffer, entry[1].name)
+                for entry, buffer in zip(plan, buffers)
+            ]
+        else:
+            sources = [self._lazy_shard(*entry) for entry in plan]
+        return merge_timelines(sources)
+
+    def _lazy_shard(
+        self, cohort_index: int, cohort: Cohort, shard: int
+    ) -> Iterator[TimelineEvent]:
+        yield from _decode(
+            self._shard_buffer(cohort_index, cohort, shard), cohort.name
+        )
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return self.events()
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        workers: int = 4,
+        *,
+        queue_limit: int | None = None,
+        sim_seed: int = 0,
+        cost_model=None,
+        simulator: MCNSimulator | None = None,
+        events: Iterable[TimelineEvent] | None = None,
+    ) -> SimulationReport:
+        """Stream the timeline through a control-plane anchor simulator.
+
+        ``cost_model`` defaults to the population technology's model;
+        pass a custom :class:`~repro.mcn.nf.ServiceCostModel` to study a
+        slower or faster anchor implementation.  ``events`` substitutes
+        a pre-built timeline (e.g. one ``list(engine.events())`` shared
+        with :meth:`autoscale` to pay generation once at small scale).
+        """
+        if simulator is None:
+            simulator = MCNSimulator(
+                workers=workers,
+                cost_model=(
+                    self.population.cost_model if cost_model is None else cost_model
+                ),
+                queue_limit=queue_limit,
+                seed=sim_seed,
+            )
+        return simulator.run(self.events() if events is None else events)
+
+    def autoscale(
+        self,
+        policy: AutoscalePolicy | None = None,
+        *,
+        window_seconds: float = 300.0,
+        initial_workers: int = 2,
+        cost_model=None,
+        events: Iterable[TimelineEvent] | None = None,
+    ) -> AutoscaleTrace:
+        """Stream the timeline through the autoscaling evaluation."""
+        return simulate_autoscaling(
+            self.events() if events is None else events,
+            policy if policy is not None else AutoscalePolicy(),
+            window_seconds=window_seconds,
+            cost_model=(
+                self.population.cost_model if cost_model is None else cost_model
+            ),
+            initial_workers=initial_workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Parity / small-scale escape hatch
+    # ------------------------------------------------------------------
+    def materialize(self) -> TraceDataset:
+        """The same workload as a materialized :class:`TraceDataset`.
+
+        UE ids are prefixed ``"{cohort}/{ue_id}"``; replaying this
+        dataset through :class:`MCNSimulator` visits events in exactly
+        the merged-timeline order (the parity contract the test suite
+        pins down).  Only sensible at small scale — the streaming path
+        exists so this never has to happen at population scale.
+        """
+        streams = []
+        for entry in self._shard_plan():
+            for ue_id, device, times, names in self._shard_streams(*entry):
+                cohort = entry[1]
+                streams.append(
+                    Stream(
+                        ue_id=f"{cohort.name}/{ue_id}",
+                        device_type=device,
+                        events=[
+                            ControlEvent(float(t), name)
+                            for t, name in zip(times, names)
+                        ],
+                    )
+                )
+        return TraceDataset(streams=streams, vocabulary=self.population.vocabulary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Workload {self.population.name!r} "
+            f"{self.population.total_ues} UEs seed={self.seed} "
+            f"workers={self.num_workers}>"
+        )
+
+
+def _decode(buffer, cohort: str) -> Iterator[TimelineEvent]:
+    """Decode a columnar shard buffer into events, one per pull."""
+    times, ues, codes, ue_ids, event_names = buffer
+    for i in range(times.size):
+        yield TimelineEvent(
+            float(times[i]), cohort, ue_ids[ues[i]], event_names[codes[i]]
+        )

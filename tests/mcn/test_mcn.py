@@ -115,10 +115,19 @@ class TestAutoscaler:
         policy = AutoscalePolicy(max_workers=4, max_step=100)
         assert policy.next_workers(1, offered_load=1000.0) == 4
 
-    def test_invalid_target_rejected(self):
-        policy = AutoscalePolicy(target_utilization=0.0)
+    def test_invalid_target_rejected_at_construction(self):
         with pytest.raises(ValueError):
-            policy.next_workers(1, 1.0)
+            AutoscalePolicy(target_utilization=0.0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(target_utilization=1.5)
+
+    def test_invalid_bounds_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_workers=8, max_workers=4)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(max_step=0)
 
     def test_simulation_tracks_windows(self):
         data = _burst_dataset(n_ues=10, events_per_ue=40, spacing=30.0)
@@ -135,6 +144,27 @@ class TestAutoscaler:
     def test_bad_window_rejected(self):
         with pytest.raises(ValueError):
             simulate_autoscaling(TraceDataset(), AutoscalePolicy(), window_seconds=0)
+
+    def test_out_of_order_stream_rejected(self):
+        events = [(1000.0, "u1", "SRV_REQ"), (500.0, "u2", "SRV_REQ")]
+        with pytest.raises(ValueError, match="time-ordered"):
+            simulate_autoscaling(iter(events), AutoscalePolicy())
+
+    def test_streaming_matches_dataset_path(self):
+        data = _burst_dataset(n_ues=8, events_per_ue=30, spacing=20.0)
+        events = sorted(
+            (event.timestamp, stream.ue_id, event.event)
+            for stream in data
+            for event in stream
+        )
+        from_stream = simulate_autoscaling(
+            iter(events), AutoscalePolicy(), window_seconds=120.0
+        )
+        from_dataset = simulate_autoscaling(
+            data, AutoscalePolicy(), window_seconds=120.0
+        )
+        assert from_stream.offered_load == from_dataset.offered_load
+        assert from_stream.workers == from_dataset.workers
 
 
 class TestTelemetry:

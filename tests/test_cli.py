@@ -17,7 +17,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in (
-            "synthesize", "train", "generate", "evaluate", "experiments", "registry",
+            "synthesize", "train", "generate", "evaluate", "experiments",
+            "workload", "registry",
         ):
             args = parser.parse_args([command] + _required_args(command))
             assert args.command == command
@@ -56,6 +57,7 @@ def _required_args(command: str) -> list[str]:
         "generate": ["model.npz", "out.jsonl"],
         "evaluate": ["real.jsonl", "synth.jsonl"],
         "experiments": [],
+        "workload": ["city-day"],
         "registry": [],
     }[command]
 
@@ -145,6 +147,24 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         for name in ("cpt-gpt", "smm-1", "smm-k", "netshare", "phone-5g"):
             assert name in out
+
+    def test_registry_command_lists_workloads(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads:" in out
+        for name in ("city-day", "stadium-flash-crowd", "iot-firmware-storm"):
+            assert name in out
+
+    def test_workload_command_streams_into_simulator(self, capsys):
+        code = main(
+            ["workload", "stadium", "--scale", "0.02", "--seed", "1",
+             "--autoscale", "--window", "600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stadium-flash-crowd" in out  # alias resolves to the canonical name
+        assert "simulated" in out
+        assert "autoscale over" in out
 
 
 class TestSessionFacadeEndToEnd:

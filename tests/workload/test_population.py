@@ -1,0 +1,154 @@
+"""Cohort / UEPopulation value objects and the built-in composite workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import WORKLOADS, available_workloads
+from repro.api.scenario import ScenarioSpec
+from repro.mcn import LTE_COSTS, NR_COSTS
+from repro.workload import (
+    CITY_DAY,
+    Cohort,
+    FlatShape,
+    UEPopulation,
+    get_workload,
+)
+
+
+def _spec(name: str, technology: str = "4G", num_ues: int = 50) -> ScenarioSpec:
+    return ScenarioSpec(name=name, technology=technology, num_ues=num_ues, seed=1)
+
+
+class TestCohort:
+    def test_scenario_resolved_by_name(self):
+        cohort = Cohort(name="phones", scenario="phone-evening", num_ues=10)
+        assert cohort.scenario.device_type == "phone"
+        assert cohort.technology == "4G"
+
+    def test_num_ues_defaults_to_scenario(self):
+        cohort = Cohort(name="c", scenario=_spec("s", num_ues=77))
+        assert cohort.num_ues == 77
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Cohort(name="bad name", scenario=_spec("s"))
+        with pytest.raises(ValueError):
+            Cohort(name="c", scenario=_spec("s"), num_ues=-1)
+        with pytest.raises(ValueError):
+            Cohort(name="c", scenario=_spec("s"), shape_mode="stretch")
+        with pytest.raises(ValueError):
+            Cohort(name="c", scenario=_spec("s"), weight=0.0)
+        with pytest.raises(TypeError):
+            Cohort(name="c", scenario=_spec("s"), shape="diurnal")
+
+    def test_scaled_rounds_count(self):
+        cohort = Cohort(name="c", scenario=_spec("s"), num_ues=10)
+        assert cohort.scaled(0.25).num_ues == 2
+        assert cohort.scaled(3.0).num_ues == 30
+        with pytest.raises(ValueError):
+            cohort.scaled(-1.0)
+
+
+class TestUEPopulation:
+    def test_requires_cohorts(self):
+        with pytest.raises(ValueError):
+            UEPopulation(name="empty", cohorts=())
+
+    def test_unique_names_required(self):
+        cohort = Cohort(name="same", scenario=_spec("s"), num_ues=1)
+        with pytest.raises(ValueError):
+            UEPopulation(name="dup", cohorts=(cohort, cohort))
+
+    def test_prefix_free_names_required(self):
+        with pytest.raises(ValueError) as excinfo:
+            UEPopulation(
+                name="p",
+                cohorts=(
+                    Cohort(name="city", scenario=_spec("a"), num_ues=1),
+                    Cohort(name="city2", scenario=_spec("b"), num_ues=1),
+                ),
+            )
+        assert "prefix" in str(excinfo.value)
+
+    def test_single_technology_required(self):
+        with pytest.raises(ValueError):
+            UEPopulation(
+                name="mixed",
+                cohorts=(
+                    Cohort(name="lte", scenario=_spec("a", "4G"), num_ues=1),
+                    Cohort(name="nr", scenario=_spec("b", "5G"), num_ues=1),
+                ),
+            )
+
+    def test_totals_and_cost_model(self):
+        population = UEPopulation(
+            name="p",
+            cohorts=(
+                Cohort(name="a", scenario=_spec("a"), num_ues=30),
+                Cohort(name="b", scenario=_spec("b"), num_ues=12),
+            ),
+        )
+        assert population.total_ues == 42
+        assert population.technology == "4G"
+        assert population.cost_model is LTE_COSTS
+        nr = UEPopulation(
+            name="nr",
+            cohorts=(Cohort(name="a", scenario=_spec("a", "5G"), num_ues=1),),
+        )
+        assert nr.cost_model is NR_COSTS
+
+    def test_scaled_scales_every_cohort(self):
+        scaled = CITY_DAY.scaled(0.5)
+        assert scaled.total_ues == sum(
+            round(c.num_ues * 0.5) for c in CITY_DAY.cohorts
+        )
+        # The original registered population is untouched (frozen).
+        assert CITY_DAY.total_ues == 2000
+
+    def test_with_total_ues_respects_weights_exactly(self):
+        population = UEPopulation(
+            name="p",
+            cohorts=(
+                Cohort(name="heavy", scenario=_spec("a"), num_ues=1, weight=3.0),
+                Cohort(name="light", scenario=_spec("b"), num_ues=1, weight=1.0),
+            ),
+        )
+        resized = population.with_total_ues(101)
+        counts = {c.name: c.num_ues for c in resized.cohorts}
+        assert sum(counts.values()) == 101
+        assert counts["heavy"] > counts["light"] * 2
+
+    def test_cohort_lookup(self):
+        assert CITY_DAY.cohort("phones").scenario.device_type == "phone"
+        with pytest.raises(KeyError):
+            CITY_DAY.cohort("nope")
+
+    def test_summary_mentions_every_cohort(self):
+        text = CITY_DAY.summary()
+        for cohort in CITY_DAY.cohorts:
+            assert cohort.name in text
+
+
+class TestPresets:
+    def test_builtins_registered(self):
+        for name in (
+            "city-day",
+            "stadium-flash-crowd",
+            "iot-firmware-storm",
+            "handover-storm",
+        ):
+            assert name in available_workloads()
+            assert WORKLOADS.get(name).total_ues > 0
+
+    def test_alias_lookup(self):
+        assert get_workload("stadium") is get_workload("stadium-flash-crowd")
+        assert get_workload("city").name == "city-day"
+        assert get_workload("IoT-Storm").name == "iot-firmware-storm"
+
+    def test_passthrough(self):
+        assert get_workload(CITY_DAY) is CITY_DAY
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("not-a-workload")

@@ -1,0 +1,153 @@
+"""Load-shape intensities, composition, and the warp/thin mechanisms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.device import get_profile
+from repro.workload import (
+    FLAT,
+    ComposedShape,
+    DiurnalShape,
+    FlashCrowdShape,
+    FlatShape,
+    RampShape,
+    RecoveryStormShape,
+    StepShape,
+)
+
+
+class TestIntensities:
+    def test_flat_is_identity(self):
+        assert FLAT.intensity(0.0) == 1.0
+        assert FLAT.intensity(1e9) == 1.0
+
+    def test_flat_level_validated(self):
+        with pytest.raises(ValueError):
+            FlatShape(level=0.0)
+
+    def test_diurnal_tracks_profile(self):
+        profile = get_profile("phone").diurnal
+        shape = DiurnalShape(profile=profile)
+        for hour in (0, 8, 20):
+            assert shape.intensity(hour * 3600.0) == pytest.approx(
+                profile.activity(hour)
+            )
+
+    def test_diurnal_exponent_softens_swing(self):
+        profile = get_profile("phone").diurnal
+        full = DiurnalShape(profile=profile)
+        soft = DiurnalShape(profile=profile, exponent=0.5)
+        peak = 20 * 3600.0
+        assert 1.0 < soft.intensity(peak) < full.intensity(peak)
+
+    def test_flash_crowd_trapezoid(self):
+        shape = FlashCrowdShape(
+            start=1000.0, ramp_seconds=100.0, hold_seconds=200.0, peak=5.0
+        )
+        assert shape.intensity(999.0) == 1.0  # before
+        assert shape.intensity(1050.0) == pytest.approx(3.0)  # mid-ingress
+        assert shape.intensity(1150.0) == 5.0  # hold
+        assert shape.intensity(1350.0) == pytest.approx(3.0)  # mid-egress
+        assert shape.intensity(1401.0) == 1.0  # after
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdShape(start=0.0, peak=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdShape(start=0.0, ramp_seconds=-1.0)
+
+    def test_recovery_storm_profile(self):
+        shape = RecoveryStormShape(
+            recovery=500.0, peak=20.0, decay_seconds=100.0, quiet=0.05
+        )
+        assert shape.intensity(100.0) == 0.05  # outage
+        assert shape.intensity(500.0) == pytest.approx(20.0)  # spike
+        relaxed = shape.intensity(500.0 + 500.0)  # five time constants later
+        assert 1.0 < relaxed < 1.2
+
+    def test_ramp_and_step(self):
+        ramp = RampShape(t0=0.0, t1=100.0, start_level=1.0, end_level=3.0)
+        assert ramp.intensity(-5.0) == 1.0
+        assert ramp.intensity(50.0) == pytest.approx(2.0)
+        assert ramp.intensity(200.0) == 3.0
+        step = StepShape(at=10.0, before=1.0, after=4.0)
+        assert step.intensity(9.9) == 1.0
+        assert step.intensity(10.0) == 4.0
+        with pytest.raises(ValueError):
+            RampShape(t0=5.0, t1=5.0)
+        with pytest.raises(ValueError):
+            StepShape(at=0.0, before=0.0)
+
+    def test_multiplicative_composition(self):
+        shape = StepShape(at=50.0, before=1.0, after=2.0) * FlatShape(level=3.0)
+        assert isinstance(shape, ComposedShape)
+        assert shape.intensity(0.0) == pytest.approx(3.0)
+        assert shape.intensity(100.0) == pytest.approx(6.0)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedShape(shapes=())
+
+
+class TestWarp:
+    def test_flat_warp_is_identity(self):
+        times = np.array([0.0, 10.0, 33.5, 100.0])
+        np.testing.assert_allclose(FLAT.warp(times, origin=0.0), times, atol=1e-9)
+
+    def test_warp_preserves_order_and_origin(self):
+        shape = FlashCrowdShape(start=100.0, ramp_seconds=50.0, hold_seconds=100.0,
+                                peak=6.0)
+        times = np.linspace(0.0, 1000.0, 200)
+        warped = shape.warp(times, origin=0.0)
+        assert np.all(np.diff(warped) >= 0)
+        assert warped[0] == pytest.approx(0.0, abs=1.0)
+
+    def test_warp_compresses_where_intensity_high(self):
+        # Constant doubling halves every interarrival exactly.
+        shape = FlatShape(level=2.0)
+        times = np.array([0.0, 100.0, 200.0, 300.0])
+        warped = shape.warp(times, origin=0.0)
+        np.testing.assert_allclose(np.diff(warped), 50.0, rtol=1e-6)
+
+    def test_warp_stretches_where_intensity_low(self):
+        shape = FlatShape(level=0.25)
+        times = np.array([0.0, 100.0])
+        warped = shape.warp(times, origin=0.0)
+        assert warped[-1] == pytest.approx(400.0, rel=1e-6)
+
+    def test_warp_rejects_times_before_origin(self):
+        with pytest.raises(ValueError):
+            FLAT.warp(np.array([-5.0, 1.0]), origin=0.0)
+
+    def test_warp_empty(self):
+        assert FLAT.warp(np.empty(0), origin=0.0).size == 0
+
+
+class TestThin:
+    def test_flat_thinning_keeps_everything(self):
+        rng = np.random.default_rng(0)
+        keep = FLAT.thin(np.linspace(0, 100, 500), rng)
+        assert keep.all()
+
+    def test_thinning_tracks_intensity_ratio(self):
+        shape = StepShape(at=500.0, before=1.0, after=4.0)
+        times = np.concatenate(
+            [np.linspace(0, 499, 4000), np.linspace(500, 999, 4000)]
+        )
+        keep = shape.thin(times, np.random.default_rng(7))
+        low = keep[:4000].mean()
+        high = keep[4000:].mean()
+        assert high == pytest.approx(1.0, abs=0.01)
+        assert low == pytest.approx(0.25, abs=0.05)
+
+    def test_thinning_deterministic_given_rng(self):
+        shape = StepShape(at=50.0, before=1.0, after=3.0)
+        times = np.linspace(0, 100, 200)
+        a = shape.thin(times, np.random.default_rng(3))
+        b = shape.thin(times, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_thinning_empty(self):
+        assert FLAT.thin(np.empty(0), np.random.default_rng(0)).size == 0

@@ -1,0 +1,278 @@
+"""Event-time merge correctness, parity, determinism, memory, pacing."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api.scenario import ScenarioSpec
+from repro.mcn import MCNSimulator, AutoscalePolicy, simulate_autoscaling
+from repro.workload import (
+    Cohort,
+    FlashCrowdShape,
+    StepShape,
+    TimelineEvent,
+    UEPopulation,
+    Workload,
+    merge_timelines,
+    pace,
+)
+
+_KEY = lambda e: (e.timestamp, e.cohort, e.ue_id)  # noqa: E731
+
+
+def _population() -> UEPopulation:
+    return UEPopulation(
+        name="tiny",
+        cohorts=(
+            Cohort(
+                name="base",
+                scenario=ScenarioSpec(name="base-spec", num_ues=40, seed=1),
+                num_ues=14,
+            ),
+            Cohort(
+                name="surge",
+                scenario=ScenarioSpec(name="surge-spec", num_ues=40, seed=2),
+                num_ues=10,
+                shape=FlashCrowdShape(
+                    start=20 * 3600.0 + 600.0,
+                    ramp_seconds=300.0,
+                    hold_seconds=600.0,
+                    peak=6.0,
+                ),
+            ),
+            Cohort(
+                name="drip",
+                scenario=ScenarioSpec(name="drip-spec", num_ues=40, seed=3),
+                num_ues=6,
+                shape=StepShape(at=20 * 3600.0 + 1800.0, before=1.0, after=0.3),
+                shape_mode="thin",
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload() -> Workload:
+    """One fitted engine shared by the module (generators fit once)."""
+    return Workload(_population(), seed=5)
+
+
+class TestMerge:
+    def test_globally_ordered(self, workload):
+        events = list(workload.events())
+        assert events
+        assert events == sorted(events, key=_KEY)
+
+    def test_ties_broken_by_cohort_then_ue(self):
+        a = [
+            TimelineEvent(1.0, "a", "u2", "SRV_REQ"),
+            TimelineEvent(3.0, "a", "u1", "SRV_REQ"),
+        ]
+        b = [
+            TimelineEvent(1.0, "b", "u1", "ATCH"),
+            TimelineEvent(1.0, "b", "u3", "ATCH"),
+        ]
+        c = [TimelineEvent(1.0, "a", "u9", "TAU")]
+        merged = list(merge_timelines([iter(a), iter(b), iter(c)]))
+        assert merged == sorted(a + b + c, key=_KEY)
+        # (cohort, ue_id) decides the 1.0 tie, regardless of source order.
+        assert [e.ue_id for e in merged[:4]] == ["u2", "u9", "u1", "u3"]
+
+    def test_same_ue_tie_preserves_stream_order(self):
+        source = [
+            TimelineEvent(5.0, "a", "u1", "SRV_REQ"),
+            TimelineEvent(5.0, "a", "u1", "S1_CONN_REL"),
+        ]
+        merged = list(merge_timelines([iter(source)]))
+        assert [e.event for e in merged] == ["SRV_REQ", "S1_CONN_REL"]
+
+    def test_matches_materialize_then_sort(self, workload):
+        """The streaming merge equals flattening + one global sort."""
+        streamed = list(workload.events())
+        dataset = workload.materialize()
+        flattened = [
+            (event.timestamp, stream.ue_id, event.event)
+            for stream in dataset
+            for event in stream
+        ]
+        flattened.sort(key=lambda item: (item[0], item[1]))
+        assert len(streamed) == len(flattened)
+        for got, want in zip(streamed, flattened):
+            assert got.timestamp == want[0]
+            assert f"{got.cohort}/{got.ue_id}" == want[1]
+            assert got.event == want[2]
+
+    def test_bounded_memory_under_large_fan_in(self):
+        """The merge holds at most one pending event per source."""
+        num_sources, per_source = 64, 250
+        produced = [0]
+
+        def source(index: int):
+            for step in range(per_source):
+                produced[0] += 1
+                yield TimelineEvent(
+                    float(step * num_sources + index), f"c{index:03d}", "u", "TAU"
+                )
+
+        merged = merge_timelines([source(i) for i in range(num_sources)])
+        consumed = 0
+        for _ in merged:
+            consumed += 1
+            assert produced[0] - consumed <= num_sources + 1
+        assert consumed == num_sources * per_source
+
+
+class TestDeterminism:
+    def test_identical_across_num_workers(self, workload):
+        inline = list(workload.events())
+        sharded = list(Workload(_population(), seed=5, num_workers=3).events())
+        assert inline == sharded
+
+    def test_seed_changes_timeline(self, workload):
+        other = list(Workload(_population(), seed=6).events())
+        assert other != list(workload.events())
+
+    def test_repeated_runs_identical(self, workload):
+        assert list(workload.events()) == list(workload.events())
+
+    def test_shard_plan_part_of_identity(self, workload):
+        finer = Workload(_population(), seed=5, shard_ues=4)
+        events = list(finer.events())
+        # Still a valid ordered timeline, same total UE population size…
+        assert events == sorted(events, key=_KEY)
+        # …but a different RNG fan-out, hence a different timeline.
+        assert events != list(workload.events())
+
+
+class TestConsumers:
+    def test_simulator_parity_with_materialized_path(self, workload):
+        streaming = MCNSimulator(workers=4, seed=0).run(workload.events())
+        materialized = MCNSimulator(workers=4, seed=0).run(workload.materialize())
+        assert streaming.num_events == materialized.num_events
+        assert streaming.duration_seconds == materialized.duration_seconds
+        assert streaming.utilization == materialized.utilization
+        assert (
+            streaming.peak_connected_contexts
+            == materialized.peak_connected_contexts
+        )
+        assert set(streaming.latencies_ms) == set(materialized.latencies_ms)
+        for event, values in streaming.latencies_ms.items():
+            np.testing.assert_array_equal(values, materialized.latencies_ms[event])
+
+    def test_autoscale_parity_with_materialized_path(self, workload):
+        policy = AutoscalePolicy(target_utilization=0.5, max_step=2)
+        streaming = simulate_autoscaling(
+            workload.events(), policy, window_seconds=600.0
+        )
+        materialized = simulate_autoscaling(
+            workload.materialize(), policy, window_seconds=600.0
+        )
+        assert streaming.offered_load == materialized.offered_load
+        assert streaming.workers == materialized.workers
+        assert streaming.utilization == materialized.utilization
+
+    def test_engine_shortcuts(self, workload):
+        report = workload.simulate(workers=4)
+        assert report.num_events == sum(1 for _ in workload.events())
+        trace = workload.autoscale(window_seconds=600.0)
+        assert len(trace.workers) > 0
+
+    def test_simulator_accepts_plain_triples(self):
+        events = [(0.0, "u1", "SRV_REQ"), (1.0, "u1", "S1_CONN_REL")]
+        report = MCNSimulator(workers=1, seed=0).run(iter(events))
+        assert report.num_events == 2
+        assert report.peak_connected_contexts == 1
+
+
+class TestEngine:
+    def test_name_resolution_and_validation(self):
+        engine = Workload("stadium-flash-crowd")
+        assert engine.population.name == "stadium-flash-crowd"
+        with pytest.raises(ValueError):
+            Workload(_population(), shard_ues=0)
+        with pytest.raises(ValueError):
+            Workload(_population(), num_workers=0)
+
+    def test_zero_ue_cohort_contributes_nothing(self):
+        population = UEPopulation(
+            name="sparse",
+            cohorts=(
+                Cohort(
+                    name="live",
+                    scenario=ScenarioSpec(name="live-spec", num_ues=30, seed=4),
+                    num_ues=5,
+                ),
+                Cohort(
+                    name="ghost",
+                    scenario=ScenarioSpec(name="ghost-spec", num_ues=30, seed=5),
+                    num_ues=0,
+                ),
+            ),
+        )
+        events = list(Workload(population, seed=1).events())
+        assert events
+        assert all(e.cohort == "live" for e in events)
+
+    def test_materialize_carries_vocabulary(self, workload):
+        dataset = workload.materialize()
+        assert dataset.vocabulary is workload.population.vocabulary
+        dataset.validate()
+
+    def test_injected_generators_are_used(self):
+        from repro import Session
+
+        session = Session("phone-evening").synthesize().fit("smm-1")
+        population = UEPopulation(
+            name="injected",
+            cohorts=(
+                Cohort(name="only", scenario="phone-evening", num_ues=4),
+            ),
+        )
+        engine = session.workload(population, seed=2)
+        assert engine.generator(population.cohorts[0]) is session.generator()
+        assert sum(1 for _ in engine.events()) > 0
+
+
+class TestPace:
+    def test_open_loop_schedule(self):
+        events = [
+            TimelineEvent(0.0, "a", "u", "TAU"),
+            TimelineEvent(10.0, "a", "u", "TAU"),
+            TimelineEvent(30.0, "a", "u", "TAU"),
+        ]
+        now = [100.0]
+        sleeps: list[float] = []
+
+        def clock() -> float:
+            return now[0]
+
+        def sleep(delay: float) -> None:
+            sleeps.append(delay)
+            now[0] += delay
+
+        paced = list(pace(events, speed=10.0, clock=clock, sleep=sleep))
+        assert paced == events
+        assert sleeps == pytest.approx([1.0, 2.0])
+
+    def test_infinite_speed_never_sleeps(self):
+        events = [TimelineEvent(float(t), "a", "u", "TAU") for t in range(5)]
+        paced = list(
+            pace(events, speed=float("inf"), sleep=lambda _: pytest.fail("slept"))
+        )
+        assert len(paced) == 5
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            list(pace([], speed=0.0))
+
+    def test_lazy(self):
+        def endless():
+            for t in itertools.count():
+                yield TimelineEvent(float(t), "a", "u", "TAU")
+
+        # An infinite source works because pacing is a generator.
+        paced = pace(endless(), speed=float("inf"))
+        assert next(iter(paced)).timestamp == 0.0
