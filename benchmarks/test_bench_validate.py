@@ -1,0 +1,108 @@
+"""Validation-layer benchmarks: conformance oracle vs legacy replay.
+
+The headline number (tracked in BENCH_validate.json) is events/sec
+through :meth:`TransitionOracle.validate_buffer` on a columnar shard
+buffer — the streaming fidelity gate's hot path — against the legacy
+one-machine-per-stream :func:`~repro.statemachine.replay.replay_dataset`
+on the same traffic.  A second pair benches the materialized-dataset
+path (:meth:`TransitionOracle.replay_dataset`), whose floor is the
+per-event Python attribute access of the object model.
+
+The traffic deliberately mixes clean streams with corrupted ones so the
+violation-tally paths are exercised, and every bench asserts parity
+with the legacy engine's rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.statemachine import LTE_SPEC
+from repro.statemachine.replay import replay_dataset
+from repro.trace import SyntheticTraceConfig, generate_trace
+from repro.validate import TransitionOracle
+
+from conftest import run_once
+
+#: ~2000 UEs / ~100k events: big enough to measure line rate, small
+#: enough that the legacy baseline stays benchable in CI.
+NUM_UES = 2000
+
+
+@pytest.fixture(scope="module")
+def violating_trace():
+    """A phone trace with ~1 in 7 streams corrupted by random events."""
+    trace = generate_trace(
+        SyntheticTraceConfig(num_ues=NUM_UES, device_type="phone", hour=20, seed=5)
+    )
+    rng = np.random.default_rng(1)
+    names = list(trace.vocabulary)
+    for stream in trace.streams[::7]:
+        count = max(1, len(stream.events) // 10)
+        for index in rng.integers(0, len(stream.events), size=count):
+            event = stream.events[int(index)]
+            stream.events[int(index)] = type(event)(
+                event.timestamp, names[int(rng.integers(len(names)))]
+            )
+    return trace
+
+
+@pytest.fixture(scope="module")
+def legacy_tally(violating_trace):
+    replay = replay_dataset(violating_trace.replay_pairs(), LTE_SPEC)
+    return replay
+
+
+@pytest.fixture(scope="module")
+def shard_buffer(violating_trace):
+    """The trace flattened to one columnar shard buffer (times, ues, codes)."""
+    names = list(violating_trace.vocabulary)
+    local = {name: code for code, name in enumerate(names)}
+    lengths = np.array([len(s) for s in violating_trace.streams])
+    total = int(lengths.sum())
+    ue_codes = np.repeat(np.arange(lengths.size), lengths)
+    event_codes = np.fromiter(
+        (local[e.event] for s in violating_trace for e in s.events),
+        dtype=np.int16,
+        count=total,
+    )
+    times = np.fromiter(
+        (e.timestamp for s in violating_trace for e in s.events),
+        dtype=np.float64,
+        count=total,
+    )
+    return times, ue_codes, event_codes, names, lengths.size
+
+
+def test_bench_oracle_buffer(benchmark, shard_buffer, legacy_tally):
+    """Headline: vectorized oracle on a columnar shard buffer."""
+    times, ues, codes, names, num_ues = shard_buffer
+    oracle = TransitionOracle.for_spec(LTE_SPEC)
+
+    tally = run_once(
+        benchmark,
+        lambda: oracle.validate_buffer(times, ues, codes, names, num_ues=num_ues),
+    )
+    assert tally.counted_events == legacy_tally.counted_events
+    assert tally.violating_events == legacy_tally.violating_events
+    assert tally.event_violation_rate == legacy_tally.event_violation_rate
+
+
+def test_bench_oracle_dataset(benchmark, violating_trace, legacy_tally):
+    """Oracle over the materialized object-model dataset."""
+    oracle = TransitionOracle.for_spec(LTE_SPEC)
+
+    tally = run_once(benchmark, lambda: oracle.replay_dataset(violating_trace))
+    assert tally.event_violation_rate == legacy_tally.event_violation_rate
+    assert tally.stream_violation_rate == legacy_tally.stream_violation_rate
+    assert oracle.top_patterns(tally, 100) == legacy_tally.top_violation_patterns(100)
+
+
+def test_bench_legacy_replay(benchmark, violating_trace, legacy_tally):
+    """The deprecated per-event Python replay (the 1x baseline)."""
+    replay = run_once(
+        benchmark,
+        lambda: replay_dataset(violating_trace.replay_pairs(), LTE_SPEC),
+    )
+    assert replay.violating_events == legacy_tally.violating_events

@@ -56,9 +56,10 @@ from .api import (
     register_scenario,
     register_workload,
 )
+from .validate import FidelityScorecard, GateThresholds, run_gate
 from .workload import Cohort, UEPopulation, Workload, get_workload
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     # facade (re-exported from repro.api)
@@ -79,6 +80,10 @@ __all__ = [
     "UEPopulation",
     "Workload",
     "get_workload",
+    # fidelity gate (re-exported from repro.validate)
+    "FidelityScorecard",
+    "GateThresholds",
+    "run_gate",
     # subpackages
     "api",
     "nn",
@@ -90,5 +95,6 @@ __all__ = [
     "metrics",
     "mcn",
     "workload",
+    "validate",
     "experiments",
 ]

@@ -332,6 +332,28 @@ class Session:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def _resolve_synthesized(
+        self, synthesized: TraceDataset | None, generator: str | None
+    ) -> TraceDataset:
+        """The population :meth:`evaluate` / :meth:`validate` score.
+
+        ``synthesized`` passes through when given; otherwise the most
+        recently generated population (or the named backend's most
+        recent, generating one at the scenario's default size if none
+        exists yet).
+        """
+        if synthesized is not None:
+            return synthesized
+        if generator is None and self._last_generated is not None:
+            key = self._last_generated
+        else:
+            name = self._resolve(generator)
+            key = self._last_by_name.get(name)
+            if key is None:
+                self.generate(generator=name)
+                key = self._last_by_name[name]
+        return self._generated[key]
+
     def evaluate(
         self,
         synthesized: TraceDataset | None = None,
@@ -345,22 +367,77 @@ class Session:
         that backend (generating one at the scenario's default size if
         none exists yet).
         """
-        if synthesized is None:
-            if generator is None and self._last_generated is not None:
-                key = self._last_generated
-            else:
-                name = self._resolve(generator)
-                key = self._last_by_name.get(name)
-                if key is None:
-                    self.generate(generator=name)
-                    key = self._last_by_name[name]
-            synthesized = self._generated[key]
+        synthesized = self._resolve_synthesized(synthesized, generator)
         return fidelity_report(
             self.test_dataset,
             synthesized,
             self.scenario.machine_spec,
             dominant_events=self.scenario.dominant_events,
         )
+
+    def validate(
+        self,
+        synthesized: TraceDataset | None = None,
+        *,
+        generator: str | None = None,
+        thresholds=None,
+        memorization: bool = True,
+        seed: int = 0,
+        num_resamples: int = 200,
+        report_path: str | Path | None = None,
+    ):
+        """Fidelity gate on a generated population: a threshold scorecard.
+
+        Resolves ``synthesized`` exactly like :meth:`evaluate`, then
+        runs the vectorized conformance oracle, compares inter-arrival
+        and flow-length sketches against the held-out capture (JSD +
+        bootstrap-CI KS), and — unless ``memorization=False`` — the
+        §5.6 n-gram repeat check against the *training* capture.
+        Returns a
+        :class:`~repro.validate.scorecard.FidelityScorecard`; pass
+        ``report_path`` to also write the JSON report.
+        """
+        from ..metrics.memorization import ngram_repeat_fraction
+        from ..validate.oracle import OracleValidator
+        from ..validate.scorecard import build_scorecard
+        from ..validate.stats import TrafficSketch
+
+        synthesized = self._resolve_synthesized(synthesized, generator)
+        conformance = OracleValidator(self.scenario.machine_spec)
+        conformance.observe_dataset(synthesized, cohort=self.scenario.name)
+        sketch = TrafficSketch.from_dataset(synthesized, seed=seed)
+        reference = TrafficSketch.from_dataset(self.test_dataset, seed=seed + 1)
+        repeat_fraction = None
+        memo_params = None
+        if memorization:
+            from ..validate.gate import MEMO_EPSILON, MEMO_MAX_NGRAMS, MEMO_N
+
+            memo_params = {
+                "n": MEMO_N,
+                "epsilon": MEMO_EPSILON,
+                "max_ngrams": MEMO_MAX_NGRAMS,
+            }
+            repeat_fraction = ngram_repeat_fraction(
+                self.dataset,
+                synthesized,
+                n=memo_params["n"],
+                epsilon=memo_params["epsilon"],
+                max_ngrams=memo_params["max_ngrams"],
+                seed=seed,
+            )
+        scorecard = build_scorecard(
+            conformance=conformance.report(),
+            sketch=sketch,
+            reference=reference,
+            thresholds=thresholds,
+            memorization=repeat_fraction,
+            memorization_params=memo_params,
+            rng=np.random.default_rng(seed + 2),
+            num_resamples=num_resamples,
+        )
+        if report_path is not None:
+            scorecard.to_json(report_path)
+        return scorecard
 
     # ------------------------------------------------------------------
     # Persistence

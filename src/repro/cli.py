@@ -12,6 +12,7 @@ Commands
 ``evaluate``      fidelity report of a synthesized trace vs a real one
 ``experiments``   run the paper's tables/figures at a chosen scale
 ``workload``      stream a composite workload into the MCN simulator
+``fidelity-gate`` threshold-checked acceptance gate (the CI quality gate)
 ``registry``      list registered generators, scenarios and workloads
 """
 
@@ -115,6 +116,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also drive the target-utilization autoscaler")
     p.add_argument("--window", type=float, default=300.0,
                    help="autoscaling window in seconds")
+
+    p = sub.add_parser(
+        "fidelity-gate",
+        help="statistical acceptance gate on generated traffic (CI quality gate)",
+    )
+    p.add_argument("source", nargs="?", default="phone-evening",
+                   help="registered scenario or workload name")
+    p.add_argument("--backend", default=None,
+                   help="generator backend to synthesize with (default: "
+                        "smm-1 for scenarios; each cohort's own backend "
+                        "for workloads)")
+    p.add_argument("--count", type=int, default=None,
+                   help="streams to generate (scenario sources only)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="population scale factor (workload sources only)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", default=None,
+                   help="write the scorecard JSON to this path")
+    p.add_argument("--skip-memorization", action="store_true",
+                   help="skip the n-gram memorization check")
+    p.add_argument("--resamples", type=int, default=200,
+                   help="bootstrap resamples for the KS confidence intervals")
+    p.add_argument("--max-event-violations", type=float, default=None,
+                   help="override the event-violation-rate ceiling")
+    p.add_argument("--max-stream-violations", type=float, default=None,
+                   help="override the stream-violation-rate ceiling")
+    p.add_argument("--max-jsd", type=float, default=None,
+                   help="override both JSD ceilings")
+    p.add_argument("--max-ks", type=float, default=None,
+                   help="override both KS ceilings")
+    p.add_argument("--max-memorization", type=float, default=None,
+                   help="override the memorization repeat-fraction ceiling")
 
     sub.add_parser(
         "registry", help="list registered generators, scenarios and workloads"
@@ -266,6 +299,44 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_fidelity_gate(args) -> int:
+    from dataclasses import replace
+
+    from .validate import GateThresholds, run_gate
+
+    thresholds = GateThresholds()
+    overrides = {}
+    if args.max_event_violations is not None:
+        overrides["max_event_violation_rate"] = args.max_event_violations
+    if args.max_stream_violations is not None:
+        overrides["max_stream_violation_rate"] = args.max_stream_violations
+    if args.max_jsd is not None:
+        overrides["max_interarrival_jsd"] = args.max_jsd
+        overrides["max_flow_length_jsd"] = args.max_jsd
+    if args.max_ks is not None:
+        overrides["max_interarrival_ks"] = args.max_ks
+        overrides["max_flow_length_ks"] = args.max_ks
+    if args.max_memorization is not None:
+        overrides["max_memorization"] = args.max_memorization
+    if overrides:
+        thresholds = replace(thresholds, **overrides)
+    scorecard = run_gate(
+        args.source,
+        backend=args.backend,
+        count=args.count,
+        scale=args.scale,
+        seed=args.seed,
+        thresholds=thresholds,
+        memorization=not args.skip_memorization,
+        num_resamples=args.resamples,
+        report_path=args.report,
+    )
+    print(scorecard.summary())
+    if args.report:
+        print(f"scorecard written to {args.report}")
+    return 0 if scorecard.passed else 1
+
+
 def _cmd_registry(args) -> int:
     from . import workload as _workload  # noqa: F401  (registers built-ins)
     from .api import WORKLOADS
@@ -300,6 +371,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
     "workload": _cmd_workload,
+    "fidelity-gate": _cmd_fidelity_gate,
     "registry": _cmd_registry,
 }
 

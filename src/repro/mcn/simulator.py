@@ -95,15 +95,26 @@ class MCNSimulator:
     queue_limit: int | None = None
     seed: int = 0
 
-    def run(self, workload: TraceDataset | Iterable) -> SimulationReport:
+    def run(
+        self, workload: TraceDataset | Iterable, *, tee=None
+    ) -> SimulationReport:
         """Replay every event of ``workload`` through the queue.
 
         ``workload`` is a :class:`TraceDataset` (sorted here) or an
         iterable of time-ordered events (consumed lazily: constant
         memory beyond the per-event latency records in the report).
+
+        ``tee`` is an optional validating tap: a callable (or an object
+        with ``observe_event``, e.g.
+        :class:`~repro.validate.oracle.OracleValidator`) invoked as
+        ``tee(timestamp, ue_key, event)`` for every *offered* arrival —
+        before queue-limit drops, so conformance is judged on the
+        traffic the generator produced, not on what survived the queue.
         """
         if self.workers < 1:
             raise ValueError("need at least one worker")
+        if tee is not None and not callable(tee):
+            tee = tee.observe_event
         rng = np.random.default_rng(self.seed)
 
         # Worker pool as a heap of next-free times (seconds), plus a heap
@@ -122,6 +133,8 @@ class MCNSimulator:
         last_timestamp = 0.0
 
         for timestamp, ue_key, event in _arrivals(workload):
+            if tee is not None:
+                tee(timestamp, ue_key, event)
             if first_timestamp is None:
                 first_timestamp = timestamp
                 free_at = [timestamp] * self.workers

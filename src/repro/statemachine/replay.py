@@ -25,11 +25,16 @@ from .base import MachineSpec, StateMachine
 __all__ = ["ViolationRecord", "StreamReplay", "DatasetReplay", "replay_events", "replay_dataset"]
 
 #: Sub-state families reported by the paper: both numbered release
-#: sub-states collapse to the ``S1_REL_S`` label of Table 3.
-_SUB_STATE_FAMILIES = {
+#: sub-states collapse to the ``S1_REL_S`` label of Table 3.  Shared
+#: with the vectorized oracle (:mod:`repro.validate.oracle`) so both
+#: replay paths label violations identically.
+SUB_STATE_FAMILIES = {
     "S1_REL_S_1": "S1_REL_S",
     "S1_REL_S_2": "S1_REL_S",
 }
+
+#: Backwards-compatible private alias.
+_SUB_STATE_FAMILIES = SUB_STATE_FAMILIES
 
 
 @dataclass(frozen=True)
@@ -124,7 +129,9 @@ class DatasetReplay:
         """The ``k`` most frequent (state label, event) violation pairs.
 
         Returns pairs with their share of *counted events*, matching
-        Table 3's percentages.
+        Table 3's percentages.  Ties order deterministically by
+        (count desc, label, event) — the same normalization the
+        vectorized oracle uses, so both paths report identical tables.
         """
         counter: Counter[tuple[str, str]] = Counter()
         for stream in self.streams:
@@ -133,7 +140,8 @@ class DatasetReplay:
         total = self.counted_events
         if total == 0:
             return []
-        return [(pattern, count / total) for pattern, count in counter.most_common(k)]
+        ordered = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        return [(pattern, count / total) for pattern, count in ordered[:k]]
 
     # ------------------------------------------------------------------
     # Sojourn statistics (Figure 2, Table 6)

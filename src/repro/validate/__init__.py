@@ -1,0 +1,113 @@
+"""``repro.validate`` — streaming fidelity validation and the CI gate.
+
+The acceptance layer between generation and consumption: constant-memory
+checkers that tee the workload timeline (or any dataset) through a
+line-rate conformance oracle and statistical sketches, aggregate the
+outcomes into a threshold-driven :class:`FidelityScorecard`, and expose
+the whole flow as ``Session.validate()``, ``Workload.run(validators=)``
+and the ``repro fidelity-gate`` CLI command.
+
+Modules
+-------
+* :mod:`~repro.validate.oracle` — :class:`TransitionOracle` compiles the
+  LTE/NR :class:`~repro.statemachine.base.MachineSpec` into dense
+  transition-lookup tables and validates event batches vectorized
+  (byte-identical rates to the legacy
+  :class:`~repro.statemachine.replay.DatasetReplay` path, ≥10x faster —
+  see ``BENCH_validate.json``); :class:`OracleValidator` is the
+  streaming wrapper.
+* :mod:`~repro.validate.stats` — :class:`QuantizedHistogram`,
+  :class:`ReservoirSample` and :class:`TrafficSketch`: bounded-memory
+  inter-arrival / flow-length sketches with JSD, binned KS, and exact
+  reservoir KS with bootstrap CIs (reusing
+  :mod:`repro.metrics.bootstrap`).
+* :mod:`~repro.validate.scorecard` — :class:`GateThresholds`,
+  :class:`CheckResult`, :class:`FidelityScorecard` and
+  :func:`build_scorecard`.
+* :mod:`~repro.validate.gate` — :func:`run_gate`, the one-call CI entry
+  point over registered scenarios and composite workloads.
+
+Scorecard JSON schema (``repro/fidelity-scorecard/v1``)
+-------------------------------------------------------
+``FidelityScorecard.to_json()`` emits::
+
+    {
+      "schema": "repro/fidelity-scorecard/v1",
+      "passed": true,                      // AND of every check
+      "generated": {"streams": 500, "events": 12345},
+      "checks": [                          // one entry per threshold check
+        {
+          "name": "event_violation_rate", // see below for the check names
+          "value": 0.0012,                // observed value (lower = better)
+          "threshold": 0.05,              // the GateThresholds ceiling
+          "passed": true,
+          "detail": "3/2500 events"       // free-form context ("" if none)
+        },
+        ...
+      ],
+      "violations": {                      // ConformanceReport.as_dict()
+        "machine": "4G",
+        "event_rate": 0.0012, "stream_rate": 0.01,
+        "counted_events": 2500, "violating_events": 3,
+        "total_events": 2600, "streams": 500,
+        "violating_streams": 5, "bootstrapped_streams": 498,
+        "top_patterns": [[["S1_REL_S", "HO"], 0.0008], ...],
+        "per_cohort": {"phones": {"event_rate": ..., "stream_rate": ...,
+                                   "counted_events": ..., "violating_events": ...,
+                                   "streams": ...}, ...}
+      },
+      "distances": {                       // per metric, vs the reference
+        "interarrival": {"jsd": 0.04, "ks": 0.08,
+                          "ks_ci": [0.06, 0.11], "ks_confidence": 0.95},
+        "flow_length":  {...}              // ks_ci absent when no bootstrap ran
+      },
+      "memorization": {                    // null when the check did not run
+        "n": 10, "epsilon": 0.2, "max_ngrams": 2000,
+        "repeat_fraction": 0.31
+      }
+    }
+
+Check names: ``event_violation_rate``, ``stream_violation_rate``,
+``interarrival_jsd``, ``interarrival_ks``, ``flow_length_jsd``,
+``flow_length_ks``, and (when the memorization check runs)
+``memorization_repeat_fraction``.  Every check is an upper bound; the
+gate passes iff every ``value <= threshold``.
+"""
+
+from .gate import run_gate
+from .oracle import (
+    ConformanceReport,
+    ConformanceTally,
+    OracleValidator,
+    TransitionOracle,
+)
+from .scorecard import (
+    CheckResult,
+    FidelityScorecard,
+    GateThresholds,
+    build_scorecard,
+)
+from .stats import (
+    DistanceResult,
+    QuantizedHistogram,
+    ReservoirSample,
+    StatsValidator,
+    TrafficSketch,
+)
+
+__all__ = [
+    "TransitionOracle",
+    "ConformanceTally",
+    "ConformanceReport",
+    "OracleValidator",
+    "QuantizedHistogram",
+    "ReservoirSample",
+    "DistanceResult",
+    "TrafficSketch",
+    "StatsValidator",
+    "GateThresholds",
+    "CheckResult",
+    "FidelityScorecard",
+    "build_scorecard",
+    "run_gate",
+]

@@ -1,0 +1,170 @@
+"""The fidelity gate: one call from a named source to a pass/fail verdict.
+
+:func:`run_gate` is what CI runs (``repro fidelity-gate``): resolve a
+registered scenario or composite workload, synthesize a population with
+the chosen backend, stream it through the conformance oracle and the
+statistical sketches, compare against a reference capture, and return a
+threshold-checked :class:`~repro.validate.scorecard.FidelityScorecard`.
+
+Two source kinds share the surface:
+
+* **scenario** ("phone-evening", ...) — a :class:`~repro.api.Session`
+  synthesizes train/held-out captures, fits the backend, generates a
+  population and validates it against the held-out capture, including
+  the §5.6 memorization check against the *training* capture;
+* **workload** ("city-day", "stadium-flash-crowd", ...) — the streaming
+  :class:`~repro.workload.Workload` engine runs with validating tees at
+  shard granularity (never materializing the timeline); the reference
+  pools each cohort scenario's held-out capture.  The memorization
+  check is scenario-only (it needs the generator's own training set)
+  and is recorded as ``null``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..workload.population import UEPopulation
+from .oracle import OracleValidator
+from .scorecard import FidelityScorecard, GateThresholds, build_scorecard
+from .stats import StatsValidator, TrafficSketch
+
+__all__ = ["run_gate"]
+
+#: Memorization check configuration (§5.6's mid row, capped for CI);
+#: shared with :meth:`repro.api.session.Session.validate`.
+MEMO_N = 10
+MEMO_EPSILON = 0.2
+MEMO_MAX_NGRAMS = 2000
+
+
+def run_gate(
+    source: str | UEPopulation = "phone-evening",
+    *,
+    backend: str | None = None,
+    count: int | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    thresholds: GateThresholds | None = None,
+    memorization: bool = True,
+    num_resamples: int = 200,
+    report_path: str | Path | None = None,
+) -> FidelityScorecard:
+    """Run the fidelity gate on a registered scenario or workload.
+
+    Parameters
+    ----------
+    source:
+        A scenario name, a workload name, or a :class:`UEPopulation`.
+        Names are tried against the scenario registry first, then the
+        workload registry.
+    backend:
+        Generator backend synthesizing the population.  ``None`` means
+        ``smm-1`` in scenario mode and, in workload mode, each cohort's
+        own configured backend (matching the ``workload`` CLI command);
+        an explicit name overrides every cohort.
+    count:
+        Streams to generate in scenario mode (default: the scenario's
+        UE count).  Ignored in workload mode — use ``scale``.
+    scale:
+        Workload-mode population scale factor.
+    thresholds:
+        Pass/fail ceilings (default: :class:`GateThresholds`).
+    memorization:
+        Run the n-gram memorization check (scenario mode only).
+    report_path:
+        When given, the scorecard JSON is written there.
+    """
+    from ..api.registry import SCENARIOS
+    from ..workload import get_workload
+
+    if isinstance(source, UEPopulation) or (
+        isinstance(source, str) and source not in SCENARIOS
+    ):
+        scorecard = _workload_gate(
+            get_workload(source),
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            thresholds=thresholds,
+            num_resamples=num_resamples,
+        )
+    else:
+        scorecard = _scenario_gate(
+            source,
+            backend=backend,
+            count=count,
+            seed=seed,
+            thresholds=thresholds,
+            memorization=memorization,
+            num_resamples=num_resamples,
+        )
+    if report_path is not None:
+        scorecard.to_json(report_path)
+    return scorecard
+
+
+def _scenario_gate(
+    scenario: str,
+    *,
+    backend: str | None,
+    count: int | None,
+    seed: int,
+    thresholds: GateThresholds | None,
+    memorization: bool,
+    num_resamples: int,
+) -> FidelityScorecard:
+    from ..api.session import Session
+
+    session = Session(scenario).synthesize().fit(backend or "smm-1")
+    session.generate(count, seed=seed + 1)
+    return session.validate(
+        thresholds=thresholds,
+        memorization=memorization,
+        seed=seed,
+        num_resamples=num_resamples,
+    )
+
+
+def _workload_gate(
+    population: UEPopulation,
+    *,
+    backend: str | None,
+    scale: float,
+    seed: int,
+    thresholds: GateThresholds | None,
+    num_resamples: int,
+) -> FidelityScorecard:
+    from ..api.session import _TEST_SEED_OFFSET
+    from ..trace.synthetic import generate_trace
+    from ..workload import Workload
+
+    if scale != 1.0:
+        population = population.scaled(scale)
+    spec = population.cohorts[0].scenario.machine_spec
+    engine = Workload(population, seed=seed, backend=backend)
+    conformance = OracleValidator(spec)
+    stats = StatsValidator(seed=seed)
+    engine.run(validators=(conformance, stats))
+
+    # Reference: pool every cohort scenario's held-out capture (a
+    # different-seed synthesis of the same scenario, the train/test
+    # convention of Session).
+    reference = TrafficSketch(seed=seed + 1)
+    for cohort in population.cohorts:
+        reference.observe_dataset(
+            generate_trace(
+                cohort.scenario.trace_config(seed_offset=_TEST_SEED_OFFSET)
+            )
+        )
+    return build_scorecard(
+        conformance=conformance.report(),
+        sketch=stats.report(),
+        reference=reference,
+        thresholds=thresholds,
+        memorization=None,
+        rng=np.random.default_rng(seed + 2),
+        num_resamples=num_resamples,
+    )

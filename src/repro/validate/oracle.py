@@ -1,0 +1,571 @@
+"""Line-rate conformance oracle: vectorized 3GPP state-machine replay.
+
+:class:`~repro.statemachine.replay.DatasetReplay` steps one Python
+``StateMachine`` per stream — exact, but far too slow to validate the
+population-scale timelines :mod:`repro.workload` streams out.  This
+module compiles a :class:`~repro.statemachine.base.MachineSpec` into a
+dense integer transition-lookup table and replays whole batches of
+streams as numpy index operations, position by position across every
+active stream at once: total work is ``sum(len(stream))`` table lookups
+regardless of batch size.
+
+Semantics are *byte-identical* to the legacy replay path (pinned by the
+parity tests in ``tests/validate``):
+
+* the machine starts undetermined and bootstraps on the first event
+  with a deterministic destination; pre-bootstrap events are excluded
+  from violation accounting,
+* a violating event leaves the state unchanged and is tallied under the
+  paper's ``(state label, event)`` convention (release sub-states
+  collapse to their family label),
+* an unknown event raises ``KeyError`` once the machine has started and
+  is silently skipped before bootstrap — exactly the legacy behavior.
+
+Two consumption modes share the compiled table:
+
+* **batch** — :meth:`TransitionOracle.validate_buffer` validates the
+  compact columnar shard buffers of
+  :class:`~repro.workload.timeline.Workload` (and
+  :meth:`TransitionOracle.replay_dataset` a materialized
+  :class:`~repro.trace.dataset.TraceDataset`) fully vectorized;
+* **streaming** — :meth:`OracleValidator.observe_event` steps one event
+  at a time with O(#live UEs) state, the tee mode
+  :class:`~repro.mcn.simulator.MCNSimulator` accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..statemachine.base import MachineSpec
+from ..statemachine.replay import SUB_STATE_FAMILIES
+from ..trace.dataset import TraceDataset
+
+__all__ = ["TransitionOracle", "ConformanceTally", "ConformanceReport", "OracleValidator"]
+
+#: Table sentinel: the (state, event) pair is not a legal transition.
+_VIOLATION = -1
+#: Table sentinel: the event is outside the machine's vocabulary while
+#: the machine is live (legacy ``StateMachine.step`` raises KeyError).
+_UNKNOWN = -2
+
+#: Compiled oracles keyed by spec identity (MachineSpec holds dicts and
+#: is unhashable; each cached oracle keeps its spec alive, so ids stay
+#: valid).  FIFO-bounded so dynamically built specs cannot pin an
+#: unbounded number of compiled tables.
+_CACHE: dict[int, "TransitionOracle"] = {}
+_CACHE_MAX = 16
+
+
+@dataclass
+class ConformanceTally:
+    """Mergeable violation counters for a batch of replayed streams.
+
+    ``pattern_counts`` is a dense ``(num_states, num_events)`` int64
+    matrix of per-(state, event) violation tallies in the owning
+    oracle's encoding; :meth:`TransitionOracle.top_patterns` folds it to
+    the paper's label convention.
+    """
+
+    counted_events: int = 0
+    violating_events: int = 0
+    total_events: int = 0
+    streams: int = 0
+    violating_streams: int = 0
+    bootstrapped_streams: int = 0
+    pattern_counts: np.ndarray = field(default_factory=lambda: np.zeros((0, 0), np.int64))
+
+    @property
+    def event_violation_rate(self) -> float:
+        """Fraction of counted (post-bootstrap) events that violate."""
+        if self.counted_events == 0:
+            return 0.0
+        return self.violating_events / self.counted_events
+
+    @property
+    def stream_violation_rate(self) -> float:
+        """Fraction of streams with at least one violating event."""
+        if self.streams == 0:
+            return 0.0
+        return self.violating_streams / self.streams
+
+    def merge(self, other: "ConformanceTally") -> "ConformanceTally":
+        """This tally plus ``other`` (new object; inputs untouched)."""
+        patterns = self.pattern_counts
+        if patterns.size == 0:
+            patterns = other.pattern_counts
+        elif other.pattern_counts.size:
+            patterns = patterns + other.pattern_counts
+        return ConformanceTally(
+            counted_events=self.counted_events + other.counted_events,
+            violating_events=self.violating_events + other.violating_events,
+            total_events=self.total_events + other.total_events,
+            streams=self.streams + other.streams,
+            violating_streams=self.violating_streams + other.violating_streams,
+            bootstrapped_streams=self.bootstrapped_streams + other.bootstrapped_streams,
+            pattern_counts=patterns,
+        )
+
+
+class TransitionOracle:
+    """A :class:`MachineSpec` compiled to a dense transition-lookup table.
+
+    States are all ``(top, sub)`` pairs plus one pseudo-state for the
+    undetermined (pre-bootstrap) machine; events are vocabulary indices
+    plus one sentinel column for out-of-vocabulary names.  ``table[s, e]``
+    is the landing state code, :data:`_VIOLATION` or :data:`_UNKNOWN`.
+    """
+
+    def __init__(self, spec: MachineSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        states = [
+            (top, sub) for top in spec.top_states for sub in spec.sub_states[top]
+        ]
+        self.states: tuple[tuple[str, str], ...] = tuple(states)
+        self.num_states = len(states)
+        self.unboot = self.num_states
+        self._state_of = {state: code for code, state in enumerate(states)}
+        vocabulary = spec.vocabulary
+        self.num_events = len(vocabulary)
+        self.event_names = tuple(vocabulary)
+        self._code_of = {name: code for code, name in enumerate(vocabulary)}
+        #: Reporting label per state code (sub-state family or top state).
+        self.state_labels = tuple(
+            SUB_STATE_FAMILIES.get(sub, top) for top, sub in states
+        )
+
+        table = np.full((self.num_states + 1, self.num_events + 1), _VIOLATION, np.int32)
+        table[:, self.num_events] = _UNKNOWN
+        for code, (top, sub) in enumerate(states):
+            for event_code, event in enumerate(vocabulary):
+                target = spec.transitions.get((top, event))
+                if target is None:
+                    continue
+                new_top, new_sub = target
+                landing = new_sub.get(sub) if isinstance(new_sub, dict) else new_sub
+                if landing is None:
+                    continue
+                table[code, event_code] = self._state_of[(new_top, landing)]
+        # Undetermined machine: bootstrap events enter their destination,
+        # everything else (unknown names included) is skipped uncounted.
+        table[self.unboot, :] = self.unboot
+        for event, destination in spec.bootstrap_events.items():
+            table[self.unboot, self._code_of[event]] = self._state_of[destination]
+        self.table = table
+
+    @classmethod
+    def for_spec(cls, spec: MachineSpec) -> "TransitionOracle":
+        """The compiled oracle for ``spec`` (cached per spec object)."""
+        oracle = _CACHE.get(id(spec))
+        if oracle is None or oracle.spec is not spec:
+            oracle = cls(spec)
+            if len(_CACHE) >= _CACHE_MAX:
+                _CACHE.pop(next(iter(_CACHE)))
+            _CACHE[id(spec)] = oracle
+        return oracle
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_events(self, names: Iterable[str]) -> np.ndarray:
+        """Vocabulary codes for ``names`` (unknown → the sentinel code)."""
+        code_of = self._code_of
+        unknown = self.num_events
+        names = list(names)
+        return np.fromiter(
+            (code_of.get(name, unknown) for name in names),
+            dtype=np.int32,
+            count=len(names),
+        )
+
+    def empty_tally(self) -> ConformanceTally:
+        return ConformanceTally(
+            pattern_counts=np.zeros((self.num_states, self.num_events), np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Batch validation
+    # ------------------------------------------------------------------
+    def _validate_padded(
+        self, padded: np.ndarray, lengths_desc: np.ndarray, total_events: int
+    ) -> ConformanceTally:
+        """Replay a padded code matrix whose rows are sorted longest-first.
+
+        At position ``p`` only the first ``k`` rows (streams longer than
+        ``p``) are touched, so the work is exactly ``total_events`` table
+        lookups spread over ``max_len`` vectorized steps.
+        """
+        tally = self.empty_tally()
+        num_streams = padded.shape[0]
+        tally.streams = num_streams
+        tally.total_events = total_events
+        if num_streams == 0 or padded.shape[1] == 0:
+            return tally
+        ascending = lengths_desc[::-1]
+        state = np.full(num_streams, self.unboot, dtype=np.int32)
+        violated = np.zeros(num_streams, dtype=bool)
+        counted = 0
+        violating = 0
+        table = self.table
+        for position in range(padded.shape[1]):
+            active = num_streams - int(
+                np.searchsorted(ascending, position, side="right")
+            )
+            if active == 0:
+                break
+            events = padded[:active, position]
+            current = state[:active]
+            landing = table[current, events]
+            live = current != self.unboot
+            if landing.min() == _UNKNOWN:
+                # Only live rows can land on _UNKNOWN (the undetermined
+                # row maps the sentinel column to itself), so this is
+                # always the legacy step()-after-bootstrap KeyError.
+                # Callers holding the name table re-raise with names.
+                raise KeyError(
+                    f"out-of-vocabulary event for machine {self.spec.name}"
+                )
+            counted += int(np.count_nonzero(live))
+            violations = landing == _VIOLATION
+            if violations.any():
+                violating += int(np.count_nonzero(violations))
+                np.add.at(
+                    tally.pattern_counts,
+                    (current[violations], events[violations]),
+                    1,
+                )
+                violated[:active] |= violations
+                landing = np.where(violations, current, landing)
+            state[:active] = landing
+        tally.counted_events = counted
+        tally.violating_events = violating
+        tally.violating_streams = int(np.count_nonzero(violated))
+        tally.bootstrapped_streams = int(np.count_nonzero(state != self.unboot))
+        return tally
+
+    def _validate_grouped(
+        self, codes: np.ndarray, lengths: np.ndarray
+    ) -> ConformanceTally:
+        """Replay flat event codes grouped contiguously per stream.
+
+        ``codes`` holds every stream's events back to back (stream ``i``
+        occupies ``lengths[:i].sum() : lengths[:i+1].sum()``); the pad
+        into the longest-first matrix is a single vectorized scatter.
+        """
+        num_streams = int(lengths.size)
+        if num_streams == 0:
+            return self.empty_tally()
+        total = int(codes.size)
+        max_len = int(lengths.max()) if total else 0
+        if max_len == 0:
+            tally = self.empty_tally()
+            tally.streams = num_streams
+            return tally
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        stream_of = np.repeat(np.arange(num_streams), lengths)
+        positions = np.arange(total) - starts[stream_of]
+        desc = np.argsort(-lengths, kind="stable")
+        rank = np.empty(num_streams, dtype=np.int64)
+        rank[desc] = np.arange(num_streams)
+        padded = np.zeros((num_streams, max_len), dtype=np.int32)
+        padded[rank[stream_of], positions] = codes
+        return self._validate_padded(padded, lengths[desc], total_events=total)
+
+    def validate_codes(self, sequences: Sequence[np.ndarray]) -> ConformanceTally:
+        """Replay per-stream event-code arrays (see :meth:`encode_events`)."""
+        if not len(sequences):
+            return self.empty_tally()
+        lengths = np.fromiter(
+            (len(seq) for seq in sequences), dtype=np.int64, count=len(sequences)
+        )
+        codes = (
+            np.concatenate([np.asarray(seq, dtype=np.int32) for seq in sequences])
+            if lengths.sum()
+            else np.empty(0, dtype=np.int32)
+        )
+        return self._validate_grouped(codes, lengths)
+
+    def validate_buffer(
+        self,
+        times: np.ndarray,
+        ue_codes: np.ndarray,
+        event_codes: np.ndarray,
+        event_names: Sequence[str],
+        num_ues: int | None = None,
+    ) -> ConformanceTally:
+        """Validate one columnar shard buffer, fully vectorized.
+
+        ``event_codes`` index the shard-local ``event_names`` table and
+        ``ue_codes`` the shard's UE table; rows may be interleaved across
+        UEs but must be time-ordered within each UE (the shard buffers of
+        :class:`~repro.workload.timeline.Workload` are, by construction —
+        timestamps are not re-checked here).  No per-event Python runs:
+        the only string work is the tiny shard-local event-name table.
+        """
+        ues = np.asarray(ue_codes, dtype=np.int64)
+        if num_ues is None:
+            num_ues = int(ues.max()) + 1 if ues.size else 0
+        if num_ues == 0:
+            return self.empty_tally()
+        lookup = self.encode_events(event_names)
+        events = lookup[np.asarray(event_codes, dtype=np.int64)]
+        lengths = np.bincount(ues, minlength=num_ues)
+        order = np.argsort(ues, kind="stable")  # groups by UE, keeps time order
+        try:
+            return self._validate_grouped(events[order], lengths)
+        except KeyError:
+            raise self._unknown_event_error(event_names) from None
+
+    def replay_dataset(
+        self, dataset: TraceDataset, *, check_times: bool = True
+    ) -> ConformanceTally:
+        """Replay a materialized dataset (the :func:`violation_stats` path).
+
+        ``check_times`` preserves the legacy contract that out-of-order
+        timestamps are a data bug (``ValueError``), not a violation.
+        The per-stream object model is flattened once (one list
+        comprehension per stream) and everything after that is
+        vectorized.
+        """
+        lengths = np.fromiter(
+            (len(stream) for stream in dataset), dtype=np.int64, count=len(dataset)
+        )
+        names: list[str] = []
+        for stream in dataset:
+            names.extend([event.event for event in stream.events])
+        codes = self.encode_events(names)
+        if check_times and codes.size:
+            flat_times = np.fromiter(
+                (
+                    event.timestamp
+                    for stream in dataset
+                    for event in stream.events
+                ),
+                dtype=np.float64,
+                count=codes.size,
+            )
+            decreasing = np.nonzero(np.diff(flat_times) < 0)[0] + 1
+            if decreasing.size:
+                is_start = np.zeros(codes.size, dtype=bool)
+                starts = np.cumsum(lengths[:-1])
+                is_start[starts[starts < codes.size]] = True
+                if not np.all(is_start[decreasing]):
+                    offender = int(decreasing[~is_start[decreasing]][0])
+                    stream_index = int(
+                        np.searchsorted(np.cumsum(lengths), offender, side="right")
+                    )
+                    raise ValueError(
+                        f"timestamps must be non-decreasing in stream "
+                        f"{dataset[stream_index].ue_id}"
+                    )
+        try:
+            return self._validate_grouped(codes, lengths)
+        except KeyError:
+            raise self._unknown_event_error(names) from None
+
+    def _unknown_event_error(self, names: Iterable[str]) -> KeyError:
+        """The legacy-style KeyError naming the out-of-vocabulary events."""
+        unknown = sorted({name for name in names if name not in self._code_of})
+        return KeyError(
+            f"unknown event(s) {unknown} for machine {self.spec.name}"
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def top_patterns(
+        self, tally: ConformanceTally, k: int = 3
+    ) -> list[tuple[tuple[str, str], float]]:
+        """The ``k`` most frequent (state label, event) violation pairs.
+
+        Shares are relative to counted events (Table 3's percentages);
+        ties order deterministically by (count desc, label, event) —
+        matching the legacy path's normalization.
+        """
+        if tally.counted_events == 0 or tally.pattern_counts.size == 0:
+            return []
+        folded: dict[tuple[str, str], int] = {}
+        rows, cols = np.nonzero(tally.pattern_counts)
+        for row, col in zip(rows, cols):
+            pattern = (self.state_labels[row], self.event_names[col])
+            folded[pattern] = folded.get(pattern, 0) + int(
+                tally.pattern_counts[row, col]
+            )
+        ordered = sorted(folded.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            (pattern, count / tally.counted_events)
+            for pattern, count in ordered[:k]
+        ]
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Aggregated conformance outcome of a validated run.
+
+    ``per_cohort`` maps cohort names to their own
+    :class:`ConformanceTally`; the scalar fields summarize the overall
+    tally in :class:`~repro.metrics.violations.ViolationStats` terms.
+    """
+
+    machine: str
+    event_rate: float
+    stream_rate: float
+    counted_events: int
+    violating_events: int
+    total_events: int
+    streams: int
+    violating_streams: int
+    bootstrapped_streams: int
+    top_patterns: tuple[tuple[tuple[str, str], float], ...]
+    per_cohort: dict[str, ConformanceTally]
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view (the scorecard's ``violations`` block)."""
+        return {
+            "machine": self.machine,
+            "event_rate": self.event_rate,
+            "stream_rate": self.stream_rate,
+            "counted_events": self.counted_events,
+            "violating_events": self.violating_events,
+            "total_events": self.total_events,
+            "streams": self.streams,
+            "violating_streams": self.violating_streams,
+            "bootstrapped_streams": self.bootstrapped_streams,
+            "top_patterns": [
+                [list(pattern), share] for pattern, share in self.top_patterns
+            ],
+            "per_cohort": {
+                name: {
+                    "event_rate": tally.event_violation_rate,
+                    "stream_rate": tally.stream_violation_rate,
+                    "counted_events": tally.counted_events,
+                    "violating_events": tally.violating_events,
+                    "streams": tally.streams,
+                }
+                for name, tally in sorted(self.per_cohort.items())
+            },
+        }
+
+
+class OracleValidator:
+    """Constant-memory streaming conformance checker.
+
+    Plugs into :meth:`repro.workload.timeline.Workload.run` (vectorized
+    shard-buffer mode via :meth:`observe_buffer`) and into
+    :meth:`repro.mcn.simulator.MCNSimulator.run` as an event tee
+    (:meth:`observe_event`, O(#live UEs) state).  Both modes accumulate
+    into the same tallies; :meth:`report` summarizes.
+    """
+
+    name = "conformance"
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.oracle = TransitionOracle.for_spec(spec)
+        self._total = self.oracle.empty_tally()
+        self._per_cohort: dict[str, ConformanceTally] = {}
+        # Per-event tee state.
+        self._tee_states: dict = {}
+        self._tee_violated: set = set()
+        self._tee_counted = 0
+        self._tee_violating = 0
+        self._tee_total = 0
+        self._tee_patterns = np.zeros(
+            (self.oracle.num_states, self.oracle.num_events), np.int64
+        )
+        self._table_rows = self.oracle.table.tolist()
+
+    # ------------------------------------------------------------------
+    def observe_buffer(
+        self, times, ue_codes, event_codes, ue_ids, event_names, *, cohort: str
+    ) -> None:
+        """Validate one columnar shard buffer (the :class:`Workload` tee)."""
+        tally = self.oracle.validate_buffer(
+            times, ue_codes, event_codes, event_names, num_ues=len(ue_ids)
+        )
+        self._total = self._total.merge(tally)
+        previous = self._per_cohort.get(cohort)
+        self._per_cohort[cohort] = (
+            tally if previous is None else previous.merge(tally)
+        )
+
+    def observe_dataset(self, dataset: TraceDataset, *, cohort: str = "") -> None:
+        """Validate a materialized dataset into this validator's tallies."""
+        tally = self.oracle.replay_dataset(dataset)
+        self._total = self._total.merge(tally)
+        if cohort:
+            previous = self._per_cohort.get(cohort)
+            self._per_cohort[cohort] = (
+                tally if previous is None else previous.merge(tally)
+            )
+
+    def observe_event(self, timestamp: float, ue_key, event: str) -> None:
+        """Step one event for ``ue_key`` (the :class:`MCNSimulator` tee).
+
+        Every distinct ``ue_key`` counts as one stream; state is one int
+        per live UE.
+        """
+        code = self.oracle._code_of.get(event)
+        state = self._tee_states.get(ue_key, self.oracle.unboot)
+        self._tee_total += 1
+        if code is None:
+            if state == self.oracle.unboot:
+                # Pre-bootstrap unknown events are skipped, but the UE
+                # still counts as a stream (batch-path parity).
+                self._tee_states[ue_key] = state
+                return
+            raise KeyError(
+                f"unknown event {event!r} for machine {self.oracle.spec.name}"
+            )
+        landing = self._table_rows[state][code]
+        if state != self.oracle.unboot:
+            self._tee_counted += 1
+            if landing == _VIOLATION:
+                self._tee_violating += 1
+                self._tee_patterns[state, code] += 1
+                self._tee_violated.add(ue_key)
+                landing = state
+        self._tee_states[ue_key] = landing
+
+    def __call__(self, timestamp: float, ue_key, event: str) -> None:
+        self.observe_event(timestamp, ue_key, event)
+
+    # ------------------------------------------------------------------
+    @property
+    def tally(self) -> ConformanceTally:
+        """The combined tally across both consumption modes."""
+        tee = ConformanceTally(
+            counted_events=self._tee_counted,
+            violating_events=self._tee_violating,
+            total_events=self._tee_total,
+            streams=len(self._tee_states),
+            violating_streams=len(self._tee_violated),
+            bootstrapped_streams=sum(
+                1 for state in self._tee_states.values()
+                if state != self.oracle.unboot
+            ),
+            pattern_counts=self._tee_patterns,
+        )
+        return self._total.merge(tee)
+
+    def report(self, top_k: int = 3) -> ConformanceReport:
+        tally = self.tally
+        return ConformanceReport(
+            machine=self.oracle.spec.name,
+            event_rate=tally.event_violation_rate,
+            stream_rate=tally.stream_violation_rate,
+            counted_events=tally.counted_events,
+            violating_events=tally.violating_events,
+            total_events=tally.total_events,
+            streams=tally.streams,
+            violating_streams=tally.violating_streams,
+            bootstrapped_streams=tally.bootstrapped_streams,
+            top_patterns=tuple(self.oracle.top_patterns(tally, top_k)),
+            per_cohort={
+                name: replace(tally_)
+                for name, tally_ in self._per_cohort.items()
+            },
+        )

@@ -1,0 +1,232 @@
+"""Threshold-driven fidelity scorecard: the gate's pass/fail artifact.
+
+A :class:`FidelityScorecard` aggregates the three acceptance surfaces
+the paper evaluates — semantic violations (Tables 3/5), distributional
+distances (Tables 6-10) and the memorization check (§5.6 / Table 11) —
+into named threshold checks with one overall verdict and a JSON report
+(schema documented in :mod:`repro.validate`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from .oracle import ConformanceReport
+from .stats import DistanceResult, TrafficSketch
+
+__all__ = ["GateThresholds", "CheckResult", "FidelityScorecard", "build_scorecard"]
+
+#: Scorecard JSON schema identifier (bump on breaking layout changes).
+SCHEMA = "repro/fidelity-scorecard/v1"
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Pass/fail ceilings, all "lower is better" (fractions in [0, 1]).
+
+    The defaults are deliberately loose acceptance bounds — they catch a
+    broken generator (wrong machine, collapsed distributions, verbatim
+    memorization), not a few points of distributional drift; tighten
+    them per deployment via the CLI flags or ``replace()``.
+    """
+
+    max_event_violation_rate: float = 0.05
+    max_stream_violation_rate: float = 0.60
+    max_interarrival_jsd: float = 0.25
+    max_flow_length_jsd: float = 0.25
+    max_interarrival_ks: float = 0.45
+    max_flow_length_ks: float = 0.45
+    max_memorization: float = 0.60
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{spec.name} must be in [0, 1]; got {value}")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One named threshold check of the scorecard."""
+
+    name: str
+    value: float
+    threshold: float
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FidelityScorecard:
+    """Aggregated fidelity verdict of one validated population."""
+
+    checks: tuple[CheckResult, ...]
+    violations: dict
+    distances: dict
+    memorization: dict | None
+    generated: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def check(self, name: str) -> CheckResult:
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(f"no check {name!r}; have {[c.name for c in self.checks]}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "passed": self.passed,
+            "generated": dict(self.generated),
+            "checks": [asdict(check) for check in self.checks],
+            "violations": dict(self.violations),
+            "distances": dict(self.distances),
+            "memorization": (
+                dict(self.memorization) if self.memorization is not None else None
+            ),
+        }
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        payload = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(payload + "\n")
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FidelityScorecard":
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported scorecard schema {payload.get('schema')!r}; "
+                f"expected {SCHEMA!r}"
+            )
+        return cls(
+            checks=tuple(CheckResult(**check) for check in payload["checks"]),
+            violations=payload["violations"],
+            distances=payload["distances"],
+            memorization=payload.get("memorization"),
+            generated=payload.get("generated", {}),
+        )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FidelityScorecard":
+        """Load a scorecard from a JSON report file.
+
+        Raises ``FileNotFoundError`` for missing paths; to parse an
+        in-memory JSON string, use ``from_dict(json.loads(text))``.
+        """
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable verdict table (the CLI's output)."""
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"fidelity gate: {verdict}"]
+        if self.generated:
+            lines.append(
+                f"  population: {self.generated.get('streams', '?')} streams / "
+                f"{self.generated.get('events', '?')} events"
+            )
+        for check in self.checks:
+            mark = "ok " if check.passed else "FAIL"
+            line = (
+                f"  [{mark}] {check.name:28s} {check.value:8.4f} "
+                f"<= {check.threshold:.4f}"
+            )
+            if check.detail:
+                line += f"  ({check.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def build_scorecard(
+    *,
+    conformance: ConformanceReport,
+    sketch: TrafficSketch,
+    reference: TrafficSketch,
+    thresholds: GateThresholds | None = None,
+    memorization: float | None = None,
+    memorization_params: dict | None = None,
+    rng: np.random.Generator | None = None,
+    num_resamples: int = 200,
+) -> FidelityScorecard:
+    """Assemble the scorecard from a validated run's raw outcomes.
+
+    ``conformance`` comes from an :class:`~repro.validate.oracle.
+    OracleValidator`, ``sketch``/``reference`` from
+    :class:`~repro.validate.stats.TrafficSketch`; ``memorization`` is an
+    n-gram repeat fraction (``None`` = check not run, recorded as null).
+    """
+    thresholds = thresholds if thresholds is not None else GateThresholds()
+    distances = sketch.compare(reference, rng=rng, num_resamples=num_resamples)
+
+    def _bound(name: str, value: float, threshold: float, detail: str = ""):
+        return CheckResult(
+            name=name,
+            value=float(value),
+            threshold=float(threshold),
+            passed=bool(value <= threshold),
+            detail=detail,
+        )
+
+    def _ci_detail(result: DistanceResult) -> str:
+        if result.ks_ci is None:
+            return "binned"
+        return f"CI [{result.ks_ci.low:.4f}, {result.ks_ci.high:.4f}]"
+
+    iat = distances["interarrival"]
+    flow = distances["flow_length"]
+    checks = [
+        _bound(
+            "event_violation_rate",
+            conformance.event_rate,
+            thresholds.max_event_violation_rate,
+            f"{conformance.violating_events}/{conformance.counted_events} events",
+        ),
+        _bound(
+            "stream_violation_rate",
+            conformance.stream_rate,
+            thresholds.max_stream_violation_rate,
+            f"{conformance.violating_streams}/{conformance.streams} streams",
+        ),
+        _bound("interarrival_jsd", iat.jsd, thresholds.max_interarrival_jsd),
+        _bound(
+            "interarrival_ks", iat.ks, thresholds.max_interarrival_ks,
+            _ci_detail(iat),
+        ),
+        _bound("flow_length_jsd", flow.jsd, thresholds.max_flow_length_jsd),
+        _bound(
+            "flow_length_ks", flow.ks, thresholds.max_flow_length_ks,
+            _ci_detail(flow),
+        ),
+    ]
+    memo_block = None
+    if memorization is not None:
+        checks.append(
+            _bound(
+                "memorization_repeat_fraction",
+                memorization,
+                thresholds.max_memorization,
+            )
+        )
+        memo_block = dict(memorization_params or {})
+        memo_block["repeat_fraction"] = float(memorization)
+    return FidelityScorecard(
+        checks=tuple(checks),
+        violations=conformance.as_dict(),
+        distances={name: result.as_dict() for name, result in distances.items()},
+        memorization=memo_block,
+        generated={
+            "streams": conformance.streams,
+            "events": conformance.total_events,
+        },
+    )

@@ -1,0 +1,357 @@
+"""Streaming statistical sketches: constant-memory fidelity distances.
+
+The distributional fidelity metrics (Tables 6-10) compare full empirical
+CDFs, which requires materializing every sample.  This module provides
+bounded-memory replacements that can ride the streaming workload
+timeline at generation speed:
+
+* :class:`QuantizedHistogram` — fixed log-spaced bins with under/overflow
+  buckets; supports Jensen-Shannon divergence and a binned KS statistic
+  against any histogram sharing the same edges;
+* :class:`ReservoirSample` — uniform reservoir (Algorithm R, batched);
+  feeds the *exact* :func:`~repro.metrics.distance.max_y_distance` and
+  the bootstrap CIs of :mod:`repro.metrics.bootstrap` on a bounded
+  subsample;
+* :class:`TrafficSketch` — the pair of per-metric sketches the fidelity
+  gate tracks (inter-arrival times and per-UE flow lengths), consumable
+  from columnar shard buffers, materialized datasets, or one event at a
+  time;
+* :class:`StatsValidator` — the :class:`TrafficSketch` wrapped in the
+  streaming-validator interface of
+  :meth:`repro.workload.timeline.Workload.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.bootstrap import BootstrapCI, bootstrap_max_y_distance
+from ..trace.dataset import TraceDataset
+
+__all__ = [
+    "QuantizedHistogram",
+    "ReservoirSample",
+    "DistanceResult",
+    "TrafficSketch",
+    "StatsValidator",
+]
+
+
+class QuantizedHistogram:
+    """Fixed-bin histogram with under/overflow buckets (constant memory).
+
+    ``edges`` are the ``B + 1`` interior bin boundaries; values below
+    ``edges[0]`` land in the underflow bucket and values above
+    ``edges[-1]`` in the overflow bucket, so ``counts`` has ``B + 2``
+    entries and no sample is ever dropped.
+    """
+
+    def __init__(self, edges: np.ndarray) -> None:
+        edges = np.asarray(edges, dtype=np.float64).ravel()
+        if edges.size < 2:
+            raise ValueError("need at least two bin edges")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("bin edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(edges.size + 1, dtype=np.int64)
+
+    @classmethod
+    def log_spaced(
+        cls, low: float = 1e-3, high: float = 1e6, bins: int = 128
+    ) -> "QuantizedHistogram":
+        """Geometric bins covering ``[low, high]`` (plus catch-alls)."""
+        if low <= 0 or high <= low:
+            raise ValueError("need 0 < low < high")
+        return cls(np.geomspace(low, high, bins + 1))
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def add(self, values) -> None:
+        """Bin a batch of values (vectorized)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.edges, values, side="right")
+        self.counts += np.bincount(indices, minlength=self.counts.size)
+
+    def probabilities(self) -> np.ndarray:
+        """Normalized bucket masses (zeros when the histogram is empty)."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def cdf(self) -> np.ndarray:
+        return np.cumsum(self.probabilities())
+
+    def _check_compatible(self, other: "QuantizedHistogram") -> None:
+        if self.edges.shape != other.edges.shape or np.any(
+            self.edges != other.edges
+        ):
+            raise ValueError("histograms must share identical bin edges")
+
+    def jsd(self, other: "QuantizedHistogram") -> float:
+        """Jensen-Shannon divergence (base 2, in [0, 1]) between masses."""
+        self._check_compatible(other)
+        p = self.probabilities()
+        q = other.probabilities()
+        m = 0.5 * (p + q)
+
+        def _kl(a: np.ndarray, b: np.ndarray) -> float:
+            mask = a > 0
+            return float(np.sum(a[mask] * np.log2(a[mask] / b[mask])))
+
+        return 0.5 * _kl(p, m) + 0.5 * _kl(q, m)
+
+    def ks(self, other: "QuantizedHistogram") -> float:
+        """Binned two-sample KS: max CDF gap at the shared bin edges.
+
+        A quantized approximation of
+        :func:`~repro.metrics.distance.max_y_distance` — exact when both
+        distributions are supported on the bin edges, otherwise accurate
+        to within one bin's mass.
+        """
+        self._check_compatible(other)
+        return float(np.abs(self.cdf() - other.cdf()).max())
+
+    def merge(self, other: "QuantizedHistogram") -> "QuantizedHistogram":
+        self._check_compatible(other)
+        merged = QuantizedHistogram(self.edges)
+        merged.counts = self.counts + other.counts
+        return merged
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample of an unbounded stream (Algorithm R).
+
+    Batch insertion is vectorized: for the ``t``-th value overall a slot
+    ``j ~ U[0, t)`` is drawn and the value lands in the reservoir iff
+    ``j < capacity``.  Later writes to the same slot win, which matches
+    processing the batch sequentially, so the reservoir is a true
+    uniform sample regardless of batch boundaries.
+    """
+
+    def __init__(self, capacity: int = 2048, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._rng = np.random.default_rng(seed)
+        self._buffer = np.empty(capacity, dtype=np.float64)
+
+    def add(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        fill = min(self.capacity - self.seen, values.size)
+        if fill > 0:
+            self._buffer[self.seen : self.seen + fill] = values[:fill]
+            self.seen += fill
+            values = values[fill:]
+            if values.size == 0:
+                return
+        ticks = np.arange(self.seen + 1, self.seen + 1 + values.size)
+        slots = (self._rng.random(values.size) * ticks).astype(np.int64)
+        keep = slots < self.capacity
+        self._buffer[slots[keep]] = values[keep]
+        self.seen += values.size
+
+    def values(self) -> np.ndarray:
+        """The current sample (a copy; length ``min(seen, capacity)``)."""
+        return self._buffer[: min(self.seen, self.capacity)].copy()
+
+
+@dataclass(frozen=True)
+class DistanceResult:
+    """One metric's distances between a sketch and its reference."""
+
+    jsd: float
+    ks: float
+    ks_ci: BootstrapCI | None
+
+    def as_dict(self) -> dict:
+        payload: dict = {"jsd": self.jsd, "ks": self.ks}
+        if self.ks_ci is not None:
+            payload["ks_ci"] = [self.ks_ci.low, self.ks_ci.high]
+            payload["ks_confidence"] = self.ks_ci.confidence
+        return payload
+
+
+#: Histogram layouts shared by every sketch, so any two sketches built
+#: with the defaults are directly comparable.
+_IAT_EDGES = np.geomspace(1e-3, 1e6, 129)
+_FLOW_EDGES = np.geomspace(1.0, 1e4, 65)
+
+
+class TrafficSketch:
+    """Streaming sketches of the gate's distributional fidelity metrics.
+
+    Tracks within-stream inter-arrival times and per-UE flow lengths
+    (event counts), each as a :class:`QuantizedHistogram` plus a
+    :class:`ReservoirSample`; :meth:`compare` turns two sketches into
+    JSD/KS distances with bootstrap CIs
+    (:func:`~repro.metrics.bootstrap.bootstrap_max_y_distance`).
+    """
+
+    def __init__(self, *, reservoir: int = 2048, seed: int = 0) -> None:
+        self.interarrival = QuantizedHistogram(_IAT_EDGES)
+        self.flow_length = QuantizedHistogram(_FLOW_EDGES)
+        self.iat_sample = ReservoirSample(reservoir, seed)
+        self.flow_sample = ReservoirSample(reservoir, seed + 1)
+        self.num_streams = 0
+        self.num_events = 0
+        # Per-event tee state (observe_event / fold_tee).
+        self._tee_last: dict = {}
+        self._tee_counts: dict = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe_arrays(self, interarrivals, flow_lengths) -> None:
+        """Fold already-extracted per-metric samples into the sketches."""
+        interarrivals = np.asarray(interarrivals, dtype=np.float64).ravel()
+        flow_lengths = np.asarray(flow_lengths, dtype=np.float64).ravel()
+        self.interarrival.add(interarrivals)
+        self.iat_sample.add(interarrivals)
+        self.flow_length.add(flow_lengths)
+        self.flow_sample.add(flow_lengths)
+        self.num_streams += int(flow_lengths.size)
+        self.num_events += int(flow_lengths.sum())
+
+    def observe_buffer(
+        self, times, ue_codes, event_codes, ue_ids, event_names, *, cohort: str = ""
+    ) -> None:
+        """Consume one columnar shard buffer (vectorized).
+
+        Inter-arrivals are within-UE deltas in the shard's time-ordered
+        layout — identical to ``Stream.interarrivals()[1:]`` on the
+        materialized trace; flow length is each UE's event count.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        ues = np.asarray(ue_codes, dtype=np.int64)
+        lengths = np.bincount(ues, minlength=len(ue_ids))
+        if times.size:
+            order = np.argsort(ues, kind="stable")
+            grouped_times = times[order]
+            grouped_ues = ues[order]
+            same_ue = grouped_ues[1:] == grouped_ues[:-1]
+            deltas = np.diff(grouped_times)[same_ue]
+        else:
+            deltas = times
+        self.observe_arrays(deltas, lengths)
+
+    def observe_dataset(self, dataset: TraceDataset) -> None:
+        """Consume a materialized dataset (reference-building path)."""
+        for stream in dataset:
+            deltas = (
+                stream.interarrivals()[1:] if len(stream) > 1 else np.empty(0)
+            )
+            self.observe_arrays(deltas, [float(len(stream))])
+
+    def observe_event(self, timestamp: float, ue_key, event: str) -> None:
+        """Consume one timeline event (the per-event tee mode)."""
+        last = self._tee_last.get(ue_key)
+        if last is not None:
+            delta = np.asarray([timestamp - last])
+            self.interarrival.add(delta)
+            self.iat_sample.add(delta)
+        self._tee_last[ue_key] = timestamp
+        self._tee_counts[ue_key] = self._tee_counts.get(ue_key, 0) + 1
+        self.num_events += 1
+
+    def fold_tee(self) -> None:
+        """Fold per-event tee state (flow lengths) into the sketches."""
+        counts = self._tee_counts
+        if not counts:
+            return
+        flows = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+        self.flow_length.add(flows)
+        self.flow_sample.add(flows)
+        self.num_streams += flows.size
+        self._tee_last = {}
+        self._tee_counts = {}
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TraceDataset, *, reservoir: int = 2048, seed: int = 0
+    ) -> "TrafficSketch":
+        sketch = cls(reservoir=reservoir, seed=seed)
+        sketch.observe_dataset(dataset)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        reference: "TrafficSketch",
+        *,
+        rng: np.random.Generator | None = None,
+        num_resamples: int = 200,
+        confidence: float = 0.95,
+    ) -> dict[str, DistanceResult]:
+        """Distances of this sketch to ``reference``, per metric.
+
+        JSD and the binned KS come from the histograms; when both
+        reservoirs hold data the exact-sample KS with a percentile
+        bootstrap CI (reusing :mod:`repro.metrics.bootstrap`) is
+        attached.  ``rng=None`` skips the bootstrap.
+        """
+        results: dict[str, DistanceResult] = {}
+        pairs = {
+            "interarrival": (
+                self.interarrival, reference.interarrival,
+                self.iat_sample, reference.iat_sample,
+            ),
+            "flow_length": (
+                self.flow_length, reference.flow_length,
+                self.flow_sample, reference.flow_sample,
+            ),
+        }
+        for metric, (hist, ref_hist, sample, ref_sample) in pairs.items():
+            ci = None
+            if (
+                rng is not None
+                and sample.seen > 0
+                and ref_sample.seen > 0
+            ):
+                ci = bootstrap_max_y_distance(
+                    ref_sample.values(),
+                    sample.values(),
+                    rng,
+                    num_resamples=num_resamples,
+                    confidence=confidence,
+                )
+            results[metric] = DistanceResult(
+                jsd=hist.jsd(ref_hist),
+                ks=ci.estimate if ci is not None else hist.ks(ref_hist),
+                ks_ci=ci,
+            )
+        return results
+
+
+class StatsValidator:
+    """A :class:`TrafficSketch` in streaming-validator clothing."""
+
+    name = "stats"
+
+    def __init__(self, *, reservoir: int = 2048, seed: int = 0) -> None:
+        self.sketch = TrafficSketch(reservoir=reservoir, seed=seed)
+
+    def observe_buffer(
+        self, times, ue_codes, event_codes, ue_ids, event_names, *, cohort: str
+    ) -> None:
+        self.sketch.observe_buffer(
+            times, ue_codes, event_codes, ue_ids, event_names, cohort=cohort
+        )
+
+    def observe_event(self, timestamp: float, ue_key, event: str) -> None:
+        self.sketch.observe_event(timestamp, ue_key, event)
+
+    def report(self) -> TrafficSketch:
+        self.sketch.fold_tee()
+        return self.sketch

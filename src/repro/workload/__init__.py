@@ -36,7 +36,14 @@ from .shapes import (
     RecoveryStormShape,
     StepShape,
 )
-from .timeline import TimelineEvent, Workload, get_workload, merge_timelines, pace
+from .timeline import (
+    TimelineEvent,
+    Workload,
+    WorkloadRunResult,
+    get_workload,
+    merge_timelines,
+    pace,
+)
 
 __all__ = [
     "Cohort",
@@ -54,6 +61,7 @@ __all__ = [
     "merge_timelines",
     "pace",
     "Workload",
+    "WorkloadRunResult",
     "get_workload",
     "CITY_DAY",
     "STADIUM_FLASH_CROWD",

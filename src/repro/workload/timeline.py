@@ -43,7 +43,8 @@ from __future__ import annotations
 import heapq
 import time
 import zlib
-from typing import Callable, Iterable, Iterator, NamedTuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -63,8 +64,33 @@ __all__ = [
     "merge_timelines",
     "pace",
     "Workload",
+    "WorkloadRunResult",
     "get_workload",
 ]
+
+
+@dataclass(frozen=True)
+class WorkloadRunResult:
+    """Outcome of :meth:`Workload.run`.
+
+    ``reports`` maps each validator's ``name`` to its finalized report
+    (e.g. ``"conformance"`` →
+    :class:`~repro.validate.oracle.ConformanceReport`, ``"stats"`` →
+    :class:`~repro.validate.stats.TrafficSketch`); ``simulation`` is the
+    :class:`~repro.mcn.simulator.SimulationReport` when the run also
+    drove the MCN simulator.
+    """
+
+    num_events: int
+    simulation: object | None
+    reports: dict[str, object]
+
+    def report(self, name: str):
+        if name not in self.reports:
+            raise KeyError(
+                f"no validator {name!r} ran; have {sorted(self.reports)}"
+            )
+        return self.reports[name]
 
 
 class TimelineEvent(NamedTuple):
@@ -313,7 +339,7 @@ class Workload:
     # ------------------------------------------------------------------
     # The merged timeline
     # ------------------------------------------------------------------
-    def events(self) -> Iterator[TimelineEvent]:
+    def events(self, observers: Sequence = ()) -> Iterator[TimelineEvent]:
         """The merged, globally event-time ordered population timeline.
 
         With ``num_workers == 1`` each shard's compact buffer is built
@@ -322,30 +348,111 @@ class Workload:
         columnar buffers are what travels back over the pipe).  Either
         way ``TimelineEvent`` tuples are decoded one at a time as the
         merge pulls them.
+
+        ``observers`` are streaming validators (e.g.
+        :class:`~repro.validate.oracle.OracleValidator`): each shard's
+        compact columnar buffer is handed to every observer's
+        ``observe_buffer(times, ue_codes, event_codes, ue_ids,
+        event_names, cohort=...)`` hook *before* the shard joins the
+        merge, so validation runs vectorized at generation speed and —
+        with worker processes — always in the parent, where tallies
+        aggregate.
         """
-        plan = self._shard_plan()
-        # Fit every cohort's generator up front: with forked workers the
-        # fitted state must exist before the fork so children inherit it
-        # copy-on-write instead of each refitting.
-        for cohort in self.population.cohorts:
-            self.generator(cohort)
+        plan = self._planned_shards()
         if self.num_workers > 1 and len(plan) > 1:
-            buffers = run_sharded(
-                lambda i: self._shard_buffer(*plan[i]), len(plan), self.num_workers
-            )
+            buffers = self._worker_buffers(plan)
+            for entry, buffer in zip(plan, buffers):
+                self._observe(observers, buffer, entry[1].name)
             sources = [
                 _decode(buffer, entry[1].name)
                 for entry, buffer in zip(plan, buffers)
             ]
         else:
-            sources = [self._lazy_shard(*entry) for entry in plan]
+            sources = [self._lazy_shard(*entry, observers=observers) for entry in plan]
         return merge_timelines(sources)
 
+    def _planned_shards(self) -> list[tuple[int, Cohort, int]]:
+        """The shard plan with every cohort's generator prefitted.
+
+        With forked workers the fitted state must exist before the fork
+        so children inherit it copy-on-write instead of each refitting.
+        """
+        plan = self._shard_plan()
+        for cohort in self.population.cohorts:
+            self.generator(cohort)
+        return plan
+
+    def _worker_buffers(self, plan: list) -> list:
+        """Every shard's columnar buffer, generated across workers."""
+        return run_sharded(
+            lambda i: self._shard_buffer(*plan[i]), len(plan), self.num_workers
+        )
+
+    @staticmethod
+    def _observe(observers: Sequence, buffer, cohort: str) -> None:
+        times, ues, codes, ue_ids, event_names = buffer
+        for observer in observers:
+            observer.observe_buffer(
+                times, ues, codes, ue_ids, event_names, cohort=cohort
+            )
+
     def _lazy_shard(
-        self, cohort_index: int, cohort: Cohort, shard: int
+        self,
+        cohort_index: int,
+        cohort: Cohort,
+        shard: int,
+        observers: Sequence = (),
     ) -> Iterator[TimelineEvent]:
-        yield from _decode(
-            self._shard_buffer(cohort_index, cohort, shard), cohort.name
+        buffer = self._shard_buffer(cohort_index, cohort, shard)
+        self._observe(observers, buffer, cohort.name)
+        yield from _decode(buffer, cohort.name)
+
+    def run(
+        self,
+        validators: Sequence = (),
+        *,
+        simulate: bool = False,
+        sim_workers: int = 4,
+        sim_seed: int = 0,
+        queue_limit: int | None = None,
+    ) -> "WorkloadRunResult":
+        """Drive the full workload through streaming ``validators``.
+
+        Each validator sees every shard buffer vectorized (see
+        :meth:`events`).  With ``simulate=True`` the merged timeline is
+        additionally streamed into
+        :class:`~repro.mcn.simulator.MCNSimulator`; without it the
+        merge is skipped entirely — validation runs straight off the
+        columnar buffers at oracle speed.  Returns a
+        :class:`WorkloadRunResult` with each validator's finalized
+        report keyed by its ``name``.
+        """
+        simulation = None
+        if simulate:
+            simulation = MCNSimulator(
+                workers=sim_workers,
+                cost_model=self.population.cost_model,
+                queue_limit=queue_limit,
+                seed=sim_seed,
+            ).run(self.events(observers=validators))
+            num_events = simulation.num_events + simulation.dropped_events
+        else:
+            # Validation-only: observe and count shard buffers directly —
+            # no k-way merge, no per-event decode, and in single-worker
+            # mode only one shard's buffer is alive at a time.
+            plan = self._planned_shards()
+            if self.num_workers > 1 and len(plan) > 1:
+                buffers: Iterable = self._worker_buffers(plan)
+            else:
+                buffers = (self._shard_buffer(*entry) for entry in plan)
+            num_events = 0
+            for entry, buffer in zip(plan, buffers):
+                self._observe(validators, buffer, entry[1].name)
+                num_events += buffer[0].size
+        return WorkloadRunResult(
+            num_events=num_events,
+            simulation=simulation,
+            reports={v.name: v.report() for v in validators},
         )
 
     def __iter__(self) -> Iterator[TimelineEvent]:

@@ -1,0 +1,121 @@
+"""Telemetry: count-min sketch, sampled breakdown, rate calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcn.telemetry import (
+    CountMinSketch,
+    SampledBreakdownMonitor,
+    calibrate_sampling_rate,
+)
+from repro.trace import SyntheticTraceConfig, generate_trace
+from repro.trace.dataset import TraceDataset
+from repro.trace.schema import Stream
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticTraceConfig(num_ues=120, device_type="phone", hour=20, seed=21)
+    )
+
+
+class TestCountMinSketch:
+    def test_query_never_underestimates(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        truth = {f"ue-{i}": (i % 7) + 1 for i in range(200)}
+        for key, count in truth.items():
+            sketch.add(key, count)
+        for key, count in truth.items():
+            assert sketch.query(key) >= count
+
+    def test_error_bounded_by_width(self):
+        sketch = CountMinSketch(width=2048, depth=4, seed=1)
+        truth = {f"ue-{i}": 1 for i in range(500)}
+        for key, count in truth.items():
+            sketch.add(key, count)
+        total = sum(truth.values())
+        # Classic CM bound: overestimate <= 2 * total / width w.h.p. per
+        # row; with 4 rows the min is far tighter in practice.
+        slack = 2 * total / sketch.width
+        overshoots = [sketch.query(k) - c for k, c in truth.items()]
+        assert max(overshoots) <= max(1, int(np.ceil(slack)) * sketch.depth)
+
+    def test_unseen_key_can_only_collide(self):
+        sketch = CountMinSketch(width=4096, depth=5, seed=2)
+        sketch.add("present", 10)
+        assert sketch.query("absent-key") <= 10
+
+    def test_memory_is_width_times_depth(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        assert sketch.memory_bytes == 128 * 3 * 8
+
+    def test_heavy_hitters(self):
+        sketch = CountMinSketch(width=1024, depth=4, seed=3)
+        sketch.add("elephant", 100)
+        sketch.add("mouse", 1)
+        hits = dict(sketch.heavy_hitters(["elephant", "mouse"], threshold=50))
+        assert "elephant" in hits and "mouse" not in hits
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+
+
+class TestSampledBreakdownMonitor:
+    def test_full_sampling_is_exact(self, trace):
+        monitor = SampledBreakdownMonitor(sampling_rate=1.0, seed=0)
+        estimate = monitor.estimate(trace)
+        truth = trace.event_breakdown()
+        for name, share in estimate.items():
+            assert share == pytest.approx(truth[name])
+        assert monitor.max_error(trace) == pytest.approx(0.0, abs=1e-12)
+
+    def test_shares_sum_to_one(self, trace):
+        monitor = SampledBreakdownMonitor(sampling_rate=0.2, seed=1)
+        estimate = monitor.estimate(trace)
+        assert sum(estimate.values()) == pytest.approx(1.0)
+
+    def test_rate_out_of_range_rejected(self, trace):
+        for rate in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="sampling_rate"):
+                SampledBreakdownMonitor(sampling_rate=rate).estimate(trace)
+
+    def test_empty_dataset_estimate_is_empty(self):
+        empty = TraceDataset(
+            streams=[Stream(ue_id="u0", device_type="phone")]
+        )
+        monitor = SampledBreakdownMonitor(sampling_rate=0.5)
+        assert monitor.estimate(empty) == {}
+
+    def test_coarser_sampling_grows_error(self, trace):
+        fine = SampledBreakdownMonitor(sampling_rate=0.5, seed=7).max_error(trace)
+        coarse = SampledBreakdownMonitor(sampling_rate=0.002, seed=7).max_error(trace)
+        assert coarse >= fine
+
+
+class TestCalibrateSamplingRate:
+    def test_loose_target_picks_smallest_rate(self, trace):
+        rate = calibrate_sampling_rate(trace, target_error=1.0, seed=0)
+        assert rate == 0.001
+
+    def test_impossible_target_returns_full_rate(self, trace):
+        rate = calibrate_sampling_rate(
+            trace, target_error=1e-12, rates=(0.001, 0.01), seed=0
+        )
+        assert rate == 1.0
+
+    def test_returned_rate_meets_target(self, trace):
+        target = 0.02
+        rate = calibrate_sampling_rate(trace, target_error=target, seed=3)
+        if rate < 1.0:
+            monitor = SampledBreakdownMonitor(sampling_rate=rate, seed=3)
+            assert monitor.max_error(trace) <= target
+
+    def test_nonpositive_target_rejected(self, trace):
+        with pytest.raises(ValueError, match="target_error"):
+            calibrate_sampling_rate(trace, target_error=0.0)

@@ -1,0 +1,283 @@
+"""Conformance oracle: compilation, parity with the legacy replay, tees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.statemachine import LTE_EVENTS, LTE_SPEC, NR_EVENTS, NR_SPEC
+from repro.statemachine.replay import replay_dataset
+from repro.trace import SyntheticTraceConfig, generate_trace
+from repro.trace.dataset import TraceDataset
+from repro.trace.schema import ControlEvent, Stream
+from repro.validate import ConformanceTally, OracleValidator, TransitionOracle
+
+
+def _random_dataset(vocabulary, seed=0, num_streams=120, max_len=40):
+    """Streams of uniformly random events: dense with violations."""
+    rng = np.random.default_rng(seed)
+    names = list(vocabulary)
+    streams = []
+    for ue in range(num_streams):
+        length = int(rng.integers(0, max_len))
+        times = np.cumsum(rng.exponential(5.0, size=length))
+        events = [names[i] for i in rng.integers(0, len(names), size=length)]
+        streams.append(Stream.from_arrays(f"u{ue:04d}", "phone", times, events))
+    return TraceDataset(streams=streams, vocabulary=vocabulary)
+
+
+def _assert_tally_matches_replay(oracle, tally, replay):
+    assert tally.counted_events == replay.counted_events
+    assert tally.violating_events == replay.violating_events
+    assert tally.event_violation_rate == replay.event_violation_rate
+    assert tally.stream_violation_rate == replay.stream_violation_rate
+    assert tally.streams == len(replay.streams)
+    assert tally.bootstrapped_streams == sum(
+        1 for s in replay.streams if s.bootstrapped
+    )
+    assert oracle.top_patterns(tally, 100) == replay.top_violation_patterns(100)
+
+
+class TestCompilation:
+    def test_states_cover_every_sub_state(self):
+        oracle = TransitionOracle(LTE_SPEC)
+        expected = sum(len(subs) for subs in LTE_SPEC.sub_states.values())
+        assert oracle.num_states == expected
+        assert oracle.table.shape == (expected + 1, len(LTE_EVENTS) + 1)
+
+    def test_for_spec_caches_per_spec_object(self):
+        assert TransitionOracle.for_spec(LTE_SPEC) is TransitionOracle.for_spec(
+            LTE_SPEC
+        )
+        assert TransitionOracle.for_spec(LTE_SPEC) is not TransitionOracle.for_spec(
+            NR_SPEC
+        )
+
+    def test_release_substates_get_family_label(self):
+        oracle = TransitionOracle(LTE_SPEC)
+        labels = set(oracle.state_labels)
+        assert "S1_REL_S" in labels
+        assert "S1_REL_S_1" not in labels
+
+
+@pytest.mark.parametrize(
+    "vocabulary,spec", [(LTE_EVENTS, LTE_SPEC), (NR_EVENTS, NR_SPEC)]
+)
+class TestReplayParity:
+    def test_random_traffic_parity(self, vocabulary, spec):
+        dataset = _random_dataset(vocabulary, seed=3)
+        oracle = TransitionOracle.for_spec(spec)
+        tally = oracle.replay_dataset(dataset)
+        replay = replay_dataset(dataset.replay_pairs(), spec)
+        assert tally.violating_events > 0  # random traffic must violate
+        _assert_tally_matches_replay(oracle, tally, replay)
+
+    def test_clean_synthetic_traffic_parity(self, vocabulary, spec):
+        technology = "4G" if spec is LTE_SPEC else "5G"
+        dataset = generate_trace(
+            SyntheticTraceConfig(
+                num_ues=80, device_type="phone", hour=20, seed=9,
+                technology=technology,
+            )
+        )
+        oracle = TransitionOracle.for_spec(spec)
+        tally = oracle.replay_dataset(dataset)
+        replay = replay_dataset(dataset.replay_pairs(), spec)
+        _assert_tally_matches_replay(oracle, tally, replay)
+
+
+class TestEdgeCases:
+    def test_empty_dataset(self):
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        tally = oracle.replay_dataset(TraceDataset(vocabulary=LTE_EVENTS))
+        assert tally.streams == 0
+        assert tally.event_violation_rate == 0.0
+        assert tally.stream_violation_rate == 0.0
+
+    def test_all_empty_streams(self):
+        dataset = TraceDataset(
+            streams=[Stream(ue_id=f"u{i}", device_type="phone") for i in range(3)],
+            vocabulary=LTE_EVENTS,
+        )
+        tally = TransitionOracle.for_spec(LTE_SPEC).replay_dataset(dataset)
+        assert tally.streams == 3
+        assert tally.counted_events == 0
+
+    def test_unknown_event_after_bootstrap_raises(self):
+        stream = Stream.from_arrays("u0", "phone", [0.0, 1.0], ["ATCH", "BOGUS"])
+        dataset = TraceDataset(streams=[stream])
+        with pytest.raises(KeyError):
+            TransitionOracle.for_spec(LTE_SPEC).replay_dataset(dataset)
+
+    def test_unknown_event_before_bootstrap_skipped(self):
+        # Legacy try_bootstrap silently ignores unknown names.
+        stream = Stream.from_arrays(
+            "u0", "phone", [0.0, 1.0, 2.0], ["BOGUS", "ATCH", "S1_CONN_REL"]
+        )
+        dataset = TraceDataset(streams=[stream])
+        tally = TransitionOracle.for_spec(LTE_SPEC).replay_dataset(dataset)
+        assert tally.counted_events == 1
+        assert tally.violating_events == 0
+
+    def test_out_of_order_timestamps_raise(self):
+        stream = Stream(
+            ue_id="u0",
+            device_type="phone",
+            events=[ControlEvent(5.0, "ATCH"), ControlEvent(1.0, "SRV_REQ")],
+        )
+        dataset = TraceDataset(streams=[stream])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TransitionOracle.for_spec(LTE_SPEC).replay_dataset(dataset)
+
+    def test_time_reset_across_streams_allowed(self):
+        # Each stream's clock is independent; a later stream may restart
+        # at zero without tripping the monotonicity check.
+        streams = [
+            Stream.from_arrays("a", "phone", [100.0, 101.0], ["ATCH", "S1_CONN_REL"]),
+            Stream.from_arrays("b", "phone", [0.0, 1.0], ["ATCH", "S1_CONN_REL"]),
+        ]
+        tally = TransitionOracle.for_spec(LTE_SPEC).replay_dataset(
+            TraceDataset(streams=streams)
+        )
+        assert tally.violating_events == 0
+
+
+class TestTallyMerge:
+    def test_merge_adds_counters_and_patterns(self):
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        first = _random_dataset(LTE_EVENTS, seed=1, num_streams=40)
+        second = _random_dataset(LTE_EVENTS, seed=2, num_streams=60)
+        merged = oracle.replay_dataset(first).merge(oracle.replay_dataset(second))
+        combined = TraceDataset(
+            streams=first.streams + second.streams, vocabulary=LTE_EVENTS
+        )
+        whole = oracle.replay_dataset(combined)
+        assert merged.counted_events == whole.counted_events
+        assert merged.violating_events == whole.violating_events
+        assert merged.violating_streams == whole.violating_streams
+        assert np.array_equal(merged.pattern_counts, whole.pattern_counts)
+
+    def test_merge_with_empty_tally(self):
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        tally = oracle.replay_dataset(_random_dataset(LTE_EVENTS, seed=4))
+        assert ConformanceTally().merge(tally).violating_events == tally.violating_events
+        assert tally.merge(ConformanceTally()).counted_events == tally.counted_events
+
+
+class TestBufferPath:
+    def _to_buffer(self, dataset):
+        names = list(dataset.vocabulary)
+        local = {name: code for code, name in enumerate(names)}
+        lengths = np.array([len(s) for s in dataset.streams])
+        total = int(lengths.sum())
+        ues = np.repeat(np.arange(lengths.size), lengths)
+        codes = np.fromiter(
+            (local[e.event] for s in dataset for e in s.events),
+            dtype=np.int16, count=total,
+        )
+        times = np.fromiter(
+            (e.timestamp for s in dataset for e in s.events),
+            dtype=np.float64, count=total,
+        )
+        return times, ues, codes, names, int(lengths.size)
+
+    def test_buffer_matches_dataset_path(self):
+        dataset = _random_dataset(LTE_EVENTS, seed=7)
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        times, ues, codes, names, num_ues = self._to_buffer(dataset)
+        buffer_tally = oracle.validate_buffer(times, ues, codes, names, num_ues=num_ues)
+        dataset_tally = oracle.replay_dataset(dataset)
+        assert buffer_tally.counted_events == dataset_tally.counted_events
+        assert buffer_tally.violating_events == dataset_tally.violating_events
+        assert buffer_tally.violating_streams == dataset_tally.violating_streams
+        assert np.array_equal(
+            buffer_tally.pattern_counts, dataset_tally.pattern_counts
+        )
+
+    def test_interleaved_ues_regrouped(self):
+        # Two UEs interleaved in time order; each stream alone is legal.
+        times = np.array([0.0, 0.5, 1.0, 1.5])
+        ues = np.array([0, 1, 0, 1])
+        codes = np.array([0, 0, 1, 1], dtype=np.int16)
+        names = ["ATCH", "S1_CONN_REL"]
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        tally = oracle.validate_buffer(times, ues, codes, names, num_ues=2)
+        assert tally.streams == 2
+        assert tally.violating_events == 0
+        assert tally.counted_events == 2  # one post-bootstrap event per UE
+
+    def test_empty_buffer(self):
+        oracle = TransitionOracle.for_spec(LTE_SPEC)
+        empty = np.empty(0)
+        tally = oracle.validate_buffer(empty, empty, empty, [], num_ues=0)
+        assert tally.streams == 0
+
+
+class TestOracleValidator:
+    def test_per_cohort_tallies(self):
+        oracle_validator = OracleValidator(LTE_SPEC)
+        clean = generate_trace(
+            SyntheticTraceConfig(num_ues=30, device_type="phone", hour=20, seed=2)
+        )
+        noisy = _random_dataset(LTE_EVENTS, seed=5, num_streams=30)
+        oracle_validator.observe_dataset(clean, cohort="clean")
+        oracle_validator.observe_dataset(noisy, cohort="noisy")
+        report = oracle_validator.report()
+        assert set(report.per_cohort) == {"clean", "noisy"}
+        assert report.per_cohort["noisy"].violating_events > 0
+        assert report.streams == 60
+        total = (
+            report.per_cohort["clean"].violating_events
+            + report.per_cohort["noisy"].violating_events
+        )
+        assert report.violating_events == total
+
+    def test_event_tee_matches_batch_path(self):
+        dataset = _random_dataset(LTE_EVENTS, seed=11, num_streams=50)
+        batch = OracleValidator(LTE_SPEC)
+        batch.observe_dataset(dataset)
+        tee = OracleValidator(LTE_SPEC)
+        for stream in dataset:
+            for event in stream:
+                tee.observe_event(event.timestamp, stream.ue_id, event.event)
+        assert tee.tally.counted_events == batch.tally.counted_events
+        assert tee.tally.violating_events == batch.tally.violating_events
+        assert tee.tally.violating_streams == batch.tally.violating_streams
+        assert np.array_equal(
+            tee.tally.pattern_counts, batch.tally.pattern_counts
+        )
+
+    def test_tee_is_callable(self):
+        validator = OracleValidator(LTE_SPEC)
+        validator(0.0, "u0", "ATCH")
+        validator(1.0, "u0", "HO")
+        assert validator.tally.counted_events == 1
+
+    def test_tee_counts_oov_only_ue_as_stream(self):
+        # A UE whose only traffic is out-of-vocabulary pre-bootstrap
+        # noise still counts as a stream, matching the batch path.
+        validator = OracleValidator(LTE_SPEC)
+        validator.observe_event(0.0, "oov-only", "BOGUS")
+        validator.observe_event(1.0, "normal", "ATCH")
+        tally = validator.tally
+        assert tally.streams == 2
+        assert tally.bootstrapped_streams == 1
+
+    def test_tee_unknown_event_raises_once_live(self):
+        validator = OracleValidator(LTE_SPEC)
+        validator.observe_event(0.0, "u0", "BOGUS")  # pre-bootstrap: skipped
+        validator.observe_event(1.0, "u0", "ATCH")
+        with pytest.raises(KeyError):
+            validator.observe_event(2.0, "u0", "BOGUS")
+
+    def test_report_as_dict_is_json_shaped(self):
+        import json
+
+        validator = OracleValidator(LTE_SPEC)
+        validator.observe_dataset(
+            _random_dataset(LTE_EVENTS, seed=13, num_streams=20), cohort="c"
+        )
+        payload = validator.report().as_dict()
+        json.dumps(payload)  # must be serializable
+        assert payload["machine"] == "4G"
+        assert "per_cohort" in payload and "c" in payload["per_cohort"]

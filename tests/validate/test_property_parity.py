@@ -1,0 +1,153 @@
+"""Hypothesis properties: oracle/replay agreement, tokenizer round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statemachine import LTE_EVENTS, LTE_SPEC, NR_EVENTS, NR_SPEC
+from repro.statemachine.replay import replay_dataset, replay_events
+from repro.tokenization import StreamTokenizer
+from repro.trace.dataset import TraceDataset
+from repro.trace.schema import Stream
+from repro.validate import TransitionOracle
+
+lte_stream = st.lists(st.sampled_from(list(LTE_EVENTS)), min_size=0, max_size=40)
+nr_stream = st.lists(st.sampled_from(list(NR_EVENTS)), min_size=0, max_size=40)
+
+
+def _as_stream(names, ue="u0"):
+    return Stream.from_arrays(ue, "phone", np.arange(len(names), dtype=float), names)
+
+
+# ----------------------------------------------------------------------
+# Oracle vs DatasetReplay: any random event sequence agrees exactly
+# ----------------------------------------------------------------------
+@given(lte_stream)
+@settings(max_examples=150, deadline=None)
+def test_oracle_agrees_with_replay_on_any_lte_sequence(names):
+    oracle = TransitionOracle.for_spec(LTE_SPEC)
+    tally = oracle.replay_dataset(TraceDataset(streams=[_as_stream(names)]))
+    replay = replay_events([(float(i), n) for i, n in enumerate(names)], LTE_SPEC)
+    assert tally.counted_events == replay.counted_events
+    assert tally.violating_events == replay.violating_events
+    assert tally.bootstrapped_streams == int(replay.bootstrapped)
+    assert tally.violating_streams == int(replay.has_violation)
+
+
+@given(nr_stream)
+@settings(max_examples=100, deadline=None)
+def test_oracle_agrees_with_replay_on_any_nr_sequence(names):
+    oracle = TransitionOracle.for_spec(NR_SPEC)
+    tally = oracle.replay_dataset(TraceDataset(streams=[_as_stream(names)]))
+    replay = replay_events([(float(i), n) for i, n in enumerate(names)], NR_SPEC)
+    assert tally.counted_events == replay.counted_events
+    assert tally.violating_events == replay.violating_events
+
+
+@given(st.lists(lte_stream, min_size=0, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_oracle_dataset_rates_match_replay_dataset(streams):
+    """Multi-stream aggregation: rates and patterns byte-identical."""
+    dataset = TraceDataset(
+        streams=[_as_stream(names, ue=f"u{i}") for i, names in enumerate(streams)],
+        vocabulary=LTE_EVENTS,
+    )
+    oracle = TransitionOracle.for_spec(LTE_SPEC)
+    tally = oracle.replay_dataset(dataset)
+    replay = replay_dataset(dataset.replay_pairs(), LTE_SPEC)
+    assert tally.event_violation_rate == replay.event_violation_rate
+    assert tally.stream_violation_rate == replay.stream_violation_rate
+    assert oracle.top_patterns(tally, 50) == replay.top_violation_patterns(50)
+
+
+@given(st.lists(lte_stream, min_size=1, max_size=6), st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_oracle_buffer_agrees_with_dataset_path(streams, seed):
+    """The columnar shard-buffer path equals the per-stream path, even
+    with streams interleaved in a single time-sorted buffer."""
+    rng = np.random.default_rng(seed)
+    dataset_streams = []
+    rows = []  # (time, ue, local_code)
+    names: list[str] = []
+    local: dict[str, int] = {}
+    for ue, stream_names in enumerate(streams):
+        times = np.cumsum(rng.exponential(1.0, size=len(stream_names)))
+        dataset_streams.append(
+            Stream.from_arrays(f"u{ue}", "phone", times, stream_names)
+        )
+        for t, name in zip(times, stream_names):
+            code = local.setdefault(name, len(local))
+            if code == len(names):
+                names.append(name)
+            rows.append((float(t), ue, code))
+    rows.sort()  # global time order interleaves the UEs
+    oracle = TransitionOracle.for_spec(LTE_SPEC)
+    if rows:
+        times, ues, codes = (np.asarray(column) for column in zip(*rows))
+    else:
+        times = ues = codes = np.empty(0)
+    from_buffer = oracle.validate_buffer(
+        times, ues, codes, names, num_ues=len(streams)
+    )
+    from_dataset = oracle.replay_dataset(TraceDataset(streams=dataset_streams))
+    assert from_buffer.counted_events == from_dataset.counted_events
+    assert from_buffer.violating_events == from_dataset.violating_events
+    assert from_buffer.violating_streams == from_dataset.violating_streams
+    assert np.array_equal(from_buffer.pattern_counts, from_dataset.pattern_counts)
+
+
+# ----------------------------------------------------------------------
+# Tokenizer encode/decode round-trip on fuzzed streams
+# ----------------------------------------------------------------------
+fuzzed_stream = st.lists(
+    st.tuples(
+        st.sampled_from(list(LTE_EVENTS)),
+        st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(fuzzed_stream)
+@settings(max_examples=100, deadline=None)
+def test_tokenizer_round_trip_on_fuzzed_streams(samples):
+    names = [name for name, _ in samples]
+    deltas = np.array([delta for _, delta in samples])
+    deltas[0] = 0.0
+    times = np.cumsum(deltas)
+    stream = Stream.from_arrays("fuzz", "phone", times, names)
+    tokenizer = StreamTokenizer(LTE_EVENTS).fit(
+        TraceDataset(streams=[stream], vocabulary=LTE_EVENTS)
+    )
+    tokens = tokenizer.encode(stream)
+    fields = tokenizer.decode_fields(tokens)
+    # Categorical fields survive exactly.
+    assert [LTE_EVENTS.name(int(i)) for i in fields.event_indices] == names
+    assert fields.stop_flags[-1] == 1
+    assert not fields.stop_flags[:-1].any()
+    # The full decode reproduces timestamps within scaler round-trip
+    # error (log/exp plus min-max), and stays monotone.
+    decoded = tokenizer.decode(tokens, "fuzz", "phone", start_time=times[0])
+    recovered = decoded.timestamps()
+    assert np.all(np.diff(recovered) >= 0)
+    np.testing.assert_allclose(recovered, times, rtol=1e-6, atol=1e-6)
+
+
+@given(fuzzed_stream, st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_tokenizer_round_trip_any_start_time(samples, start):
+    names = [name for name, _ in samples]
+    deltas = np.array([delta for _, delta in samples])
+    deltas[0] = 0.0
+    stream = Stream.from_arrays("fuzz", "phone", start + np.cumsum(deltas), names)
+    tokenizer = StreamTokenizer(LTE_EVENTS).fit(
+        TraceDataset(streams=[stream], vocabulary=LTE_EVENTS)
+    )
+    decoded = tokenizer.decode(
+        tokenizer.encode(stream), "fuzz", "phone", start_time=start
+    )
+    assert decoded.event_names() == names
+    assert len(decoded) == len(stream)

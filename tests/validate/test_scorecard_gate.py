@@ -1,0 +1,256 @@
+"""Scorecard assembly, JSON round-trip, and the end-to-end gate."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.statemachine import LTE_EVENTS, LTE_SPEC
+from repro.trace import SyntheticTraceConfig, generate_trace
+from repro.trace.dataset import TraceDataset
+from repro.trace.schema import Stream
+from repro.validate import (
+    FidelityScorecard,
+    GateThresholds,
+    OracleValidator,
+    TrafficSketch,
+    build_scorecard,
+    run_gate,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_trace():
+    return generate_trace(
+        SyntheticTraceConfig(num_ues=100, device_type="phone", hour=20, seed=6)
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_scorecard(clean_trace):
+    validator = OracleValidator(LTE_SPEC)
+    validator.observe_dataset(clean_trace, cohort="phones")
+    return build_scorecard(
+        conformance=validator.report(),
+        sketch=TrafficSketch.from_dataset(clean_trace, seed=0),
+        reference=TrafficSketch.from_dataset(clean_trace, seed=1),
+        rng=np.random.default_rng(0),
+        num_resamples=20,
+        memorization=0.1,
+        memorization_params={"n": 10, "epsilon": 0.2},
+    )
+
+
+class TestThresholds:
+    def test_defaults_are_valid(self):
+        GateThresholds()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GateThresholds(max_event_violation_rate=1.5)
+        with pytest.raises(ValueError):
+            GateThresholds(max_memorization=-0.1)
+
+
+class TestScorecard:
+    def test_self_comparison_passes(self, clean_scorecard):
+        assert clean_scorecard.passed
+        names = {check.name for check in clean_scorecard.checks}
+        assert names == {
+            "event_violation_rate",
+            "stream_violation_rate",
+            "interarrival_jsd",
+            "interarrival_ks",
+            "flow_length_jsd",
+            "flow_length_ks",
+            "memorization_repeat_fraction",
+        }
+
+    def test_check_lookup(self, clean_scorecard):
+        check = clean_scorecard.check("event_violation_rate")
+        assert check.value == 0.0
+        with pytest.raises(KeyError):
+            clean_scorecard.check("nope")
+
+    def test_zero_thresholds_fail_distances(self, clean_trace):
+        validator = OracleValidator(LTE_SPEC)
+        validator.observe_dataset(clean_trace)
+        other = generate_trace(
+            SyntheticTraceConfig(
+                num_ues=100, device_type="connected_car", hour=3, seed=8
+            )
+        )
+        scorecard = build_scorecard(
+            conformance=validator.report(),
+            sketch=TrafficSketch.from_dataset(clean_trace),
+            reference=TrafficSketch.from_dataset(other),
+            thresholds=GateThresholds(
+                max_interarrival_jsd=0.0, max_interarrival_ks=0.0
+            ),
+        )
+        assert not scorecard.passed
+        assert not scorecard.check("interarrival_jsd").passed
+
+    def test_json_round_trip(self, clean_scorecard, tmp_path):
+        path = tmp_path / "scorecard.json"
+        clean_scorecard.to_json(path)
+        loaded = FidelityScorecard.from_json(path)
+        assert loaded.passed == clean_scorecard.passed
+        assert loaded.checks == clean_scorecard.checks
+        assert loaded.violations == json.loads(
+            json.dumps(clean_scorecard.violations)
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro/fidelity-scorecard/v1"
+        assert payload["memorization"]["repeat_fraction"] == 0.1
+
+    def test_from_json_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FidelityScorecard.from_json(tmp_path / "missing.json")
+
+    def test_unknown_schema_rejected(self, clean_scorecard):
+        payload = clean_scorecard.to_dict()
+        payload["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            FidelityScorecard.from_dict(payload)
+
+    def test_summary_mentions_verdict_and_checks(self, clean_scorecard):
+        text = clean_scorecard.summary()
+        assert "PASS" in text
+        assert "event_violation_rate" in text
+
+    def test_memorization_null_when_skipped(self, clean_trace):
+        validator = OracleValidator(LTE_SPEC)
+        validator.observe_dataset(clean_trace)
+        scorecard = build_scorecard(
+            conformance=validator.report(),
+            sketch=TrafficSketch.from_dataset(clean_trace),
+            reference=TrafficSketch.from_dataset(clean_trace),
+        )
+        assert scorecard.memorization is None
+        assert scorecard.to_dict()["memorization"] is None
+        names = {check.name for check in scorecard.checks}
+        assert "memorization_repeat_fraction" not in names
+
+
+class TestSessionValidate:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return Session("phone-evening").synthesize().fit("smm-1").generate(
+            120, seed=3
+        )
+
+    def test_scorecard_passes_for_smm(self, session, tmp_path):
+        report_path = tmp_path / "gate.json"
+        scorecard = session.validate(
+            seed=0, num_resamples=20, report_path=report_path
+        )
+        assert scorecard.passed
+        assert report_path.exists()
+        assert scorecard.generated["streams"] == 120
+        assert scorecard.memorization is not None
+
+    def test_strict_thresholds_can_fail(self, session):
+        strict = GateThresholds(
+            max_interarrival_ks=0.0, max_flow_length_ks=0.0
+        )
+        scorecard = session.validate(
+            thresholds=strict, memorization=False, num_resamples=20
+        )
+        assert not scorecard.passed
+
+    def test_violating_population_fails_conformance(self, session):
+        rng = np.random.default_rng(0)
+        names = list(LTE_EVENTS)
+        streams = []
+        for ue in range(50):
+            length = int(rng.integers(5, 30))
+            times = np.cumsum(rng.exponential(5.0, size=length))
+            events = [names[i] for i in rng.integers(0, len(names), size=length)]
+            streams.append(Stream.from_arrays(f"u{ue}", "phone", times, events))
+        bad = TraceDataset(streams=streams, vocabulary=LTE_EVENTS)
+        scorecard = session.validate(bad, memorization=False, num_resamples=20)
+        assert not scorecard.check("event_violation_rate").passed
+
+
+class TestRunGate:
+    def test_scenario_gate_passes(self, tmp_path):
+        report = tmp_path / "gate.json"
+        scorecard = run_gate(
+            "phone-evening",
+            backend="smm-1",
+            count=100,
+            seed=0,
+            num_resamples=20,
+            report_path=report,
+        )
+        assert scorecard.passed
+        assert report.exists()
+
+    def test_workload_gate_runs_streaming(self):
+        scorecard = run_gate(
+            "city-day",
+            scale=0.05,
+            seed=1,
+            num_resamples=20,
+        )
+        assert scorecard.memorization is None  # workload mode skips it
+        assert scorecard.check("event_violation_rate").value == 0.0
+        assert set(scorecard.violations["per_cohort"]) == {
+            "phones", "tablets", "cars",
+        }
+
+    def test_thresholds_forwarded(self):
+        strict = replace(GateThresholds(), max_interarrival_ks=0.0)
+        scorecard = run_gate(
+            "phone-evening",
+            backend="smm-1",
+            count=60,
+            thresholds=strict,
+            memorization=False,
+            num_resamples=20,
+        )
+        assert not scorecard.passed
+
+
+class TestGateCLI:
+    def test_cli_pass_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report = tmp_path / "gate.json"
+        code = main(
+            [
+                "fidelity-gate",
+                "phone-evening",
+                "--backend", "smm-1",
+                "--count", "80",
+                "--resamples", "20",
+                "--report", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fidelity gate: PASS" in out
+        assert report.exists()
+
+    def test_cli_threshold_override_fails_build(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "fidelity-gate",
+                "phone-evening",
+                "--backend", "smm-1",
+                "--count", "60",
+                "--resamples", "20",
+                "--skip-memorization",
+                "--max-ks", "0.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out

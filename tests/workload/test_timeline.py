@@ -276,3 +276,109 @@ class TestPace:
         # An infinite source works because pacing is a generator.
         paced = pace(endless(), speed=float("inf"))
         assert next(iter(paced)).timestamp == 0.0
+
+
+class TestPaceEdgeCases:
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            list(pace([], speed=-2.0))
+
+    def test_empty_timeline_yields_nothing(self):
+        def clock() -> float:  # pragma: no cover - must never run
+            pytest.fail("clock consulted for an empty timeline")
+
+        assert list(pace([], clock=clock, sleep=lambda _: None)) == []
+
+    def test_single_event_released_immediately(self):
+        sleeps: list[float] = []
+        events = [TimelineEvent(42.0, "a", "u", "TAU")]
+        paced = list(pace(events, speed=1.0, sleep=sleeps.append))
+        assert paced == events
+        assert sleeps == []
+
+    def test_zero_span_timeline_never_sleeps(self):
+        events = [TimelineEvent(7.0, "a", "u", "TAU") for _ in range(4)]
+        paced = list(
+            pace(events, speed=0.001, sleep=lambda _: pytest.fail("slept"))
+        )
+        assert len(paced) == 4
+
+    def test_late_consumer_never_gets_negative_sleep(self):
+        # The wall clock jumps far ahead of schedule: pace must not
+        # sleep at all (open loop), and certainly not sleep(<0).
+        now = [0.0]
+
+        def clock() -> float:
+            now[0] += 100.0
+            return now[0]
+
+        sleeps: list[float] = []
+        events = [TimelineEvent(float(t), "a", "u", "TAU") for t in range(5)]
+        assert len(list(pace(events, speed=1.0, clock=clock, sleep=sleeps.append))) == 5
+        assert sleeps == []
+
+
+class TestRunValidators:
+    def test_run_matches_materialized_violation_stats(self, workload):
+        from repro.metrics import violation_stats
+        from repro.statemachine import LTE_SPEC
+        from repro.validate import OracleValidator
+
+        validator = OracleValidator(LTE_SPEC)
+        result = workload.run(validators=(validator,))
+        report = result.report("conformance")
+        stats = violation_stats(workload.materialize(), LTE_SPEC, top_k=50)
+        assert report.event_rate == stats.event_rate
+        assert report.stream_rate == stats.stream_rate
+        assert report.top_patterns[:50] == stats.top_patterns
+        assert result.num_events == report.total_events
+        assert set(report.per_cohort) == {"base", "surge", "drip"}
+
+    def test_run_with_simulation(self, workload):
+        from repro.statemachine import LTE_SPEC
+        from repro.validate import OracleValidator, StatsValidator
+
+        result = workload.run(
+            validators=(OracleValidator(LTE_SPEC), StatsValidator()),
+            simulate=True,
+            sim_workers=2,
+        )
+        assert result.simulation is not None
+        assert result.simulation.num_events == result.num_events
+        sketch = result.report("stats")
+        assert sketch.num_events == result.num_events
+
+    def test_unknown_report_name_raises(self, workload):
+        result = workload.run()
+        with pytest.raises(KeyError, match="no validator"):
+            result.report("conformance")
+
+    def test_workers_do_not_change_tallies(self):
+        from repro.statemachine import LTE_SPEC
+        from repro.validate import OracleValidator
+
+        tallies = []
+        for num_workers in (1, 3):
+            engine = Workload(_population(), seed=5, num_workers=num_workers,
+                              shard_ues=8)
+            validator = OracleValidator(LTE_SPEC)
+            engine.run(validators=(validator,))
+            tally = validator.tally
+            tallies.append(
+                (tally.counted_events, tally.violating_events, tally.streams)
+            )
+        assert tallies[0] == tallies[1]
+
+    def test_simulator_tee_sees_all_offered_events(self, workload):
+        from repro.statemachine import LTE_SPEC
+        from repro.validate import OracleValidator
+
+        tee = OracleValidator(LTE_SPEC)
+        # queue_limit=0 drops every arrival: the harshest possible queue.
+        report = MCNSimulator(workers=2, queue_limit=0).run(
+            workload.events(), tee=tee
+        )
+        # Drops happen with such a tight queue, yet the tee sees every
+        # offered arrival (conformance is judged pre-drop).
+        assert report.dropped_events > 0
+        assert tee.tally.total_events == report.num_events + report.dropped_events
