@@ -1,14 +1,151 @@
-"""Benchmarks for the training-centric experiments (Tables 8, 9, 10).
+"""Benchmarks for training: the fused engine, and Tables 8, 9, 10.
 
-These train models inside the measured region (the experiments *are*
-training-time measurements), so they run a single round each.
+The ``train_engine`` benches track the fused flat-buffer trainer
+(``BENCH_training.json``): steps/s of the pre-engine per-parameter loop
+(re-created verbatim below, so the baseline stays measurable forever)
+vs the fused engine's float64 exact mode and its float32+bucketing fast
+mode.  The table benches train models inside the measured region (the
+experiments *are* training-time measurements); everything runs a single
+round.
 """
 
 from __future__ import annotations
 
+import numpy as np
+import pytest
 from conftest import run_once
 
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+from repro.core.train import (
+    _batch_loss,
+    bucketed_batches,
+    encode_training_set,
+    iterate_batches,
+)
 from repro.experiments import table8, table9, table10
+from repro.statemachine import LTE_EVENTS
+from repro.tokenization import StreamTokenizer
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+# ---------------------------------------------------------------------------
+# Fused training engine (steps/s, tracked in BENCH_training.json)
+# ---------------------------------------------------------------------------
+ENGINE_MODEL = CPTGPTConfig(
+    d_model=32, num_layers=2, num_heads=4, d_ff=64, head_hidden=64, max_len=128
+)
+ENGINE_TRAINING = TrainingConfig(epochs=2, batch_size=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine_trace():
+    return generate_trace(
+        SyntheticTraceConfig(num_ues=300, device_type="phone", hour=20, seed=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_tokenizer(engine_trace):
+    return StreamTokenizer(LTE_EVENTS).fit(engine_trace)
+
+
+def _legacy_train(model, dataset, tokenizer, config):
+    """The pre-engine training loop: per-parameter Adam and clipping."""
+    rng = np.random.default_rng(config.seed)
+    encoded = encode_training_set(dataset, tokenizer, model.config.max_len)
+    params = model.parameters()
+    moments_m = [np.zeros_like(p.data) for p in params]
+    moments_v = [np.zeros_like(p.data) for p in params]
+    step_count = 0
+    steps = 0
+    lr = config.learning_rate
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    cached = (
+        bucketed_batches(encoded, tokenizer, config.batch_size)
+        if config.length_bucketing
+        else None
+    )
+    model.train()
+    for epoch in range(config.epochs):
+        if config.lr_schedule == "cosine" and config.epochs > 1:
+            progress = epoch / (config.epochs - 1)
+            floor = config.final_lr_fraction
+            lr = config.learning_rate * (
+                floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
+            )
+        if cached is None:
+            batches = iterate_batches(
+                encoded, tokenizer, config.batch_size, rng, config.shuffle
+            )
+        else:
+            batches = (cached[i] for i in rng.permutation(len(cached)))
+        for batch in batches:
+            for param in params:
+                param.grad = None
+            total, *_ = _batch_loss(model, batch, config.loss_weights)
+            total.backward()
+            norm_sq = 0.0
+            for param in params:
+                if param.grad is not None:
+                    norm_sq += float((param.grad**2).sum())
+            norm = float(np.sqrt(norm_sq))
+            if norm > config.grad_clip and norm > 0:
+                scale = config.grad_clip / norm
+                for param in params:
+                    if param.grad is not None:
+                        param.grad *= scale
+            step_count += 1
+            bias1 = 1.0 - beta1**step_count
+            bias2 = 1.0 - beta2**step_count
+            for param, m, v in zip(params, moments_m, moments_v):
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                m *= beta1
+                m += (1 - beta1) * grad
+                v *= beta2
+                v += (1 - beta2) * grad * grad
+                param.data = param.data - lr * (m / bias1) / (
+                    np.sqrt(v / bias2) + eps
+                )
+            steps += 1
+    model.eval()
+    return steps
+
+
+def test_bench_train_engine_legacy_baseline(benchmark, engine_trace, engine_tokenizer):
+    """Pre-PR ``train()``: per-parameter loop, float64, random batching."""
+
+    def run():
+        model = CPTGPT(ENGINE_MODEL, np.random.default_rng(0))
+        return _legacy_train(model, engine_trace, engine_tokenizer, ENGINE_TRAINING)
+
+    steps = run_once(benchmark, run)
+    assert steps == ENGINE_TRAINING.epochs * 10  # 300 streams / batch 32
+
+
+def test_bench_train_engine_fused_exact(benchmark, engine_trace, engine_tokenizer):
+    """Fused engine, float64 exact mode (bit-equivalent to the baseline)."""
+
+    def run():
+        model = CPTGPT(ENGINE_MODEL, np.random.default_rng(0))
+        return train(model, engine_trace, engine_tokenizer, ENGINE_TRAINING).steps
+
+    steps = run_once(benchmark, run)
+    assert steps == ENGINE_TRAINING.epochs * 10
+
+
+def test_bench_train_engine_fused_fast(benchmark, engine_trace, engine_tokenizer):
+    """Fused engine fast mode: float32 arena + cached length bucketing."""
+    config = ENGINE_TRAINING.replace(length_bucketing=True)
+
+    def run():
+        model = CPTGPT(ENGINE_MODEL, np.random.default_rng(0))
+        return train(
+            model, engine_trace, engine_tokenizer, config, float32=True
+        ).steps
+
+    steps = run_once(benchmark, run)
+    assert steps == ENGINE_TRAINING.epochs * 10
 
 
 def test_bench_table8_ablation(benchmark, bench_workbench):

@@ -111,11 +111,18 @@ class CPTGPTGenerator(GeneratorBase):
     """The paper's generator: decoder-only transformer, supervised ML.
 
     ``float32=True`` switches generation to the reduced-precision
-    throughput mode of :class:`~repro.core.generate.InferenceEngine`
-    (training always runs float64).  Streaming chunks are large
+    throughput mode of :class:`~repro.core.generate.InferenceEngine`;
+    ``float32_train=True`` is the training-side analogue (a float32
+    parameter arena in the fused trainer).  Streaming chunks are large
     (``generation_batch``) so the continuous-batching engine can keep
     recycling slots within each chunk; the engine's internal step batch
     stays at its own default.
+
+    Training scale-out knobs pass straight through ``Session.fit``:
+    ``num_workers`` evaluates gradient shards in worker processes
+    (requires ``training.grad_shards > 1``; never changes the result),
+    ``resume``/``checkpoint``/``checkpoint_every`` drive the fused
+    trainer's checkpointing.
     """
 
     transfers = True
@@ -131,10 +138,24 @@ class CPTGPTGenerator(GeneratorBase):
         tokenizer: StreamTokenizer | None = None,
         init_seed: int = 0,
         float32: bool = False,
+        float32_train: bool = False,
+        num_workers: int = 1,
+        resume=None,
+        checkpoint=None,
+        checkpoint_every: int | None = None,
     ) -> None:
         super().__init__(tokenizer=tokenizer)
         #: Generate with the float32 fast path (flip any time).
         self.float32 = float32
+        #: Train in a float32 parameter arena (fast fit mode).
+        self.float32_train = float32_train
+        #: Worker processes for sharded gradient evaluation during fit.
+        self.num_workers = num_workers
+        #: Trainer checkpoint to resume fitting from (path or object).
+        self.resume = resume
+        #: Where to write trainer checkpoints, and how often (in steps).
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
         self.config = config if config is not None else CPTGPTConfig()
         self.training = training if training is not None else TrainingConfig()
         #: Fine-tune schedule for :meth:`adapt`; defaults to the paper's
@@ -158,7 +179,17 @@ class CPTGPTGenerator(GeneratorBase):
         if config.num_event_types != tokenizer.num_events:
             config = replace(config, num_event_types=tokenizer.num_events)
         model = CPTGPT(config, np.random.default_rng(self.init_seed))
-        self.last_training_result = train(model, dataset, tokenizer, self.training)
+        self.last_training_result = train(
+            model,
+            dataset,
+            tokenizer,
+            self.training,
+            num_workers=self.num_workers,
+            resume=self.resume,
+            checkpoint_path=self.checkpoint,
+            checkpoint_every=self.checkpoint_every,
+            float32=self.float32_train,
+        )
         self.package = GeneratorPackage(
             model, tokenizer, dataset.initial_event_distribution(), scenario.device_type
         )

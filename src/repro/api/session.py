@@ -154,6 +154,13 @@ class Session:
         already-fitted name refits with the new options (and drops that
         backend's cached populations), so explicit configuration is
         never silently ignored.
+
+        For ``cpt-gpt``, training scale-out options ride along here:
+        ``fit("cpt-gpt", num_workers=4, training=cfg)`` evaluates
+        gradient shards in worker processes (set
+        ``training.grad_shards``), ``resume=``/``checkpoint=`` continue
+        and emit fused-trainer checkpoints, and ``float32_train=True``
+        fits in the float32 arena fast mode.
         """
         if isinstance(generator, str):
             name = GENERATORS.canonical(generator)

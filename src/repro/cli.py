@@ -75,6 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "overrides the model-shape flags")
     p.add_argument("--device-type", default="phone")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--float32-train", action="store_true",
+                   help="fit in the fused trainer's float32 arena fast mode")
+    p.add_argument("--grad-shards", type=int, default=1,
+                   help="fixed gradient shards per optimizer step "
+                        "(deterministic data-parallel fit)")
+    p.add_argument("--train-workers", type=int, default=1,
+                   help="worker processes evaluating gradient shards "
+                        "(needs --grad-shards > 1; never changes the result)")
+    p.add_argument("--checkpoint", default=None,
+                   help="write fused-trainer checkpoints to this path")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="checkpoint every N optimizer steps (with --checkpoint)")
+    p.add_argument("--resume", default=None,
+                   help="resume training from a trainer checkpoint "
+                        "(--epochs is the total target, not extra epochs)")
 
     p = sub.add_parser("generate", help="sample streams from a saved generator")
     p.add_argument("package", help="trained artifact (.npz or .json)")
@@ -203,8 +218,14 @@ def _cmd_train(args) -> int:
             batch_size=args.batch_size,
             learning_rate=args.learning_rate,
             seed=args.seed,
+            grad_shards=args.grad_shards,
         ),
         init_seed=args.seed,
+        float32_train=args.float32_train,
+        num_workers=args.train_workers,
+        resume=args.resume,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
     session.save(args.output)
     generator = session.generator()

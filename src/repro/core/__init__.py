@@ -19,6 +19,7 @@ from .train import (
     iterate_batches,
     train,
 )
+from .trainer import FusedTrainer, TrainerCheckpoint
 from .transfer import HourlyModels, derive_hourly_models, fine_tune
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "CPTGPT",
     "FieldPredictions",
     "train",
+    "FusedTrainer",
+    "TrainerCheckpoint",
     "TrainingResult",
     "EpochStats",
     "EncodedStream",

@@ -84,6 +84,24 @@ class TrainingConfig:
     #: batching costs extra padding compute but is statistically unbiased,
     #: so it is the default.
     length_bucketing: bool = False
+    #: Gradient shards per optimizer step.  With ``grad_shards > 1`` the
+    #: fused trainer splits every batch into this fixed number of stream
+    #: shards, computes each shard's gradient independently and combines
+    #: them with a fixed tree reduction — ``train(num_workers=k)`` then
+    #: evaluates shards in worker processes without ever changing the
+    #: result.  Part of the *config* (not an execution knob) because the
+    #: sharded trajectory, while deterministic, rounds differently from
+    #: the unsharded one.
+    grad_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.grad_clip > 0:
+            raise ValueError(
+                f"grad_clip must be positive; got {self.grad_clip} "
+                "(a non-positive clip would zero every gradient)"
+            )
+        if self.grad_shards < 1:
+            raise ValueError(f"grad_shards must be >= 1; got {self.grad_shards}")
 
     def replace(self, **kwargs) -> "TrainingConfig":
         payload = asdict(self)

@@ -9,12 +9,11 @@ batch and masked out of every loss term.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy, gaussian_nll, mse
+from ..nn import Adam, Tensor, cross_entropy, gaussian_nll, mse
 from ..tokenization import StreamTokenizer
 from ..trace.dataset import TraceDataset
 from .config import TrainingConfig
@@ -229,60 +228,41 @@ def train(
     tokenizer: StreamTokenizer,
     config: TrainingConfig,
     optimizer: Adam | None = None,
+    *,
+    num_workers: int = 1,
+    resume=None,
+    checkpoint_path=None,
+    checkpoint_every: int | None = None,
+    float32: bool = False,
 ) -> TrainingResult:
     """Train ``model`` on ``dataset``; returns per-epoch loss statistics.
 
+    Runs on the fused flat-buffer engine
+    (:class:`~repro.core.trainer.FusedTrainer`); in float64 with the
+    default config the trajectory is bit-equivalent to the original
+    per-parameter loop.
+
     Passing an existing ``optimizer`` continues its moment estimates —
-    used by transfer learning to fine-tune smoothly.
+    used by transfer learning to fine-tune smoothly (the optimizer is
+    rebound to ``config.learning_rate``; a cosine schedule then anneals
+    from there).  ``resume`` continues a checkpointed run bit-exactly,
+    and ``checkpoint_path`` / ``checkpoint_every`` emit
+    :class:`~repro.core.trainer.TrainerCheckpoint` archives during the
+    run.  With ``config.grad_shards > 1`` each step's gradient is
+    computed over a fixed shard plan that ``num_workers`` worker
+    processes evaluate in parallel (the result never depends on
+    ``num_workers``).  ``float32`` trains in a float32 parameter arena
+    (the fast mode; statistically equivalent, not bitwise).
     """
-    if config.lr_schedule not in ("constant", "cosine"):
-        raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}")
-    rng = np.random.default_rng(config.seed)
-    encoded = encode_training_set(dataset, tokenizer, model.config.max_len)
-    if optimizer is None:
-        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    from .trainer import FusedTrainer
 
-    # Length-bucketed batch membership never changes between epochs
-    # (shuffle only permutes batch order), so the padded arrays are
-    # built once here and reused for the whole run.
-    cached_batches = (
-        bucketed_batches(encoded, tokenizer, config.batch_size)
-        if config.length_bucketing
-        else None
+    trainer = FusedTrainer(
+        model, tokenizer, config, float32=float32, optimizer=optimizer
     )
-
-    def epoch_batches():
-        if cached_batches is None:
-            return iterate_batches(
-                encoded, tokenizer, config.batch_size, rng, config.shuffle
-            )
-        if config.shuffle:
-            return (cached_batches[i] for i in rng.permutation(len(cached_batches)))
-        return iter(cached_batches)
-
-    result = TrainingResult()
-    model.train()
-    start = time.perf_counter()
-    for epoch in range(config.epochs):
-        if config.lr_schedule == "cosine" and config.epochs > 1:
-            progress = epoch / (config.epochs - 1)
-            floor = config.final_lr_fraction
-            optimizer.lr = config.learning_rate * (
-                floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
-            )
-        sums = np.zeros(4)
-        batches = 0
-        for batch in epoch_batches():
-            optimizer.zero_grad()
-            total, event_l, iat_l, stop_l = _batch_loss(model, batch, config.loss_weights)
-            total.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            sums += (float(total.item()), event_l, iat_l, stop_l)
-            batches += 1
-            result.steps += 1
-        avg = sums / max(batches, 1)
-        result.epochs.append(EpochStats(*avg))
-    result.wall_time_seconds = time.perf_counter() - start
-    model.eval()
-    return result
+    return trainer.fit(
+        dataset,
+        num_workers=num_workers,
+        resume=resume,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )

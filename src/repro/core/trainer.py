@@ -1,0 +1,721 @@
+"""Fused flat-buffer training engine with checkpoint/resume and sharding.
+
+:func:`repro.core.train.train` delegates here.  The engine owns three
+capabilities the legacy loop lacked:
+
+**Fused optimizer arenas.**  The optimizer adopts every parameter into
+one contiguous buffer (:class:`repro.nn.optim.ParameterArena`), so the
+Adam update and gradient clipping run as whole-arena NumPy ops.  In
+float64 the trajectory is **bit-equivalent** to the legacy
+per-parameter loop (pinned by ``tests/core/test_trainer_fused.py``);
+``float32=True`` trains in a float32 arena instead — the training
+analogue of the inference engine's fast path (statistically equivalent,
+not bitwise; weights are cast back to float64 when the run completes).
+
+**Checkpoint/resume.**  :class:`TrainerCheckpoint` captures weights,
+Adam moments and per-parameter step counts, the epoch-start RNG state,
+the (epoch, batch) cursor and partial epoch loss sums.  Resuming
+continues the run **bit-exactly**: the interrupted-and-resumed run
+produces the same weights and per-epoch losses as an uninterrupted one
+with the same config.
+
+**Deterministic data-parallel fit.**  With ``grad_shards > 1`` in the
+:class:`~repro.core.config.TrainingConfig`, each step's batch is split
+into a *fixed* plan of stream shards (``shard_counts``); every shard's
+gradient is computed independently and the shard gradients are combined
+by a fixed binary tree (the same pairing as
+:func:`~repro.nn.numpy_ops.stable_last_sum`), scaled by each shard's
+mask count so the combined update equals the full-batch weighted mean.
+``num_workers`` only chooses *where* shards are evaluated (forked
+worker processes vs inline); the shard plan and reduction order never
+depend on it, so ``num_workers=k`` reproduces ``num_workers=1``
+bit-exactly.  Sharded fit is its own deterministic algorithm: it is not
+bitwise-identical to the unsharded path (shard-local padding and the
+tree reduction round differently), just statistically equivalent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn import Adam, clip_grad_norm
+from ..nn.serialization import read_metadata, write_npz
+from ..tokenization import StreamTokenizer
+from ..trace.dataset import TraceDataset
+from .config import TrainingConfig
+from .sharding import fork_available, shard_counts
+from .train import (
+    EpochStats,
+    TrainingResult,
+    _batch_loss,
+    _build_batch,
+    bucketed_batches,
+    encode_training_set,
+)
+
+__all__ = ["FusedTrainer", "TrainerCheckpoint"]
+
+_CHECKPOINT_FORMAT = "repro-trainer-checkpoint-v1"
+
+
+def _tree_reduce(buffers: list[np.ndarray]) -> np.ndarray:
+    """Sum same-shape buffers with a fixed binary tree.
+
+    The pairing mirrors :func:`repro.nn.numpy_ops.stable_last_sum`
+    (adjacent pairs, odd tail folded into the last pair), so the
+    accumulation order is a pure function of the shard count — never of
+    how shards were scheduled across workers.
+    """
+    if not buffers:
+        raise ValueError("cannot reduce zero buffers")
+    while len(buffers) > 1:
+        n = len(buffers)
+        even = n - (n % 2)
+        paired = [buffers[i] + buffers[i + 1] for i in range(0, even, 2)]
+        if n % 2:
+            paired[-1] = paired[-1] + buffers[-1]
+        buffers = paired
+    return buffers[0]
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class TrainerCheckpoint:
+    """Everything needed to continue a training run bit-exactly.
+
+    ``epoch``/``batch_in_epoch`` is the cursor of the *next* step to
+    run; ``rng_state`` is the RNG state at the start of that epoch (the
+    resumed run redraws the epoch's batch order from it and skips the
+    first ``batch_in_epoch`` batches).  ``partial_sums`` /
+    ``partial_batches`` carry the loss accumulators of the epoch in
+    progress so the resumed epoch's :class:`EpochStats` match an
+    uninterrupted run.
+    """
+
+    weights: dict[str, np.ndarray]
+    adam_m: dict[str, np.ndarray]
+    adam_v: dict[str, np.ndarray]
+    step_counts: np.ndarray
+    rng_state: dict
+    epoch: int
+    batch_in_epoch: int
+    partial_sums: np.ndarray
+    partial_batches: int
+    steps: int
+    wall_time_seconds: float
+    epoch_stats: list[EpochStats] = field(default_factory=list)
+    training: dict | None = None
+    model_config: dict | None = None
+    dtype: str = "float64"
+
+    def save(self, path: str | Path) -> None:
+        """Write the checkpoint as an ``.npz`` archive."""
+        arrays: dict[str, np.ndarray] = {"step_counts": self.step_counts}
+        arrays["partial_sums"] = np.asarray(self.partial_sums, dtype=np.float64)
+        arrays["epoch_stats"] = np.asarray(
+            [[s.total, s.event, s.interarrival, s.stop] for s in self.epoch_stats],
+            dtype=np.float64,
+        ).reshape(len(self.epoch_stats), 4)
+        for name, value in self.weights.items():
+            arrays[f"weights.{name}"] = value
+        for name, value in self.adam_m.items():
+            arrays[f"adam_m.{name}"] = value
+        for name, value in self.adam_v.items():
+            arrays[f"adam_v.{name}"] = value
+        metadata = {
+            "format": _CHECKPOINT_FORMAT,
+            "rng_state": self.rng_state,
+            "epoch": self.epoch,
+            "batch_in_epoch": self.batch_in_epoch,
+            "partial_batches": self.partial_batches,
+            "steps": self.steps,
+            "wall_time_seconds": self.wall_time_seconds,
+            "training": self.training,
+            "model_config": self.model_config,
+            "dtype": self.dtype,
+            "param_names": list(self.weights),
+        }
+        write_npz(path, arrays, metadata)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainerCheckpoint":
+        metadata = read_metadata(path)
+        if metadata.get("format") != _CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{path}: not a trainer checkpoint "
+                f"(format {metadata.get('format')!r})"
+            )
+        names = metadata["param_names"]
+        with np.load(Path(path)) as archive:
+            weights = {name: archive[f"weights.{name}"] for name in names}
+            adam_m = {name: archive[f"adam_m.{name}"] for name in names}
+            adam_v = {name: archive[f"adam_v.{name}"] for name in names}
+            step_counts = archive["step_counts"]
+            partial_sums = archive["partial_sums"]
+            stats = archive["epoch_stats"]
+        return cls(
+            weights=weights,
+            adam_m=adam_m,
+            adam_v=adam_v,
+            step_counts=step_counts,
+            rng_state=metadata["rng_state"],
+            epoch=int(metadata["epoch"]),
+            batch_in_epoch=int(metadata["batch_in_epoch"]),
+            partial_sums=partial_sums,
+            partial_batches=int(metadata["partial_batches"]),
+            steps=int(metadata["steps"]),
+            wall_time_seconds=float(metadata["wall_time_seconds"]),
+            epoch_stats=[EpochStats(*row) for row in stats],
+            training=metadata.get("training"),
+            model_config=metadata.get("model_config"),
+            dtype=metadata.get("dtype", "float64"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker pool (persistent across the whole fit)
+# ----------------------------------------------------------------------
+def _pool_worker(conn, compute, arena) -> None:
+    """Child loop: install weights, evaluate assigned shards, reply."""
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            weights, assigned = message
+            arena.data[:] = weights
+            conn.send([(sid, compute(indices)) for sid, indices in assigned])
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    finally:
+        conn.close()
+
+
+class _ShardPool:
+    """Forked workers that evaluate gradient shards for one fit() call.
+
+    Workers are forked once (inheriting the model, encoded streams and
+    arena layout copy-on-write) and receive the current weight arena
+    plus their shard assignments each step.  Shard results return to the
+    parent keyed by shard index, so the reduction order is independent
+    of scheduling.
+    """
+
+    def __init__(self, compute, arena, num_workers: int) -> None:
+        context = multiprocessing.get_context("fork")
+        self._workers = []
+        for _ in range(num_workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_pool_worker, args=(child_conn, compute, arena), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+
+    def run(self, weights: np.ndarray, shards: list) -> list:
+        assignment = [[] for _ in self._workers]
+        for sid, indices in enumerate(shards):
+            assignment[sid % len(self._workers)].append((sid, indices))
+        # Idle workers (more workers than shards) are skipped entirely —
+        # shipping them the weight arena every step would be pure
+        # serialization overhead.
+        active = [
+            (conn, assigned)
+            for (_, conn), assigned in zip(self._workers, assignment)
+            if assigned
+        ]
+        for conn, assigned in active:
+            conn.send((weights, assigned))
+        results: list = [None] * len(shards)
+        for conn, _ in active:
+            for sid, payload in conn.recv():
+                results[sid] = payload
+        return results
+
+    def close(self) -> None:
+        for _, conn in self._workers:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process, conn in self._workers:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# The trainer
+# ----------------------------------------------------------------------
+class FusedTrainer:
+    """Flat-buffer training engine for CPT-GPT-style models.
+
+    Parameters
+    ----------
+    model:
+        The model to optimize (``model.parameters()`` order defines the
+        arena layout).
+    tokenizer / config:
+        Tokenizer for batch encoding and the optimization schedule.
+    float32:
+        Train in a float32 parameter arena (fast mode).  Weights are
+        cast back to float64 when the run completes.
+    optimizer:
+        An existing fused optimizer to continue (transfer learning's
+        moment-carrying path).  Must match the model's parameters in
+        count and shape — call :meth:`~repro.nn.optim.Optimizer.rebind`
+        first when the model is a fresh copy.  Mutually exclusive with
+        ``resume=``.
+    """
+
+    def __init__(
+        self,
+        model,
+        tokenizer: StreamTokenizer,
+        config: TrainingConfig,
+        *,
+        float32: bool = False,
+        optimizer: Adam | None = None,
+    ) -> None:
+        if config.lr_schedule not in ("constant", "cosine"):
+            raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}")
+        model_dropout = getattr(getattr(model, "config", None), "dropout", 0.0)
+        if config.grad_shards > 1 and model_dropout:
+            raise ValueError(
+                "sharded fit (grad_shards > 1) does not support dropout: "
+                "shard-local RNG draws would make results depend on the plan"
+            )
+        self.model = model
+        self.tokenizer = tokenizer
+        self.config = config
+        self.float32 = bool(float32)
+        self.dtype = np.float32 if float32 else np.float64
+        self._optimizer = optimizer
+        self._encoded: list | None = None
+        self._cached_batches: list | None = None
+        self._bucket_indices: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Batch plumbing
+    # ------------------------------------------------------------------
+    def _cast_batch(self, batch):
+        if not self.float32:
+            return batch
+        from dataclasses import replace
+
+        return replace(
+            batch,
+            tokens=batch.tokens.astype(np.float32),
+            iat_targets=batch.iat_targets.astype(np.float32),
+        )
+
+    def _prepare(self, dataset: TraceDataset) -> None:
+        self._encoded = encode_training_set(
+            dataset, self.tokenizer, self.model.config.max_len
+        )
+        self._cached_batches = None
+        self._bucket_indices = None
+        if self.config.length_bucketing:
+            # Index lists per bucketed batch: the same stable
+            # length-sort bucketed_batches uses.
+            order = np.argsort(
+                [item.length for item in self._encoded], kind="stable"
+            )
+            size = self.config.batch_size
+            self._bucket_indices = [
+                order[start : start + size] for start in range(0, len(order), size)
+            ]
+            if self.config.grad_shards == 1:
+                # The sharded path rebuilds shard-local batches from the
+                # index lists; materializing padded batches too would
+                # double training-set memory for nothing.
+                self._cached_batches = [
+                    self._cast_batch(batch)
+                    for batch in bucketed_batches(
+                        self._encoded, self.tokenizer, self.config.batch_size
+                    )
+                ]
+
+    def _draw_plan(self, rng: np.random.Generator) -> list:
+        """One epoch's batch descriptors; mirrors the legacy RNG draws."""
+        if self._bucket_indices is not None:
+            n = len(self._bucket_indices)
+            if self.config.shuffle:
+                order = rng.permutation(n)
+            else:
+                order = np.arange(n)
+            return [("bucket", int(i)) for i in order]
+        order = np.arange(len(self._encoded))
+        if self.config.shuffle:
+            rng.shuffle(order)
+        size = self.config.batch_size
+        return [
+            ("chunk", order[start : start + size])
+            for start in range(0, len(order), size)
+        ]
+
+    def _descriptor_batch(self, descriptor):
+        kind, payload = descriptor
+        if kind == "bucket":
+            return self._cached_batches[payload]
+        return self._cast_batch(
+            _build_batch([self._encoded[i] for i in payload], self.tokenizer)
+        )
+
+    def _descriptor_indices(self, descriptor) -> np.ndarray:
+        kind, payload = descriptor
+        if kind == "bucket":
+            return self._bucket_indices[payload]
+        return payload
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def _step_unsharded(self, descriptor, optimizer: Adam) -> np.ndarray:
+        """One legacy-identical step: full-batch backward + fused update."""
+        batch = self._descriptor_batch(descriptor)
+        optimizer.zero_grad()
+        total, event_l, iat_l, stop_l = _batch_loss(
+            self.model, batch, self.config.loss_weights
+        )
+        total.backward()
+        clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+        optimizer.step()
+        return np.asarray(
+            [float(total.item()), event_l, iat_l, stop_l], dtype=np.float64
+        )
+
+    def _shard_grads(self, indices: np.ndarray):
+        """Gradient sums for one stream shard (runs in parent or worker)."""
+        batch = self._cast_batch(
+            _build_batch([self._encoded[i] for i in indices], self.tokenizer)
+        )
+        self.model.zero_grad()
+        total, event_l, iat_l, stop_l = _batch_loss(
+            self.model, batch, self.config.loss_weights
+        )
+        total.backward()
+        buffer = self._arena.zeros_buffer()
+        present = self._arena.gather_grads(buffer)
+        return buffer, present, (event_l, iat_l, stop_l), int(batch.mask.sum())
+
+    def _step_sharded(self, descriptor, optimizer: Adam, pool) -> np.ndarray:
+        """One sharded step: fixed shard plan, fixed tree reduction."""
+        indices = self._descriptor_indices(descriptor)
+        counts = shard_counts(len(indices), self.config.grad_shards)
+        shards = []
+        cursor = 0
+        for count in counts:
+            if count:
+                shards.append(indices[cursor : cursor + count])
+            cursor += count
+        if pool is not None:
+            results = pool.run(self._arena.data, shards)
+        else:
+            results = [self._shard_grads(shard) for shard in shards]
+        total_positions = sum(count for _, _, _, count in results)
+        factors = [count / total_positions for _, _, _, count in results]
+        reduced = _tree_reduce(
+            [grads * factor for (grads, _, _, _), factor in zip(results, factors)]
+        )
+        # A parameter is present iff any shard produced a gradient for
+        # it; frozen parameters must stay masked so their moments and
+        # step counts behave exactly like the unsharded path.
+        present = np.zeros(len(self._arena.params), dtype=bool)
+        for _, shard_present, _, _ in results:
+            present |= shard_present
+        norm = self._arena.grad_norm(reduced)
+        if norm > self.config.grad_clip:
+            reduced *= self.config.grad_clip / norm
+        optimizer.step(grads=reduced, present=present)
+        event_l = iat_l = stop_l = 0.0
+        for (_, _, losses, _), factor in zip(results, factors):
+            event_l += factor * losses[0]
+            iat_l += factor * losses[1]
+            stop_l += factor * losses[2]
+        w_event, w_iat, w_stop = self.config.loss_weights
+        total = w_event * event_l + w_iat * iat_l + w_stop * stop_l
+        return np.asarray([total, event_l, iat_l, stop_l], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Resume plumbing
+    # ------------------------------------------------------------------
+    def _validate_checkpoint(self, ck: TrainerCheckpoint) -> None:
+        names = [name for name, _ in self.model.named_parameters()]
+        if list(ck.weights) != names:
+            raise ValueError(
+                "checkpoint parameters do not match the model "
+                f"(checkpoint {len(ck.weights)}, model {len(names)})"
+            )
+        if ck.dtype != np.dtype(self.dtype).name:
+            raise ValueError(
+                f"checkpoint was trained in {ck.dtype}; "
+                f"this trainer runs {np.dtype(self.dtype).name} "
+                "(pass the matching float32= setting)"
+            )
+        if ck.training is not None:
+            current = asdict(self.config)
+            saved = dict(ck.training)
+            saved["loss_weights"] = tuple(saved.get("loss_weights", ()))
+            current["loss_weights"] = tuple(current["loss_weights"])
+            saved.pop("epochs", None)
+            current.pop("epochs", None)
+            if saved != current:
+                diff = {
+                    key
+                    for key in set(saved) | set(current)
+                    if saved.get(key) != current.get(key)
+                }
+                raise ValueError(
+                    "checkpoint training config differs from the current one "
+                    f"(fields {sorted(diff)}); resuming would not reproduce "
+                    "an uninterrupted run"
+                )
+        if ck.epoch > self.config.epochs:
+            raise ValueError(
+                f"checkpoint is at epoch {ck.epoch} but the config trains "
+                f"only {self.config.epochs}"
+            )
+
+    def _restore_weights(self, ck: TrainerCheckpoint) -> None:
+        own = dict(self.model.named_parameters())
+        for name, value in ck.weights.items():
+            param = own[name]
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"checkpoint shape mismatch for {name}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = np.asarray(value, dtype=self.dtype).copy()
+
+    def _restore_optimizer(self, ck: TrainerCheckpoint, optimizer: Adam) -> None:
+        arena = optimizer.arena
+        m = arena.zeros_buffer()
+        v = arena.zeros_buffer()
+        for i, (name, _) in enumerate(self.model.named_parameters()):
+            np.copyto(arena.shaped(m, i), ck.adam_m[name])
+            np.copyto(arena.shaped(v, i), ck.adam_v[name])
+        optimizer.load_state_buffers(
+            {"m": m, "v": v, "steps": ck.step_counts.astype(np.int64)}
+        )
+
+    def _snapshot(
+        self,
+        optimizer: Adam,
+        *,
+        rng_state: dict,
+        epoch: int,
+        batch_in_epoch: int,
+        partial_sums: np.ndarray,
+        partial_batches: int,
+        steps: int,
+        wall_time: float,
+        epoch_stats: list[EpochStats],
+    ) -> TrainerCheckpoint:
+        arena = optimizer.arena
+        state = optimizer.state_buffers()
+        names = [name for name, _ in self.model.named_parameters()]
+        weights = {}
+        adam_m = {}
+        adam_v = {}
+        for i, name in enumerate(names):
+            weights[name] = arena.shaped(arena.data, i).copy()
+            adam_m[name] = arena.shaped(state["m"], i).copy()
+            adam_v[name] = arena.shaped(state["v"], i).copy()
+        model_config = getattr(self.model, "config", None)
+        return TrainerCheckpoint(
+            weights=weights,
+            adam_m=adam_m,
+            adam_v=adam_v,
+            step_counts=state["steps"],
+            rng_state=rng_state,
+            epoch=epoch,
+            batch_in_epoch=batch_in_epoch,
+            partial_sums=np.asarray(partial_sums, dtype=np.float64).copy(),
+            partial_batches=partial_batches,
+            steps=steps,
+            wall_time_seconds=wall_time,
+            epoch_stats=list(epoch_stats),
+            training=self._config_dict(),
+            model_config=(
+                model_config.to_dict()
+                if hasattr(model_config, "to_dict")
+                else None
+            ),
+            dtype=np.dtype(self.dtype).name,
+        )
+
+    def _config_dict(self) -> dict:
+        payload = asdict(self.config)
+        payload["loss_weights"] = list(payload["loss_weights"])
+        return payload
+
+    # ------------------------------------------------------------------
+    # Fit
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: TraceDataset,
+        *,
+        num_workers: int = 1,
+        resume: TrainerCheckpoint | str | Path | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int | None = None,
+    ) -> TrainingResult:
+        """Train the model on ``dataset``; returns per-epoch statistics.
+
+        ``resume`` continues a checkpointed run bit-exactly (path or
+        :class:`TrainerCheckpoint`).  When ``checkpoint_path`` is set, a
+        checkpoint is written every ``checkpoint_every`` optimizer steps
+        (if given) and always when the run finishes.
+        """
+        config = self.config
+        if resume is not None and self._optimizer is not None:
+            raise ValueError("pass either resume= or optimizer=, not both")
+        if checkpoint_every and checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every has no effect without checkpoint_path"
+            )
+        if num_workers > 1 and config.grad_shards == 1:
+            raise ValueError(
+                "num_workers > 1 has no effect with grad_shards == 1; set "
+                "TrainingConfig.grad_shards (the fixed shard plan workers "
+                "evaluate) to parallelize fit"
+            )
+        ck = (
+            TrainerCheckpoint.load(resume)
+            if isinstance(resume, (str, Path))
+            else resume
+        )
+        if self.float32:
+            for param in self.model.parameters():
+                if param.data.dtype != np.float32:
+                    param.data = param.data.astype(np.float32)
+        if ck is not None:
+            self._validate_checkpoint(ck)
+            self._restore_weights(ck)
+        optimizer = self._optimizer
+        if optimizer is None:
+            optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        else:
+            if optimizer.arena.dtype != np.dtype(self.dtype):
+                raise ValueError(
+                    f"optimizer arena is {optimizer.arena.dtype}, "
+                    f"trainer runs {np.dtype(self.dtype).name}"
+                )
+            model_params = self.model.parameters()
+            if len(optimizer.params) != len(model_params) or any(
+                ours is not theirs
+                for ours, theirs in zip(optimizer.params, model_params)
+            ):
+                # An unbound optimizer would gather no gradients and
+                # "train" without ever updating the model.
+                raise ValueError(
+                    "optimizer is not bound to this model's parameters; "
+                    "call optimizer.rebind(model.parameters()) first"
+                )
+            optimizer.lr = config.learning_rate
+        if ck is not None:
+            if not isinstance(optimizer, Adam):
+                raise ValueError("resume requires an Adam optimizer")
+            self._restore_optimizer(ck, optimizer)
+        self._arena = optimizer.arena
+        self._prepare(dataset)
+
+        rng = np.random.default_rng(config.seed)
+        if ck is not None:
+            rng.bit_generator.state = ck.rng_state
+            start_epoch = ck.epoch
+            skip = ck.batch_in_epoch
+            sums = np.asarray(ck.partial_sums, dtype=np.float64).copy()
+            partial_batches = ck.partial_batches
+            epoch_stats = list(ck.epoch_stats)
+            steps = ck.steps
+            wall_before = ck.wall_time_seconds
+        else:
+            start_epoch = 0
+            skip = 0
+            sums = np.zeros(4)
+            partial_batches = 0
+            epoch_stats = []
+            steps = 0
+            wall_before = 0.0
+
+        sharded = config.grad_shards > 1
+        pool = None
+        self.model.train()
+        start = time.perf_counter()
+
+        def write_checkpoint(rng_state, epoch, batch_in_epoch) -> None:
+            self._snapshot(
+                optimizer,
+                rng_state=rng_state,
+                epoch=epoch,
+                batch_in_epoch=batch_in_epoch,
+                partial_sums=sums,
+                partial_batches=partial_batches,
+                steps=steps,
+                wall_time=wall_before + (time.perf_counter() - start),
+                epoch_stats=epoch_stats,
+            ).save(checkpoint_path)
+
+        try:
+            if sharded and num_workers > 1 and fork_available():
+                pool = _ShardPool(self._shard_grads, self._arena, num_workers)
+            for epoch in range(start_epoch, config.epochs):
+                epoch_rng_state = rng.bit_generator.state
+                if config.lr_schedule == "cosine" and config.epochs > 1:
+                    progress = epoch / (config.epochs - 1)
+                    floor = config.final_lr_fraction
+                    optimizer.lr = config.learning_rate * (
+                        floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
+                    )
+                plan = self._draw_plan(rng)
+                for index, descriptor in enumerate(plan):
+                    if epoch == start_epoch and index < skip:
+                        continue
+                    if sharded:
+                        stats = self._step_sharded(descriptor, optimizer, pool)
+                    else:
+                        stats = self._step_unsharded(descriptor, optimizer)
+                    sums += stats
+                    partial_batches += 1
+                    steps += 1
+                    if (
+                        checkpoint_path is not None
+                        and checkpoint_every
+                        and steps % checkpoint_every == 0
+                    ):
+                        write_checkpoint(epoch_rng_state, epoch, index + 1)
+                average = sums / max(partial_batches, 1)
+                epoch_stats.append(EpochStats(*average))
+                sums = np.zeros(4)
+                partial_batches = 0
+            result = TrainingResult(
+                epochs=epoch_stats,
+                wall_time_seconds=wall_before + (time.perf_counter() - start),
+                steps=steps,
+            )
+            if checkpoint_path is not None:
+                # Written while the arena still holds the run's dtype.
+                write_checkpoint(rng.bit_generator.state, config.epochs, 0)
+        finally:
+            if pool is not None:
+                pool.close()
+            # Leave the model usable even when the run aborts mid-epoch
+            # (e.g. an unwritable checkpoint path): eval mode, float64.
+            self.model.eval()
+            if self.float32:
+                for param in self.model.parameters():
+                    if param.data.dtype != np.float64:
+                        param.data = param.data.astype(np.float64)
+        return result

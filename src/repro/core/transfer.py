@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn import Adam
 from ..tokenization import StreamTokenizer
 from ..trace.dataset import TraceDataset
 from .config import TrainingConfig
@@ -29,15 +30,24 @@ def fine_tune(
     dataset: TraceDataset,
     tokenizer: StreamTokenizer,
     config: TrainingConfig,
+    optimizer: Adam | None = None,
 ) -> tuple[CPTGPT, TrainingResult]:
     """Adapt a copy of ``base`` to ``dataset``.
 
     The base model is left untouched; the returned model starts from its
     weights.  ``config`` should typically use fewer epochs and a lower
     learning rate than from-scratch training.
+
+    ``optimizer`` continues an existing optimizer's moment estimates
+    into the fine-tune (Design 3's recursive per-hour protocol).  The
+    optimizer is **rebound** onto the adapted copy's parameters before
+    training: it previously held the pre-copy ``Parameter`` objects, so
+    stepping it unrebound would silently update the *base* model.
     """
     adapted = copy.deepcopy(base)
-    result = train(adapted, dataset, tokenizer, config)
+    if optimizer is not None:
+        optimizer.rebind(adapted.parameters())
+    result = train(adapted, dataset, tokenizer, config, optimizer=optimizer)
     return adapted, result
 
 
@@ -59,6 +69,7 @@ def derive_hourly_models(
     tokenizer: StreamTokenizer,
     scratch_config: TrainingConfig,
     finetune_config: TrainingConfig,
+    carry_optimizer: bool = True,
 ) -> HourlyModels:
     """Train the first hour from scratch, then fine-tune recursively.
 
@@ -71,6 +82,11 @@ def derive_hourly_models(
     scratch_config / finetune_config:
         Training configurations for the base hour and for each
         subsequent fine-tune.
+    carry_optimizer:
+        Thread one Adam optimizer through the whole chain (rebound onto
+        each hour's adapted copy), so moment estimates genuinely carry
+        hour-to-hour instead of restarting cold at every fine-tune.
+        ``False`` restores the old fresh-optimizer-per-hour behavior.
     """
     if not hourly_traces:
         raise ValueError("hourly_traces is empty")
@@ -80,13 +96,21 @@ def derive_hourly_models(
 
     first = hours[0]
     base = model_factory()
-    results[first] = train(base, hourly_traces[first], tokenizer, scratch_config)
+    optimizer = (
+        Adam(base.parameters(), lr=scratch_config.learning_rate)
+        if carry_optimizer
+        else None
+    )
+    results[first] = train(
+        base, hourly_traces[first], tokenizer, scratch_config, optimizer=optimizer
+    )
     models[first] = base
 
     previous = base
     for hour in hours[1:]:
         adapted, result = fine_tune(
-            previous, hourly_traces[hour], tokenizer, finetune_config
+            previous, hourly_traces[hour], tokenizer, finetune_config,
+            optimizer=optimizer,
         )
         models[hour] = adapted
         results[hour] = result

@@ -22,7 +22,7 @@ from .layers import (
 )
 from .losses import bce_with_logits, cross_entropy, gaussian_nll, mse
 from .lstm import LSTM, LSTMCell
-from .optim import SGD, Adam, clip_grad_norm
+from .optim import SGD, Adam, ParameterArena, clip_grad_norm
 from .serialization import load_checkpoint, save_checkpoint
 from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
 from .transformer import DecoderBlock, TransformerDecoder
@@ -57,6 +57,7 @@ __all__ = [
     "LSTMCell",
     "SGD",
     "Adam",
+    "ParameterArena",
     "clip_grad_norm",
     "cross_entropy",
     "gaussian_nll",

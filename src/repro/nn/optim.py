@@ -1,4 +1,34 @@
-"""Optimizers and gradient utilities."""
+"""Optimizers and gradient utilities on flat parameter arenas.
+
+Every optimizer here *adopts* its parameters into a
+:class:`ParameterArena`: one contiguous buffer holding all parameter
+data, with each :class:`~repro.nn.layers.Parameter` rebound to a view of
+its segment (the model keeps holding the very same ``Parameter``
+objects).  Moment estimates live in sibling buffers with the same
+layout, so an optimizer step is a handful of whole-arena elementwise
+NumPy ops instead of a Python loop over parameters.
+
+Elementwise arithmetic is bitwise independent of how the operands are
+chunked, so the fused float64 step is **bit-equivalent** to the
+per-parameter reference loop this module used to contain (pinned by
+``tests/core/test_trainer_fused.py``).  The only reduction —
+:func:`clip_grad_norm`'s global norm — keeps the reference accumulation
+order (one ``.sum()`` per parameter, Python-float accumulated in
+parameter order) for exactly that reason.
+
+Two behaviors are new relative to the reference loop:
+
+* **Per-parameter step counts.**  Adam's bias correction is tracked per
+  parameter, so parameters whose gradient is absent for some steps
+  (frozen layers during fine-tuning) get the correction matching the
+  number of moment updates they actually received, rather than the
+  shared global count.  For full training (every parameter updated
+  every step) the counts stay uniform and the math is unchanged.
+* **Rebinding.**  :meth:`Optimizer.rebind` re-adopts a *different* list
+  of parameters (matching shapes) while keeping the moment buffers —
+  how transfer learning carries Adam state from a base model onto its
+  fine-tuned copy (:func:`repro.core.transfer.fine_tune`).
+"""
 
 from __future__ import annotations
 
@@ -6,55 +36,251 @@ import numpy as np
 
 from .layers import Parameter
 
-__all__ = ["SGD", "Adam", "clip_grad_norm"]
+__all__ = ["ParameterArena", "Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+#: Segment starts are padded to this many elements so every parameter
+#: view keeps the alignment class of a standalone allocation (64 bytes
+#: for float64) — reductions in NumPy may round differently on
+#: differently-aligned buffers, and bit-equivalence with the reference
+#: loop must not depend on where a segment happens to start.
+_ALIGN_ELEMENTS = 8
+
+
+class ParameterArena:
+    """A contiguous flat buffer over a list of parameters.
+
+    Construction copies every parameter's current values into the
+    buffer and rebinds ``param.data`` to a view of its segment.  The
+    parameters are the same objects the model holds, so the model's
+    forward pass reads — and in-place arena updates write — one shared
+    allocation.
+
+    After mutating the buffer, call :meth:`refresh_views`: it rebinds
+    every ``param.data`` to a *new* view object of the same memory.
+    Consumers that cache derived weights (the inference engine's
+    dtype-cast bindings) detect weight changes by array identity, which
+    in-place updates alone would not trip.
+    """
+
+    def __init__(self, params: list[Parameter], dtype=None) -> None:
+        self.params = list(params)
+        if len({id(p) for p in self.params}) != len(self.params):
+            raise ValueError("duplicate Parameter objects in arena")
+        if dtype is None:
+            dtype = self.params[0].data.dtype if self.params else np.float64
+        self.dtype = np.dtype(dtype)
+        self.shapes = [p.data.shape for p in self.params]
+        self.sizes = [int(np.prod(shape)) if shape else 1 for shape in self.shapes]
+        self.offsets: list[int] = []
+        cursor = 0
+        for size in self.sizes:
+            self.offsets.append(cursor)
+            cursor += -(-size // _ALIGN_ELEMENTS) * _ALIGN_ELEMENTS
+        self.total = cursor
+        self.data = np.zeros(self.total, dtype=self.dtype)
+        self._views: list[np.ndarray] = [None] * len(self.params)
+        for i, param in enumerate(self.params):
+            view = self._segment_view(self.data, i)
+            np.copyto(view, param.data)
+            param.data = view
+            self._views[i] = view
+
+    # ------------------------------------------------------------------
+    def _segment_view(self, buffer: np.ndarray, i: int) -> np.ndarray:
+        offset, size = self.offsets[i], self.sizes[i]
+        return buffer[offset : offset + size].reshape(self.shapes[i])
+
+    def zeros_buffer(self) -> np.ndarray:
+        """A fresh zeroed flat buffer with this arena's layout."""
+        return np.zeros(self.total, dtype=self.dtype)
+
+    def shaped(self, buffer: np.ndarray, i: int) -> np.ndarray:
+        """Parameter ``i``'s segment of ``buffer``, in parameter shape."""
+        return self._segment_view(buffer, i)
+
+    def sync(self) -> None:
+        """Re-adopt parameters whose ``.data`` was rebound externally.
+
+        ``load_state_dict`` and friends *replace* ``param.data``; without
+        a resync the optimizer would keep stepping a stale buffer the
+        model no longer reads (the silent-divergence bug class the
+        transfer fine-tune fix is about).  Values are copied back into
+        the arena and the view is restored.
+
+        The check also verifies the view still *aliases this buffer*:
+        ``copy.deepcopy`` of a model-plus-optimizer graph preserves the
+        ``param.data is view`` identity while materializing the view as
+        a standalone array, so an identity check alone could be fooled
+        into stepping a detached buffer.
+        """
+        for i, param in enumerate(self.params):
+            view = self._views[i]
+            if param.data is not view or view.base is not self.data:
+                view = self._segment_view(self.data, i)
+                np.copyto(view, param.data)
+                param.data = view
+                self._views[i] = view
+
+    def refresh_views(self) -> None:
+        """Rebind every parameter to a fresh view object of its segment."""
+        for i, param in enumerate(self.params):
+            view = self._segment_view(self.data, i)
+            param.data = view
+            self._views[i] = view
+
+    def gather_grads(self, out: np.ndarray) -> np.ndarray:
+        """Copy ``param.grad`` values into ``out``; returns a presence mask."""
+        present = np.zeros(len(self.params), dtype=bool)
+        for i, param in enumerate(self.params):
+            if param.grad is not None:
+                present[i] = True
+                np.copyto(self._segment_view(out, i), param.grad)
+        return present
+
+    def grad_norm(self, grads: np.ndarray) -> float:
+        """Global L2 norm of a flat gradient buffer.
+
+        Accumulated exactly like :func:`clip_grad_norm`: one ``.sum()``
+        per parameter segment (in parameter shape), Python-float added
+        in parameter order.
+        """
+        total = 0.0
+        for i in range(len(self.params)):
+            segment = self._segment_view(grads, i)
+            total += float((segment**2).sum())
+        return float(np.sqrt(total))
 
 
 class Optimizer:
-    """Base optimizer over a flat list of parameters."""
+    """Base optimizer over a flat list of parameters (arena-adopted)."""
 
     def __init__(self, params: list[Parameter], lr: float) -> None:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive; got {lr}")
         self.params = list(params)
         self.lr = lr
+        self._arena = ParameterArena(self.params)
+        self._grads = self._arena.zeros_buffer()
+
+    @property
+    def arena(self) -> ParameterArena:
+        """The flat parameter arena this optimizer adopted."""
+        return self._arena
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.grad = None
 
-    def step(self) -> None:
+    def step(
+        self,
+        grads: np.ndarray | None = None,
+        present: np.ndarray | None = None,
+    ) -> None:
+        """Apply one update.
+
+        Without arguments, gradients are gathered from ``param.grad``
+        (parameters with ``grad is None`` are skipped).  ``grads`` may
+        instead supply a pre-reduced flat buffer in arena layout — the
+        sharded data-parallel trainer's path — with ``present`` marking
+        which parameters actually received gradients (default: all).
+        Frozen parameters must be masked out here too: a zero segment
+        with ``present`` set would still decay moments and advance the
+        step count.
+        """
+        self._arena.sync()
+        if grads is None:
+            present = self._arena.gather_grads(self._grads)
+            grads = self._grads
+        else:
+            if grads.shape != (self._arena.total,):
+                raise ValueError(
+                    f"flat gradient buffer has size {grads.shape}, "
+                    f"expected ({self._arena.total},)"
+                )
+            if present is None:
+                present = np.ones(len(self.params), dtype=bool)
+        if present.any():
+            self._apply(grads, present)
+            self._arena.refresh_views()
+
+    def _apply(self, grads: np.ndarray, present: np.ndarray) -> None:
         raise NotImplementedError
+
+    def rebind(self, params: list[Parameter]) -> "Optimizer":
+        """Re-adopt ``params`` (same count/shapes), keeping moment state.
+
+        Transfer learning deep-copies the base model, which leaves an
+        existing optimizer holding the *pre-copy* parameter objects —
+        stepping it would silently train the base model.  Rebinding
+        swaps the arena onto the new parameters (adopting their current
+        values) while the moment buffers, per-parameter step counts and
+        hyperparameters carry over unchanged.
+        """
+        params = list(params)
+        if len(params) != len(self.params):
+            raise ValueError(
+                f"rebind expects {len(self.params)} parameters, got {len(params)}"
+            )
+        for i, (old_shape, param) in enumerate(zip(self._arena.shapes, params)):
+            if param.data.shape != old_shape:
+                raise ValueError(
+                    f"rebind shape mismatch at parameter {i}: "
+                    f"expected {old_shape}, got {param.data.shape}"
+                )
+        self.params = params
+        self._arena = ParameterArena(params, dtype=self._arena.dtype)
+        return self
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with optional momentum."""
+    """Stochastic gradient descent with optional momentum (fused)."""
 
     def __init__(
         self, params: list[Parameter], lr: float, momentum: float = 0.0
     ) -> None:
         super().__init__(params, lr)
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._velocity = self._arena.zeros_buffer()
 
-    def step(self) -> None:
-        for param, velocity in zip(self.params, self._velocity):
-            if param.grad is None:
-                continue
+    def _apply(self, grads: np.ndarray, present: np.ndarray) -> None:
+        data = self._arena.data
+        if present.all():
             if self.momentum:
-                velocity *= self.momentum
-                velocity += param.grad
-                update = velocity
+                self._velocity *= self.momentum
+                self._velocity += grads
+                update = self._velocity
             else:
-                update = param.grad
-            param.data = param.data - self.lr * update
+                update = grads
+            data -= self.lr * update
+            return
+        for i in np.flatnonzero(present):
+            g = self._arena.shaped(grads, i)
+            d = self._arena.shaped(data, i)
+            if self.momentum:
+                v = self._arena.shaped(self._velocity, i)
+                v *= self.momentum
+                v += g
+                update = v
+            else:
+                update = g
+            d -= self.lr * update
+
+    def rebind(self, params: list[Parameter]) -> "SGD":
+        super().rebind(params)
+        return self
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba 2015) with bias correction.
+    """Adam (Kingma & Ba 2015) with per-parameter bias correction (fused).
 
     Both CPT-GPT and the NetShare baseline train with Adam; transfer
-    learning (Design 3) simply re-creates the optimizer over pretrained
-    weights with a lower learning rate.
+    learning (Design 3) fine-tunes with the *same* optimizer instance,
+    rebound onto the adapted model so the moment estimates carry over.
+
+    Bias correction uses a per-parameter step count: a parameter whose
+    gradient is absent for some steps (a frozen layer during fine-tune)
+    receives the correction for the updates it actually accumulated,
+    not the shared global count.
     """
 
     def __init__(
@@ -69,38 +295,98 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._step_count = 0
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._m = self._arena.zeros_buffer()
+        self._v = self._arena.zeros_buffer()
+        self._steps = np.zeros(len(self.params), dtype=np.int64)
 
-    def step(self) -> None:
-        self._step_count += 1
+    @property
+    def step_counts(self) -> np.ndarray:
+        """Per-parameter update counts (copy)."""
+        return self._steps.copy()
+
+    def _apply(self, grads: np.ndarray, present: np.ndarray) -> None:
         b1, b2 = self.beta1, self.beta2
-        bias1 = 1.0 - b1**self._step_count
-        bias2 = 1.0 - b2**self._step_count
-        for param, m, v in zip(self.params, self._m, self._v):
-            if param.grad is None:
-                continue
-            grad = param.grad
+        self._steps[present] += 1
+        uniform = present.all() and bool((self._steps == self._steps[0]).all())
+        if uniform:
+            # Fast path: one shared step count -> scalar bias terms and
+            # whole-arena ops.  The expressions mirror the reference
+            # per-parameter loop term by term (elementwise arithmetic is
+            # bitwise chunking-independent, so this IS the reference
+            # update applied to all parameters at once).
+            count = int(self._steps[0])
+            bias1 = 1.0 - b1**count
+            bias2 = 1.0 - b2**count
+            data = self._arena.data
+            grad = grads
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * data
+            m, v = self._m, self._v
             m *= b1
             m += (1 - b1) * grad
             v *= b2
             v += (1 - b2) * grad * grad
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            return
+        for i in np.flatnonzero(present):
+            count = int(self._steps[i])
+            bias1 = 1.0 - b1**count
+            bias2 = 1.0 - b2**count
+            data = self._arena.shaped(self._arena.data, i)
+            grad = self._arena.shaped(grads, i)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * data
+            m = self._arena.shaped(self._m, i)
+            v = self._arena.shaped(self._v, i)
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def rebind(self, params: list[Parameter]) -> "Adam":
+        super().rebind(params)
+        return self
+
+    # ------------------------------------------------------------------
+    # Moment-state (de)serialization — consumed by TrainerCheckpoint.
+    # ------------------------------------------------------------------
+    def state_buffers(self) -> dict[str, np.ndarray]:
+        """Copies of the moment buffers and step counts."""
+        return {
+            "m": self._m.copy(),
+            "v": self._v.copy(),
+            "steps": self._steps.copy(),
+        }
+
+    def load_state_buffers(self, state: dict[str, np.ndarray]) -> None:
+        """Restore buffers produced by :meth:`state_buffers`."""
+        if state["m"].shape != self._m.shape or state["v"].shape != self._v.shape:
+            raise ValueError("optimizer state buffers do not match arena layout")
+        self._m[:] = state["m"]
+        self._v[:] = state["v"]
+        self._steps[:] = state["steps"]
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
-    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm.
+
+    ``max_norm`` must be positive: a non-positive ceiling used to fall
+    into the ``norm > max_norm`` branch and silently *zero* every
+    gradient (scale ``0 / norm``), which is never what a caller wants.
+    """
+    if not max_norm > 0:
+        raise ValueError(f"max_norm must be positive; got {max_norm}")
     total = 0.0
     for param in params:
         if param.grad is not None:
             total += float((param.grad**2).sum())
     norm = float(np.sqrt(total))
-    if norm > max_norm and norm > 0:
+    if norm > max_norm:
         scale = max_norm / norm
         for param in params:
             if param.grad is not None:

@@ -39,6 +39,22 @@ class TestTrainingConfig:
         assert updated.loss_weights == (3.0, 1.0, 1.0)
         assert updated.learning_rate == 1e-4
 
+    @pytest.mark.parametrize("grad_clip", [0.0, -1.0])
+    def test_non_positive_grad_clip_rejected(self, grad_clip):
+        """Regression: grad_clip=0 used to silently zero every gradient
+        through clip_grad_norm's `norm > max_norm` branch."""
+        with pytest.raises(ValueError, match="grad_clip"):
+            TrainingConfig(grad_clip=grad_clip)
+        with pytest.raises(ValueError, match="grad_clip"):
+            TrainingConfig().replace(grad_clip=grad_clip)
+
+    def test_invalid_grad_shards_rejected(self):
+        with pytest.raises(ValueError, match="grad_shards"):
+            TrainingConfig(grad_shards=0)
+
+    def test_grad_shards_round_trips_through_replace(self):
+        assert TrainingConfig(grad_shards=4).replace(epochs=2).grad_shards == 4
+
 
 class TestExperimentScales:
     def test_presets_are_ordered(self):

@@ -1,0 +1,352 @@
+"""Fused flat-buffer trainer: bit-equivalence, sharding, float32 arena.
+
+The acceptance pins of the fused engine:
+
+* In float64 the fused trainer is **bit-equivalent** to the legacy
+  per-parameter training loop (the pre-engine ``train()``), on weights
+  and per-epoch losses — verified against a literal re-creation of that
+  loop below, for both random and length-bucketed batching.
+* Sharded fit is a fixed plan: ``num_workers`` never changes the
+  result, bit for bit.
+* The float32 arena is the fast mode: statistically equivalent, weights
+  restored to float64 on completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+from repro.core.train import (
+    _batch_loss,
+    bucketed_batches,
+    encode_training_set,
+    iterate_batches,
+)
+from repro.core.trainer import FusedTrainer, _tree_reduce
+
+TINY = CPTGPTConfig(
+    d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+)
+
+
+def _reference_train(model, dataset, tokenizer, config):
+    """The pre-engine training loop, verbatim: per-parameter Adam,
+    per-parameter clip, per-epoch batch iteration."""
+    rng = np.random.default_rng(config.seed)
+    encoded = encode_training_set(dataset, tokenizer, model.config.max_len)
+    params = model.parameters()
+    moments_m = [np.zeros_like(p.data) for p in params]
+    moments_v = [np.zeros_like(p.data) for p in params]
+    step_count = 0
+    lr = config.learning_rate
+    beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+    cached = (
+        bucketed_batches(encoded, tokenizer, config.batch_size)
+        if config.length_bucketing
+        else None
+    )
+
+    def epoch_batches():
+        if cached is None:
+            return iterate_batches(
+                encoded, tokenizer, config.batch_size, rng, config.shuffle
+            )
+        if config.shuffle:
+            return (cached[i] for i in rng.permutation(len(cached)))
+        return iter(cached)
+
+    losses = []
+    model.train()
+    for epoch in range(config.epochs):
+        if config.lr_schedule == "cosine" and config.epochs > 1:
+            progress = epoch / (config.epochs - 1)
+            floor = config.final_lr_fraction
+            lr = config.learning_rate * (
+                floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
+            )
+        sums = np.zeros(4)
+        batches = 0
+        for batch in epoch_batches():
+            for param in params:
+                param.grad = None
+            total, event_l, iat_l, stop_l = _batch_loss(
+                model, batch, config.loss_weights
+            )
+            total.backward()
+            # Legacy clip_grad_norm.
+            norm_sq = 0.0
+            for param in params:
+                if param.grad is not None:
+                    norm_sq += float((param.grad**2).sum())
+            norm = float(np.sqrt(norm_sq))
+            if norm > config.grad_clip and norm > 0:
+                scale = config.grad_clip / norm
+                for param in params:
+                    if param.grad is not None:
+                        param.grad *= scale
+            # Legacy Adam.step().
+            step_count += 1
+            bias1 = 1.0 - beta1**step_count
+            bias2 = 1.0 - beta2**step_count
+            for param, m, v in zip(params, moments_m, moments_v):
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                m *= beta1
+                m += (1 - beta1) * grad
+                v *= beta2
+                v += (1 - beta2) * grad * grad
+                m_hat = m / bias1
+                v_hat = v / bias2
+                param.data = param.data - lr * m_hat / (np.sqrt(v_hat) + eps)
+            sums += (float(total.item()), event_l, iat_l, stop_l)
+            batches += 1
+        losses.append(sums / max(batches, 1))
+    model.eval()
+    return losses
+
+
+class TestBitEquivalence:
+    @pytest.mark.parametrize("bucketing", [False, True])
+    def test_fused_matches_legacy_loop(
+        self, phone_trace, fitted_tokenizer, bucketing
+    ):
+        config = TrainingConfig(
+            epochs=2, batch_size=32, seed=0, length_bucketing=bucketing
+        )
+        reference = CPTGPT(TINY, np.random.default_rng(0))
+        ref_losses = _reference_train(
+            reference, phone_trace, fitted_tokenizer, config
+        )
+        fused = CPTGPT(TINY, np.random.default_rng(0))
+        result = train(fused, phone_trace, fitted_tokenizer, config)
+
+        for epoch_stats, ref in zip(result.epochs, ref_losses):
+            assert epoch_stats.total == ref[0]
+            assert epoch_stats.event == ref[1]
+            assert epoch_stats.interarrival == ref[2]
+            assert epoch_stats.stop == ref[3]
+        for fused_p, ref_p in zip(fused.parameters(), reference.parameters()):
+            np.testing.assert_array_equal(fused_p.data, ref_p.data)
+
+    def test_fused_matches_legacy_with_passed_optimizer(
+        self, phone_trace, fitted_tokenizer
+    ):
+        """The table9 pattern: segments continuing one optimizer."""
+        from repro.nn import Adam
+
+        config = TrainingConfig(
+            epochs=1, batch_size=32, seed=0, lr_schedule="constant"
+        )
+        reference = CPTGPT(TINY, np.random.default_rng(3))
+        _reference_train(reference, phone_trace, fitted_tokenizer, config)
+        _reference_train(reference, phone_trace, fitted_tokenizer, config)
+
+        fused = CPTGPT(TINY, np.random.default_rng(3))
+        optimizer = Adam(fused.parameters(), lr=config.learning_rate)
+        train(fused, phone_trace, fitted_tokenizer, config, optimizer=optimizer)
+        train(fused, phone_trace, fitted_tokenizer, config, optimizer=optimizer)
+        # The reference restarts Adam moments per segment, so only the
+        # first segment is bitwise-comparable; instead pin that the
+        # carried-optimizer run is deterministic and reproducible.
+        again = CPTGPT(TINY, np.random.default_rng(3))
+        optimizer2 = Adam(again.parameters(), lr=config.learning_rate)
+        train(again, phone_trace, fitted_tokenizer, config, optimizer=optimizer2)
+        train(again, phone_trace, fitted_tokenizer, config, optimizer=optimizer2)
+        for a, b in zip(fused.parameters(), again.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestShardedFit:
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_num_workers_never_changes_the_result(
+        self, phone_trace, fitted_tokenizer, num_workers
+    ):
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0, grad_shards=4)
+        single = CPTGPT(TINY, np.random.default_rng(0))
+        result_single = train(single, phone_trace, fitted_tokenizer, config)
+        multi = CPTGPT(TINY, np.random.default_rng(0))
+        result_multi = train(
+            multi, phone_trace, fitted_tokenizer, config, num_workers=num_workers
+        )
+        for a, b in zip(single.parameters(), multi.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+        for s, m in zip(result_single.epochs, result_multi.epochs):
+            assert s.total == m.total
+
+    def test_sharded_statistically_matches_unsharded(
+        self, phone_trace, fitted_tokenizer
+    ):
+        plain = CPTGPT(TINY, np.random.default_rng(0))
+        r_plain = train(
+            plain,
+            phone_trace,
+            fitted_tokenizer,
+            TrainingConfig(epochs=2, batch_size=32, seed=0),
+        )
+        sharded = CPTGPT(TINY, np.random.default_rng(0))
+        r_sharded = train(
+            sharded,
+            phone_trace,
+            fitted_tokenizer,
+            TrainingConfig(epochs=2, batch_size=32, seed=0, grad_shards=4),
+        )
+        # Different rounding/padding, same algorithm up to float error.
+        assert r_sharded.final_loss == pytest.approx(r_plain.final_loss, rel=1e-2)
+
+    def test_sharded_respects_frozen_parameters(
+        self, phone_trace, fitted_tokenizer
+    ):
+        """A parameter with no gradient must stay untouched — and keep a
+        zero step count — in the sharded path too, not just unsharded
+        (a zero gradient segment is not the same as an absent one)."""
+        from repro.nn import Adam
+
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0, grad_shards=4)
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        frozen = model.event_head.fc2.weight
+        frozen.requires_grad = False
+        before = frozen.data.copy()
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        train(model, phone_trace, fitted_tokenizer, config, optimizer=optimizer)
+        np.testing.assert_array_equal(frozen.data, before)
+        index = model.parameters().index(frozen)
+        assert optimizer.step_counts[index] == 0
+        assert (np.delete(optimizer.step_counts, index) > 0).all()
+
+    def test_sharded_rejects_dropout(self, phone_trace, fitted_tokenizer):
+        from dataclasses import replace
+
+        model = CPTGPT(replace(TINY, dropout=0.1), np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dropout"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=1, grad_shards=2),
+            )
+
+    def test_tree_reduce_fixed_pairing(self):
+        buffers = [np.array([1e16]), np.array([1.0]), np.array([-1e16])]
+        # stable_last_sum pairing: (b0 + b1) + b2 — NOT b0 + (b1 + b2).
+        assert _tree_reduce([b.copy() for b in buffers])[0] == (1e16 + 1.0) + -1e16
+        with pytest.raises(ValueError):
+            _tree_reduce([])
+
+
+class TestFloat32Arena:
+    def test_float32_close_to_float64_and_restores_dtype(
+        self, phone_trace, fitted_tokenizer
+    ):
+        config = TrainingConfig(epochs=2, batch_size=32, seed=0)
+        exact = CPTGPT(TINY, np.random.default_rng(0))
+        r64 = train(exact, phone_trace, fitted_tokenizer, config)
+        fast = CPTGPT(TINY, np.random.default_rng(0))
+        r32 = train(fast, phone_trace, fitted_tokenizer, config, float32=True)
+        assert r32.final_loss == pytest.approx(r64.final_loss, rel=1e-2)
+        for param in fast.parameters():
+            assert param.data.dtype == np.float64
+
+    def test_float32_generates(self, phone_trace, fitted_tokenizer):
+        from repro.core import GeneratorPackage
+
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        train(
+            model,
+            phone_trace,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+            float32=True,
+        )
+        package = GeneratorPackage(
+            model,
+            fitted_tokenizer,
+            phone_trace.initial_event_distribution(),
+            "phone",
+        )
+        trace = package.generate(8, np.random.default_rng(0))
+        assert len(trace) == 8
+
+
+class TestTrainerValidation:
+    def test_optimizer_and_resume_mutually_exclusive(
+        self, phone_trace, fitted_tokenizer
+    ):
+        from repro.nn import Adam
+
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        trainer = FusedTrainer(
+            model, fitted_tokenizer, TrainingConfig(epochs=1), optimizer=optimizer
+        )
+        with pytest.raises(ValueError, match="not both"):
+            trainer.fit(phone_trace, resume="unused.npz")
+
+    def test_unknown_schedule_rejected(self, fitted_tokenizer):
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="lr_schedule"):
+            FusedTrainer(
+                model, fitted_tokenizer, TrainingConfig(lr_schedule="warmup")
+            )
+
+    def test_workers_without_shards_rejected(self, phone_trace, fitted_tokenizer):
+        """num_workers without a shard plan would silently do nothing."""
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="grad_shards"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=1),
+                num_workers=4,
+            )
+
+    def test_checkpoint_every_without_path_rejected(
+        self, phone_trace, fitted_tokenizer
+    ):
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=1),
+                checkpoint_every=5,
+            )
+
+    def test_unbound_optimizer_rejected(self, phone_trace, fitted_tokenizer):
+        """An optimizer over *other* parameter objects would gather no
+        gradients and silently train nothing."""
+        from repro.nn import Adam
+
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        stranger = CPTGPT(TINY, np.random.default_rng(1))
+        optimizer = Adam(stranger.parameters(), lr=1e-3)
+        with pytest.raises(ValueError, match="rebind"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                TrainingConfig(epochs=1),
+                optimizer=optimizer,
+            )
+
+    def test_dtype_mismatched_optimizer_rejected(
+        self, phone_trace, fitted_tokenizer
+    ):
+        from repro.nn import Adam
+
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        optimizer = Adam(model.parameters(), lr=1e-3)  # float64 arena
+        trainer = FusedTrainer(
+            model,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1),
+            float32=True,
+            optimizer=optimizer,
+        )
+        with pytest.raises(ValueError, match="arena"):
+            trainer.fit(phone_trace)

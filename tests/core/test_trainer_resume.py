@@ -1,0 +1,222 @@
+"""Checkpoint/resume determinism for the fused trainer.
+
+The pin: interrupting a run at any step boundary and resuming from the
+checkpoint reproduces the uninterrupted run **bit-exactly** — same
+weights, same per-epoch losses, same optimizer moments — including
+mid-epoch interrupts (the checkpoint carries the epoch-start RNG state
+and the partial loss accumulators) and sharded runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+from repro.core.trainer import TrainerCheckpoint
+
+TINY = CPTGPTConfig(
+    d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+)
+
+
+def _params(model):
+    return {name: p.data.copy() for name, p in model.named_parameters()}
+
+
+def _assert_same_run(result_a, result_b, model_a, model_b):
+    assert len(result_a.epochs) == len(result_b.epochs)
+    for a, b in zip(result_a.epochs, result_b.epochs):
+        assert a.total == b.total
+        assert a.event == b.event
+        assert a.interarrival == b.interarrival
+        assert a.stop == b.stop
+    state_a, state_b = _params(model_a), _params(model_b)
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name])
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("interrupt_step", [3, 7, 10])
+    def test_mid_epoch_resume_is_bit_exact(
+        self, phone_trace, fitted_tokenizer, tmp_path, interrupt_step
+    ):
+        """Stop after ``interrupt_step`` steps (4 batches/epoch at this
+        scale, so step 3 is mid-epoch, 7 mid-epoch-2, 10 an epoch
+        boundary), resume, and compare to an uninterrupted run."""
+        config = TrainingConfig(epochs=3, batch_size=32, seed=0)
+        full = CPTGPT(TINY, np.random.default_rng(0))
+        result_full = train(full, phone_trace, fitted_tokenizer, config)
+
+        path = tmp_path / "ck.npz"
+        captured = {}
+        original = TrainerCheckpoint.save
+
+        def capture(self, save_path):
+            original(self, save_path)
+            if self.steps == interrupt_step and "ck" not in captured:
+                captured["ck"] = TrainerCheckpoint.load(save_path)
+
+        TrainerCheckpoint.save = capture
+        try:
+            interrupted = CPTGPT(TINY, np.random.default_rng(0))
+            train(
+                interrupted,
+                phone_trace,
+                fitted_tokenizer,
+                config,
+                checkpoint_path=path,
+                checkpoint_every=interrupt_step,
+            )
+        finally:
+            TrainerCheckpoint.save = original
+        assert "ck" in captured
+
+        resumed = CPTGPT(TINY, np.random.default_rng(99))  # weights from ck
+        result_resumed = train(
+            resumed, phone_trace, fitted_tokenizer, config, resume=captured["ck"]
+        )
+        _assert_same_run(result_full, result_resumed, full, resumed)
+        assert result_resumed.steps == result_full.steps
+
+    def test_resume_from_path_roundtrip(
+        self, phone_trace, fitted_tokenizer, tmp_path
+    ):
+        config = TrainingConfig(epochs=2, batch_size=32, seed=0)
+        path = tmp_path / "ck.npz"
+        full = CPTGPT(TINY, np.random.default_rng(0))
+        result_full = train(full, phone_trace, fitted_tokenizer, config)
+
+        # Interrupt after epoch 1 by training a 1-epoch slice of the
+        # same cosine-over-2-epochs schedule, then resuming to 2.
+        part = CPTGPT(TINY, np.random.default_rng(0))
+        train(
+            part,
+            phone_trace,
+            fitted_tokenizer,
+            config,
+            checkpoint_path=path,
+            checkpoint_every=5,  # 5 batches/epoch: boundary checkpoint
+        )
+        ck = TrainerCheckpoint.load(path)
+        assert ck.epoch == config.epochs  # final checkpoint: run complete
+        resumed = CPTGPT(TINY, np.random.default_rng(7))
+        result_resumed = train(
+            resumed, phone_trace, fitted_tokenizer, config, resume=path
+        )
+        # Fully-trained checkpoint: nothing left to run, stats restored.
+        _assert_same_run(result_full, result_resumed, full, resumed)
+
+    def test_sharded_resume_matches_sharded_full(
+        self, phone_trace, fitted_tokenizer, tmp_path
+    ):
+        config = TrainingConfig(epochs=2, batch_size=32, seed=0, grad_shards=4)
+        full = CPTGPT(TINY, np.random.default_rng(0))
+        result_full = train(full, phone_trace, fitted_tokenizer, config)
+
+        path = tmp_path / "ck.npz"
+        captured = {}
+        original = TrainerCheckpoint.save
+
+        def capture(self, save_path):
+            original(self, save_path)
+            if self.steps == 4 and "ck" not in captured:
+                captured["ck"] = TrainerCheckpoint.load(save_path)
+
+        TrainerCheckpoint.save = capture
+        try:
+            train(
+                CPTGPT(TINY, np.random.default_rng(0)),
+                phone_trace,
+                fitted_tokenizer,
+                config,
+                checkpoint_path=path,
+                checkpoint_every=4,
+            )
+        finally:
+            TrainerCheckpoint.save = original
+
+        resumed = CPTGPT(TINY, np.random.default_rng(5))
+        result_resumed = train(
+            resumed,
+            phone_trace,
+            fitted_tokenizer,
+            config,
+            resume=captured["ck"],
+            num_workers=2,  # workers still never change the result
+        )
+        _assert_same_run(result_full, result_resumed, full, resumed)
+
+
+class TestCheckpointValidation:
+    def _checkpoint(self, phone_trace, fitted_tokenizer, tmp_path, config):
+        path = tmp_path / "ck.npz"
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        train(model, phone_trace, fitted_tokenizer, config, checkpoint_path=path)
+        return path
+
+    def test_config_mismatch_rejected(
+        self, phone_trace, fitted_tokenizer, tmp_path
+    ):
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0)
+        path = self._checkpoint(phone_trace, fitted_tokenizer, tmp_path, config)
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="learning_rate"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                config.replace(learning_rate=1e-4, epochs=2),
+                resume=path,
+            )
+
+    def test_epochs_may_grow_on_resume(
+        self, phone_trace, fitted_tokenizer, tmp_path
+    ):
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0)
+        path = self._checkpoint(phone_trace, fitted_tokenizer, tmp_path, config)
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        result = train(
+            model,
+            phone_trace,
+            fitted_tokenizer,
+            config.replace(epochs=2),
+            resume=path,
+        )
+        assert len(result.epochs) == 2
+
+    def test_dtype_mismatch_rejected(self, phone_trace, fitted_tokenizer, tmp_path):
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0)
+        path = self._checkpoint(phone_trace, fitted_tokenizer, tmp_path, config)
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="float"):
+            train(
+                model,
+                phone_trace,
+                fitted_tokenizer,
+                config.replace(epochs=2),
+                resume=path,
+                float32=True,
+            )
+
+    def test_non_checkpoint_archive_rejected(self, tmp_path):
+        from repro.nn.serialization import write_npz
+
+        path = tmp_path / "other.npz"
+        write_npz(path, {"x": np.zeros(3)}, {"kind": "something-else"})
+        with pytest.raises(ValueError, match="not a trainer checkpoint"):
+            TrainerCheckpoint.load(path)
+
+    def test_checkpoint_roundtrip_preserves_rng_state(
+        self, phone_trace, fitted_tokenizer, tmp_path
+    ):
+        config = TrainingConfig(epochs=1, batch_size=32, seed=0)
+        path = self._checkpoint(phone_trace, fitted_tokenizer, tmp_path, config)
+        ck = TrainerCheckpoint.load(path)
+        ck.save(tmp_path / "again.npz")
+        again = TrainerCheckpoint.load(tmp_path / "again.npz")
+        assert again.rng_state == ck.rng_state
+        assert again.steps == ck.steps
+        for name in ck.weights:
+            np.testing.assert_array_equal(again.weights[name], ck.weights[name])
+            np.testing.assert_array_equal(again.adam_m[name], ck.adam_m[name])

@@ -1,0 +1,151 @@
+"""Transfer learning's optimizer-carrying path (the rebinding bugfix).
+
+``core/train.py`` documents that passing an existing optimizer into
+``train()`` continues its moment estimates for fine-tuning.  But
+``fine_tune`` deep-copies the base model, so an optimizer created over
+the base's parameters holds the *pre-copy* ``Parameter`` objects —
+before the fix, stepping it would have silently trained the base model
+while the adapted copy never moved.  ``fine_tune(optimizer=...)`` now
+rebinds the optimizer onto the adapted copy and
+``derive_hourly_models`` threads one optimizer through the chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, derive_hourly_models, fine_tune, train
+from repro.nn import Adam
+from repro.trace import generate_hourly_traces
+
+TINY = CPTGPTConfig(
+    d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+)
+
+
+@pytest.fixture
+def pretrained(phone_trace, fitted_tokenizer):
+    model = CPTGPT(TINY, np.random.default_rng(0))
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    train(
+        model,
+        phone_trace,
+        fitted_tokenizer,
+        TrainingConfig(epochs=1, batch_size=32, seed=0),
+        optimizer=optimizer,
+    )
+    return model, optimizer
+
+
+class TestFineTuneOptimizerRebinding:
+    def test_base_model_left_untouched(
+        self, pretrained, phone_trace_alt, fitted_tokenizer
+    ):
+        """Regression: the moment-carrying path must not train the base."""
+        base, optimizer = pretrained
+        before = {name: p.data.copy() for name, p in base.named_parameters()}
+        adapted, result = fine_tune(
+            base,
+            phone_trace_alt,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0),
+            optimizer=optimizer,
+        )
+        after = {name: p.data.copy() for name, p in base.named_parameters()}
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+        # ...while the adapted copy genuinely trained.
+        assert any(
+            not np.array_equal(p.data, before[name])
+            for name, p in adapted.named_parameters()
+        )
+        assert np.isfinite(result.final_loss)
+
+    def test_moments_persist_across_hours(
+        self, pretrained, phone_trace_alt, fitted_tokenizer
+    ):
+        base, optimizer = pretrained
+        steps_before = optimizer.step_counts
+        assert (steps_before > 0).all()  # pretraining populated them
+        moments_before = optimizer.state_buffers()["m"].copy()
+        adapted, _ = fine_tune(
+            base,
+            phone_trace_alt,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0),
+            optimizer=optimizer,
+        )
+        # Step counts continued from the pretrain run (not reset to 0),
+        # and the optimizer now drives the adapted model's parameters.
+        assert (optimizer.step_counts > steps_before).all()
+        assert not np.array_equal(optimizer.state_buffers()["m"], moments_before)
+        assert optimizer.params[0] is adapted.parameters()[0]
+
+    def test_carried_optimizer_changes_the_finetune(
+        self, pretrained, phone_trace_alt, fitted_tokenizer
+    ):
+        """Warm moments produce a different (deterministic) trajectory
+        than a cold restart — i.e. the carrying is real."""
+        base, optimizer = pretrained
+        config = TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0)
+        warm, _ = fine_tune(
+            base, phone_trace_alt, fitted_tokenizer, config, optimizer=optimizer
+        )
+        cold, _ = fine_tune(base, phone_trace_alt, fitted_tokenizer, config)
+        assert any(
+            not np.array_equal(a.data, b.data)
+            for a, b in zip(warm.parameters(), cold.parameters())
+        )
+
+
+class TestDeriveHourlyModelsCarry:
+    def _hourly(self):
+        return generate_hourly_traces(40, [9, 10, 11], seed=5)
+
+    def test_carries_moments_by_default(self, fitted_tokenizer):
+        hourly = self._hourly()
+        scratch = TrainingConfig(epochs=1, batch_size=32, seed=0)
+        finetune = TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0)
+        carried = derive_hourly_models(
+            lambda: CPTGPT(TINY, np.random.default_rng(0)),
+            hourly, fitted_tokenizer, scratch, finetune,
+        )
+        cold = derive_hourly_models(
+            lambda: CPTGPT(TINY, np.random.default_rng(0)),
+            hourly, fitted_tokenizer, scratch, finetune,
+            carry_optimizer=False,
+        )
+        # Hour 9 (scratch) matches; later hours differ because moments
+        # carried into their fine-tunes.
+        h9c = carried.models[9].state_dict()
+        h9f = cold.models[9].state_dict()
+        for name in h9c:
+            np.testing.assert_array_equal(h9c[name], h9f[name])
+        h11c = carried.models[11].state_dict()
+        h11f = cold.models[11].state_dict()
+        assert any(not np.array_equal(h11c[k], h11f[k]) for k in h11c)
+
+    def test_earlier_hours_untouched_by_later_finetunes(self, fitted_tokenizer):
+        hourly = self._hourly()
+        ensemble = derive_hourly_models(
+            lambda: CPTGPT(TINY, np.random.default_rng(0)),
+            hourly,
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+            TrainingConfig(epochs=1, batch_size=32, learning_rate=1e-3, seed=0),
+        )
+        # Retrain just hour 9 standalone: its weights must equal the
+        # ensemble's hour-9 model (later fine-tunes didn't leak back).
+        standalone = CPTGPT(TINY, np.random.default_rng(0))
+        optimizer = Adam(standalone.parameters(), lr=3e-3)
+        train(
+            standalone,
+            hourly[9],
+            fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+            optimizer=optimizer,
+        )
+        ensemble_h9 = ensemble.models[9].state_dict()
+        for name, value in standalone.state_dict().items():
+            np.testing.assert_array_equal(ensemble_h9[name], value)

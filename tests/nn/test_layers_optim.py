@@ -210,6 +210,143 @@ class TestOptimizers:
         clip_grad_norm([param], max_norm=1.0)
         np.testing.assert_allclose(param.grad, [0.3, 0.4])
 
+    @pytest.mark.parametrize("max_norm", [0.0, -1.0, float("nan")])
+    def test_clip_rejects_non_positive_max_norm(self, max_norm):
+        """max_norm=0 used to silently zero every gradient."""
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.3, 0.4])
+        with pytest.raises(ValueError, match="max_norm"):
+            clip_grad_norm([param], max_norm=max_norm)
+
+    def test_adam_partial_freeze_bias_correction(self):
+        """Hand-computed two-step trace with a parameter frozen at step 1.
+
+        With per-parameter step counts, ``b``'s first update (at global
+        step 2) gets *first-step* bias correction: m̂ = 0.2/0.1 = 2,
+        v̂ = 0.004/0.001 = 4, so the update is lr·2/(2+eps) ≈ lr.  The
+        old shared counter would have used the second-step corrections
+        (m̂ ≈ 1.0526, √v̂ ≈ 1.4146) — a ~26% under-step.
+        """
+        lr, eps = 0.1, 1e-8
+        a = Parameter(np.array([1.0]))
+        b = Parameter(np.array([1.0]))
+        optimizer = Adam([a, b], lr=lr, betas=(0.9, 0.999), eps=eps)
+
+        a.grad, b.grad = np.array([1.0]), None
+        optimizer.step()
+        np.testing.assert_array_equal(b.data, [1.0])  # frozen: untouched
+        # a after one step: m̂=1, v̂=1 -> update lr/(1+eps).
+        np.testing.assert_allclose(a.data, [1.0 - lr * 1.0 / (1.0 + eps)])
+
+        a.grad, b.grad = np.array([1.0]), np.array([2.0])
+        optimizer.step()
+        np.testing.assert_array_equal(optimizer.step_counts, [2, 1])
+        # b's hand trace: m = 0.1*2 = 0.2, v = 0.001*4 = 0.004;
+        # bias1 = 1-0.9 = 0.1, bias2 = 1-0.999 = 0.001 (count=1).
+        m_hat, v_hat = 0.2 / 0.1, 0.004 / 0.001
+        expected_b = 1.0 - lr * m_hat / (np.sqrt(v_hat) + eps)
+        np.testing.assert_allclose(b.data, [expected_b], rtol=1e-15)
+        # a's hand trace at count=2: m = 0.9*0.1 + 0.1 = 0.19,
+        # v = 0.999*0.001 + 0.001; bias1 = 1-0.81, bias2 = 1-0.999**2.
+        m_a = 0.9 * 0.1 + 0.1
+        v_a = 0.999 * 0.001 + 0.001
+        a1 = 1.0 - lr * 1.0 / (1.0 + eps)
+        expected_a = a1 - lr * (m_a / (1 - 0.9**2)) / (
+            np.sqrt(v_a / (1 - 0.999**2)) + eps
+        )
+        np.testing.assert_allclose(a.data, [expected_a], rtol=1e-12)
+
+    def test_adam_uniform_path_matches_per_param_path(self):
+        """Freezing nothing: fused fast path == per-segment slow path."""
+        rng = np.random.default_rng(0)
+        grads = [rng.normal(size=(4, 3)) for _ in range(10)]
+        fast = Parameter(np.ones((4, 3)))
+        opt_fast = Adam([fast], lr=0.05)
+        # Force the slow path by pairing with an always-frozen parameter.
+        slow = Parameter(np.ones((4, 3)))
+        frozen = Parameter(np.zeros(2))
+        opt_slow = Adam([slow, frozen], lr=0.05)
+        for grad in grads:
+            fast.grad = grad.copy()
+            opt_fast.step()
+            slow.grad, frozen.grad = grad.copy(), None
+            opt_slow.step()
+        np.testing.assert_array_equal(fast.data, slow.data)
+        np.testing.assert_array_equal(frozen.data, np.zeros(2))
+
+    def test_arena_adoption_and_view_refresh(self):
+        param = Parameter(np.arange(3.0))
+        optimizer = Adam([param], lr=0.1)
+        assert param.data.base is optimizer.arena.data
+        view_before = param.data
+        param.grad = np.ones(3)
+        optimizer.step()
+        # In-place arena update, but a *fresh* view object each step so
+        # identity-based weight-change detection (the inference engine's
+        # rebind check) still fires.
+        assert param.data is not view_before
+        assert param.data.base is optimizer.arena.data
+        np.testing.assert_array_equal(view_before, param.data)
+
+    def test_arena_resyncs_externally_rebound_data(self):
+        param = Parameter(np.zeros(3))
+        optimizer = SGD([param], lr=0.5)
+        param.data = np.full(3, 7.0)  # e.g. load_state_dict
+        param.grad = np.ones(3)
+        optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(3, 6.5))
+
+    def test_rebind_carries_moments_to_new_params(self):
+        old = Parameter(np.ones(4))
+        optimizer = Adam([old], lr=0.1)
+        old.grad = np.ones(4)
+        optimizer.step()
+        state = optimizer.state_buffers()
+        new = Parameter(old.data.copy())
+        optimizer.rebind([new])
+        after = optimizer.state_buffers()
+        np.testing.assert_array_equal(state["m"], after["m"])
+        np.testing.assert_array_equal(state["steps"], after["steps"])
+        frozen_old = old.data.copy()
+        new.grad = np.ones(4)
+        optimizer.step()
+        np.testing.assert_array_equal(old.data, frozen_old)  # old untouched
+        assert not np.array_equal(new.data, frozen_old)
+
+    def test_rebind_rejects_mismatched_shapes(self):
+        optimizer = Adam([Parameter(np.ones(4))], lr=0.1)
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.rebind([Parameter(np.ones(5))])
+        with pytest.raises(ValueError, match="expects 1 parameters"):
+            optimizer.rebind([])
+
+    def test_duplicate_params_rejected(self):
+        param = Parameter(np.ones(2))
+        with pytest.raises(ValueError, match="duplicate"):
+            Adam([param, param], lr=0.1)
+
+    def test_deepcopied_optimizer_keeps_stepping_its_copy(self):
+        """NetShare's adapt deep-copies model+optimizers together:
+        deepcopy preserves param/view identity while detaching the view
+        from the arena buffer, so sync must check aliasing, not just
+        identity."""
+        import copy
+
+        class Holder:
+            pass
+
+        holder = Holder()
+        holder.param = Parameter(np.ones(4))
+        holder.optimizer = SGD([holder.param], lr=0.5)
+        clone = copy.deepcopy(holder)
+        clone.param.data += 5.0  # in-place drift on the detached view
+        clone.param.grad = np.ones(4)
+        clone.optimizer.step()
+        np.testing.assert_allclose(clone.param.data, np.full(4, 5.5))
+        assert clone.param.data.base is clone.optimizer.arena.data
+        # The original pair is untouched by the clone's step.
+        np.testing.assert_array_equal(holder.param.data, np.ones(4))
+
 
 class TestLossEdgeCases:
     def test_cross_entropy_matches_manual(self, rng):
