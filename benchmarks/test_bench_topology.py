@@ -1,0 +1,101 @@
+"""Topology-layer benchmarks: annotation overhead and regional routing.
+
+The headline number is events/sec through ``TopologyRuntime.annotate``
+on synthetic state-machine-legal streams (tracked in
+BENCH_topology.json) — the pure injection/annotation cost, isolated
+from generation.  Companion benches measure the full engine on the
+topology-driven ``handover-storm`` preset and the per-region simulator
+path on a pre-annotated timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcn import MCNSimulator
+from repro.topology import get_topology
+from repro.topology.runtime import TopologyRuntime
+from repro.workload import CellTimelineEvent, Workload, get_workload
+
+from conftest import run_once
+
+#: Annotate bench: 2000 UEs x 51 events = 102k events through the runtime.
+NUM_UES = 2000
+EXCHANGES = 25
+
+
+@pytest.fixture(scope="module")
+def annotate_inputs():
+    """Runtime + per-UE legal LTE streams (ATCH, then SRV_REQ/REL pairs)."""
+    scenario = get_topology("motorway")
+    population = get_workload("handover-storm").scaled(1.0)
+    runtime = TopologyRuntime(scenario, population, seed=7)
+    convoy = population.cohort("convoy")
+    rng = np.random.default_rng(99)
+    names = ["ATCH"] + ["SRV_REQ", "S1_CONN_REL"] * EXCHANGES
+    streams = []
+    for u in range(NUM_UES):
+        times = np.sort(rng.uniform(8 * 3600.0, 10 * 3600.0, size=len(names)))
+        streams.append((f"u{u:05d}", times, list(names)))
+    return runtime, convoy, streams
+
+
+def test_bench_annotate_throughput(benchmark, annotate_inputs):
+    """Headline: TopologyRuntime.annotate events/sec (mobility + placement)."""
+    runtime, convoy, streams = annotate_inputs
+
+    def run():
+        total = 0
+        for ue_id, times, names in streams:
+            out_times, out_names, _ = runtime.annotate(
+                convoy, ue_id, times, names
+            )
+            total += len(out_names)
+        return total
+
+    total = run_once(benchmark, run)
+    assert total >= NUM_UES * len(streams[0][2])
+
+
+def test_bench_workload_engine_handover_topology(benchmark):
+    """Full engine on the topology-driven handover-storm preset (10%)."""
+    engine = Workload(get_workload("handover-storm").scaled(0.1), seed=3)
+    for cohort in engine.population.cohorts:
+        engine.generator(cohort)  # fit outside the timed region
+
+    count = run_once(benchmark, lambda: sum(1 for _ in engine.events()))
+    assert count > 0
+
+
+@pytest.fixture(scope="module")
+def annotated_timeline():
+    """A pre-built cell-annotated timeline over the motorway corridor."""
+    topology = get_topology("motorway").topology
+    rng = np.random.default_rng(17)
+    num_events = 200_000
+    times = np.sort(rng.uniform(0.0, 3600.0, size=num_events))
+    cells = rng.integers(0, topology.num_cells, size=num_events)
+    events = [
+        CellTimelineEvent(
+            float(t),
+            "bench",
+            f"u{i % 20000:05d}",
+            "SRV_REQ" if i % 2 == 0 else "S1_CONN_REL",
+            topology.cell_names[c],
+        )
+        for i, (t, c) in enumerate(zip(times, cells))
+    ]
+    return topology, events
+
+
+def test_bench_regional_simulator_200k_events(benchmark, annotated_timeline):
+    """Per-region NF-pool routing vs. the flat single-pool path."""
+    topology, events = annotated_timeline
+
+    def run():
+        return MCNSimulator(workers=16, seed=0, topology=topology).run(events)
+
+    report = run_once(benchmark, run)
+    assert report.num_events == len(events)
+    assert set(report.per_region) == set(topology.regions)

@@ -28,13 +28,16 @@ from .protocol import GeneratorBase, TrafficGenerator
 from .registry import (
     GENERATORS,
     SCENARIOS,
+    TOPOLOGIES,
     WORKLOADS,
     Registry,
     available_generators,
     available_scenarios,
+    available_topologies,
     available_workloads,
     register_generator,
     register_scenario,
+    register_topology,
     register_workload,
 )
 from .scenario import ScenarioSpec, get_scenario
@@ -50,12 +53,15 @@ __all__ = [
     "GENERATORS",
     "SCENARIOS",
     "WORKLOADS",
+    "TOPOLOGIES",
     "register_generator",
     "register_scenario",
     "register_workload",
+    "register_topology",
     "available_generators",
     "available_scenarios",
     "available_workloads",
+    "available_topologies",
     "CPTGPTGenerator",
     "SMMOneGenerator",
     "SMMKGenerator",

@@ -11,7 +11,11 @@ registries exist —
 * :data:`WORKLOADS` maps names ("city-day", "stadium-flash-crowd", ...)
   to :class:`~repro.workload.population.UEPopulation` composites —
   multi-cohort workloads built on top of scenarios (registered when
-  :mod:`repro.workload` is imported).
+  :mod:`repro.workload` is imported), and
+* :data:`TOPOLOGIES` maps names ("metro-commute", "stadium-cell-kill",
+  ...) to :class:`~repro.topology.scenario.TopologyScenario` setups —
+  cell graphs with mobility assignments and chaos schedules (registered
+  when :mod:`repro.topology.presets` is imported).
 
 Lookup is case-insensitive and alias-aware, so the paper's display
 names ("CPT-GPT", "SMM-20k") resolve to the same entries as the
@@ -33,12 +37,15 @@ __all__ = [
     "GENERATORS",
     "SCENARIOS",
     "WORKLOADS",
+    "TOPOLOGIES",
     "register_generator",
     "register_scenario",
     "register_workload",
+    "register_topology",
     "available_generators",
     "available_scenarios",
     "available_workloads",
+    "available_topologies",
 ]
 
 
@@ -121,6 +128,7 @@ class Registry:
 GENERATORS = Registry("generator")
 SCENARIOS = Registry("scenario")
 WORKLOADS = Registry("workload")
+TOPOLOGIES = Registry("topology")
 
 
 def register_generator(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
@@ -173,6 +181,25 @@ def register_workload(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
     return decorator
 
 
+def register_topology(name: str, *, aliases: tuple[str, ...] = ()) -> Callable:
+    """Register a topology scenario: a factory or a ``TopologyScenario``.
+
+    Mirrors :func:`register_workload` — decorate a zero-arg factory or
+    pass an already-built scenario::
+
+        @register_topology("campus", aliases=("uni",))
+        def _campus():
+            return TopologyScenario(name="campus", topology=grid_topology(...))
+    """
+
+    def decorator(obj):
+        scenario = obj() if callable(obj) else obj
+        TOPOLOGIES.register(name, scenario, aliases=aliases)
+        return obj
+
+    return decorator
+
+
 def available_generators() -> tuple[str, ...]:
     """Canonical names of every registered generator backend."""
     return GENERATORS.names()
@@ -190,3 +217,14 @@ def available_workloads() -> tuple[str, ...]:
     ``import repro`` performs); until then only plugins appear here.
     """
     return WORKLOADS.names()
+
+
+def available_topologies() -> tuple[str, ...]:
+    """Canonical names of every registered topology scenario.
+
+    Built-in topologies register on ``import repro.topology.presets``;
+    :func:`repro.topology.get_topology` performs that import lazily.
+    """
+    import repro.topology.presets  # noqa: F401  (registers the built-ins)
+
+    return TOPOLOGIES.names()

@@ -305,6 +305,8 @@ class Session:
         num_workers: int = 1,
         shard_ues: int = 2048,
         backend: str | None = None,
+        topology=None,
+        chaos=None,
     ):
         """A population-scale :class:`~repro.workload.Workload` engine.
 
@@ -317,6 +319,12 @@ class Session:
         consumers without materializing a trace::
 
             report = Session("phone-evening").workload("stadium").simulate(workers=8)
+
+        ``topology`` (a registered topology-scenario name,
+        :class:`~repro.topology.TopologyScenario` or
+        :class:`~repro.topology.NetworkTopology`) places the population
+        on a multi-cell network; ``chaos`` overrides the topology's
+        chaos schedule (``"off"`` disables it).
         """
         from ..workload import Workload, get_workload
 
@@ -334,6 +342,8 @@ class Session:
             shard_ues=shard_ues,
             backend=backend,
             generators=generators or None,
+            topology=topology,
+            chaos=chaos,
         )
 
     # ------------------------------------------------------------------

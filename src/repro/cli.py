@@ -12,8 +12,10 @@ Commands
 ``evaluate``      fidelity report of a synthesized trace vs a real one
 ``experiments``   run the paper's tables/figures at a chosen scale
 ``workload``      stream a composite workload into the MCN simulator
+``topology``      inspect multi-cell topology scenarios (cells, chaos)
 ``fidelity-gate`` threshold-checked acceptance gate (the CI quality gate)
-``registry``      list registered generators, scenarios and workloads
+``registry``      list registered generators, scenarios, workloads and
+                  topologies
 """
 
 from __future__ import annotations
@@ -131,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also drive the target-utilization autoscaler")
     p.add_argument("--window", type=float, default=300.0,
                    help="autoscaling window in seconds")
+    p.add_argument("--topology", default=None,
+                   help="place the population on a registered topology "
+                        "scenario (overrides the workload's default)")
+    p.add_argument("--chaos", default=None,
+                   help="chaos schedule override; 'off' disables the "
+                        "topology's built-in schedule")
+
+    p = sub.add_parser(
+        "topology", help="inspect multi-cell topology scenarios"
+    )
+    p.add_argument("name", nargs="?", default=None,
+                   help="registered topology scenario (default: list all)")
 
     p = sub.add_parser(
         "fidelity-gate",
@@ -161,11 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override both JSD ceilings")
     p.add_argument("--max-ks", type=float, default=None,
                    help="override both KS ceilings")
+    p.add_argument("--max-flow-jsd", type=float, default=None,
+                   help="override only the flow-length JSD ceiling "
+                        "(takes precedence over --max-jsd)")
     p.add_argument("--max-memorization", type=float, default=None,
                    help="override the memorization repeat-fraction ceiling")
+    p.add_argument("--topology", default=None,
+                   help="gate the workload on this topology scenario "
+                        "(mobility + chaos injections included)")
+    p.add_argument("--chaos", default=None,
+                   help="chaos schedule override; 'off' disables the "
+                        "topology's built-in schedule")
 
     sub.add_parser(
-        "registry", help="list registered generators, scenarios and workloads"
+        "registry",
+        help="list registered generators, scenarios, workloads and topologies",
     )
     return parser
 
@@ -294,8 +318,12 @@ def _cmd_workload(args) -> int:
         seed=args.seed,
         num_workers=args.workers,
         backend=args.backend,
+        topology=args.topology,
+        chaos=args.chaos,
     )
     print(population.summary())
+    if engine.topology is not None:
+        print(engine.topology.summary())
     # With --autoscale both consumers need the timeline; build it once
     # (a list at CLI scale) instead of generating twice.
     events = list(engine.events()) if args.autoscale else None
@@ -309,6 +337,15 @@ def _cmd_workload(args) -> int:
         f"{report.peak_connected_contexts} | utilization "
         f"{report.utilization:.1%}"
     )
+    if report.per_region:
+        for region in sorted(report.per_region):
+            sub = report.region(region)
+            print(
+                f"  region {region}: {sub.num_events} events | "
+                f"p99 {sub.latency_percentile(99):.2f} ms | "
+                f"peak contexts {sub.peak_connected_contexts} | "
+                f"utilization {sub.utilization:.1%}"
+            )
     if args.autoscale:
         trace = engine.autoscale(window_seconds=args.window, events=events)
         print(
@@ -317,6 +354,26 @@ def _cmd_workload(args) -> int:
             f"{trace.scaling_actions} scaling actions, "
             f"mean utilization {trace.mean_utilization:.1%}"
         )
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from .api import TOPOLOGIES, available_topologies
+
+    names = available_topologies()  # registers the built-in presets
+    if args.name is None:
+        print("topologies:")
+        for name in names:
+            scenario = TOPOLOGIES.get(name)
+            topo = scenario.topology
+            print(
+                f"  {name}  ({topo.num_cells} cells, "
+                f"{len(topo.tracking_areas)} TAs, "
+                f"{len(topo.regions)} regions, "
+                f"{len(scenario.chaos.events)} chaos events)"
+            )
+        return 0
+    print(TOPOLOGIES.get(args.name).summary())
     return 0
 
 
@@ -337,6 +394,8 @@ def _cmd_fidelity_gate(args) -> int:
     if args.max_ks is not None:
         overrides["max_interarrival_ks"] = args.max_ks
         overrides["max_flow_length_ks"] = args.max_ks
+    if args.max_flow_jsd is not None:
+        overrides["max_flow_length_jsd"] = args.max_flow_jsd
     if args.max_memorization is not None:
         overrides["max_memorization"] = args.max_memorization
     if overrides:
@@ -351,6 +410,8 @@ def _cmd_fidelity_gate(args) -> int:
         memorization=not args.skip_memorization,
         num_resamples=args.resamples,
         report_path=args.report,
+        topology=args.topology,
+        chaos=args.chaos,
     )
     print(scorecard.summary())
     if args.report:
@@ -360,7 +421,7 @@ def _cmd_fidelity_gate(args) -> int:
 
 def _cmd_registry(args) -> int:
     from . import workload as _workload  # noqa: F401  (registers built-ins)
-    from .api import WORKLOADS
+    from .api import TOPOLOGIES, WORKLOADS, available_topologies
 
     print("generators:")
     for name in available_generators():
@@ -382,6 +443,15 @@ def _cmd_registry(args) -> int:
             f"  {name}  ({population.technology}, "
             f"{population.total_ues} UEs: {cohorts})"
         )
+    print("topologies:")
+    for name in available_topologies():
+        scenario = TOPOLOGIES.get(name)
+        topo = scenario.topology
+        print(
+            f"  {name}  ({topo.num_cells} cells, "
+            f"{len(topo.tracking_areas)} TAs, {len(topo.regions)} regions, "
+            f"{len(scenario.chaos.events)} chaos events)"
+        )
     return 0
 
 
@@ -392,6 +462,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
     "workload": _cmd_workload,
+    "topology": _cmd_topology,
     "fidelity-gate": _cmd_fidelity_gate,
     "registry": _cmd_registry,
 }

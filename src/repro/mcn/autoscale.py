@@ -13,6 +13,12 @@ an already time-ordered event iterable (the streaming merged timeline of
 :class:`repro.workload.Workload`) is consumed as it arrives — per-window
 demand accumulates in O(#windows) memory no matter how many events flow
 through.
+
+With a :class:`~repro.topology.graph.NetworkTopology`, cell-annotated
+events additionally accumulate into **per-region** demand series (one
+sub-trace per regional core, sharing the global window origin), so a
+regional brownout or a commute wave shows up as that region's own
+scaling trajectory.
 """
 
 from __future__ import annotations
@@ -66,12 +72,18 @@ class AutoscalePolicy:
 
 @dataclass
 class AutoscaleTrace:
-    """Per-window record of the autoscaling run."""
+    """Per-window record of the autoscaling run.
+
+    ``per_region`` (topology runs only) holds one sub-trace per regional
+    core; every sub-trace shares the global window origin, so window
+    ``i`` covers the same simulated-time span in every region.
+    """
 
     window_seconds: float
     offered_load: list[float] = field(default_factory=list)  # worker-equivalents
     workers: list[int] = field(default_factory=list)
     utilization: list[float] = field(default_factory=list)
+    per_region: "dict[str, AutoscaleTrace]" = field(default_factory=dict)
 
     @property
     def scaling_actions(self) -> int:
@@ -90,23 +102,56 @@ class AutoscaleTrace:
             return 0.0
         return float(np.mean(self.utilization))
 
+    def region(self, name: str) -> "AutoscaleTrace":
+        """The per-region sub-trace for ``name`` (topology runs only)."""
+        if name not in self.per_region:
+            raise KeyError(
+                f"no region {name!r} in this trace; "
+                f"have {sorted(self.per_region)}"
+            )
+        return self.per_region[name]
 
-def _timed_events(workload: TraceDataset | Iterable) -> Iterator[tuple[float, str]]:
-    """``(timestamp, event)`` in time order, lazily for ordered iterables."""
+
+def _timed_events(
+    workload: TraceDataset | Iterable,
+) -> Iterator[tuple[float, str, str | None]]:
+    """``(timestamp, event, cell)`` in time order, lazily for iterables."""
     if isinstance(workload, TraceDataset):
         arrivals = sorted(
             (event.timestamp, event.event)
             for stream in workload
             for event in stream
         )
-        return iter(arrivals)
+        return ((t, event, None) for t, event in arrivals)
 
-    def _adapt() -> Iterator[tuple[float, str]]:
+    def _adapt() -> Iterator[tuple[float, str, str | None]]:
         for item in workload:
-            # TimelineEvent (t, cohort, ue_id, event) or (t, ue_id, event).
-            yield item[0], item[-1]
+            # CellTimelineEvent (t, cohort, ue, event, cell),
+            # TimelineEvent (t, cohort, ue, event), or (t, ue, event).
+            if len(item) >= 5:
+                yield item[0], item[3], item[4]
+            elif len(item) == 4:
+                yield item[0], item[3], None
+            else:
+                yield item[0], item[2], None
 
     return _adapt()
+
+
+def _run_policy(
+    trace: AutoscaleTrace,
+    demands: list[float],
+    policy: AutoscalePolicy,
+    window_seconds: float,
+    initial_workers: int,
+) -> None:
+    workers = initial_workers
+    for demand_seconds in demands:
+        offered = demand_seconds / window_seconds
+        workers = policy.next_workers(workers, offered)
+        trace.offered_load.append(float(offered))
+        trace.workers.append(workers)
+        trace.utilization.append(float(min(offered / workers, 1.0)))
 
 
 def simulate_autoscaling(
@@ -115,6 +160,7 @@ def simulate_autoscaling(
     window_seconds: float = 300.0,
     cost_model: ServiceCostModel = LTE_COSTS,
     initial_workers: int = 2,
+    topology=None,
 ) -> AutoscaleTrace:
     """Drive ``policy`` over ``workload`` replayed in fixed windows.
 
@@ -122,14 +168,25 @@ def simulate_autoscaling(
     the window length — i.e. the number of fully-busy workers the window
     requires.  Windows with no events (gaps in the workload) still
     appear, with zero offered load.
+
+    With ``topology`` (a :class:`~repro.topology.graph.NetworkTopology`)
+    each cell-annotated event also accumulates into its region's demand
+    series; the returned trace's ``per_region`` maps every region to its
+    own policy run (same policy, same initial workers).
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
     trace = AutoscaleTrace(window_seconds=window_seconds)
 
+    region_of_cell: dict[str, str] = {}
+    region_demands: dict[str, list[float]] = {}
+    if topology is not None:
+        region_of_cell = {cell.name: cell.region for cell in topology.cells}
+        region_demands = {region: [] for region in topology.regions}
+
     demands: list[float] = []
     start: float | None = None
-    for timestamp, event in _timed_events(workload):
+    for timestamp, event, cell in _timed_events(workload):
         if start is None:
             start = timestamp
         slot = int((timestamp - start) // window_seconds)
@@ -140,15 +197,24 @@ def simulate_autoscaling(
             )
         while len(demands) <= slot:
             demands.append(0.0)
-        demands[slot] += cost_model.mean_cost(event) / 1000.0
+        cost_s = cost_model.mean_cost(event) / 1000.0
+        demands[slot] += cost_s
+        region = region_of_cell.get(cell)
+        if region is not None:
+            series = region_demands[region]
+            while len(series) <= slot:
+                series.append(0.0)
+            series[slot] += cost_s
     if start is None:
         return trace
 
-    workers = initial_workers
-    for demand_seconds in demands:
-        offered = demand_seconds / window_seconds
-        workers = policy.next_workers(workers, offered)
-        trace.offered_load.append(float(offered))
-        trace.workers.append(workers)
-        trace.utilization.append(float(min(offered / workers, 1.0)))
+    _run_policy(trace, demands, policy, window_seconds, initial_workers)
+    for region, series in region_demands.items():
+        # Pad to the global window count: every region spans the same
+        # simulated time, tail windows included.
+        while len(series) < len(demands):
+            series.append(0.0)
+        sub = AutoscaleTrace(window_seconds=window_seconds)
+        _run_policy(sub, series, policy, window_seconds, initial_workers)
+        trace.per_region[region] = sub
     return trace

@@ -17,7 +17,19 @@ Two ingestion paths feed the same discrete-event loop:
   is consumed one event at a time, so population-scale workloads never
   materialize.  Items may be
   :class:`~repro.workload.timeline.TimelineEvent` tuples (UE identity is
-  ``(cohort, ue_id)``) or plain ``(timestamp, ue_id, event)`` triples.
+  ``(cohort, ue_id)``), cell-annotated
+  :class:`~repro.workload.timeline.CellTimelineEvent` tuples, or plain
+  ``(timestamp, ue_id, event)`` triples.
+
+With a :class:`~repro.topology.graph.NetworkTopology` the anchor splits
+into **per-region NF pools**: every cell-annotated arrival routes to the
+regional core (AMF/MME pool) owning its cell, each region runs its own
+c-server queue, and the report carries a per-region breakdown plus
+per-cell connect counts (the mass-re-registration surge metric for
+chaos scenarios).  A :class:`~repro.topology.chaos.ChaosSchedule`
+inflates a degraded region's service times by ``1 / capacity_factor``
+for the scheduled window, so regional brownouts surface in that
+region's latency percentiles without touching the others.
 """
 
 from __future__ import annotations
@@ -39,7 +51,14 @@ _RELEASING_EVENTS = {"S1_CONN_REL", "AN_REL", "DTCH", "DEREGISTER"}
 
 @dataclass
 class SimulationReport:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``per_region`` (topology runs only) maps each region name to the
+    report of that region's own NF pool; ``cell_connects`` counts
+    connection-establishing events (ATCH/REGISTER/SRV_REQ/HO) per cell —
+    the observable a cell-kill chaos scenario moves: the dead cell's
+    counts collapse while its neighbors surge.
+    """
 
     num_events: int
     duration_seconds: float
@@ -47,6 +66,8 @@ class SimulationReport:
     utilization: float
     peak_connected_contexts: int
     dropped_events: int
+    per_region: "dict[str, SimulationReport] | None" = None
+    cell_connects: "dict[str, int] | None" = None
 
     @property
     def throughput_eps(self) -> float:
@@ -74,6 +95,87 @@ class SimulationReport:
             raise ValueError("no events were processed")
         return float(np.concatenate(pools).mean())
 
+    def region(self, name: str) -> "SimulationReport":
+        """The per-region report for ``name`` (topology runs only)."""
+        if not self.per_region or name not in self.per_region:
+            raise KeyError(
+                f"no region {name!r} in this report; "
+                f"have {sorted(self.per_region or ())}"
+            )
+        return self.per_region[name]
+
+
+class _AnchorPool:
+    """One c-server FIFO queue: a regional NF pool (or the global one)."""
+
+    def __init__(self, workers: int, queue_limit: int | None) -> None:
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self._free_at: list[float] = []
+        self._in_system: list[float] = []
+        self.latencies: dict[str, list[float]] = {}
+        self.busy_seconds = 0.0
+        self.dropped = 0
+        self.processed = 0
+        self.connected: set[Hashable] = set()
+        self.peak_connected = 0
+        self.cell_connects: dict[str, int] = {}
+        self.first: float | None = None
+        self.last = 0.0
+
+    def offer(
+        self,
+        timestamp: float,
+        ue_key: Hashable,
+        event: str,
+        service_s: float,
+        cell: str | None,
+    ) -> bool:
+        """Feed one arrival; returns False when the queue dropped it."""
+        if self.first is None:
+            self.first = timestamp
+            self._free_at = [timestamp] * self.workers
+        self.last = timestamp
+        while self._in_system and self._in_system[0] <= timestamp:
+            heapq.heappop(self._in_system)
+        if self.queue_limit is not None:
+            waiting = max(0, len(self._in_system) - self.workers)
+            if waiting >= self.queue_limit:
+                self.dropped += 1
+                return False
+        earliest_free = heapq.heappop(self._free_at)
+        start = max(timestamp, earliest_free)
+        finish = start + service_s
+        heapq.heappush(self._free_at, finish)
+        heapq.heappush(self._in_system, finish)
+        self.latencies.setdefault(event, []).append((finish - timestamp) * 1000.0)
+        self.busy_seconds += service_s
+        self.processed += 1
+
+        # Stateful context tracking: how many UEs this pool must hold
+        # in CONNECTED state simultaneously.
+        if event in _CONNECTING_EVENTS:
+            self.connected.add(ue_key)
+            self.peak_connected = max(self.peak_connected, len(self.connected))
+            if cell is not None:
+                self.cell_connects[cell] = self.cell_connects.get(cell, 0) + 1
+        elif event in _RELEASING_EVENTS:
+            self.connected.discard(ue_key)
+        return True
+
+    def report(self) -> SimulationReport:
+        duration = (self.last - self.first) if self.first is not None else 0.0
+        capacity_seconds = max(duration, 1e-9) * self.workers
+        return SimulationReport(
+            num_events=self.processed,
+            duration_seconds=duration,
+            latencies_ms={k: np.asarray(v) for k, v in self.latencies.items()},
+            utilization=min(self.busy_seconds / capacity_seconds, 1.0),
+            peak_connected_contexts=self.peak_connected,
+            dropped_events=self.dropped,
+            cell_connects=self.cell_connects or None,
+        )
+
 
 @dataclass
 class MCNSimulator:
@@ -82,23 +184,39 @@ class MCNSimulator:
     Parameters
     ----------
     workers:
-        Number of parallel control-plane workers.
+        Number of parallel control-plane workers.  With a topology the
+        count splits across regional pools (near-evenly, at least one
+        worker each) unless ``region_workers`` pins explicit counts.
     cost_model:
         Per-event-type service times.
     queue_limit:
         Maximum number of events waiting; arrivals beyond it are dropped
-        (counted in the report).  None = unbounded.
+        (counted in the report).  With a topology the limit applies per
+        regional pool.  None = unbounded.
+    topology:
+        A :class:`~repro.topology.graph.NetworkTopology`; when given,
+        cell-annotated arrivals route to per-region NF pools and the
+        report gains ``per_region`` / ``cell_connects``.
+    chaos:
+        A :class:`~repro.topology.chaos.ChaosSchedule` whose
+        region-degrade windows inflate that region's service times.
+    region_workers:
+        Explicit per-region worker counts (region name → workers),
+        overriding the even split.
     """
 
     workers: int = 4
     cost_model: ServiceCostModel = field(default_factory=lambda: LTE_COSTS)
     queue_limit: int | None = None
     seed: int = 0
+    topology: object | None = None
+    chaos: object | None = None
+    region_workers: dict[str, int] | None = None
 
     def run(
         self, workload: TraceDataset | Iterable, *, tee=None
     ) -> SimulationReport:
-        """Replay every event of ``workload`` through the queue.
+        """Replay every event of ``workload`` through the queue(s).
 
         ``workload`` is a :class:`TraceDataset` (sorted here) or an
         iterable of time-ordered events (consumed lazily: constant
@@ -117,79 +235,123 @@ class MCNSimulator:
             tee = tee.observe_event
         rng = np.random.default_rng(self.seed)
 
-        # Worker pool as a heap of next-free times (seconds), plus a heap
-        # of in-system finish times to measure the waiting-queue length
-        # (worker-free times alone cannot count queued events).
-        free_at: list[float] = []
-        in_system: list[float] = []
-
-        latencies: dict[str, list[float]] = {}
-        busy_seconds = 0.0
-        dropped = 0
-        connected: set[Hashable] = set()
+        pools, region_of_cell = self._build_pools()
+        default_region = next(iter(pools))
+        global_connected: set[Hashable] = set()
         peak_connected = 0
-        processed = 0
         first_timestamp: float | None = None
         last_timestamp = 0.0
 
-        for timestamp, ue_key, event in _arrivals(workload):
+        for timestamp, ue_key, event, cell in _arrivals(workload):
             if tee is not None:
                 tee(timestamp, ue_key, event)
             if first_timestamp is None:
                 first_timestamp = timestamp
-                free_at = [timestamp] * self.workers
             last_timestamp = timestamp
-            while in_system and in_system[0] <= timestamp:
-                heapq.heappop(in_system)
-            if self.queue_limit is not None:
-                waiting = max(0, len(in_system) - self.workers)
-                if waiting >= self.queue_limit:
-                    dropped += 1
-                    continue
+            region = region_of_cell.get(cell, default_region)
+            # The cost RNG draws in arrival order — one stream shared by
+            # every pool, so results don't depend on region routing.
             service_s = self.cost_model.sample_cost(event, rng) / 1000.0
-            earliest_free = heapq.heappop(free_at)
-            start = max(timestamp, earliest_free)
-            finish = start + service_s
-            heapq.heappush(free_at, finish)
-            heapq.heappush(in_system, finish)
-            latencies.setdefault(event, []).append((finish - timestamp) * 1000.0)
-            busy_seconds += service_s
-            processed += 1
-
-            # Stateful context tracking: how many UEs the MCN must hold
-            # in CONNECTED state simultaneously.
+            if self.chaos is not None and region is not None:
+                service_s *= self.chaos.service_scale(region, timestamp)
+            if not pools[region].offer(timestamp, ue_key, event, service_s, cell):
+                continue
             if event in _CONNECTING_EVENTS:
-                connected.add(ue_key)
-                peak_connected = max(peak_connected, len(connected))
+                global_connected.add(ue_key)
+                peak_connected = max(peak_connected, len(global_connected))
             elif event in _RELEASING_EVENTS:
-                connected.discard(ue_key)
+                global_connected.discard(ue_key)
 
-        if first_timestamp is not None:
-            duration = last_timestamp - first_timestamp
+        duration = (
+            last_timestamp - first_timestamp if first_timestamp is not None else 0.0
+        )
+        if self.topology is None:
+            report = pools[None].report()
+            report.peak_connected_contexts = peak_connected
+            return report
+        return self._merge_reports(pools, duration, peak_connected)
+
+    # ------------------------------------------------------------------
+    def _build_pools(self):
+        """Per-region pools plus the cell-name → region routing table."""
+        if self.topology is None:
+            return {None: _AnchorPool(self.workers, self.queue_limit)}, {}
+        regions = list(self.topology.regions)
+        if self.region_workers is not None:
+            counts = {}
+            for region in regions:
+                count = int(self.region_workers.get(region, 0))
+                if count < 1:
+                    raise ValueError(
+                        f"region_workers must give every region >= 1 worker; "
+                        f"region {region!r} got {count}"
+                    )
+                counts[region] = count
         else:
-            duration = 0.0
-        capacity_seconds = max(duration, 1e-9) * self.workers
+            base, extra = divmod(self.workers, len(regions))
+            counts = {
+                region: max(1, base + (1 if i < extra else 0))
+                for i, region in enumerate(regions)
+            }
+        pools = {
+            region: _AnchorPool(counts[region], self.queue_limit)
+            for region in regions
+        }
+        region_of_cell = {
+            cell.name: cell.region for cell in self.topology.cells
+        }
+        return pools, region_of_cell
+
+    @staticmethod
+    def _merge_reports(
+        pools: dict, duration: float, peak_connected: int
+    ) -> SimulationReport:
+        per_region = {
+            region: pool.report() for region, pool in pools.items()
+        }
+        latencies: dict[str, list[np.ndarray]] = {}
+        cell_connects: dict[str, int] = {}
+        busy = 0.0
+        workers = 0
+        processed = 0
+        dropped = 0
+        for region, pool in pools.items():
+            processed += pool.processed
+            dropped += pool.dropped
+            busy += pool.busy_seconds
+            workers += pool.workers
+            for event, values in pool.latencies.items():
+                latencies.setdefault(event, []).append(np.asarray(values))
+            for cell, count in pool.cell_connects.items():
+                cell_connects[cell] = cell_connects.get(cell, 0) + count
+        capacity_seconds = max(duration, 1e-9) * max(workers, 1)
         return SimulationReport(
             num_events=processed,
             duration_seconds=duration,
-            latencies_ms={k: np.asarray(v) for k, v in latencies.items()},
-            utilization=min(busy_seconds / capacity_seconds, 1.0),
+            latencies_ms={
+                event: np.concatenate(chunks)
+                for event, chunks in latencies.items()
+            },
+            utilization=min(busy / capacity_seconds, 1.0),
             peak_connected_contexts=peak_connected,
             dropped_events=dropped,
+            per_region=per_region,
+            cell_connects=cell_connects or None,
         )
 
 
 def _arrivals(
     workload: TraceDataset | Iterable,
-) -> Iterator[tuple[float, Hashable, str]]:
-    """Normalize a workload to time-ordered ``(timestamp, ue_key, event)``.
+) -> Iterator[tuple[float, Hashable, str, str | None]]:
+    """Normalize a workload to ``(timestamp, ue_key, event, cell)``.
 
     Datasets are flattened and sorted by ``(timestamp, ue_id)`` (the
     stable sort preserves within-stream order on full ties — the same
     total order the streaming merge uses, given the prefix-free cohort
     naming of ``repro.workload``).  Iterables are trusted to be ordered
-    and pass through lazily; 4-field items (``TimelineEvent``) key UE
-    identity as ``(cohort, ue_id)``, 3-tuples as the bare ``ue_id``.
+    and pass through lazily; 5-field items (``CellTimelineEvent``) carry
+    their cell, 4-field items (``TimelineEvent``) key UE identity as
+    ``(cohort, ue_id)``, 3-tuples as the bare ``ue_id``.
     """
     if isinstance(workload, TraceDataset):
         arrivals = [
@@ -198,15 +360,20 @@ def _arrivals(
             for event in stream
         ]
         arrivals.sort(key=lambda item: (item[0], item[1]))
-        return iter(arrivals)
+        return ((t, ue, event, None) for t, ue, event in arrivals)
     return _iter_event_items(workload)
 
 
-def _iter_event_items(events: Iterable) -> Iterator[tuple[float, Hashable, str]]:
+def _iter_event_items(
+    events: Iterable,
+) -> Iterator[tuple[float, Hashable, str, str | None]]:
     for item in events:
-        if len(item) == 4:
+        if len(item) >= 5:
+            timestamp, cohort, ue_id, event, cell = item[:5]
+            yield timestamp, (cohort, ue_id), event, cell
+        elif len(item) == 4:
             timestamp, cohort, ue_id, event = item
-            yield timestamp, (cohort, ue_id), event
+            yield timestamp, (cohort, ue_id), event, None
         else:
             timestamp, ue_id, event = item
-            yield timestamp, ue_id, event
+            yield timestamp, ue_id, event, None

@@ -1,0 +1,61 @@
+"""``repro.topology`` — multi-cell network graphs, mobility, and chaos.
+
+The topology layer gives generated control-plane streams somewhere to
+happen: a :class:`NetworkTopology` of cells nested in tracking areas and
+regional cores, :class:`MobilityModel` trajectories walking UEs across
+it, and a :class:`ChaosSchedule` of failures (cell outages, regional
+core degrades, rolling firmware storms).  A :class:`TopologyScenario`
+bundles all three; the workload engine consumes one via
+``Workload(..., topology="stadium-cell-kill")`` and the
+:class:`TopologyRuntime` annotates every timeline event with its cell
+while injecting conformant ``HO``/``TAU``/re-registration traffic.
+
+Built-in scenarios register lazily on first :func:`get_topology` /
+:func:`~repro.api.registry.available_topologies` call; import
+:mod:`repro.topology.presets` to force registration.
+"""
+
+from .chaos import (
+    NO_CHAOS,
+    CellOutage,
+    ChaosSchedule,
+    FirmwareStorm,
+    RegionDegrade,
+)
+from .graph import (
+    Cell,
+    NetworkTopology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+from .mobility import (
+    CommuterMobility,
+    MobilityModel,
+    RandomWaypointMobility,
+    StationaryMobility,
+    get_mobility,
+)
+from .runtime import TopologyRuntime
+from .scenario import TopologyScenario, get_topology
+
+__all__ = [
+    "Cell",
+    "NetworkTopology",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "MobilityModel",
+    "StationaryMobility",
+    "RandomWaypointMobility",
+    "CommuterMobility",
+    "get_mobility",
+    "CellOutage",
+    "RegionDegrade",
+    "FirmwareStorm",
+    "ChaosSchedule",
+    "NO_CHAOS",
+    "TopologyScenario",
+    "get_topology",
+    "TopologyRuntime",
+]

@@ -1,0 +1,192 @@
+"""Regional chaos scenarios: cell outages, core degrades, firmware storms.
+
+A :class:`ChaosSchedule` is a declarative list of failures injected into
+a topology-aware workload run.  Three failure kinds cover the MCN
+chaos-engineering repertoire:
+
+* :class:`CellOutage` — a cell dies mid-event: connected UEs lose their
+  radio link, release, and mass-re-register at neighbor cells (the
+  stadium-cell-kill scenario);
+* :class:`RegionDegrade` — a regional core (AMF/MME pool) loses
+  capacity for a window: the MCN simulator inflates service times for
+  that region by ``1 / capacity_factor``, so queues grow and latency
+  percentiles surface the brownout;
+* :class:`FirmwareStorm` — a rolling firmware push by tracking area:
+  every UE in a TA detaches, reboots, and re-attaches, staggered TA by
+  TA (the §2.2 signaling-storm failure mode, now topology-driven).
+
+Event *injection* (what UEs emit) happens in
+:mod:`repro.topology.runtime`; capacity effects (how the core copes)
+happen in :class:`~repro.mcn.simulator.MCNSimulator`.  Both consume the
+same schedule, and all randomness (refuge-cell choice, reattach jitter)
+derives from per-UE ``SeedSequence`` spawn keys in the runtime — the
+schedule itself is deterministic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import NetworkTopology
+
+__all__ = [
+    "CellOutage",
+    "RegionDegrade",
+    "FirmwareStorm",
+    "ChaosSchedule",
+    "NO_CHAOS",
+]
+
+
+@dataclass(frozen=True)
+class CellOutage:
+    """Cell ``cell`` is dead over ``[start, start + duration)``."""
+
+    cell: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        return f"cell-outage {self.cell} @ {self.start:.0f}s for {self.duration:.0f}s"
+
+
+@dataclass(frozen=True)
+class RegionDegrade:
+    """Region ``region`` runs at ``capacity_factor`` of its capacity."""
+
+    region: str
+    start: float
+    duration: float
+    capacity_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("degrade duration must be positive")
+        if not 0 < self.capacity_factor <= 1:
+            raise ValueError("capacity_factor must be in (0, 1]")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def describe(self) -> str:
+        return (
+            f"region-degrade {self.region} @ {self.start:.0f}s "
+            f"for {self.duration:.0f}s (x{self.capacity_factor:.2f} capacity)"
+        )
+
+
+@dataclass(frozen=True)
+class FirmwareStorm:
+    """Rolling reboot wave: tracking areas restart one after another.
+
+    TA ``i`` (in ``tracking_areas`` order, or topology order when empty)
+    reboots at ``start + i * stagger_seconds``; each UE detaches within
+    ``spread_seconds`` of its TA's slot (per-UE jitter), stays down for
+    ``reboot_seconds``, then re-attaches.
+    """
+
+    start: float
+    stagger_seconds: float = 600.0
+    reboot_seconds: float = 30.0
+    spread_seconds: float = 120.0
+    tracking_areas: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.stagger_seconds < 0 or self.spread_seconds < 0:
+            raise ValueError("stagger/spread must be non-negative")
+        if self.reboot_seconds <= 0:
+            raise ValueError("reboot_seconds must be positive")
+        object.__setattr__(self, "tracking_areas", tuple(self.tracking_areas))
+
+    def slot_of(self, topology: NetworkTopology, tracking_area: str) -> float | None:
+        """The reboot slot start for ``tracking_area`` (None = untouched)."""
+        areas = self.tracking_areas or topology.tracking_areas
+        for i, ta in enumerate(areas):
+            if ta == tracking_area:
+                return self.start + i * self.stagger_seconds
+        return None
+
+    def describe(self) -> str:
+        scope = ", ".join(self.tracking_areas) if self.tracking_areas else "all TAs"
+        return (
+            f"firmware-storm @ {self.start:.0f}s over {scope}, "
+            f"stagger {self.stagger_seconds:.0f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A composable set of chaos events over one run."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, (CellOutage, RegionDegrade, FirmwareStorm)):
+                raise TypeError(
+                    f"unsupported chaos event {type(event).__name__}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+    @property
+    def outages(self) -> tuple[CellOutage, ...]:
+        return tuple(e for e in self.events if isinstance(e, CellOutage))
+
+    @property
+    def degrades(self) -> tuple[RegionDegrade, ...]:
+        return tuple(e for e in self.events if isinstance(e, RegionDegrade))
+
+    @property
+    def storms(self) -> tuple[FirmwareStorm, ...]:
+        return tuple(e for e in self.events if isinstance(e, FirmwareStorm))
+
+    # ------------------------------------------------------------------
+    def validate(self, topology: NetworkTopology) -> "ChaosSchedule":
+        """Check every referenced cell/region/TA exists; returns self."""
+        for outage in self.outages:
+            topology.index(outage.cell)
+        for degrade in self.degrades:
+            topology.cells_in_region(degrade.region)
+        for storm in self.storms:
+            for ta in storm.tracking_areas:
+                topology.cells_in_tracking_area(ta)
+        return self
+
+    def service_scale(self, region: str, t: float) -> float:
+        """Service-time inflation for ``region`` at time ``t`` (>= 1).
+
+        Overlapping degrades compound: half capacity twice over means
+        4x service times.
+        """
+        scale = 1.0
+        for degrade in self.degrades:
+            if degrade.region == region and degrade.start <= t < degrade.end:
+                scale /= degrade.capacity_factor
+        return scale
+
+    def cell_dead(self, cell: str, t: float) -> bool:
+        return any(
+            o.cell == cell and o.start <= t < o.end for o in self.outages
+        )
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no chaos events"
+        return "\n".join(event.describe() for event in self.events)
+
+
+#: The empty schedule (``chaos="off"`` resolves to this).
+NO_CHAOS = ChaosSchedule()

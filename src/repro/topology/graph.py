@@ -1,0 +1,346 @@
+"""Network topology: cells grouped into tracking areas and regions.
+
+The paper's generator reproduces per-UE control-plane event streams;
+this module gives those streams somewhere to *happen*.  A
+:class:`NetworkTopology` is an undirected graph of cells (gNB/eNB
+coverage areas) where every cell belongs to exactly one tracking area
+and every tracking area to exactly one regional core instance (an
+AMF/MME pool).  Mobility models (:mod:`repro.topology.mobility`) walk
+UEs across cell edges, the workload engine annotates every timeline
+event with the cell it was emitted from, and the MCN simulator routes
+arrivals to per-region NF pools.
+
+The nesting ``cell ⊂ tracking area ⊂ region`` mirrors the 3GPP location
+hierarchy: crossing a cell edge while connected is a handover, crossing
+a tracking-area edge is additionally a tracking-area update, and a
+regional core failure takes out every tracking area attached to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Cell",
+    "NetworkTopology",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One coverage area: a cell attached to a tracking area and region."""
+
+    name: str
+    tracking_area: str
+    region: str
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("cell", self.name),
+            ("tracking_area", self.tracking_area),
+            ("region", self.region),
+        ):
+            if not value or not str(value).strip():
+                raise ValueError(f"{label} name must be non-empty")
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """An undirected cell graph with the 3GPP location hierarchy.
+
+    ``edges`` are unordered cell-name pairs; both orientations are
+    derived.  Validation enforces the hierarchy invariants once, at
+    construction: unique cell names, edges between existing distinct
+    cells, and every tracking area inside exactly one region (a TA
+    spanning two regional cores would make TAU routing ambiguous).
+    """
+
+    name: str
+    cells: tuple[Cell, ...]
+    edges: tuple[tuple[str, str], ...] = ()
+    description: str = ""
+    _index: dict = field(default_factory=dict, repr=False, compare=False)
+    _neighbors: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+        object.__setattr__(
+            self, "edges", tuple(tuple(edge) for edge in self.edges)
+        )
+        if not self.cells:
+            raise ValueError("a topology needs at least one cell")
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cell names must be unique; got {names}")
+        index = {cell.name: code for code, cell in enumerate(self.cells)}
+        ta_region: dict[str, str] = {}
+        for cell in self.cells:
+            region = ta_region.setdefault(cell.tracking_area, cell.region)
+            if region != cell.region:
+                raise ValueError(
+                    f"tracking area {cell.tracking_area!r} spans regions "
+                    f"{region!r} and {cell.region!r}; a TA must live in one "
+                    "regional core"
+                )
+        neighbors: dict[str, list[int]] = {name: [] for name in names}
+        seen: set[frozenset] = set()
+        for a, b in self.edges:
+            if a not in index or b not in index:
+                raise ValueError(f"edge ({a!r}, {b!r}) names an unknown cell")
+            if a == b:
+                raise ValueError(f"self-edge on cell {a!r}")
+            key = frozenset((a, b))
+            if key in seen:
+                raise ValueError(f"duplicate edge ({a!r}, {b!r})")
+            seen.add(key)
+            neighbors[a].append(index[b])
+            neighbors[b].append(index[a])
+        self._index.update(index)
+        # Neighbor lists sorted by cell declaration order: deterministic
+        # iteration for BFS paths and refuge choice in chaos scenarios.
+        self._neighbors.update(
+            {name: tuple(sorted(codes)) for name, codes in neighbors.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        return tuple(cell.name for cell in self.cells)
+
+    @property
+    def tracking_areas(self) -> tuple[str, ...]:
+        """Tracking areas in first-appearance order."""
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.tracking_area, None)
+        return tuple(seen)
+
+    @property
+    def regions(self) -> tuple[str, ...]:
+        """Regions in first-appearance order."""
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.region, None)
+        return tuple(seen)
+
+    def index(self, name: str) -> int:
+        """Dense cell code of ``name`` (the column the buffers carry)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no cell {name!r} in topology {self.name!r}; "
+                f"have {list(self._index)}"
+            ) from None
+
+    def cell(self, name: str) -> Cell:
+        return self.cells[self.index(name)]
+
+    def neighbor_indices(self, index: int) -> tuple[int, ...]:
+        """Neighbor cell codes of the cell at ``index``."""
+        return self._neighbors[self.cells[index].name]
+
+    def neighbors(self, name: str) -> tuple[str, ...]:
+        """Neighbor cell names of ``name``."""
+        return tuple(
+            self.cells[code].name for code in self._neighbors[self.cell(name).name]
+        )
+
+    def region_of(self, cell_name: str) -> str:
+        return self.cell(cell_name).region
+
+    def tracking_area_of(self, cell_name: str) -> str:
+        return self.cell(cell_name).tracking_area
+
+    def cells_in_region(self, region: str) -> tuple[str, ...]:
+        found = tuple(c.name for c in self.cells if c.region == region)
+        if not found:
+            raise KeyError(
+                f"no region {region!r} in topology {self.name!r}; "
+                f"have {list(self.regions)}"
+            )
+        return found
+
+    def cells_in_tracking_area(self, tracking_area: str) -> tuple[str, ...]:
+        found = tuple(
+            c.name for c in self.cells if c.tracking_area == tracking_area
+        )
+        if not found:
+            raise KeyError(
+                f"no tracking area {tracking_area!r} in topology "
+                f"{self.name!r}; have {list(self.tracking_areas)}"
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def shortest_path(self, start: str, goal: str) -> tuple[int, ...]:
+        """Cell codes of a shortest ``start`` → ``goal`` walk (inclusive).
+
+        Deterministic BFS: ties resolve toward the lowest cell code, so
+        two runs (and two worker layouts) always pick the same path.
+        Raises ``ValueError`` when no path exists.
+        """
+        origin, target = self.index(start), self.index(goal)
+        if origin == target:
+            return (origin,)
+        parent: dict[int, int] = {origin: origin}
+        frontier = [origin]
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                for neighbor in self.neighbor_indices(node):
+                    if neighbor in parent:
+                        continue
+                    parent[neighbor] = node
+                    if neighbor == target:
+                        path = [neighbor]
+                        while path[-1] != origin:
+                            path.append(parent[path[-1]])
+                        return tuple(reversed(path))
+                    nxt.append(neighbor)
+            frontier = nxt
+        raise ValueError(
+            f"no path from {start!r} to {goal!r} in topology {self.name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable hierarchy listing (the CLI ``topology`` output)."""
+        lines = [
+            f"{self.name}: {self.num_cells} cells / "
+            f"{len(self.tracking_areas)} tracking areas / "
+            f"{len(self.regions)} regions"
+        ]
+        for region in self.regions:
+            lines.append(f"  region {region}:")
+            for ta in self.tracking_areas:
+                cells = [
+                    c for c in self.cells
+                    if c.tracking_area == ta and c.region == region
+                ]
+                if not cells:
+                    continue
+                names = ", ".join(
+                    f"{c.name}({len(self._neighbors[c.name])}n)" for c in cells
+                )
+                lines.append(f"    {ta}: {names}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _grouped_cells(
+    count: int, cells_per_ta: int, tas_per_region: int, prefix: str
+) -> list[Cell]:
+    cells = []
+    for i in range(count):
+        ta = i // cells_per_ta
+        region = ta // tas_per_region
+        cells.append(
+            Cell(
+                name=f"{prefix}{i:02d}",
+                tracking_area=f"{prefix}ta{ta}",
+                region=f"{prefix}r{region}",
+            )
+        )
+    return cells
+
+
+def line_topology(
+    name: str,
+    num_cells: int,
+    *,
+    cells_per_ta: int = 2,
+    tas_per_region: int = 2,
+    prefix: str = "c",
+    description: str = "",
+) -> NetworkTopology:
+    """A corridor of cells — the motorway / rail-line coverage shape."""
+    if num_cells < 1 or cells_per_ta < 1 or tas_per_region < 1:
+        raise ValueError("num_cells, cells_per_ta and tas_per_region must be >= 1")
+    cells = _grouped_cells(num_cells, cells_per_ta, tas_per_region, prefix)
+    edges = tuple(
+        (cells[i].name, cells[i + 1].name) for i in range(num_cells - 1)
+    )
+    return NetworkTopology(
+        name=name, cells=tuple(cells), edges=edges, description=description
+    )
+
+
+def ring_topology(
+    name: str,
+    num_cells: int,
+    *,
+    cells_per_ta: int = 2,
+    tas_per_region: int = 2,
+    prefix: str = "c",
+    description: str = "",
+) -> NetworkTopology:
+    """A closed loop of cells — an orbital road or city ring."""
+    line = line_topology(
+        name,
+        num_cells,
+        cells_per_ta=cells_per_ta,
+        tas_per_region=tas_per_region,
+        prefix=prefix,
+        description=description,
+    )
+    if num_cells < 3:
+        return line
+    wrap = (line.cells[-1].name, line.cells[0].name)
+    return NetworkTopology(
+        name=name,
+        cells=line.cells,
+        edges=line.edges + (wrap,),
+        description=description,
+    )
+
+
+def grid_topology(
+    name: str,
+    rows: int,
+    cols: int,
+    *,
+    rows_per_region: int = 2,
+    prefix: str = "c",
+    description: str = "",
+) -> NetworkTopology:
+    """A ``rows x cols`` 4-neighbor grid; each row is one tracking area.
+
+    Rows group into regions ``rows_per_region`` at a time — the dense
+    metro coverage shape the ``metro-commute`` preset uses.
+    """
+    if rows < 1 or cols < 1 or rows_per_region < 1:
+        raise ValueError("rows, cols and rows_per_region must be >= 1")
+    cells = []
+    for r in range(rows):
+        for c in range(cols):
+            cells.append(
+                Cell(
+                    name=f"{prefix}{r}{c}",
+                    tracking_area=f"{prefix}ta{r}",
+                    region=f"{prefix}r{r // rows_per_region}",
+                )
+            )
+    edges: list[tuple[str, str]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((f"{prefix}{r}{c}", f"{prefix}{r}{c + 1}"))
+            if r + 1 < rows:
+                edges.append((f"{prefix}{r}{c}", f"{prefix}{r + 1}{c}"))
+    return NetworkTopology(
+        name=name, cells=tuple(cells), edges=tuple(edges), description=description
+    )

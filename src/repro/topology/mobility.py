@@ -1,0 +1,241 @@
+"""UE mobility models: piecewise-constant cell trajectories.
+
+A :class:`MobilityModel` turns ``(topology, home cell, rng, window)``
+into a deterministic cell trajectory — arrays ``(times, cells)`` where
+``cells[i]`` is occupied from ``times[i]`` until ``times[i + 1]``.  The
+workload engine derives each UE's ``rng`` from a ``SeedSequence`` spawn
+key of ``(seed, ue id)``, so a trajectory depends only on the seed and
+the UE — never on shard layout or ``num_workers``.
+
+Three models cover the control-plane repertoire:
+
+* :class:`StationaryMobility` — the pre-topology behavior: a UE camps
+  on its home cell forever (no mobility events);
+* :class:`RandomWaypointMobility` — exponential dwell on a cell, then a
+  hop to a uniformly-chosen neighbor: background urban churn;
+* :class:`CommuterMobility` — the morning/evening tidal flow: home →
+  (shortest path) → workplace and back, with per-UE departure jitter
+  drawn from a :class:`~repro.trace.diurnal.DiurnalProfile` so the
+  commute wave follows the same device-activity curve that shapes the
+  cohort's traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.diurnal import DiurnalProfile
+from .graph import NetworkTopology
+
+__all__ = [
+    "MobilityModel",
+    "StationaryMobility",
+    "RandomWaypointMobility",
+    "CommuterMobility",
+    "get_mobility",
+]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 86400.0
+
+
+class MobilityModel:
+    """Base class: a deterministic cell-trajectory factory."""
+
+    def trajectory(
+        self,
+        topology: NetworkTopology,
+        home: int,
+        rng: np.random.Generator,
+        start: float,
+        horizon: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, cells)`` over ``[start, horizon]``.
+
+        ``times`` is strictly increasing with ``times[0] == start``;
+        ``cells`` holds topology cell codes; consecutive entries always
+        differ (every breakpoint is a real crossing).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+def _finalize(
+    start: float, home: int, moves: list[tuple[float, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse raw ``(time, cell)`` moves into a canonical trajectory.
+
+    Moves at or before ``start`` fast-forward the initial cell (a
+    commuter whose window opens at 10:00 is already at work); no-op
+    moves (same cell) are dropped.
+    """
+    times = [start]
+    cells = [home]
+    for t, cell in sorted(moves, key=lambda m: m[0]):
+        if t <= start:
+            cells[0] = int(cell)
+            continue
+        if cell == cells[-1]:
+            continue
+        times.append(float(t))
+        cells.append(int(cell))
+    return np.asarray(times, dtype=np.float64), np.asarray(cells, dtype=np.int32)
+
+
+@dataclass(frozen=True)
+class StationaryMobility(MobilityModel):
+    """No movement: the UE camps on its home cell."""
+
+    def trajectory(self, topology, home, rng, start, horizon):
+        return _finalize(start, home, [])
+
+
+@dataclass(frozen=True)
+class RandomWaypointMobility(MobilityModel):
+    """Exponential dwell, then a hop to a uniform random neighbor."""
+
+    mean_dwell_seconds: float = 1800.0
+    max_moves: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mean_dwell_seconds <= 0:
+            raise ValueError("mean_dwell_seconds must be positive")
+        if self.max_moves < 1:
+            raise ValueError("max_moves must be >= 1")
+
+    def trajectory(self, topology, home, rng, start, horizon):
+        moves: list[tuple[float, int]] = []
+        t = start
+        cell = home
+        for _ in range(self.max_moves):
+            t += float(rng.exponential(self.mean_dwell_seconds))
+            if t > horizon:
+                break
+            neighbors = topology.neighbor_indices(cell)
+            if not neighbors:
+                break
+            cell = neighbors[int(rng.integers(len(neighbors)))]
+            moves.append((t, cell))
+        return _finalize(start, home, moves)
+
+
+@dataclass(frozen=True)
+class CommuterMobility(MobilityModel):
+    """Tidal home → work → home flow along shortest topology paths.
+
+    Each UE picks a workplace from ``work_cells`` (names; empty = every
+    cell but home), departs around ``depart_hour`` and returns around
+    ``return_hour``, crossing one cell of the shortest path every
+    ``transit_seconds``.  Departure jitter is drawn over
+    ``± jitter_hours`` weighted by ``profile`` activity (when given), so
+    the handover wave tracks the device type's own diurnal curve.
+    """
+
+    work_cells: tuple[str, ...] = ()
+    depart_hour: float = 8.0
+    return_hour: float = 17.0
+    transit_seconds: float = 120.0
+    jitter_hours: float = 0.5
+    profile: DiurnalProfile | None = None
+
+    def __post_init__(self) -> None:
+        if self.transit_seconds <= 0:
+            raise ValueError("transit_seconds must be positive")
+        if self.jitter_hours < 0:
+            raise ValueError("jitter_hours must be non-negative")
+        if not 0 <= self.depart_hour < 24 or not 0 <= self.return_hour < 24:
+            raise ValueError("depart_hour and return_hour must be in [0, 24)")
+        object.__setattr__(self, "work_cells", tuple(self.work_cells))
+
+    # ------------------------------------------------------------------
+    def _jitter(self, hour: float, rng: np.random.Generator) -> float:
+        """Departure offset (seconds) around ``hour``, profile-weighted."""
+        if self.jitter_hours == 0:
+            return 0.0
+        if self.profile is None:
+            return float(
+                rng.uniform(-self.jitter_hours, self.jitter_hours)
+            ) * _SECONDS_PER_HOUR
+        # Discretize the jitter window into 5-minute slots and sample one
+        # proportionally to the diurnal activity at that slot.
+        slots = max(2, int(round(self.jitter_hours * 24)))
+        offsets = np.linspace(-self.jitter_hours, self.jitter_hours, slots)
+        weights = np.array(
+            [self.profile.activity(hour + off) for off in offsets]
+        )
+        weights = weights / weights.sum()
+        pick = int(rng.choice(len(offsets), p=weights))
+        return float(offsets[pick]) * _SECONDS_PER_HOUR
+
+    def _walk(
+        self,
+        topology: NetworkTopology,
+        path: tuple[int, ...],
+        depart: float,
+    ) -> list[tuple[float, int]]:
+        return [
+            (depart + hop * self.transit_seconds, cell)
+            for hop, cell in enumerate(path[1:])
+        ]
+
+    def trajectory(self, topology, home, rng, start, horizon):
+        if self.work_cells:
+            candidates = [topology.index(name) for name in self.work_cells]
+        else:
+            candidates = [i for i in range(topology.num_cells) if i != home]
+        if not candidates:
+            return _finalize(start, home, [])
+        work = candidates[int(rng.integers(len(candidates)))]
+        if work == home:
+            return _finalize(start, home, [])
+        outbound = topology.shortest_path(
+            topology.cells[home].name, topology.cells[work].name
+        )
+        inbound = tuple(reversed(outbound))
+        moves: list[tuple[float, int]] = []
+        day = int(np.floor(start / _SECONDS_PER_DAY))
+        while day * _SECONDS_PER_DAY <= horizon:
+            base = day * _SECONDS_PER_DAY
+            depart = (
+                base
+                + self.depart_hour * _SECONDS_PER_HOUR
+                + self._jitter(self.depart_hour, rng)
+            )
+            back = (
+                base
+                + self.return_hour * _SECONDS_PER_HOUR
+                + self._jitter(self.return_hour, rng)
+            )
+            # Keep the two trips disjoint even under extreme jitter.
+            trip_seconds = (len(outbound) - 1) * self.transit_seconds
+            back = max(back, depart + trip_seconds + 1.0)
+            moves.extend(self._walk(topology, outbound, depart))
+            moves.extend(self._walk(topology, inbound, back))
+            day += 1
+        return _finalize(start, home, [m for m in moves if m[0] <= horizon])
+
+
+#: Built-in models resolvable by name from ``Cohort.mobility``.
+_BUILTINS = {
+    "stationary": StationaryMobility,
+    "random-waypoint": RandomWaypointMobility,
+    "waypoint": RandomWaypointMobility,
+    "commuter": CommuterMobility,
+}
+
+
+def get_mobility(model: "str | MobilityModel") -> MobilityModel:
+    """Resolve a mobility model by builtin name (or pass one through)."""
+    if isinstance(model, MobilityModel):
+        return model
+    key = model.strip().lower()
+    if key not in _BUILTINS:
+        raise ValueError(
+            f"unknown mobility model {model!r}; "
+            f"builtins: {sorted(set(_BUILTINS))}"
+        )
+    return _BUILTINS[key]()

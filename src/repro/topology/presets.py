@@ -1,0 +1,231 @@
+"""Built-in topology scenarios, registered in :data:`TOPOLOGIES`.
+
+Each preset pairs with a workload preset of the same flavor — the cohort
+names in ``mobility`` / ``placements`` match that workload's cohorts, so
+``Workload("city-day", topology="metro-commute")`` works out of the box
+(unmatched cohorts simply fall back to the scenario defaults, so any
+population runs on any topology):
+
+* ``metro-commute`` — a 3x3 metro grid with tidal commuter flows into
+  the downtown cells (pairs with ``city-day``);
+* ``stadium-cell-kill`` — a stadium cell ringed by four neighbors; the
+  stadium cell dies mid-match and the crowd mass-re-registers at the
+  ring (pairs with ``stadium-flash-crowd``);
+* ``region-degrade`` — a two-region corridor whose second regional core
+  browns out for an hour (pairs with ``city-day``);
+* ``firmware-storm-by-ta`` — an 8-cell ring over 4 tracking areas with
+  a rolling firmware reboot wave, TA by TA (pairs with
+  ``iot-firmware-storm``);
+* ``motorway`` — an 8-cell corridor a convoy sweeps end to end, emitting
+  the handover storm topologically (the ``handover-storm`` workload's
+  default topology).
+"""
+
+from __future__ import annotations
+
+from ..api.registry import register_topology
+from .chaos import CellOutage, ChaosSchedule, FirmwareStorm, RegionDegrade
+from .graph import (
+    Cell,
+    NetworkTopology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+from .mobility import CommuterMobility, RandomWaypointMobility, StationaryMobility
+from .scenario import TopologyScenario
+
+__all__ = [
+    "METRO_COMMUTE",
+    "STADIUM_CELL_KILL",
+    "REGION_DEGRADE",
+    "FIRMWARE_STORM_BY_TA",
+    "MOTORWAY",
+]
+
+_HOUR = 3600.0
+
+
+METRO_COMMUTE = TopologyScenario(
+    name="metro-commute",
+    description="3x3 metro grid; phones commute into downtown, cars roam",
+    topology=grid_topology(
+        "metro",
+        3,
+        3,
+        rows_per_region=2,
+        prefix="m",
+        description="3x3 metro grid, one TA per row, two regional cores",
+    ),
+    default_mobility=StationaryMobility(),
+    mobility={
+        # city-day cohorts: phones ride the evening tidal flow home
+        # (the run window opens at 17:00, so the 08:00 outbound leg has
+        # already happened and only the return crossing lands in-window),
+        # cars churn cell to cell, tablets stay camped.
+        "phones": CommuterMobility(
+            work_cells=("m11", "m12"),
+            depart_hour=8.0,
+            return_hour=17.5,
+            transit_seconds=180.0,
+            jitter_hours=0.75,
+        ),
+        "cars": RandomWaypointMobility(mean_dwell_seconds=900.0),
+    },
+    placements={
+        # Homes on the grid's outer ring; downtown is where work is.
+        "phones": ("m00", "m01", "m02", "m10", "m20", "m21", "m22"),
+    },
+)
+
+
+def _stadium_topology() -> NetworkTopology:
+    cells = (
+        Cell("stadium", "ta-stadium", "metro"),
+        Cell("north", "ta-ring", "metro"),
+        Cell("east", "ta-ring", "metro"),
+        Cell("south", "ta-ring", "metro"),
+        Cell("west", "ta-ring", "metro"),
+    )
+    edges = (
+        ("stadium", "north"),
+        ("stadium", "east"),
+        ("stadium", "south"),
+        ("stadium", "west"),
+        ("north", "east"),
+        ("east", "south"),
+        ("south", "west"),
+        ("west", "north"),
+    )
+    return NetworkTopology(
+        name="stadium",
+        cells=cells,
+        edges=edges,
+        description="one stadium cell ringed by four neighbor cells",
+    )
+
+
+STADIUM_CELL_KILL = TopologyScenario(
+    name="stadium-cell-kill",
+    description=(
+        "stadium cell dies mid-match; the crowd mass-re-registers at the "
+        "four ring cells"
+    ),
+    topology=_stadium_topology(),
+    default_mobility=StationaryMobility(),
+    placements={
+        # stadium-flash-crowd cohorts: the crowd is in the stadium,
+        # the background is spread over the ring.
+        "crowd": ("stadium",),
+        "background": ("north", "east", "south", "west"),
+    },
+    chaos=ChaosSchedule(
+        # The crowd's warped event mass peaks through the 18:45-19:15
+        # ingress surge; the cell dies right then for 30 minutes — the
+        # peak-load worst case.
+        events=(
+            CellOutage(
+                cell="stadium", start=18 * _HOUR + 2700.0, duration=1800.0
+            ),
+        )
+    ),
+)
+
+
+REGION_DEGRADE = TopologyScenario(
+    name="region-degrade",
+    description=(
+        "two-region corridor; the second regional core runs at 40% "
+        "capacity for an hour"
+    ),
+    topology=line_topology(
+        "twin-region",
+        8,
+        cells_per_ta=2,
+        tas_per_region=2,
+        prefix="d",
+        description="8-cell corridor split across two regional cores",
+    ),
+    default_mobility=RandomWaypointMobility(mean_dwell_seconds=2400.0),
+    chaos=ChaosSchedule(
+        events=(
+            RegionDegrade(
+                region="dr1",
+                start=18 * _HOUR,
+                duration=1 * _HOUR,
+                capacity_factor=0.4,
+            ),
+        )
+    ),
+)
+
+
+FIRMWARE_STORM_BY_TA = TopologyScenario(
+    name="firmware-storm-by-ta",
+    description=(
+        "8-cell ring over 4 tracking areas; a firmware push reboots the "
+        "fleet TA by TA, 10 minutes apart"
+    ),
+    topology=ring_topology(
+        "iot-ring",
+        8,
+        cells_per_ta=2,
+        tas_per_region=2,
+        prefix="f",
+        description="8-cell ring, 4 tracking areas, 2 regional cores",
+    ),
+    default_mobility=StationaryMobility(),
+    chaos=ChaosSchedule(
+        # Maintenance push at 03:20 — the same instant the
+        # iot-firmware-storm workload's recovery shape fires, so the
+        # event-rate storm and the topology reboot wave line up.
+        events=(
+            FirmwareStorm(
+                start=3 * _HOUR + 1200.0,
+                stagger_seconds=600.0,
+                reboot_seconds=30.0,
+                spread_seconds=120.0,
+            ),
+        )
+    ),
+)
+
+
+MOTORWAY = TopologyScenario(
+    name="motorway",
+    description=(
+        "8-cell motorway corridor; the convoy sweeps end to end around "
+        "08:40, raining handovers and TAUs"
+    ),
+    topology=line_topology(
+        "motorway",
+        8,
+        cells_per_ta=2,
+        tas_per_region=2,
+        prefix="mw",
+        description="8-cell motorway corridor, 4 TAs, 2 regional cores",
+    ),
+    default_mobility=StationaryMobility(),
+    mobility={
+        # handover-storm cohorts: the convoy drives the corridor within
+        # the 08:00-10:00 run window (out ~08:36, back ~09:24); the
+        # ambient phones stay camped.
+        "convoy": CommuterMobility(
+            work_cells=("mw06", "mw07"),
+            depart_hour=8.6,
+            return_hour=9.4,
+            transit_seconds=90.0,
+            jitter_hours=0.25,
+        ),
+    },
+    placements={
+        "convoy": ("mw00", "mw01"),
+    },
+)
+
+
+register_topology("metro-commute", aliases=("metro",))(METRO_COMMUTE)
+register_topology("stadium-cell-kill", aliases=("cell-kill",))(STADIUM_CELL_KILL)
+register_topology("region-degrade", aliases=("brownout",))(REGION_DEGRADE)
+register_topology("firmware-storm-by-ta", aliases=("ta-storm",))(FIRMWARE_STORM_BY_TA)
+register_topology("motorway", aliases=("corridor",))(MOTORWAY)

@@ -1,0 +1,337 @@
+"""Topology runtime: cell annotation and conformant event injection.
+
+This is the bridge between the topology layer and the workload engine:
+:meth:`TopologyRuntime.annotate` takes one generated (already shaped)
+stream and returns it with
+
+* a **cell code per event** (where on the graph the event happened),
+* **mobility-induced events injected** — ``HO`` on cell crossings while
+  connected, ``TAU`` on tracking-area crossings (4G), and
+* **chaos-induced events injected** — release + re-register at a
+  neighbor when the UE's cell dies, detach/re-attach cycles for rolling
+  firmware storms.
+
+Injection is *conformance-preserving by construction*: the runtime
+replays the stream through the same top-state tracking the
+:class:`~repro.validate.oracle.TransitionOracle` uses (bootstrap on the
+first deterministic event, violations leave the state unchanged) and
+
+1. only injects events that are legal transitions from the tracked
+   state (``HO``/``TAU`` while connected, ``TAU`` while idle, ...),
+2. injects only *state-neutral blocks* — every injected subsequence
+   returns the UE to the top-level state it started from (a reboot of
+   an idle UE is ``DTCH → ATCH → S1_CONN_REL``), so the validity of the
+   generator's own subsequent events is untouched, and
+3. never injects before the stream has bootstrapped the machine.
+
+Hence a topology-enabled run can never score worse on the oracle than
+the same run without topology — the fidelity gate stays meaningful.
+
+Determinism: every random choice (home cell, waypoints, refuge cell,
+reattach jitter) comes from one per-UE RNG seeded by
+``SeedSequence((seed, tag, crc32("{cohort}/{ue}")))`` — independent of
+shard layout and ``num_workers``, the same recipe the thinning shapes
+use.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .chaos import ChaosSchedule
+from .scenario import TopologyScenario
+
+__all__ = ["TopologyRuntime"]
+
+#: Namespacing tag separating topology RNG streams from generation
+#: (cohort index) and thinning (crc32 key) streams under the same seed.
+_TOPO_TAG = 0x746F706F  # "topo"
+
+#: Trigger kinds on the merged per-UE schedule.
+_MOVE = 0      # mobility crossing (HO / TAU semantics)
+_OUTAGE = 1    # displacement because the current cell died
+_REBOOT = 2    # firmware-storm detach/reattach cycle
+
+#: Mean radio-reattach delay after losing a cell (seconds).
+_REATTACH_MEAN = 5.0
+#: Spacing of follow-up events (TAU after HO, release after re-attach).
+_FOLLOW = 0.5
+
+
+class _SpecTables:
+    """Flattened top-state tables + injection names for one machine spec."""
+
+    def __init__(self, spec) -> None:
+        # Top-state transition tables (the oracle's semantics, top level
+        # only: violations keyed on (top, event) leave the state put).
+        self.boot = {
+            event: destination[0]
+            for event, destination in spec.bootstrap_events.items()
+        }
+        self.next_top = {
+            (top, event): target[0]
+            for (top, event), target in spec.transitions.items()
+        }
+        self.connected = spec.connected_state
+        self.idle = spec.idle_state
+        self.dereg = spec.initial.top
+        # Technology-dependent event names for injection.
+        is_4g = "TAU" in spec.vocabulary
+        self.ho = "HO"
+        self.tau = "TAU" if is_4g else None
+        self.release = "S1_CONN_REL" if is_4g else "AN_REL"
+        self.attach = "ATCH" if is_4g else "REGISTER"
+        self.detach = "DTCH" if is_4g else "DEREGISTER"
+        self.reconnect = "SRV_REQ"
+
+
+class TopologyRuntime:
+    """Per-run state for annotating streams against one topology."""
+
+    def __init__(
+        self,
+        scenario: TopologyScenario,
+        population,
+        *,
+        seed: int,
+        chaos: ChaosSchedule | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.topology = scenario.topology
+        self.chaos = (
+            scenario.chaos if chaos is None else chaos.validate(self.topology)
+        )
+        self.seed = seed
+        # Per-cohort machine tables (a population may mix 4G and 5G).
+        by_spec: dict[str, _SpecTables] = {}
+        self._tables = {}
+        for cohort in population.cohorts:
+            spec = cohort.scenario.machine_spec
+            tables = by_spec.get(spec.name)
+            if tables is None:
+                tables = by_spec[spec.name] = _SpecTables(spec)
+            self._tables[cohort.name] = tables
+        # Per-cell lookup arrays.
+        tas = {ta: i for i, ta in enumerate(self.topology.tracking_areas)}
+        self._cell_ta = np.array(
+            [tas[c.tracking_area] for c in self.topology.cells], dtype=np.int32
+        )
+        # Resolved per-cohort placement + mobility (by cohort name).
+        self._placement = {
+            cohort.name: scenario.placement_for(cohort)
+            for cohort in population.cohorts
+        }
+        self._mobility = {
+            cohort.name: scenario.mobility_for(cohort)
+            for cohort in population.cohorts
+        }
+
+    # ------------------------------------------------------------------
+    # Per-UE derivations
+    # ------------------------------------------------------------------
+    def _ue_rng(self, cohort_name: str, ue_id: str) -> np.random.Generator:
+        key = zlib.crc32(f"{cohort_name}/{ue_id}".encode())
+        return np.random.default_rng(
+            np.random.SeedSequence((self.seed, _TOPO_TAG, key))
+        )
+
+    def _refuge(self, dead: int, t: float, rng: np.random.Generator) -> int | None:
+        """A live neighbor cell to displace to when ``dead`` dies at ``t``."""
+        alive = [
+            code
+            for code in self.topology.neighbor_indices(dead)
+            if not self.chaos.cell_dead(self.topology.cells[code].name, t)
+        ]
+        if not alive:
+            return None
+        return alive[int(rng.integers(len(alive)))]
+
+    def _apply_outages(
+        self,
+        times: np.ndarray,
+        cells: np.ndarray,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> list[tuple[float, int, int]]:
+        """Trajectory breakpoints with outage displacement folded in.
+
+        Returns ``(time, cell, kind)`` crossings *after* the first
+        breakpoint; the caller reads the initial cell from the overlay's
+        first entry.
+        """
+        segments = [
+            (float(times[i]), int(cells[i]), _MOVE) for i in range(times.size)
+        ]
+        for outage in self.chaos.outages:
+            if outage.start > horizon:
+                continue
+            dead = self.topology.index(outage.cell)
+            rebuilt: list[tuple[float, int, int]] = []
+            for i, (t0, cell, kind) in enumerate(segments):
+                t1 = segments[i + 1][0] if i + 1 < len(segments) else np.inf
+                overlap0 = max(t0, outage.start)
+                overlap1 = min(t1, outage.end)
+                if cell != dead or overlap0 >= overlap1:
+                    rebuilt.append((t0, cell, kind))
+                    continue
+                refuge = self._refuge(dead, overlap0, rng)
+                if refuge is None:
+                    rebuilt.append((t0, cell, kind))
+                    continue
+                if t0 < outage.start:
+                    rebuilt.append((t0, cell, kind))
+                    rebuilt.append((outage.start, refuge, _OUTAGE))
+                else:
+                    # The UE moved onto a dead cell: land on the refuge
+                    # instead (an ordinary re-routed crossing).
+                    rebuilt.append((t0, refuge, kind))
+                if t1 > outage.end:
+                    rebuilt.append((outage.end, cell, _MOVE))
+            segments = rebuilt
+        # Collapse no-op crossings (consecutive identical cells).
+        collapsed: list[tuple[float, int, int]] = []
+        for entry in segments:
+            if collapsed and collapsed[-1][1] == entry[1]:
+                continue
+            collapsed.append(entry)
+        return collapsed
+
+    def _reboots(
+        self,
+        start_cell: int,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> list[tuple[float, int, int]]:
+        """Firmware-storm detach instants for a UE homed at ``start_cell``."""
+        triggers: list[tuple[float, int, int]] = []
+        ta = self.topology.cells[start_cell].tracking_area
+        for storm in self.chaos.storms:
+            slot = storm.slot_of(self.topology, ta)
+            if slot is None or slot > horizon:
+                continue
+            detach_at = slot + float(rng.uniform(0.0, storm.spread_seconds))
+            triggers.append((detach_at, int(storm.reboot_seconds), _REBOOT))
+        return triggers
+
+    # ------------------------------------------------------------------
+    # The annotation pass
+    # ------------------------------------------------------------------
+    def annotate(
+        self,
+        cohort,
+        ue_id: str,
+        times: np.ndarray,
+        names: list[str],
+    ) -> tuple[np.ndarray, list[str], np.ndarray]:
+        """One stream → (times, names, cell codes) with injections.
+
+        ``times``/``names`` are the cohort's shaped stream; the result
+        arrays are time-ordered (equal-time runs keep sequence order,
+        which the shard buffer's stable position sort preserves).
+        """
+        rng = self._ue_rng(cohort.name, ue_id)
+        tables = self._tables[cohort.name]
+        placement = self._placement[cohort.name]
+        home = placement[int(rng.integers(len(placement)))]
+        start = cohort.scenario.start_time
+        horizon = float(start + cohort.scenario.duration)
+        if len(times):
+            horizon = max(horizon, float(times[-1]))
+        traj_times, traj_cells = self._mobility[cohort.name].trajectory(
+            self.topology, home, rng, start, horizon
+        )
+        overlay = self._apply_outages(traj_times, traj_cells, horizon, rng)
+        initial_cell = overlay[0][1]
+        triggers = overlay[1:] + self._reboots(initial_cell, horizon, rng)
+        triggers.sort(key=lambda trigger: trigger[0])
+
+        out_t: list[float] = []
+        out_n: list[str] = []
+        out_c: list[int] = []
+        state: str | None = None
+        cell = initial_cell
+
+        def emit(t: float, name: str, at_cell: int) -> None:
+            out_t.append(t)
+            out_n.append(name)
+            out_c.append(at_cell)
+
+        def spaced(t: float, end: float, offsets: list[float]) -> list[float]:
+            """Injection instants in ``[t, end)`` honoring ``offsets``."""
+            if not offsets:
+                return []
+            last = offsets[-1]
+            if end == np.inf or last <= 0:
+                scale = 1.0
+            else:
+                gap = max(end - t, 0.0)
+                scale = min(1.0, 0.9 * gap / last)
+            return [t + offset * scale for offset in offsets]
+
+        num_events = len(times)
+        ti = 0
+        for i in range(num_events + 1):
+            t_next = float(times[i]) if i < num_events else np.inf
+            while ti < len(triggers) and triggers[ti][0] <= t_next:
+                t, payload, kind = triggers[ti]
+                window = min(
+                    t_next,
+                    triggers[ti + 1][0] if ti + 1 < len(triggers) else np.inf,
+                )
+                ti += 1
+                if kind == _REBOOT:
+                    if state not in (tables.connected, tables.idle):
+                        continue
+                    instants = spaced(
+                        t,
+                        window,
+                        [
+                            float(payload) + _FOLLOW,
+                            float(payload) + 2 * _FOLLOW,
+                        ],
+                    )
+                    emit(t, tables.detach, cell)
+                    emit(instants[0], tables.attach, cell)
+                    if state == tables.idle:
+                        emit(instants[1], tables.release, cell)
+                    # Net top state preserved (connected or idle).
+                    continue
+                new_cell = payload
+                if state is None or state == tables.dereg:
+                    cell = new_cell
+                    continue
+                ta_changed = (
+                    self._cell_ta[cell] != self._cell_ta[new_cell]
+                )
+                if state == tables.connected:
+                    if kind == _OUTAGE:
+                        delay = _FOLLOW + float(
+                            rng.exponential(_REATTACH_MEAN)
+                        )
+                        when = spaced(t, window, [delay])
+                        emit(t, tables.release, cell)
+                        emit(when[0], tables.reconnect, new_cell)
+                    else:
+                        emit(t, tables.ho, new_cell)
+                        if tables.tau is not None and ta_changed:
+                            when = spaced(t, window, [_FOLLOW])
+                            emit(when[0], tables.tau, new_cell)
+                elif state == tables.idle:
+                    if tables.tau is not None and ta_changed:
+                        emit(t, tables.tau, new_cell)
+                cell = new_cell
+            if i < num_events:
+                name = names[i]
+                emit(t_next, name, cell)
+                if state is None:
+                    state = tables.boot.get(name)
+                else:
+                    state = tables.next_top.get((state, name), state)
+
+        return (
+            np.asarray(out_t, dtype=np.float64),
+            out_n,
+            np.asarray(out_c, dtype=np.int16),
+        )

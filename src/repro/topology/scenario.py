@@ -1,0 +1,128 @@
+"""Topology scenarios: a graph + mobility assignment + chaos schedule.
+
+A :class:`TopologyScenario` is the unit the registry hands out
+(``Workload(..., topology="stadium-cell-kill")``): one
+:class:`~repro.topology.graph.NetworkTopology` plus per-cohort mobility
+models, per-cohort cell placements, and a
+:class:`~repro.topology.chaos.ChaosSchedule`.  Cohort-level settings
+(``Cohort.cells`` / ``Cohort.mobility``) always win over the scenario's
+per-cohort maps, which win over the scenario defaults — so one scenario
+composes with many populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..api.registry import TOPOLOGIES
+from .chaos import NO_CHAOS, ChaosSchedule
+from .graph import NetworkTopology
+from .mobility import MobilityModel, StationaryMobility, get_mobility
+
+__all__ = ["TopologyScenario", "get_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyScenario:
+    """One named topology setup a workload can run against.
+
+    Attributes
+    ----------
+    topology:
+        The cell graph.
+    default_mobility:
+        Model for cohorts with no explicit assignment.
+    mobility:
+        Per-cohort-name model overrides.
+    placements:
+        Per-cohort-name home-cell candidate sets (cell names); cohorts
+        not listed draw homes uniformly over every cell.
+    chaos:
+        Failure schedule injected into runs (override per run with
+        ``Workload(chaos=...)``).
+    """
+
+    name: str
+    topology: NetworkTopology
+    description: str = ""
+    default_mobility: MobilityModel = field(default_factory=StationaryMobility)
+    mobility: dict = field(default_factory=dict)
+    placements: dict = field(default_factory=dict)
+    chaos: ChaosSchedule = NO_CHAOS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mobility", dict(self.mobility))
+        object.__setattr__(
+            self,
+            "placements",
+            {name: tuple(cells) for name, cells in self.placements.items()},
+        )
+        for cohort_name, cells in self.placements.items():
+            if not cells:
+                raise ValueError(
+                    f"placement for cohort {cohort_name!r} must name >= 1 cell"
+                )
+            for cell in cells:
+                self.topology.index(cell)
+        for model in self.mobility.values():
+            if not isinstance(model, MobilityModel):
+                raise TypeError(
+                    f"mobility overrides must be MobilityModel instances; "
+                    f"got {type(model).__name__}"
+                )
+        self.chaos.validate(self.topology)
+
+    # ------------------------------------------------------------------
+    def mobility_for(self, cohort) -> MobilityModel:
+        """The mobility model governing ``cohort`` (cohort field wins)."""
+        if getattr(cohort, "mobility", None) is not None:
+            return get_mobility(cohort.mobility)
+        if cohort.name in self.mobility:
+            return self.mobility[cohort.name]
+        return self.default_mobility
+
+    def placement_for(self, cohort) -> tuple[int, ...]:
+        """Home-cell candidate codes for ``cohort`` (cohort field wins)."""
+        cells = getattr(cohort, "cells", ()) or self.placements.get(
+            cohort.name, ()
+        )
+        if cells:
+            return tuple(self.topology.index(name) for name in cells)
+        return tuple(range(self.topology.num_cells))
+
+    def with_chaos(self, chaos: ChaosSchedule) -> "TopologyScenario":
+        from dataclasses import replace
+
+        return replace(self, chaos=chaos.validate(self.topology))
+
+    def summary(self) -> str:
+        lines = [self.topology.summary()]
+        if self.description:
+            lines.insert(0, self.description)
+        assigned = sorted(self.mobility)
+        lines.append(
+            f"mobility: default {type(self.default_mobility).__name__}"
+            + (
+                "; " + ", ".join(
+                    f"{name}={type(self.mobility[name]).__name__}"
+                    for name in assigned
+                )
+                if assigned
+                else ""
+            )
+        )
+        lines.append(f"chaos: {self.chaos.summary()}")
+        return "\n".join(lines)
+
+
+def get_topology(
+    source: "str | NetworkTopology | TopologyScenario",
+) -> TopologyScenario:
+    """Resolve a topology scenario by registry name (or wrap/pass through)."""
+    if isinstance(source, TopologyScenario):
+        return source
+    if isinstance(source, NetworkTopology):
+        return TopologyScenario(name=source.name, topology=source)
+    import repro.topology.presets  # noqa: F401  (registers the built-ins)
+
+    return TOPOLOGIES.get(source)

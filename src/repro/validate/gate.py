@@ -51,6 +51,8 @@ def run_gate(
     memorization: bool = True,
     num_resamples: int = 200,
     report_path: str | Path | None = None,
+    topology: str | None = None,
+    chaos: str | None = None,
 ) -> FidelityScorecard:
     """Run the fidelity gate on a registered scenario or workload.
 
@@ -76,6 +78,13 @@ def run_gate(
         Run the n-gram memorization check (scenario mode only).
     report_path:
         When given, the scorecard JSON is written there.
+    topology:
+        Workload-mode topology scenario name overriding the
+        population's default — the gate then judges the *annotated*
+        timeline, mobility/chaos injections included, so every chaos
+        scenario ships fidelity-gated.
+    chaos:
+        ``"off"``/``"none"`` disables the topology's chaos schedule.
     """
     from ..api.registry import SCENARIOS
     from ..workload import get_workload
@@ -90,8 +99,15 @@ def run_gate(
             seed=seed,
             thresholds=thresholds,
             num_resamples=num_resamples,
+            topology=topology,
+            chaos=chaos,
         )
     else:
+        if topology is not None or chaos is not None:
+            raise ValueError(
+                "topology/chaos apply to workload sources only; "
+                f"{source!r} is a scenario"
+            )
         scorecard = _scenario_gate(
             source,
             backend=backend,
@@ -136,6 +152,8 @@ def _workload_gate(
     seed: int,
     thresholds: GateThresholds | None,
     num_resamples: int,
+    topology: str | None = None,
+    chaos: str | None = None,
 ) -> FidelityScorecard:
     from ..api.session import _TEST_SEED_OFFSET
     from ..trace.synthetic import generate_trace
@@ -144,7 +162,9 @@ def _workload_gate(
     if scale != 1.0:
         population = population.scaled(scale)
     spec = population.cohorts[0].scenario.machine_spec
-    engine = Workload(population, seed=seed, backend=backend)
+    engine = Workload(
+        population, seed=seed, backend=backend, topology=topology, chaos=chaos
+    )
     conformance = OracleValidator(spec)
     stats = StatsValidator(seed=seed)
     engine.run(validators=(conformance, stats))

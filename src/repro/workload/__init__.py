@@ -37,6 +37,7 @@ from .shapes import (
     StepShape,
 )
 from .timeline import (
+    CellTimelineEvent,
     TimelineEvent,
     Workload,
     WorkloadRunResult,
@@ -58,6 +59,7 @@ __all__ = [
     "StepShape",
     "ComposedShape",
     "TimelineEvent",
+    "CellTimelineEvent",
     "merge_timelines",
     "pace",
     "Workload",

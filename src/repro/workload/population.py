@@ -35,6 +35,32 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.\-]+$")
 _SHAPE_MODES = ("warp", "thin")
 
 
+def _apportion(total: int, shares: list[float]) -> list[int]:
+    """Split ``total`` into integer parts proportional to ``shares``.
+
+    Largest-remainder apportionment: floor every exact share, then hand
+    the leftover units to the largest fractional remainders (ties to the
+    earliest share — sorting is stable).  The result always sums to
+    exactly ``total``; all-zero shares split as evenly as possible.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if not shares:
+        return []
+    scale = sum(shares)
+    if scale <= 0:
+        shares = [1.0] * len(shares)
+        scale = float(len(shares))
+    exact = [total * share / scale for share in shares]
+    counts = [int(e) for e in exact]
+    by_remainder = sorted(
+        range(len(counts)), key=lambda i: exact[i] - counts[i], reverse=True
+    )
+    for i in by_remainder[: total - sum(counts)]:
+        counts[i] += 1
+    return counts
+
+
 @dataclass(frozen=True)
 class Cohort:
     """One weighted slice of the UE population.
@@ -63,6 +89,16 @@ class Cohort:
     weight:
         Relative share used when a population is resized as a whole
         (:meth:`UEPopulation.with_total_ues`).
+    cells:
+        Home-cell candidate names when the workload runs on a topology
+        (empty = the topology scenario's placement, falling back to all
+        cells).  Ignored without a topology.
+    mobility:
+        Mobility model for topology runs: a builtin name
+        (``"stationary"``, ``"random-waypoint"``, ``"commuter"``) or a
+        :class:`~repro.topology.mobility.MobilityModel` instance
+        (``None`` = the topology scenario's assignment).  Ignored
+        without a topology.
     """
 
     name: str
@@ -72,6 +108,8 @@ class Cohort:
     shape_mode: str = "warp"
     backend: str = "smm-1"
     weight: float = 1.0
+    cells: tuple[str, ...] = ()
+    mobility: object | None = None
 
     def __post_init__(self) -> None:
         if not _NAME_PATTERN.match(self.name):
@@ -91,6 +129,7 @@ class Cohort:
             raise ValueError("weight must be positive")
         if not isinstance(self.shape, LoadShape):
             raise TypeError(f"shape must be a LoadShape; got {type(self.shape).__name__}")
+        object.__setattr__(self, "cells", tuple(self.cells))
 
     @property
     def technology(self) -> str:
@@ -109,12 +148,15 @@ class UEPopulation:
 
     Cohorts must share a technology — their merged timeline feeds one
     control-plane anchor whose cost model covers a single event
-    vocabulary.
+    vocabulary.  ``topology`` names the registered topology scenario the
+    workload runs on by default (``None`` = no topology: the
+    pre-topology flat behavior).
     """
 
     name: str
     cohorts: tuple[Cohort, ...]
     description: str = ""
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         if not self.cohorts:
@@ -159,28 +201,36 @@ class UEPopulation:
 
     # ------------------------------------------------------------------
     def scaled(self, factor: float) -> "UEPopulation":
-        """Scale every cohort's UE count by ``factor``."""
+        """Scale the population to ``round(total_ues * factor)`` UEs.
+
+        The scaled total is apportioned across cohorts proportionally to
+        their current counts (largest-remainder), so the result sums to
+        exactly the rounded scaled total — per-cohort independent
+        rounding could drift by up to one UE per cohort.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        counts = _apportion(
+            int(round(self.total_ues * factor)),
+            [float(cohort.num_ues) for cohort in self.cohorts],
+        )
         return replace(
-            self, cohorts=tuple(cohort.scaled(factor) for cohort in self.cohorts)
+            self,
+            cohorts=tuple(
+                replace(cohort, num_ues=count)
+                for cohort, count in zip(self.cohorts, counts)
+            ),
         )
 
     def with_total_ues(self, total: int) -> "UEPopulation":
         """Resize to ``total`` UEs, splitting by cohort weight.
 
-        Rounding remainders go to the heaviest cohorts first, so the
-        counts always sum to exactly ``total``.
+        Largest-remainder apportionment: the counts always sum to
+        exactly ``total``.
         """
-        if total < 0:
-            raise ValueError("total must be non-negative")
-        weights = [cohort.weight for cohort in self.cohorts]
-        scale = sum(weights)
-        exact = [total * w / scale for w in weights]
-        counts = [int(e) for e in exact]
-        by_remainder = sorted(
-            range(len(counts)), key=lambda i: exact[i] - counts[i], reverse=True
+        counts = _apportion(
+            total, [cohort.weight for cohort in self.cohorts]
         )
-        for i in by_remainder[: total - sum(counts)]:
-            counts[i] += 1
         return replace(
             self,
             cohorts=tuple(

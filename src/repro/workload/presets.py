@@ -15,9 +15,10 @@ them to population scale.
 * ``iot-firmware-storm`` — a connected-device fleet rebooting after a
   firmware push: near-silence, then a registration storm with
   exponential relaxation, over a phone background;
-* ``handover-storm`` — a mobility burst (motorway incident, train
-  arrival): the connected-car cohort's handover-heavy traffic spikes
-  hard and briefly.
+* ``handover-storm`` — a mobility burst driven by the ``motorway``
+  topology: a connected-car convoy sweeps an 8-cell corridor around
+  08:40, so the handover storm emerges from actual cell crossings
+  (HO + TAU injections) instead of a canned event-mix surge.
 """
 
 from __future__ import annotations
@@ -125,7 +126,15 @@ IOT_FIRMWARE_STORM = UEPopulation(
 
 HANDOVER_STORM = UEPopulation(
     name="handover-storm",
-    description="mobility burst: handover-heavy car traffic spikes over background",
+    description=(
+        "mobility burst: a car convoy sweeps the motorway corridor, "
+        "raining topology-driven handovers over background"
+    ),
+    # The storm is topology-driven: the convoy cohort's commuter
+    # mobility walks the 8-cell motorway corridor around 08:40, and the
+    # TopologyRuntime injects the HO/TAU wave at the actual crossings —
+    # no canned event-mix surge.
+    topology="motorway",
     cohorts=(
         Cohort(
             name="ambient",
@@ -136,13 +145,6 @@ HANDOVER_STORM = UEPopulation(
             name="convoy",
             scenario=_scenario(
                 "ho-convoy", DeviceType.CONNECTED_CAR, 8, 900, 2 * _HOUR
-            ),
-            # A short, sharp surge: 10-min ramps around a 20-min peak.
-            shape=FlashCrowdShape(
-                start=8 * _HOUR + 1800.0,
-                ramp_seconds=600.0,
-                hold_seconds=1200.0,
-                peak=10.0,
             ),
             weight=2.0,
         ),

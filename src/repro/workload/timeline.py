@@ -53,6 +53,9 @@ from ..api.protocol import TrafficGenerator
 from ..core.sharding import run_sharded, shard_counts, shard_rngs
 from ..mcn.autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
 from ..mcn.simulator import MCNSimulator, SimulationReport
+from ..topology.chaos import NO_CHAOS, ChaosSchedule
+from ..topology.runtime import TopologyRuntime
+from ..topology.scenario import TopologyScenario, get_topology
 from ..trace.dataset import TraceDataset
 from ..trace.schema import ControlEvent, Stream
 from ..trace.synthetic import generate_trace
@@ -61,6 +64,7 @@ from .shapes import FlatShape
 
 __all__ = [
     "TimelineEvent",
+    "CellTimelineEvent",
     "merge_timelines",
     "pace",
     "Workload",
@@ -100,6 +104,21 @@ class TimelineEvent(NamedTuple):
     cohort: str
     ue_id: str
     event: str
+
+
+class CellTimelineEvent(NamedTuple):
+    """A timeline event annotated with the cell it was emitted from.
+
+    Emitted instead of :class:`TimelineEvent` when the workload runs
+    against a topology; the first four fields (and the merge key) are
+    identical, so every plain-timeline consumer keeps working.
+    """
+
+    timestamp: float
+    cohort: str
+    ue_id: str
+    event: str
+    cell: str
 
 
 #: The merge's total order: event time, then (cohort, ue_id) on ties.
@@ -152,6 +171,20 @@ def pace(
         yield event
 
 
+def _resolve_chaos(
+    chaos: "ChaosSchedule | str | None",
+) -> ChaosSchedule | None:
+    """``None`` → scenario default; ``"off"``/``"none"`` → no chaos."""
+    if chaos is None or isinstance(chaos, ChaosSchedule):
+        return chaos
+    key = str(chaos).strip().lower()
+    if key in {"off", "none", ""}:
+        return NO_CHAOS
+    raise ValueError(
+        f"chaos must be a ChaosSchedule or 'off'/'none'; got {chaos!r}"
+    )
+
+
 def get_workload(name: str | UEPopulation) -> UEPopulation:
     """Resolve a workload by registry name (or pass a population through)."""
     if isinstance(name, UEPopulation):
@@ -187,6 +220,17 @@ class Workload:
         Pre-fitted generators by cohort name (e.g. a Session's fitted
         backend); missing cohorts are fitted on demand from their
         scenario's synthesized capture.
+    topology:
+        A :class:`~repro.topology.scenario.TopologyScenario`, a
+        :class:`~repro.topology.graph.NetworkTopology`, or a registered
+        topology name.  Defaults to the population's ``topology``
+        attribute; when set, every timeline event carries the cell it
+        was emitted from (:class:`CellTimelineEvent`) and mobility /
+        chaos events are injected conformantly.
+    chaos:
+        Overrides the topology scenario's chaos schedule: a
+        :class:`~repro.topology.chaos.ChaosSchedule`, or ``"off"`` /
+        ``"none"`` to run the topology with its chaos disabled.
     """
 
     def __init__(
@@ -198,6 +242,8 @@ class Workload:
         shard_ues: int = 2048,
         backend: str | None = None,
         generators: dict[str, TrafficGenerator] | None = None,
+        topology: "TopologyScenario | str | None" = None,
+        chaos: "ChaosSchedule | str | None" = None,
     ) -> None:
         if shard_ues < 1:
             raise ValueError("shard_ues must be >= 1")
@@ -210,6 +256,27 @@ class Workload:
         self.backend = backend
         self._injected = dict(generators or {})
         self._fitted: dict[str, TrafficGenerator] = {}
+        source = (
+            topology
+            if topology is not None
+            else getattr(self.population, "topology", None)
+        )
+        chaos_override = _resolve_chaos(chaos)
+        if source is None:
+            if isinstance(chaos_override, ChaosSchedule) and chaos_override:
+                raise ValueError(
+                    "chaos requires a topology (pass topology=... or use a "
+                    "population with a default topology)"
+                )
+            self.topology = None
+            self.chaos = None
+            self._runtime = None
+        else:
+            self.topology = get_topology(source)
+            self._runtime = TopologyRuntime(
+                self.topology, self.population, seed=seed, chaos=chaos_override
+            )
+            self.chaos = self._runtime.chaos
 
     # ------------------------------------------------------------------
     # Generators
@@ -256,8 +323,15 @@ class Workload:
 
     def _shard_streams(
         self, cohort_index: int, cohort: Cohort, shard: int
-    ) -> Iterator[tuple[str, str, np.ndarray, list[str]]]:
-        """One shard's shaped streams as ``(ue_id, device, times, events)``.
+    ) -> Iterator[tuple[str, str, np.ndarray, list[str], "np.ndarray | None"]]:
+        """One shard's shaped streams as ``(ue_id, device, times, events,
+        cells)``.
+
+        ``cells`` is ``None`` without a topology; with one, the
+        :class:`~repro.topology.runtime.TopologyRuntime` annotates every
+        event with its cell code and injects mobility/chaos events — the
+        per-UE topology RNG is keyed by ``(seed, UE id)``, so the result
+        is independent of shard layout just like thinning.
 
         The per-shard RNG split is ``SeedSequence((seed, cohort_index))``
         fanned out over the cohort's fixed shard count — independent of
@@ -289,26 +363,36 @@ class Workload:
                     )
                     times = times[keep]
                     names = [n for n, k in zip(names, keep) if k]
-            yield stream.ue_id, stream.device_type, times, names
+            if self._runtime is not None:
+                times, names, cells = self._runtime.annotate(
+                    cohort, stream.ue_id, times, names
+                )
+            else:
+                cells = None
+            yield stream.ue_id, stream.device_type, times, names, cells
 
     def _shard_buffer(self, cohort_index: int, cohort: Cohort, shard: int):
         """One shard as a compact columnar buffer, sorted by the merge key.
 
-        Returns ``(times, ue_codes, event_codes, ue_ids, event_names)``:
-        float64 timestamps plus integer codes into the two string
-        tables — ~13 bytes/event instead of a ``TimelineEvent`` tuple
-        each, which is what makes holding every shard's buffer during
-        the merge cheap.  The sort keys on ``(timestamp, ue_id,
-        position)`` (the cohort is constant within a shard), so a UE's
-        within-stream order survives full ties.
+        Returns ``(times, ue_codes, event_codes, ue_ids, event_names,
+        cells)``: float64 timestamps plus integer codes into the two
+        string tables — ~13 bytes/event instead of a ``TimelineEvent``
+        tuple each, which is what makes holding every shard's buffer
+        during the merge cheap.  ``cells`` is an int16 array of topology
+        cell codes (``None`` without a topology).  The sort keys on
+        ``(timestamp, ue_id, position)`` (the cohort is constant within
+        a shard), so a UE's within-stream order survives full ties.
         """
         time_chunks: list[np.ndarray] = []
         ue_chunks: list[np.ndarray] = []
         code_chunks: list[np.ndarray] = []
+        cell_chunks: list[np.ndarray] = []
         ue_ids: list[str] = []
         event_names: list[str] = []
         code_of: dict[str, int] = {}
-        for ue_id, _, times, names in self._shard_streams(cohort_index, cohort, shard):
+        for ue_id, _, times, names, cells in self._shard_streams(
+            cohort_index, cohort, shard
+        ):
             ue_index = len(ue_ids)
             ue_ids.append(ue_id)
             codes = np.empty(len(names), dtype=np.int16)
@@ -321,9 +405,18 @@ class Workload:
             time_chunks.append(np.asarray(times, dtype=np.float64))
             ue_chunks.append(np.full(len(names), ue_index, dtype=np.int32))
             code_chunks.append(codes)
+            if cells is not None:
+                cell_chunks.append(cells)
         if not time_chunks:
             empty = np.empty(0)
-            return empty, empty.astype(np.int32), empty.astype(np.int16), [], []
+            return (
+                empty,
+                empty.astype(np.int32),
+                empty.astype(np.int16),
+                [],
+                [],
+                empty.astype(np.int16) if self._runtime is not None else None,
+            )
         times = np.concatenate(time_chunks)
         ues = np.concatenate(ue_chunks)
         codes = np.concatenate(code_chunks)
@@ -334,7 +427,10 @@ class Workload:
             np.arange(len(ue_ids), dtype=np.int32)
         )
         order = np.lexsort((np.arange(times.size), rank[ues], times))
-        return times[order], ues[order], codes[order], ue_ids, event_names
+        cells = (
+            np.concatenate(cell_chunks)[order] if cell_chunks else None
+        )
+        return times[order], ues[order], codes[order], ue_ids, event_names, cells
 
     # ------------------------------------------------------------------
     # The merged timeline
@@ -359,17 +455,24 @@ class Workload:
         aggregate.
         """
         plan = self._planned_shards()
+        cell_names = self._cell_names()
         if self.num_workers > 1 and len(plan) > 1:
             buffers = self._worker_buffers(plan)
             for entry, buffer in zip(plan, buffers):
                 self._observe(observers, buffer, entry[1].name)
             sources = [
-                _decode(buffer, entry[1].name)
+                _decode(buffer, entry[1].name, cell_names)
                 for entry, buffer in zip(plan, buffers)
             ]
         else:
             sources = [self._lazy_shard(*entry, observers=observers) for entry in plan]
         return merge_timelines(sources)
+
+    def _cell_names(self) -> tuple[str, ...] | None:
+        """The topology's cell-name table (codes → names), if any."""
+        if self.topology is None:
+            return None
+        return self.topology.topology.cell_names
 
     def _planned_shards(self) -> list[tuple[int, Cohort, int]]:
         """The shard plan with every cohort's generator prefitted.
@@ -390,7 +493,9 @@ class Workload:
 
     @staticmethod
     def _observe(observers: Sequence, buffer, cohort: str) -> None:
-        times, ues, codes, ue_ids, event_names = buffer
+        # Validators see the first five columns — the cell column is
+        # topology metadata they are free to ignore.
+        times, ues, codes, ue_ids, event_names = buffer[:5]
         for observer in observers:
             observer.observe_buffer(
                 times, ues, codes, ue_ids, event_names, cohort=cohort
@@ -405,7 +510,7 @@ class Workload:
     ) -> Iterator[TimelineEvent]:
         buffer = self._shard_buffer(cohort_index, cohort, shard)
         self._observe(observers, buffer, cohort.name)
-        yield from _decode(buffer, cohort.name)
+        yield from _decode(buffer, cohort.name, self._cell_names())
 
     def run(
         self,
@@ -434,6 +539,10 @@ class Workload:
                 cost_model=self.population.cost_model,
                 queue_limit=queue_limit,
                 seed=sim_seed,
+                topology=(
+                    None if self.topology is None else self.topology.topology
+                ),
+                chaos=self.chaos,
             ).run(self.events(observers=validators))
             num_events = simulation.num_events + simulation.dropped_events
         else:
@@ -487,6 +596,10 @@ class Workload:
                 ),
                 queue_limit=queue_limit,
                 seed=sim_seed,
+                topology=(
+                    None if self.topology is None else self.topology.topology
+                ),
+                chaos=self.chaos,
             )
         return simulator.run(self.events() if events is None else events)
 
@@ -508,6 +621,9 @@ class Workload:
                 self.population.cost_model if cost_model is None else cost_model
             ),
             initial_workers=initial_workers,
+            topology=(
+                None if self.topology is None else self.topology.topology
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -524,7 +640,7 @@ class Workload:
         """
         streams = []
         for entry in self._shard_plan():
-            for ue_id, device, times, names in self._shard_streams(*entry):
+            for ue_id, device, times, names, _ in self._shard_streams(*entry):
                 cohort = entry[1]
                 streams.append(
                     Stream(
@@ -546,9 +662,22 @@ class Workload:
         )
 
 
-def _decode(buffer, cohort: str) -> Iterator[TimelineEvent]:
+def _decode(
+    buffer, cohort: str, cell_names: "tuple[str, ...] | None" = None
+) -> Iterator[TimelineEvent]:
     """Decode a columnar shard buffer into events, one per pull."""
-    times, ues, codes, ue_ids, event_names = buffer
+    times, ues, codes, ue_ids, event_names = buffer[:5]
+    cells = buffer[5] if len(buffer) > 5 else None
+    if cells is not None and cell_names is not None:
+        for i in range(times.size):
+            yield CellTimelineEvent(
+                float(times[i]),
+                cohort,
+                ue_ids[ues[i]],
+                event_names[codes[i]],
+                cell_names[cells[i]],
+            )
+        return
     for i in range(times.size):
         yield TimelineEvent(
             float(times[i]), cohort, ue_ids[ues[i]], event_names[codes[i]]

@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "synthesize", "train", "generate", "evaluate", "experiments",
-            "workload", "registry",
+            "workload", "topology", "registry",
         ):
             args = parser.parse_args([command] + _required_args(command))
             assert args.command == command
@@ -58,6 +58,7 @@ def _required_args(command: str) -> list[str]:
         "evaluate": ["real.jsonl", "synth.jsonl"],
         "experiments": [],
         "workload": ["city-day"],
+        "topology": [],
         "registry": [],
     }[command]
 
@@ -165,6 +166,33 @@ class TestEndToEnd:
         assert "stadium-flash-crowd" in out  # alias resolves to the canonical name
         assert "simulated" in out
         assert "autoscale over" in out
+
+    def test_registry_command_lists_topologies(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        assert "topologies:" in out
+        for name in ("metro-commute", "stadium-cell-kill", "motorway"):
+            assert name in out
+
+    def test_topology_command_lists_and_summarizes(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "firmware-storm-by-ta" in out
+        assert main(["topology", "stadium-cell-kill"]) == 0
+        out = capsys.readouterr().out
+        assert "cell-outage stadium" in out
+
+    def test_workload_command_with_topology_reports_regions(self, capsys):
+        code = main(
+            ["workload", "handover-storm", "--scale", "0.02", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The preset's default motorway topology kicks in: the summary
+        # and the per-region simulator report both show up.
+        assert "motorway" in out
+        assert "region mwr0" in out
+        assert "region mwr1" in out
 
 
 class TestSessionFacadeEndToEnd:

@@ -1,0 +1,113 @@
+"""Chaos schedule: event validation, capacity scaling, reboot slots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    NO_CHAOS,
+    CellOutage,
+    ChaosSchedule,
+    FirmwareStorm,
+    RegionDegrade,
+    line_topology,
+    ring_topology,
+)
+
+
+class TestEvents:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CellOutage(cell="a", start=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            RegionDegrade(region="r", start=0.0, duration=10.0, capacity_factor=0.0)
+        with pytest.raises(ValueError):
+            RegionDegrade(region="r", start=0.0, duration=10.0, capacity_factor=1.5)
+        with pytest.raises(ValueError):
+            FirmwareStorm(start=0.0, reboot_seconds=0.0)
+        with pytest.raises(TypeError):
+            ChaosSchedule(events=("not-an-event",))
+
+    def test_outage_window(self):
+        outage = CellOutage(cell="a", start=100.0, duration=50.0)
+        assert outage.end == 150.0
+
+    def test_storm_slots_follow_ta_order(self):
+        topo = ring_topology("rg", 8, cells_per_ta=2)
+        storm = FirmwareStorm(start=1000.0, stagger_seconds=600.0)
+        slots = [storm.slot_of(topo, ta) for ta in topo.tracking_areas]
+        assert slots == [1000.0, 1600.0, 2200.0, 2800.0]
+
+    def test_storm_scoped_to_named_tas(self):
+        topo = ring_topology("rg", 8, cells_per_ta=2)
+        target = topo.tracking_areas[2]
+        storm = FirmwareStorm(start=0.0, tracking_areas=(target,))
+        assert storm.slot_of(topo, target) == 0.0
+        assert storm.slot_of(topo, topo.tracking_areas[0]) is None
+
+
+class TestSchedule:
+    def test_no_chaos_is_falsy(self):
+        assert not NO_CHAOS
+        assert NO_CHAOS.summary() == "no chaos events"
+
+    def test_validate_rejects_unknown_references(self):
+        topo = line_topology("ln", 4)
+        with pytest.raises(KeyError):
+            ChaosSchedule(
+                events=(CellOutage(cell="ghost", start=0.0, duration=1.0),)
+            ).validate(topo)
+        with pytest.raises(KeyError):
+            ChaosSchedule(
+                events=(RegionDegrade(region="ghost", start=0.0, duration=1.0),)
+            ).validate(topo)
+        with pytest.raises(KeyError):
+            ChaosSchedule(
+                events=(FirmwareStorm(start=0.0, tracking_areas=("ghost",)),)
+            ).validate(topo)
+
+    def test_validate_passes_and_chains(self):
+        topo = line_topology("ln", 4)
+        schedule = ChaosSchedule(
+            events=(
+                CellOutage(cell=topo.cell_names[0], start=0.0, duration=1.0),
+            )
+        )
+        assert schedule.validate(topo) is schedule
+
+    def test_service_scale_compounds(self):
+        schedule = ChaosSchedule(
+            events=(
+                RegionDegrade(region="r0", start=0.0, duration=100.0,
+                              capacity_factor=0.5),
+                RegionDegrade(region="r0", start=50.0, duration=100.0,
+                              capacity_factor=0.5),
+            )
+        )
+        assert schedule.service_scale("r0", 25.0) == 2.0
+        assert schedule.service_scale("r0", 75.0) == 4.0  # overlap compounds
+        assert schedule.service_scale("r0", 200.0) == 1.0
+        assert schedule.service_scale("other", 25.0) == 1.0
+
+    def test_cell_dead_window_is_half_open(self):
+        schedule = ChaosSchedule(
+            events=(CellOutage(cell="a", start=10.0, duration=10.0),)
+        )
+        assert not schedule.cell_dead("a", 9.9)
+        assert schedule.cell_dead("a", 10.0)
+        assert schedule.cell_dead("a", 19.9)
+        assert not schedule.cell_dead("a", 20.0)
+        assert not schedule.cell_dead("b", 15.0)
+
+    def test_event_kind_properties(self):
+        schedule = ChaosSchedule(
+            events=(
+                CellOutage(cell="a", start=0.0, duration=1.0),
+                RegionDegrade(region="r", start=0.0, duration=1.0),
+                FirmwareStorm(start=0.0),
+            )
+        )
+        assert len(schedule.outages) == 1
+        assert len(schedule.degrades) == 1
+        assert len(schedule.storms) == 1
+        assert "cell-outage" in schedule.summary()

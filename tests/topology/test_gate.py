@@ -1,0 +1,37 @@
+"""Fidelity gate over topology-annotated runs.
+
+The gate must stay meaningful with mobility and chaos injected: the
+topology-driven ``handover-storm`` preset (satellite of the topology
+subsystem) has to clear the stock thresholds, and the scenario-mode
+guard has to reject topology flags.
+
+The ``stadium-cell-kill`` chaos scenario is gated in CI at a relaxed
+``flow_length_jsd`` ceiling: the underlying ``stadium-flash-crowd``
+workload already exceeds the stock 0.25 ceiling at small scales with
+topology off (measured 0.2817 without vs 0.2833 with chaos at
+scale 0.1 / seed 1), so the relaxation covers a pre-existing
+baseline-vs-reference gap, not a topology regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validate import run_gate
+
+
+def test_topology_flags_rejected_for_scenario_sources():
+    with pytest.raises(ValueError):
+        run_gate("phone-evening", topology="motorway")
+    with pytest.raises(ValueError):
+        run_gate("phone-evening", chaos="off")
+
+
+def test_handover_storm_gate_passes_with_topology():
+    # The preset's default topology (motorway) drives the storm; the
+    # annotated timeline — HO/TAU injections included — must clear the
+    # stock thresholds.
+    scorecard = run_gate("handover-storm", scale=0.1, seed=1)
+    assert scorecard.passed, scorecard.summary()
+    assert scorecard.violations["event_rate"] == 0.0
+    assert scorecard.violations["stream_rate"] == 0.0

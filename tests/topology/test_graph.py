@@ -1,0 +1,128 @@
+"""NetworkTopology graph: validation, queries, builders, BFS paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    Cell,
+    NetworkTopology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+
+
+def _triangle() -> NetworkTopology:
+    return NetworkTopology(
+        name="tri",
+        cells=(
+            Cell("a", "ta0", "r0"),
+            Cell("b", "ta0", "r0"),
+            Cell("c", "ta1", "r1"),
+        ),
+        edges=(("a", "b"), ("b", "c"), ("c", "a")),
+    )
+
+
+class TestValidation:
+    def test_duplicate_cell_names_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(
+                name="t",
+                cells=(Cell("a", "ta", "r"), Cell("a", "ta", "r")),
+                edges=(),
+            )
+
+    def test_edge_to_unknown_cell_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(
+                name="t", cells=(Cell("a", "ta", "r"),), edges=(("a", "zz"),)
+            )
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(
+                name="t", cells=(Cell("a", "ta", "r"),), edges=(("a", "a"),)
+            )
+
+    def test_tracking_area_split_across_regions_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(
+                name="t",
+                cells=(Cell("a", "ta0", "r0"), Cell("b", "ta0", "r1")),
+                edges=(("a", "b"),),
+            )
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTopology(name="t", cells=(), edges=())
+
+
+class TestQueries:
+    def test_index_and_cell_roundtrip(self):
+        topo = _triangle()
+        for i, name in enumerate(topo.cell_names):
+            assert topo.index(name) == i
+            assert topo.cell(name).name == name
+
+    def test_neighbors_symmetric(self):
+        topo = _triangle()
+        for cell in topo.cell_names:
+            for neighbor in topo.neighbors(cell):
+                assert cell in topo.neighbors(neighbor)
+
+    def test_region_and_tracking_area_lookups(self):
+        topo = _triangle()
+        assert topo.region_of("a") == "r0"
+        assert topo.tracking_area_of("c") == "ta1"
+        assert topo.cells_in_region("r0") == ("a", "b")
+        assert topo.cells_in_tracking_area("ta1") == ("c",)
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            _triangle().index("nope")
+
+    def test_shortest_path_endpoints_and_adjacency(self):
+        topo = line_topology("ln", 6)
+        path = topo.shortest_path(topo.cell_names[0], topo.cell_names[5])
+        assert path[0] == 0 and path[-1] == 5
+        for a, b in zip(path, path[1:]):
+            assert b in topo.neighbor_indices(a)
+
+    def test_shortest_path_deterministic(self):
+        topo = ring_topology("rg", 8)
+        first = topo.cell_names[0]
+        goal = topo.cell_names[3]
+        assert topo.shortest_path(first, goal) == topo.shortest_path(first, goal)
+
+    def test_summary_mentions_every_region(self):
+        topo = grid_topology("g", 3, 3)
+        text = topo.summary()
+        for region in topo.regions:
+            assert region in text
+
+
+class TestBuilders:
+    def test_line_topology_shape(self):
+        topo = line_topology("ln", 8, cells_per_ta=2, tas_per_region=2)
+        assert topo.num_cells == 8
+        assert len(topo.tracking_areas) == 4
+        assert len(topo.regions) == 2
+        # A line has n-1 edges: interior cells have two neighbors.
+        assert len(topo.neighbors(topo.cell_names[3])) == 2
+        assert len(topo.neighbors(topo.cell_names[0])) == 1
+
+    def test_ring_topology_closes(self):
+        topo = ring_topology("rg", 8)
+        first, last = topo.cell_names[0], topo.cell_names[-1]
+        assert first in topo.neighbors(last)
+
+    def test_grid_topology_shape(self):
+        topo = grid_topology("g", 3, 4, rows_per_region=2)
+        assert topo.num_cells == 12
+        assert len(topo.tracking_areas) == 3  # one TA per row
+        assert len(topo.regions) == 2
+        # Interior cell has 4 neighbors, corner has 2.
+        corner = topo.cell_names[0]
+        assert len(topo.neighbors(corner)) == 2

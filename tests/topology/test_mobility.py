@@ -1,0 +1,119 @@
+"""Mobility models: trajectory contract, commuter tides, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    CommuterMobility,
+    RandomWaypointMobility,
+    StationaryMobility,
+    get_mobility,
+    grid_topology,
+    line_topology,
+)
+
+HOUR = 3600.0
+
+
+def _rng(seed: int = 7) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _check_contract(topo, times, cells, start):
+    """The MobilityModel.trajectory invariants every model must hold."""
+    assert times[0] == start
+    assert np.all(np.diff(times) > 0)
+    assert np.all((cells >= 0) & (cells < topo.num_cells))
+    assert np.all(np.diff(cells) != 0)
+
+
+class TestStationary:
+    def test_never_moves(self):
+        topo = line_topology("ln", 4)
+        times, cells = StationaryMobility().trajectory(
+            topo, 2, _rng(), 0.0, 4 * HOUR
+        )
+        assert list(times) == [0.0]
+        assert list(cells) == [2]
+
+
+class TestRandomWaypoint:
+    def test_moves_are_neighbor_hops(self):
+        topo = grid_topology("g", 3, 3)
+        times, cells = RandomWaypointMobility(
+            mean_dwell_seconds=600.0
+        ).trajectory(topo, 4, _rng(), 0.0, 8 * HOUR)
+        _check_contract(topo, times, cells, 0.0)
+        assert len(times) > 1  # 8h at 10min dwell: it moved
+        for a, b in zip(cells, cells[1:]):
+            assert int(b) in topo.neighbor_indices(int(a))
+
+    def test_horizon_respected(self):
+        topo = grid_topology("g", 3, 3)
+        times, _ = RandomWaypointMobility(mean_dwell_seconds=300.0).trajectory(
+            topo, 0, _rng(), HOUR, 2 * HOUR
+        )
+        assert times.max() <= 2 * HOUR
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(mean_dwell_seconds=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(max_moves=0)
+
+
+class TestCommuter:
+    def test_out_and_back(self):
+        topo = line_topology("ln", 8, prefix="mw")
+        model = CommuterMobility(
+            work_cells=("mw06", "mw07"),
+            depart_hour=8.5,
+            return_hour=9.5,
+            transit_seconds=60.0,
+            jitter_hours=0.1,
+        )
+        times, cells = model.trajectory(topo, 0, _rng(), 8 * HOUR, 10 * HOUR)
+        _check_contract(topo, times, cells, 8 * HOUR)
+        work = {topo.index("mw06"), topo.index("mw07")}
+        assert work & set(int(c) for c in cells)  # reached the workplace
+        assert int(cells[-1]) == 0  # back home by end of window
+
+    def test_window_after_departure_starts_at_work(self):
+        # The run window opens at 12:00: the 08:00 leg already happened,
+        # so the trajectory must *start* at the workplace.
+        topo = line_topology("ln", 8, prefix="mw")
+        model = CommuterMobility(
+            work_cells=("mw07",),
+            depart_hour=8.0,
+            return_hour=17.0,
+            transit_seconds=60.0,
+            jitter_hours=0.0,
+        )
+        times, cells = model.trajectory(topo, 0, _rng(), 12 * HOUR, 14 * HOUR)
+        assert int(cells[0]) == topo.index("mw07")
+        assert list(cells) == [topo.index("mw07")]  # no in-window moves
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CommuterMobility(work_cells=(), depart_hour=25.0)
+        with pytest.raises(ValueError):
+            CommuterMobility(work_cells=(), transit_seconds=0.0)
+        with pytest.raises(ValueError):
+            CommuterMobility(work_cells=(), jitter_hours=-0.5)
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert isinstance(get_mobility("stationary"), StationaryMobility)
+        assert isinstance(get_mobility("random-waypoint"), RandomWaypointMobility)
+        assert isinstance(get_mobility("commuter"), CommuterMobility)
+
+    def test_instance_passthrough(self):
+        model = RandomWaypointMobility(mean_dwell_seconds=42.0)
+        assert get_mobility(model) is model
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_mobility("teleport")

@@ -1,0 +1,78 @@
+"""Source-level RNG audit of the topology subsystem.
+
+Every random draw under ``src/repro/topology`` must flow from a
+``SeedSequence`` spawn key (the per-UE recipe in
+:meth:`TopologyRuntime._ue_rng`) so injections are independent of shard
+layout and worker count.  A bare ``default_rng(...)`` call, module-level
+RNG, or legacy ``np.random.seed`` would silently break the determinism
+contract — this test greps the sources so the rule is enforced, not just
+documented.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro.topology
+
+TOPOLOGY_SRC = Path(repro.topology.__file__).parent
+
+#: default_rng calls must seed from a SeedSequence, allowing whitespace
+#: and line breaks between the call and its argument.
+_SEEDED = re.compile(r"default_rng\(\s*(np\.random\.)?SeedSequence")
+_ANY_CALL = re.compile(r"default_rng\(")
+
+#: Legacy global-state RNG APIs: banned outright.
+_BANNED = (
+    re.compile(r"np\.random\.seed\("),
+    re.compile(r"np\.random\.(rand|randn|randint|random|choice|shuffle)\("),
+    re.compile(r"\bRandomState\("),
+)
+
+
+def _sources() -> list[Path]:
+    files = sorted(TOPOLOGY_SRC.glob("*.py"))
+    assert files, f"no sources under {TOPOLOGY_SRC}"
+    return files
+
+
+def test_every_default_rng_is_seed_sequence_keyed():
+    for path in _sources():
+        text = path.read_text()
+        calls = len(_ANY_CALL.findall(text))
+        seeded = len(_SEEDED.findall(text))
+        assert calls == seeded, (
+            f"{path.name}: {calls - seeded} default_rng call(s) not keyed "
+            "by a SeedSequence — topology randomness must use spawn keys"
+        )
+
+
+def test_no_global_rng_state():
+    for path in _sources():
+        text = path.read_text()
+        for pattern in _BANNED:
+            assert not pattern.search(text), (
+                f"{path.name}: matches banned RNG pattern {pattern.pattern}"
+            )
+
+
+def test_runtime_rng_keyed_by_cohort_and_ue():
+    # The audit above is textual; check the actual recipe: the per-UE
+    # stream depends only on (seed, cohort, ue) — two runtimes agree,
+    # and distinct UEs/cohorts/seeds diverge.
+    from repro.topology.runtime import TopologyRuntime
+    from repro.topology.scenario import get_topology
+    from repro.workload import get_workload
+
+    scenario = get_topology("motorway")
+    population = get_workload("handover-storm").scaled(0.02)
+
+    def draw(seed: int, cohort: str, ue: str) -> float:
+        runtime = TopologyRuntime(scenario, population, seed=seed)
+        return float(runtime._ue_rng(cohort, ue).uniform())
+
+    assert draw(5, "convoy", "ue3") == draw(5, "convoy", "ue3")
+    assert draw(5, "convoy", "ue3") != draw(5, "convoy", "ue4")
+    assert draw(5, "convoy", "ue3") != draw(5, "ambient", "ue3")
+    assert draw(5, "convoy", "ue3") != draw(6, "convoy", "ue3")

@@ -1,0 +1,160 @@
+"""Topology runtime end-to-end: conformance, determinism, chaos effects.
+
+These are the contract tests of the subsystem: every injected
+handover/TAU/reboot sequence must be legal under the LTE/NR state
+machines (zero oracle violations), the annotated timeline must be
+bit-identical for any worker count, chaos must reproduce from the seed,
+and the chaos scenarios must have their advertised macroscopic effect
+(cell-kill → neighbor surge, degrade → hotter region, storm → detach
+wave).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import ChaosSchedule, RegionDegrade
+from repro.validate import OracleValidator
+from repro.workload import CellTimelineEvent, TimelineEvent, Workload, get_workload
+
+
+def _engine(name: str, scale: float, seed: int = 3, **kwargs) -> Workload:
+    population = get_workload(name).scaled(scale)
+    return Workload(population, seed=seed, **kwargs)
+
+
+class TestConformance:
+    @pytest.mark.parametrize(
+        "workload, topology",
+        [
+            ("handover-storm", None),  # preset default: motorway
+            ("stadium-flash-crowd", "stadium-cell-kill"),
+            ("iot-firmware-storm", "firmware-storm-by-ta"),
+        ],
+    )
+    def test_zero_oracle_violations(self, workload, topology):
+        engine = _engine(workload, 0.02, topology=topology)
+        spec = engine.population.cohorts[0].scenario.machine_spec
+        oracle = OracleValidator(spec)
+        engine.run(validators=(oracle,), simulate=False)
+        report = oracle.report()
+        assert report.violating_events == 0, report.as_dict()
+        assert report.event_rate == 0.0
+        assert report.stream_rate == 0.0
+
+
+class TestDeterminism:
+    def test_worker_count_never_changes_the_timeline(self):
+        runs = [
+            list(_engine("handover-storm", 0.05, num_workers=n).events())
+            for n in (1, 4)
+        ]
+        assert runs[0] == runs[1]
+        assert len(runs[0]) > 0
+
+    def test_chaos_reproducible_from_seed(self):
+        first = list(
+            _engine("iot-firmware-storm", 0.03,
+                    topology="firmware-storm-by-ta").events()
+        )
+        second = list(
+            _engine("iot-firmware-storm", 0.03,
+                    topology="firmware-storm-by-ta").events()
+        )
+        assert first == second
+
+    def test_seed_changes_the_injections(self):
+        a = list(_engine("handover-storm", 0.03, seed=3).events())
+        b = list(_engine("handover-storm", 0.03, seed=4).events())
+        assert a != b
+
+
+class TestAnnotatedEvents:
+    def test_topology_runs_yield_cell_events(self):
+        engine = _engine("handover-storm", 0.03)
+        cells = set(engine.topology.topology.cell_names)
+        seen = set()
+        for event in engine.events():
+            assert isinstance(event, CellTimelineEvent)
+            assert event.cell in cells
+            seen.add(event.cell)
+        assert len(seen) > 1  # the convoy actually crosses cells
+
+    def test_plain_runs_yield_plain_events(self):
+        engine = _engine("iot-firmware-storm", 0.02)
+        event = next(iter(engine.events()))
+        assert isinstance(event, TimelineEvent)
+        assert not isinstance(event, CellTimelineEvent)
+
+    def test_chaos_without_topology_rejected(self):
+        population = get_workload("iot-firmware-storm").scaled(0.02)
+        with pytest.raises(ValueError):
+            Workload(population, seed=3, chaos="firmware-storm-by-ta")
+
+    def test_chaos_off_disables_the_schedule(self):
+        engine = _engine("stadium-flash-crowd", 0.02,
+                         topology="stadium-cell-kill", chaos="off")
+        assert not engine.chaos
+
+
+class TestRegionalSimulation:
+    def test_per_region_reports_partition_the_run(self):
+        engine = _engine("handover-storm", 0.05)
+        report = engine.simulate(workers=4)
+        regions = engine.topology.topology.regions
+        assert set(report.per_region) == set(regions)
+        assert sum(
+            report.region(r).num_events for r in regions
+        ) == report.num_events
+        assert report.cell_connects  # cells saw connections
+
+    def test_region_degrade_inflates_service_times(self):
+        # A 4x service-time degrade on mwr1 during the run window must
+        # make that region's pool measurably busier; with the shared
+        # cost RNG drawn in arrival order the two runs differ only by
+        # the degrade scaling.
+        degrade = ChaosSchedule(events=(
+            RegionDegrade(region="mwr1", start=8 * 3600.0,
+                          duration=2 * 3600.0, capacity_factor=0.25),
+        ))
+        base = _engine("handover-storm", 0.05, chaos="off").simulate(workers=4)
+        hot = _engine("handover-storm", 0.05, chaos=degrade).simulate(workers=4)
+        assert hot.region("mwr1").utilization > base.region("mwr1").utilization
+
+    def test_autoscale_per_region_shares_the_window_grid(self):
+        engine = _engine("handover-storm", 0.05)
+        trace = engine.autoscale(window_seconds=600.0)
+        assert set(trace.per_region) == set(engine.topology.topology.regions)
+        for sub in trace.per_region.values():
+            assert len(sub.workers) == len(trace.workers)
+
+
+class TestChaosEffects:
+    def test_cell_kill_triggers_neighbor_surge(self):
+        # The acceptance scenario: killing the stadium cell mid-match
+        # must mass-re-register the crowd at the four ring cells.
+        kwargs = dict(topology="stadium-cell-kill")
+        with_kill = _engine(
+            "stadium-flash-crowd", 0.02, **kwargs
+        ).simulate(workers=4)
+        without = _engine(
+            "stadium-flash-crowd", 0.02, chaos="off", **kwargs
+        ).simulate(workers=4)
+        ring = ("north", "east", "south", "west")
+        surge = sum(with_kill.cell_connects.get(c, 0) for c in ring)
+        calm = sum(without.cell_connects.get(c, 0) for c in ring)
+        assert surge > calm * 1.5, (surge, calm)
+        # The dead cell itself loses connects to the refuge cells.
+        assert (
+            with_kill.cell_connects.get("stadium", 0)
+            < without.cell_connects.get("stadium", 0)
+        )
+
+    def test_firmware_storm_injects_detach_wave(self):
+        kwargs = dict(topology="firmware-storm-by-ta")
+        stormy = _engine("iot-firmware-storm", 0.03, **kwargs)
+        calm = _engine("iot-firmware-storm", 0.03, chaos="off", **kwargs)
+        count = lambda e: sum(  # noqa: E731
+            1 for ev in e.events() if ev.event == "DTCH"
+        )
+        assert count(stormy) > count(calm)

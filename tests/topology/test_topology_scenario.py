@@ -1,0 +1,136 @@
+"""TopologyScenario composition, precedence rules, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import TOPOLOGIES, available_topologies
+from repro.api.scenario import ScenarioSpec
+from repro.topology import (
+    NO_CHAOS,
+    CellOutage,
+    ChaosSchedule,
+    NetworkTopology,
+    RandomWaypointMobility,
+    StationaryMobility,
+    TopologyScenario,
+    get_topology,
+    line_topology,
+)
+from repro.workload import Cohort
+
+
+def _cohort(name: str, **kwargs) -> Cohort:
+    spec = ScenarioSpec(name=f"{name}-spec", num_ues=10, seed=1)
+    return Cohort(name=name, scenario=spec, **kwargs)
+
+
+def _scenario(**kwargs) -> TopologyScenario:
+    return TopologyScenario(
+        name="test", topology=line_topology("ln", 4, prefix="c"), **kwargs
+    )
+
+
+class TestPrecedence:
+    def test_mobility_cohort_field_wins(self):
+        scenario = _scenario(
+            default_mobility=StationaryMobility(),
+            mobility={"a": RandomWaypointMobility(mean_dwell_seconds=100.0)},
+        )
+        cohort = _cohort("a", mobility=RandomWaypointMobility(
+            mean_dwell_seconds=42.0
+        ))
+        assert scenario.mobility_for(cohort).mean_dwell_seconds == 42.0
+
+    def test_mobility_scenario_map_then_default(self):
+        scenario = _scenario(
+            default_mobility=StationaryMobility(),
+            mobility={"a": RandomWaypointMobility(mean_dwell_seconds=100.0)},
+        )
+        assert scenario.mobility_for(_cohort("a")).mean_dwell_seconds == 100.0
+        assert isinstance(scenario.mobility_for(_cohort("b")), StationaryMobility)
+
+    def test_mobility_by_name_resolved(self):
+        scenario = _scenario()
+        cohort = _cohort("a", mobility="random-waypoint")
+        assert isinstance(scenario.mobility_for(cohort), RandomWaypointMobility)
+
+    def test_placement_cohort_field_wins(self):
+        scenario = _scenario(placements={"a": ("c01",)})
+        cohort = _cohort("a", cells=("c02", "c03"))
+        assert scenario.placement_for(cohort) == (2, 3)
+
+    def test_placement_scenario_map_then_all_cells(self):
+        scenario = _scenario(placements={"a": ("c01",)})
+        assert scenario.placement_for(_cohort("a")) == (1,)
+        assert scenario.placement_for(_cohort("b")) == (0, 1, 2, 3)
+
+
+class TestValidation:
+    def test_placement_must_name_real_cells(self):
+        with pytest.raises(KeyError):
+            _scenario(placements={"a": ("ghost",)})
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            _scenario(placements={"a": ()})
+
+    def test_mobility_must_be_model_instances(self):
+        with pytest.raises(TypeError):
+            _scenario(mobility={"a": "stationary"})
+
+    def test_chaos_validated_against_topology(self):
+        with pytest.raises(KeyError):
+            _scenario(
+                chaos=ChaosSchedule(
+                    events=(CellOutage(cell="ghost", start=0.0, duration=1.0),)
+                )
+            )
+
+    def test_with_chaos_revalidates(self):
+        scenario = _scenario()
+        chaos = ChaosSchedule(
+            events=(CellOutage(cell="c00", start=0.0, duration=1.0),)
+        )
+        assert scenario.with_chaos(chaos).chaos is chaos
+        assert scenario.chaos is NO_CHAOS  # original untouched
+
+
+class TestRegistry:
+    def test_builtin_presets_registered(self):
+        names = available_topologies()
+        for expected in (
+            "metro-commute",
+            "stadium-cell-kill",
+            "region-degrade",
+            "firmware-storm-by-ta",
+            "motorway",
+        ):
+            assert expected in names
+
+    def test_aliases_resolve(self):
+        assert TOPOLOGIES.get("cell-kill").name == "stadium-cell-kill"
+        assert TOPOLOGIES.get("corridor").name == "motorway"
+
+    def test_get_topology_name_instance_and_graph(self):
+        by_name = get_topology("motorway")
+        assert by_name.name == "motorway"
+        assert get_topology(by_name) is by_name
+        graph = line_topology("bare", 3)
+        wrapped = get_topology(graph)
+        assert isinstance(wrapped, TopologyScenario)
+        assert wrapped.topology is graph
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_topology("atlantis")
+
+    def test_preset_chaos_targets_exist(self):
+        # Every registered preset validates its own chaos schedule
+        # against its own graph (construction would have raised), and
+        # summaries render.
+        for name in available_topologies():
+            scenario = TOPOLOGIES.get(name)
+            assert isinstance(scenario.topology, NetworkTopology)
+            assert scenario.name in (name, scenario.name)
+            assert scenario.summary()

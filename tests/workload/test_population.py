@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api import WORKLOADS, available_workloads
 from repro.api.scenario import ScenarioSpec
@@ -14,6 +18,7 @@ from repro.workload import (
     UEPopulation,
     get_workload,
 )
+from repro.workload.population import _apportion
 
 
 def _spec(name: str, technology: str = "4G", num_ues: int = 50) -> ScenarioSpec:
@@ -128,6 +133,86 @@ class TestUEPopulation:
         text = CITY_DAY.summary()
         for cohort in CITY_DAY.cohorts:
             assert cohort.name in text
+
+
+class TestApportionment:
+    """Largest-remainder apportionment behind scaled()/with_total_ues()."""
+
+    @given(
+        total=st.integers(min_value=0, max_value=100_000),
+        shares=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_apportion_sums_exactly_and_respects_quota(self, total, shares):
+        counts = _apportion(total, shares)
+        assert sum(counts) == total
+        assert all(c >= 0 for c in counts)
+        scale = sum(shares)
+        if scale > 0:
+            for count, share in zip(counts, shares):
+                exact = total * share / scale
+                # Largest-remainder satisfies the quota rule: every
+                # count is the floor or ceiling of its exact share
+                # (tolerance absorbs float rounding of the shares).
+                assert math.floor(exact - 1e-9) <= count
+                assert count <= math.ceil(exact + 1e-9)
+
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_apportion_all_zero_shares_splits_evenly(self, total, n):
+        counts = _apportion(total, [0.0] * n)
+        assert sum(counts) == total
+        assert max(counts) - min(counts) <= 1
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=1, max_value=5000), min_size=1, max_size=6
+        ),
+        factor=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scaled_total_is_exactly_the_rounded_product(self, counts, factor):
+        population = UEPopulation(
+            name="p",
+            cohorts=tuple(
+                Cohort(name=f"c{i}", scenario=_spec(f"s{i}"), num_ues=n)
+                for i, n in enumerate(counts)
+            ),
+        )
+        scaled = population.scaled(factor)
+        assert scaled.total_ues == int(round(population.total_ues * factor))
+        # No cohort drifts more than one UE from its exact share.
+        for before, after in zip(population.cohorts, scaled.cohorts):
+            exact = scaled.total_ues * before.num_ues / population.total_ues
+            assert abs(after.num_ues - exact) < 1.0
+
+    @given(
+        total=st.integers(min_value=0, max_value=50_000),
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_with_total_ues_sums_exactly(self, total, weights):
+        population = UEPopulation(
+            name="p",
+            cohorts=tuple(
+                Cohort(
+                    name=f"c{i}", scenario=_spec(f"s{i}"), num_ues=1, weight=w
+                )
+                for i, w in enumerate(weights)
+            ),
+        )
+        assert population.with_total_ues(total).total_ues == total
 
 
 class TestPresets:
