@@ -346,6 +346,60 @@ class Session:
             chaos=chaos,
         )
 
+    def serve(
+        self,
+        population="city-day",
+        *,
+        seed: int = 1,
+        num_workers: int = 2,
+        shard_ues: int = 2048,
+        backend: str | None = None,
+        topology=None,
+        chaos=None,
+        validate: bool = True,
+        thresholds=None,
+        **service_options,
+    ):
+        """An always-on :class:`~repro.service.TrafficService` for
+        ``population``.
+
+        Builds the same engine as :meth:`workload` (session-fitted
+        backends are reused for matching cohorts) and wraps it in the
+        supervised streaming service: paced open-loop replay, bounded
+        backpressure, deterministic degradation, fault injection, and —
+        with ``validate=True`` — a continuously re-evaluated
+        :class:`~repro.validate.RollingGate`::
+
+            report = Session().serve("city-day", speed=600).run(duration=60)
+
+        ``service_options`` pass through to
+        :class:`~repro.service.TrafficService` (``speed``, ``loop``,
+        ``ring_events``, ``degradation``, ``faults``, ``simulator``,
+        ``sink``, ...).
+        """
+        from ..service import TrafficService
+        from ..validate import RollingGate
+        from ..workload import get_workload
+
+        resolved = get_workload(population)
+        engine = self.workload(
+            resolved,
+            seed=seed,
+            num_workers=1,
+            shard_ues=shard_ues,
+            backend=backend,
+            topology=topology,
+            chaos=chaos,
+        )
+        gate = (
+            RollingGate(resolved, seed=seed, thresholds=thresholds)
+            if validate
+            else None
+        )
+        return TrafficService(
+            engine, num_workers=num_workers, gate=gate, **service_options
+        )
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

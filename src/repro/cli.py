@@ -12,6 +12,7 @@ Commands
 ``evaluate``      fidelity report of a synthesized trace vs a real one
 ``experiments``   run the paper's tables/figures at a chosen scale
 ``workload``      stream a composite workload into the MCN simulator
+``serve``         run a workload as an always-on paced traffic service
 ``topology``      inspect multi-cell topology scenarios (cells, chaos)
 ``fidelity-gate`` threshold-checked acceptance gate (the CI quality gate)
 ``registry``      list registered generators, scenarios, workloads and
@@ -139,6 +140,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos", default=None,
                    help="chaos schedule override; 'off' disables the "
                         "topology's built-in schedule")
+
+    p = sub.add_parser(
+        "serve",
+        help="run a workload as an always-on paced traffic service",
+    )
+    p.add_argument("name", help="registered workload (see the registry command)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale every cohort's UE count by this factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised producer worker processes "
+                        "(0 = generate inline, no forking)")
+    p.add_argument("--backend", default=None,
+                   help="override every cohort's generator backend")
+    p.add_argument("--topology", default=None,
+                   help="place the population on a registered topology "
+                        "scenario (overrides the workload's default)")
+    p.add_argument("--chaos", default=None,
+                   help="chaos schedule override; 'off' disables the "
+                        "topology's built-in schedule")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="replay speed multiplier over event time "
+                        "(inf = as fast as possible)")
+    p.add_argument("--loop", action="store_true",
+                   help="repeat the timeline when exhausted (cycle-tagged "
+                        "UE ids, continuous schedule)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop after this many wall seconds")
+    p.add_argument("--max-events", type=int, default=None,
+                   help="stop after this many consumed events")
+    p.add_argument("--chunk-events", type=int, default=4096,
+                   help="events per producer chunk (cursor granularity)")
+    p.add_argument("--queue-chunks", type=int, default=8,
+                   help="bounded chunks per worker handoff queue")
+    p.add_argument("--ring-events", type=int, default=65536,
+                   help="bounded merged-event ring capacity")
+    p.add_argument("--high-watermark", type=float, default=0.75,
+                   help="ring fraction that throttles producers")
+    p.add_argument("--low-watermark", type=float, default=0.25,
+                   help="ring fraction that releases the throttle")
+    p.add_argument("--degrade-after", type=float, default=2.0,
+                   help="seconds of sustained backpressure before load "
+                        "shedding begins (inf disables)")
+    p.add_argument("--shed-order", default=None,
+                   help="comma-separated cohort names, first shed first "
+                        "(default: population order)")
+    p.add_argument("--max-burst", type=int, default=20000,
+                   help="overdue events released back-to-back before the "
+                        "schedule re-anchors and declares slippage")
+    p.add_argument("--kill-worker", action="append", default=None,
+                   metavar="N@T",
+                   help="fault: SIGKILL producer worker N at elapsed T "
+                        "seconds (repeatable)")
+    p.add_argument("--stall-consumer", action="append", default=None,
+                   metavar="T:D",
+                   help="fault: stop consuming for D seconds at elapsed T "
+                        "(repeatable)")
+    p.add_argument("--burst", action="append", default=None,
+                   metavar="T:F:D",
+                   help="fault: multiply replay speed by F for D seconds "
+                        "at elapsed T (repeatable)")
+    p.add_argument("--simulate", action="store_true",
+                   help="drive delivered events through the MCN simulator")
+    p.add_argument("--sim-workers", type=int, default=4,
+                   help="control-plane workers in the MCN simulator")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip the rolling fidelity gate")
+    p.add_argument("--status-every", type=float, default=5.0,
+                   help="seconds between status snapshots (0 = final only)")
+    p.add_argument("--status-json", default=None,
+                   help="append every status snapshot to this file as "
+                        "JSON lines")
+    p.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                   help="stale-heartbeat seconds before a worker counts "
+                        "as hung")
 
     p = sub.add_parser(
         "topology", help="inspect multi-cell topology scenarios"
@@ -357,6 +433,117 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .mcn import MCNSimulator
+    from .service import DegradationPolicy, FaultPlan, TrafficService
+    from .validate import RollingGate
+    from .workload import Workload, get_workload
+
+    population = get_workload(args.name)
+    if args.scale != 1.0:
+        population = population.scaled(args.scale)
+    engine = Workload(
+        population,
+        seed=args.seed,
+        backend=args.backend,
+        topology=args.topology,
+        chaos=args.chaos,
+    )
+    print(population.summary())
+    if engine.topology is not None:
+        print(engine.topology.summary())
+
+    gate = (
+        None
+        if args.no_validate
+        else RollingGate(population, seed=args.seed)
+    )
+    simulator = (
+        MCNSimulator(
+            workers=args.sim_workers,
+            cost_model=population.cost_model,
+            seed=args.seed,
+            topology=(
+                None if engine.topology is None else engine.topology.topology
+            ),
+            chaos=engine.chaos,
+        )
+        if args.simulate
+        else None
+    )
+    shed_order = (
+        tuple(name.strip() for name in args.shed_order.split(",") if name.strip())
+        if args.shed_order
+        else ()
+    )
+    service = TrafficService(
+        engine,
+        speed=args.speed,
+        loop=args.loop,
+        num_workers=args.workers,
+        chunk_events=args.chunk_events,
+        queue_chunks=args.queue_chunks,
+        ring_events=args.ring_events,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        max_burst=args.max_burst,
+        degradation=DegradationPolicy(
+            degrade_after=args.degrade_after, shed_order=shed_order
+        ),
+        faults=FaultPlan.parse(
+            kill_worker=args.kill_worker,
+            stall_consumer=args.stall_consumer,
+            burst=args.burst,
+        ),
+        gate=gate,
+        simulator=simulator,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+
+    status_file = open(args.status_json, "a") if args.status_json else None
+
+    def on_status(snapshot) -> None:
+        print(snapshot.summary())
+        if status_file is not None:
+            status_file.write(snapshot.to_json_line() + "\n")
+            status_file.flush()
+
+    try:
+        report = service.run(
+            duration=args.duration,
+            max_events=args.max_events,
+            status_every=args.status_every or None,
+            on_status=on_status,
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted; producers torn down")
+        return 130
+    finally:
+        if status_file is not None:
+            status_file.close()
+
+    final = report.status
+    print(
+        f"service {final.state}: {final.delivered} delivered, "
+        f"{final.shed_total} shed ({final.shed_episodes} episodes), "
+        f"{final.slipped_events} slipped, accounting "
+        f"{'exact' if final.accounted else 'VIOLATED'}"
+    )
+    for incident in final.incidents:
+        print(f"  incident: {incident}")
+    if report.scorecard is not None:
+        print(report.scorecard.summary())
+    if report.simulation is not None:
+        sim = report.simulation
+        print(
+            f"simulated {sim.num_events} events: p50 "
+            f"{sim.latency_percentile(50):.2f} ms | p99 "
+            f"{sim.latency_percentile(99):.2f} ms | peak contexts "
+            f"{sim.peak_connected_contexts}"
+        )
+    return 0 if report.clean else 1
+
+
 def _cmd_topology(args) -> int:
     from .api import TOPOLOGIES, available_topologies
 
@@ -462,6 +649,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
     "workload": _cmd_workload,
+    "serve": _cmd_serve,
     "topology": _cmd_topology,
     "fidelity-gate": _cmd_fidelity_gate,
     "registry": _cmd_registry,

@@ -12,27 +12,64 @@ inline path with byte-identical results.
 Workers are forked, so the generator state (model weights, tokenizer)
 is inherited copy-on-write and never pickled; only the finished
 :class:`~repro.trace.schema.Stream` lists travel back over the pipe.
+
+Two execution styles share the fork-inheritance trick:
+
+* :func:`run_sharded` — batch: run every shard once, collect results in
+  shard order.  Teardown is guarded on *every* exit path (context
+  manager + ``atexit``): a ``KeyboardInterrupt``/``SIGTERM``-aborted
+  run terminates its forked children instead of deadlocking on a map
+  that will never finish, and any pool leaked by a hard abort is reaped
+  at interpreter exit.
+* :func:`spawn_stream_worker` — supervised streaming: one long-lived
+  forked producer pushing items through a bounded queue (backpressure:
+  the child blocks on a full queue while a daemon heartbeat thread
+  keeps proving it alive).  The supervisor side
+  (:class:`StreamWorkerHandle`) exposes non-blocking item polling,
+  heartbeat age, and kill/abandon — the primitives
+  :mod:`repro.service` builds crash/hang detection and
+  restart-from-cursor on.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import queue as _queue
 import threading
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+import time
+import weakref
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["shard_counts", "shard_rngs", "run_sharded", "fork_available"]
+__all__ = [
+    "shard_counts",
+    "shard_rngs",
+    "run_sharded",
+    "fork_available",
+    "spawn_stream_worker",
+    "StreamWorkerHandle",
+]
 
 T = TypeVar("T")
 
 #: Task table consumed by forked workers.  Set only for the duration of a
-#: ``run_sharded`` call; children inherit it through fork, so the parent
-#: never serializes the task's closed-over state.  The lock keeps
-#: concurrent ``run_sharded`` calls from racing on it (they serialize).
+#: ``run_sharded`` call (or a ``spawn_stream_worker`` fork); children
+#: inherit it through fork, so the parent never serializes the task's
+#: closed-over state.  The lock keeps concurrent spawns from racing on
+#: it (they serialize).
 _ACTIVE_TASK: Callable[[int], object] | None = None
 _ACTIVE_TASK_LOCK = threading.Lock()
+
+#: Streaming task inherited by forked stream workers (same trick).
+_STREAM_TASK: Callable[[int, int], Iterable] | None = None
+
+#: Live fork pools / stream workers, reaped at interpreter exit so an
+#: aborted run can never leak worker processes.
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+_LIVE_WORKERS: "weakref.WeakSet" = weakref.WeakSet()
 
 
 def fork_available() -> bool:
@@ -75,6 +112,45 @@ def _invoke_shard(index: int):
     return _ACTIVE_TASK(index)
 
 
+@atexit.register
+def _reap_leaked_workers() -> None:  # pragma: no cover - interpreter exit
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.terminate()
+        except Exception:
+            pass
+    for handle in list(_LIVE_WORKERS):
+        try:
+            handle.abandon()
+        except Exception:
+            pass
+
+
+@contextmanager
+def _supervised_pool(context, processes: int):
+    """A fork pool whose children are torn down on every exit path.
+
+    A clean exit closes and joins; an exceptional exit — including
+    ``KeyboardInterrupt`` raised mid-``map`` — terminates the children
+    outright instead of waiting for results that will never arrive (the
+    interrupted-run deadlock/leak).  The pool is also tracked in
+    :data:`_LIVE_POOLS` so a hard abort that skips the ``finally`` is
+    still reaped by the ``atexit`` guard.
+    """
+    pool = context.Pool(processes=processes)
+    _LIVE_POOLS.add(pool)
+    try:
+        yield pool
+    except BaseException:
+        pool.terminate()
+        raise
+    else:
+        pool.close()
+    finally:
+        pool.join()
+        _LIVE_POOLS.discard(pool)
+
+
 def run_sharded(
     task: Callable[[int], T], num_shards: int, num_workers: int
 ) -> list[T]:
@@ -83,7 +159,9 @@ def run_sharded(
     Results come back in shard order regardless of completion order, so
     output is deterministic.  With ``num_workers <= 1``, or when the
     platform cannot fork, shards run inline in the calling process and
-    produce identical results.
+    produce identical results.  Interrupted runs (``KeyboardInterrupt``,
+    ``SIGTERM`` surfaced as an exception) terminate their forked
+    children — workers never outlive the call.
     """
     global _ACTIVE_TASK
     if num_workers <= 1 or num_shards <= 1 or not fork_available():
@@ -92,9 +170,236 @@ def run_sharded(
     with _ACTIVE_TASK_LOCK:
         _ACTIVE_TASK = task
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(num_workers, num_shards), mp_context=context
+            with _supervised_pool(
+                context, min(num_workers, num_shards)
             ) as pool:
-                return list(pool.map(_invoke_shard, range(num_shards)))
+                return pool.map(_invoke_shard, range(num_shards))
         finally:
             _ACTIVE_TASK = None
+
+
+# ----------------------------------------------------------------------
+# Supervised streaming workers
+# ----------------------------------------------------------------------
+def _stream_worker_main(
+    index: int,
+    resume: int,
+    out_queue,
+    heartbeat,
+    beat_interval: float,
+) -> None:  # pragma: no cover - runs in forked children
+    """Child entry point: stream the task's items through the queue.
+
+    A daemon thread refreshes ``heartbeat`` every ``beat_interval``
+    seconds even while the main thread blocks on a full queue, so the
+    supervisor can tell backpressure (alive, queue full) from a genuine
+    hang (heartbeat stale).  Failures are reported as an ``("error",
+    message)`` item before the child exits nonzero.
+    """
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.is_set():
+            heartbeat.value = time.monotonic()
+            stop.wait(beat_interval)
+
+    threading.Thread(target=_beat, daemon=True).start()
+    try:
+        task = _STREAM_TASK
+        assert task is not None, "stream worker forked outside spawn"
+        for item in task(index, resume):
+            out_queue.put(("item", item))
+        out_queue.put(("done", None))
+        out_queue.close()
+        out_queue.join_thread()
+    except BaseException as exc:
+        try:
+            out_queue.put(
+                ("error", f"{type(exc).__name__}: {exc}"), timeout=1.0
+            )
+            out_queue.close()
+            out_queue.join_thread()  # flush before dying; feeder is a thread
+        except Exception:
+            pass
+        stop.set()
+        raise SystemExit(1)
+    stop.set()
+
+
+class StreamWorkerHandle:
+    """Supervisor-side view of one forked streaming producer.
+
+    Items flow child → parent through a bounded ``multiprocessing``
+    queue, then through a bounded in-process buffer fed by a daemon
+    drain thread; the total in-flight bound is ``2 * queue_items + 1``
+    per worker.  The drain-thread indirection means the supervisor
+    *never* blocks on the pipe — even if the child was killed mid-write
+    and left a truncated frame, only the (abandonable) drain thread can
+    wedge, and :meth:`abandon` walks away from it.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        resume: int,
+        process,
+        mp_queue,
+        heartbeat,
+        queue_items: int,
+    ) -> None:
+        self.index = index
+        self.resume = resume
+        self.process = process
+        self.heartbeat = heartbeat
+        self.error: str | None = None
+        self._mp_queue = mp_queue
+        self._local: _queue.Queue = _queue.Queue(maxsize=max(1, queue_items))
+        self._abandoned = threading.Event()
+        self._finished = threading.Event()
+        self._drainer = threading.Thread(target=self._drain, daemon=True)
+        self._drainer.start()
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Forward queue items into the bounded local buffer.
+
+        Runs in a daemon thread; blocking on the local buffer's ``put``
+        is what propagates consumer backpressure down to the child's
+        bounded queue.
+        """
+        while not self._abandoned.is_set():
+            try:
+                kind, payload = self._mp_queue.get(timeout=0.2)
+            except _queue.Empty:
+                if self._finished.is_set():
+                    break
+                continue
+            except (EOFError, OSError):
+                break
+            if kind == "done":
+                self._finished.set()
+                break
+            if kind == "error":
+                self.error = str(payload)
+                self._finished.set()
+                break
+            while not self._abandoned.is_set():
+                try:
+                    self._local.put(payload, timeout=0.2)
+                    break
+                except _queue.Full:
+                    continue
+
+    # ------------------------------------------------------------------
+    def get_nowait(self):
+        """The next streamed item, or ``None`` when nothing is buffered."""
+        try:
+            return self._local.get_nowait()
+        except _queue.Empty:
+            return None
+
+    @property
+    def pending(self) -> int:
+        """Items buffered parent-side (approximate, thread-safe)."""
+        return self._local.qsize()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the child reported completion (or a failure)."""
+        return self._finished.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def exhausted(self) -> bool:
+        """Done streaming: child finished cleanly and the buffer is empty."""
+        return (
+            self._finished.is_set()
+            and self.error is None
+            and self._local.empty()
+        )
+
+    def heartbeat_age(self, now: float | None = None) -> float:
+        """Seconds since the child last proved it was alive."""
+        reference = time.monotonic() if now is None else now
+        return max(0.0, reference - self.heartbeat.value)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """SIGKILL the child (crash injection / hang recovery)."""
+        if self.process.is_alive():
+            self.process.kill()
+
+    def abandon(self) -> None:
+        """Tear the worker down and walk away from its channel.
+
+        Kills the child if needed, unblocks and retires the drain
+        thread, and drops any buffered items — the caller restarts from
+        its durable cursor, so nothing is lost, only regenerated.
+        """
+        self._abandoned.set()
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        try:
+            while True:
+                self._local.get_nowait()
+        except _queue.Empty:
+            pass
+        try:
+            self._mp_queue.close()
+        except Exception:
+            pass
+        _LIVE_WORKERS.discard(self)
+
+
+def spawn_stream_worker(
+    task: Callable[[int, int], Iterable],
+    index: int,
+    resume: int,
+    *,
+    queue_items: int = 8,
+    beat_interval: float = 0.2,
+) -> StreamWorkerHandle:
+    """Fork one supervised streaming worker for ``task(index, resume)``.
+
+    ``task`` must be reachable in the parent at fork time (it is
+    inherited copy-on-write, never pickled) and return an iterable; the
+    worker streams its items through a bounded queue of ``queue_items``
+    and reports completion / failure in-band.  ``resume`` is the durable
+    cursor handed back to the task so a restarted worker can skip
+    already-delivered work.  Requires ``fork``
+    (:func:`fork_available`); callers fall back to running the task
+    inline otherwise.
+    """
+    if not fork_available():  # pragma: no cover - exercised on Windows only
+        raise RuntimeError(
+            "spawn_stream_worker requires the fork start method; "
+            "run the task inline instead"
+        )
+    if queue_items < 1:
+        raise ValueError("queue_items must be >= 1")
+    global _STREAM_TASK
+    context = multiprocessing.get_context("fork")
+    mp_queue = context.Queue(maxsize=queue_items)
+    heartbeat = context.Value("d", time.monotonic())
+    with _ACTIVE_TASK_LOCK:
+        _STREAM_TASK = task
+        try:
+            process = context.Process(
+                target=_stream_worker_main,
+                args=(index, resume, mp_queue, heartbeat, beat_interval),
+                daemon=True,
+            )
+            process.start()
+        finally:
+            _STREAM_TASK = None
+    handle = StreamWorkerHandle(
+        index, resume, process, mp_queue, heartbeat, queue_items
+    )
+    _LIVE_WORKERS.add(handle)
+    return handle

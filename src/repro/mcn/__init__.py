@@ -7,7 +7,7 @@ sampling-based telemetry with a count-min sketch.
 
 from .autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
 from .nf import LTE_COSTS, NR_COSTS, ServiceCostModel
-from .simulator import MCNSimulator, SimulationReport
+from .simulator import MCNSimulator, SimulationReport, SimulationRun
 from .telemetry import CountMinSketch, SampledBreakdownMonitor, calibrate_sampling_rate
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "NR_COSTS",
     "MCNSimulator",
     "SimulationReport",
+    "SimulationRun",
     "AutoscalePolicy",
     "AutoscaleTrace",
     "simulate_autoscaling",

@@ -43,7 +43,7 @@ import numpy as np
 from ..trace.dataset import TraceDataset
 from .nf import LTE_COSTS, ServiceCostModel
 
-__all__ = ["MCNSimulator", "SimulationReport"]
+__all__ = ["MCNSimulator", "SimulationReport", "SimulationRun"]
 
 _CONNECTING_EVENTS = {"ATCH", "SRV_REQ", "REGISTER", "HO"}
 _RELEASING_EVENTS = {"S1_CONN_REL", "AN_REL", "DTCH", "DEREGISTER"}
@@ -213,6 +213,17 @@ class MCNSimulator:
     chaos: object | None = None
     region_workers: dict[str, int] | None = None
 
+    def start(self, *, tee=None) -> "SimulationRun":
+        """Open an incremental ingestion session.
+
+        The always-on service path: instead of handing :meth:`run` a
+        finite iterable, callers :meth:`~SimulationRun.offer` events one
+        at a time as the live timeline releases them and
+        :meth:`~SimulationRun.finalize` whenever a report is needed —
+        the same discrete-event loop, rolled by the caller.
+        """
+        return SimulationRun(self, tee=tee)
+
     def run(
         self, workload: TraceDataset | Iterable, *, tee=None
     ) -> SimulationReport:
@@ -229,47 +240,10 @@ class MCNSimulator:
         before queue-limit drops, so conformance is judged on the
         traffic the generator produced, not on what survived the queue.
         """
-        if self.workers < 1:
-            raise ValueError("need at least one worker")
-        if tee is not None and not callable(tee):
-            tee = tee.observe_event
-        rng = np.random.default_rng(self.seed)
-
-        pools, region_of_cell = self._build_pools()
-        default_region = next(iter(pools))
-        global_connected: set[Hashable] = set()
-        peak_connected = 0
-        first_timestamp: float | None = None
-        last_timestamp = 0.0
-
+        session = self.start(tee=tee)
         for timestamp, ue_key, event, cell in _arrivals(workload):
-            if tee is not None:
-                tee(timestamp, ue_key, event)
-            if first_timestamp is None:
-                first_timestamp = timestamp
-            last_timestamp = timestamp
-            region = region_of_cell.get(cell, default_region)
-            # The cost RNG draws in arrival order — one stream shared by
-            # every pool, so results don't depend on region routing.
-            service_s = self.cost_model.sample_cost(event, rng) / 1000.0
-            if self.chaos is not None and region is not None:
-                service_s *= self.chaos.service_scale(region, timestamp)
-            if not pools[region].offer(timestamp, ue_key, event, service_s, cell):
-                continue
-            if event in _CONNECTING_EVENTS:
-                global_connected.add(ue_key)
-                peak_connected = max(peak_connected, len(global_connected))
-            elif event in _RELEASING_EVENTS:
-                global_connected.discard(ue_key)
-
-        duration = (
-            last_timestamp - first_timestamp if first_timestamp is not None else 0.0
-        )
-        if self.topology is None:
-            report = pools[None].report()
-            report.peak_connected_contexts = peak_connected
-            return report
-        return self._merge_reports(pools, duration, peak_connected)
+            session.offer_arrival(timestamp, ue_key, event, cell)
+        return session.finalize()
 
     # ------------------------------------------------------------------
     def _build_pools(self):
@@ -337,6 +311,108 @@ class MCNSimulator:
             dropped_events=dropped,
             per_region=per_region,
             cell_connects=cell_connects or None,
+        )
+
+
+class SimulationRun:
+    """One incremental ingestion session of an :class:`MCNSimulator`.
+
+    Extracted from the body of :meth:`MCNSimulator.run` so a long-lived
+    service can push events as they are released instead of handing the
+    simulator a finite iterable.  The determinism contract is preserved:
+    the shared cost RNG draws once per offered arrival *in arrival
+    order*, so feeding the same ordered events through ``offer`` /
+    ``offer_arrival`` yields a report identical to a batch ``run``.
+
+    ``offer`` accepts the raw merged-timeline item shapes (5-field
+    cell-annotated events, 4-field ``TimelineEvent`` tuples, or plain
+    ``(timestamp, ue_id, event)`` triples); ``offer_arrival`` takes the
+    already-normalized ``(timestamp, ue_key, event, cell)`` form.  Both
+    return ``False`` when the target pool's queue limit dropped the
+    event.  ``finalize`` may be called repeatedly — each call snapshots
+    a report over everything offered so far, which is what the service's
+    rolling telemetry wants.
+    """
+
+    def __init__(self, simulator: MCNSimulator, *, tee=None) -> None:
+        if simulator.workers < 1:
+            raise ValueError("need at least one worker")
+        if tee is not None and not callable(tee):
+            tee = tee.observe_event
+        self._simulator = simulator
+        self._tee = tee
+        self._rng = np.random.default_rng(simulator.seed)
+        self._pools, self._region_of_cell = simulator._build_pools()
+        self._default_region = next(iter(self._pools))
+        self._connected: set[Hashable] = set()
+        self._peak_connected = 0
+        self._first: float | None = None
+        self._last = 0.0
+
+    @property
+    def offered(self) -> int:
+        """Arrivals offered so far (accepted + dropped)."""
+        return self.processed + self.dropped
+
+    @property
+    def processed(self) -> int:
+        return sum(pool.processed for pool in self._pools.values())
+
+    @property
+    def dropped(self) -> int:
+        return sum(pool.dropped for pool in self._pools.values())
+
+    def offer(self, item) -> bool:
+        """Offer one raw timeline item (3-, 4-, or 5-field tuple)."""
+        if len(item) >= 5:
+            timestamp, cohort, ue_id, event, cell = item[:5]
+            return self.offer_arrival(timestamp, (cohort, ue_id), event, cell)
+        if len(item) == 4:
+            timestamp, cohort, ue_id, event = item
+            return self.offer_arrival(timestamp, (cohort, ue_id), event, None)
+        timestamp, ue_id, event = item
+        return self.offer_arrival(timestamp, ue_id, event, None)
+
+    def offer_arrival(
+        self,
+        timestamp: float,
+        ue_key: Hashable,
+        event: str,
+        cell: str | None = None,
+    ) -> bool:
+        """Offer one normalized arrival; ``False`` if the queue dropped it."""
+        simulator = self._simulator
+        if self._tee is not None:
+            self._tee(timestamp, ue_key, event)
+        if self._first is None:
+            self._first = timestamp
+        self._last = timestamp
+        region = self._region_of_cell.get(cell, self._default_region)
+        # The cost RNG draws in arrival order — one stream shared by
+        # every pool, so results don't depend on region routing.
+        service_s = simulator.cost_model.sample_cost(event, self._rng) / 1000.0
+        if simulator.chaos is not None and region is not None:
+            service_s *= simulator.chaos.service_scale(region, timestamp)
+        if not self._pools[region].offer(timestamp, ue_key, event, service_s, cell):
+            return False
+        if event in _CONNECTING_EVENTS:
+            self._connected.add(ue_key)
+            self._peak_connected = max(self._peak_connected, len(self._connected))
+        elif event in _RELEASING_EVENTS:
+            self._connected.discard(ue_key)
+        return True
+
+    def finalize(self) -> SimulationReport:
+        """Snapshot a report over everything offered so far."""
+        duration = (
+            self._last - self._first if self._first is not None else 0.0
+        )
+        if self._simulator.topology is None:
+            report = self._pools[self._default_region].report()
+            report.peak_connected_contexts = self._peak_connected
+            return report
+        return MCNSimulator._merge_reports(
+            self._pools, duration, self._peak_connected
         )
 
 

@@ -1,0 +1,50 @@
+"""``repro.service`` — the always-on traffic service (robustness layer).
+
+Everything upstream of this package is batch: build a timeline, run it
+once, exit.  This package makes the same workload *serveable* — a
+long-running, supervised, open-loop traffic source an operator can
+point at a core-network testbed and leave running:
+
+* :mod:`~repro.service.supervisor` — supervised producer shards:
+  forked chunk-streaming workers with heartbeats, crash/hang detection,
+  and restart from per-shard durable cursors (bit-identical merged
+  timeline across restarts);
+* :mod:`~repro.service.merge` — the incremental k-way chunk merge
+  matching the batch merge's total order exactly;
+* :mod:`~repro.service.ring` — the bounded event ring whose watermarks
+  turn a slow consumer into producer backpressure instead of memory
+  growth;
+* :mod:`~repro.service.degradation` — deterministic per-cohort load
+  shedding with exact accounting, engaged when backpressure persists
+  and released when the ring drains;
+* :mod:`~repro.service.faults` — the injectable fault plan (worker
+  kills, consumer stalls, rate bursts) that makes all of the above
+  testable on demand;
+* :mod:`~repro.service.status` — live telemetry snapshots;
+* :mod:`~repro.service.service` — :class:`TrafficService`, the control
+  loop tying it together, surfaced as ``Session.serve`` and the
+  ``repro serve`` CLI command.
+"""
+
+from .degradation import DegradationPolicy, ShedAccount
+from .faults import BurstScale, FaultPlan, KillWorker, StallConsumer
+from .merge import ChunkMerger
+from .ring import EventRing
+from .service import ServiceReport, TrafficService
+from .status import ServiceStatus
+from .supervisor import ShardSupervisor
+
+__all__ = [
+    "TrafficService",
+    "ServiceReport",
+    "ServiceStatus",
+    "ShardSupervisor",
+    "ChunkMerger",
+    "EventRing",
+    "DegradationPolicy",
+    "ShedAccount",
+    "FaultPlan",
+    "KillWorker",
+    "StallConsumer",
+    "BurstScale",
+]

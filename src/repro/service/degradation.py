@@ -1,0 +1,120 @@
+"""Deterministic load shedding with exact accounting.
+
+When backpressure persists — the event ring stays above its high
+watermark past a deadline — an always-on service must shed load rather
+than grow memory or silently stall.  The policy here is deliberately
+boring and auditable:
+
+* **what** gets shed is a fixed per-cohort priority order (first name
+  sheds first), escalating one cohort at a time each time the deadline
+  elapses again while the ring is still high;
+* **when** shedding stops is equally fixed: the moment the ring drains
+  below its *low* watermark every cohort is restored at once;
+* **how much** was shed is counted exactly, per cohort, in a
+  :class:`ShedAccount` — the service's conservation invariant
+  ``merged == delivered + shed + pending`` is checked against it, so a
+  shed event can never be confused with a lost one.
+
+Shed events still pass through the validating tee first (fidelity is
+judged on what the generator produced) and bypass pacing entirely —
+dropping them fast is what drains the backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DegradationPolicy", "DegradationController", "ShedAccount"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Configuration for deterministic per-cohort load shedding.
+
+    ``degrade_after`` is the patience in *wall seconds*: how long the
+    ring may sit above its high watermark before the first cohort is
+    shed (and between escalation steps).  ``shed_order`` lists cohort
+    names first-to-shed first; names absent from the population are
+    rejected at resolve time, and cohorts absent from the order are
+    appended in population order (they shed last).  An infinite
+    ``degrade_after`` disables shedding.
+    """
+
+    degrade_after: float = 2.0
+    shed_order: tuple = ()
+
+    def resolve_order(self, cohort_names) -> tuple:
+        """The full escalation order over ``cohort_names``."""
+        names = list(cohort_names)
+        unknown = [name for name in self.shed_order if name not in names]
+        if unknown:
+            raise ValueError(
+                f"shed_order names unknown cohorts {unknown}; "
+                f"population has {names}"
+            )
+        ordered = list(self.shed_order)
+        ordered.extend(name for name in names if name not in ordered)
+        return tuple(ordered)
+
+
+class DegradationController:
+    """The runtime state machine applying a :class:`DegradationPolicy`.
+
+    Fed once per service tick with the ring's throttle state; exposes
+    the current shed set.  Escalation is stepwise — one more cohort per
+    elapsed ``degrade_after`` while still throttled — and recovery is
+    total and immediate once the ring reports un-throttled (which, via
+    the ring's hysteresis, means depth fell to the low watermark).
+    """
+
+    def __init__(self, policy: DegradationPolicy, cohort_names) -> None:
+        self.policy = policy
+        self.order = policy.resolve_order(cohort_names)
+        self.level = 0
+        self._deadline: float | None = None
+
+    @property
+    def shedding(self) -> frozenset:
+        return frozenset(self.order[: self.level])
+
+    def update(self, throttled: bool, now: float) -> frozenset:
+        """Advance the state machine; returns the cohorts to shed."""
+        patience = self.policy.degrade_after
+        if not throttled:
+            self.level = 0
+            self._deadline = None
+        elif patience != float("inf"):
+            if self._deadline is None:
+                self._deadline = now + patience
+            elif now >= self._deadline and self.level < len(self.order):
+                self.level += 1
+                self._deadline = now + patience
+        return self.shedding
+
+
+class ShedAccount:
+    """Exact per-cohort tally of shed events."""
+
+    def __init__(self) -> None:
+        self.by_cohort: dict[str, int] = {}
+        self.total = 0
+        self.episodes = 0
+        self._was_shedding = False
+
+    def record(self, cohort: str) -> None:
+        self.by_cohort[cohort] = self.by_cohort.get(cohort, 0) + 1
+        self.total += 1
+
+    def note_level(self, level: int) -> None:
+        """Track distinct shedding episodes (level 0 → >0 transitions)."""
+        shedding = level > 0
+        if shedding and not self._was_shedding:
+            self.episodes += 1
+        self._was_shedding = shedding
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "episodes": self.episodes,
+            "by_cohort": dict(sorted(self.by_cohort.items())),
+        }

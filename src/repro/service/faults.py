@@ -1,0 +1,127 @@
+"""Declarative fault injection for service soak runs.
+
+A :class:`FaultPlan` is a schedule of faults applied against *service*
+elapsed time (seconds since the run started): kill a producer worker,
+stall the consumer loop, or scale the replay rate for a window.  The
+plan exists so the robustness claims are testable on demand — a CI soak
+run injects a worker kill and a consumer stall and asserts the merged
+timeline, the fidelity gate, and the shed accounting all survived.
+
+CLI spellings (``repro serve``)::
+
+    --kill-worker N@T      kill producer worker N at elapsed T seconds
+    --stall-consumer T:D   stop consuming for D seconds starting at T
+    --burst T:F:D          multiply replay speed by F for D seconds at T
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KillWorker", "StallConsumer", "BurstScale", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """SIGKILL producer worker ``worker`` at elapsed ``at`` seconds."""
+
+    at: float
+    worker: int
+
+    @classmethod
+    def parse(cls, spec: str) -> "KillWorker":
+        """``"N@T"`` → kill worker N at T seconds."""
+        try:
+            worker, at = spec.split("@", 1)
+            return cls(at=float(at), worker=int(worker))
+        except ValueError:
+            raise ValueError(
+                f"--kill-worker expects N@T (e.g. 0@5.0); got {spec!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class StallConsumer:
+    """Stop the consumer loop for ``duration`` seconds at ``at``."""
+
+    at: float
+    duration: float
+
+    @classmethod
+    def parse(cls, spec: str) -> "StallConsumer":
+        """``"T:D"`` → stall for D seconds starting at T."""
+        try:
+            at, duration = spec.split(":", 1)
+            return cls(at=float(at), duration=float(duration))
+        except ValueError:
+            raise ValueError(
+                f"--stall-consumer expects T:D (e.g. 5:2.5); got {spec!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class BurstScale:
+    """Multiply replay speed by ``factor`` for ``duration`` seconds."""
+
+    at: float
+    factor: float
+    duration: float
+
+    @classmethod
+    def parse(cls, spec: str) -> "BurstScale":
+        """``"T:F:D"`` → speed ×F for D seconds starting at T."""
+        try:
+            at, factor, duration = spec.split(":", 2)
+            return cls(
+                at=float(at), factor=float(factor), duration=float(duration)
+            )
+        except ValueError:
+            raise ValueError(
+                f"--burst expects T:F:D (e.g. 10:4:3); got {spec!r}"
+            ) from None
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of injected faults.
+
+    ``pop_due(elapsed)`` returns every not-yet-fired fault whose ``at``
+    has passed, marking it fired — the service polls this once per loop
+    tick, so firing order follows the schedule even when a slow tick
+    makes several faults due at once.
+    """
+
+    faults: tuple = ()
+    _fired: set = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(
+            sorted(self.faults, key=lambda fault: fault.at)
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def pop_due(self, elapsed: float) -> list:
+        due = []
+        for index, fault in enumerate(self.faults):
+            if index in self._fired or fault.at > elapsed:
+                continue
+            self._fired.add(index)
+            due.append(fault)
+        return due
+
+    @classmethod
+    def parse(
+        cls,
+        *,
+        kill_worker: "list[str] | None" = None,
+        stall_consumer: "list[str] | None" = None,
+        burst: "list[str] | None" = None,
+    ) -> "FaultPlan":
+        """Build a plan from the CLI spellings (lists of spec strings)."""
+        faults: list = []
+        faults.extend(KillWorker.parse(s) for s in (kill_worker or []))
+        faults.extend(StallConsumer.parse(s) for s in (stall_consumer or []))
+        faults.extend(BurstScale.parse(s) for s in (burst or []))
+        return cls(faults=tuple(faults))

@@ -1,0 +1,143 @@
+"""Incremental k-way merge over per-shard chunk streams.
+
+The batch path (:func:`repro.workload.timeline.merge_timelines`) merges
+complete per-shard iterators with ``heapq.merge``.  The service path
+receives each shard as a sequence of
+:class:`~repro.workload.timeline.TimelineChunk` deliveries spread over
+time and across restarts, so the merge must be *incremental*: accept
+chunks as they arrive, emit events as soon as emission is provably
+safe, and expose the per-shard durable cursor (next expected chunk
+``seq``) the supervisor restarts crashed workers from.
+
+Safety rule: the globally minimal buffered event can be emitted exactly
+when every unfinished shard has at least one buffered event — any shard
+with an empty buffer might still produce something earlier.  Ordering
+matches the batch merge bit for bit: the heap key is the merge key
+``(timestamp, cohort, ue_id)`` with ties across shards resolved by
+shard index (``heapq.merge``'s source order), and within-shard order is
+preserved because each shard contributes one head at a time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterator
+
+from ..workload.timeline import TimelineChunk, decode_buffer
+
+__all__ = ["ChunkMerger"]
+
+#: Cursor value marking a shard that has delivered every chunk.
+SHARD_DONE = -1
+
+
+class ChunkMerger:
+    """Order-preserving incremental merge of chunked shard streams.
+
+    ``add_chunk`` enforces the cursor contract: a chunk is accepted only
+    when its ``seq`` equals the shard's cursor (next expected).  A stale
+    chunk (``seq`` below the cursor — a restarted worker double-sent) is
+    dropped idempotently; a gap raises, because a missing chunk can
+    never be recovered downstream.
+    """
+
+    def __init__(
+        self, num_shards: int, cell_names: "tuple[str, ...] | None" = None
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._cell_names = cell_names
+        self._pending: list[deque] = [deque() for _ in range(num_shards)]
+        self._finished = [False] * num_shards
+        self._cursors = [0] * num_shards
+        self._heap: list = []
+        self._in_heap = [False] * num_shards
+        self.merged_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._pending)
+
+    def cursor(self, shard: int) -> int:
+        """Next expected chunk seq (``SHARD_DONE`` when the shard is done)."""
+        return SHARD_DONE if self._finished[shard] else self._cursors[shard]
+
+    @property
+    def cursors(self) -> tuple[int, ...]:
+        return tuple(self.cursor(s) for s in range(self.num_shards))
+
+    @property
+    def buffered(self) -> int:
+        """Events decoded but not yet emitted."""
+        return len(self._heap) + sum(len(d) for d in self._pending)
+
+    def buffered_of(self, shard: int) -> int:
+        return len(self._pending[shard]) + (1 if self._in_heap[shard] else 0)
+
+    def exhausted(self) -> bool:
+        """Every shard finished and every buffered event emitted."""
+        return all(self._finished) and not self._heap
+
+    # ------------------------------------------------------------------
+    def add_chunk(self, chunk: TimelineChunk) -> bool:
+        """Accept one delivered chunk; ``False`` if it was a stale resend."""
+        shard = chunk.shard
+        if self._finished[shard]:
+            return False
+        expected = self._cursors[shard]
+        if chunk.seq < expected:
+            return False
+        if chunk.seq > expected:
+            raise ValueError(
+                f"chunk gap on shard {shard}: expected seq {expected}, "
+                f"got {chunk.seq}"
+            )
+        self._cursors[shard] = expected + 1
+        if chunk.num_events:
+            self._pending[shard].extend(
+                decode_buffer(chunk.buffer(), chunk.cohort, self._cell_names)
+            )
+            self._refill(shard)
+        return True
+
+    def finish_shard(self, shard: int) -> None:
+        """Mark a shard's chunk stream complete (idempotent)."""
+        self._finished[shard] = True
+
+    def _refill(self, shard: int) -> None:
+        if not self._in_heap[shard] and self._pending[shard]:
+            event = self._pending[shard].popleft()
+            heapq.heappush(
+                self._heap,
+                ((event.timestamp, event.cohort, event.ue_id), shard, event),
+            )
+            self._in_heap[shard] = True
+
+    def _safe(self) -> bool:
+        if not self._heap:
+            return False
+        for shard in range(self.num_shards):
+            if not self._finished[shard] and not self._in_heap[shard]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def pop_ready(self, max_events: int | None = None) -> Iterator:
+        """Yield globally ordered events while emission stays safe.
+
+        Stops as soon as some unfinished shard runs out of buffered
+        events (more chunks needed) or ``max_events`` have been
+        yielded — the bound the caller uses to respect ring space.
+        """
+        emitted = 0
+        while self._safe():
+            if max_events is not None and emitted >= max_events:
+                return
+            _, shard, event = heapq.heappop(self._heap)
+            self._in_heap[shard] = False
+            self._refill(shard)
+            self.merged_total += 1
+            emitted += 1
+            yield event

@@ -1,0 +1,83 @@
+"""Bounded event ring with backpressure watermarks.
+
+The hand-off buffer between the merge and the paced consumer loop in
+:class:`~repro.service.service.TrafficService`.  Capacity is a hard
+bound (a full ring rejects pushes — the producer side simply stops
+pulling chunks), and the high/low watermarks implement hysteresis: the
+service throttles producers when depth crosses ``high`` and only
+resumes once it drains below ``low``, so backpressure doesn't flap at
+the boundary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["EventRing"]
+
+
+class EventRing:
+    """A bounded FIFO of merged timeline events with watermarks.
+
+    ``high_watermark`` / ``low_watermark`` are fractions of capacity
+    (defaults 0.75 / 0.25).  ``above_high`` latches the throttle state:
+    it turns True when depth reaches the high mark and only returns to
+    False once depth falls to the low mark.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError("high_watermark must be in (0, 1]")
+        if not 0.0 <= low_watermark < high_watermark:
+            raise ValueError("low_watermark must be in [0, high_watermark)")
+        self.capacity = capacity
+        self.high = max(1, int(capacity * high_watermark))
+        self.low = int(capacity * low_watermark)
+        self._items: deque = deque()
+        self._throttled = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def space(self) -> int:
+        """How many more events fit before the hard bound."""
+        return self.capacity - len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def throttled(self) -> bool:
+        """Hysteresis state: True from the high mark down to the low mark."""
+        depth = len(self._items)
+        if self._throttled:
+            if depth <= self.low:
+                self._throttled = False
+        elif depth >= self.high:
+            self._throttled = True
+        return self._throttled
+
+    def push(self, item) -> bool:
+        """Append one event; ``False`` (and no append) when full."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def peek(self):
+        """The next event without consuming it (``None`` when empty)."""
+        return self._items[0] if self._items else None
+
+    def pop(self):
+        """Consume the next event (``None`` when empty)."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,541 @@
+"""The always-on traffic service: supervised, paced, degradable.
+
+:class:`TrafficService` turns a batch :class:`~repro.workload.Workload`
+into a long-running open-loop traffic source.  One single-threaded
+control loop ties the pillars together:
+
+1. **produce** — a :class:`~repro.service.supervisor.ShardSupervisor`
+   streams every generation shard as resumable chunks from supervised
+   forked workers, restarting crashed or hung producers from their
+   durable cursors;
+2. **merge** — the incremental
+   :class:`~repro.service.merge.ChunkMerger` emits the globally ordered
+   timeline exactly as the batch merge would, feeding a bounded
+   :class:`~repro.service.ring.EventRing`;
+3. **pace** — events release on a wall-clock schedule at ``speed``×
+   real time (hardened like :func:`~repro.workload.timeline.pace`:
+   backward clock jumps shift the anchor, overdue catch-up bursts are
+   capped and declared slippage);
+4. **degrade** — when the ring stays above its high watermark past the
+   :class:`~repro.service.degradation.DegradationPolicy` deadline, the
+   service sheds whole cohorts deterministically with exact accounting
+   and recovers when the ring drains;
+5. **observe** — every merged event tees through the attached
+   :class:`~repro.validate.gate.RollingGate` *before* shedding, and
+   delivered events drive the incremental
+   :class:`~repro.mcn.simulator.SimulationRun` and/or a user ``sink``.
+
+The conservation invariant ``merged == delivered + shed + pending`` is
+re-checked on every status snapshot; a violation raises — lost events
+are a bug, never a statistic.
+
+With ``loop=True`` the timeline repeats when exhausted: cycle ``k``'s
+events are shifted by ``k`` timeline-spans (the paced schedule stays
+continuous) and UE ids are cycle-tagged so validators and the simulator
+see fresh streams, not impossible continuations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..mcn.simulator import MCNSimulator
+from .degradation import DegradationController, DegradationPolicy, ShedAccount
+from .faults import BurstScale, FaultPlan, KillWorker, StallConsumer
+from .ring import EventRing
+from .status import ServiceStatus
+from .supervisor import ShardSupervisor
+
+__all__ = ["TrafficService", "ServiceReport"]
+
+#: Largest single sleep of the control loop — the reaction latency to
+#: faults, runtime controls, and status deadlines while waiting.
+_TICK = 0.05
+
+#: Cap on events released per :meth:`TrafficService._consume_tick` so
+#: the control loop (faults, controls, status) still runs between
+#: batches even when the whole ring is overdue.
+_TICK_EVENTS = 2048
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one :meth:`TrafficService.run`.
+
+    ``status`` is the final telemetry snapshot; ``statuses`` every
+    periodic snapshot emitted along the way (including the final one);
+    ``simulation`` / ``scorecard`` are present when a simulator / gate
+    was attached.
+    """
+
+    status: ServiceStatus
+    statuses: list
+    simulation: object | None = None
+    scorecard: object | None = None
+
+    @property
+    def clean(self) -> bool:
+        """Accounting exact, and the gate (when attached) passing."""
+        return self.status.accounted and (
+            self.scorecard is None or self.scorecard.passed
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status.as_dict(),
+            "clean": self.clean,
+            "scorecard_passed": (
+                None if self.scorecard is None else self.scorecard.passed
+            ),
+            "simulated_events": (
+                None if self.simulation is None else self.simulation.num_events
+            ),
+        }
+
+
+class TrafficService:
+    """Pace a workload's merged timeline open-loop, indefinitely.
+
+    Parameters mirror the pillars: producer shape (``num_workers``,
+    ``chunk_events``, ``queue_chunks``), the bounded ring
+    (``ring_events`` with watermark fractions), pacing (``speed``,
+    ``max_burst``), ``degradation`` policy, ``faults`` plan, and the
+    attached consumers (``gate``, ``simulator``, ``sink``).  ``clock``
+    and ``sleep`` are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        speed: float = 1.0,
+        loop: bool = False,
+        num_workers: int = 2,
+        chunk_events: int = 4096,
+        queue_chunks: int = 8,
+        ring_events: int = 65536,
+        high_watermark: float = 0.75,
+        low_watermark: float = 0.25,
+        max_burst: "int | None" = 20000,
+        degradation: "DegradationPolicy | None" = None,
+        faults: "FaultPlan | None" = None,
+        gate=None,
+        simulator: "MCNSimulator | None" = None,
+        sink=None,
+        heartbeat_timeout: float = 5.0,
+        max_restarts: int = 3,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.engine = engine
+        self.loop = loop
+        self.gate = gate
+        self.sink = sink
+        self.simulator = simulator
+        self.clock = clock
+        self.sleep = sleep
+        self.max_burst = max_burst
+        self.faults = faults if faults is not None else FaultPlan()
+        self.degradation = (
+            degradation if degradation is not None else DegradationPolicy()
+        )
+        self.shed = ShedAccount()
+        self._ring = EventRing(
+            ring_events,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+        self._controller = DegradationController(
+            self.degradation,
+            [cohort.name for cohort in engine.population.cohorts],
+        )
+        self._supervisor_kwargs = dict(
+            num_workers=num_workers,
+            chunk_events=chunk_events,
+            queue_chunks=queue_chunks,
+            heartbeat_timeout=heartbeat_timeout,
+            max_restarts=max_restarts,
+        )
+        self.supervisor = ShardSupervisor(engine, **self._supervisor_kwargs)
+        self._sim_run = None if simulator is None else simulator.start()
+
+        # Runtime state
+        self._speed = float(speed)
+        self._paused = False
+        self._stopped = False
+        self._stall_until: float | None = None
+        self._burst_factor = 1.0
+        self._burst_until: float | None = None
+        self.delivered = 0
+        self.cycle = 0
+        self._time_offset = 0.0
+        self._first_ts: float | None = None
+        self._last_ts = 0.0
+        self._anchor_event: float | None = None
+        self._anchor_wall = 0.0
+        self._anchor_speed: float | None = None
+        self._overdue_run = 0
+        self.slipped_events = 0
+        self.slipped_seconds = 0.0
+        self.clock_jumps = 0
+        self._incidents: list[str] = []
+        self._last_wall: float | None = None
+        self._t0: float | None = None
+        self._rate_mark: "tuple[float, float] | None" = None
+        self._merged_before = 0
+
+    # ------------------------------------------------------------------
+    # Runtime controls
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop consuming (producers keep filling up to the watermarks)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    def retarget(self, speed: float) -> None:
+        """Change the replay speed; the schedule re-anchors at *now*."""
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self._speed = float(speed)
+
+    def stop(self) -> None:
+        """Ask the run loop to exit after the current tick."""
+        self._stopped = True
+
+    @property
+    def speed(self) -> float:
+        """The effective replay speed (base × any active burst factor)."""
+        return self._speed * self._burst_factor
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _apply_fault(self, fault, now: float) -> None:
+        if isinstance(fault, KillWorker):
+            killed = self.supervisor.kill_worker(fault.worker)
+            self._incidents.append(
+                f"fault: killed worker {fault.worker}"
+                if killed
+                else f"fault: kill worker {fault.worker} (already retired)"
+            )
+        elif isinstance(fault, StallConsumer):
+            self._stall_until = now + fault.duration
+            self._incidents.append(
+                f"fault: consumer stalled {fault.duration:g}s"
+            )
+        elif isinstance(fault, BurstScale):
+            self._burst_factor = fault.factor
+            self._burst_until = now + fault.duration
+            self._incidents.append(
+                f"fault: speed x{fault.factor:g} for {fault.duration:g}s"
+            )
+
+    # ------------------------------------------------------------------
+    # Produce / merge side
+    # ------------------------------------------------------------------
+    def _relabel(self, event):
+        """Apply the loop-cycle shift/tag (identity on cycle 0)."""
+        if self._first_ts is None:
+            self._first_ts = event.timestamp
+        self._last_ts = event.timestamp
+        if self.cycle == 0:
+            return event
+        return event._replace(
+            timestamp=event.timestamp + self._time_offset,
+            ue_id=f"{event.ue_id}#c{self.cycle}",
+        )
+
+    def _pump(self) -> None:
+        """Pull producer chunks and merged events up to the ring bounds."""
+        ring = self._ring
+        if not ring.throttled:
+            # One chunk roughly fills chunk_events ring slots; budget the
+            # pull so a tick never overshoots the ring.
+            budget = max(
+                1,
+                ring.space // max(1, self.supervisor.chunk_events) + 1,
+            )
+            self.supervisor.pump(budget)
+        if ring.space:
+            for event in self.supervisor.merger.pop_ready(ring.space):
+                ring.push(self._relabel(event))
+
+    def _maybe_wrap_cycle(self, cycle_events: int) -> bool:
+        """Restart the timeline when looping; True if a new cycle began."""
+        if not self.loop or self._stopped:
+            return False
+        if cycle_events == 0 or self._first_ts is None:
+            return False  # an empty cycle would loop forever
+        span = max(self._last_ts - self._first_ts, 0.0)
+        self._time_offset += span + 1e-3
+        self.cycle += 1
+        self.supervisor = ShardSupervisor(
+            self.engine, **self._supervisor_kwargs
+        )
+        self._incidents.append(f"timeline exhausted; starting cycle {self.cycle}")
+        return True
+
+    # ------------------------------------------------------------------
+    # Consume side
+    # ------------------------------------------------------------------
+    def _tee(self, event) -> None:
+        if self.gate is not None:
+            self.gate.observe_event(
+                event.timestamp, (event.cohort, event.ue_id), event.event
+            )
+
+    def _deliver(self, event) -> None:
+        if self._sim_run is not None:
+            self._sim_run.offer(event)
+        if self.sink is not None:
+            self.sink(event)
+        self.delivered += 1
+
+    def _pace_due(self, event_ts: float, now: float) -> float:
+        """Wall-clock release time for ``event_ts`` (re-anchoring lazily)."""
+        speed = self.speed
+        if self._anchor_event is None or self._anchor_speed != speed:
+            self._anchor_event = event_ts
+            self._anchor_wall = now
+            self._anchor_speed = speed
+            self._overdue_run = 0
+        if speed == float("inf"):
+            return now
+        return self._anchor_wall + (event_ts - self._anchor_event) / speed
+
+    def _note_clock(self, now: float) -> None:
+        if self._last_wall is not None and now < self._last_wall:
+            jump = self._last_wall - now
+            self._anchor_wall -= jump
+            self.clock_jumps += 1
+        self._last_wall = now
+
+    def _shed_sweep(self) -> bool:
+        """Drop shed-cohort events at the ring head, unpaced.
+
+        Shed events bypass pacing entirely — draining the backlog fast
+        is the point — and they run even while the consumer is stalled
+        or paused, which is exactly when degradation matters.
+        """
+        shedding = self._controller.shedding
+        progressed = False
+        while shedding:
+            head = self._ring.peek()
+            if head is None or head.cohort not in shedding:
+                break
+            event = self._ring.pop()
+            self._tee(event)
+            self.shed.record(event.cohort)
+            progressed = True
+        return progressed
+
+    def _consume_tick(self, now: float) -> bool:
+        """Deliver/shed what is due; returns True if progress was made.
+
+        Due events release in batches of up to ``_TICK_EVENTS`` per
+        call — one control-loop pass per *event* would cap throughput
+        at the loop's overhead and let producers outrun the consumer
+        into spurious shedding.  The batch stops the moment the ring
+        head is not yet due, so pacing granularity is unaffected.
+        """
+        progressed = self._shed_sweep()
+        shedding = bool(self._controller.shedding)
+        for _ in range(_TICK_EVENTS):
+            head = self._ring.peek()
+            if head is None:
+                return progressed
+            due = self._pace_due(head.timestamp, now)
+            delay = due - now
+            if delay > 0:
+                self._overdue_run = 0
+                if progressed:
+                    return True
+                self.sleep(min(delay, _TICK))
+                return True
+            event = self._ring.pop()
+            self._tee(event)
+            self._overdue_run += 1
+            if (
+                self.max_burst is not None
+                and self._overdue_run >= self.max_burst
+                and self._anchor_speed not in (None, float("inf"))
+            ):
+                self.slipped_events += self._overdue_run
+                self.slipped_seconds += -delay
+                self._anchor_wall = now - (
+                    (event.timestamp - self._anchor_event)
+                    / self._anchor_speed
+                )
+                self._overdue_run = 0
+            self._deliver(event)
+            progressed = True
+            if self._stopped:  # a sink may stop() mid-batch
+                return True
+            if shedding:
+                progressed = self._shed_sweep() or progressed
+        return progressed
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def status(self, state: str = "running") -> ServiceStatus:
+        now = self.clock()
+        elapsed = now - self._t0 if self._t0 is not None else 0.0
+        merger = self.supervisor.merger
+        consumed = self.delivered + self.shed.total
+        if self._rate_mark is not None and now > self._rate_mark[0]:
+            rate = (consumed - self._rate_mark[1]) / (now - self._rate_mark[0])
+        else:
+            rate = 0.0
+        self._rate_mark = (now, consumed)
+        lag = {
+            str(shard): merger.buffered_of(shard)
+            for shard in range(merger.num_shards)
+            if merger.buffered_of(shard)
+        }
+        gate_poll = self.gate.poll() if self.gate is not None else None
+        status = ServiceStatus(
+            state=state,
+            elapsed=elapsed,
+            merged_total=self._merged_total(),
+            delivered=self.delivered,
+            shed_total=self.shed.total,
+            pending=len(self._ring),
+            buffered=merger.buffered,
+            events_per_second=rate,
+            speed=self.speed,
+            degradation_level=self._controller.level,
+            shed_cohorts=tuple(sorted(self._controller.shedding)),
+            shed_by_cohort=dict(sorted(self.shed.by_cohort.items())),
+            shed_episodes=self.shed.episodes,
+            ring_depth=len(self._ring),
+            ring_capacity=self._ring.capacity,
+            throttled=self._ring.throttled,
+            shard_cursors=merger.cursors,
+            shard_lag=lag,
+            workers=self.supervisor.worker_status(),
+            slipped_events=self.slipped_events,
+            slipped_seconds=round(self.slipped_seconds, 6),
+            clock_jumps=self.clock_jumps,
+            incidents=list(self._incidents),
+            gate=gate_poll,
+        )
+        if not status.accounted:
+            raise RuntimeError(
+                "event accounting violated: "
+                f"merged={status.merged_total} != delivered={status.delivered}"
+                f" + shed={status.shed_total} + pending={status.pending}"
+            )
+        return status
+
+    def _merged_total(self) -> int:
+        return self._merged_before + self.supervisor.merger.merged_total
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        duration: "float | None" = None,
+        max_events: "int | None" = None,
+        status_every: "float | None" = None,
+        on_status=None,
+    ) -> ServiceReport:
+        """Run the service loop until done, ``duration``, or :meth:`stop`.
+
+        ``status_every`` emits a :class:`ServiceStatus` snapshot every
+        that-many wall seconds (each passed to ``on_status`` when
+        given); a final snapshot is always taken.  Returns a
+        :class:`ServiceReport` carrying the final status, the attached
+        simulator's report, and the gate's *final* scorecard.
+        """
+        self._t0 = self.clock()
+        self._rate_mark = (self._t0, 0.0)
+        self._merged_before = 0
+        statuses: list[ServiceStatus] = []
+        next_status = (
+            self._t0 + status_every if status_every is not None else None
+        )
+        next_maintain = self._t0
+        state = "running"
+        try:
+            self.supervisor.start()
+            while True:
+                now = self.clock()
+                self._note_clock(now)
+                elapsed = now - self._t0
+                for fault in self.faults.pop_due(elapsed):
+                    self._apply_fault(fault, now)
+                if self._burst_until is not None and now >= self._burst_until:
+                    self._burst_factor = 1.0
+                    self._burst_until = None
+                if now >= next_maintain:
+                    self._incidents.extend(self.supervisor.maintain())
+                    next_maintain = now + _TICK
+                self._pump()
+                self._controller.update(self._ring.throttled, now)
+                self.shed.note_level(self._controller.level)
+
+                if next_status is not None and now >= next_status:
+                    snapshot = self.status()
+                    statuses.append(snapshot)
+                    if on_status is not None:
+                        on_status(snapshot)
+                    next_status = now + status_every
+
+                if self._stopped:
+                    state = "stopped"
+                    break
+                if duration is not None and elapsed >= duration:
+                    state = "stopped"
+                    break
+                if (
+                    max_events is not None
+                    and self.delivered + self.shed.total >= max_events
+                ):
+                    state = "stopped"
+                    break
+                if self.supervisor.exhausted() and len(self._ring) == 0:
+                    cycle_total = self.supervisor.merger.merged_total
+                    if not self._maybe_wrap_cycle(cycle_total):
+                        state = "done"
+                        break
+                    self._merged_before += cycle_total
+                    self.supervisor.start()
+                    continue
+
+                stalled = (
+                    self._stall_until is not None and now < self._stall_until
+                )
+                if self._stall_until is not None and now >= self._stall_until:
+                    self._stall_until = None
+                    self._incidents.append("fault: consumer stall ended")
+                if self._paused or stalled:
+                    if not self._shed_sweep():
+                        self.sleep(_TICK)
+                    continue
+                if not self._consume_tick(now):
+                    # Nothing due and nothing shed: idle briefly.
+                    self.sleep(min(_TICK, 0.005))
+        finally:
+            self.supervisor.shutdown()
+        final = self.status(state=state)
+        statuses.append(final)
+        if on_status is not None:
+            on_status(final)
+        scorecard = (
+            self.gate.scorecard(final=True) if self.gate is not None else None
+        )
+        simulation = (
+            self._sim_run.finalize() if self._sim_run is not None else None
+        )
+        return ServiceReport(
+            status=final,
+            statuses=statuses,
+            simulation=simulation,
+            scorecard=scorecard,
+        )

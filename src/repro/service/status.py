@@ -1,0 +1,90 @@
+"""Live telemetry snapshots of a running traffic service.
+
+A :class:`ServiceStatus` is one self-contained, JSON-able observation:
+progress counters with the conservation invariant spelled out, rates,
+queue depths, per-shard cursors and lag, worker health, degradation
+state, pacing slippage, and (when a rolling gate is attached) the
+current fidelity verdict with per-check deltas.  The service emits one
+per ``status_every`` interval and one final snapshot; ``repro serve
+--status-json`` appends them as JSON lines, which is what the CI soak
+job asserts against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["ServiceStatus"]
+
+
+@dataclass
+class ServiceStatus:
+    """One observation of a :class:`~repro.service.service.TrafficService`.
+
+    Conservation invariant (checked by the service every snapshot)::
+
+        merged_total == delivered + shed_total + pending
+
+    where ``pending`` counts events merged but not yet consumed (in the
+    ring).  ``buffered`` (decoded inside the merger, not yet merged) and
+    producer-side queue depths are reported separately — they are
+    upstream of ``merged_total``.
+    """
+
+    state: str
+    elapsed: float
+    merged_total: int
+    delivered: int
+    shed_total: int
+    pending: int
+    buffered: int
+    events_per_second: float
+    speed: float
+    degradation_level: int
+    shed_cohorts: tuple = ()
+    shed_by_cohort: dict = field(default_factory=dict)
+    shed_episodes: int = 0
+    ring_depth: int = 0
+    ring_capacity: int = 0
+    throttled: bool = False
+    shard_cursors: tuple = ()
+    shard_lag: dict = field(default_factory=dict)
+    workers: list = field(default_factory=list)
+    slipped_events: int = 0
+    slipped_seconds: float = 0.0
+    clock_jumps: int = 0
+    incidents: list = field(default_factory=list)
+    gate: "dict | None" = None
+
+    @property
+    def accounted(self) -> bool:
+        """Whether the conservation invariant holds exactly."""
+        return self.merged_total == self.delivered + self.shed_total + self.pending
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["accounted"] = self.accounted
+        data["shed_cohorts"] = list(self.shed_cohorts)
+        data["shard_cursors"] = list(self.shard_cursors)
+        return data
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def summary(self) -> str:
+        """One human-readable status line (the ``repro serve`` ticker)."""
+        gate = ""
+        if self.gate is not None:
+            gate = f" gate={'PASS' if self.gate.get('passed') else 'FAIL'}"
+        shed = (
+            f" shed={self.shed_total} (level {self.degradation_level})"
+            if self.shed_total or self.degradation_level
+            else ""
+        )
+        return (
+            f"[{self.elapsed:8.1f}s] {self.state:<8} "
+            f"{self.delivered} delivered @ {self.events_per_second:.0f} ev/s"
+            f" ring {self.ring_depth}/{self.ring_capacity}"
+            f"{shed}{gate}"
+        )

@@ -1,0 +1,365 @@
+"""Supervision of chunk-producing shard workers.
+
+One :class:`ShardSupervisor` owns the producer side of a service run:
+it partitions the workload's fixed shard plan across ``num_workers``
+forked producers (shard ``i`` → worker ``i % num_workers``), each
+streaming :class:`~repro.workload.timeline.TimelineChunk` items through
+the bounded queues of
+:func:`~repro.core.sharding.spawn_stream_worker`, and routes delivered
+chunks into a :class:`~repro.service.merge.ChunkMerger`.
+
+The merger's per-shard cursors are the durable restart state: when a
+worker crashes (dead process, in-band error) or hangs (stale
+heartbeat), the supervisor abandons its channel — dropping any
+undelivered chunks — and respawns it with each owned shard's *current*
+cursor, so the regenerated stream resumes exactly where delivery
+stopped and the merged timeline is provably unchanged.  A worker that
+keeps failing past ``max_restarts`` falls back to running its producer
+generator inline in the supervisor's process: slower, but deterministic
+and dependency-free (the same fallback serves platforms without
+``fork`` and the ``num_workers=0`` debugging mode).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterator
+
+from ..core.sharding import fork_available, spawn_stream_worker
+from .merge import SHARD_DONE, ChunkMerger
+
+__all__ = ["ShardSupervisor"]
+
+
+class _InlineHandle:
+    """A producer generator with the :class:`StreamWorkerHandle` surface.
+
+    Items are pulled synchronously on :meth:`get_nowait` — generation
+    happens in the caller's process, so a pull may block while a shard
+    buffer builds.  ``kill`` marks the handle failed, which lets fault
+    injection and restart-from-cursor be exercised without ``fork``.
+    """
+
+    def __init__(self, index: int, resume, generator: Iterator) -> None:
+        self.index = index
+        self.resume = resume
+        self.error: "str | None" = None
+        self._generator = generator
+        self._done = False
+
+    def get_nowait(self):
+        if self._done:
+            return None
+        try:
+            return next(self._generator)
+        except StopIteration:
+            self._done = True
+            return None
+        except Exception as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+            self._done = True
+            return None
+
+    @property
+    def pending(self) -> int:
+        return 0
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def alive(self) -> bool:
+        return not self._done
+
+    def exhausted(self) -> bool:
+        return self._done and self.error is None
+
+    def heartbeat_age(self, now=None) -> float:
+        return 0.0
+
+    def kill(self) -> None:
+        self.error = "killed"
+        self._done = True
+
+    def abandon(self) -> None:
+        self._done = True
+        self._generator.close()
+
+
+class ShardSupervisor:
+    """Spawn, monitor, restart, and drain the producer workers.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.workload.Workload` whose shard plan is
+        produced.  Generators are prefitted *before* any fork so the
+        fitted state is inherited copy-on-write.
+    num_workers:
+        Producer processes (capped at the shard count).  ``0`` — or any
+        value on a platform without ``fork`` — runs every producer
+        inline.
+    chunk_events:
+        Events per chunk (the granularity of both backpressure and the
+        durable cursor).
+    queue_chunks:
+        Bound of each worker's handoff queue, in chunks.
+    heartbeat_timeout:
+        Seconds of stale heartbeat after which a live worker counts as
+        hung and is killed and restarted.
+    max_restarts:
+        Restarts per worker before it degrades to the inline fallback.
+    """
+
+    #: Seconds to keep draining a dead worker's channel before the
+    #: remaining undelivered chunks are declared lost and regenerated.
+    DEATH_GRACE = 0.6
+
+    def __init__(
+        self,
+        engine,
+        *,
+        num_workers: int = 2,
+        chunk_events: int = 4096,
+        queue_chunks: int = 8,
+        heartbeat_timeout: float = 5.0,
+        max_restarts: int = 3,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if chunk_events < 1:
+            raise ValueError("chunk_events must be >= 1")
+        self.engine = engine
+        self.chunk_events = chunk_events
+        self.queue_chunks = queue_chunks
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_restarts = max_restarts
+        self.num_shards = len(engine.planned_shards())
+        self.inline = num_workers == 0 or not fork_available()
+        self.num_workers = (
+            min(num_workers, self.num_shards) if not self.inline else
+            min(max(num_workers, 1), self.num_shards)
+        )
+        self.merger = ChunkMerger(self.num_shards, engine._cell_names())
+        self.restarts = [0] * self.num_workers
+        self.inline_fallbacks = 0
+        self._handles: list = [None] * self.num_workers
+        self._is_inline = [self.inline] * self.num_workers
+        self._dead_since: dict[int, float] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def shards_of(self, worker: int) -> list[int]:
+        return list(range(worker, self.num_shards, self.num_workers))
+
+    def _worker_cursors(self, worker: int) -> tuple[int, ...]:
+        return tuple(
+            self.merger.cursor(shard) for shard in self.shards_of(worker)
+        )
+
+    def _producer(self, worker: int, cursors) -> Iterator:
+        """The producer generator: round-robin chunks over owned shards.
+
+        Runs in a forked child (or inline).  Chunks interleave across
+        the worker's shards so the merger sees a head from every shard
+        as early as possible; each exhausted shard announces itself with
+        an ``("eof", shard)`` marker.  Shards whose cursor is
+        ``SHARD_DONE`` are skipped entirely on restart.
+        """
+        active: deque = deque()
+        for shard, cursor in zip(self.shards_of(worker), cursors):
+            if cursor == SHARD_DONE:
+                continue
+            active.append(
+                (
+                    shard,
+                    self.engine.shard_chunk_stream(
+                        shard,
+                        chunk_events=self.chunk_events,
+                        start_seq=cursor,
+                    ),
+                )
+            )
+        while active:
+            shard, stream = active.popleft()
+            chunk = next(stream, None)
+            if chunk is None:
+                yield ("eof", shard)
+            else:
+                yield ("chunk", chunk)
+                active.append((shard, stream))
+
+    def _spawn(self, worker: int) -> None:
+        cursors = self._worker_cursors(worker)
+        if all(cursor == SHARD_DONE for cursor in cursors):
+            self._handles[worker] = None
+            return
+        if self._is_inline[worker]:
+            self._handles[worker] = _InlineHandle(
+                worker, cursors, self._producer(worker, cursors)
+            )
+        else:
+            self._handles[worker] = spawn_stream_worker(
+                self._producer,
+                worker,
+                cursors,
+                queue_items=self.queue_chunks,
+            )
+        self._dead_since.pop(worker, None)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        # Prefit before the first fork so children inherit fitted
+        # generators copy-on-write instead of each refitting.
+        self.engine.planned_shards()
+        for worker in range(self.num_workers):
+            self._spawn(worker)
+
+    # ------------------------------------------------------------------
+    def pump(self, budget: "int | None" = None) -> int:
+        """Route delivered items into the merger; returns items pulled.
+
+        Round-robins across workers so no single fast producer starves
+        the others' shards out of the merge.  ``budget`` bounds the pull
+        (the service sizes it to ring space) — and, for inline handles,
+        bounds how much generation work one tick performs.
+        """
+        if not self._started:
+            self.start()
+        pulled = 0
+        progressed = True
+        while progressed and (budget is None or pulled < budget):
+            progressed = False
+            for handle in self._handles:
+                if handle is None:
+                    continue
+                item = handle.get_nowait()
+                if item is None:
+                    continue
+                kind, payload = item
+                if kind == "chunk":
+                    self.merger.add_chunk(payload)
+                elif kind == "eof":
+                    self.merger.finish_shard(payload)
+                pulled += 1
+                progressed = True
+                if budget is not None and pulled >= budget:
+                    break
+        return pulled
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker: int) -> bool:
+        """SIGKILL producer ``worker`` (fault injection); False if retired."""
+        if not 0 <= worker < self.num_workers:
+            raise IndexError(
+                f"worker must be in [0, {self.num_workers}); got {worker}"
+            )
+        handle = self._handles[worker]
+        if handle is None:
+            return False
+        handle.kill()
+        return True
+
+    def maintain(self) -> list[str]:
+        """Detect crashed / hung workers and restart them from cursors.
+
+        Returns human-readable incident lines (restart, fallback,
+        retirement) for the service log.  Call *after* :meth:`pump` so
+        every already-delivered chunk has advanced its cursor before a
+        failed worker's remainder is regenerated.
+        """
+        incidents: list[str] = []
+        now = time.monotonic()
+        for worker, handle in enumerate(self._handles):
+            if handle is None:
+                continue
+            if handle.exhausted():
+                handle.abandon()
+                self._handles[worker] = None
+                continue
+            inline = self._is_inline[worker]
+            crashed = handle.failed
+            reason = f"error: {handle.error}" if handle.failed else ""
+            if not crashed and not inline and not handle.alive():
+                if handle.finished:
+                    continue  # clean exit, buffer still draining
+                since = self._dead_since.setdefault(worker, now)
+                if now - since < self.DEATH_GRACE or handle.pending:
+                    continue  # let the drain thread finish first
+                crashed = True
+                reason = "process died"
+            hung = (
+                not crashed
+                and not inline
+                and handle.alive()
+                and not handle.finished
+                and handle.heartbeat_age(now) > self.heartbeat_timeout
+            )
+            if hung:
+                reason = (
+                    f"heartbeat stale {handle.heartbeat_age(now):.1f}s"
+                )
+            if not crashed and not hung:
+                continue
+            handle.abandon()
+            self._handles[worker] = None
+            self.restarts[worker] += 1
+            if (
+                not inline
+                and self.restarts[worker] > self.max_restarts
+            ):
+                self._is_inline[worker] = True
+                self.inline_fallbacks += 1
+                incidents.append(
+                    f"worker {worker} failed {self.restarts[worker]} times "
+                    f"({reason}); falling back to inline generation"
+                )
+            else:
+                incidents.append(
+                    f"worker {worker} restarting from cursors "
+                    f"{self._worker_cursors(worker)} ({reason})"
+                )
+            self._spawn(worker)
+        return incidents
+
+    # ------------------------------------------------------------------
+    def exhausted(self) -> bool:
+        """Every producer retired and every merged event emitted."""
+        return (
+            self._started
+            and all(handle is None for handle in self._handles)
+            and self.merger.exhausted()
+        )
+
+    def worker_status(self) -> list[dict]:
+        status = []
+        for worker, handle in enumerate(self._handles):
+            if handle is None:
+                entry = {"worker": worker, "state": "done"}
+            else:
+                entry = {
+                    "worker": worker,
+                    "state": (
+                        "inline" if self._is_inline[worker] else "forked"
+                    ),
+                    "alive": handle.alive(),
+                    "pending": handle.pending,
+                    "heartbeat_age": round(handle.heartbeat_age(), 3),
+                }
+            entry["restarts"] = self.restarts[worker]
+            status.append(entry)
+        return status
+
+    def shutdown(self) -> None:
+        """Tear down every live producer (idempotent)."""
+        for worker, handle in enumerate(self._handles):
+            if handle is not None:
+                handle.abandon()
+                self._handles[worker] = None

@@ -74,7 +74,7 @@ Check names: ``event_violation_rate``, ``stream_violation_rate``,
 gate passes iff every ``value <= threshold``.
 """
 
-from .gate import run_gate
+from .gate import RollingGate, run_gate
 from .oracle import (
     ConformanceReport,
     ConformanceTally,
@@ -110,4 +110,5 @@ __all__ = [
     "FidelityScorecard",
     "build_scorecard",
     "run_gate",
+    "RollingGate",
 ]

@@ -22,6 +22,7 @@ Two source kinds share the surface:
 
 from __future__ import annotations
 
+import copy
 from pathlib import Path
 
 import numpy as np
@@ -31,7 +32,7 @@ from .oracle import OracleValidator
 from .scorecard import FidelityScorecard, GateThresholds, build_scorecard
 from .stats import StatsValidator, TrafficSketch
 
-__all__ = ["run_gate"]
+__all__ = ["run_gate", "RollingGate"]
 
 #: Memorization check configuration (§5.6's mid row, capped for CI);
 #: shared with :meth:`repro.api.session.Session.validate`.
@@ -120,6 +121,105 @@ def run_gate(
     if report_path is not None:
         scorecard.to_json(report_path)
     return scorecard
+
+
+class RollingGate:
+    """A fidelity gate re-evaluated continuously over a live stream.
+
+    The batch :func:`run_gate` validates a finite run once; an always-on
+    service needs the same verdict *while the stream is running*.  A
+    ``RollingGate`` holds streaming validators (one
+    :class:`OracleValidator`, one :class:`StatsValidator`) fed per event
+    through :meth:`observe_event`, plus the pooled held-out reference
+    every cohort scenario contributes — and can build a scorecard at any
+    moment without disturbing the live tee state (the sketch is copied
+    before folding open flows, so in-flight UE streams keep
+    accumulating).
+
+    ``poll`` is the cheap telemetry form: no bootstrap resampling, and
+    each check carries the delta since the previous poll so a status
+    display can show fidelity drift, not just the current value.
+    """
+
+    def __init__(
+        self,
+        population: UEPopulation,
+        *,
+        seed: int = 0,
+        thresholds: GateThresholds | None = None,
+    ) -> None:
+        from ..api.session import _TEST_SEED_OFFSET
+        from ..trace.synthetic import generate_trace
+
+        self._seed = seed
+        self._thresholds = thresholds
+        spec = population.cohorts[0].scenario.machine_spec
+        self.conformance = OracleValidator(spec)
+        self.stats = StatsValidator(seed=seed)
+        self._reference = TrafficSketch(seed=seed + 1)
+        for cohort in population.cohorts:
+            self._reference.observe_dataset(
+                generate_trace(
+                    cohort.scenario.trace_config(seed_offset=_TEST_SEED_OFFSET)
+                )
+            )
+        self._previous: dict[str, float] = {}
+
+    @property
+    def validators(self) -> tuple[OracleValidator, StatsValidator]:
+        """The streaming validators, for buffer-granularity tees."""
+        return (self.conformance, self.stats)
+
+    def observe_event(self, timestamp: float, ue_key, event: str) -> None:
+        """Feed one merged-timeline event to both validators."""
+        self.conformance.observe_event(timestamp, ue_key, event)
+        self.stats.observe_event(timestamp, ue_key, event)
+
+    def scorecard(
+        self, *, final: bool = False, num_resamples: int = 0
+    ) -> FidelityScorecard:
+        """Scorecard over everything observed so far.
+
+        With ``final=False`` (the rolling default) the live sketch is
+        deep-copied and open flows folded into the *copy*, so calling
+        again later still sees every in-flight UE stream.  ``final=True``
+        folds the live sketch itself — the end-of-run verdict, after
+        which no more events should be observed.  ``num_resamples=0``
+        skips bootstrap CIs (the cheap repeated-evaluation mode).
+        """
+        if final:
+            sketch = self.stats.report()
+        else:
+            sketch = copy.deepcopy(self.stats.sketch)
+            sketch.fold_tee()
+        rng = (
+            np.random.default_rng(self._seed + 2) if num_resamples else None
+        )
+        return build_scorecard(
+            conformance=self.conformance.report(),
+            sketch=sketch,
+            reference=self._reference,
+            thresholds=self._thresholds,
+            memorization=None,
+            rng=rng,
+            num_resamples=num_resamples,
+        )
+
+    def poll(self) -> dict:
+        """Cheap rolling verdict with per-check deltas since last poll."""
+        scorecard = self.scorecard(final=False, num_resamples=0)
+        checks = {}
+        for check in scorecard.checks:
+            previous = self._previous.get(check.name)
+            checks[check.name] = {
+                "value": check.value,
+                "delta": (
+                    check.value - previous if previous is not None else None
+                ),
+                "passed": check.passed,
+            }
+            self._previous[check.name] = check.value
+        return {"passed": scorecard.passed, "checks": checks}
 
 
 def _scenario_gate(

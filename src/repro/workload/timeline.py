@@ -65,6 +65,9 @@ from .shapes import FlatShape
 __all__ = [
     "TimelineEvent",
     "CellTimelineEvent",
+    "TimelineChunk",
+    "chunk_buffer",
+    "decode_buffer",
     "merge_timelines",
     "pace",
     "Workload",
@@ -121,6 +124,92 @@ class CellTimelineEvent(NamedTuple):
     cell: str
 
 
+class TimelineChunk(NamedTuple):
+    """One contiguous, resumable slice of a shard's columnar buffer.
+
+    The unit of producer → consumer handoff in the always-on service
+    layer (:mod:`repro.service`): a shard worker streams its buffer as
+    a sequence of chunks tagged ``(shard, seq)``, and because shard
+    generation is a pure function of ``(population, seed, shard_ues)``,
+    a restarted worker that regenerates the shard and skips the first
+    ``seq`` chunks produces a bit-identical remainder — the durable
+    cursor is just the next expected ``seq``.
+
+    ``ue_ids`` / ``event_names`` are the *whole shard's* string tables
+    (shared by every chunk of the shard); ``ue_codes`` / ``event_codes``
+    index into them.  ``cells`` carries topology cell codes or ``None``.
+    """
+
+    shard: int
+    seq: int
+    cohort: str
+    times: np.ndarray
+    ue_codes: np.ndarray
+    event_codes: np.ndarray
+    ue_ids: tuple
+    event_names: tuple
+    cells: "np.ndarray | None"
+
+    @property
+    def num_events(self) -> int:
+        return int(self.times.size)
+
+    def buffer(self):
+        """This chunk in shard-buffer column layout (for decoding)."""
+        return (
+            self.times,
+            self.ue_codes,
+            self.event_codes,
+            self.ue_ids,
+            self.event_names,
+            self.cells,
+        )
+
+
+def chunk_buffer(
+    buffer,
+    *,
+    shard: int,
+    cohort: str,
+    chunk_events: int,
+    start_seq: int = 0,
+) -> Iterator[TimelineChunk]:
+    """Slice one sorted shard buffer into fixed-size resumable chunks.
+
+    Chunk boundaries depend only on ``chunk_events`` and the buffer, so
+    the chunk sequence is deterministic; ``start_seq`` skips chunks that
+    were already delivered (the restart-from-cursor path).  An empty
+    buffer still yields exactly one empty chunk so every shard announces
+    itself to the merge.
+    """
+    if chunk_events < 1:
+        raise ValueError("chunk_events must be >= 1")
+    times, ues, codes, ue_ids, event_names = buffer[:5]
+    cells = buffer[5] if len(buffer) > 5 else None
+    total = int(times.size)
+    num_chunks = max(1, -(-total // chunk_events))
+    if start_seq < 0 or start_seq > num_chunks:
+        raise ValueError(
+            f"start_seq must be in [0, {num_chunks}]; got {start_seq}"
+        )
+    id_table = tuple(ue_ids)
+    name_table = tuple(event_names)
+    for seq in range(start_seq, num_chunks):
+        lo = seq * chunk_events
+        hi = min(total, lo + chunk_events)
+        yield TimelineChunk(
+            shard=shard,
+            seq=seq,
+            cohort=cohort,
+            times=times[lo:hi],
+            ue_codes=ues[lo:hi],
+            event_codes=codes[lo:hi],
+            ue_ids=id_table,
+            event_names=name_table,
+            cells=None if cells is None else cells[lo:hi],
+        )
+
+
 #: The merge's total order: event time, then (cohort, ue_id) on ties.
 _MERGE_KEY = lambda e: (e.timestamp, e.cohort, e.ue_id)  # noqa: E731
 
@@ -145,6 +234,8 @@ def pace(
     speed: float = 1.0,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    max_burst: int | None = None,
+    on_slip: Callable[[int, float, str], None] | None = None,
 ) -> Iterator[TimelineEvent]:
     """Open-loop rate control: release events on a wall-clock schedule.
 
@@ -154,20 +245,58 @@ def pace(
     up (open loop — a slow consumer sees a backlog, not a slowed
     generator).  ``speed=60`` replays an hour of traffic in a minute;
     ``float("inf")`` disables pacing.
+
+    Two wall-clock pathologies are handled explicitly:
+
+    * **backward clock jumps** — a ``clock`` that moves backwards (NTP
+      step, VM migration) shifts the anchor by the jump instead of
+      stalling every later event behind a schedule that now lives in
+      the future;
+    * **long consumer stalls** — a consumer that stops pulling and
+      resumes finds every missed event overdue.  Without a cap, pace
+      releases the whole backlog in one unbounded catch-up burst;
+      ``max_burst`` bounds the number of consecutive overdue events
+      released without sleeping, after which the schedule re-anchors to
+      *now* (the lag is declared slippage, not replayed).
+
+    ``on_slip(events, seconds, reason)`` reports both: ``reason`` is
+    ``"burst"`` when the cap trips (``events`` released late,
+    ``seconds`` behind schedule) and ``"clock"`` on a backward jump
+    (``events`` is 0, ``seconds`` the jump size).
     """
     if speed <= 0:
         raise ValueError("speed must be positive")
+    if max_burst is not None and max_burst < 1:
+        raise ValueError("max_burst must be >= 1")
     origin_event: float | None = None
     origin_wall = 0.0
+    last_wall = 0.0
+    burst = 0
     for event in events:
         if origin_event is None:
             origin_event = event.timestamp
-            origin_wall = clock()
+            origin_wall = last_wall = clock()
         elif speed != float("inf"):
+            now = clock()
+            if now < last_wall:
+                jump = last_wall - now
+                origin_wall -= jump
+                if on_slip is not None:
+                    on_slip(0, jump, "clock")
+            last_wall = now
             due = origin_wall + (event.timestamp - origin_event) / speed
-            delay = due - clock()
+            delay = due - now
             if delay > 0:
                 sleep(delay)
+                last_wall = due  # the sleep advanced the wall clock
+                burst = 0
+            else:
+                burst += 1
+                if max_burst is not None and burst >= max_burst:
+                    if on_slip is not None:
+                        on_slip(burst, -delay, "burst")
+                    origin_wall = now - (event.timestamp - origin_event) / speed
+                    burst = 0
         yield event
 
 
@@ -454,14 +583,14 @@ class Workload:
         with worker processes — always in the parent, where tallies
         aggregate.
         """
-        plan = self._planned_shards()
+        plan = self.planned_shards()
         cell_names = self._cell_names()
         if self.num_workers > 1 and len(plan) > 1:
             buffers = self._worker_buffers(plan)
             for entry, buffer in zip(plan, buffers):
                 self._observe(observers, buffer, entry[1].name)
             sources = [
-                _decode(buffer, entry[1].name, cell_names)
+                decode_buffer(buffer, entry[1].name, cell_names)
                 for entry, buffer in zip(plan, buffers)
             ]
         else:
@@ -474,16 +603,55 @@ class Workload:
             return None
         return self.topology.topology.cell_names
 
-    def _planned_shards(self) -> list[tuple[int, Cohort, int]]:
+    def planned_shards(self) -> list[tuple[int, Cohort, int]]:
         """The shard plan with every cohort's generator prefitted.
 
         With forked workers the fitted state must exist before the fork
         so children inherit it copy-on-write instead of each refitting.
+        Public because the service layer (:mod:`repro.service`) spawns
+        one supervised producer per plan entry and must prefit before
+        forking for the same reason.
         """
         plan = self._shard_plan()
         for cohort in self.population.cohorts:
             self.generator(cohort)
         return plan
+
+    @property
+    def num_shards(self) -> int:
+        """Number of fixed generation shards in the plan."""
+        return len(self._shard_plan())
+
+    def shard_chunk_stream(
+        self,
+        shard: int,
+        *,
+        chunk_events: int = 4096,
+        start_seq: int = 0,
+    ) -> Iterator[TimelineChunk]:
+        """(Re)generate one planned shard as a stream of resumable chunks.
+
+        ``shard`` indexes :meth:`planned_shards`.  Generation is a pure
+        function of the workload identity, so calling this again with
+        ``start_seq=k`` yields exactly the chunks ``k, k+1, ...`` of the
+        original stream — the contract that lets a supervisor restart a
+        crashed worker from its durable cursor with the merged timeline
+        provably unchanged.
+        """
+        plan = self._shard_plan()
+        if not 0 <= shard < len(plan):
+            raise IndexError(
+                f"shard must be in [0, {len(plan)}); got {shard}"
+            )
+        entry = plan[shard]
+        buffer = self._shard_buffer(*entry)
+        return chunk_buffer(
+            buffer,
+            shard=shard,
+            cohort=entry[1].name,
+            chunk_events=chunk_events,
+            start_seq=start_seq,
+        )
 
     def _worker_buffers(self, plan: list) -> list:
         """Every shard's columnar buffer, generated across workers."""
@@ -510,7 +678,7 @@ class Workload:
     ) -> Iterator[TimelineEvent]:
         buffer = self._shard_buffer(cohort_index, cohort, shard)
         self._observe(observers, buffer, cohort.name)
-        yield from _decode(buffer, cohort.name, self._cell_names())
+        yield from decode_buffer(buffer, cohort.name, self._cell_names())
 
     def run(
         self,
@@ -549,7 +717,7 @@ class Workload:
             # Validation-only: observe and count shard buffers directly —
             # no k-way merge, no per-event decode, and in single-worker
             # mode only one shard's buffer is alive at a time.
-            plan = self._planned_shards()
+            plan = self.planned_shards()
             if self.num_workers > 1 and len(plan) > 1:
                 buffers: Iterable = self._worker_buffers(plan)
             else:
@@ -662,10 +830,15 @@ class Workload:
         )
 
 
-def _decode(
+def decode_buffer(
     buffer, cohort: str, cell_names: "tuple[str, ...] | None" = None
 ) -> Iterator[TimelineEvent]:
-    """Decode a columnar shard buffer into events, one per pull."""
+    """Decode a columnar shard buffer into events, one per pull.
+
+    Shared by the batch merge and the service-layer chunk merge (a
+    :class:`TimelineChunk`'s :meth:`~TimelineChunk.buffer` has the same
+    column layout), so both paths decode byte-identically.
+    """
     times, ues, codes, ue_ids, event_names = buffer[:5]
     cells = buffer[5] if len(buffer) > 5 else None
     if cells is not None and cell_names is not None:

@@ -1,0 +1,138 @@
+"""Supervised stream workers and fork-pool teardown guarantees."""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import sharding
+from repro.core.sharding import (
+    fork_available,
+    spawn_stream_worker,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires os.fork"
+)
+
+
+def _collect(handle, *, deadline=30.0):
+    items = []
+    start = time.monotonic()
+    while not handle.exhausted() and not handle.failed:
+        assert time.monotonic() - start < deadline, "stream worker hung"
+        item = handle.get_nowait()
+        if item is None:
+            time.sleep(0.005)
+        else:
+            items.append(item)
+    while (item := handle.get_nowait()) is not None:
+        items.append(item)
+    return items
+
+
+def _count_task(index, resume):
+    for value in range(resume, 10):
+        yield (index, value)
+
+
+def _failing_task(index, resume):
+    yield (index, 0)
+    raise RuntimeError("shard exploded")
+
+
+def _endless_task(index, resume):
+    value = resume
+    while True:
+        yield value
+        value += 1
+        time.sleep(0.001)
+
+
+@needs_fork
+class TestStreamWorker:
+    def test_streams_items_in_order(self):
+        handle = spawn_stream_worker(_count_task, 3, 0)
+        try:
+            assert _collect(handle) == [(3, v) for v in range(10)]
+            assert handle.exhausted()
+            assert not handle.failed
+        finally:
+            handle.abandon()
+
+    def test_resume_cursor_skips_delivered_prefix(self):
+        handle = spawn_stream_worker(_count_task, 1, 7)
+        try:
+            assert _collect(handle) == [(1, 7), (1, 8), (1, 9)]
+        finally:
+            handle.abandon()
+
+    def test_task_failure_reported_in_band(self):
+        handle = spawn_stream_worker(_failing_task, 0, 0)
+        try:
+            start = time.monotonic()
+            while not handle.failed:
+                assert time.monotonic() - start < 30.0
+                handle.get_nowait()
+                time.sleep(0.005)
+            assert "shard exploded" in handle.error
+        finally:
+            handle.abandon()
+
+    def test_kill_leaves_a_dead_unfinished_worker(self):
+        handle = spawn_stream_worker(_endless_task, 0, 0, queue_items=2)
+        try:
+            handle.kill()
+            handle.process.join(timeout=10.0)
+            assert not handle.alive()
+            assert not handle.finished  # died without a "done" marker
+        finally:
+            handle.abandon()
+
+    def test_heartbeat_refreshes_while_blocked_on_full_queue(self):
+        handle = spawn_stream_worker(
+            _endless_task, 0, 0, queue_items=1, beat_interval=0.05
+        )
+        try:
+            time.sleep(0.5)  # queue fills; nobody consumes
+            assert handle.alive()
+            assert handle.heartbeat_age() < 0.4
+        finally:
+            handle.abandon()
+
+    def test_abandon_is_idempotent_and_untracks(self):
+        handle = spawn_stream_worker(_count_task, 0, 0)
+        handle.abandon()
+        handle.abandon()
+        assert handle not in sharding._LIVE_WORKERS
+        assert not handle.alive()
+
+    def test_queue_items_validated(self):
+        with pytest.raises(ValueError):
+            spawn_stream_worker(_count_task, 0, 0, queue_items=0)
+
+
+@needs_fork
+class TestPoolTeardown:
+    def test_interrupt_terminates_children(self):
+        context = multiprocessing.get_context("fork")
+        children = []
+        with pytest.raises(KeyboardInterrupt):
+            with sharding._supervised_pool(context, 2) as pool:
+                children = list(pool._pool)
+                raise KeyboardInterrupt
+        deadline = time.monotonic() + 10.0
+        for child in children:
+            child.join(max(0.0, deadline - time.monotonic()))
+            assert not child.is_alive()
+        assert pool not in sharding._LIVE_POOLS
+
+    def test_clean_exit_joins_children(self):
+        context = multiprocessing.get_context("fork")
+        with sharding._supervised_pool(context, 2) as pool:
+            children = list(pool._pool)
+        for child in children:
+            assert not child.is_alive()
+        assert pool not in sharding._LIVE_POOLS

@@ -1,0 +1,45 @@
+"""Shared fixtures for the always-on service tests: a tiny population."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.scenario import ScenarioSpec
+from repro.workload import Cohort, UEPopulation, Workload
+
+
+@pytest.fixture(scope="session")
+def tiny_population() -> UEPopulation:
+    return UEPopulation(
+        name="svc-tiny",
+        cohorts=(
+            Cohort(
+                name="base",
+                scenario=ScenarioSpec(name="svc-base", num_ues=40, seed=1),
+                num_ues=10,
+            ),
+            Cohort(
+                name="surge",
+                scenario=ScenarioSpec(name="svc-surge", num_ues=40, seed=2),
+                num_ues=6,
+            ),
+        ),
+    )
+
+
+def _make_engine(population: UEPopulation, **overrides) -> Workload:
+    options = dict(seed=7, shard_ues=4)
+    options.update(overrides)
+    return Workload(population, **options)
+
+
+@pytest.fixture(scope="session")
+def make_engine():
+    """Factory building the canonical tiny workload engine."""
+    return _make_engine
+
+
+@pytest.fixture(scope="session")
+def batch_events(tiny_population):
+    """The batch-merged timeline every service path must reproduce."""
+    return list(_make_engine(tiny_population).events())

@@ -1,0 +1,80 @@
+"""DegradationPolicy resolution, controller escalation, shed accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import DegradationPolicy, ShedAccount
+from repro.service.degradation import DegradationController
+
+COHORTS = ("phones", "tablets", "cars")
+
+
+class TestPolicy:
+    def test_order_appends_unlisted_cohorts_in_population_order(self):
+        policy = DegradationPolicy(shed_order=("cars",))
+        assert policy.resolve_order(COHORTS) == ("cars", "phones", "tablets")
+
+    def test_empty_order_defaults_to_population_order(self):
+        assert DegradationPolicy().resolve_order(COHORTS) == COHORTS
+
+    def test_unknown_cohort_rejected(self):
+        policy = DegradationPolicy(shed_order=("iot",))
+        with pytest.raises(ValueError, match="iot"):
+            policy.resolve_order(COHORTS)
+
+
+class TestController:
+    def _controller(self, patience=1.0, order=("cars",)):
+        return DegradationController(
+            DegradationPolicy(degrade_after=patience, shed_order=order),
+            COHORTS,
+        )
+
+    def test_not_throttled_sheds_nothing(self):
+        controller = self._controller()
+        assert controller.update(False, 0.0) == frozenset()
+        assert controller.level == 0
+
+    def test_escalates_one_cohort_per_elapsed_patience(self):
+        controller = self._controller(patience=1.0)
+        assert controller.update(True, 0.0) == frozenset()  # deadline armed
+        assert controller.update(True, 0.5) == frozenset()  # not yet
+        assert controller.update(True, 1.0) == {"cars"}
+        assert controller.update(True, 1.5) == {"cars"}
+        assert controller.update(True, 2.0) == {"cars", "phones"}
+        assert controller.update(True, 3.0) == {"cars", "phones", "tablets"}
+        # Fully escalated: stays put.
+        assert controller.update(True, 99.0) == frozenset(COHORTS)
+
+    def test_recovery_is_total_and_immediate(self):
+        controller = self._controller(patience=1.0)
+        controller.update(True, 0.0)
+        controller.update(True, 2.0)
+        assert controller.level >= 1
+        assert controller.update(False, 2.1) == frozenset()
+        assert controller.level == 0
+        # Re-throttle re-arms the deadline from scratch.
+        assert controller.update(True, 3.0) == frozenset()
+        assert controller.update(True, 4.0) == {"cars"}
+
+    def test_infinite_patience_never_sheds(self):
+        controller = self._controller(patience=float("inf"))
+        for t in (0.0, 10.0, 1e6):
+            assert controller.update(True, t) == frozenset()
+
+
+class TestShedAccount:
+    def test_exact_per_cohort_counts(self):
+        account = ShedAccount()
+        for cohort in ("a", "b", "a", "a"):
+            account.record(cohort)
+        assert account.total == 3 + 1
+        assert account.by_cohort == {"a": 3, "b": 1}
+        assert account.as_dict()["by_cohort"] == {"a": 3, "b": 1}
+
+    def test_episodes_count_level_transitions(self):
+        account = ShedAccount()
+        for level in (0, 0, 1, 2, 2, 0, 0, 1, 0):
+            account.note_level(level)
+        assert account.episodes == 2

@@ -1,0 +1,76 @@
+"""FaultPlan parsing and scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import BurstScale, FaultPlan, KillWorker, StallConsumer
+
+
+class TestParsing:
+    def test_kill_worker_spec(self):
+        fault = KillWorker.parse("2@5.5")
+        assert fault == KillWorker(at=5.5, worker=2)
+
+    def test_stall_consumer_spec(self):
+        fault = StallConsumer.parse("3:1.5")
+        assert fault == StallConsumer(at=3.0, duration=1.5)
+
+    def test_burst_spec(self):
+        fault = BurstScale.parse("10:4:3")
+        assert fault == BurstScale(at=10.0, factor=4.0, duration=3.0)
+
+    @pytest.mark.parametrize(
+        "cls, spec",
+        [
+            (KillWorker, "5.0"),
+            (KillWorker, "x@y"),
+            (StallConsumer, "5"),
+            (StallConsumer, "a:b"),
+            (BurstScale, "10:4"),
+            (BurstScale, "a:b:c"),
+        ],
+    )
+    def test_bad_specs_rejected(self, cls, spec):
+        with pytest.raises(ValueError):
+            cls.parse(spec)
+
+    def test_plan_parse_combines_all_kinds(self):
+        plan = FaultPlan.parse(
+            kill_worker=["0@1"],
+            stall_consumer=["2:0.5"],
+            burst=["3:2:1"],
+        )
+        assert len(plan.faults) == 3
+        assert bool(plan)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert not FaultPlan.parse()
+
+
+class TestScheduling:
+    def test_faults_sorted_by_time(self):
+        plan = FaultPlan(
+            faults=(
+                StallConsumer(at=5.0, duration=1.0),
+                KillWorker(at=1.0, worker=0),
+            )
+        )
+        assert [fault.at for fault in plan.faults] == [1.0, 5.0]
+
+    def test_pop_due_fires_each_fault_once(self):
+        kill = KillWorker(at=1.0, worker=0)
+        stall = StallConsumer(at=2.0, duration=1.0)
+        plan = FaultPlan(faults=(kill, stall))
+        assert plan.pop_due(0.5) == []
+        assert plan.pop_due(1.5) == [kill]
+        assert plan.pop_due(1.5) == []  # already fired
+        assert plan.pop_due(10.0) == [stall]
+        assert plan.pop_due(10.0) == []
+
+    def test_slow_tick_fires_in_schedule_order(self):
+        first = KillWorker(at=1.0, worker=0)
+        second = BurstScale(at=2.0, factor=2.0, duration=1.0)
+        plan = FaultPlan(faults=(second, first))
+        assert plan.pop_due(100.0) == [first, second]

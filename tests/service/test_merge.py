@@ -1,0 +1,226 @@
+"""ChunkMerger: batch-merge parity, cursor contract, emission safety."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import ChunkMerger
+from repro.service.merge import SHARD_DONE
+from repro.workload import TimelineEvent, merge_timelines
+from repro.workload.timeline import TimelineChunk, chunk_buffer
+
+
+_KEY = lambda e: (e.timestamp, e.cohort, e.ue_id)  # noqa: E731
+
+
+def _chunks_of(engine, shard, chunk_events, start_seq=0):
+    return list(
+        engine.shard_chunk_stream(
+            shard, chunk_events=chunk_events, start_seq=start_seq
+        )
+    )
+
+
+def _drain(merger):
+    return list(merger.pop_ready())
+
+
+def _merge_all(engine, chunk_events, order):
+    """Feed every shard's chunks in ``order`` (round-robin interleave)."""
+    merger = ChunkMerger(engine.num_shards)
+    streams = {
+        shard: _chunks_of(engine, shard, chunk_events)
+        for shard in range(engine.num_shards)
+    }
+    out = []
+    for shard in order:
+        if streams[shard]:
+            merger.add_chunk(streams[shard].pop(0))
+        if not streams[shard]:
+            merger.finish_shard(shard)
+        out.extend(_drain(merger))
+    assert merger.exhausted()
+    return out
+
+
+class TestParity:
+    def test_bit_identical_to_batch_merge(self, tiny_population, make_engine, batch_events):
+        engine = make_engine(tiny_population)
+        shards = engine.num_shards
+        assert shards > 1
+        order = []
+        remaining = {
+            s: len(_chunks_of(engine, s, 64)) for s in range(shards)
+        }
+        while any(remaining.values()):
+            for s in range(shards):
+                if remaining[s]:
+                    order.append(s)
+                    remaining[s] -= 1
+        merged = _merge_all(make_engine(tiny_population), 64, order)
+        assert merged == batch_events
+
+    def test_delivery_order_does_not_matter(self, tiny_population, make_engine, batch_events):
+        engine = make_engine(tiny_population)
+        shards = engine.num_shards
+        # Reverse shard order, all of one shard before the next.
+        order = []
+        for s in reversed(range(shards)):
+            order.extend([s] * len(_chunks_of(engine, s, 64)))
+        merged = _merge_all(make_engine(tiny_population), 64, order)
+        assert merged == batch_events
+
+    def test_chunk_size_does_not_matter(self, tiny_population, make_engine, batch_events):
+        for chunk_events in (1, 7, 1000):
+            engine = make_engine(tiny_population)
+            order = []
+            for s in range(engine.num_shards):
+                order.extend([s] * len(_chunks_of(engine, s, chunk_events)))
+            assert _merge_all(engine, chunk_events, order) == batch_events
+
+    def test_tie_break_matches_heapq_merge(self):
+        # Two shards with identical (timestamp, cohort, ue_id) keys:
+        # ties must resolve by shard order, exactly like heapq.merge.
+        def chunk(shard, seq, ue, n=1):
+            return TimelineChunk(
+                shard=shard,
+                seq=seq,
+                cohort="c",
+                times=np.zeros(n),
+                ue_codes=np.zeros(n, dtype=np.int32),
+                event_codes=np.arange(n, dtype=np.int16),
+                ue_ids=(ue,),
+                event_names=tuple(f"E{shard}.{seq}.{i}" for i in range(n)),
+                cells=None,
+            )
+
+        merger = ChunkMerger(2)
+        merger.add_chunk(chunk(1, 0, "u", n=2))
+        merger.add_chunk(chunk(0, 0, "u", n=2))
+        for s in (0, 1):
+            merger.finish_shard(s)
+        merged = list(merger.pop_ready())
+        reference = list(
+            merge_timelines(
+                [
+                    iter(
+                        [
+                            TimelineEvent(0.0, "c", "u", "E0.0.0"),
+                            TimelineEvent(0.0, "c", "u", "E0.0.1"),
+                        ]
+                    ),
+                    iter(
+                        [
+                            TimelineEvent(0.0, "c", "u", "E1.0.0"),
+                            TimelineEvent(0.0, "c", "u", "E1.0.1"),
+                        ]
+                    ),
+                ]
+            )
+        )
+        assert merged == reference
+
+
+class TestEmissionSafety:
+    def test_holds_until_every_shard_has_a_head(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        merger.add_chunk(_chunks_of(engine, 0, 64)[0])
+        # Shard 1..n have no buffered head: nothing may be emitted yet.
+        assert list(merger.pop_ready()) == []
+        assert merger.buffered > 0
+
+    def test_finished_shards_do_not_block(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        for shard in range(1, engine.num_shards):
+            merger.finish_shard(shard)
+        merger.add_chunk(_chunks_of(engine, 0, 64)[0])
+        assert len(list(merger.pop_ready())) == 64
+
+    def test_max_events_bounds_emission(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        for shard in range(engine.num_shards):
+            for chunk in _chunks_of(engine, shard, 10_000):
+                merger.add_chunk(chunk)
+            merger.finish_shard(shard)
+        first = list(merger.pop_ready(max_events=5))
+        assert len(first) == 5
+        assert merger.merged_total == 5
+
+
+class TestCursorContract:
+    def test_cursor_advances_per_chunk(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        chunks = _chunks_of(engine, 0, 16)
+        assert merger.cursor(0) == 0
+        merger.add_chunk(chunks[0])
+        assert merger.cursor(0) == 1
+        merger.finish_shard(0)
+        assert merger.cursor(0) == SHARD_DONE
+
+    def test_stale_resend_is_dropped_idempotently(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        chunks = _chunks_of(engine, 0, 16)
+        assert merger.add_chunk(chunks[0])
+        buffered = merger.buffered
+        assert not merger.add_chunk(chunks[0])  # duplicate
+        assert merger.buffered == buffered
+        assert merger.cursor(0) == 1
+
+    def test_gap_raises(self, tiny_population, make_engine):
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        chunks = _chunks_of(engine, 0, 16)
+        assert len(chunks) >= 3
+        merger.add_chunk(chunks[0])
+        with pytest.raises(ValueError, match="gap"):
+            merger.add_chunk(chunks[2])
+
+    def test_resume_from_cursor_is_bit_identical(
+        self, tiny_population, make_engine, batch_events
+    ):
+        # Deliver some chunks, "crash", regenerate from the cursors,
+        # and deliver the remainder: the merged stream must be the
+        # batch timeline exactly.
+        engine = make_engine(tiny_population)
+        merger = ChunkMerger(engine.num_shards)
+        merger.add_chunk(_chunks_of(engine, 0, 8)[0])
+        merger.add_chunk(_chunks_of(engine, 0, 8)[1])
+        merger.add_chunk(_chunks_of(engine, 1, 8)[0])
+        out = _drain(merger)
+        # "Restart": a fresh engine (same identity) resumes per cursor.
+        resumed = make_engine(tiny_population)
+        for shard in range(resumed.num_shards):
+            start = merger.cursor(shard)
+            for chunk in _chunks_of(resumed, shard, 8, start_seq=start):
+                merger.add_chunk(chunk)
+                out.extend(_drain(merger))
+            merger.finish_shard(shard)
+            out.extend(_drain(merger))
+        assert merger.exhausted()
+        assert out == batch_events
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ChunkMerger(0)
+
+    def test_chunk_buffer_empty_yields_one_empty_chunk(self):
+        empty = np.empty(0)
+        chunks = list(
+            chunk_buffer(
+                (empty, empty.astype(np.int32), empty.astype(np.int16), [], []),
+                shard=3,
+                cohort="c",
+                chunk_events=10,
+            )
+        )
+        assert len(chunks) == 1
+        assert chunks[0].num_events == 0
+        assert chunks[0].seq == 0

@@ -1,0 +1,68 @@
+"""EventRing bounds and watermark hysteresis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import EventRing
+
+
+class TestBounds:
+    def test_fifo_order(self):
+        ring = EventRing(4)
+        for i in range(3):
+            assert ring.push(i)
+        assert [ring.pop(), ring.pop(), ring.pop()] == [0, 1, 2]
+        assert ring.pop() is None
+
+    def test_push_rejected_when_full(self):
+        ring = EventRing(2)
+        assert ring.push("a") and ring.push("b")
+        assert ring.full
+        assert not ring.push("c")
+        assert len(ring) == 2
+        assert ring.space == 0
+
+    def test_peek_does_not_consume(self):
+        ring = EventRing(2)
+        ring.push("x")
+        assert ring.peek() == "x"
+        assert len(ring) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EventRing(0)
+        with pytest.raises(ValueError):
+            EventRing(10, high_watermark=1.5)
+        with pytest.raises(ValueError):
+            EventRing(10, high_watermark=0.5, low_watermark=0.5)
+
+
+class TestWatermarks:
+    def test_hysteresis_latches(self):
+        ring = EventRing(10, high_watermark=0.8, low_watermark=0.2)
+        for i in range(7):
+            ring.push(i)
+        assert not ring.throttled  # below high
+        ring.push(7)
+        assert ring.throttled  # reached high (8)
+        ring.pop()
+        # Between low and high: still throttled (the latch).
+        assert ring.throttled
+        while len(ring) > 3:
+            ring.pop()
+        assert ring.throttled  # still above low
+        ring.pop()
+        assert not ring.throttled  # drained to low (2)
+
+    def test_rethrottles_after_release(self):
+        ring = EventRing(4, high_watermark=0.75, low_watermark=0.25)
+        for i in range(3):
+            ring.push(i)
+        assert ring.throttled
+        while len(ring) > 1:
+            ring.pop()
+        assert not ring.throttled
+        ring.push("x")
+        ring.push("y")
+        assert ring.throttled

@@ -1,0 +1,222 @@
+"""TrafficService end-to-end: parity, degradation, controls, loop mode.
+
+Everything here runs with inline producers (``num_workers=0``) and an
+injected fake clock, so the tests are deterministic and fast; the
+forked paths are covered in ``test_supervisor.py`` and the CI soak job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    DegradationPolicy,
+    FaultPlan,
+    StallConsumer,
+    TrafficService,
+)
+
+
+class FakeTime:
+    """A clock that only advances when the service sleeps."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _service(engine, **options):
+    fake = FakeTime()
+    options.setdefault("num_workers", 0)
+    options.setdefault("speed", float("inf"))
+    service = TrafficService(
+        engine, clock=fake.clock, sleep=fake.sleep, **options
+    )
+    return service, fake
+
+
+class TestParity:
+    def test_full_run_matches_batch_timeline(
+        self, tiny_population, make_engine, batch_events
+    ):
+        delivered = []
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=32,
+            sink=delivered.append,
+        )
+        report = service.run()
+        assert delivered == batch_events
+        assert report.status.state == "done"
+        assert report.status.merged_total == len(batch_events)
+        assert report.status.delivered == len(batch_events)
+        assert report.status.shed_total == 0
+        assert report.status.accounted
+        assert report.clean
+
+    def test_max_events_stops_early(self, tiny_population, make_engine):
+        delivered = []
+        service, _ = _service(
+            make_engine(tiny_population), sink=delivered.append
+        )
+        report = service.run(max_events=10)
+        assert report.status.state == "stopped"
+        assert len(delivered) >= 10
+        assert report.status.accounted
+
+
+class TestDegradation:
+    def test_stall_sheds_with_exact_accounting(
+        self, tiny_population, make_engine, batch_events
+    ):
+        delivered = []
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=8,
+            ring_events=32,
+            sink=delivered.append,
+            degradation=DegradationPolicy(degrade_after=0.2),
+            faults=FaultPlan(
+                faults=(StallConsumer(at=0.0, duration=1e9),)
+            ),
+        )
+        report = service.run(duration=30.0)
+        status = report.status
+        # The consumer never ran: everything that left the ring was shed.
+        assert delivered == []
+        assert status.shed_total > 0
+        assert status.shed_episodes >= 1
+        assert sum(status.shed_by_cohort.values()) == status.shed_total
+        assert status.merged_total == (
+            status.delivered + status.shed_total + status.pending
+        )
+
+    def test_recovery_restores_all_cohorts(self, tiny_population, make_engine):
+        delivered = []
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=8,
+            ring_events=32,
+            sink=delivered.append,
+            degradation=DegradationPolicy(degrade_after=0.2),
+            faults=FaultPlan(faults=(StallConsumer(at=0.0, duration=2.0),)),
+        )
+        report = service.run(duration=60.0)
+        status = report.status
+        # Stall ended: the service drained, recovered, and finished.
+        assert status.degradation_level == 0
+        assert status.shed_cohorts == ()
+        assert delivered  # post-recovery delivery resumed
+        assert status.shed_total > 0
+        assert status.accounted
+
+    def test_accounting_violation_raises(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        service.run(max_events=5)
+        service.delivered += 1  # corrupt the books
+        with pytest.raises(RuntimeError, match="accounting"):
+            service.status()
+
+
+class TestControls:
+    def test_retarget_rejects_nonpositive(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        with pytest.raises(ValueError):
+            service.retarget(0)
+        with pytest.raises(ValueError):
+            TrafficService(make_engine(tiny_population), speed=-1.0)
+
+    def test_pause_resume_retarget_stop_via_status_hook(
+        self, tiny_population, make_engine
+    ):
+        service, _ = _service(make_engine(tiny_population), speed=1e9)
+        seen = []
+
+        def control(snapshot):
+            seen.append(snapshot)
+            if len(seen) == 1:
+                service.pause()
+                service.retarget(2e9)
+            elif len(seen) == 2:
+                assert snapshot.delivered == seen[0].delivered  # paused
+                service.resume()
+            elif len(seen) == 3:
+                service.stop()
+
+        report = service.run(status_every=0.1, on_status=control)
+        assert service.speed == 2e9
+        assert report.status.state in ("stopped", "done")
+        assert report.status.accounted
+
+    def test_backward_clock_jump_is_absorbed(
+        self, tiny_population, make_engine
+    ):
+        service, fake = _service(make_engine(tiny_population), speed=1e9)
+
+        def jolt(snapshot):
+            if service.clock_jumps == 0:
+                fake.now -= 5.0  # NTP-style step back
+            else:
+                service.stop()
+
+        report = service.run(status_every=0.0, on_status=jolt)
+        assert report.status.clock_jumps >= 1
+        assert report.status.accounted
+
+
+class TestLoopMode:
+    def test_cycles_are_shifted_and_tagged(
+        self, tiny_population, make_engine, batch_events
+    ):
+        delivered = []
+        service, _ = _service(
+            make_engine(tiny_population),
+            loop=True,
+            sink=delivered.append,
+        )
+        n = len(batch_events)
+        report = service.run(max_events=2 * n)
+        assert len(delivered) >= 2 * n
+        assert delivered[:n] == batch_events
+        second = delivered[n : 2 * n]
+        span = batch_events[-1].timestamp - batch_events[0].timestamp
+        for original, replay in zip(batch_events, second):
+            assert replay.ue_id == f"{original.ue_id}#c1"
+            assert replay.event == original.event
+            assert replay.timestamp == pytest.approx(
+                original.timestamp + span + 1e-3
+            )
+        assert service.cycle >= 1
+        assert report.status.accounted
+
+    def test_non_loop_run_finishes(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        report = service.run()
+        assert report.status.state == "done"
+        assert service.cycle == 0
+
+
+class TestTelemetry:
+    def test_status_snapshots_and_json(self, tiny_population, make_engine):
+        import json
+
+        service, _ = _service(make_engine(tiny_population), speed=1e9)
+        report = service.run(status_every=0.1)
+        assert report.statuses, "final snapshot always present"
+        final = report.statuses[-1]
+        parsed = json.loads(final.to_json_line())
+        assert parsed["delivered"] == final.delivered
+        assert "accounted" in parsed
+        assert isinstance(final.summary(), str)
+
+    def test_status_before_run_is_safe(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        status = service.status(state="idle")
+        assert status.elapsed == 0.0
+        assert status.merged_total == 0
+        assert status.accounted

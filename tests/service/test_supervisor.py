@@ -1,0 +1,135 @@
+"""ShardSupervisor: parity, crash restart from cursors, inline fallback."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.sharding import fork_available
+from repro.service import ShardSupervisor
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires os.fork"
+)
+
+
+def _drain(supervisor, *, kill_at=None, kill_worker=0, deadline=120.0):
+    """Pump a supervisor to exhaustion, optionally killing a worker
+    once ``kill_at`` events have been merged."""
+    out = []
+    start = time.monotonic()
+    supervisor.start()
+    killed = False
+    incidents = []
+    while not supervisor.exhausted():
+        assert time.monotonic() - start < deadline, "supervisor drain hung"
+        supervisor.pump()
+        out.extend(supervisor.merger.pop_ready())
+        if (
+            kill_at is not None
+            and not killed
+            and supervisor.merger.merged_total >= kill_at
+        ):
+            supervisor.kill_worker(kill_worker)
+            killed = True
+        incidents.extend(supervisor.maintain())
+        time.sleep(0.002)
+    out.extend(supervisor.merger.pop_ready())
+    return out, incidents
+
+
+class TestInline:
+    def test_inline_parity(self, tiny_population, make_engine, batch_events):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=0, chunk_events=32
+        )
+        assert supervisor.inline
+        out, incidents = _drain(supervisor)
+        assert out == batch_events
+        assert incidents == []
+
+    def test_inline_kill_restarts_from_cursor(
+        self, tiny_population, make_engine, batch_events
+    ):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=0, chunk_events=16
+        )
+        out, incidents = _drain(supervisor, kill_at=len(batch_events) // 3)
+        assert out == batch_events
+        assert any("restarting from cursors" in line for line in incidents)
+        assert sum(supervisor.restarts) >= 1
+
+
+@needs_fork
+class TestForked:
+    def test_forked_parity(self, tiny_population, make_engine, batch_events):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=2, chunk_events=32
+        )
+        assert not supervisor.inline
+        out, _ = _drain(supervisor)
+        assert out == batch_events
+
+    def test_kill_midstream_is_bit_identical(
+        self, tiny_population, make_engine, batch_events
+    ):
+        # Satellite 3: SIGKILL a shard worker mid-generation; the
+        # restarted worker resumes from the merger's cursors and the
+        # merged timeline is exactly the batch timeline.
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=2, chunk_events=16
+        )
+        out, incidents = _drain(supervisor, kill_at=len(batch_events) // 4)
+        assert out == batch_events
+        assert supervisor.restarts[0] >= 1
+        assert any("worker 0 restarting" in line for line in incidents)
+
+    def test_inline_fallback_after_max_restarts(
+        self, tiny_population, make_engine, batch_events
+    ):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population),
+            num_workers=2,
+            chunk_events=16,
+            max_restarts=0,
+        )
+        out, incidents = _drain(supervisor, kill_at=len(batch_events) // 4)
+        assert out == batch_events
+        assert supervisor.inline_fallbacks >= 1
+        assert any("falling back to inline" in line for line in incidents)
+
+
+class TestTopology:
+    def test_shard_assignment_is_modular(self, tiny_population, make_engine):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=2
+        )
+        owned = [supervisor.shards_of(w) for w in range(supervisor.num_workers)]
+        flat = sorted(shard for shards in owned for shard in shards)
+        assert flat == list(range(supervisor.num_shards))
+
+    def test_workers_capped_at_shard_count(self, tiny_population, make_engine):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=64
+        )
+        assert supervisor.num_workers <= supervisor.num_shards
+
+    def test_worker_status_shape(self, tiny_population, make_engine):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=0
+        )
+        supervisor.start()
+        try:
+            status = supervisor.worker_status()
+            assert len(status) == supervisor.num_workers
+            assert all("restarts" in entry for entry in status)
+        finally:
+            supervisor.shutdown()
+
+    def test_kill_out_of_range_raises(self, tiny_population, make_engine):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=0
+        )
+        with pytest.raises(IndexError):
+            supervisor.kill_worker(99)

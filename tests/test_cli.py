@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "synthesize", "train", "generate", "evaluate", "experiments",
-            "workload", "topology", "registry",
+            "workload", "topology", "registry", "serve",
         ):
             args = parser.parse_args([command] + _required_args(command))
             assert args.command == command
@@ -60,6 +60,7 @@ def _required_args(command: str) -> list[str]:
         "workload": ["city-day"],
         "topology": [],
         "registry": [],
+        "serve": ["city-day"],
     }[command]
 
 
@@ -166,6 +167,25 @@ class TestEndToEnd:
         assert "stadium-flash-crowd" in out  # alias resolves to the canonical name
         assert "simulated" in out
         assert "autoscale over" in out
+
+    def test_serve_command_runs_to_completion(self, tmp_path, capsys):
+        status_json = tmp_path / "status.jsonl"
+        code = main(
+            ["serve", "city-day", "--scale", "0.02", "--speed", "inf",
+             "--workers", "0", "--seed", "3", "--status-every", "0",
+             "--status-json", str(status_json)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accounting" in out
+        assert "delivered" in out
+        lines = status_json.read_text().strip().splitlines()
+        assert lines, "final status snapshot written"
+        import json
+
+        final = json.loads(lines[-1])
+        assert final["accounted"] is True
+        assert final["delivered"] > 0
 
     def test_registry_command_lists_topologies(self, capsys):
         assert main(["registry"]) == 0

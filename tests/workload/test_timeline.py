@@ -318,6 +318,106 @@ class TestPaceEdgeCases:
         assert sleeps == []
 
 
+class TestPaceHardening:
+    def test_backward_clock_jump_shifts_anchor(self):
+        # NTP-style step back between events: the schedule must shift
+        # with the clock instead of stalling behind a future anchor.
+        events = [
+            TimelineEvent(0.0, "a", "u", "TAU"),
+            TimelineEvent(10.0, "a", "u", "TAU"),
+            TimelineEvent(20.0, "a", "u", "TAU"),
+        ]
+        now = [100.0]
+        calls = [0]
+        sleeps: list[float] = []
+        slips: list[tuple] = []
+
+        def clock() -> float:
+            calls[0] += 1
+            if calls[0] == 3:  # jump back 5s before the third event
+                now[0] -= 5.0
+            return now[0]
+
+        def sleep(delay: float) -> None:
+            sleeps.append(delay)
+            now[0] += delay
+
+        paced = list(
+            pace(
+                events,
+                speed=10.0,
+                clock=clock,
+                sleep=sleep,
+                on_slip=lambda *args: slips.append(args),
+            )
+        )
+        assert paced == events
+        # Both inter-event gaps still pace at 1s despite the jump.
+        assert sleeps == pytest.approx([1.0, 1.0])
+        assert slips == [(0, 5.0, "clock")]
+
+    def test_burst_cap_reanchors_and_reports_slippage(self):
+        # A consumer stall leaves every event overdue: the catch-up
+        # burst must stop at max_burst, declare the lag as slippage,
+        # and resume pacing from *now*.
+        events = [TimelineEvent(float(t), "a", "u", "TAU") for t in range(10)]
+        now = [0.0]
+        calls = [0]
+        sleeps: list[float] = []
+        slips: list[tuple] = []
+
+        def clock() -> float:
+            calls[0] += 1
+            if calls[0] == 1:
+                return 0.0  # anchor
+            return now[0]
+
+        def sleep(delay: float) -> None:
+            sleeps.append(delay)
+            now[0] += delay
+
+        now[0] = 100.0  # the consumer resumes 100s behind schedule
+        paced = list(
+            pace(
+                events,
+                speed=1.0,
+                clock=clock,
+                sleep=sleep,
+                max_burst=3,
+                on_slip=lambda *args: slips.append(args),
+            )
+        )
+        assert paced == events
+        assert slips == [(3, pytest.approx(97.0), "burst")]
+        # Post-re-anchor, the remaining six gaps pace normally again.
+        assert sleeps == pytest.approx([1.0] * 6)
+
+    def test_no_cap_releases_whole_backlog(self):
+        events = [TimelineEvent(float(t), "a", "u", "TAU") for t in range(5)]
+        calls = [0]
+
+        def clock() -> float:
+            calls[0] += 1
+            return 0.0 if calls[0] == 1 else 1000.0
+
+        slips: list[tuple] = []
+        paced = list(
+            pace(
+                events,
+                speed=1.0,
+                clock=clock,
+                sleep=lambda _: pytest.fail("slept"),
+                on_slip=lambda *args: slips.append(args),
+            )
+        )
+        assert len(paced) == 5
+        assert slips == []  # no cap: a burst is not slippage
+
+    def test_invalid_max_burst_rejected(self):
+        with pytest.raises(ValueError, match="max_burst"):
+            list(pace([], max_burst=0))
+
+
 class TestRunValidators:
     def test_run_matches_materialized_violation_stats(self, workload):
         from repro.metrics import violation_stats
