@@ -1,0 +1,87 @@
+"""Observability overhead: instrumented vs disabled engine throughput.
+
+The pinned bound (BENCH_obs.json): full instrumentation — eager shard
+build, per-shard generate/shape spans, 1-in-16 sampled merge pulls —
+costs < 10% end-to-end throughput on the stadium flash-crowd engine;
+the disabled path is bounded separately (< 2%) by
+``tests/obs/test_overhead.py``, where it is structural (the wrapper
+returns the iterable unchanged).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro import obs
+from repro.workload import Workload, get_workload
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def stadium_engine() -> Workload:
+    engine = Workload(get_workload("stadium-flash-crowd").scaled(0.1), seed=3)
+    # Fit the per-cohort generators outside every timed region.
+    for cohort in engine.population.cohorts:
+        engine.generator(cohort)
+    return engine
+
+
+def _drain(engine: Workload) -> tuple:
+    t0 = perf_counter()
+    count = sum(1 for _ in engine.events())
+    return count, perf_counter() - t0
+
+
+def test_bench_obs_instrumented_vs_disabled_stadium(benchmark, stadium_engine):
+    """Headline: instrumented events/sec; pinned at >= 90% of disabled."""
+    obs.disable()
+    disabled: list[float] = []
+    enabled: list[float] = []
+
+    total, dt = _drain(stadium_engine)  # warm run doubles as a sample
+    disabled.append(dt)
+
+    obs.REGISTRY.reset()
+    obs.enable()
+    try:
+        t0 = perf_counter()
+        count = run_once(
+            benchmark, lambda: sum(1 for _ in stadium_engine.events())
+        )
+        enabled.append(perf_counter() - t0)
+        assert count == total
+
+        # the instrumented run attributed the pipeline it just measured
+        agg = obs.REGISTRY.get("merge.pull")
+        assert agg.events >= total
+        assert agg.total_s > 0
+    finally:
+        obs.disable()
+
+    # one more alternating pair so each mode gets a min over two runs
+    count, dt = _drain(stadium_engine)
+    assert count == total
+    disabled.append(dt)
+    obs.REGISTRY.reset()
+    obs.enable()
+    try:
+        count, dt = _drain(stadium_engine)
+        assert count == total
+        enabled.append(dt)
+    finally:
+        obs.disable()
+        obs.REGISTRY.reset()
+
+    best_off, best_on = min(disabled), min(enabled)
+    print(
+        f"\nobs overhead: disabled {total / best_off:,.0f} ev/s, "
+        f"instrumented {total / best_on:,.0f} ev/s "
+        f"({best_on / best_off - 1:+.2%})"
+    )
+    assert best_on <= best_off * 1.10, (
+        f"instrumentation costs {best_on / best_off - 1:+.2%} "
+        f"(> 10%) on the stadium engine"
+    )

@@ -400,6 +400,60 @@ class Session:
             engine, num_workers=num_workers, gate=gate, **service_options
         )
 
+    def profile(
+        self,
+        population="city-day",
+        *,
+        seed: int = 1,
+        num_workers: int = 1,
+        shard_ues: int = 2048,
+        backend: str | None = None,
+        topology=None,
+        chaos=None,
+        simulate: bool = True,
+        validate: bool = True,
+        sim_workers: int = 4,
+    ):
+        """Profile a full workload run; returns a
+        :class:`~repro.obs.PipelineProfile`.
+
+        Builds the same engine as :meth:`workload`, enables the
+        observability layer for the duration of one ``run`` (generation
+        → shape → merge → simulate → oracle), and returns the stage
+        breakdown::
+
+            profile = Session().profile("city-day", seed=1)
+            print(profile.table())
+
+        This is the measurement baseline the columnar hot-path work is
+        judged against (ROADMAP item 1).
+        """
+        from ..obs import profiled
+        from ..validate import OracleValidator, StatsValidator
+        from ..workload import get_workload
+
+        resolved = get_workload(population)
+        engine = self.workload(
+            resolved,
+            seed=seed,
+            num_workers=num_workers,
+            shard_ues=shard_ues,
+            backend=backend,
+            topology=topology,
+            chaos=chaos,
+        )
+        validators = ()
+        if validate:
+            spec = resolved.cohorts[0].scenario.machine_spec
+            validators = (OracleValidator(spec), StatsValidator(seed=seed))
+        with profiled() as session:
+            engine.run(
+                validators=validators,
+                simulate=simulate,
+                sim_workers=sim_workers,
+            )
+        return session.profile
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

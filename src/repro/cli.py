@@ -140,6 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos", default=None,
                    help="chaos schedule override; 'off' disables the "
                         "topology's built-in schedule")
+    p.add_argument("--metrics-json", default=None,
+                   help="enable instrumentation and write the metrics "
+                        "registry to this path on exit")
+
+    p = sub.add_parser(
+        "profile",
+        help="stage-level wall-time profile of a workload run",
+    )
+    p.add_argument("name", help="registered workload (see the registry command)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale every cohort's UE count by this factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for shard generation")
+    p.add_argument("--backend", default=None,
+                   help="override every cohort's generator backend")
+    p.add_argument("--topology", default=None,
+                   help="place the population on a registered topology "
+                        "scenario (overrides the workload's default)")
+    p.add_argument("--chaos", default=None,
+                   help="chaos schedule override; 'off' disables the "
+                        "topology's built-in schedule")
+    p.add_argument("--sim-workers", type=int, default=4,
+                   help="control-plane workers in the MCN simulator")
+    p.add_argument("--no-simulate", action="store_true",
+                   help="skip the MCN simulator stage")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip the oracle/stats validators")
+    p.add_argument("--json", default=None,
+                   help="write the PipelineProfile JSON to this path")
 
     p = sub.add_parser(
         "serve",
@@ -215,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat-timeout", type=float, default=5.0,
                    help="stale-heartbeat seconds before a worker counts "
                         "as hung")
+    p.add_argument("--metrics-json", default=None,
+                   help="enable instrumentation and write the metrics "
+                        "registry to this path on exit (status snapshots "
+                        "also carry a metrics field)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="enable instrumentation and serve /metrics "
+                        "(Prometheus text) and /metrics.json on this "
+                        "local port while running")
 
     p = sub.add_parser(
         "topology", help="inspect multi-cell topology scenarios"
@@ -262,6 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos", default=None,
                    help="chaos schedule override; 'off' disables the "
                         "topology's built-in schedule")
+    p.add_argument("--metrics-json", default=None,
+                   help="enable instrumentation and write the metrics "
+                        "registry to this path on exit")
 
     sub.add_parser(
         "registry",
@@ -383,9 +424,35 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _metrics_enabled(args) -> bool:
+    """Turn on instrumentation when any --metrics-* flag was given."""
+    from . import obs
+
+    wants = bool(getattr(args, "metrics_json", None)) or (
+        getattr(args, "metrics_port", None) is not None
+    )
+    if wants:
+        obs.metrics().reset()
+        obs.enable()
+    return wants
+
+
+def _finish_metrics(args, enabled: bool) -> None:
+    """Write --metrics-json (if asked) and restore the disabled state."""
+    from . import obs
+
+    if not enabled:
+        return
+    if getattr(args, "metrics_json", None):
+        obs.metrics().write_json(args.metrics_json)
+        print(f"metrics written to {args.metrics_json}")
+    obs.disable()
+
+
 def _cmd_workload(args) -> int:
     from .workload import Workload, get_workload
 
+    metrics_on = _metrics_enabled(args)
     population = get_workload(args.name)
     if args.scale != 1.0:
         population = population.scaled(args.scale)
@@ -430,6 +497,44 @@ def _cmd_workload(args) -> int:
             f"{trace.scaling_actions} scaling actions, "
             f"mean utilization {trace.mean_utilization:.1%}"
         )
+    _finish_metrics(args, metrics_on)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import profiled
+    from .validate import OracleValidator, StatsValidator
+    from .workload import Workload, get_workload
+
+    population = get_workload(args.name)
+    if args.scale != 1.0:
+        population = population.scaled(args.scale)
+    engine = Workload(
+        population,
+        seed=args.seed,
+        num_workers=args.workers,
+        backend=args.backend,
+        topology=args.topology,
+        chaos=args.chaos,
+    )
+    print(population.summary())
+    validators = ()
+    if not args.no_validate:
+        spec = population.cohorts[0].scenario.machine_spec
+        validators = (OracleValidator(spec), StatsValidator(seed=args.seed))
+    with profiled() as session:
+        result = engine.run(
+            validators=validators,
+            simulate=not args.no_simulate,
+            sim_workers=args.sim_workers,
+        )
+    profile = session.profile
+    print()
+    print(profile.table())
+    print(f"{result.num_events} events end-to-end")
+    if args.json:
+        profile.save(args.json)
+        print(f"profile written to {args.json}")
     return 0
 
 
@@ -439,6 +544,13 @@ def _cmd_serve(args) -> int:
     from .validate import RollingGate
     from .workload import Workload, get_workload
 
+    metrics_on = _metrics_enabled(args)
+    metrics_server = None
+    if args.metrics_port is not None:
+        from .obs import MetricsServer
+
+        metrics_server = MetricsServer(args.metrics_port).start()
+        print(f"metrics at {metrics_server.url}")
     population = get_workload(args.name)
     if args.scale != 1.0:
         population = population.scaled(args.scale)
@@ -521,6 +633,9 @@ def _cmd_serve(args) -> int:
     finally:
         if status_file is not None:
             status_file.close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        _finish_metrics(args, metrics_on)
 
     final = report.status
     print(
@@ -569,6 +684,7 @@ def _cmd_fidelity_gate(args) -> int:
 
     from .validate import GateThresholds, run_gate
 
+    metrics_on = _metrics_enabled(args)
     thresholds = GateThresholds()
     overrides = {}
     if args.max_event_violations is not None:
@@ -603,6 +719,7 @@ def _cmd_fidelity_gate(args) -> int:
     print(scorecard.summary())
     if args.report:
         print(f"scorecard written to {args.report}")
+    _finish_metrics(args, metrics_on)
     return 0 if scorecard.passed else 1
 
 
@@ -649,6 +766,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "experiments": _cmd_experiments,
     "workload": _cmd_workload,
+    "profile": _cmd_profile,
     "serve": _cmd_serve,
     "topology": _cmd_topology,
     "fidelity-gate": _cmd_fidelity_gate,

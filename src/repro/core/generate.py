@@ -42,10 +42,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
 from ..nn import MLP
+from ..obs import enabled as _obs_enabled, metrics as _obs_metrics
 from ..nn.numpy_ops import (
     MIN_SCALE as _MIN_SCALE,
     gelu as _gelu,
@@ -293,7 +295,11 @@ class InferenceEngine:
         ):
             self._pooled = None
             pooled.positions[:] = 0
+            if _obs_enabled():
+                _obs_metrics().counter("engine.cache_reuse").inc()
             return pooled
+        if _obs_enabled():
+            _obs_metrics().counter("engine.cache_alloc").inc()
         cfg = self.config
         head_dim = cfg.d_model // cfg.num_heads
         shape = (batch, cfg.num_heads, max_steps, head_dim)
@@ -623,6 +629,9 @@ class GeneratorPackage:
         started stream completes exactly once, so the returned
         population carries no length bias.
         """
+        track = _obs_enabled()
+        t_start = perf_counter() if track else 0.0
+        steps = slot_steps = live_slot_steps = recycled = compactions = 0
         tokenizer = self.tokenizer
         batch = min(batch_size, count)
         cache = engine.new_cache(batch, limit)
@@ -640,6 +649,10 @@ class GeneratorPackage:
             first, np.zeros(batch), np.zeros(batch, dtype=np.int64)
         )
         while True:
+            if track:
+                steps += 1
+                slot_steps += batch
+                live_slot_steps += batch - int(scrap.sum())
             out = engine.step(current, cache)
             next_events, next_iats, next_stops = self._sample_step(
                 out, temperature, rng
@@ -665,6 +678,7 @@ class GeneratorPackage:
                 # carry new population streams, the rest cycle as scrap.
                 refill = min(count - started, len(finished_idx))
                 started += refill
+                recycled += len(finished_idx)
                 new_first = self._sample_initial(rng, len(finished_idx))
                 events[finished_idx, 0] = new_first
                 lengths[finished_idx] = 1
@@ -687,9 +701,26 @@ class GeneratorPackage:
                     full_size_cache = False
                     batch = len(lengths)
                     rows = np.arange(batch)
+                    compactions += 1
             current = tokenizer.assemble(next_events, next_iats, next_stops)
         if full_size_cache:
             engine.release_cache(cache)
+        if track:
+            # Publish once per generate call: the hot loop above only
+            # touches plain local integers.
+            elapsed = perf_counter() - t_start
+            registry = _obs_metrics()
+            registry.counter("engine.steps").inc(steps)
+            registry.counter("engine.slot_steps").inc(slot_steps)
+            registry.counter("engine.recycled_slots").inc(recycled)
+            registry.counter("engine.compactions").inc(compactions)
+            registry.counter("engine.streams").inc(len(streams))
+            if slot_steps:
+                registry.gauge("engine.slot_utilization").set(
+                    live_slot_steps / slot_steps
+                )
+            if elapsed > 0:
+                registry.gauge("engine.steps_per_second").set(steps / elapsed)
         return streams
 
     def _generate_static(

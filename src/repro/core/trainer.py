@@ -45,6 +45,7 @@ import numpy as np
 
 from ..nn import Adam, clip_grad_norm
 from ..nn.serialization import read_metadata, write_npz
+from ..obs import enabled as _obs_enabled, metrics as _obs_metrics
 from ..tokenization import StreamTokenizer
 from ..trace.dataset import TraceDataset
 from .config import TrainingConfig
@@ -424,9 +425,16 @@ class FusedTrainer:
             results = [self._shard_grads(shard) for shard in shards]
         total_positions = sum(count for _, _, _, count in results)
         factors = [count / total_positions for _, _, _, count in results]
+        track = _obs_enabled()
+        if track:
+            t_reduce = time.perf_counter()
         reduced = _tree_reduce(
             [grads * factor for (grads, _, _, _), factor in zip(results, factors)]
         )
+        if track:
+            _obs_metrics().record_span(
+                "train.reduce", time.perf_counter() - t_reduce
+            )
         # A parameter is present iff any shard produced a gradient for
         # it; frozen parameters must stay masked so their moments and
         # step counts behave exactly like the unsharded path.
@@ -680,13 +688,29 @@ class FusedTrainer:
                         floor + (1.0 - floor) * 0.5 * (1.0 + np.cos(np.pi * progress))
                     )
                 plan = self._draw_plan(rng)
+                track = _obs_enabled()
+                if track:
+                    registry = _obs_metrics()
+                    step_counter = registry.counter("train.steps")
+                    step_hist = registry.histogram(
+                        "train.step_seconds", low=1e-5, high=1e3, bins=48
+                    )
+                    steps_per_s = registry.gauge("train.steps_per_second")
                 for index, descriptor in enumerate(plan):
                     if epoch == start_epoch and index < skip:
                         continue
+                    if track:
+                        t_step = time.perf_counter()
                     if sharded:
                         stats = self._step_sharded(descriptor, optimizer, pool)
                     else:
                         stats = self._step_unsharded(descriptor, optimizer)
+                    if track:
+                        dt = time.perf_counter() - t_step
+                        step_counter.inc()
+                        step_hist.observe(dt)
+                        if dt > 0:
+                            steps_per_s.set(1.0 / dt)
                     sums += stats
                     partial_batches += 1
                     steps += 1

@@ -40,6 +40,11 @@ from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from ..obs import (
+    enabled as _obs_enabled,
+    metrics as _obs_metrics,
+    span as _span,
+)
 from ..trace.dataset import TraceDataset
 from .nf import LTE_COSTS, ServiceCostModel
 
@@ -122,6 +127,10 @@ class _AnchorPool:
         self.cell_connects: dict[str, int] = {}
         self.first: float | None = None
         self.last = 0.0
+        # Optional per-region observability histograms (queue wait /
+        # service time, ms) attached by SimulationRun when obs is on.
+        self.obs_wait = None
+        self.obs_service = None
 
     def offer(
         self,
@@ -151,6 +160,9 @@ class _AnchorPool:
         self.latencies.setdefault(event, []).append((finish - timestamp) * 1000.0)
         self.busy_seconds += service_s
         self.processed += 1
+        if self.obs_wait is not None:
+            self.obs_wait.observe((start - timestamp) * 1000.0)
+            self.obs_service.observe(service_s * 1000.0)
 
         # Stateful context tracking: how many UEs this pool must hold
         # in CONNECTED state simultaneously.
@@ -241,8 +253,10 @@ class MCNSimulator:
         traffic the generator produced, not on what survived the queue.
         """
         session = self.start(tee=tee)
-        for timestamp, ue_key, event, cell in _arrivals(workload):
-            session.offer_arrival(timestamp, ue_key, event, cell)
+        with _span("simulate.run") as sp:
+            for timestamp, ue_key, event, cell in _arrivals(workload):
+                session.offer_arrival(timestamp, ue_key, event, cell)
+            sp.add_events(session.offered)
         return session.finalize()
 
     # ------------------------------------------------------------------
@@ -344,6 +358,16 @@ class SimulationRun:
         self._rng = np.random.default_rng(simulator.seed)
         self._pools, self._region_of_cell = simulator._build_pools()
         self._default_region = next(iter(self._pools))
+        if _obs_enabled():
+            registry = _obs_metrics()
+            for region, pool in self._pools.items():
+                label = region if region is not None else "core"
+                pool.obs_wait = registry.histogram(
+                    "mcn.queue_wait_ms", region=label
+                )
+                pool.obs_service = registry.histogram(
+                    "mcn.service_ms", region=label
+                )
         self._connected: set[Hashable] = set()
         self._peak_connected = 0
         self._first: float | None = None

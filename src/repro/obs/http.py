@@ -1,0 +1,75 @@
+"""A tiny stdlib metrics endpoint for ``repro serve --metrics-port``.
+
+Serves the process registry on a daemon thread:
+
+- ``GET /metrics``       Prometheus text exposition
+- ``GET /metrics.json``  the ``repro/metrics/v1`` JSON document
+
+No third-party dependencies; uses ``http.server.ThreadingHTTPServer``.
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import json
+import threading
+
+from .registry import MetricsRegistry, REGISTRY
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry = REGISTRY
+
+    def do_GET(self):  # noqa: N802 (stdlib handler contract)
+        if self.path.rstrip("/") in ("", "/metrics"):
+            body = self.registry.to_prometheus().encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path == "/metrics.json":
+            body = (json.dumps(self.registry.to_json(), sort_keys=True) + "\n").encode()
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /metrics.json)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+
+class MetricsServer:
+    """Background HTTP server exposing a :class:`MetricsRegistry`."""
+
+    def __init__(self, port: int = 0, *, host: str = "127.0.0.1",
+                 registry: MetricsRegistry | None = None):
+        handler = type(
+            "_BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"registry": REGISTRY if registry is None else registry},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._server.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

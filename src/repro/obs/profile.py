@@ -1,0 +1,242 @@
+"""Stage-level pipeline profiling built on span aggregates.
+
+:class:`PipelineProfile` folds the registry's span aggregates into the
+canonical stage breakdown (generation / shape-warp / merge / ring /
+simulate / oracle / gate), attributing each span's *self* time to the
+stage named by its first dotted segment.  ``profiled()`` wraps any
+block — a ``Workload.run``, a ``TrafficService`` session — enabling
+instrumentation for its duration and producing the profile:
+
+    with profiled() as prof:
+        engine.run(validators=..., simulate=True)
+    print(prof.profile.table())
+
+``coverage`` is the fraction of the block's wall time the stage rows
+account for; the acceptance bar for the city-day workload is >= 0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import json
+
+from . import registry as _registry
+from .registry import REGISTRY, MetricsRegistry
+
+PROFILE_SCHEMA = "repro/pipeline-profile/v1"
+
+#: span-name first segment -> canonical stage name
+STAGE_OF_PREFIX = {
+    "generate": "generation",
+    "engine": "generation",
+    "shape": "shape-warp",
+    "merge": "merge",
+    "ring": "ring",
+    "pace": "ring",
+    "service": "ring",
+    "simulate": "simulate",
+    "mcn": "simulate",
+    "oracle": "oracle",
+    "gate": "gate",
+    "train": "train",
+}
+
+#: display order for the table; unknown stages append after these
+STAGE_ORDER = (
+    "generation", "shape-warp", "merge", "ring",
+    "simulate", "oracle", "gate", "train",
+)
+
+
+def stage_of(span_name: str) -> str:
+    prefix = span_name.split(".", 1)[0]
+    return STAGE_OF_PREFIX.get(prefix, prefix)
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """One line of the breakdown: self wall time for a pipeline stage."""
+
+    stage: str
+    wall_seconds: float
+    calls: int
+    events: int
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0 or not self.events:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "wall_seconds": self.wall_seconds,
+            "calls": self.calls,
+            "events": self.events,
+            "events_per_second": self.events_per_second,
+        }
+
+
+@dataclass
+class PipelineProfile:
+    """Stage-breakdown report for one profiled block."""
+
+    total_seconds: float
+    rows: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    schema: str = PROFILE_SCHEMA
+
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, total_seconds: float
+    ) -> "PipelineProfile":
+        by_stage: dict[str, list] = {}
+        for agg in registry.spans():
+            by_stage.setdefault(stage_of(agg.name), []).append(agg)
+        rows = [
+            StageRow(
+                stage=stage,
+                wall_seconds=sum(a.self_s for a in aggs),
+                calls=sum(a.calls for a in aggs),
+                events=max((a.events for a in aggs), default=0),
+            )
+            for stage, aggs in by_stage.items()
+        ]
+        order = {name: i for i, name in enumerate(STAGE_ORDER)}
+        rows.sort(key=lambda r: (order.get(r.stage, len(order)), r.stage))
+        return cls(
+            total_seconds=total_seconds,
+            rows=rows,
+            metrics=registry.snapshot(),
+        )
+
+    @property
+    def accounted_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.rows)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of total wall time the stage rows account for."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.accounted_seconds / self.total_seconds
+
+    @property
+    def num_events(self) -> int:
+        return max((r.events for r in self.rows), default=0)
+
+    def table(self) -> str:
+        """An aligned plain-text stage-breakdown table."""
+        header = ("stage", "wall s", "share", "calls", "events", "ev/s")
+        body = []
+        for r in self.rows:
+            share = r.wall_seconds / self.total_seconds if self.total_seconds else 0.0
+            body.append((
+                r.stage,
+                f"{r.wall_seconds:.3f}",
+                f"{share * 100:5.1f}%",
+                f"{r.calls}",
+                f"{r.events}",
+                f"{r.events_per_second:,.0f}" if r.events else "-",
+            ))
+        other = self.total_seconds - self.accounted_seconds
+        if self.total_seconds > 0:
+            body.append((
+                "(other)",
+                f"{max(other, 0.0):.3f}",
+                f"{max(other, 0.0) / self.total_seconds * 100:5.1f}%",
+                "-", "-", "-",
+            ))
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip(),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for row in body:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                          for i, cell in enumerate(row)).rstrip()
+            )
+        lines.append(
+            f"total {self.total_seconds:.3f}s, stages cover "
+            f"{self.coverage * 100:.1f}% of wall time"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "total_seconds": self.total_seconds,
+            "accounted_seconds": self.accounted_seconds,
+            "coverage": self.coverage,
+            "stages": [r.to_dict() for r in self.rows],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineProfile":
+        rows = [
+            StageRow(
+                stage=s["stage"],
+                wall_seconds=s["wall_seconds"],
+                calls=s["calls"],
+                events=s["events"],
+            )
+            for s in payload.get("stages", ())
+        ]
+        return cls(
+            total_seconds=payload["total_seconds"],
+            rows=rows,
+            metrics=payload.get("metrics", {}),
+            schema=payload.get("schema", PROFILE_SCHEMA),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "PipelineProfile":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class profiled:
+    """Enable instrumentation for a block and build its profile.
+
+    Resets the process registry on entry (``reset=False`` to
+    accumulate), restores the previous enabled/disabled state on exit,
+    and exposes the result as ``.profile``.
+    """
+
+    def __init__(self, *, registry: MetricsRegistry | None = None,
+                 reset: bool = True, clock=perf_counter):
+        # `is None`, not `or`: an empty MetricsRegistry is falsy (len == 0).
+        self._registry = REGISTRY if registry is None else registry
+        self._reset = reset
+        self._clock = clock
+        self._was_enabled = False
+        self._t0 = 0.0
+        self.profile: PipelineProfile | None = None
+
+    def __enter__(self) -> "profiled":
+        self._was_enabled = _registry.enabled()
+        if self._reset:
+            self._registry.reset()
+        _registry.enable()
+        self._t0 = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        total = self._clock() - self._t0
+        if not self._was_enabled:
+            _registry.disable()
+        self.profile = PipelineProfile.from_registry(self._registry, total)
+        return False

@@ -1,0 +1,357 @@
+"""Process-wide metrics registry: counters, gauges, and log-bucketed histograms.
+
+The registry is the single sink for every runtime metric in the
+pipeline.  It is deliberately dependency-free (numpy only) so that any
+module — core, workload, service, mcn, validate — can import it without
+creating an import cycle.
+
+Instrumentation across the codebase is gated on :func:`enabled`; when
+the switch is off the hot paths pay (at most) one predicate call per
+*batch*, never per event.  Histograms use the same log-spaced-edge
+semantics as ``repro.validate.stats.QuantizedHistogram``: ``bins``
+geometric buckets between ``low`` and ``high`` plus underflow/overflow
+catch-alls, with scalar observes routed through :func:`bisect.bisect_right`
+(equivalent to ``np.searchsorted(edges, v, side="right")``).
+
+Exposition formats:
+
+- :meth:`MetricsRegistry.to_prometheus` — Prometheus text format
+  (dots become underscores, histograms expand to cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count``).
+- :meth:`MetricsRegistry.to_json` / :meth:`MetricsRegistry.write_json`
+  — a JSON document (``{"schema": "repro/metrics/v1", ...}``) suitable
+  for ``--metrics-json`` flags and JSONL embedding.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+import json
+import math
+import threading
+
+import numpy as np
+
+METRICS_SCHEMA = "repro/metrics/v1"
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation is globally on (one branch per batch)."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off process-wide."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _format_name(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, steps, episodes)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict, help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, utilization, buffered count)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict, help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Log-bucketed distribution with under/overflow catch-alls.
+
+    ``counts`` has ``bins + 2`` slots: ``counts[0]`` is the underflow
+    bucket (``v < edges[0]``), ``counts[-1]`` the overflow bucket
+    (``v >= edges[-1]``), mirroring ``QuantizedHistogram``.  Scalar
+    :meth:`observe` is a single ``bisect_right`` (~100ns); vector
+    :meth:`add` is a searchsorted + bincount.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "edges", "_edges_list", "counts", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict,
+        help: str = "",
+        *,
+        low: float = 1e-6,
+        high: float = 1e4,
+        bins: int = 64,
+    ):
+        if low <= 0 or high <= low or bins < 1:
+            raise ValueError("histogram needs 0 < low < high and bins >= 1")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.edges = np.geomspace(low, high, bins + 1)
+        self._edges_list = self.edges.tolist()
+        self.counts = np.zeros(bins + 2, dtype=np.int64)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self._edges_list, value)] += 1
+        self.sum += value
+
+    def add(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.edges, values, side="right")
+        self.counts += np.bincount(idx, minlength=self.counts.size)
+        self.sum += float(values.sum())
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket upper edges (clipped to range)."""
+        total = self.count
+        if total == 0:
+            return math.nan
+        target = q * total
+        running = 0
+        uppers = [self._edges_list[0], *self._edges_list[1:], self._edges_list[-1]]
+        for i, c in enumerate(self.counts):
+            running += int(c)
+            if running >= target:
+                return uppers[i]
+        return uppers[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": self.counts.tolist(),
+            "low": self._edges_list[0],
+            "high": self._edges_list[-1],
+        }
+
+
+class SpanAggregate:
+    """Accumulated timing for one span name (see ``repro.obs.spans``)."""
+
+    kind = "span"
+    __slots__ = ("name", "labels", "help", "total_s", "self_s", "calls", "events", "errors")
+
+    def __init__(self, name: str, labels: dict, help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.calls = 0
+        self.events = 0
+        self.errors = 0
+
+    def to_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "calls": self.calls,
+            "events": self.events,
+        }
+        if self.errors:
+            out["errors"] = self.errors
+        if self.total_s > 0 and self.events:
+            out["events_per_second"] = self.events / self.total_s
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics, keyed by ``(name, labels)``."""
+
+    def __init__(self):
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels, help, **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        low: float = 1e-6,
+        high: float = 1e4,
+        bins: int = 64,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, low=low, high=high, bins=bins
+        )
+
+    def span_aggregate(self, name: str, **labels) -> SpanAggregate:
+        return self._get_or_create(SpanAggregate, name, "", labels)
+
+    def record_span(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        self_seconds: float | None = None,
+        calls: int = 1,
+        events: int = 0,
+    ) -> SpanAggregate:
+        """Fold a manually timed block into the span aggregates."""
+        agg = self.span_aggregate(name)
+        agg.total_s += seconds
+        agg.self_s += seconds if self_seconds is None else self_seconds
+        agg.calls += calls
+        agg.events += events
+        return agg
+
+    def get(self, name: str, **labels):
+        """Look up an existing metric; raises ``KeyError`` if absent."""
+        return self._metrics[(name, _label_key(labels))]
+
+    def __iter__(self) -> Iterator:
+        return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """Flat ``{"name{label=v}": metric-dict}`` mapping, JSON-ready."""
+        return {
+            _format_name(m.name, m.labels): m.to_dict() for m in self
+        }
+
+    def spans(self) -> list[SpanAggregate]:
+        return [m for m in self if isinstance(m, SpanAggregate)]
+
+    def to_json(self) -> dict:
+        return {"schema": METRICS_SCHEMA, "metrics": self.snapshot()}
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (``name_bucket{le=...}`` etc.)."""
+        lines: list[str] = []
+        for metric in sorted(self, key=lambda m: (m.name, _label_key(m.labels))):
+            base = metric.name.replace(".", "_").replace("-", "_")
+            labels = dict(metric.labels)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {base} counter")
+                lines.append(f"{base}{_prom_labels(labels)} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {base} gauge")
+                lines.append(f"{base}{_prom_labels(labels)} {metric.value}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {base} histogram")
+                cumulative = 0
+                for i, count in enumerate(metric.counts[:-1]):
+                    cumulative += int(count)
+                    le = metric._edges_list[min(i, len(metric._edges_list) - 1)]
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(labels, le=repr(le))} {cumulative}"
+                    )
+                cumulative += int(metric.counts[-1])
+                lines.append(f"{base}_bucket{_prom_labels(labels, le='+Inf')} {cumulative}")
+                lines.append(f"{base}_sum{_prom_labels(labels)} {metric.sum}")
+                lines.append(f"{base}_count{_prom_labels(labels)} {metric.count}")
+            elif isinstance(metric, SpanAggregate):
+                lines.append(f"# TYPE {base}_seconds_total counter")
+                lines.append(f"{base}_seconds_total{_prom_labels(labels)} {metric.total_s}")
+                lines.append(f"{base}_self_seconds_total{_prom_labels(labels)} {metric.self_s}")
+                lines.append(f"{base}_calls_total{_prom_labels(labels)} {metric.calls}")
+                lines.append(f"{base}_events_total{_prom_labels(labels)} {metric.events}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_labels(labels: dict, **extra) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return f"{{{inner}}}"
+
+
+#: The process-wide registry every instrumented module writes into.
+REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry (one per process; workers get their own)."""
+    return REGISTRY

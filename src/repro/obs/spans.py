@@ -1,0 +1,191 @@
+"""Lightweight tracing spans with self-time attribution.
+
+A span measures one named block (``with span("merge.pull"): ...``).
+Spans nest: each records *total* wall time and *self* time (total minus
+time attributed to child spans), so a stage table can sum self-times
+without double counting.  When :func:`repro.obs.enabled` is off,
+:func:`span` returns a shared no-op object and
+:func:`instrument_events` returns its iterable **unchanged** — the
+disabled path adds zero per-event work.
+
+The clock is explicit and injectable (``span("x", clock=fake)``) so
+tests are deterministic.  Aggregation happens per span *name* into
+``SpanAggregate`` entries of the process registry — there is no
+per-call record kept, which keeps enabled-mode overhead to two clock
+reads and a handful of float adds per block.
+
+For iterator-shaped hot paths (the k-way merge yields one event per
+``next()``), :func:`instrument_events` wraps the iterator and times
+every ``sample``-th pull exactly, extrapolating gross time at
+exhaustion.  The estimate is credited to the span aggregate *and* to
+the enclosing frame's child time, so a parent span (e.g. the simulate
+loop driving the merge) reports the merge as a child rather than as
+its own self-time.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from . import registry as _registry
+from .registry import REGISTRY, SpanAggregate
+
+__all__ = ["span", "instrument_events", "exclude", "Span", "SpanAggregate"]
+
+# Stack of open frames (module-level: spans are per-process, like the
+# registry; forked service workers keep their own copy-on-write stack).
+_STACK: list = []
+
+
+class _Frame:
+    __slots__ = ("t0", "child", "events")
+
+    def __init__(self, t0: float):
+        self.t0 = t0
+        self.child = 0.0
+        self.events = 0
+
+
+class Span:
+    """One open measurement; use via ``with span(name) as sp:``."""
+
+    __slots__ = ("_name", "_clock", "_registry", "_frame")
+
+    def __init__(self, name: str, clock, registry):
+        self._name = name
+        self._clock = clock
+        self._registry = registry
+        self._frame = None
+
+    def __enter__(self) -> "Span":
+        self._frame = _Frame(self._clock())
+        _STACK.append(self._frame)
+        return self
+
+    def add_events(self, count: int) -> None:
+        self._frame.events += count
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        frame = self._frame
+        dt = self._clock() - frame.t0
+        if _STACK and _STACK[-1] is frame:
+            _STACK.pop()
+        agg = self._registry.span_aggregate(self._name)
+        agg.total_s += dt
+        agg.self_s += dt - frame.child
+        agg.calls += 1
+        agg.events += frame.events
+        if exc_type is not None:
+            agg.errors += 1
+        if _STACK:
+            _STACK[-1].child += dt
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add_events(self, count: int) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, *, clock=None, registry=None):
+    """A context manager timing ``name``; no-op when obs is disabled."""
+    if not _registry._ENABLED:
+        return _NOOP
+    # `is None`, not `or`: an empty MetricsRegistry is falsy (len == 0).
+    return Span(name, clock or perf_counter,
+                REGISTRY if registry is None else registry)
+
+
+def exclude(seconds: float) -> None:
+    """Credit manually timed work to the enclosing span as child time.
+
+    Used by batch accumulators (e.g. the service's per-event gate tee)
+    that measure with raw ``perf_counter`` pairs inside an open span:
+    calling ``exclude(dt)`` keeps the parent's self-time honest.
+    """
+    if _STACK:
+        _STACK[-1].child += seconds
+
+
+class _TimedEvents:
+    """Iterator wrapper sampling every ``sample``-th ``next()``."""
+
+    __slots__ = ("_name", "_it", "_sample", "_clock", "_registry",
+                 "_n", "_m", "_t", "_done")
+
+    def __init__(self, name: str, iterable, sample: int, clock, registry):
+        self._name = name
+        self._it = iter(iterable)
+        self._sample = max(1, int(sample))
+        self._clock = clock
+        self._registry = registry
+        self._n = 0
+        self._m = 0
+        self._t = 0.0
+        self._done = False
+
+    def __iter__(self) -> "_TimedEvents":
+        return self
+
+    def __next__(self):
+        measured = self._n % self._sample == 0
+        if measured:
+            t0 = self._clock()
+        try:
+            item = next(self._it)
+        except BaseException:
+            self._finalize()
+            raise
+        if measured:
+            self._t += self._clock() - t0
+            self._m += 1
+        self._n += 1
+        return item
+
+    def _finalize(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        estimate = self._t * (self._n / self._m) if self._m and self._n else self._t
+        self._registry.record_span(self._name, estimate, events=self._n)
+        if _STACK:
+            _STACK[-1].child += estimate
+
+    def close(self) -> None:
+        self._finalize()
+        close = getattr(self._it, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def events(self) -> int:
+        return self._n
+
+
+def instrument_events(name: str, iterable, *, sample: int = 16,
+                      clock=None, registry=None):
+    """Attribute per-``next()`` time of ``iterable`` to span ``name``.
+
+    Disabled path returns ``iterable`` itself — the caller's loop is
+    byte-for-byte the uninstrumented one.  Enabled path times one pull
+    in ``sample`` exactly and scales up at exhaustion; with lazily
+    produced events the first pull can hide arbitrary setup, so
+    callers materialize upstream work first (see ``Workload.events``).
+    """
+    if not _registry._ENABLED:
+        return iterable
+    return _TimedEvents(name, iterable, sample, clock or perf_counter,
+                        REGISTRY if registry is None else registry)

@@ -43,6 +43,10 @@ class EventRing:
         self.low = int(capacity * low_watermark)
         self._items: deque = deque()
         self._throttled = False
+        # How many times the throttle latched (False -> True edges);
+        # always counted (one int increment), published as a metric by
+        # the service when observability is on.
+        self.throttle_episodes = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -65,6 +69,7 @@ class EventRing:
                 self._throttled = False
         elif depth >= self.high:
             self._throttled = True
+            self.throttle_episodes += 1
         return self._throttled
 
     def push(self, item) -> bool:

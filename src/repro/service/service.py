@@ -39,8 +39,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..mcn.simulator import MCNSimulator
+from ..obs import (
+    enabled as _obs_enabled,
+    exclude as _exclude,
+    metrics as _obs_metrics,
+    span as _span,
+)
 from .degradation import DegradationController, DegradationPolicy, ShedAccount
 from .faults import BurstScale, FaultPlan, KillWorker, StallConsumer
 from .ring import EventRing
@@ -186,6 +193,16 @@ class TrafficService:
         self._t0: float | None = None
         self._rate_mark: "tuple[float, float] | None" = None
         self._merged_before = 0
+        self._shed_sweeps = 0
+
+        # Observability: refreshed once per control-loop pass; the
+        # per-event gate/simulator timings accumulate in plain floats
+        # and flush to the registry on each status() snapshot.
+        self._obs_track = False
+        self._gate_s = 0.0
+        self._gate_n = 0
+        self._sim_s = 0.0
+        self._sim_n = 0
 
     # ------------------------------------------------------------------
     # Runtime controls
@@ -252,18 +269,22 @@ class TrafficService:
 
     def _pump(self) -> None:
         """Pull producer chunks and merged events up to the ring bounds."""
-        ring = self._ring
-        if not ring.throttled:
-            # One chunk roughly fills chunk_events ring slots; budget the
-            # pull so a tick never overshoots the ring.
-            budget = max(
-                1,
-                ring.space // max(1, self.supervisor.chunk_events) + 1,
-            )
-            self.supervisor.pump(budget)
-        if ring.space:
-            for event in self.supervisor.merger.pop_ready(ring.space):
-                ring.push(self._relabel(event))
+        with _span("merge.pump") as sp:
+            ring = self._ring
+            if not ring.throttled:
+                # One chunk roughly fills chunk_events ring slots; budget
+                # the pull so a tick never overshoots the ring.
+                budget = max(
+                    1,
+                    ring.space // max(1, self.supervisor.chunk_events) + 1,
+                )
+                self.supervisor.pump(budget)
+            pushed = 0
+            if ring.space:
+                for event in self.supervisor.merger.pop_ready(ring.space):
+                    ring.push(self._relabel(event))
+                    pushed += 1
+            sp.add_events(pushed)
 
     def _maybe_wrap_cycle(self, cycle_events: int) -> bool:
         """Restart the timeline when looping; True if a new cycle began."""
@@ -284,14 +305,33 @@ class TrafficService:
     # Consume side
     # ------------------------------------------------------------------
     def _tee(self, event) -> None:
-        if self.gate is not None:
+        if self.gate is None:
+            return
+        if self._obs_track:
+            t0 = perf_counter()
+            self.gate.observe_event(
+                event.timestamp, (event.cohort, event.ue_id), event.event
+            )
+            dt = perf_counter() - t0
+            self._gate_s += dt
+            self._gate_n += 1
+            _exclude(dt)
+        else:
             self.gate.observe_event(
                 event.timestamp, (event.cohort, event.ue_id), event.event
             )
 
     def _deliver(self, event) -> None:
         if self._sim_run is not None:
-            self._sim_run.offer(event)
+            if self._obs_track:
+                t0 = perf_counter()
+                self._sim_run.offer(event)
+                dt = perf_counter() - t0
+                self._sim_s += dt
+                self._sim_n += 1
+                _exclude(dt)
+            else:
+                self._sim_run.offer(event)
         if self.sink is not None:
             self.sink(event)
         self.delivered += 1
@@ -313,6 +353,8 @@ class TrafficService:
             jump = self._last_wall - now
             self._anchor_wall -= jump
             self.clock_jumps += 1
+            if self._obs_track:
+                _obs_metrics().counter("pace.clock_jumps").inc()
         self._last_wall = now
 
     def _shed_sweep(self) -> bool:
@@ -332,6 +374,8 @@ class TrafficService:
             self._tee(event)
             self.shed.record(event.cohort)
             progressed = True
+        if progressed:
+            self._shed_sweeps += 1
         return progressed
 
     def _consume_tick(self, now: float) -> bool:
@@ -342,7 +386,18 @@ class TrafficService:
         at the loop's overhead and let producers outrun the consumer
         into spurious shedding.  The batch stops the moment the ring
         head is not yet due, so pacing granularity is unaffected.
+
+        Under observability the batch is timed as ``ring.consume``;
+        gate-tee and simulator-offer time inside it is measured by the
+        per-event accumulators and excluded from its self time.
         """
+        with _span("ring.consume") as sp:
+            before = self.delivered + self.shed.total
+            progressed = self._consume_batch(now)
+            sp.add_events(self.delivered + self.shed.total - before)
+        return progressed
+
+    def _consume_batch(self, now: float) -> bool:
         progressed = self._shed_sweep()
         shedding = bool(self._controller.shedding)
         for _ in range(_TICK_EVENTS):
@@ -367,6 +422,10 @@ class TrafficService:
             ):
                 self.slipped_events += self._overdue_run
                 self.slipped_seconds += -delay
+                if self._obs_track:
+                    registry = _obs_metrics()
+                    registry.counter("pace.slipped_events").inc(self._overdue_run)
+                    registry.counter("pace.slipped_seconds").inc(-delay)
                 self._anchor_wall = now - (
                     (event.timestamp - self._anchor_event)
                     / self._anchor_speed
@@ -399,6 +458,7 @@ class TrafficService:
             if merger.buffered_of(shard)
         }
         gate_poll = self.gate.poll() if self.gate is not None else None
+        metrics = self._publish_metrics(merger) if _obs_enabled() else None
         status = ServiceStatus(
             state=state,
             elapsed=elapsed,
@@ -424,6 +484,7 @@ class TrafficService:
             clock_jumps=self.clock_jumps,
             incidents=list(self._incidents),
             gate=gate_poll,
+            metrics=metrics,
         )
         if not status.accounted:
             raise RuntimeError(
@@ -435,6 +496,43 @@ class TrafficService:
 
     def _merged_total(self) -> int:
         return self._merged_before + self.supervisor.merger.merged_total
+
+    def _publish_metrics(self, merger) -> dict:
+        """Flush accumulators into the registry and snapshot it.
+
+        Called from :meth:`status` only when observability is enabled;
+        the snapshot rides on the status line (and the soak JSONL) so
+        stage metrics travel with every telemetry observation.
+        """
+        registry = _obs_metrics()
+        if self._gate_n:
+            registry.record_span(
+                "gate.observe", self._gate_s, events=self._gate_n
+            )
+            self._gate_s = 0.0
+            self._gate_n = 0
+        if self._sim_n:
+            registry.record_span(
+                "simulate.offer", self._sim_s, events=self._sim_n
+            )
+            self._sim_s = 0.0
+            self._sim_n = 0
+        # Pacing slippage counters exist (at zero) from the first
+        # snapshot so JSONL consumers can rely on the keys.
+        registry.counter("pace.slipped_events")
+        registry.counter("pace.slipped_seconds")
+        registry.counter("pace.clock_jumps")
+        registry.gauge("merge.buffered").set(merger.buffered)
+        registry.gauge("ring.depth").set(len(self._ring))
+        registry.gauge("ring.throttle_episodes").set(self._ring.throttle_episodes)
+        registry.gauge("ring.shed_sweeps").set(self._shed_sweeps)
+        registry.gauge("ring.shed_total").set(self.shed.total)
+        registry.gauge("ring.shed_episodes").set(self.shed.episodes)
+        for cohort, count in self.shed.by_cohort.items():
+            registry.gauge("ring.shed_events", cohort=cohort).set(count)
+        registry.gauge("service.delivered").set(self.delivered)
+        registry.gauge("service.merged_total").set(self._merged_total())
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
     def run(
@@ -465,6 +563,7 @@ class TrafficService:
         try:
             self.supervisor.start()
             while True:
+                self._obs_track = _obs_enabled()
                 now = self.clock()
                 self._note_clock(now)
                 elapsed = now - self._t0

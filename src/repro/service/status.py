@@ -8,6 +8,24 @@ current fidelity verdict with per-check deltas.  The service emits one
 per ``status_every`` interval and one final snapshot; ``repro serve
 --status-json`` appends them as JSON lines, which is what the CI soak
 job asserts against.
+
+JSONL schema
+------------
+Every line carries ``schema_version`` so downstream consumers can
+evolve safely:
+
+``repro/service-status/v2``
+    The current schema.  All v1 fields, now with precise type
+    annotations, plus ``schema_version`` itself and ``metrics`` — a
+    snapshot of the process :class:`~repro.obs.MetricsRegistry`
+    (``repro/metrics/v1`` entries: stage spans, pacing slippage
+    counters, ring/shed gauges...) when observability is enabled,
+    ``null`` otherwise.
+
+``v1`` (historic, unversioned)
+    Lines written before the observability layer carried no
+    ``schema_version`` key and no ``metrics`` field; consumers should
+    treat a missing key as v1.
 """
 
 from __future__ import annotations
@@ -15,7 +33,10 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["ServiceStatus"]
+__all__ = ["ServiceStatus", "STATUS_SCHEMA_VERSION"]
+
+#: Schema tag stamped on every JSONL status line (see module docstring).
+STATUS_SCHEMA_VERSION = "repro/service-status/v2"
 
 
 @dataclass
@@ -42,20 +63,22 @@ class ServiceStatus:
     events_per_second: float
     speed: float
     degradation_level: int
-    shed_cohorts: tuple = ()
-    shed_by_cohort: dict = field(default_factory=dict)
+    shed_cohorts: tuple[str, ...] = ()
+    shed_by_cohort: dict[str, int] = field(default_factory=dict)
     shed_episodes: int = 0
     ring_depth: int = 0
     ring_capacity: int = 0
     throttled: bool = False
-    shard_cursors: tuple = ()
-    shard_lag: dict = field(default_factory=dict)
-    workers: list = field(default_factory=list)
+    shard_cursors: tuple[int, ...] = ()
+    shard_lag: dict[str, int] = field(default_factory=dict)
+    workers: list[dict] = field(default_factory=list)
     slipped_events: int = 0
     slipped_seconds: float = 0.0
     clock_jumps: int = 0
-    incidents: list = field(default_factory=list)
-    gate: "dict | None" = None
+    incidents: list[str] = field(default_factory=list)
+    gate: dict | None = None
+    metrics: dict | None = None
+    schema_version: str = STATUS_SCHEMA_VERSION
 
     @property
     def accounted(self) -> bool:

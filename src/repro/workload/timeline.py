@@ -50,6 +50,12 @@ import numpy as np
 
 from ..api.registry import GENERATORS, WORKLOADS
 from ..api.protocol import TrafficGenerator
+from ..obs import (
+    enabled as _obs_enabled,
+    instrument_events as _instrument_events,
+    metrics as _obs_metrics,
+    span as _span,
+)
 from ..core.sharding import run_sharded, shard_counts, shard_rngs
 from ..mcn.autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
 from ..mcn.simulator import MCNSimulator, SimulationReport
@@ -268,6 +274,24 @@ def pace(
         raise ValueError("speed must be positive")
     if max_burst is not None and max_burst < 1:
         raise ValueError("max_burst must be >= 1")
+    if _obs_enabled():
+        # Chain slip reporting into the metrics registry so slippage is
+        # visible in live metric snapshots, not just a final callback.
+        registry = _obs_metrics()
+        slipped_events = registry.counter("pace.slipped_events")
+        slipped_seconds = registry.counter("pace.slipped_seconds")
+        clock_jumps = registry.counter("pace.clock_jumps")
+        user_slip = on_slip
+
+        def on_slip(events_late: int, seconds: float, reason: str) -> None:
+            if reason == "clock":
+                clock_jumps.inc()
+            else:
+                slipped_events.inc(events_late)
+            slipped_seconds.inc(seconds)
+            if user_slip is not None:
+                user_slip(events_late, seconds, reason)
+
     origin_event: float | None = None
     origin_wall = 0.0
     last_wall = 0.0
@@ -421,17 +445,20 @@ class Workload:
         if cohort.name in self._injected:
             return self._injected[cohort.name]
         if cohort.name not in self._fitted:
-            name = GENERATORS.canonical(self.backend or cohort.backend)
-            cls = GENERATORS.get(name)
-            capture = generate_trace(cohort.scenario.trace_config())
-            options = {}
-            if getattr(cls, "uses_tokenizer", False):
-                from ..tokenization import StreamTokenizer
+            with _span("generate.fit"):
+                name = GENERATORS.canonical(self.backend or cohort.backend)
+                cls = GENERATORS.get(name)
+                capture = generate_trace(cohort.scenario.trace_config())
+                options = {}
+                if getattr(cls, "uses_tokenizer", False):
+                    from ..tokenization import StreamTokenizer
 
-                options["tokenizer"] = StreamTokenizer(
-                    cohort.scenario.vocabulary
-                ).fit(capture)
-            self._fitted[cohort.name] = cls(**options).fit(capture, cohort.scenario)
+                    options["tokenizer"] = StreamTokenizer(
+                        cohort.scenario.vocabulary
+                    ).fit(capture)
+                self._fitted[cohort.name] = cls(**options).fit(
+                    capture, cohort.scenario
+                )
         return self._fitted[cohort.name]
 
     # ------------------------------------------------------------------
@@ -480,22 +507,26 @@ class Workload:
             times = stream.timestamps()
             names = stream.event_names()
             if not unshaped:
-                if cohort.shape_mode == "warp":
-                    times = shape.warp(times, origin)
-                else:
-                    # Per-stream thinning RNG keyed by (seed, UE id):
-                    # stable no matter which shard the UE lands in.
-                    key = zlib.crc32(f"{cohort.name}/{stream.ue_id}".encode())
-                    keep = shape.thin(
-                        times,
-                        np.random.default_rng(np.random.SeedSequence((self.seed, key))),
-                    )
-                    times = times[keep]
-                    names = [n for n, k in zip(names, keep) if k]
+                with _span("shape.warp") as sp:
+                    if cohort.shape_mode == "warp":
+                        times = shape.warp(times, origin)
+                    else:
+                        # Per-stream thinning RNG keyed by (seed, UE id):
+                        # stable no matter which shard the UE lands in.
+                        key = zlib.crc32(f"{cohort.name}/{stream.ue_id}".encode())
+                        keep = shape.thin(
+                            times,
+                            np.random.default_rng(np.random.SeedSequence((self.seed, key))),
+                        )
+                        times = times[keep]
+                        names = [n for n, k in zip(names, keep) if k]
+                    sp.add_events(times.size)
             if self._runtime is not None:
-                times, names, cells = self._runtime.annotate(
-                    cohort, stream.ue_id, times, names
-                )
+                with _span("shape.annotate") as sp:
+                    times, names, cells = self._runtime.annotate(
+                        cohort, stream.ue_id, times, names
+                    )
+                    sp.add_events(times.size)
             else:
                 cells = None
             yield stream.ue_id, stream.device_type, times, names, cells
@@ -511,7 +542,17 @@ class Workload:
         cell codes (``None`` without a topology).  The sort keys on
         ``(timestamp, ue_id, position)`` (the cohort is constant within
         a shard), so a UE's within-stream order survives full ties.
+
+        Under observability the build is timed as ``generate.shard``
+        (shape warp/thin/annotate time inside is attributed to its own
+        ``shape.*`` spans via self-time accounting).
         """
+        with _span("generate.shard") as sp:
+            buffer = self._build_shard_buffer(cohort_index, cohort, shard)
+            sp.add_events(int(buffer[0].size))
+        return buffer
+
+    def _build_shard_buffer(self, cohort_index: int, cohort: Cohort, shard: int):
         time_chunks: list[np.ndarray] = []
         ue_chunks: list[np.ndarray] = []
         code_chunks: list[np.ndarray] = []
@@ -586,7 +627,24 @@ class Workload:
         plan = self.planned_shards()
         cell_names = self._cell_names()
         if self.num_workers > 1 and len(plan) > 1:
-            buffers = self._worker_buffers(plan)
+            with _span("generate.workers") as sp:
+                buffers = self._worker_buffers(plan)
+                if _obs_enabled():
+                    sp.add_events(sum(int(b[0].size) for b in buffers))
+            for entry, buffer in zip(plan, buffers):
+                self._observe(observers, buffer, entry[1].name)
+            sources = [
+                decode_buffer(buffer, entry[1].name, cell_names)
+                for entry, buffer in zip(plan, buffers)
+            ]
+        elif _obs_enabled():
+            # Under observability, build every shard buffer *before* the
+            # merge so the sampled merge.pull attribution never catches a
+            # lazy shard generation inside a single timed pull (which
+            # would scale that one pull across the whole stream).  Peak
+            # memory is unchanged: a correct global merge holds all
+            # compact shard buffers anyway.
+            buffers = [self._shard_buffer(*entry) for entry in plan]
             for entry, buffer in zip(plan, buffers):
                 self._observe(observers, buffer, entry[1].name)
             sources = [
@@ -595,7 +653,7 @@ class Workload:
             ]
         else:
             sources = [self._lazy_shard(*entry, observers=observers) for entry in plan]
-        return merge_timelines(sources)
+        return _instrument_events("merge.pull", merge_timelines(sources))
 
     def _cell_names(self) -> tuple[str, ...] | None:
         """The topology's cell-name table (codes → names), if any."""
@@ -665,9 +723,11 @@ class Workload:
         # topology metadata they are free to ignore.
         times, ues, codes, ue_ids, event_names = buffer[:5]
         for observer in observers:
-            observer.observe_buffer(
-                times, ues, codes, ue_ids, event_names, cohort=cohort
-            )
+            with _span(f"oracle.{observer.name}") as sp:
+                observer.observe_buffer(
+                    times, ues, codes, ue_ids, event_names, cohort=cohort
+                )
+                sp.add_events(int(times.size))
 
     def _lazy_shard(
         self,

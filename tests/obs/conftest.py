@@ -1,0 +1,37 @@
+"""Observability tests share one rule: never leak global obs state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import spans as spans_module
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Disable instrumentation and empty the registry around every test."""
+    obs.disable()
+    obs.REGISTRY.reset()
+    spans_module._STACK.clear()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+    spans_module._STACK.clear()
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,83 @@
+"""CLI surface: ``repro profile`` and the ``--metrics-json`` flags."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.cli import build_parser, main
+from repro.obs import PROFILE_SCHEMA, PipelineProfile
+
+
+class TestParser:
+    def test_profile_command_registered(self):
+        args = build_parser().parse_args(
+            ["profile", "city-day", "--scale", "0.02", "--no-simulate"]
+        )
+        assert args.command == "profile"
+        assert args.no_simulate is True
+
+    def test_metrics_flags_registered(self):
+        args = build_parser().parse_args(
+            ["workload", "city-day", "--metrics-json", "m.json"]
+        )
+        assert args.metrics_json == "m.json"
+        args = build_parser().parse_args(
+            ["serve", "city-day", "--metrics-port", "0"]
+        )
+        assert args.metrics_port == 0
+
+
+class TestProfileCommand:
+    def test_profile_emits_stage_table_and_json(self, tmp_path, capsys):
+        out_json = tmp_path / "profile.json"
+        code = main(
+            ["profile", "city-day", "--scale", "0.01", "--seed", "1",
+             "--json", str(out_json)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for fragment in ("stage", "generation", "merge", "simulate",
+                         "stages cover", "events end-to-end"):
+            assert fragment in out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == PROFILE_SCHEMA
+        profile = PipelineProfile.load(out_json)
+        stages = {r.stage for r in profile.rows}
+        assert {"generation", "merge", "simulate"} <= stages
+        # tiny-scale floor; the full >=0.9 city-day bar runs in CI/benchmarks
+        assert profile.coverage >= 0.8
+        # the CLI restores the disabled default for the rest of the process
+        assert not obs.enabled()
+
+
+class TestMetricsJsonFlag:
+    def test_workload_writes_metrics_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["workload", "city-day", "--scale", "0.01", "--seed", "1",
+             "--metrics-json", str(out)]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro/metrics/v1"
+        span_names = {
+            name.split("{", 1)[0]
+            for name, body in payload["metrics"].items()
+            if body.get("kind") == "span"
+        }
+        assert "merge.pull" in span_names
+        assert any(name.startswith("generate.") for name in span_names)
+        assert not obs.enabled()
+
+    def test_no_flag_leaves_instrumentation_off(self):
+        from repro.cli import _finish_metrics, _metrics_enabled
+
+        args = build_parser().parse_args(
+            ["workload", "city-day", "--scale", "0.01"]
+        )
+        assert _metrics_enabled(args) is False
+        assert not obs.enabled()
+        _finish_metrics(args, False)  # no-op, must not blow up
+        assert len(obs.REGISTRY) == 0

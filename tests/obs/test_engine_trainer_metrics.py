@@ -1,0 +1,74 @@
+"""Engine and trainer hot-path metrics: published once per run, not per step."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import CPTGPT, CPTGPTConfig, TrainingConfig, train
+
+
+TINY = CPTGPTConfig(
+    d_model=16, num_layers=1, num_heads=2, d_ff=32, head_hidden=32, max_len=96
+)
+
+
+class TestEngineMetrics:
+    def test_generate_publishes_counters_and_gauges(self, tiny_trained_package):
+        obs.enable()
+        trace = tiny_trained_package.generate(
+            8, np.random.default_rng(2), batch_size=4
+        )
+        assert len(trace.streams) == 8
+        reg = obs.REGISTRY
+        assert reg.get("engine.steps").value > 0
+        assert reg.get("engine.slot_steps").value >= reg.get("engine.steps").value
+        assert reg.get("engine.streams").value == 8
+        utilization = reg.get("engine.slot_utilization").value
+        assert 0.0 < utilization <= 1.0
+        assert reg.get("engine.steps_per_second").value > 0
+        # slots are recycled as streams finish under continuous batching
+        assert reg.get("engine.recycled_slots").value >= 0
+
+    def test_cache_pool_reuse_counted(self, tiny_trained_package):
+        obs.enable()
+        rng = np.random.default_rng(3)
+        tiny_trained_package.generate(4, rng, batch_size=4)
+        tiny_trained_package.generate(4, rng, batch_size=4)
+        reg = obs.REGISTRY
+        # The second run always draws its KV cache from the recycle pool
+        # (the first may too, when the session-scoped engine already
+        # pooled a matching cache from an earlier test).
+        assert reg.get("engine.cache_reuse").value >= 1
+
+    def test_disabled_generate_records_nothing(self, tiny_trained_package):
+        tiny_trained_package.generate(4, np.random.default_rng(4), batch_size=4)
+        assert len(obs.REGISTRY) == 0
+
+
+class TestTrainerMetrics:
+    def test_fit_publishes_step_metrics(self, phone_trace, fitted_tokenizer):
+        obs.enable()
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        train(
+            model, phone_trace, fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0),
+        )
+        reg = obs.REGISTRY
+        steps = reg.get("train.steps").value
+        assert steps > 0
+        hist = reg.get("train.step_seconds")
+        assert hist.count == steps
+        assert reg.get("train.steps_per_second").value > 0
+
+    def test_sharded_fit_records_reduce_span(self, phone_trace, fitted_tokenizer):
+        obs.enable()
+        model = CPTGPT(TINY, np.random.default_rng(0))
+        train(
+            model, phone_trace, fitted_tokenizer,
+            TrainingConfig(epochs=1, batch_size=32, seed=0, grad_shards=2),
+        )
+        agg = obs.REGISTRY.get("train.reduce")
+        assert agg.calls > 0
+        assert agg.total_s >= 0.0

@@ -1,0 +1,62 @@
+"""MetricsServer: /metrics (Prometheus) and /metrics.json endpoints."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsServer
+
+
+@pytest.fixture
+def server():
+    registry = MetricsRegistry()
+    registry.counter("service.delivered").inc(11)
+    registry.gauge("ring.depth").set(4)
+    srv = MetricsServer(0, registry=registry)  # port 0 -> ephemeral
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+class TestMetricsServer:
+    def test_ephemeral_port_bound(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}/metrics"
+
+    def test_prometheus_endpoint(self, server):
+        status, ctype, body = _get(server.url)
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "service_delivered 11" in body
+        assert "ring_depth 4" in body
+
+    def test_json_endpoint(self, server):
+        status, ctype, body = _get(f"http://127.0.0.1:{server.port}/metrics.json")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["schema"] == "repro/metrics/v1"
+        assert payload["metrics"]["service.delivered"]["value"] == 11
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"http://127.0.0.1:{server.port}/nope")
+        assert err.value.code == 404
+
+    def test_reflects_live_registry_updates(self, server):
+        _, _, before = _get(server.url)
+        assert "service_delivered 11" in before
+        # the handler reads the registry on every request
+        reg = server._server.RequestHandlerClass.registry
+        reg.counter("service.delivered").inc(5)
+        _, _, after = _get(server.url)
+        assert "service_delivered 16" in after

@@ -1,0 +1,168 @@
+"""MetricsRegistry: counters, gauges, log-bucketed histograms, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, SpanAggregate
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_identity(self, registry):
+        a = registry.counter("service.delivered")
+        b = registry.counter("service.delivered")
+        assert a is b
+        a.inc()
+        a.inc(4)
+        assert b.value == 5
+
+    def test_labels_create_distinct_series(self, registry):
+        core = registry.counter("mcn.offered", region="core")
+        edge = registry.counter("mcn.offered", region="edge")
+        assert core is not edge
+        core.inc(2)
+        assert registry.get("mcn.offered", region="core").value == 2
+        assert registry.get("mcn.offered", region="edge").value == 0
+
+    def test_kind_clash_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_set(self, registry):
+        g = registry.gauge("ring.depth")
+        g.set(17)
+        g.set(3)
+        assert g.value == 3
+
+    def test_get_missing_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_reset_empties(self, registry):
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestHistogramBucketing:
+    def test_underflow_and_overflow_catch_alls(self, registry):
+        h = registry.histogram("h", low=1.0, high=100.0, bins=4)
+        h.observe(0.5)     # below low -> underflow
+        h.observe(1e9)     # above high -> overflow
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.count == 2
+
+    def test_value_on_low_edge_lands_in_first_interior_bucket(self, registry):
+        # bisect_right semantics: v == edges[0] belongs to bucket 1,
+        # matching QuantizedHistogram's searchsorted(side="right").
+        h = registry.histogram("h", low=1.0, high=100.0, bins=4)
+        h.observe(1.0)
+        assert h.counts[0] == 0
+        assert h.counts[1] == 1
+
+    def test_value_on_high_edge_overflows(self, registry):
+        h = registry.histogram("h", low=1.0, high=100.0, bins=4)
+        h.observe(100.0)
+        assert h.counts[-1] == 1
+
+    def test_scalar_and_vector_paths_agree(self, registry):
+        values = np.geomspace(1e-4, 1e6, 57)
+        a = registry.histogram("scalar", low=1e-3, high=1e3, bins=16)
+        b = registry.histogram("vector", low=1e-3, high=1e3, bins=16)
+        for v in values:
+            a.observe(float(v))
+        b.add(values)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert a.sum == pytest.approx(b.sum)
+
+    def test_sum_and_count(self, registry):
+        h = registry.histogram("h")
+        h.add(np.array([1.0, 2.0, 3.0]))
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+
+    def test_quantile_monotone_and_clipped(self, registry):
+        h = registry.histogram("h", low=1.0, high=1e3, bins=32)
+        h.add(np.geomspace(2.0, 500.0, 1000))
+        p50, p95 = h.quantile(0.5), h.quantile(0.95)
+        assert p50 <= p95
+        assert 1.0 <= p50 <= 1e3
+        assert np.isnan(registry.histogram("empty").quantile(0.5))
+
+    def test_invalid_parameters_raise(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", low=0.0)
+        with pytest.raises(ValueError):
+            registry.histogram("bad2", low=10.0, high=1.0)
+
+
+class TestExposition:
+    def test_snapshot_keys_and_values(self, registry):
+        registry.counter("a.count").inc(2)
+        registry.gauge("b.level", region="east").set(1.5)
+        snap = registry.snapshot()
+        assert snap["a.count"] == {"kind": "counter", "value": 2}
+        assert snap["b.level{region=east}"]["value"] == 1.5
+
+    def test_json_roundtrips(self, registry, tmp_path):
+        registry.counter("a").inc()
+        registry.histogram("h").observe(1.0)
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro/metrics/v1"
+        assert payload["metrics"]["a"]["value"] == 1
+        assert payload["metrics"]["h"]["count"] == 1
+
+    def test_prometheus_text_format(self, registry):
+        registry.counter("service.delivered").inc(7)
+        registry.gauge("ring.depth").set(3)
+        h = registry.histogram("lat.ms", low=1.0, high=100.0, bins=2, region="core")
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(1e6)
+        text = registry.to_prometheus()
+        assert "service_delivered 7" in text
+        assert "ring_depth 3" in text
+        # cumulative buckets, labels merged and sorted, +Inf totals all
+        assert 'lat_ms_bucket{le="+Inf",region="core"} 3' in text
+        assert 'lat_ms_count{region="core"} 3' in text
+        assert 'lat_ms_sum{region="core"}' in text
+
+    def test_prometheus_bucket_cumulative(self, registry):
+        h = registry.histogram("h", low=1.0, high=4.0, bins=2)
+        h.observe(0.5)   # underflow
+        h.observe(1.5)   # first interior
+        h.observe(3.0)   # second interior
+        lines = [
+            ln for ln in registry.to_prometheus().splitlines()
+            if ln.startswith("h_bucket")
+        ]
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_record_span_aggregates(self, registry):
+        registry.record_span("merge.pull", 1.5, events=100)
+        registry.record_span("merge.pull", 0.5, events=50)
+        agg = registry.get("merge.pull")
+        assert isinstance(agg, SpanAggregate)
+        assert agg.total_s == pytest.approx(2.0)
+        assert agg.calls == 2
+        assert agg.events == 150
+        assert agg.to_dict()["events_per_second"] == pytest.approx(75.0)
+
+    def test_metric_classes_exported(self):
+        assert Counter.kind == "counter"
+        assert Gauge.kind == "gauge"
+        assert Histogram.kind == "histogram"

@@ -1,0 +1,98 @@
+"""Satellite regression: disabled-path overhead on the merge hot loop <2%.
+
+The structural guarantee comes first: with obs disabled,
+``instrument_events`` returns its argument *unchanged*, so the consumer
+loop is byte-for-byte the uninstrumented one.  The timing check then
+bounds what remains — one ``enabled()`` predicate per ``events()``
+call — using min-of-N to shed scheduler noise.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro import obs
+from repro.obs import instrument_events
+from repro.workload import TimelineEvent, merge_timelines
+
+_SOURCES = 4
+_EVENTS_PER_SOURCE = 12_000
+
+
+def _buffers() -> list:
+    return [
+        [
+            TimelineEvent(float(i * _SOURCES + s), f"c{s}", f"ue{i}", "TAU")
+            for i in range(_EVENTS_PER_SOURCE)
+        ]
+        for s in range(_SOURCES)
+    ]
+
+
+def _drain(events) -> int:
+    n = 0
+    for _ in events:
+        n += 1
+    return n
+
+
+def _interleaved_best(fn_a, fn_b, repeats: int = 9) -> tuple:
+    """Min-of-N for two callables, alternating so ambient load hits both."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn_a()
+        best_a = min(best_a, perf_counter() - t0)
+        t0 = perf_counter()
+        fn_b()
+        best_b = min(best_b, perf_counter() - t0)
+    return best_a, best_b
+
+
+class TestDisabledPathIdentity:
+    def test_wrapper_vanishes_when_disabled(self):
+        """The real <2% guarantee: the disabled path IS the baseline."""
+        assert not obs.enabled()
+        merged = merge_timelines([iter(b) for b in _buffers()])
+        assert instrument_events("merge.pull", merged) is merged
+
+    def test_span_is_shared_noop_when_disabled(self):
+        assert obs.span("merge.pump") is obs.span("ring.consume")
+
+
+class TestDisabledPathTiming:
+    def test_merge_loop_overhead_under_two_percent(self):
+        buffers = _buffers()
+        total = _SOURCES * _EVENTS_PER_SOURCE
+
+        def baseline():
+            assert _drain(merge_timelines([iter(b) for b in buffers])) == total
+
+        def instrumented():
+            merged = merge_timelines([iter(b) for b in buffers])
+            assert _drain(instrument_events("merge.pull", merged)) == total
+
+        assert not obs.enabled()
+        baseline()  # warm caches before measuring
+        instrumented()
+        # One re-measure on miss: the loops are byte-identical (see the
+        # identity test), so a first-round miss is scheduler noise.
+        for attempt in range(2):
+            base, inst = _interleaved_best(baseline, instrumented)
+            if inst <= base * 1.02:
+                break
+        assert inst <= base * 1.02, (
+            f"disabled-path merge overhead {inst / base - 1:+.2%} exceeds 2% "
+            f"(baseline {base * 1e3:.1f}ms, instrumented {inst * 1e3:.1f}ms)"
+        )
+
+
+class TestEnabledPathSanity:
+    def test_sampled_wrapper_counts_all_events(self):
+        obs.enable()
+        merged = merge_timelines([iter(b) for b in _buffers()])
+        wrapped = instrument_events("merge.pull", merged, sample=16)
+        assert _drain(wrapped) == _SOURCES * _EVENTS_PER_SOURCE
+        agg = obs.REGISTRY.get("merge.pull")
+        assert agg.events == _SOURCES * _EVENTS_PER_SOURCE
+        assert agg.total_s > 0

@@ -1,0 +1,101 @@
+"""Satellite: pace() slippage reporting lands in the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.workload import TimelineEvent, pace
+
+
+def _events(timestamps):
+    return [TimelineEvent(float(t), "c", "u", "TAU") for t in timestamps]
+
+
+class _ManualWall:
+    """A settable wall clock plus a sleep that advances it."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+        self.slept: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, delay: float) -> None:
+        self.slept.append(delay)
+        self.now += delay
+
+
+class TestPaceMetrics:
+    def test_burst_slip_counted(self):
+        obs.enable()
+        wall = _ManualWall()
+        events = _events([0.0, 1.0, 2.0, 3.0, 4.0])
+        paced = pace(
+            events, speed=1.0, clock=wall.clock, sleep=wall.sleep, max_burst=2,
+        )
+        next(paced)          # anchors schedule at wall 100
+        wall.now += 50.0     # consumer stall: everything now overdue
+        for _ in paced:
+            pass
+        slipped = obs.REGISTRY.get("pace.slipped_events").value
+        assert slipped > 0
+        assert obs.REGISTRY.get("pace.slipped_seconds").value > 0
+        assert obs.REGISTRY.get("pace.clock_jumps").value == 0
+
+    def test_clock_jump_counted(self):
+        obs.enable()
+        wall = _ManualWall()
+        events = _events([0.0, 1.0, 2.0])
+        paced = pace(events, speed=1.0, clock=wall.clock, sleep=wall.sleep)
+        next(paced)
+        wall.now -= 7.0      # backward NTP-style step
+        for _ in paced:
+            pass
+        assert obs.REGISTRY.get("pace.clock_jumps").value == 1
+        assert obs.REGISTRY.get("pace.slipped_seconds").value == pytest.approx(7.0)
+        assert obs.REGISTRY.get("pace.slipped_events").value == 0
+
+    def test_user_on_slip_still_invoked(self):
+        obs.enable()
+        wall = _ManualWall()
+        calls: list[tuple] = []
+        events = _events([0.0, 1.0, 2.0, 3.0])
+        paced = pace(
+            events, speed=1.0, clock=wall.clock, sleep=wall.sleep,
+            max_burst=1, on_slip=lambda n, s, r: calls.append((n, s, r)),
+        )
+        next(paced)
+        wall.now += 10.0
+        for _ in paced:
+            pass
+        assert calls, "user callback must still fire when obs is enabled"
+        assert all(r == "burst" for _, _, r in calls)
+        assert obs.REGISTRY.get("pace.slipped_events").value == pytest.approx(
+            sum(n for n, _, _ in calls)
+        )
+
+    def test_disabled_pace_records_nothing(self):
+        wall = _ManualWall()
+        events = _events([0.0, 1.0, 2.0])
+        paced = pace(
+            events, speed=1.0, clock=wall.clock, sleep=wall.sleep, max_burst=1,
+        )
+        next(paced)
+        wall.now += 10.0
+        for _ in paced:
+            pass
+        assert len(obs.REGISTRY) == 0
+
+    def test_smooth_replay_keeps_counters_at_zero(self):
+        obs.enable()
+        wall = _ManualWall()
+        paced = pace(
+            _events([0.0, 1.0, 2.0]), speed=1.0,
+            clock=wall.clock, sleep=wall.sleep, max_burst=4,
+        )
+        assert len(list(paced)) == 3
+        assert obs.REGISTRY.get("pace.slipped_events").value == 0
+        assert obs.REGISTRY.get("pace.slipped_seconds").value == 0
+        assert obs.REGISTRY.get("pace.clock_jumps").value == 0

@@ -1,0 +1,43 @@
+"""MCN simulator observability: run span, per-NF wait/service histograms."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.mcn import MCNSimulator
+from repro.trace import Stream, TraceDataset
+
+
+def _dataset(n_ues: int = 5, events_per_ue: int = 10, spacing: float = 0.5):
+    streams = []
+    for u in range(n_ues):
+        times, events = [], []
+        for k in range(events_per_ue):
+            times.append(u * 0.01 + k * spacing)
+            events.append("SRV_REQ" if k % 2 == 0 else "S1_CONN_REL")
+        streams.append(Stream.from_arrays(f"ue{u}", "phone", times, events))
+    return TraceDataset(streams=streams)
+
+
+class TestSimulatorMetrics:
+    def test_run_span_counts_offered_events(self):
+        obs.enable()
+        data = _dataset()
+        report = MCNSimulator(workers=2, seed=1).run(data)
+        agg = obs.REGISTRY.get("simulate.run")
+        assert agg.calls == 1
+        assert agg.events == report.num_events == 50
+
+    def test_queue_wait_and_service_histograms(self):
+        obs.enable()
+        report = MCNSimulator(workers=1, seed=1).run(_dataset())
+        wait = obs.REGISTRY.get("mcn.queue_wait_ms", region="core")
+        service = obs.REGISTRY.get("mcn.service_ms", region="core")
+        assert wait.count == report.num_events
+        assert service.count == report.num_events
+        assert service.sum > 0  # every arrival costs service time
+        # histogram mean service time matches the report's scale (ms)
+        assert 0.0 < service.sum / service.count < 1e3
+
+    def test_disabled_run_records_nothing(self):
+        MCNSimulator(workers=2, seed=1).run(_dataset())
+        assert len(obs.REGISTRY) == 0

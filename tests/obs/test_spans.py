@@ -1,0 +1,196 @@
+"""Spans: nesting, self-time, exception safety, sampled iterator timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, instrument_events, span
+from repro.obs.spans import _NOOP, _STACK
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop(self):
+        assert span("x") is _NOOP
+        assert span("y") is _NOOP
+
+    def test_noop_records_nothing(self):
+        with span("x") as sp:
+            sp.add_events(10)
+        assert len(obs.REGISTRY) == 0
+        assert _STACK == []
+
+    def test_instrument_events_returns_iterable_unchanged(self):
+        it = iter([1, 2, 3])
+        assert instrument_events("merge.pull", it) is it
+
+
+class TestEnabledSpans:
+    def test_single_span_total_equals_self(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with span("a", clock=fake_clock, registry=reg) as sp:
+            sp.add_events(5)
+        agg = reg.get("a")
+        assert agg.total_s == pytest.approx(1.0)  # enter@1, exit@2
+        assert agg.self_s == pytest.approx(agg.total_s)
+        assert agg.calls == 1
+        assert agg.events == 5
+        assert agg.errors == 0
+
+    def test_nested_spans_attribute_self_time(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        # clock ticks: outer enter@1, inner enter@2, inner exit@3, outer exit@4
+        with span("outer", clock=fake_clock, registry=reg):
+            with span("inner", clock=fake_clock, registry=reg):
+                pass
+        outer, inner = reg.get("outer"), reg.get("inner")
+        assert inner.total_s == pytest.approx(1.0)
+        assert outer.total_s == pytest.approx(3.0)
+        assert outer.self_s == pytest.approx(2.0)  # 3.0 minus inner's 1.0
+        assert sum(a.self_s for a in reg.spans()) == pytest.approx(outer.total_s)
+
+    def test_sibling_children_both_credited(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with span("outer", clock=fake_clock, registry=reg):
+            with span("a", clock=fake_clock, registry=reg):
+                pass
+            with span("a", clock=fake_clock, registry=reg):
+                pass
+        outer = reg.get("outer")
+        a = reg.get("a")
+        assert a.calls == 2
+        assert a.total_s == pytest.approx(2.0)
+        assert outer.self_s == pytest.approx(outer.total_s - 2.0)
+
+    def test_exception_pops_stack_and_counts_error(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with span("boom", clock=fake_clock, registry=reg):
+                raise RuntimeError("x")
+        assert _STACK == []
+        agg = reg.get("boom")
+        assert agg.errors == 1
+        assert agg.calls == 1
+        assert agg.total_s > 0
+
+    def test_exception_in_inner_still_credits_parent(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with span("outer", clock=fake_clock, registry=reg):
+                with span("inner", clock=fake_clock, registry=reg):
+                    raise ValueError
+        assert _STACK == []
+        assert reg.get("outer").self_s == pytest.approx(
+            reg.get("outer").total_s - reg.get("inner").total_s
+        )
+
+    def test_exclude_credits_enclosing_frame(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with span("outer", clock=fake_clock, registry=reg):
+            obs.exclude(0.25)
+        assert reg.get("outer").self_s == pytest.approx(
+            reg.get("outer").total_s - 0.25
+        )
+
+    def test_exclude_without_open_span_is_safe(self):
+        obs.exclude(1.0)  # no stack -> no-op, no error
+
+
+class TestInstrumentEvents:
+    def test_sample_one_times_every_pull(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        wrapped = instrument_events(
+            "merge.pull", iter(range(10)), sample=1,
+            clock=fake_clock, registry=reg,
+        )
+        assert list(wrapped) == list(range(10))
+        agg = reg.get("merge.pull")
+        assert agg.events == 10
+        assert agg.calls == 1
+        # every pull measured: 10 pulls x 1s/pull (clock steps once per read)
+        assert agg.total_s == pytest.approx(10.0)
+
+    def test_sampled_estimate_scales_up(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        wrapped = instrument_events(
+            "merge.pull", iter(range(100)), sample=7,
+            clock=fake_clock, registry=reg,
+        )
+        for _ in wrapped:
+            pass
+        agg = reg.get("merge.pull")
+        assert agg.events == 100
+        # ceil(100/7) = 15 measured pulls, each 1.0s -> estimate 15 * 100/15
+        assert agg.total_s == pytest.approx(100.0)
+
+    def test_finalize_happens_once(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        wrapped = instrument_events(
+            "merge.pull", iter([1]), sample=1, clock=fake_clock, registry=reg,
+        )
+        list(wrapped)
+        wrapped.close()
+        with pytest.raises(StopIteration):
+            next(wrapped)
+        assert reg.get("merge.pull").calls == 1
+
+    def test_close_finalizes_early(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        wrapped = instrument_events(
+            "merge.pull", iter(range(100)), sample=1,
+            clock=fake_clock, registry=reg,
+        )
+        next(wrapped)
+        next(wrapped)
+        wrapped.close()
+        assert reg.get("merge.pull").events == 2
+
+    def test_exception_mid_stream_finalizes(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+
+        def exploding():
+            yield 1
+            yield 2
+            raise RuntimeError("stream died")
+
+        wrapped = instrument_events(
+            "merge.pull", exploding(), sample=1,
+            clock=fake_clock, registry=reg,
+        )
+        with pytest.raises(RuntimeError):
+            list(wrapped)
+        assert reg.get("merge.pull").events == 2
+
+    def test_estimate_credited_to_enclosing_span(self, fake_clock):
+        obs.enable()
+        reg = MetricsRegistry()
+        with span("outer", clock=fake_clock, registry=reg):
+            wrapped = instrument_events(
+                "merge.pull", iter(range(4)), sample=1,
+                clock=fake_clock, registry=reg,
+            )
+            for _ in wrapped:
+                pass
+        outer = reg.get("outer")
+        pull = reg.get("merge.pull")
+        assert outer.self_s == pytest.approx(outer.total_s - pull.total_s)
+
+    def test_events_property_counts_pulls(self, fake_clock):
+        obs.enable()
+        wrapped = instrument_events(
+            "x", iter(range(5)), sample=2,
+            clock=fake_clock, registry=MetricsRegistry(),
+        )
+        list(wrapped)
+        assert wrapped.events == 5

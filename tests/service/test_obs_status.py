@@ -1,0 +1,140 @@
+"""ServiceStatus schema v2 and the metrics snapshot riding on it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.service import (
+    DegradationPolicy,
+    FaultPlan,
+    StallConsumer,
+    TrafficService,
+)
+from repro.service.status import STATUS_SCHEMA_VERSION, ServiceStatus
+
+
+class _FakeTime:
+    """A clock that only advances when the service sleeps."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _service(engine, **options):
+    fake = _FakeTime()
+    options.setdefault("num_workers", 0)
+    options.setdefault("speed", float("inf"))
+    service = TrafficService(
+        engine, clock=fake.clock, sleep=fake.sleep, **options
+    )
+    return service, fake
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+
+
+class TestStatusSchema:
+    def test_schema_version_in_every_line(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        report = service.run()
+        status = report.status
+        assert status.schema_version == STATUS_SCHEMA_VERSION == (
+            "repro/service-status/v2"
+        )
+        line = json.loads(status.to_json_line())
+        assert line["schema_version"] == STATUS_SCHEMA_VERSION
+
+    def test_metrics_none_when_disabled(self, tiny_population, make_engine):
+        service, _ = _service(make_engine(tiny_population))
+        report = service.run()
+        assert report.status.metrics is None
+        assert json.loads(report.status.to_json_line())["metrics"] is None
+
+    def test_typed_defaults(self):
+        status = ServiceStatus(
+            state="idle", elapsed=0.0, merged_total=0, delivered=0,
+            shed_total=0, pending=0, buffered=0, events_per_second=0.0,
+            speed=1.0, degradation_level=0,
+        )
+        assert status.shed_cohorts == ()
+        assert status.shed_by_cohort == {}
+        assert status.shard_cursors == ()
+        assert status.workers == []
+        assert status.incidents == []
+        assert status.gate is None
+        assert status.metrics is None
+
+
+class TestStatusMetrics:
+    def test_snapshot_carries_stage_and_pace_keys(
+        self, tiny_population, make_engine
+    ):
+        obs.enable()
+        service, _ = _service(make_engine(tiny_population))
+        report = service.run()
+        metrics = report.status.metrics
+        assert metrics is not None
+        # pace counters are pre-created so soak consumers can rely on
+        # the keys even in an inf-speed run with zero slippage
+        for key in ("pace.slipped_events", "pace.slipped_seconds",
+                    "pace.clock_jumps"):
+            assert metrics[key]["value"] == 0
+        for key in ("merge.buffered", "ring.depth", "ring.shed_total",
+                    "service.delivered", "service.merged_total"):
+            assert key in metrics
+        assert metrics["service.delivered"]["value"] == report.status.delivered
+        # span aggregates from the run loop travel with the snapshot
+        assert metrics["ring.consume"]["kind"] == "span"
+        assert metrics["ring.consume"]["events"] == report.status.delivered
+        assert metrics["merge.pump"]["kind"] == "span"
+
+    def test_shed_metrics_match_status(self, tiny_population, make_engine):
+        obs.enable()
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=8,
+            ring_events=32,
+            degradation=DegradationPolicy(degrade_after=0.2),
+            faults=FaultPlan(faults=(StallConsumer(at=0.0, duration=1e9),)),
+        )
+        report = service.run(duration=30.0)
+        status = report.status
+        assert status.shed_total > 0
+        metrics = status.metrics
+        assert metrics["ring.shed_total"]["value"] == status.shed_total
+        assert metrics["ring.shed_episodes"]["value"] == status.shed_episodes
+        for cohort, count in status.shed_by_cohort.items():
+            assert metrics[f"ring.shed_events{{cohort={cohort}}}"]["value"] == count
+
+    def test_gate_observe_span_flushed(self, tiny_population, make_engine):
+        from repro.validate import RollingGate
+
+        obs.enable()
+        gate = RollingGate(tiny_population, seed=7)
+        service, _ = _service(make_engine(tiny_population), gate=gate)
+        report = service.run()
+        metrics = report.status.metrics
+        assert metrics["gate.observe"]["kind"] == "span"
+        assert metrics["gate.observe"]["events"] == report.status.delivered
+
+    def test_json_line_round_trips_metrics(self, tiny_population, make_engine):
+        obs.enable()
+        service, _ = _service(make_engine(tiny_population))
+        report = service.run()
+        line = json.loads(report.status.to_json_line())
+        assert line["metrics"]["service.delivered"]["value"] == line["delivered"]
