@@ -1,0 +1,104 @@
+"""Columnar merge pipeline benchmarks: chunk merge vs per-event heap merge.
+
+The tracked numbers (BENCH_pipeline.json) are merge events/sec on the
+SAME shard buffers through both paths — the vectorized
+:func:`merge_buffers` lexsort the hot path now runs, and the
+``heapq.merge`` over per-event decoded objects it replaced — plus the
+end-to-end generate → merge → simulate pipeline wall time.  The
+acceptance bar (asserted here and re-checked in CI): the chunked merge
+is at least 10x the per-event heap merge.
+
+    PIPELINE_BENCH_SCALE=1.0 PYTHONPATH=src \
+        python -m pytest benchmarks/test_bench_pipeline.py \
+        --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.workload import Workload, get_workload, merge_buffers
+from repro.workload.timeline import decode_buffer, merge_timelines
+
+from conftest import run_once
+
+#: city-day has 2000 UEs at scale 1.0; the in-suite default is 200.
+SCALE = float(os.environ.get("PIPELINE_BENCH_SCALE", "0.1"))
+
+#: CI floor: chunked merge must beat the per-event heap merge by this.
+SPEEDUP_FLOOR = 10.0
+
+
+def _engine() -> Workload:
+    return Workload(get_workload("city-day").scaled(SCALE), seed=1)
+
+
+@pytest.fixture(scope="module")
+def shard_buffers():
+    """The same shard buffers both merge paths consume (built untimed)."""
+    engine = _engine()
+    plan = engine.planned_shards()
+    buffers = [engine._shard_buffer(*entry) for entry in plan]
+    cohorts = [entry[1].name for entry in plan]
+    total = sum(int(b[0].size) for b in buffers)
+    return buffers, cohorts, engine._cell_names(), total
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_chunk_merge_speedup(benchmark, shard_buffers):
+    """Headline: vectorized columnar merge vs the heap merge it replaced."""
+    buffers, cohorts, cell_names, total = shard_buffers
+
+    def chunked():
+        return merge_buffers(buffers, cohorts, cell_names=cell_names)
+
+    def heap():
+        count = 0
+        for _ in merge_timelines(
+            [
+                decode_buffer(buffer, cohort, cell_names)
+                for buffer, cohort in zip(buffers, cohorts)
+            ]
+        ):
+            count += 1
+        return count
+
+    chunks = run_once(benchmark, chunked)
+    assert sum(c.num_events for c in chunks) == total
+    chunk_s = _best_of(chunked)
+    heap_s = _best_of(heap, rounds=2)
+    speedup = heap_s / chunk_s
+    print(
+        f"\nchunk merge: {total} events in {chunk_s * 1e3:.1f}ms = "
+        f"{total / chunk_s:,.0f} ev/s | heap merge: {heap_s * 1e3:.1f}ms = "
+        f"{total / heap_s:,.0f} ev/s | speedup {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"chunked merge is only {speedup:.1f}x the per-event heap merge "
+        f"(floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_pipeline_end_to_end(benchmark):
+    """Generate → columnar merge → chunk-native simulate, one wall number."""
+
+    def pipeline():
+        return _engine().simulate(sim_seed=0)
+
+    report = run_once(benchmark, pipeline)
+    assert report.num_events > 0
+    print(
+        f"\nend-to-end pipeline: {report.num_events} events simulated "
+        f"(scale {SCALE})"
+    )

@@ -168,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the MCN simulator stage")
     p.add_argument("--no-validate", action="store_true",
                    help="skip the oracle/stats validators")
+    p.add_argument("--chunk-events", type=int, default=65536,
+                   help="events per merged columnar chunk on the "
+                        "merge -> simulate hot path")
     p.add_argument("--json", default=None,
                    help="write the PipelineProfile JSON to this path")
 
@@ -527,6 +530,7 @@ def _cmd_profile(args) -> int:
             validators=validators,
             simulate=not args.no_simulate,
             sim_workers=args.sim_workers,
+            chunk_events=args.chunk_events,
         )
     profile = session.profile
     print()

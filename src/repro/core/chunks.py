@@ -1,0 +1,368 @@
+"""Columnar merged-timeline chunks: the pipeline's event interchange.
+
+The per-event object boundary was the pipeline's throughput ceiling:
+every stage decoded compact shard buffers into one ``TimelineEvent``
+tuple per pull (ROADMAP item 1).  This module defines the columnar
+replacement that flows between stages instead:
+
+* :class:`MergeTables` — append-only global string tables (cohorts,
+  event names, UE ids) shared by every chunk of one merged timeline,
+  plus the precomputed *merge rank* per UE that makes the global
+  ``(timestamp, cohort, ue_id)`` order a plain integer sort;
+* :class:`MergedChunk` — one globally ordered slice of the merged
+  timeline as numpy columns, with :meth:`~MergedChunk.decode` as the
+  compatibility shim back to event objects;
+* :func:`merge_buffers` — the batch chunk merge: one ``np.lexsort``
+  over the concatenated shard columns, bit-identical in event order to
+  the k-way heap merge it replaces.
+
+Ordering contract (shared with ``heapq.merge`` over per-shard decoded
+streams): events sort by ``(timestamp, cohort, ue_id)``; cross-shard
+ties on the full key resolve by shard index, within-shard ties keep
+stream order.  The merge rank encodes exactly that — UEs rank by
+``(cohort name, ue id, owning shard)`` — so ``np.lexsort((rank[ues],
+times))`` over shard-order-concatenated columns reproduces the heap
+merge bit for bit.
+
+This module must stay import-light (numpy only): workload, service,
+mcn, and validate all import it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TimelineEvent",
+    "CellTimelineEvent",
+    "MergeTables",
+    "MergedChunk",
+    "merge_buffers",
+    "merge_order",
+]
+
+
+def merge_order(times: np.ndarray, rank_keys: np.ndarray) -> np.ndarray:
+    """Stable order by ``(times, rank_keys)`` — lexsort semantics, faster.
+
+    ``np.lexsort((rank_keys, times))`` runs a full stable sort per key;
+    merged timelines are nearly unique in time, so sort by time once and
+    re-sort only the tie runs by the rank key.  Output is bit-identical
+    to the two-key lexsort: within an equal-time run the stable sub-sort
+    orders by rank and keeps original (shard-concatenation) order on
+    full-key ties, exactly as lexsort would.
+    """
+    order = np.argsort(times, kind="stable")
+    sorted_times = times[order]
+    ties = np.flatnonzero(sorted_times[1:] == sorted_times[:-1])
+    if ties.size == 0:
+        return order
+    in_run = np.zeros(times.size, dtype=bool)
+    in_run[ties] = True
+    in_run[ties + 1] = True
+    pos = np.flatnonzero(in_run)
+    run_values = sorted_times[pos]
+    run_ids = np.cumsum(np.r_[True, run_values[1:] != run_values[:-1]])
+    sub = order[pos]
+    sub_rank = rank_keys[sub]
+    # Merge ranks are dense non-negative ints, so (run, rank) packs into
+    # one int64 key and sorts with a single stable (radix) pass instead
+    # of a two-key lexsort.  Equal keys = full-key ties, which the stable
+    # sort keeps in original (shard-concatenation) order.
+    span = int(sub_rank.max()) + 1
+    if int(sub_rank.min()) >= 0 and int(run_ids[-1]) < (2**62) // span:
+        sub_order = np.argsort(run_ids * span + sub_rank, kind="stable")
+    else:
+        sub_order = np.lexsort((sub_rank, run_ids))
+    order[pos] = sub[sub_order]
+    return order
+
+
+class TimelineEvent(NamedTuple):
+    """One control-plane event on the merged population timeline."""
+
+    timestamp: float
+    cohort: str
+    ue_id: str
+    event: str
+
+
+class CellTimelineEvent(NamedTuple):
+    """A timeline event annotated with the cell it was emitted from.
+
+    Emitted instead of :class:`TimelineEvent` when the workload runs
+    against a topology; the first four fields (and the merge key) are
+    identical, so every plain-timeline consumer keeps working.
+    """
+
+    timestamp: float
+    cohort: str
+    ue_id: str
+    event: str
+    cell: str
+
+
+class MergeTables:
+    """Append-only global string tables for one merged timeline.
+
+    Every shard registers its UE and event-name tables once (on its
+    first chunk); codes already handed out never move, so chunks emitted
+    earlier stay valid as later shards register.  The derived arrays
+    (:attr:`rank`, :attr:`ue_cohorts`) are rebuilt lazily whenever the
+    UE table has grown.
+    """
+
+    __slots__ = (
+        "cell_names",
+        "cohort_names",
+        "event_names",
+        "ue_ids",
+        "_cohort_code",
+        "_event_code",
+        "_ue_cohort",
+        "_ue_shard",
+        "_rank",
+        "_ue_cohorts",
+        "_keys",
+    )
+
+    def __init__(self, cell_names: "Sequence[str] | None" = None) -> None:
+        self.cell_names = None if cell_names is None else tuple(cell_names)
+        self.cohort_names: list[str] = []
+        self.event_names: list[str] = []
+        self.ue_ids: list[str] = []
+        self._cohort_code: dict[str, int] = {}
+        self._event_code: dict[str, int] = {}
+        self._ue_cohort: list[int] = []
+        self._ue_shard: list[int] = []
+        self._rank: np.ndarray | None = None
+        self._ue_cohorts: np.ndarray | None = None
+        self._keys: dict[int, list] = {}
+
+    @property
+    def num_ues(self) -> int:
+        return len(self.ue_ids)
+
+    def cohort_code(self, name: str) -> int:
+        code = self._cohort_code.get(name)
+        if code is None:
+            code = self._cohort_code[name] = len(self.cohort_names)
+            self.cohort_names.append(name)
+        return code
+
+    def event_codes(self, names: Sequence[str]) -> np.ndarray:
+        """Global int32 codes for a shard's event-name table."""
+        out = np.empty(len(names), dtype=np.int32)
+        table = self._event_code
+        for i, name in enumerate(names):
+            code = table.get(name)
+            if code is None:
+                code = table[name] = len(self.event_names)
+                self.event_names.append(name)
+            out[i] = code
+        return out
+
+    def add_ues(self, cohort: str, ue_ids: Sequence[str], shard: int) -> int:
+        """Register one shard's UE table; returns its global base index."""
+        base = len(self.ue_ids)
+        code = self.cohort_code(cohort)
+        self.ue_ids.extend(ue_ids)
+        self._ue_cohort.extend([code] * len(ue_ids))
+        self._ue_shard.extend([shard] * len(ue_ids))
+        return base
+
+    @property
+    def rank(self) -> np.ndarray:
+        """int64 merge rank per global UE.
+
+        Order-isomorphic to ``(cohort name, ue id, owning shard)`` —
+        the shard component resolves cross-shard ties on identical
+        ``(cohort, ue_id)`` strings exactly the way ``heapq.merge``
+        resolves them (by source index).  Rebuilt lazily when new UEs
+        registered; relative ranks of existing UEs stay consistent with
+        the string order, so chunks already emitted remain correctly
+        comparable.
+        """
+        if self._rank is None or self._rank.size != len(self.ue_ids):
+            n = len(self.ue_ids)
+            names = self.cohort_names
+            cohorts = self._ue_cohort
+            ids = self.ue_ids
+            shards = self._ue_shard
+            order = sorted(
+                range(n), key=lambda i: (names[cohorts[i]], ids[i], shards[i])
+            )
+            rank = np.empty(n, dtype=np.int64)
+            rank[order] = np.arange(n, dtype=np.int64)
+            self._rank = rank
+        return self._rank
+
+    @property
+    def ue_cohorts(self) -> np.ndarray:
+        """int32 cohort code per global UE index."""
+        if self._ue_cohorts is None or self._ue_cohorts.size != len(self.ue_ids):
+            self._ue_cohorts = np.asarray(self._ue_cohort, dtype=np.int32)
+        return self._ue_cohorts
+
+    def ue_keys(self, cycle: int = 0) -> list:
+        """``(cohort name, ue id)`` pairs per global UE index.
+
+        ``cycle > 0`` tags the UE id ``"{ue}#c{cycle}"`` — the service
+        loop-mode relabeling.  The list is cached per cycle and extended
+        in place as new UEs register.
+        """
+        keys = self._keys.get(cycle)
+        if keys is None:
+            keys = self._keys[cycle] = []
+        if len(keys) < len(self.ue_ids):
+            names = self.cohort_names
+            cohorts = self._ue_cohort
+            suffix = f"#c{cycle}" if cycle else ""
+            for i in range(len(keys), len(self.ue_ids)):
+                keys.append((names[cohorts[i]], self.ue_ids[i] + suffix))
+        return keys
+
+
+class MergedChunk(NamedTuple):
+    """One globally ordered slice of the merged timeline, columnar.
+
+    ``ues`` holds *global* UE indices and ``events`` *global* event
+    codes — both into :attr:`tables` — so a chunk is self-describing and
+    chunks from the same merge share one table set.  ``cohorts`` is the
+    per-event cohort code (denormalized from the UE for vectorized
+    shedding masks).  ``cycle`` is the service loop-mode replay cycle
+    (0 for the first pass); it only affects :meth:`decode`'s UE ids.
+    """
+
+    times: np.ndarray
+    cohorts: np.ndarray
+    ues: np.ndarray
+    events: np.ndarray
+    cells: "np.ndarray | None"
+    tables: MergeTables
+    cycle: int = 0
+
+    @property
+    def num_events(self) -> int:
+        return int(self.times.size)
+
+    def slice(self, lo: int, hi: int) -> "MergedChunk":
+        return self._replace(
+            times=self.times[lo:hi],
+            cohorts=self.cohorts[lo:hi],
+            ues=self.ues[lo:hi],
+            events=self.events[lo:hi],
+            cells=None if self.cells is None else self.cells[lo:hi],
+        )
+
+    def shifted(self, offset: float, cycle: int) -> "MergedChunk":
+        """Loop-mode relabeling: shift times, tag the replay cycle."""
+        return self._replace(times=self.times + offset, cycle=cycle)
+
+    def decode(self) -> Iterator:
+        """The compatibility shim: this chunk as per-event objects."""
+        tables = self.tables
+        keys = tables.ue_keys(self.cycle)
+        names = tables.event_names
+        times = self.times.tolist()
+        ues = self.ues.tolist()
+        events = self.events.tolist()
+        if self.cells is not None:
+            cell_names = tables.cell_names
+            if cell_names is None:
+                raise ValueError(
+                    "chunk carries cell annotations but its tables have no "
+                    "cell_names; construct the merge with the topology's "
+                    "cell names"
+                )
+            cells = self.cells.tolist()
+            for i in range(len(times)):
+                key = keys[ues[i]]
+                yield CellTimelineEvent(
+                    times[i], key[0], key[1], names[events[i]], cell_names[cells[i]]
+                )
+            return
+        for i in range(len(times)):
+            key = keys[ues[i]]
+            yield TimelineEvent(times[i], key[0], key[1], names[events[i]])
+
+
+def merge_buffers(
+    buffers: Sequence,
+    cohorts: Sequence[str],
+    *,
+    cell_names: "Sequence[str] | None" = None,
+    chunk_events: int = 65536,
+) -> "list[MergedChunk]":
+    """Batch columnar merge of sorted shard buffers into global chunks.
+
+    Each buffer is the ``(times, ue_codes, event_codes, ue_ids,
+    event_names[, cells])`` layout of ``Workload._shard_buffer``, already
+    sorted by the merge key within the shard.  One stable ``np.lexsort``
+    over ``(merge rank, time)`` of the shard-order-concatenated columns
+    yields exactly the k-way heap merge's order (see module docstring),
+    sliced into chunks of at most ``chunk_events`` events.  The chunk
+    columns are views of the merged arrays — together they *are* the
+    merged timeline, so no memory is pinned beyond it.
+    """
+    if chunk_events < 1:
+        raise ValueError("chunk_events must be >= 1")
+    if len(buffers) != len(cohorts):
+        raise ValueError("need one cohort name per shard buffer")
+    tables = MergeTables(cell_names)
+    time_cols: list[np.ndarray] = []
+    ue_cols: list[np.ndarray] = []
+    event_cols: list[np.ndarray] = []
+    cell_cols: list[np.ndarray] = []
+    for shard, (buffer, cohort) in enumerate(zip(buffers, cohorts)):
+        times, ues, codes, ue_ids, event_names = buffer[:5]
+        cells = buffer[5] if len(buffer) > 5 else None
+        base = tables.add_ues(cohort, ue_ids, shard)
+        lookup = tables.event_codes(event_names)
+        time_cols.append(np.asarray(times, dtype=np.float64))
+        ue_cols.append(np.asarray(ues, dtype=np.int64) + base)
+        event_cols.append(lookup[np.asarray(codes, dtype=np.int64)])
+        if cells is not None:
+            if cell_names is None:
+                raise ValueError(
+                    f"shard {shard} buffer carries cell annotations but no "
+                    "cell_names table was given; pass the topology's cell "
+                    "names to merge_buffers"
+                )
+            cell_cols.append(np.asarray(cells, dtype=np.int16))
+    if cell_cols and len(cell_cols) != len(time_cols):
+        raise ValueError("shard buffers disagree on cell annotations")
+    all_times = np.concatenate(time_cols) if time_cols else np.empty(0)
+    all_ues = (
+        np.concatenate(ue_cols) if ue_cols else np.empty(0, dtype=np.int64)
+    )
+    all_events = (
+        np.concatenate(event_cols) if event_cols else np.empty(0, dtype=np.int32)
+    )
+    all_cells = np.concatenate(cell_cols) if cell_cols else None
+    order = merge_order(all_times, tables.rank[all_ues])
+    all_times = all_times[order]
+    all_ues = all_ues[order]
+    all_events = all_events[order]
+    if all_cells is not None:
+        all_cells = all_cells[order]
+    all_cohorts = tables.ue_cohorts[all_ues] if all_ues.size else np.empty(
+        0, dtype=np.int32
+    )
+    total = int(all_times.size)
+    chunks: list[MergedChunk] = []
+    for lo in range(0, total, chunk_events):
+        hi = min(total, lo + chunk_events)
+        chunks.append(
+            MergedChunk(
+                times=all_times[lo:hi],
+                cohorts=all_cohorts[lo:hi],
+                ues=all_ues[lo:hi],
+                events=all_events[lo:hi],
+                cells=None if all_cells is None else all_cells[lo:hi],
+                tables=tables,
+            )
+        )
+    return chunks

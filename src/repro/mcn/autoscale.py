@@ -28,6 +28,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..core.chunks import MergedChunk
 from ..trace.dataset import TraceDataset
 from .nf import LTE_COSTS, ServiceCostModel
 
@@ -186,7 +187,9 @@ def simulate_autoscaling(
 
     demands: list[float] = []
     start: float | None = None
-    for timestamp, event, cell in _timed_events(workload):
+
+    def _fold_event(timestamp: float, event: str, cell: "str | None") -> None:
+        nonlocal start
         if start is None:
             start = timestamp
         slot = int((timestamp - start) // window_seconds)
@@ -205,6 +208,83 @@ def simulate_autoscaling(
             while len(series) <= slot:
                 series.append(0.0)
             series[slot] += cost_s
+
+    # Per-MergeTables caches for the columnar fold (tables are
+    # append-only; a grown event-name table invalidates the cost row).
+    fold_tables = None
+    fold_costs: "np.ndarray | None" = None
+    cell_tables = None
+    region_cells: dict[str, np.ndarray] = {}
+
+    def _fold_chunk(chunk: MergedChunk) -> None:
+        nonlocal start, fold_tables, fold_costs, cell_tables, region_cells
+        if chunk.num_events == 0:
+            return
+        if start is None:
+            start = float(chunk.times[0])
+        slots = ((chunk.times - start) // window_seconds).astype(np.int64)
+        if slots[0] < 0:
+            raise ValueError(
+                f"event at t={float(chunk.times[0])} precedes the first "
+                f"event (t={start}); "
+                "streamed workloads must be time-ordered"
+            )
+        tables = chunk.tables
+        names = tables.event_names
+        if fold_tables is not tables or fold_costs.size != len(names):
+            fold_costs = np.array(
+                [cost_model.mean_cost(name) / 1000.0 for name in names]
+            )
+            fold_tables = tables
+        costs = fold_costs[chunk.events]
+        last = int(slots[-1])
+        while len(demands) <= last:
+            demands.append(0.0)
+        # np.add.at accumulates in element order — bit-identical floats
+        # to the per-event `demands[slot] += cost` walk.
+        window = np.asarray(demands, dtype=np.float64)
+        np.add.at(window, slots, costs)
+        demands[:] = window.tolist()
+        if chunk.cells is None or not region_demands:
+            return
+        if cell_tables is not tables:
+            by_region: dict[str, list[int]] = {}
+            for code, name in enumerate(tables.cell_names):
+                region = region_of_cell.get(name)
+                if region is not None:
+                    by_region.setdefault(region, []).append(code)
+            region_cells = {
+                region: np.asarray(codes, dtype=np.int16)
+                for region, codes in by_region.items()
+            }
+            cell_tables = tables
+        for region, codes in region_cells.items():
+            mask = np.isin(chunk.cells, codes)
+            if not mask.any():
+                continue
+            series = region_demands[region]
+            region_slots = slots[mask]
+            while len(series) <= int(region_slots[-1]):
+                series.append(0.0)
+            window = np.asarray(series, dtype=np.float64)
+            np.add.at(window, region_slots, costs[mask])
+            series[:] = window.tolist()
+
+    if isinstance(workload, TraceDataset):
+        for timestamp, event, cell in _timed_events(workload):
+            _fold_event(timestamp, event, cell)
+    else:
+        for item in workload:
+            # MergedChunk is itself a (7-field) NamedTuple — dispatch on
+            # type before any len() shape sniffing.
+            if isinstance(item, MergedChunk):
+                _fold_chunk(item)
+            elif len(item) >= 5:
+                _fold_event(item[0], item[3], item[4])
+            elif len(item) == 4:
+                _fold_event(item[0], item[3], None)
+            else:
+                _fold_event(item[0], item[2], None)
     if start is None:
         return trace
 

@@ -40,6 +40,7 @@ from typing import Hashable, Iterable, Iterator
 
 import numpy as np
 
+from ..core.chunks import MergedChunk
 from ..obs import (
     enabled as _obs_enabled,
     metrics as _obs_metrics,
@@ -251,11 +252,22 @@ class MCNSimulator:
         ``tee(timestamp, ue_key, event)`` for every *offered* arrival —
         before queue-limit drops, so conformance is judged on the
         traffic the generator produced, not on what survived the queue.
+
+        Iterables may interleave columnar
+        :class:`~repro.core.chunks.MergedChunk` batches (the hot path —
+        ingested without per-event decode) with per-event tuples.
         """
         session = self.start(tee=tee)
         with _span("simulate.run") as sp:
-            for timestamp, ue_key, event, cell in _arrivals(workload):
-                session.offer_arrival(timestamp, ue_key, event, cell)
+            if isinstance(workload, TraceDataset):
+                for timestamp, ue_key, event, cell in _arrivals(workload):
+                    session.offer_arrival(timestamp, ue_key, event, cell)
+            else:
+                for item in workload:
+                    if isinstance(item, MergedChunk):
+                        session.offer_chunk(item)
+                    else:
+                        session.offer(item)
             sp.add_events(session.offered)
         return session.finalize()
 
@@ -372,6 +384,14 @@ class SimulationRun:
         self._peak_connected = 0
         self._first: float | None = None
         self._last = 0.0
+        # Per-MergeTables caches for the columnar offer_chunk path,
+        # invalidated when the (append-only) tables grow.
+        self._chunk_tables = None
+        self._chunk_names = 0
+        self._chunk_means: np.ndarray | None = None
+        self._chunk_flags: np.ndarray | None = None
+        self._cell_tables = None
+        self._cell_info: list | None = None
 
     @property
     def offered(self) -> int:
@@ -396,6 +416,108 @@ class SimulationRun:
             return self.offer_arrival(timestamp, (cohort, ue_id), event, None)
         timestamp, ue_id, event = item
         return self.offer_arrival(timestamp, ue_id, event, None)
+
+    def _chunk_costs(self, tables) -> tuple[np.ndarray, np.ndarray]:
+        """Mean service times + connect/release flags per global event code."""
+        names = tables.event_names
+        if self._chunk_tables is not tables or self._chunk_names != len(names):
+            model = self._simulator.cost_model
+            self._chunk_means = np.array(
+                [model.mean_cost(name) for name in names], dtype=np.float64
+            )
+            flags = np.zeros(len(names), dtype=np.int8)
+            for i, name in enumerate(names):
+                if name in _CONNECTING_EVENTS:
+                    flags[i] = 1
+                elif name in _RELEASING_EVENTS:
+                    flags[i] = -1
+            self._chunk_flags = flags
+            self._chunk_tables = tables
+            self._chunk_names = len(names)
+        return self._chunk_means, self._chunk_flags
+
+    def _chunk_cells(self, tables) -> list:
+        """``(cell name, region, pool)`` per global cell code."""
+        if self._cell_tables is not tables:
+            self._cell_info = [
+                (
+                    name,
+                    region := self._region_of_cell.get(name, self._default_region),
+                    self._pools[region],
+                )
+                for name in tables.cell_names
+            ]
+            self._cell_tables = tables
+        return self._cell_info
+
+    def offer_chunk(self, chunk: MergedChunk) -> int:
+        """Offer one merged columnar chunk; returns the accepted count.
+
+        Bit-identical to offering the chunk's decoded events one at a
+        time: the shared cost RNG draws once per event in arrival order
+        (a vectorized ``rng.exponential(means)`` draws the same floats
+        as sequential scalar calls), and pool / context-set updates run
+        in the same per-event sequence.  With a tee attached the chunk
+        falls back to per-event ``offer`` so the tee sees event objects.
+        """
+        n = chunk.num_events
+        if n == 0:
+            return 0
+        if self._tee is not None:
+            accepted = 0
+            for event in chunk.decode():
+                if self.offer(event):
+                    accepted += 1
+            return accepted
+        simulator = self._simulator
+        tables = chunk.tables
+        means, flags = self._chunk_costs(tables)
+        if simulator.cost_model.stochastic:
+            service = self._rng.exponential(means[chunk.events]) / 1000.0
+        else:
+            service = means[chunk.events] / 1000.0
+        times = chunk.times.tolist()
+        ues = chunk.ues.tolist()
+        events = chunk.events.tolist()
+        service_list = service.tolist()
+        flag_list = flags[chunk.events].tolist()
+        keys = tables.ue_keys(chunk.cycle)
+        names = tables.event_names
+        chaos = simulator.chaos
+        if chunk.cells is not None:
+            cell_info = self._chunk_cells(tables)
+            cells = chunk.cells.tolist()
+        else:
+            cell_info = None
+            cell = None
+            region = self._default_region
+            pool = self._pools[region]
+        if self._first is None:
+            self._first = times[0]
+        self._last = times[-1]
+        connected = self._connected
+        peak = self._peak_connected
+        accepted = 0
+        for i in range(n):
+            t = times[i]
+            service_s = service_list[i]
+            if cell_info is not None:
+                cell, region, pool = cell_info[cells[i]]
+            if chaos is not None and region is not None:
+                service_s *= chaos.service_scale(region, t)
+            ue_key = keys[ues[i]]
+            if not pool.offer(t, ue_key, names[events[i]], service_s, cell):
+                continue
+            accepted += 1
+            flag = flag_list[i]
+            if flag > 0:
+                connected.add(ue_key)
+                if len(connected) > peak:
+                    peak = len(connected)
+            elif flag < 0:
+                connected.discard(ue_key)
+        self._peak_connected = peak
+        return accepted
 
     def offer_arrival(
         self,

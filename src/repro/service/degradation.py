@@ -101,9 +101,9 @@ class ShedAccount:
         self.episodes = 0
         self._was_shedding = False
 
-    def record(self, cohort: str) -> None:
-        self.by_cohort[cohort] = self.by_cohort.get(cohort, 0) + 1
-        self.total += 1
+    def record(self, cohort: str, count: int = 1) -> None:
+        self.by_cohort[cohort] = self.by_cohort.get(cohort, 0) + count
+        self.total += count
 
     def note_level(self, level: int) -> None:
         """Track distinct shedding episodes (level 0 → >0 transitions)."""

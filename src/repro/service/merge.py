@@ -1,7 +1,7 @@
-"""Incremental k-way merge over per-shard chunk streams.
+"""Incremental columnar k-way merge over per-shard chunk streams.
 
-The batch path (:func:`repro.workload.timeline.merge_timelines`) merges
-complete per-shard iterators with ``heapq.merge``.  The service path
+The batch path (:func:`repro.core.chunks.merge_buffers`) merges
+complete shard buffers with one vectorized lexsort.  The service path
 receives each shard as a sequence of
 :class:`~repro.workload.timeline.TimelineChunk` deliveries spread over
 time and across restarts, so the merge must be *incremental*: accept
@@ -9,22 +9,39 @@ chunks as they arrive, emit events as soon as emission is provably
 safe, and expose the per-shard durable cursor (next expected chunk
 ``seq``) the supervisor restarts crashed workers from.
 
-Safety rule: the globally minimal buffered event can be emitted exactly
-when every unfinished shard has at least one buffered event — any shard
-with an empty buffer might still produce something earlier.  Ordering
-matches the batch merge bit for bit: the heap key is the merge key
-``(timestamp, cohort, ue_id)`` with ties across shards resolved by
-shard index (``heapq.merge``'s source order), and within-shard order is
-preserved because each shard contributes one head at a time.
+Safety rule: buffered events may be emitted exactly up to the *emission
+horizon* — the smallest ``(timestamp, merge rank, shard)`` key over the
+**last** buffered event of every unfinished shard.  Anything at or
+below that key is final (a shard's future events can only sort at or
+after its last buffered one; other unfinished shards are bounded by
+their own last keys, which are no smaller); anything above might still
+be preceded by an event from a shard that has more chunks coming.  When
+any unfinished shard has an empty buffer the horizon is undefined and
+nothing is safe — the classic k-way merge starvation rule, tracked here
+as a single ``_starved`` counter updated in ``add_chunk`` /
+``finish_shard`` / emission instead of an O(num_shards) rescan per
+event.
+
+Ordering matches the batch merge (and the heap merge it replaced) bit
+for bit: the key is ``(timestamp, cohort, ue_id)`` with ties across
+shards resolved by shard index and within-shard order preserved — see
+:class:`~repro.core.chunks.MergeTables.rank` for how the merge rank
+encodes exactly that.
+
+Emission is columnar: :meth:`ChunkMerger.pop_ready_chunks` returns
+globally ordered :class:`~repro.core.chunks.MergedChunk` slices with no
+per-event decode anywhere; :meth:`ChunkMerger.pop_ready` remains as the
+object-path compatibility shim.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from typing import Iterator
 
-from ..workload.timeline import TimelineChunk, decode_buffer
+import numpy as np
+
+from ..core.chunks import MergedChunk, MergeTables, merge_order
+from ..workload.timeline import TimelineChunk
 
 __all__ = ["ChunkMerger"]
 
@@ -40,6 +57,11 @@ class ChunkMerger:
     chunk (``seq`` below the cursor — a restarted worker double-sent) is
     dropped idempotently; a gap raises, because a missing chunk can
     never be recovered downstream.
+
+    Buffered events are kept as per-shard numpy columns (times, global
+    UE indices, global event codes, cell codes) — chunks are translated
+    into the shared :class:`~repro.core.chunks.MergeTables` on arrival
+    and never decoded to event objects.
     """
 
     def __init__(
@@ -48,17 +70,26 @@ class ChunkMerger:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self._cell_names = cell_names
-        self._pending: list[deque] = [deque() for _ in range(num_shards)]
+        self.tables = MergeTables(cell_names)
         self._finished = [False] * num_shards
         self._cursors = [0] * num_shards
-        self._heap: list = []
-        self._in_heap = [False] * num_shards
+        self._counts = [0] * num_shards
+        self._ptimes: list[list] = [[] for _ in range(num_shards)]
+        self._pues: list[list] = [[] for _ in range(num_shards)]
+        self._pevents: list[list] = [[] for _ in range(num_shards)]
+        self._pcells: list[list] = [[] for _ in range(num_shards)]
+        self._ue_base: list = [None] * num_shards
+        self._lookups: list = [None] * num_shards
+        self._use_cells: bool | None = None
+        #: unfinished shards with zero buffered events; emission is safe
+        #: iff this is zero (every unfinished shard has a known head).
+        self._starved = num_shards
         self.merged_total = 0
 
     # ------------------------------------------------------------------
     @property
     def num_shards(self) -> int:
-        return len(self._pending)
+        return len(self._counts)
 
     def cursor(self, shard: int) -> int:
         """Next expected chunk seq (``SHARD_DONE`` when the shard is done)."""
@@ -70,15 +101,15 @@ class ChunkMerger:
 
     @property
     def buffered(self) -> int:
-        """Events decoded but not yet emitted."""
-        return len(self._heap) + sum(len(d) for d in self._pending)
+        """Events accepted but not yet emitted."""
+        return sum(self._counts)
 
     def buffered_of(self, shard: int) -> int:
-        return len(self._pending[shard]) + (1 if self._in_heap[shard] else 0)
+        return self._counts[shard]
 
     def exhausted(self) -> bool:
         """Every shard finished and every buffered event emitted."""
-        return all(self._finished) and not self._heap
+        return all(self._finished) and not any(self._counts)
 
     # ------------------------------------------------------------------
     def add_chunk(self, chunk: TimelineChunk) -> bool:
@@ -94,50 +125,192 @@ class ChunkMerger:
                 f"chunk gap on shard {shard}: expected seq {expected}, "
                 f"got {chunk.seq}"
             )
-        self._cursors[shard] = expected + 1
-        if chunk.num_events:
-            self._pending[shard].extend(
-                decode_buffer(chunk.buffer(), chunk.cohort, self._cell_names)
+        if chunk.cells is not None and self._cell_names is None:
+            raise ValueError(
+                f"chunk on shard {shard} carries cell annotations but the "
+                "merger has no cell_names table; construct ChunkMerger with "
+                "the topology's cell names so cell tags are not dropped"
             )
-            self._refill(shard)
+        self._cursors[shard] = expected + 1
+        if self._ue_base[shard] is None:
+            # First chunk of the shard (even an empty one) carries the
+            # whole shard's string tables; register them once.
+            self._ue_base[shard] = self.tables.add_ues(
+                chunk.cohort, chunk.ue_ids, shard
+            )
+            self._lookups[shard] = self.tables.event_codes(chunk.event_names)
+        if chunk.num_events:
+            has_cells = chunk.cells is not None
+            if self._use_cells is None:
+                self._use_cells = has_cells
+            elif self._use_cells != has_cells:
+                raise ValueError(
+                    "shard chunk streams disagree on cell annotations"
+                )
+            self._ptimes[shard].append(np.asarray(chunk.times, dtype=np.float64))
+            self._pues[shard].append(
+                np.asarray(chunk.ue_codes, dtype=np.int64) + self._ue_base[shard]
+            )
+            self._pevents[shard].append(
+                self._lookups[shard][np.asarray(chunk.event_codes, dtype=np.int64)]
+            )
+            if has_cells:
+                self._pcells[shard].append(np.asarray(chunk.cells, dtype=np.int16))
+            if self._counts[shard] == 0:
+                self._starved -= 1
+            self._counts[shard] += chunk.num_events
         return True
 
     def finish_shard(self, shard: int) -> None:
         """Mark a shard's chunk stream complete (idempotent)."""
-        self._finished[shard] = True
-
-    def _refill(self, shard: int) -> None:
-        if not self._in_heap[shard] and self._pending[shard]:
-            event = self._pending[shard].popleft()
-            heapq.heappush(
-                self._heap,
-                ((event.timestamp, event.cohort, event.ue_id), shard, event),
-            )
-            self._in_heap[shard] = True
-
-    def _safe(self) -> bool:
-        if not self._heap:
-            return False
-        for shard in range(self.num_shards):
-            if not self._finished[shard] and not self._in_heap[shard]:
-                return False
-        return True
+        if not self._finished[shard]:
+            self._finished[shard] = True
+            if self._counts[shard] == 0:
+                self._starved -= 1
 
     # ------------------------------------------------------------------
-    def pop_ready(self, max_events: int | None = None) -> Iterator:
-        """Yield globally ordered events while emission stays safe.
+    def _consolidate(self, shard: int) -> None:
+        if len(self._ptimes[shard]) > 1:
+            self._ptimes[shard] = [np.concatenate(self._ptimes[shard])]
+            self._pues[shard] = [np.concatenate(self._pues[shard])]
+            self._pevents[shard] = [np.concatenate(self._pevents[shard])]
+            if self._pcells[shard]:
+                self._pcells[shard] = [np.concatenate(self._pcells[shard])]
 
-        Stops as soon as some unfinished shard runs out of buffered
-        events (more chunks needed) or ``max_events`` have been
-        yielded — the bound the caller uses to respect ring space.
+    def pop_ready_chunks(
+        self, max_events: int | None = None
+    ) -> "list[MergedChunk]":
+        """Emit everything provably final as globally ordered chunks.
+
+        Returns at most one :class:`~repro.core.chunks.MergedChunk` per
+        call (empty list when nothing is safe yet), capped at
+        ``max_events`` events — the bound the caller uses to respect
+        ring space.  Events beyond the cap stay buffered and remain
+        first in line for the next call.
         """
-        emitted = 0
-        while self._safe():
-            if max_events is not None and emitted >= max_events:
+        if max_events is not None and max_events < 1:
+            return []
+        if self._starved:
+            return []
+        counts = self._counts
+        n = self.num_shards
+        if not any(counts):
+            return []
+        for s in range(n):
+            if counts[s]:
+                self._consolidate(s)
+        rank = self.tables.rank
+        if all(self._finished):
+            cuts = list(counts)
+        else:
+            # The emission horizon: min (t, rank, shard) over the last
+            # buffered event of every unfinished shard.
+            horizon = None
+            for s in range(n):
+                if self._finished[s]:
+                    continue
+                times = self._ptimes[s][0]
+                key = (float(times[-1]), int(rank[self._pues[s][0][-1]]), s)
+                if horizon is None or key < horizon:
+                    horizon = key
+            t_star, g_star, s_star = horizon
+            cuts = [0] * n
+            for s in range(n):
+                if not counts[s]:
+                    continue
+                if s == s_star:
+                    cuts[s] = counts[s]
+                    continue
+                times = self._ptimes[s][0]
+                i1 = int(times.searchsorted(t_star, side="left"))
+                i2 = int(times.searchsorted(t_star, side="right"))
+                if i1 == i2:
+                    cuts[s] = i1
+                else:
+                    # Within the t == t* window the shard's ranks are
+                    # nondecreasing (within-shard sort is by UE string);
+                    # ranks are unique per (UE, shard) so none equals
+                    # g_star here — count those strictly below it.
+                    window = rank[self._pues[s][0][i1:i2]]
+                    cuts[s] = i1 + int(
+                        np.searchsorted(window, g_star, side="left")
+                    )
+        if not any(cuts):
+            return []
+        use_cells = bool(self._use_cells)
+        seg_times, seg_ues, seg_events, seg_cells, seg_shards = [], [], [], [], []
+        for s in range(n):
+            c = cuts[s]
+            if not c:
+                continue
+            seg_times.append(self._ptimes[s][0][:c])
+            seg_ues.append(self._pues[s][0][:c])
+            seg_events.append(self._pevents[s][0][:c])
+            if use_cells:
+                seg_cells.append(self._pcells[s][0][:c])
+            seg_shards.append(np.full(c, s, dtype=np.int32))
+        cat_times = np.concatenate(seg_times)
+        cat_ues = np.concatenate(seg_ues)
+        cat_events = np.concatenate(seg_events)
+        cat_cells = np.concatenate(seg_cells) if use_cells else None
+        # Stable (time, rank) order; segments are concatenated in shard
+        # order, so full-key ties keep within-shard stream order.
+        order = merge_order(cat_times, rank[cat_ues])
+        if max_events is not None and order.size > max_events:
+            # A prefix of the global order is still globally sorted, and
+            # each shard's kept events are a prefix of its cut segment.
+            order = order[:max_events]
+            consumed = np.bincount(
+                np.concatenate(seg_shards)[order], minlength=n
+            )
+        else:
+            consumed = cuts
+        out_ues = cat_ues[order]
+        chunk = MergedChunk(
+            times=cat_times[order],
+            cohorts=self.tables.ue_cohorts[out_ues],
+            ues=out_ues,
+            events=cat_events[order],
+            cells=None if cat_cells is None else cat_cells[order],
+            tables=self.tables,
+        )
+        for s in range(n):
+            c = int(consumed[s])
+            if not c:
+                continue
+            if c == counts[s]:
+                self._ptimes[s] = []
+                self._pues[s] = []
+                self._pevents[s] = []
+                self._pcells[s] = []
+            else:
+                self._ptimes[s] = [self._ptimes[s][0][c:]]
+                self._pues[s] = [self._pues[s][0][c:]]
+                self._pevents[s] = [self._pevents[s][0][c:]]
+                if self._pcells[s]:
+                    self._pcells[s] = [self._pcells[s][0][c:]]
+            counts[s] -= c
+            if counts[s] == 0 and not self._finished[s]:
+                self._starved += 1
+        self.merged_total += chunk.num_events
+        return [chunk]
+
+    def pop_ready(self, max_events: int | None = None) -> Iterator:
+        """Object-path shim: globally ordered events while emission is safe.
+
+        Decodes :meth:`pop_ready_chunks` output back into
+        ``TimelineEvent`` / ``CellTimelineEvent`` tuples.  Stops as soon
+        as some unfinished shard runs out of buffered events (more
+        chunks needed) or ``max_events`` have been yielded.
+        """
+        remaining = max_events
+        while True:
+            chunks = self.pop_ready_chunks(remaining)
+            if not chunks:
                 return
-            _, shard, event = heapq.heappop(self._heap)
-            self._in_heap[shard] = False
-            self._refill(shard)
-            self.merged_total += 1
-            emitted += 1
-            yield event
+            for chunk in chunks:
+                yield from chunk.decode()
+                if remaining is not None:
+                    remaining -= chunk.num_events
+            if remaining is not None and remaining <= 0:
+                return

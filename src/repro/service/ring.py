@@ -1,12 +1,20 @@
 """Bounded event ring with backpressure watermarks.
 
 The hand-off buffer between the merge and the paced consumer loop in
-:class:`~repro.service.service.TrafficService`.  Capacity is a hard
-bound (a full ring rejects pushes — the producer side simply stops
-pulling chunks), and the high/low watermarks implement hysteresis: the
-service throttles producers when depth crosses ``high`` and only
-resumes once it drains below ``low``, so backpressure doesn't flap at
-the boundary.
+:class:`~repro.service.service.TrafficService`.  Entries are columnar
+:class:`~repro.core.chunks.MergedChunk` batches (or any item), but
+capacity, watermarks, and shedding all account in *events*: each entry
+carries an event count and ``depth`` is their sum, so a ring of chunks
+exerts exactly the backpressure a ring of single events would.
+
+Capacity is a hard bound (a push that would exceed it is rejected — the
+producer side simply stops pulling chunks), and the high/low watermarks
+implement hysteresis: the service throttles producers when depth
+crosses ``high`` and only resumes once it drains below ``low``, so
+backpressure doesn't flap at the boundary.  The latch is updated where
+depth changes (``push`` / ``pop`` / ``replace_head``); ``throttled`` is
+a pure read, so observers (status snapshots, metrics gauges) can poll
+it without moving the latch edge under the control path.
 """
 
 from __future__ import annotations
@@ -17,12 +25,12 @@ __all__ = ["EventRing"]
 
 
 class EventRing:
-    """A bounded FIFO of merged timeline events with watermarks.
+    """A bounded FIFO of merged timeline batches with event watermarks.
 
     ``high_watermark`` / ``low_watermark`` are fractions of capacity
-    (defaults 0.75 / 0.25).  ``above_high`` latches the throttle state:
-    it turns True when depth reaches the high mark and only returns to
-    False once depth falls to the low mark.
+    (defaults 0.75 / 0.25).  ``throttled`` latches: it turns True when
+    depth reaches the high mark and only returns to False once depth
+    falls to the low mark.
     """
 
     def __init__(
@@ -41,7 +49,8 @@ class EventRing:
         self.capacity = capacity
         self.high = max(1, int(capacity * high_watermark))
         self.low = int(capacity * low_watermark)
-        self._items: deque = deque()
+        self._entries: deque = deque()  # (item, event count)
+        self._depth = 0
         self._throttled = False
         # How many times the throttle latched (False -> True edges);
         # always counted (one int increment), published as a metric by
@@ -49,40 +58,64 @@ class EventRing:
         self.throttle_episodes = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        """Depth in events (not entries)."""
+        return self._depth
 
     @property
     def space(self) -> int:
         """How many more events fit before the hard bound."""
-        return self.capacity - len(self._items)
+        return self.capacity - self._depth
 
     @property
     def full(self) -> bool:
-        return len(self._items) >= self.capacity
+        return self._depth >= self.capacity
 
     @property
     def throttled(self) -> bool:
         """Hysteresis state: True from the high mark down to the low mark."""
-        depth = len(self._items)
-        if self._throttled:
-            if depth <= self.low:
-                self._throttled = False
-        elif depth >= self.high:
-            self._throttled = True
-            self.throttle_episodes += 1
         return self._throttled
 
-    def push(self, item) -> bool:
-        """Append one event; ``False`` (and no append) when full."""
-        if len(self._items) >= self.capacity:
+    def _update_latch(self) -> None:
+        if self._throttled:
+            if self._depth <= self.low:
+                self._throttled = False
+        elif self._depth >= self.high:
+            self._throttled = True
+            self.throttle_episodes += 1
+
+    def push(self, item, events: int = 1) -> bool:
+        """Append one entry of ``events`` events; ``False`` when it won't fit."""
+        if self._depth + events > self.capacity:
             return False
-        self._items.append(item)
+        self._entries.append((item, events))
+        self._depth += events
+        self._update_latch()
         return True
 
     def peek(self):
-        """The next event without consuming it (``None`` when empty)."""
-        return self._items[0] if self._items else None
+        """The next entry without consuming it (``None`` when empty)."""
+        return self._entries[0][0] if self._entries else None
 
     def pop(self):
-        """Consume the next event (``None`` when empty)."""
-        return self._items.popleft() if self._items else None
+        """Consume the next whole entry (``None`` when empty)."""
+        if not self._entries:
+            return None
+        item, events = self._entries.popleft()
+        self._depth -= events
+        self._update_latch()
+        return item
+
+    def replace_head(self, item, *, consumed: int):
+        """Swap the head entry for its remainder after ``consumed`` events.
+
+        One depth/latch update — partially draining a chunk (pacing cut,
+        shed prefix) must not churn the hysteresis latch the way a
+        pop+push round trip would.
+        """
+        if not self._entries:
+            raise IndexError("replace_head on an empty ring")
+        _, events = self._entries[0]
+        self._entries[0] = (item, events - consumed)
+        self._depth -= consumed
+        self._update_latch()
+        return item

@@ -41,6 +41,8 @@ import time
 from dataclasses import dataclass
 from time import perf_counter
 
+import numpy as np
+
 from ..mcn.simulator import MCNSimulator
 from ..obs import (
     enabled as _obs_enabled,
@@ -204,6 +206,15 @@ class TrafficService:
         self._sim_s = 0.0
         self._sim_n = 0
 
+        # Tee mode is fixed per run (stream keys differ between modes):
+        # with no sink everything stays columnar end to end; a sink
+        # forces per-event decode so it receives event objects and the
+        # gate tees with the same decoded keys.
+        self._chunked = sink is None
+        self._chunk_tee = self._chunked and (
+            gate is None or hasattr(gate, "observe_chunk")
+        )
+
     # ------------------------------------------------------------------
     # Runtime controls
     # ------------------------------------------------------------------
@@ -255,20 +266,21 @@ class TrafficService:
     # ------------------------------------------------------------------
     # Produce / merge side
     # ------------------------------------------------------------------
-    def _relabel(self, event):
-        """Apply the loop-cycle shift/tag (identity on cycle 0)."""
+    def _relabel_chunk(self, chunk):
+        """Apply the loop-cycle shift/tag (identity on cycle 0).
+
+        ``_first_ts`` / ``_last_ts`` record the *unshifted* timeline span
+        — :meth:`_maybe_wrap_cycle` derives each cycle's offset from it.
+        """
         if self._first_ts is None:
-            self._first_ts = event.timestamp
-        self._last_ts = event.timestamp
+            self._first_ts = float(chunk.times[0])
+        self._last_ts = float(chunk.times[-1])
         if self.cycle == 0:
-            return event
-        return event._replace(
-            timestamp=event.timestamp + self._time_offset,
-            ue_id=f"{event.ue_id}#c{self.cycle}",
-        )
+            return chunk
+        return chunk.shifted(self._time_offset, self.cycle)
 
     def _pump(self) -> None:
-        """Pull producer chunks and merged events up to the ring bounds."""
+        """Pull producer chunks and merged chunks up to the ring bounds."""
         with _span("merge.pump") as sp:
             ring = self._ring
             if not ring.throttled:
@@ -280,10 +292,15 @@ class TrafficService:
                 )
                 self.supervisor.pump(budget)
             pushed = 0
-            if ring.space:
-                for event in self.supervisor.merger.pop_ready(ring.space):
-                    ring.push(self._relabel(event))
-                    pushed += 1
+            merger = self.supervisor.merger
+            while ring.space:
+                chunks = merger.pop_ready_chunks(ring.space)
+                if not chunks:
+                    break
+                for chunk in chunks:
+                    chunk = self._relabel_chunk(chunk)
+                    ring.push(chunk, chunk.num_events)
+                    pushed += chunk.num_events
             sp.add_events(pushed)
 
     def _maybe_wrap_cycle(self, cycle_events: int) -> bool:
@@ -357,23 +374,89 @@ class TrafficService:
                 _obs_metrics().counter("pace.clock_jumps").inc()
         self._last_wall = now
 
+    def _tee_chunk(self, chunk) -> None:
+        """Tee a chunk through the gate in the run's fixed tee mode."""
+        if self.gate is None:
+            return
+        if self._chunk_tee:
+            if self._obs_track:
+                t0 = perf_counter()
+                self.gate.observe_chunk(chunk)
+                dt = perf_counter() - t0
+                self._gate_s += dt
+                self._gate_n += chunk.num_events
+                _exclude(dt)
+            else:
+                self.gate.observe_chunk(chunk)
+        else:
+            for event in chunk.decode():
+                self._tee(event)
+
+    def _deliver_chunk(self, chunk) -> None:
+        """Columnar delivery (no sink by construction of ``_chunked``)."""
+        if self._sim_run is not None:
+            if self._obs_track:
+                t0 = perf_counter()
+                self._sim_run.offer_chunk(chunk)
+                dt = perf_counter() - t0
+                self._sim_s += dt
+                self._sim_n += chunk.num_events
+                _exclude(dt)
+            else:
+                self._sim_run.offer_chunk(chunk)
+        self.delivered += chunk.num_events
+
+    @staticmethod
+    def _shed_codes(tables, shedding) -> np.ndarray:
+        """Cohort codes of the shed set known to ``tables`` (sorted)."""
+        table = tables._cohort_code
+        return np.asarray(
+            sorted(table[name] for name in shedding if name in table),
+            dtype=np.int32,
+        )
+
+    def _record_shed(self, chunk) -> None:
+        names = chunk.tables.cohort_names
+        counts = np.bincount(chunk.cohorts, minlength=len(names))
+        for code, count in enumerate(counts.tolist()):
+            if count:
+                self.shed.record(names[code], count)
+
     def _shed_sweep(self) -> bool:
         """Drop shed-cohort events at the ring head, unpaced.
 
         Shed events bypass pacing entirely — draining the backlog fast
         is the point — and they run even while the consumer is stalled
-        or paused, which is exactly when degradation matters.
+        or paused, which is exactly when degradation matters.  The drop
+        is columnar: the head chunk's leading run of shed-cohort events
+        is teed, tallied per cohort, and cut in one slice.
         """
         shedding = self._controller.shedding
         progressed = False
         while shedding:
             head = self._ring.peek()
-            if head is None or head.cohort not in shedding:
+            if head is None:
                 break
-            event = self._ring.pop()
-            self._tee(event)
-            self.shed.record(event.cohort)
+            n = head.num_events
+            if n == 0:
+                self._ring.pop()
+                continue
+            codes = self._shed_codes(head.tables, shedding)
+            if not codes.size:
+                break
+            mask = np.isin(head.cohorts, codes)
+            if not mask[0]:
+                break
+            run = n if mask.all() else int(np.argmin(mask))
+            prefix = head if run == n else head.slice(0, run)
+            self._tee_chunk(prefix)
+            self._record_shed(prefix)
             progressed = True
+            if run == n:
+                self._ring.pop()
+            else:
+                self._ring.replace_head(head.slice(run, n), consumed=run)
+                break
         if progressed:
             self._shed_sweeps += 1
         return progressed
@@ -400,19 +483,125 @@ class TrafficService:
     def _consume_batch(self, now: float) -> bool:
         progressed = self._shed_sweep()
         shedding = bool(self._controller.shedding)
-        for _ in range(_TICK_EVENTS):
-            head = self._ring.peek()
+        budget = _TICK_EVENTS
+        ring = self._ring
+        while budget > 0:
+            if shedding and self._shed_sweep():
+                progressed = True
+            head = ring.peek()
             if head is None:
                 return progressed
-            due = self._pace_due(head.timestamp, now)
-            delay = due - now
+            n = head.num_events
+            if n == 0:
+                ring.pop()
+                continue
+            limit = min(n, budget)
+            if shedding:
+                # Never deliver a shed-cohort event: cut the due slice
+                # at the first one (the sweep above cleared any leading
+                # run, so the cut is at least one event in).
+                codes = self._shed_codes(head.tables, self._controller.shedding)
+                if codes.size:
+                    mask = np.isin(head.cohorts[:limit], codes)
+                    if mask.any():
+                        limit = int(np.argmax(mask))
+            delay = self._pace_due(float(head.times[0]), now) - now
             if delay > 0:
                 self._overdue_run = 0
                 if progressed:
                     return True
                 self.sleep(min(delay, _TICK))
                 return True
-            event = self._ring.pop()
+            processed, blocked = self._process_slice(head, limit, now)
+            if processed:
+                progressed = True
+                budget -= processed
+                if processed == n:
+                    ring.pop()
+                else:
+                    ring.replace_head(
+                        head.slice(processed, n), consumed=processed
+                    )
+            if self._stopped:  # a sink may stop() mid-batch
+                return True
+            if blocked:
+                return True
+        return progressed
+
+    def _process_slice(self, head, limit: int, now: float) -> tuple:
+        """Release the head chunk's due events (up to ``limit``).
+
+        Returns ``(processed, blocked)``; ``blocked`` means the next
+        event is not yet due.  The columnar path computes the whole due
+        schedule in one expression — bit-identical to the per-event
+        ``_pace_due`` arithmetic — and re-vectorizes after each
+        max-burst crossing, because declaring slippage re-anchors the
+        schedule exactly as the per-event loop did.
+        """
+        if not self._chunked:
+            return self._process_slice_events(head, limit, now)
+        processed = 0
+        speed = self._anchor_speed
+        max_burst = self.max_burst
+        infinite = speed == float("inf")
+        while processed < limit:
+            if infinite:
+                take = limit - processed
+                due = None
+            else:
+                due = (
+                    self._anchor_wall
+                    + (head.times[processed:limit] - self._anchor_event)
+                    / speed
+                )
+                take = int(np.searchsorted(due, now, side="right"))
+                if take == 0:
+                    self._overdue_run = 0
+                    return processed, True
+            crossed = False
+            if (
+                max_burst is not None
+                and not infinite
+                and self._overdue_run + take >= max_burst
+            ):
+                take = max_burst - self._overdue_run
+                crossed = True
+            part = head.slice(processed, processed + take)
+            self._tee_chunk(part)
+            if crossed:
+                due_cross = float(due[take - 1])
+                self.slipped_events += max_burst
+                self.slipped_seconds += now - due_cross
+                if self._obs_track:
+                    registry = _obs_metrics()
+                    registry.counter("pace.slipped_events").inc(max_burst)
+                    registry.counter("pace.slipped_seconds").inc(now - due_cross)
+                self._anchor_wall = now - (
+                    (float(head.times[processed + take - 1]) - self._anchor_event)
+                    / speed
+                )
+                self._overdue_run = 0
+            else:
+                self._overdue_run += take
+            self._deliver_chunk(part)
+            processed += take
+            if not crossed and processed < limit:
+                # searchsorted already cut at the first not-yet-due event.
+                self._overdue_run = 0
+                return processed, True
+        return processed, False
+
+    def _process_slice_events(self, head, limit: int, now: float) -> tuple:
+        """Per-event release (sink mode): the legacy loop, verbatim."""
+        processed = 0
+        for event in head.decode():
+            if processed >= limit:
+                break
+            due = self._pace_due(event.timestamp, now)
+            delay = due - now
+            if delay > 0:
+                self._overdue_run = 0
+                return processed, True
             self._tee(event)
             self._overdue_run += 1
             if (
@@ -432,12 +621,10 @@ class TrafficService:
                 )
                 self._overdue_run = 0
             self._deliver(event)
-            progressed = True
-            if self._stopped:  # a sink may stop() mid-batch
-                return True
-            if shedding:
-                progressed = self._shed_sweep() or progressed
-        return progressed
+            processed += 1
+            if self._stopped:
+                return processed, False
+        return processed, False
 
     # ------------------------------------------------------------------
     # Telemetry

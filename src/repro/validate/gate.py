@@ -175,6 +175,16 @@ class RollingGate:
         self.conformance.observe_event(timestamp, ue_key, event)
         self.stats.observe_event(timestamp, ue_key, event)
 
+    def observe_chunk(self, chunk) -> None:
+        """Feed one merged columnar chunk to both validators.
+
+        The chunk-native tee the service hot path uses when no event
+        objects exist; don't mix with :meth:`observe_event` in one run
+        (the two modes key streams differently).
+        """
+        self.conformance.observe_chunk(chunk)
+        self.stats.observe_chunk(chunk)
+
     def scorecard(
         self, *, final: bool = False, num_resamples: int = 0
     ) -> FidelityScorecard:

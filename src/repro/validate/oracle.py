@@ -275,6 +275,76 @@ class TransitionOracle:
         padded[rank[stream_of], positions] = codes
         return self._validate_padded(padded, lengths[desc], total_events=total)
 
+    def step_grouped(
+        self,
+        codes: np.ndarray,
+        lengths: np.ndarray,
+        states: np.ndarray,
+        pattern_counts: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, int, int]:
+        """Step per-stream machines over grouped codes from explicit states.
+
+        The resumable core of the streaming tee: like
+        :meth:`_validate_grouped` but starting each stream at
+        ``states[i]`` (its saved tee state) instead of undetermined, so a
+        chunk's worth of events advances every touched stream in one
+        vectorized pass.  ``pattern_counts`` is updated in place; returns
+        ``(final states, violated mask, counted, violating)`` with the
+        exact :meth:`OracleValidator.observe_event` semantics (violations
+        keep the state, pre-bootstrap unknown events are skipped, a live
+        out-of-vocabulary event raises ``KeyError``).
+        """
+        num_streams = int(lengths.size)
+        finals = np.asarray(states, dtype=np.int32).copy()
+        violated = np.zeros(num_streams, dtype=bool)
+        total = int(codes.size)
+        if num_streams == 0 or total == 0:
+            return finals, violated, 0, 0
+        max_len = int(lengths.max())
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        stream_of = np.repeat(np.arange(num_streams), lengths)
+        positions = np.arange(total) - starts[stream_of]
+        desc = np.argsort(-lengths, kind="stable")
+        rank = np.empty(num_streams, dtype=np.int64)
+        rank[desc] = np.arange(num_streams)
+        padded = np.zeros((num_streams, max_len), dtype=np.int32)
+        padded[rank[stream_of], positions] = codes
+        ascending = lengths[desc][::-1]
+        state = finals[desc].copy()
+        vio = np.zeros(num_streams, dtype=bool)
+        counted = 0
+        violating = 0
+        table = self.table
+        for position in range(max_len):
+            active = num_streams - int(
+                np.searchsorted(ascending, position, side="right")
+            )
+            if active == 0:
+                break
+            events = padded[:active, position]
+            current = state[:active]
+            landing = table[current, events]
+            live = current != self.unboot
+            if landing.min() == _UNKNOWN:
+                raise KeyError(
+                    f"out-of-vocabulary event for machine {self.spec.name}"
+                )
+            counted += int(np.count_nonzero(live))
+            violations = landing == _VIOLATION
+            if violations.any():
+                violating += int(np.count_nonzero(violations))
+                np.add.at(
+                    pattern_counts,
+                    (current[violations], events[violations]),
+                    1,
+                )
+                vio[:active] |= violations
+                landing = np.where(violations, current, landing)
+            state[:active] = landing
+        finals[desc] = state
+        violated[desc] = vio
+        return finals, violated, counted, violating
+
     def validate_codes(self, sequences: Sequence[np.ndarray]) -> ConformanceTally:
         """Replay per-stream event-code arrays (see :meth:`encode_events`)."""
         if not len(sequences):
@@ -477,6 +547,11 @@ class OracleValidator:
             (self.oracle.num_states, self.oracle.num_events), np.int64
         )
         self._table_rows = self.oracle.table.tolist()
+        # Cached event-name encoding for the columnar chunk tee,
+        # invalidated when the chunk's (append-only) tables grow.
+        self._chunk_tables = None
+        self._chunk_names = 0
+        self._chunk_codes: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def observe_buffer(
@@ -532,6 +607,59 @@ class OracleValidator:
 
     def __call__(self, timestamp: float, ue_key, event: str) -> None:
         self.observe_event(timestamp, ue_key, event)
+
+    def _chunk_lookup(self, tables) -> np.ndarray:
+        names = tables.event_names
+        if self._chunk_tables is not tables or self._chunk_names != len(names):
+            self._chunk_codes = self.oracle.encode_events(names)
+            self._chunk_tables = tables
+            self._chunk_names = len(names)
+        return self._chunk_codes
+
+    def observe_chunk(self, chunk) -> None:
+        """Step one merged columnar chunk through the tee, vectorized.
+
+        Semantics match feeding :meth:`observe_event` every decoded event
+        of the chunk in order, with O(#live UEs) state.  Stream keys are
+        ``(cycle, global UE index)`` — cheaper than the decoded
+        ``(cohort, ue_id)`` tuples and unique per replay cycle; a single
+        validator must stick to one tee mode (chunks or events) per run
+        so stream counts stay consistent.
+        """
+        n = chunk.num_events
+        if n == 0:
+            return
+        tables = chunk.tables
+        lookup = self._chunk_lookup(tables)
+        order = np.argsort(chunk.ues, kind="stable")
+        grouped_ues = chunk.ues[order]
+        codes = lookup[chunk.events[order]]
+        boundaries = np.r_[True, grouped_ues[1:] != grouped_ues[:-1]]
+        starts = np.flatnonzero(boundaries)
+        uniq = grouped_ues[starts]
+        lengths = np.diff(np.append(starts, n))
+        cycle = chunk.cycle
+        unboot = self.oracle.unboot
+        tee_states = self._tee_states
+        keys = [(cycle, int(ue)) for ue in uniq]
+        states = np.fromiter(
+            (tee_states.get(key, unboot) for key in keys),
+            dtype=np.int32,
+            count=len(keys),
+        )
+        try:
+            finals, violated, counted, violating = self.oracle.step_grouped(
+                codes, lengths, states, self._tee_patterns
+            )
+        except KeyError:
+            raise self.oracle._unknown_event_error(tables.event_names) from None
+        self._tee_total += n
+        self._tee_counted += counted
+        self._tee_violating += violating
+        for i, key in enumerate(keys):
+            tee_states[key] = int(finals[i])
+            if violated[i]:
+                self._tee_violated.add(key)
 
     # ------------------------------------------------------------------
     @property

@@ -263,6 +263,49 @@ class TrafficSketch:
         self._tee_counts[ue_key] = self._tee_counts.get(ue_key, 0) + 1
         self.num_events += 1
 
+    def observe_chunk(self, chunk) -> None:
+        """Consume one merged columnar chunk (vectorized tee mode).
+
+        Histogram-equivalent to :meth:`observe_event` on every decoded
+        event: within-UE inter-arrivals are vectorized per chunk and
+        bridged *across* chunks through the same per-UE tee state
+        (``fold_tee`` closes the flow counts).  Stream keys are
+        ``(cycle, global UE index)``; as with the conformance tee, one
+        sketch must stick to a single tee mode per run.
+        """
+        n = chunk.num_events
+        if n == 0:
+            return
+        order = np.argsort(chunk.ues, kind="stable")
+        grouped_times = chunk.times[order]
+        grouped_ues = chunk.ues[order]
+        boundaries = np.r_[True, grouped_ues[1:] != grouped_ues[:-1]]
+        starts = np.flatnonzero(boundaries)
+        uniq = grouped_ues[starts]
+        counts = np.diff(np.append(starts, n))
+        deltas = np.diff(grouped_times)[~boundaries[1:]]
+        firsts = grouped_times[starts]
+        ends = grouped_times[np.append(starts[1:], n) - 1]
+        cycle = chunk.cycle
+        tee_last = self._tee_last
+        tee_counts = self._tee_counts
+        bridged: list[float] = []
+        for i in range(uniq.size):
+            key = (cycle, int(uniq[i]))
+            last = tee_last.get(key)
+            if last is not None:
+                bridged.append(float(firsts[i]) - last)
+            tee_last[key] = float(ends[i])
+            tee_counts[key] = tee_counts.get(key, 0) + int(counts[i])
+        if bridged:
+            bridged_arr = np.asarray(bridged, dtype=np.float64)
+            self.interarrival.add(bridged_arr)
+            self.iat_sample.add(bridged_arr)
+        if deltas.size:
+            self.interarrival.add(deltas)
+            self.iat_sample.add(deltas)
+        self.num_events += n
+
     def fold_tee(self) -> None:
         """Fold per-event tee state (flow lengths) into the sketches."""
         counts = self._tee_counts
@@ -351,6 +394,9 @@ class StatsValidator:
 
     def observe_event(self, timestamp: float, ue_key, event: str) -> None:
         self.sketch.observe_event(timestamp, ue_key, event)
+
+    def observe_chunk(self, chunk) -> None:
+        self.sketch.observe_chunk(chunk)
 
     def report(self) -> TrafficSketch:
         self.sketch.fold_tee()

@@ -38,10 +38,12 @@ from .shapes import (
 )
 from .timeline import (
     CellTimelineEvent,
+    MergedChunk,
     TimelineEvent,
     Workload,
     WorkloadRunResult,
     get_workload,
+    merge_buffers,
     merge_timelines,
     pace,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "ComposedShape",
     "TimelineEvent",
     "CellTimelineEvent",
+    "MergedChunk",
+    "merge_buffers",
     "merge_timelines",
     "pace",
     "Workload",

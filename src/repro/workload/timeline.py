@@ -56,6 +56,12 @@ from ..obs import (
     metrics as _obs_metrics,
     span as _span,
 )
+from ..core.chunks import (
+    CellTimelineEvent,
+    MergedChunk,
+    TimelineEvent,
+    merge_buffers,
+)
 from ..core.sharding import run_sharded, shard_counts, shard_rngs
 from ..mcn.autoscale import AutoscalePolicy, AutoscaleTrace, simulate_autoscaling
 from ..mcn.simulator import MCNSimulator, SimulationReport
@@ -72,8 +78,10 @@ __all__ = [
     "TimelineEvent",
     "CellTimelineEvent",
     "TimelineChunk",
+    "MergedChunk",
     "chunk_buffer",
     "decode_buffer",
+    "merge_buffers",
     "merge_timelines",
     "pace",
     "Workload",
@@ -104,30 +112,6 @@ class WorkloadRunResult:
                 f"no validator {name!r} ran; have {sorted(self.reports)}"
             )
         return self.reports[name]
-
-
-class TimelineEvent(NamedTuple):
-    """One control-plane event on the merged population timeline."""
-
-    timestamp: float
-    cohort: str
-    ue_id: str
-    event: str
-
-
-class CellTimelineEvent(NamedTuple):
-    """A timeline event annotated with the cell it was emitted from.
-
-    Emitted instead of :class:`TimelineEvent` when the workload runs
-    against a topology; the first four fields (and the merge key) are
-    identical, so every plain-timeline consumer keeps working.
-    """
-
-    timestamp: float
-    cohort: str
-    ue_id: str
-    event: str
-    cell: str
 
 
 class TimelineChunk(NamedTuple):
@@ -187,6 +171,10 @@ def chunk_buffer(
     were already delivered (the restart-from-cursor path).  An empty
     buffer still yields exactly one empty chunk so every shard announces
     itself to the merge.
+
+    Partial slices are *copied*: a chunk often outlives its buffer (ring
+    queues, merger backlogs), and a numpy view would pin the entire
+    shard buffer alive for as long as any one chunk is retained.
     """
     if chunk_events < 1:
         raise ValueError("chunk_events must be >= 1")
@@ -203,16 +191,21 @@ def chunk_buffer(
     for seq in range(start_seq, num_chunks):
         lo = seq * chunk_events
         hi = min(total, lo + chunk_events)
+        whole = lo == 0 and hi == total
         yield TimelineChunk(
             shard=shard,
             seq=seq,
             cohort=cohort,
-            times=times[lo:hi],
-            ue_codes=ues[lo:hi],
-            event_codes=codes[lo:hi],
+            times=times if whole else times[lo:hi].copy(),
+            ue_codes=ues if whole else ues[lo:hi].copy(),
+            event_codes=codes if whole else codes[lo:hi].copy(),
             ue_ids=id_table,
             event_names=name_table,
-            cells=None if cells is None else cells[lo:hi],
+            cells=(
+                None
+                if cells is None
+                else (cells if whole else cells[lo:hi].copy())
+            ),
         )
 
 
@@ -655,6 +648,41 @@ class Workload:
             sources = [self._lazy_shard(*entry, observers=observers) for entry in plan]
         return _instrument_events("merge.pull", merge_timelines(sources))
 
+    def chunks(
+        self,
+        observers: Sequence = (),
+        *,
+        chunk_events: int = 65536,
+    ) -> "list[MergedChunk]":
+        """The merged timeline as globally ordered columnar chunks.
+
+        The hot path: every shard's compact buffer is built (in parallel
+        with ``num_workers > 1``), observed by the streaming validators,
+        and merged with one vectorized :func:`merge_buffers` lexsort —
+        no per-event decode anywhere.  Event order is bit-identical to
+        :meth:`events`; :meth:`MergedChunk.decode` recovers the event
+        objects when an object-path consumer needs them.
+        """
+        plan = self.planned_shards()
+        if self.num_workers > 1 and len(plan) > 1:
+            with _span("generate.workers") as sp:
+                buffers = self._worker_buffers(plan)
+                if _obs_enabled():
+                    sp.add_events(sum(int(b[0].size) for b in buffers))
+        else:
+            buffers = [self._shard_buffer(*entry) for entry in plan]
+        for entry, buffer in zip(plan, buffers):
+            self._observe(observers, buffer, entry[1].name)
+        with _span("merge.chunks") as sp:
+            merged = merge_buffers(
+                buffers,
+                [entry[1].name for entry in plan],
+                cell_names=self._cell_names(),
+                chunk_events=chunk_events,
+            )
+            sp.add_events(sum(c.num_events for c in merged))
+        return merged
+
     def _cell_names(self) -> tuple[str, ...] | None:
         """The topology's cell-name table (codes → names), if any."""
         if self.topology is None:
@@ -748,16 +776,18 @@ class Workload:
         sim_workers: int = 4,
         sim_seed: int = 0,
         queue_limit: int | None = None,
+        chunk_events: int = 65536,
     ) -> "WorkloadRunResult":
         """Drive the full workload through streaming ``validators``.
 
         Each validator sees every shard buffer vectorized (see
         :meth:`events`).  With ``simulate=True`` the merged timeline is
         additionally streamed into
-        :class:`~repro.mcn.simulator.MCNSimulator`; without it the
-        merge is skipped entirely — validation runs straight off the
-        columnar buffers at oracle speed.  Returns a
-        :class:`WorkloadRunResult` with each validator's finalized
+        :class:`~repro.mcn.simulator.MCNSimulator` as columnar
+        :class:`MergedChunk` batches (the hot path — no per-event
+        decode); without it the merge is skipped entirely — validation
+        runs straight off the columnar buffers at oracle speed.  Returns
+        a :class:`WorkloadRunResult` with each validator's finalized
         report keyed by its ``name``.
         """
         simulation = None
@@ -771,7 +801,7 @@ class Workload:
                     None if self.topology is None else self.topology.topology
                 ),
                 chaos=self.chaos,
-            ).run(self.events(observers=validators))
+            ).run(self.chunks(observers=validators, chunk_events=chunk_events))
             num_events = simulation.num_events + simulation.dropped_events
         else:
             # Validation-only: observe and count shard buffers directly —
@@ -814,7 +844,9 @@ class Workload:
         pass a custom :class:`~repro.mcn.nf.ServiceCostModel` to study a
         slower or faster anchor implementation.  ``events`` substitutes
         a pre-built timeline (e.g. one ``list(engine.events())`` shared
-        with :meth:`autoscale` to pay generation once at small scale).
+        with :meth:`autoscale` to pay generation once at small scale);
+        without it the simulator ingests columnar :class:`MergedChunk`
+        batches directly.
         """
         if simulator is None:
             simulator = MCNSimulator(
@@ -829,7 +861,7 @@ class Workload:
                 ),
                 chaos=self.chaos,
             )
-        return simulator.run(self.events() if events is None else events)
+        return simulator.run(self.chunks() if events is None else events)
 
     def autoscale(
         self,
@@ -842,7 +874,7 @@ class Workload:
     ) -> AutoscaleTrace:
         """Stream the timeline through the autoscaling evaluation."""
         return simulate_autoscaling(
-            self.events() if events is None else events,
+            self.chunks() if events is None else events,
             policy if policy is not None else AutoscalePolicy(),
             window_seconds=window_seconds,
             cost_model=(
@@ -901,7 +933,13 @@ def decode_buffer(
     """
     times, ues, codes, ue_ids, event_names = buffer[:5]
     cells = buffer[5] if len(buffer) > 5 else None
-    if cells is not None and cell_names is not None:
+    if cells is not None and cell_names is None:
+        raise ValueError(
+            "buffer carries cell annotations but no cell_names table was "
+            "given; pass the topology's cell names so cell tags are not "
+            "silently dropped"
+        )
+    if cells is not None:
         for i in range(times.size):
             yield CellTimelineEvent(
                 float(times[i]),

@@ -1,0 +1,228 @@
+"""The chunk-native service path: columnar delivery, restarts, ring pins.
+
+``test_service.py`` drives the service in sink mode (per-event object
+delivery); this file pins the columnar path the hot loop actually runs
+when no sink is attached — chunks flow merger → ring → simulator with
+no per-event decode — plus the EventRing regressions that rode along
+(event-count depth, ``throttled`` as a pure read).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import fork_available
+from repro.mcn import MCNSimulator
+from repro.service import (
+    DegradationPolicy,
+    EventRing,
+    FaultPlan,
+    ShardSupervisor,
+    StallConsumer,
+    TrafficService,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires os.fork"
+)
+
+
+class FakeTime:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _service(engine, **options):
+    fake = FakeTime()
+    options.setdefault("num_workers", 0)
+    options.setdefault("speed", float("inf"))
+    service = TrafficService(
+        engine, clock=fake.clock, sleep=fake.sleep, **options
+    )
+    return service, fake
+
+
+def _drain_chunks(supervisor, *, kill_at=None, deadline=120.0):
+    """Pump a supervisor to exhaustion via the columnar emission path."""
+    import time
+
+    out = []
+    start = time.monotonic()
+    supervisor.start()
+    killed = False
+    while not supervisor.exhausted():
+        assert time.monotonic() - start < deadline, "supervisor drain hung"
+        supervisor.pump()
+        out.extend(supervisor.merger.pop_ready_chunks())
+        if (
+            kill_at is not None
+            and not killed
+            and supervisor.merger.merged_total >= kill_at
+        ):
+            supervisor.kill_worker(0)
+            killed = True
+        supervisor.maintain()
+        time.sleep(0.002)
+    out.extend(supervisor.merger.pop_ready_chunks())
+    return out
+
+
+def _decoded(chunks):
+    return [event for chunk in chunks for event in chunk.decode()]
+
+
+class TestColumnarSupervisor:
+    def test_inline_chunk_drain_is_bit_identical(
+        self, tiny_population, make_engine, batch_events
+    ):
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=0, chunk_events=32
+        )
+        chunks = _drain_chunks(supervisor)
+        assert _decoded(chunks) == batch_events
+
+    @needs_fork
+    def test_sigkill_restart_chunked_is_bit_identical(
+        self, tiny_population, make_engine, batch_events
+    ):
+        # SIGKILL a forked shard worker mid-generation; the restarted
+        # worker resumes from the merger's cursors and the *columnar*
+        # merged timeline is exactly the batch timeline.
+        supervisor = ShardSupervisor(
+            make_engine(tiny_population), num_workers=2, chunk_events=16
+        )
+        chunks = _drain_chunks(
+            supervisor, kill_at=len(batch_events) // 4
+        )
+        assert _decoded(chunks) == batch_events
+        assert sum(supervisor.restarts) >= 1
+
+
+class TestChunkNativeService:
+    def test_simulation_matches_batch_chunks(
+        self, tiny_population, make_engine, batch_events
+    ):
+        # No sink: chunks flow straight into the simulator.  The report
+        # must be bit-identical to the batch chunk path — the merged
+        # order (and hence the RNG draw order) is the same sequence.
+        reference = make_engine(tiny_population).simulate(sim_seed=3)
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=32,
+            simulator=MCNSimulator(
+                workers=4,
+                cost_model=tiny_population.cost_model,
+                seed=3,
+            ),
+        )
+        report = service.run()
+        assert report.status.state == "done"
+        assert report.status.delivered == len(batch_events)
+        assert report.status.accounted
+        simulation = report.simulation
+        assert simulation.num_events == reference.num_events
+        assert simulation.dropped_events == reference.dropped_events
+        assert (
+            simulation.peak_connected_contexts
+            == reference.peak_connected_contexts
+        )
+        assert set(simulation.latencies_ms) == set(reference.latencies_ms)
+        for name, latencies in reference.latencies_ms.items():
+            np.testing.assert_array_equal(
+                simulation.latencies_ms[name], latencies
+            )
+
+    def test_chunked_shedding_keeps_exact_accounting(
+        self, tiny_population, make_engine
+    ):
+        # Columnar shed sweep: a stalled consumer sheds whole/partial
+        # chunks; conservation must hold without any event decode.
+        service, _ = _service(
+            make_engine(tiny_population),
+            chunk_events=8,
+            ring_events=32,
+            degradation=DegradationPolicy(degrade_after=0.2),
+            faults=FaultPlan(
+                faults=(StallConsumer(at=0.0, duration=1e9),)
+            ),
+        )
+        report = service.run(duration=30.0)
+        status = report.status
+        assert status.delivered == 0
+        assert status.shed_total > 0
+        assert sum(status.shed_by_cohort.values()) == status.shed_total
+        assert status.merged_total == (
+            status.delivered + status.shed_total + status.pending
+        )
+
+    def test_chunked_run_without_consumers_still_accounts(
+        self, tiny_population, make_engine, batch_events
+    ):
+        service, _ = _service(make_engine(tiny_population), chunk_events=64)
+        report = service.run()
+        assert report.status.state == "done"
+        assert report.status.delivered == len(batch_events)
+        assert report.status.accounted
+
+
+class TestRingEventAccounting:
+    def test_entries_account_in_events_not_items(self):
+        ring = EventRing(10)
+        assert ring.push("chunk-a", 6)
+        assert len(ring) == 6
+        assert ring.space == 4
+        assert not ring.push("chunk-b", 5)  # would exceed capacity
+        assert ring.push("chunk-b", 4)
+        assert ring.full
+        assert ring.pop() == "chunk-a"
+        assert len(ring) == 4
+
+    def test_replace_head_releases_consumed_events(self):
+        ring = EventRing(10)
+        ring.push("head", 8)
+        ring.replace_head("head-rest", consumed=5)
+        assert len(ring) == 3
+        assert ring.peek() == "head-rest"
+        assert ring.pop() == "head-rest"
+        assert len(ring) == 0
+
+    def test_replace_head_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventRing(4).replace_head("x", consumed=1)
+
+
+class TestThrottledPurity:
+    def test_throttled_is_a_pure_read(self):
+        # Polling the latch (status snapshots, metrics gauges) must not
+        # move the hysteresis edge or mint episodes.
+        ring = EventRing(10, high_watermark=0.8, low_watermark=0.2)
+        for i in range(7):
+            ring.push(i)
+        for _ in range(50):
+            assert not ring.throttled
+        assert ring.throttle_episodes == 0
+        ring.push(7)  # depth 8 = high mark
+        for _ in range(50):
+            assert ring.throttled
+        assert ring.throttle_episodes == 1
+
+    def test_latch_moves_only_where_depth_changes(self):
+        ring = EventRing(10, high_watermark=0.8, low_watermark=0.2)
+        ring.push("chunk", 8)
+        assert ring.throttled
+        assert ring.throttle_episodes == 1
+        # Partial drain through replace_head releases the latch once
+        # depth reaches the low mark — a single latch update, no flap.
+        ring.replace_head("rest", consumed=6)
+        assert not ring.throttled
+        assert ring.throttle_episodes == 1
+        ring.push("more", 6)  # depth 8 again: a genuine second episode
+        assert ring.throttled
+        assert ring.throttle_episodes == 2

@@ -1,0 +1,135 @@
+"""Chunk-native validator tees: parity with the per-event tee they replace.
+
+The always-on service tees merged *chunks* into the oracle and the
+traffic sketch (no event objects on the hot path).  Stream keys differ
+between the two modes — per-event uses ``(cohort, ue_id)`` strings,
+chunk mode uses ``(cycle, global ue index)`` — but every tally and
+histogram the reports are built from must come out identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.scenario import ScenarioSpec
+from repro.validate import OracleValidator, StatsValidator
+from repro.validate.stats import TrafficSketch
+from repro.workload import Cohort, UEPopulation, Workload
+
+
+def _population() -> UEPopulation:
+    return UEPopulation(
+        name="tee-tiny",
+        cohorts=(
+            Cohort(
+                name="base",
+                scenario=ScenarioSpec(name="tee-base", num_ues=40, seed=1),
+                num_ues=8,
+            ),
+            Cohort(
+                name="surge",
+                scenario=ScenarioSpec(name="tee-surge", num_ues=40, seed=2),
+                num_ues=5,
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def chunks():
+    return Workload(_population(), seed=9, shard_ues=4).chunks(
+        chunk_events=64
+    )
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _population().cohorts[0].scenario.machine_spec
+
+
+class TestOracleChunkTee:
+    def test_matches_per_event_tee(self, chunks, spec):
+        by_chunk = OracleValidator(spec)
+        by_event = OracleValidator(spec)
+        for chunk in chunks:
+            by_chunk.observe_chunk(chunk)
+            for event in chunk.decode():
+                by_event.observe_event(
+                    event.timestamp, (event.cohort, event.ue_id), event.event
+                )
+        a, b = by_chunk.report(), by_event.report()
+        assert a.total_events == b.total_events
+        assert a.counted_events == b.counted_events
+        assert a.violating_events == b.violating_events
+        assert a.streams == b.streams
+        assert a.violating_streams == b.violating_streams
+        assert a.bootstrapped_streams == b.bootstrapped_streams
+        assert a.top_patterns == b.top_patterns
+
+    def test_zero_violations_on_generated_timeline(self, chunks, spec):
+        validator = OracleValidator(spec)
+        for chunk in chunks:
+            validator.observe_chunk(chunk)
+        report = validator.report()
+        assert report.total_events == sum(c.num_events for c in chunks)
+        assert report.violating_events == 0
+
+    def test_unknown_event_raises_on_live_stream(self, spec):
+        # Pre-bootstrap unknown events are skipped uncounted (exactly
+        # like observe_event); a *live* stream hitting an
+        # out-of-vocabulary event must raise.
+        from repro.core.chunks import MergedChunk
+
+        fresh = Workload(_population(), seed=9, shard_ues=4).chunks()
+        validator = OracleValidator(spec)
+        for chunk in fresh:
+            validator.observe_chunk(chunk)
+        unboot = validator.oracle.unboot
+        live = [
+            key
+            for key, state in validator._tee_states.items()
+            if state != unboot
+        ]
+        assert live, "generated timeline bootstrapped no streams"
+        tables = fresh[0].tables
+        bad = MergedChunk(
+            times=np.array([1e12]),
+            cohorts=np.zeros(1, dtype=np.int32),
+            ues=np.array([live[0][1]], dtype=np.int64),
+            events=tables.event_codes(("NOT_A_REAL_EVENT",)),
+            cells=None,
+            tables=tables,
+        )
+        with pytest.raises(KeyError, match="unknown event"):
+            validator.observe_chunk(bad)
+
+
+class TestSketchChunkTee:
+    def test_matches_per_event_tee(self, chunks):
+        by_chunk = TrafficSketch(seed=0)
+        by_event = TrafficSketch(seed=0)
+        for chunk in chunks:
+            by_chunk.observe_chunk(chunk)
+            for event in chunk.decode():
+                by_event.observe_event(
+                    event.timestamp, (event.cohort, event.ue_id), event.event
+                )
+        assert by_chunk.num_events == by_event.num_events
+        # Interarrival deltas accumulate as chunks arrive (including the
+        # cross-chunk bridge per stream) — the histogram must be exact.
+        np.testing.assert_array_equal(
+            by_chunk.interarrival.counts, by_event.interarrival.counts
+        )
+        by_chunk.fold_tee()
+        by_event.fold_tee()
+        np.testing.assert_array_equal(
+            by_chunk.flow_length.counts, by_event.flow_length.counts
+        )
+
+    def test_stats_validator_passthrough(self, chunks):
+        validator = StatsValidator(seed=0)
+        for chunk in chunks:
+            validator.observe_chunk(chunk)
+        report = validator.report()
+        assert report.num_events == sum(c.num_events for c in chunks)

@@ -1,0 +1,373 @@
+"""Columnar chunk merge: bit-for-bit parity with the heap merge it replaced.
+
+The contract this file pins down: every consumer of the merged timeline
+— the batch :func:`merge_buffers` lexsort, :meth:`Workload.chunks`, and
+the chunk-native simulator/autoscaler folds — reproduces the
+``heapq.merge`` reference ordering *exactly*, for any chunk size,
+worker count, tie pattern, or topology annotation.  Plus the memory and
+validation regressions that rode along: partial chunks must not pin
+their source buffer alive, and cell annotations must never be silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.scenario import ScenarioSpec
+from repro.core.chunks import MergedChunk, MergeTables
+from repro.mcn import AutoscalePolicy, simulate_autoscaling
+from repro.service import ChunkMerger
+from repro.workload import (
+    Cohort,
+    UEPopulation,
+    Workload,
+    get_workload,
+    merge_buffers,
+    merge_timelines,
+)
+from repro.workload.timeline import TimelineChunk, chunk_buffer, decode_buffer
+
+_KEY = lambda e: (e.timestamp, e.cohort, e.ue_id)  # noqa: E731
+
+
+def _population() -> UEPopulation:
+    return UEPopulation(
+        name="chunk-tiny",
+        cohorts=(
+            Cohort(
+                name="base",
+                scenario=ScenarioSpec(name="chunk-base", num_ues=40, seed=1),
+                num_ues=10,
+            ),
+            Cohort(
+                name="surge",
+                scenario=ScenarioSpec(name="chunk-surge", num_ues=40, seed=2),
+                num_ues=6,
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload() -> Workload:
+    return Workload(_population(), seed=5, shard_ues=4)
+
+
+@pytest.fixture(scope="module")
+def heap_events(workload):
+    """The per-event heap-merge reference ordering."""
+    return list(workload.events())
+
+
+def _decoded(chunks) -> list:
+    return [event for chunk in chunks for event in chunk.decode()]
+
+
+# ----------------------------------------------------------------------
+# Batch path: Workload.chunks / merge_buffers
+# ----------------------------------------------------------------------
+class TestBatchParity:
+    @pytest.mark.parametrize("chunk_events", [7, 500, 65536])
+    def test_chunks_decode_bit_identical(
+        self, workload, heap_events, chunk_events
+    ):
+        chunks = workload.chunks(chunk_events=chunk_events)
+        assert all(c.num_events <= chunk_events for c in chunks)
+        decoded = _decoded(chunks)
+        assert decoded == heap_events
+
+    def test_worker_count_never_changes_chunks(self, heap_events):
+        parallel = Workload(_population(), seed=5, shard_ues=4, num_workers=3)
+        assert _decoded(parallel.chunks(chunk_events=256)) == heap_events
+
+    def test_chunk_columns_are_globally_sorted(self, workload):
+        chunks = workload.chunks(chunk_events=512)
+        times = np.concatenate([c.times for c in chunks])
+        assert np.all(np.diff(times) >= 0)
+        decoded = _decoded(chunks)
+        assert decoded == sorted(decoded, key=_KEY)
+
+    def test_topology_chunks_match_heap_merge(self):
+        population = get_workload("handover-storm").scaled(0.02)
+        chunked = Workload(population, seed=3)
+        reference = list(Workload(population, seed=3).events())
+        decoded = _decoded(chunked.chunks(chunk_events=300))
+        assert decoded == reference
+        # topology runs decode to 5-tuples with the cell name attached
+        assert all(len(event) == 5 for event in decoded)
+
+
+# ----------------------------------------------------------------------
+# Synthetic tie patterns, straight against heapq.merge
+# ----------------------------------------------------------------------
+def _buf(times, ues, codes, ue_ids, names, cells=None):
+    return (
+        np.asarray(times, dtype=np.float64),
+        np.asarray(ues, dtype=np.int64),
+        np.asarray(codes, dtype=np.int64),
+        tuple(ue_ids),
+        tuple(names),
+        None if cells is None else np.asarray(cells, dtype=np.int16),
+    )
+
+
+class TestSyntheticTieBreaks:
+    def test_full_key_ties_resolve_by_shard_order(self):
+        # Identical (timestamp, cohort, ue_id) on both shards: the heap
+        # merge resolves by source index and keeps within-shard order.
+        buffers = [
+            _buf([1.0, 1.0, 2.0], [0, 0, 1], [0, 1, 0], ("u", "v"), ("A", "B")),
+            _buf([1.0, 2.0], [0, 0], [0, 0], ("u",), ("C",)),
+        ]
+        cohorts = ["a", "a"]
+        reference = list(
+            merge_timelines(
+                [decode_buffer(b, c) for b, c in zip(buffers, cohorts)]
+            )
+        )
+        for chunk_events in (1, 2, 65536):
+            merged = merge_buffers(
+                buffers, cohorts, chunk_events=chunk_events
+            )
+            assert _decoded(merged) == reference
+
+    def test_cohort_breaks_timestamp_ties_across_shards(self):
+        buffers = [
+            _buf([5.0], [0], [0], ("z",), ("E1",)),
+            _buf([5.0], [0], [0], ("a",), ("E2",)),
+        ]
+        cohorts = ["zeta", "alpha"]
+        reference = list(
+            merge_timelines(
+                [decode_buffer(b, c) for b, c in zip(buffers, cohorts)]
+            )
+        )
+        merged = merge_buffers(buffers, cohorts)
+        assert _decoded(merged) == reference
+        assert _decoded(merged)[0].cohort == "alpha"
+
+    def test_cells_round_trip_through_merge(self):
+        cell_names = ("cell-0", "cell-1")
+        buffers = [
+            _buf([1.0, 3.0], [0, 0], [0, 0], ("u",), ("A",), cells=[0, 1]),
+            _buf([2.0], [0], [0], ("v",), ("B",), cells=[1]),
+        ]
+        cohorts = ["a", "b"]
+        reference = list(
+            merge_timelines(
+                [
+                    decode_buffer(b, c, cell_names)
+                    for b, c in zip(buffers, cohorts)
+                ]
+            )
+        )
+        merged = merge_buffers(buffers, cohorts, cell_names=cell_names)
+        assert _decoded(merged) == reference
+        assert [e.cell for e in _decoded(merged)] == [
+            "cell-0", "cell-1", "cell-1",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Incremental merger: columnar emission parity under arrival orderings
+# ----------------------------------------------------------------------
+class TestIncrementalChunks:
+    def _shard_chunks(self, engine, chunk_events):
+        return [
+            list(engine.shard_chunk_stream(s, chunk_events=chunk_events))
+            for s in range(engine.num_shards)
+        ]
+
+    def _run(self, engine, chunk_events, arrival, max_events=None):
+        """Feed chunks per ``arrival`` (shard index sequence), popping
+        columnar output after every delivery."""
+        streams = self._shard_chunks(engine, chunk_events)
+        merger = ChunkMerger(engine.num_shards, engine._cell_names())
+        out = []
+        for shard in arrival:
+            merger.add_chunk(streams[shard].pop(0))
+            if not streams[shard]:
+                merger.finish_shard(shard)
+            while True:
+                chunks = merger.pop_ready_chunks(max_events)
+                if not chunks:
+                    break
+                out.extend(chunks)
+        assert merger.exhausted()
+        assert merger.merged_total == sum(c.num_events for c in out)
+        return out
+
+    def _arrival(self, streams, order_fn):
+        counts = [len(s) for s in streams]
+        return order_fn(counts)
+
+    @pytest.mark.parametrize("chunk_events", [16, 128])
+    def test_round_robin_arrival_matches_heap(
+        self, workload, heap_events, chunk_events
+    ):
+        counts = [
+            len(s) for s in self._shard_chunks(workload, chunk_events)
+        ]
+        arrival = []
+        remaining = list(counts)
+        while any(remaining):
+            for s, left in enumerate(remaining):
+                if left:
+                    arrival.append(s)
+                    remaining[s] -= 1
+        merged = self._run(workload, chunk_events, arrival)
+        assert _decoded(merged) == heap_events
+
+    def test_reverse_shard_at_a_time_matches_heap(self, workload, heap_events):
+        counts = [len(s) for s in self._shard_chunks(workload, 64)]
+        arrival = [
+            s for s in reversed(range(len(counts))) for _ in range(counts[s])
+        ]
+        merged = self._run(workload, 64, arrival)
+        assert _decoded(merged) == heap_events
+
+    def test_max_events_cap_preserves_order(self, workload, heap_events):
+        counts = [len(s) for s in self._shard_chunks(workload, 64)]
+        arrival = [s for s in range(len(counts)) for _ in range(counts[s])]
+        merged = self._run(workload, 64, arrival, max_events=37)
+        assert all(c.num_events <= 37 for c in merged)
+        assert _decoded(merged) == heap_events
+
+    def test_late_registration_keeps_tie_order(self):
+        # Shard 1 registers its (identical) UE string first; the rank
+        # rebuild must still put shard 0 ahead on full-key ties.
+        def one(shard):
+            return TimelineChunk(
+                shard=shard,
+                seq=0,
+                cohort="c",
+                times=np.array([1.0, 1.0]),
+                ue_codes=np.zeros(2, dtype=np.int64),
+                event_codes=np.array([0, 1], dtype=np.int64),
+                ue_ids=("u",),
+                event_names=(f"S{shard}.A", f"S{shard}.B"),
+                cells=None,
+            )
+
+        merger = ChunkMerger(2)
+        merger.add_chunk(one(1))
+        merger.finish_shard(1)
+        assert merger.pop_ready_chunks() == []  # shard 0 still starved
+        merger.add_chunk(one(0))
+        merger.finish_shard(0)
+        decoded = _decoded(merger.pop_ready_chunks())
+        assert [e.event for e in decoded] == [
+            "S0.A", "S0.B", "S1.A", "S1.B",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Chunk-native consumers: simulator and autoscaler folds
+# ----------------------------------------------------------------------
+class TestConsumerParity:
+    def test_simulate_chunks_match_event_objects(self, workload, heap_events):
+        chunked = workload.simulate(sim_seed=3)
+        reference = workload.simulate(sim_seed=3, events=iter(heap_events))
+        assert chunked.num_events == reference.num_events
+        assert chunked.dropped_events == reference.dropped_events
+        assert (
+            chunked.peak_connected_contexts
+            == reference.peak_connected_contexts
+        )
+        assert set(chunked.latencies_ms) == set(reference.latencies_ms)
+        for name, latencies in reference.latencies_ms.items():
+            np.testing.assert_array_equal(
+                chunked.latencies_ms[name], latencies
+            )
+
+    def test_autoscale_chunks_match_event_objects(self, workload, heap_events):
+        policy = AutoscalePolicy()
+        chunked = workload.autoscale(policy)
+        reference = workload.autoscale(policy, events=iter(heap_events))
+        assert chunked.offered_load == reference.offered_load
+        assert chunked.workers == reference.workers
+        assert chunked.utilization == reference.utilization
+
+
+# ----------------------------------------------------------------------
+# Memory regression: partial chunks must not pin the shard buffer
+# ----------------------------------------------------------------------
+class TestChunkMemory:
+    def test_partial_chunks_are_copies(self):
+        buffer = _buf(
+            np.arange(10, dtype=np.float64),
+            np.zeros(10, dtype=np.int64),
+            np.zeros(10, dtype=np.int64),
+            ("u",),
+            ("A",),
+        )
+        chunks = list(
+            chunk_buffer(buffer, shard=0, cohort="a", chunk_events=4)
+        )
+        assert len(chunks) == 3
+        for chunk in chunks:
+            # A view would keep the whole shard buffer alive for as long
+            # as any one chunk is retained in a ring or merge backlog.
+            assert chunk.times.base is None
+            assert chunk.ue_codes.base is None
+            assert chunk.event_codes.base is None
+
+    def test_whole_buffer_chunk_shares_storage(self):
+        buffer = _buf(
+            np.arange(5, dtype=np.float64),
+            np.zeros(5, dtype=np.int64),
+            np.zeros(5, dtype=np.int64),
+            ("u",),
+            ("A",),
+        )
+        (chunk,) = chunk_buffer(buffer, shard=0, cohort="a", chunk_events=8)
+        assert chunk.times is buffer[0]
+        assert chunk.ue_codes is buffer[1]
+
+
+# ----------------------------------------------------------------------
+# Cell annotations must never be silently dropped
+# ----------------------------------------------------------------------
+class TestCellValidation:
+    def _cell_buffer(self):
+        return _buf([1.0], [0], [0], ("u",), ("A",), cells=[0])
+
+    def test_decode_buffer_requires_cell_names(self):
+        with pytest.raises(ValueError, match="cell annotations"):
+            list(decode_buffer(self._cell_buffer(), "a"))
+
+    def test_merge_buffers_requires_cell_names(self):
+        with pytest.raises(ValueError, match="cell annotations"):
+            merge_buffers([self._cell_buffer()], ["a"])
+
+    def test_chunk_merger_requires_cell_names(self):
+        merger = ChunkMerger(1)
+        chunk = TimelineChunk(
+            shard=0,
+            seq=0,
+            cohort="a",
+            times=np.array([1.0]),
+            ue_codes=np.zeros(1, dtype=np.int64),
+            event_codes=np.zeros(1, dtype=np.int64),
+            ue_ids=("u",),
+            event_names=("A",),
+            cells=np.zeros(1, dtype=np.int16),
+        )
+        with pytest.raises(ValueError, match="cell annotations"):
+            merger.add_chunk(chunk)
+
+    def test_merged_chunk_decode_requires_cell_names(self):
+        tables = MergeTables(None)
+        tables.add_ues("a", ("u",), 0)
+        chunk = MergedChunk(
+            times=np.array([1.0]),
+            cohorts=np.zeros(1, dtype=np.int32),
+            ues=np.zeros(1, dtype=np.int64),
+            events=tables.event_codes(("A",)),
+            cells=np.zeros(1, dtype=np.int16),
+            tables=tables,
+        )
+        with pytest.raises(ValueError, match="cell annotations"):
+            list(chunk.decode())
