@@ -1,0 +1,88 @@
+"""Static analysis of the repo's own contracts (``repro lint``).
+
+The pipeline's fidelity claims rest on invariants tests can only
+spot-check: SeedSequence-keyed randomness (bit-identical merges for any
+``num_workers``), injectable clocks in deterministic paths, vectorized
+hot paths, fork-safe module state, registered schema strings, and
+audited conservation-invariant mutators.  This package turns those
+conventions into machine-checked AST lint rules:
+
+======  ==============================  =======================================
+id      name                            contract
+======  ==============================  =======================================
+R001    rng-discipline                  seeds flow from SeedSequence-derived
+                                        values; no unseeded/legacy RNG APIs
+R002    wallclock-in-deterministic-path no inline wall-clock reads in core/,
+                                        workload/, topology/, validate/
+R003    hot-path-purity                 ``@hot_path`` kernels stay vectorized
+R004    fork-safety                     no unregistered mutable module state in
+                                        fork-target modules
+R005    schema-registry                 ``repro/<name>/v<N>`` strings come from
+                                        :mod:`repro.analysis.schemas`
+R006    invariant-guard                 guarded counters move only in the
+                                        audited mutator set
+======  ==============================  =======================================
+
+This package's import surface is deliberately stdlib-only so any module
+(including ``repro.obs.registry``) can import the schema table without
+cycles; the lint machinery itself loads lazily.
+"""
+
+from __future__ import annotations
+
+from .hotpath import HOT_PATH_MANIFEST, hot_path
+from .schemas import (
+    FIDELITY_SCORECARD_V1,
+    LINT_BASELINE_V1,
+    LINT_REPORT_V1,
+    METRICS_V1,
+    PIPELINE_PROFILE_V1,
+    SCHEMAS,
+    SERVICE_STATUS_V2,
+)
+
+__all__ = [
+    "hot_path",
+    "HOT_PATH_MANIFEST",
+    "SCHEMAS",
+    "METRICS_V1",
+    "SERVICE_STATUS_V2",
+    "FIDELITY_SCORECARD_V1",
+    "PIPELINE_PROFILE_V1",
+    "LINT_REPORT_V1",
+    "LINT_BASELINE_V1",
+    # lazily loaded lint machinery:
+    "Finding",
+    "LintRule",
+    "Baseline",
+    "run_lint",
+    "all_rules",
+    "select_rules",
+    "available_rule_names",
+    "register_rule",
+    "lint_main",
+]
+
+_LAZY = {
+    "Finding": "framework",
+    "LintRule": "framework",
+    "Baseline": "framework",
+    "run_lint": "framework",
+    "all_rules": "framework",
+    "select_rules": "framework",
+    "available_rule_names": "framework",
+    "register_rule": "framework",
+    "lint_main": "runner",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,551 @@
+"""Visitor-based lint framework: rule registry, AST walk, findings.
+
+The contracts this codebase depends on — SeedSequence-keyed RNGs,
+injectable clocks in deterministic paths, vectorized hot paths,
+fork-safe module state, registered schema strings, audited invariant
+mutators — are conventions a test suite can only spot-check.  This
+framework turns them into machine-checked rules: each
+:class:`LintRule` walks one file's AST (with parent links, scope
+qualnames, and an import-alias map precomputed in the
+:class:`FileContext`) and yields :class:`Finding` records.
+
+Escape hatches, in order of preference:
+
+* inline suppression — ``# repro-lint: allow[<rule>]`` on the flagged
+  line (or a standalone comment on the line above).  For block
+  statements the comment on the header line covers the body, so one
+  reviewed ``allow`` on a per-shard ``for`` does not need repeating on
+  every statement inside.  ``allow[*]`` suppresses every rule.
+* committed baseline — ``repro lint --baseline <path>`` filters
+  grandfathered findings recorded by ``--write-baseline``.  Baseline
+  entries are fingerprinted against the *text* of the flagged line, so
+  unrelated edits don't resurrect them; entries whose finding
+  disappeared are reported as *stale* and fail the run, which keeps
+  baselines shrinking monotonically.
+
+Reports come in two shapes: the human ``path:line:col RXXX[name]``
+stream and a JSON document (schema
+:data:`~repro.analysis.schemas.LINT_REPORT_V1`) for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .schemas import LINT_BASELINE_V1, LINT_REPORT_V1
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "FileContext",
+    "LintResult",
+    "Baseline",
+    "register_rule",
+    "all_rules",
+    "select_rules",
+    "available_rule_names",
+    "run_lint",
+    "format_human",
+    "report_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule name, e.g. ``"rng-discipline"``
+    rule_id: str  #: short id, e.g. ``"R001"``
+    severity: str  #: ``"error"`` or ``"warning"``
+    path: str  #: posix path as reported (relative to the lint root)
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id}[{self.rule}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+_ALLOW = re.compile(r"repro-lint:\s*allow\[([^\]]*)\]")
+
+
+def _parse_suppressions(source: str) -> tuple[dict, dict]:
+    """``(same_line, own_line)`` maps of line -> set of allowed rule keys.
+
+    ``same_line`` entries sit on a line that also holds code; they cover
+    that line (and, via :meth:`FileContext.is_suppressed`, any block
+    statement headed there).  ``own_line`` entries are standalone
+    comments; they cover the next line.
+    """
+    same_line: dict[int, set] = {}
+    own_line: dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW.search(tok.string)
+            if not match:
+                continue
+            names = {
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            }
+            row = tok.start[0]
+            line_text = tok.line[: tok.start[1]].strip()
+            target = same_line if line_text else own_line
+            target.setdefault(row, set()).update(names)
+    except tokenize.TokenError:  # unterminated strings etc.; best effort
+        pass
+    return same_line, own_line
+
+
+# ----------------------------------------------------------------------
+# Per-file context
+# ----------------------------------------------------------------------
+class FileContext:
+    """One parsed file plus the bookkeeping every rule needs.
+
+    * ``parents`` — child AST node -> parent node;
+    * ``qualnames`` — def/class node -> dotted qualified name;
+    * import-alias resolution (:meth:`resolve`, :meth:`call_name`) so
+      ``from time import perf_counter; perf_counter()`` and
+      ``import numpy as np; np.random.default_rng()`` both resolve to
+      their canonical dotted names;
+    * suppression lookups (:meth:`is_suppressed`).
+
+    ``pkg_rel`` is the path relative to the innermost ``repro`` package
+    directory (``"core/sharding.py"``) — the key rules use for zone
+    checks — falling back to the file name outside a package.
+    """
+
+    def __init__(self, path: Path, source: str, rel: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        self.qualnames: dict[ast.AST, str] = {}
+        self.imports: dict[str, str] = {}
+        self._same_line, self._own_line = _parse_suppressions(source)
+        self._index()
+        parts = path.as_posix().split("/")
+        if "repro" in parts:
+            tail = parts[len(parts) - 1 - parts[::-1].index("repro") + 1 :]
+            self.pkg_rel = "/".join(tail)
+        else:
+            self.pkg_rel = path.name
+
+    # -- indexing ------------------------------------------------------
+    def _index(self) -> None:
+        scope_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        stack: list[tuple[ast.AST, list[str]]] = [(self.tree, [])]
+        while stack:
+            node, scope = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+                child_scope = scope
+                if isinstance(child, scope_types):
+                    child_scope = scope + [child.name]
+                    self.qualnames[child] = ".".join(child_scope)
+                stack.append((child, child_scope))
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(node)
+
+    def _index_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                self.imports[name] = alias.name if alias.asname else name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                self.imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+    # -- navigation ----------------------------------------------------
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def parent(self, node: ast.AST) -> "ast.AST | None":
+        return self.parents.get(node)
+
+    def enclosing_function(self, node: ast.AST) -> "ast.AST | None":
+        """The nearest enclosing def node (``None`` at module/class level)."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def qualname(self, node: ast.AST) -> str:
+        return self.qualnames.get(node, "<module>")
+
+    # -- name resolution -----------------------------------------------
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Canonical dotted name for a Name/Attribute chain, or ``None``.
+
+        The base name is expanded through the file's import aliases, so
+        the result is module-qualified wherever the import is visible
+        (``np.random.default_rng`` -> ``numpy.random.default_rng``).
+        Locals that shadow imports are not tracked — the linter is
+        syntactic by design.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.imports.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def call_name(self, node: ast.Call) -> "str | None":
+        return self.resolve(node.func)
+
+    # -- suppressions --------------------------------------------------
+    def is_suppressed(self, rule: "LintRule", node: ast.AST) -> bool:
+        keys = {rule.name, rule.id, "*"}
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", first) or first
+        # A block statement is covered by a comment on its *header*
+        # lines only (def/for/while line up to the colon), not by one
+        # buried in its body.
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body:
+            last = min(last, body[0].lineno - 1) if body[0].lineno > first else first
+        for row in range(first, last + 1):
+            if self._same_line.get(row, ()) and (
+                self._same_line[row] & keys
+            ):
+                return True
+        allowed = self._own_line.get(first - 1, ())
+        return bool(allowed and set(allowed) & keys)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class LintRule:
+    """Base class: subclass, set ``id``/``name``, implement :meth:`check`.
+
+    ``check`` yields findings for one file; suppression filtering
+    happens in the framework for the yielded node's location, but rules
+    that skip whole subtrees (block-level allows) should consult
+    :meth:`FileContext.is_suppressed` themselves.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            rule_id=self.id,
+            severity=self.severity,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_RULES: dict[str, LintRule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {cls.__name__} needs both id and name")
+    for key in (rule.id, rule.name):
+        existing = _RULES.get(key)
+        if existing is not None and type(existing) is not cls:
+            raise ValueError(f"duplicate rule key {key!r}")
+    _RULES[rule.id] = rule
+    _RULES[rule.name] = rule
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    from . import rules_determinism  # noqa: F401
+    from . import rules_hotpath  # noqa: F401
+    from . import rules_safety  # noqa: F401
+    from . import rules_schema  # noqa: F401
+
+
+def all_rules() -> list[LintRule]:
+    """Every registered rule, ordered by id."""
+    _load_builtin_rules()
+    unique = {id(rule): rule for rule in _RULES.values()}
+    return sorted(unique.values(), key=lambda rule: rule.id)
+
+
+def available_rule_names() -> list[str]:
+    return [rule.name for rule in all_rules()]
+
+
+def select_rules(selectors: "Sequence[str] | None") -> list[LintRule]:
+    """Rules matching ``selectors`` (names or ids); all when ``None``."""
+    rules = all_rules()
+    if not selectors:
+        return rules
+    chosen: dict[int, LintRule] = {}
+    for selector in selectors:
+        rule = _RULES.get(selector)
+        if rule is None:
+            known = ", ".join(r.name for r in rules)
+            raise KeyError(f"unknown rule {selector!r}; known rules: {known}")
+        chosen[id(rule)] = rule
+    return sorted(chosen.values(), key=lambda rule: rule.id)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Findings across one lint run (already suppression-filtered)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)  # unparseable files
+    #: reported path -> source lines (for baseline fingerprinting).
+    sources: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def line_text(self, finding: Finding) -> str:
+        lines = self.sources.get(finding.path, ())
+        if 1 <= finding.line <= len(lines):
+            return lines[finding.line - 1].strip()
+        return ""
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    seen = set()
+    for path in paths:
+        path = Path(path)
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _relative_to_cwd(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence,
+    rules: "Sequence[LintRule] | None" = None,
+    *,
+    rel_paths: bool = True,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with ``rules``.
+
+    Findings on suppressed lines are dropped here; baseline filtering is
+    the caller's concern (see :class:`Baseline`).
+    """
+    active = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    for path in iter_python_files(Path(p) for p in paths):
+        rel = _relative_to_cwd(path) if rel_paths else Path(path).as_posix()
+        try:
+            source = path.read_text()
+            ctx = FileContext(path, source, rel)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{rel}: {exc}")
+            continue
+        result.files += 1
+        result.sources[rel] = ctx.lines
+        for rule in active:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def _fingerprints(findings: Iterable[Finding], text_of) -> list[str]:
+    """Stable per-finding fingerprints: line *text*, not line number.
+
+    Duplicate (rule, path, text) triples disambiguate by occurrence
+    order, so two identical violations in one file baseline separately.
+    """
+    counts: dict[tuple, int] = {}
+    out = []
+    for finding in findings:
+        text = text_of(finding)
+        key = (finding.rule, finding.path, text)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule}|{finding.path}|{text}|{index}".encode()
+        ).hexdigest()[:16]
+        out.append(digest)
+    return out
+
+
+class Baseline:
+    """A committed set of grandfathered findings.
+
+    ``apply`` splits a result's findings into fresh vs baselined and
+    reports entries whose finding no longer exists as *stale* — the
+    expiry half of the add/expire contract.
+    """
+
+    def __init__(self, entries: "list[dict] | None" = None) -> None:
+        self.entries = list(entries or [])
+
+    # -- persistence ---------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("schema") != LINT_BASELINE_V1:
+            raise ValueError(
+                f"not a lint baseline: schema {payload.get('schema')!r}, "
+                f"expected {LINT_BASELINE_V1!r}"
+            )
+        return cls(payload.get("findings", []))
+
+    def save(self, path) -> None:
+        payload = {
+            "schema": LINT_BASELINE_V1,
+            "findings": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    # -- construction / application ------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], line_texts) -> "Baseline":
+        prints = _fingerprints(findings, line_texts)
+        return cls(
+            [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "fingerprint": digest,
+                    "line": finding.line,
+                    "message": finding.message,
+                }
+                for finding, digest in zip(findings, prints)
+            ]
+        )
+
+    def apply(
+        self, findings: Sequence[Finding], line_texts
+    ) -> tuple[list[Finding], list[Finding], list[dict]]:
+        """``(fresh, baselined, stale_entries)`` for this run's findings."""
+        prints = _fingerprints(findings, line_texts)
+        known = {(e["rule"], e["path"], e["fingerprint"]) for e in self.entries}
+        matched = set()
+        fresh, baselined = [], []
+        for finding, digest in zip(findings, prints):
+            key = (finding.rule, finding.path, digest)
+            if key in known:
+                matched.add(key)
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        stale = [
+            entry
+            for entry in self.entries
+            if (entry["rule"], entry["path"], entry["fingerprint"]) not in matched
+        ]
+        return fresh, baselined, stale
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def format_human(result: LintResult, *, baselined: int = 0) -> str:
+    lines = [finding.format() for finding in result.findings]
+    lines.extend(f"error: {message}" for message in result.errors)
+    tail = (
+        f"{len(result.findings)} finding(s) across {result.files} file(s)"
+    )
+    if baselined:
+        tail += f" ({baselined} baselined)"
+    lines.append(tail if result.findings or result.errors else f"clean: {tail}")
+    return "\n".join(lines)
+
+
+def report_json(
+    result: LintResult,
+    *,
+    baselined: "Sequence[Finding]" = (),
+    stale: "Sequence[dict]" = (),
+) -> dict:
+    """The ``repro/lint-report/v1`` document."""
+    return {
+        "schema": LINT_REPORT_V1,
+        "files": result.files,
+        "clean": result.clean and not stale,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "baselined": [finding.as_dict() for finding in baselined],
+        "stale_baseline": list(stale),
+        "errors": list(result.errors),
+    }

@@ -1,0 +1,62 @@
+"""Hot-path purity markers consumed by the ``hot-path-purity`` lint rule.
+
+The columnar pipeline's throughput rests on a handful of vectorized
+kernels staying vectorized: a reintroduced per-event Python loop dies
+silently — everything still passes, it is just 10-30x slower (the exact
+regression PR 9 removed).  Two mechanisms put a function under the
+rule's watch:
+
+* decorate it with :func:`hot_path` (preferred for new kernels — the
+  contract travels with the code); or
+* list it in :data:`HOT_PATH_MANIFEST` (for kernels whose modules
+  should not import this package, or to enforce the contract on code
+  you don't own).
+
+Within a watched function the rule flags ``for``/``while`` loops,
+list-``append`` accumulation inside loops, and per-iteration object
+construction.  Loops that are genuinely *not* per-event — per-shard
+loops bounded by the worker count, per-position steps vectorized across
+all streams — carry an inline ``# repro-lint: allow[hot-path-purity]``
+with a one-line justification; the suppression covers the loop body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path", "HOT_PATH_MANIFEST"]
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute set on functions marked with :func:`hot_path`.
+HOT_PATH_ATTR = "__repro_hot_path__"
+
+
+def hot_path(fn: F) -> F:
+    """Mark ``fn`` as a vectorized hot-path kernel (zero runtime cost).
+
+    The marker is purely declarative: the lint rule recognises the
+    decorator *syntactically* (no import is executed during linting),
+    and at runtime the function is returned unchanged apart from a
+    truthy ``__repro_hot_path__`` attribute for introspection.
+    """
+    try:
+        setattr(fn, HOT_PATH_ATTR, True)
+    except (AttributeError, TypeError):  # staticmethod and friends
+        pass
+    return fn
+
+
+#: ``(path suffix, qualified function name)`` pairs under the rule's
+#: watch without a decorator.  Paths are posix-style suffixes matched
+#: against the linted file's path; qualified names are dotted
+#: ``Class.method`` (or bare function) names.
+HOT_PATH_MANIFEST: tuple[tuple[str, str], ...] = (
+    # The incremental columnar merge: the service hot path.
+    ("service/merge.py", "ChunkMerger.pop_ready_chunks"),
+    # The vectorized conformance replay kernels (position-stepped
+    # across all active streams at once).
+    ("validate/oracle.py", "TransitionOracle.step_grouped"),
+    ("validate/oracle.py", "TransitionOracle._validate_padded"),
+    ("validate/oracle.py", "TransitionOracle._validate_grouped"),
+)

@@ -1,0 +1,186 @@
+"""Determinism rules: RNG discipline (R001) and wall-clock hygiene (R002).
+
+The repo's reproducibility contract is that every random draw flows
+from a :class:`numpy.random.SeedSequence`-derived value with
+shard-layout-independent keys (bit-identical merges for any
+``num_workers``) and that nothing on a deterministic path reads the
+wall clock except through an injectable-clock parameter (the pattern
+``repro.service`` uses: ``clock=time.monotonic`` as a *default value*,
+with every read going through ``self.clock()``).  Both rules are
+purely syntactic — they flag *calls*, so referencing ``time.monotonic``
+as an injectable default stays legal while calling it inline does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import FileContext, Finding, LintRule, register_rule
+
+__all__ = ["RngDiscipline", "WallClockInDeterministicPath"]
+
+
+def _is_test_or_example(ctx: FileContext) -> bool:
+    path = ctx.path.as_posix()
+    name = ctx.path.name
+    return (
+        "/tests/" in path
+        or "/examples/" in path
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+#: Legacy global-state numpy RNG APIs: banned outright (they read or
+#: mutate the process-wide generator, invisible to SeedSequence keying).
+_LEGACY_NUMPY = frozenset(
+    f"numpy.random.{name}"
+    for name in (
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "RandomState",
+        "get_state",
+        "set_state",
+    )
+)
+
+#: Paths (relative to the repro package) where ``default_rng`` must be
+#: keyed *directly* by a ``SeedSequence(...)`` spawn key — the
+#: shard-layout-independence contract the PR 6 grep audit enforced.
+_STRICT_SEED_ZONES = ("topology/",)
+
+
+@register_rule
+class RngDiscipline(LintRule):
+    """R001: every RNG must derive from a SeedSequence-keyed seed."""
+
+    id = "R001"
+    name = "rng-discipline"
+    description = (
+        "no unseeded default_rng() / legacy np.random.* / stdlib random.* "
+        "outside tests and examples; topology randomness must be keyed by "
+        "SeedSequence spawn keys"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not _is_test_or_example(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        strict = ctx.pkg_rel.startswith(_STRICT_SEED_ZONES)
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.call_name(node)
+            if resolved is None or ctx.is_suppressed(self, node):
+                continue
+            if resolved == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "unseeded default_rng() draws OS entropy — seed it "
+                        "from a SeedSequence-derived value so runs reproduce",
+                    )
+                elif strict and not self._seed_sequence_arg(ctx, node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "default_rng in topology/ must be keyed directly by a "
+                        "SeedSequence(...) spawn key (shard-layout-independent "
+                        "randomness; see TopologyRuntime._ue_rng)",
+                    )
+            elif resolved in _LEGACY_NUMPY:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global-state RNG API {resolved}() — use a "
+                    "Generator passed in from a SeedSequence-derived seed",
+                )
+            elif resolved.startswith("random.") and resolved.count(".") == 1:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib {resolved}() uses hidden global state — use a "
+                    "numpy Generator seeded from a SeedSequence",
+                )
+
+    @staticmethod
+    def _seed_sequence_arg(ctx: FileContext, node: ast.Call) -> bool:
+        if len(node.args) != 1 or node.keywords:
+            return False
+        arg = node.args[0]
+        if not isinstance(arg, ast.Call):
+            return False
+        resolved = ctx.call_name(arg)
+        return resolved is not None and resolved.endswith("SeedSequence")
+
+
+#: Wall-clock reads, canonical dotted names after alias resolution.
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Packages whose results must be a pure function of (inputs, seed).
+_DETERMINISTIC_ZONES = ("core/", "workload/", "topology/", "validate/")
+
+
+@register_rule
+class WallClockInDeterministicPath(LintRule):
+    """R002: no inline wall-clock reads in deterministic packages."""
+
+    id = "R002"
+    name = "wallclock-in-deterministic-path"
+    description = (
+        "time.time/monotonic/perf_counter and datetime.now are forbidden in "
+        "core/, workload/, topology/ and validate/ except through the "
+        "injectable-clock pattern (clock parameter defaulting to the "
+        "function reference, reads via clock())"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.pkg_rel.startswith(_DETERMINISTIC_ZONES) and not (
+            _is_test_or_example(ctx)
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.call_name(node)
+            if resolved in _WALLCLOCK and not ctx.is_suppressed(self, node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {resolved}() in a deterministic path — "
+                    "inject the clock (parameter defaulting to "
+                    f"{resolved}, call through the parameter) or justify "
+                    "with an inline allow",
+                )

@@ -1,0 +1,133 @@
+"""R003 hot-path-purity: vectorized kernels must stay vectorized.
+
+The 15M ev/s columnar merge (PR 9) dies silently if someone
+reintroduces a per-event Python loop — every test still passes, the
+pipeline is just an order of magnitude slower.  Functions marked
+``@hot_path`` (or listed in
+:data:`~repro.analysis.hotpath.HOT_PATH_MANIFEST`) may not contain
+``for``/``while`` loops, list-``append`` accumulation inside loops, or
+per-iteration object construction.
+
+Loops that are *not* per-event — per-shard loops bounded by the worker
+count, per-position steps vectorized across all live streams — are
+annotated ``# repro-lint: allow[hot-path-purity]`` on the loop header;
+the suppression covers the loop body, so a reviewed per-shard loop does
+not need an annotation on every statement inside it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import FileContext, Finding, LintRule, register_rule
+from .hotpath import HOT_PATH_MANIFEST
+
+__all__ = ["HotPathPurity"]
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+@register_rule
+class HotPathPurity(LintRule):
+    """R003: no per-element Python loops in hot-path kernels."""
+
+    id = "R003"
+    name = "hot-path-purity"
+    description = (
+        "functions marked @hot_path (or listed in the hot-path manifest) "
+        "may not loop per element, accumulate via list.append in loops, or "
+        "construct objects per iteration"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if self._is_hot(ctx, node):
+                yield from self._check_function(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _is_hot(self, ctx: FileContext, node: ast.AST) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = ctx.resolve(target)
+            if resolved is not None and resolved.split(".")[-1] == "hot_path":
+                return True
+        qualname = ctx.qualname(node)
+        path = ctx.path.as_posix()
+        return any(
+            path.endswith(suffix) and qualname == name
+            for suffix, name in HOT_PATH_MANIFEST
+        )
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        name = ctx.qualname(fn)
+        yield from self._scan(ctx, fn, name, in_loop=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, fn_name: str, *, in_loop: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            # Nested defs are their own (possibly non-hot) functions.
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, _LOOPS):
+                if ctx.is_suppressed(self, child):
+                    # A reviewed (per-shard / per-position) loop: the
+                    # header suppression covers the whole body.
+                    continue
+                kind = "while" if isinstance(child, ast.While) else "for"
+                yield self.finding(
+                    ctx,
+                    child,
+                    f"per-element `{kind}` loop in hot-path function "
+                    f"{fn_name}() — vectorize over the event columns, or "
+                    "annotate a reviewed per-shard loop with "
+                    "allow[hot-path-purity]",
+                )
+                yield from self._scan(ctx, child, fn_name, in_loop=True)
+                continue
+            if isinstance(child, _COMPREHENSIONS) and not ctx.is_suppressed(
+                self, child
+            ):
+                yield self.finding(
+                    ctx,
+                    child,
+                    f"per-element comprehension in hot-path function "
+                    f"{fn_name}() — vectorize over the event columns",
+                )
+            if in_loop and isinstance(child, ast.Call):
+                yield from self._check_loop_call(ctx, child, fn_name)
+            yield from self._scan(ctx, child, fn_name, in_loop=in_loop)
+
+    def _check_loop_call(
+        self, ctx: FileContext, call: ast.Call, fn_name: str
+    ) -> Iterator[Finding]:
+        if ctx.is_suppressed(self, call):
+            return
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "append"
+        ):
+            yield self.finding(
+                ctx,
+                call,
+                f"list.append inside a loop in hot-path function "
+                f"{fn_name}() — accumulate columns and concatenate once",
+            )
+            return
+        resolved = ctx.resolve(call.func)
+        if resolved is not None:
+            last = resolved.split(".")[-1]
+            if last[:1].isupper() and not last.isupper():
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"per-iteration object construction {last}(...) in "
+                    f"hot-path function {fn_name}() — keep the hot path "
+                    "columnar; decode to objects only at the edges",
+                )

@@ -1,0 +1,267 @@
+"""Process-safety rules: fork hygiene (R004) and audited invariant
+mutators (R006).
+
+R004 — *fork-safety*: the supervised producer shards are **forked**, so
+everything at module scope in a fork-target module is duplicated into
+every child copy-on-write.  Mutable module state silently diverges
+between parent and children, inherited locks can be cloned in the held
+state, and shared file handles interleave writes.  Module-level mutable
+state in those modules must either be one of the registered teardown
+registries (reaped at interpreter exit, parent-only by construction) or
+carry a reviewed inline allow.
+
+R006 — *invariant-guard*: the service's conservation invariant
+``merged == delivered + shed + pending`` is re-verified on every
+``status()`` call, but the check is only as good as the set of code
+paths allowed to move those counters.  Any function that mutates a
+guarded counter attribute must be in the audited set below — adding a
+new mutator forces the author (and reviewer) to extend the audit,
+which is exactly the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import FileContext, Finding, LintRule, register_rule
+
+__all__ = ["ForkSafety", "InvariantGuard"]
+
+
+#: Modules whose module scope is inherited by forked workers.
+_FORK_MODULES = ("core/sharding.py", "service/supervisor.py")
+
+#: Module-level names recognised as registered teardown registries
+#: (reaped by the ``atexit`` hook in ``core.sharding``).
+_TEARDOWN_REGISTRIES = frozenset({"_LIVE_POOLS", "_LIVE_WORKERS"})
+
+#: Constructors whose result is mutable (or otherwise fork-hostile).
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.deque",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.Counter",
+        "weakref.WeakSet",
+        "weakref.WeakKeyDictionary",
+        "weakref.WeakValueDictionary",
+        "queue.Queue",
+        "queue.SimpleQueue",
+    }
+)
+_LOCK_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+_HANDLE_CALLS = frozenset({"open", "io.open", "os.open"})
+
+
+@register_rule
+class ForkSafety(LintRule):
+    """R004: no unregistered mutable module state in fork-target modules."""
+
+    id = "R004"
+    name = "fork-safety"
+    description = (
+        "modules reachable from stream_worker/_supervised_pool fork targets "
+        "may not hold module-level mutable state, locks, or open file "
+        "handles unless registered in the teardown registries"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.pkg_rel in _FORK_MODULES:
+            return True
+        # Any module that forks workers itself is in scope too.
+        return "multiprocessing" in ctx.imports.values()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for statement in self._module_and_class_statements(ctx):
+            if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                value = statement.value
+                if value is None:
+                    continue
+                names = {
+                    target.id
+                    for target in targets
+                    if isinstance(target, ast.Name)
+                }
+                if names & _TEARDOWN_REGISTRIES:
+                    continue
+                # Dunders (__all__ and friends) are interpreter-facing
+                # declarations, never runtime-mutated shared state.
+                if names and all(
+                    name.startswith("__") and name.endswith("__")
+                    for name in names
+                ):
+                    continue
+                problem = self._problem(ctx, value)
+                if problem and not ctx.is_suppressed(self, statement):
+                    label = ", ".join(sorted(names)) or "<target>"
+                    yield self.finding(
+                        ctx,
+                        statement,
+                        f"module-level {problem} `{label}` in a fork-target "
+                        "module — forked workers inherit it copy-on-write "
+                        "and diverge silently; register it in the teardown "
+                        "registries or move it into the worker",
+                    )
+            elif isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Call
+            ):
+                resolved = ctx.call_name(statement.value)
+                if resolved in _HANDLE_CALLS and not ctx.is_suppressed(
+                    self, statement
+                ):
+                    yield self.finding(
+                        ctx,
+                        statement,
+                        "module-level open() in a fork-target module — the "
+                        "handle is shared across fork and writes interleave",
+                    )
+
+    @staticmethod
+    def _module_and_class_statements(ctx: FileContext):
+        for statement in ctx.tree.body:
+            yield statement
+            if isinstance(statement, ast.ClassDef):
+                yield from statement.body
+
+    def _problem(self, ctx: FileContext, value: ast.AST) -> "str | None":
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return "mutable container"
+        if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return "mutable container"
+        if isinstance(value, ast.Call):
+            resolved = ctx.call_name(value)
+            if resolved in _LOCK_CALLS:
+                return "synchronization primitive"
+            if resolved in _HANDLE_CALLS:
+                return "open file handle"
+            if resolved in _MUTABLE_CALLS:
+                return "mutable container"
+        return None
+
+
+#: Counter attributes covered by the ``status()`` conservation check
+#: (``merged == delivered + shed + pending``) and the ring's watermark
+#: accounting.
+_GUARDED_ATTRS = frozenset(
+    {
+        "delivered",  # TrafficService
+        "merged_total",  # ChunkMerger
+        "_merged_before",  # TrafficService loop-mode carry
+        "total",  # ShedAccount
+        "episodes",  # ShedAccount
+        "by_cohort",  # ShedAccount
+        "_depth",  # EventRing
+        "_throttled",  # EventRing hysteresis latch
+    }
+)
+
+#: The audited mutator set: the only functions allowed to move guarded
+#: counters.  Keys are paths relative to the repro package; values are
+#: dotted qualified names within the module.
+_AUDITED_MUTATORS: dict[str, frozenset] = {
+    "service/ring.py": frozenset(
+        {
+            "EventRing.__init__",
+            "EventRing.push",
+            "EventRing.pop",
+            "EventRing.replace_head",
+            "EventRing._update_latch",
+        }
+    ),
+    "service/degradation.py": frozenset(
+        {
+            "ShedAccount.__init__",
+            "ShedAccount.record",
+            "ShedAccount.note_level",
+        }
+    ),
+    "service/merge.py": frozenset(
+        {
+            "ChunkMerger.__init__",
+            "ChunkMerger.pop_ready_chunks",
+        }
+    ),
+    "service/service.py": frozenset(
+        {
+            "TrafficService.__init__",
+            "TrafficService._deliver",
+            "TrafficService._deliver_chunk",
+            "TrafficService._record_shed",
+            "TrafficService._maybe_wrap_cycle",
+            # run() owns the cycle-wrap accounting: it resets and advances
+            # _merged_before, which status() folds into merged_total before
+            # checking conservation.
+            "TrafficService.run",
+        }
+    ),
+}
+
+
+@register_rule
+class InvariantGuard(LintRule):
+    """R006: guarded counters move only inside the audited mutator set."""
+
+    id = "R006"
+    name = "invariant-guard"
+    description = (
+        "functions mutating ShedAccount / ring-depth / delivered counters "
+        "must be in the audited set the status() conservation check covers"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.pkg_rel.startswith("service/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        audited = _AUDITED_MUTATORS.get(ctx.pkg_rel, frozenset())
+        for node in ctx.walk():
+            target = self._guarded_target(node)
+            if target is None or ctx.is_suppressed(self, node):
+                continue
+            fn = ctx.enclosing_function(node)
+            qualname = ctx.qualname(fn) if fn is not None else "<module>"
+            if qualname in audited:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{qualname}() mutates guarded counter `.{target}` but is "
+                "not in the audited mutator set the status() conservation "
+                "check covers — add it to _AUDITED_MUTATORS (and audit it) "
+                "or route the mutation through an audited method",
+            )
+
+    @staticmethod
+    def _guarded_target(node: ast.AST) -> "str | None":
+        if isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.Assign):
+            targets = node.targets
+        else:
+            return None
+        for target in targets:
+            # Plain attribute writes and subscript writes like
+            # ``account.by_cohort[name] = n`` both count as mutation.
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute) and target.attr in _GUARDED_ATTRS:
+                return target.attr
+        return None

@@ -1,0 +1,74 @@
+"""R005 schema-registry: versioned schema strings come from one table.
+
+``repro/<name>/v<N>`` tags are producer/consumer contracts; a typo'd or
+drifting literal at one site breaks round-trips silently.  Every such
+string must be the constant from :mod:`repro.analysis.schemas` — the
+rule flags any matching literal anywhere else under ``src/repro``
+(docstrings excepted: documentation may *mention* a schema).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .framework import FileContext, Finding, LintRule, register_rule
+
+__all__ = ["SchemaRegistry"]
+
+_SCHEMA_STRING = re.compile(r"^repro/[a-z0-9_-]+/v\d+$")
+
+#: The one module allowed to spell the strings out.
+_TABLE_MODULE = "analysis/schemas.py"
+
+
+@register_rule
+class SchemaRegistry(LintRule):
+    """R005: no ad-hoc ``repro/<name>/v<N>`` literals outside the table."""
+
+    id = "R005"
+    name = "schema-registry"
+    description = (
+        "every repro/<name>/v<N> schema string must come from the "
+        "repro.analysis.schemas constant table"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.pkg_rel != _TABLE_MODULE
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        docstrings = self._docstring_nodes(ctx)
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and _SCHEMA_STRING.match(node.value)
+                and node not in docstrings
+                and not ctx.is_suppressed(self, node)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"ad-hoc schema string {node.value!r} — import the "
+                    "constant from repro.analysis.schemas so producers and "
+                    "consumers cannot drift",
+                )
+
+    @staticmethod
+    def _docstring_nodes(ctx: FileContext) -> set:
+        nodes = set()
+        for node in ctx.walk():
+            if isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                body = getattr(node, "body", [])
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    nodes.add(body[0].value)
+        return nodes

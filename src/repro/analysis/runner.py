@@ -1,0 +1,89 @@
+"""The ``repro lint`` command: path collection, baseline, reporting.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries, or
+unparseable files), 2 usage errors (unknown rule, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from .framework import (
+    Baseline,
+    all_rules,
+    format_human,
+    report_json,
+    run_lint,
+    select_rules,
+)
+
+__all__ = ["lint_main"]
+
+
+def _default_paths() -> list[Path]:
+    """The repro package itself — `repro lint` with no paths lints the tree."""
+    return [Path(__file__).resolve().parent.parent]
+
+
+def lint_main(
+    paths=(),
+    *,
+    rules=None,
+    json_out: "str | None" = None,
+    baseline: "str | None" = None,
+    write_baseline: bool = False,
+    list_rules: bool = False,
+    out=None,
+) -> int:
+    out = sys.stdout if out is None else out
+    if list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name:<32} {rule.description}", file=out)
+        return 0
+    try:
+        active = select_rules(rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    result = run_lint(list(paths) or _default_paths(), active)
+
+    baselined: list = []
+    stale: list = []
+    if baseline is not None and write_baseline:
+        Baseline.from_findings(result.findings, result.line_text).save(baseline)
+        print(
+            f"baseline of {len(result.findings)} finding(s) written to "
+            f"{baseline}",
+            file=out,
+        )
+        return 0
+    if baseline is not None:
+        try:
+            loaded = Baseline.load(baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline {baseline}: {exc}", file=sys.stderr)
+            return 2
+        fresh, baselined, stale = loaded.apply(result.findings, result.line_text)
+        result.findings = fresh
+
+    if json_out is not None:
+        payload = report_json(result, baselined=baselined, stale=stale)
+        text = json.dumps(payload, indent=2)
+        if json_out == "-":
+            print(text, file=out)
+        else:
+            Path(json_out).write_text(text + "\n")
+            print(f"lint report written to {json_out}", file=out)
+    else:
+        print(format_human(result, baselined=len(baselined)), file=out)
+        for entry in stale:
+            print(
+                f"stale baseline entry: {entry['path']} {entry['rule']} "
+                f"({entry.get('message', '')}) — finding is gone, remove it "
+                "from the baseline",
+                file=out,
+            )
+    return 0 if result.clean and not stale else 1

@@ -1,0 +1,61 @@
+"""The single registry of ``repro/<name>/v<N>`` schema version strings.
+
+Every versioned JSON document the pipeline emits — metrics snapshots,
+service status lines, fidelity scorecards, pipeline profiles, and the
+linter's own reports — stamps a schema tag so downstream consumers can
+evolve safely.  Those tags are *contracts*: a producer and its consumers
+must agree on the exact string, and bumping a version is a deliberate,
+reviewed act.  This module is the one place the strings live; every
+producer/consumer imports its constant from here, and the
+``schema-registry`` lint rule (R005) flags any ad-hoc
+``repro/<name>/v<N>`` literal anywhere else under ``src/repro``.
+
+Adding a schema
+---------------
+1. Define the constant here and add it to :data:`SCHEMAS`.
+2. Import it at the producer and consumer sites.
+3. Document the payload shape next to the producer (the convention the
+   existing schemas follow: the module that writes the document owns
+   the shape documentation).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "METRICS_V1",
+    "SERVICE_STATUS_V2",
+    "FIDELITY_SCORECARD_V1",
+    "PIPELINE_PROFILE_V1",
+    "LINT_REPORT_V1",
+    "LINT_BASELINE_V1",
+    "SCHEMAS",
+]
+
+#: Metrics registry snapshots (``repro.obs.registry.MetricsRegistry``).
+METRICS_V1 = "repro/metrics/v1"
+
+#: Service status JSONL lines (``repro.service.status.ServiceStatus``).
+SERVICE_STATUS_V2 = "repro/service-status/v2"
+
+#: Fidelity gate scorecards (``repro.validate.scorecard.FidelityScorecard``).
+FIDELITY_SCORECARD_V1 = "repro/fidelity-scorecard/v1"
+
+#: Stage-level pipeline profiles (``repro.obs.profile.PipelineProfile``).
+PIPELINE_PROFILE_V1 = "repro/pipeline-profile/v1"
+
+#: ``repro lint --json`` reports (``repro.analysis.framework``).
+LINT_REPORT_V1 = "repro/lint-report/v1"
+
+#: Committed lint baselines of grandfathered findings.
+LINT_BASELINE_V1 = "repro/lint-baseline/v1"
+
+#: Every registered schema, keyed by a short name.  The round-trip test
+#: in ``tests/analysis`` asserts each writer emits exactly its entry.
+SCHEMAS: dict[str, str] = {
+    "metrics": METRICS_V1,
+    "service-status": SERVICE_STATUS_V2,
+    "fidelity-scorecard": FIDELITY_SCORECARD_V1,
+    "pipeline-profile": PIPELINE_PROFILE_V1,
+    "lint-report": LINT_REPORT_V1,
+    "lint-baseline": LINT_BASELINE_V1,
+}

@@ -15,6 +15,8 @@ Commands
 ``serve``         run a workload as an always-on paced traffic service
 ``topology``      inspect multi-cell topology scenarios (cells, chaos)
 ``fidelity-gate`` threshold-checked acceptance gate (the CI quality gate)
+``lint``          AST-based contract linter (determinism, fork-safety,
+                  hot-path purity, schema discipline)
 ``registry``      list registered generators, scenarios, workloads and
                   topologies
 """
@@ -306,6 +308,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", default=None,
                    help="enable instrumentation and write the metrics "
                         "registry to this path on exit")
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based contract linter (determinism, fork-safety, "
+             "hot-path purity, schema discipline)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: the "
+                        "installed repro package)")
+    p.add_argument("--rule", action="append", default=None, dest="rules",
+                   metavar="NAME",
+                   help="run only this rule (name or id; repeatable)")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   metavar="PATH",
+                   help="emit the repro/lint-report/v1 JSON document "
+                        "(to PATH, or stdout with no argument)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="committed baseline of grandfathered findings; "
+                        "matched findings are filtered, stale entries fail "
+                        "the run")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="with --baseline: record the current findings and "
+                        "exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list the registered rules and exit")
 
     sub.add_parser(
         "registry",
@@ -727,6 +754,19 @@ def _cmd_fidelity_gate(args) -> int:
     return 0 if scorecard.passed else 1
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_main
+
+    return lint_main(
+        args.paths,
+        rules=args.rules,
+        json_out=args.json,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        list_rules=args.list_rules,
+    )
+
+
 def _cmd_registry(args) -> int:
     from . import workload as _workload  # noqa: F401  (registers built-ins)
     from .api import TOPOLOGIES, WORKLOADS, available_topologies
@@ -774,6 +814,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "topology": _cmd_topology,
     "fidelity-gate": _cmd_fidelity_gate,
+    "lint": _cmd_lint,
     "registry": _cmd_registry,
 }
 

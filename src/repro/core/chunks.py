@@ -34,6 +34,8 @@ from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
 
+from ..analysis.hotpath import hot_path
+
 __all__ = [
     "TimelineEvent",
     "CellTimelineEvent",
@@ -44,6 +46,7 @@ __all__ = [
 ]
 
 
+@hot_path
 def merge_order(times: np.ndarray, rank_keys: np.ndarray) -> np.ndarray:
     """Stable order by ``(times, rank_keys)`` — lexsort semantics, faster.
 
@@ -289,6 +292,7 @@ class MergedChunk(NamedTuple):
             yield TimelineEvent(times[i], key[0], key[1], names[events[i]])
 
 
+@hot_path
 def merge_buffers(
     buffers: Sequence,
     cohorts: Sequence[str],
@@ -316,6 +320,8 @@ def merge_buffers(
     ue_cols: list[np.ndarray] = []
     event_cols: list[np.ndarray] = []
     cell_cols: list[np.ndarray] = []
+    # Per-shard column gather (appends collect whole columns for one
+    # concatenate).  repro-lint: allow[hot-path-purity]
     for shard, (buffer, cohort) in enumerate(zip(buffers, cohorts)):
         times, ues, codes, ue_ids, event_names = buffer[:5]
         cells = buffer[5] if len(buffer) > 5 else None
@@ -353,6 +359,8 @@ def merge_buffers(
     )
     total = int(all_times.size)
     chunks: list[MergedChunk] = []
+    # Per-chunk slicing: total/chunk_events iterations over views.
+    # repro-lint: allow[hot-path-purity]
     for lo in range(0, total, chunk_events):
         hi = min(total, lo + chunk_events)
         chunks.append(

@@ -630,6 +630,8 @@ class GeneratorPackage:
         population carries no length bias.
         """
         track = _obs_enabled()
+        # Metrics-only timing: feeds engine.steps_per_second, never the
+        # sampled trajectory.  repro-lint: allow[wallclock-in-deterministic-path]
         t_start = perf_counter() if track else 0.0
         steps = slot_steps = live_slot_steps = recycled = compactions = 0
         tokenizer = self.tokenizer
@@ -708,6 +710,7 @@ class GeneratorPackage:
         if track:
             # Publish once per generate call: the hot loop above only
             # touches plain local integers.
+            # repro-lint: allow[wallclock-in-deterministic-path]
             elapsed = perf_counter() - t_start
             registry = _obs_metrics()
             registry.counter("engine.steps").inc(steps)

@@ -61,6 +61,8 @@ T = TypeVar("T")
 #: closed-over state.  The lock keeps concurrent spawns from racing on
 #: it (they serialize).
 _ACTIVE_TASK: Callable[[int], object] | None = None
+# Parent-side spawn serialization only; forked children never acquire
+# it.  repro-lint: allow[fork-safety]
 _ACTIVE_TASK_LOCK = threading.Lock()
 
 #: Streaming task inherited by forked stream workers (same trick).
@@ -200,6 +202,9 @@ def _stream_worker_main(
 
     def _beat() -> None:
         while not stop.is_set():
+            # Cross-process liveness beacon: must be real wall clock so
+            # the parent can detect a hung child.
+            # repro-lint: allow[wallclock-in-deterministic-path]
             heartbeat.value = time.monotonic()
             stop.wait(beat_interval)
 
@@ -325,6 +330,9 @@ class StreamWorkerHandle:
 
     def heartbeat_age(self, now: float | None = None) -> float:
         """Seconds since the child last proved it was alive."""
+        # Liveness check against the shared heartbeat: real wall clock
+        # by design (injectable via `now` for tests).
+        # repro-lint: allow[wallclock-in-deterministic-path]
         reference = time.monotonic() if now is None else now
         return max(0.0, reference - self.heartbeat.value)
 
@@ -386,6 +394,8 @@ def spawn_stream_worker(
     global _STREAM_TASK
     context = multiprocessing.get_context("fork")
     mp_queue = context.Queue(maxsize=queue_items)
+    # Seed the heartbeat with the spawn instant (wall clock by design).
+    # repro-lint: allow[wallclock-in-deterministic-path]
     heartbeat = context.Value("d", time.monotonic())
     with _ACTIVE_TASK_LOCK:
         _STREAM_TASK = task

@@ -286,6 +286,7 @@ class FusedTrainer:
         *,
         float32: bool = False,
         optimizer: Adam | None = None,
+        clock=time.perf_counter,
     ) -> None:
         if config.lr_schedule not in ("constant", "cosine"):
             raise ValueError(f"unknown lr_schedule {config.lr_schedule!r}")
@@ -301,6 +302,9 @@ class FusedTrainer:
         self.float32 = bool(float32)
         self.dtype = np.float32 if float32 else np.float64
         self._optimizer = optimizer
+        # Injectable wall clock (R002): only used to *report* training
+        # wall time — never to drive the deterministic schedule.
+        self._clock = clock
         self._encoded: list | None = None
         self._cached_batches: list | None = None
         self._bucket_indices: list[np.ndarray] | None = None
@@ -427,13 +431,13 @@ class FusedTrainer:
         factors = [count / total_positions for _, _, _, count in results]
         track = _obs_enabled()
         if track:
-            t_reduce = time.perf_counter()
+            t_reduce = self._clock()
         reduced = _tree_reduce(
             [grads * factor for (grads, _, _, _), factor in zip(results, factors)]
         )
         if track:
             _obs_metrics().record_span(
-                "train.reduce", time.perf_counter() - t_reduce
+                "train.reduce", self._clock() - t_reduce
             )
         # A parameter is present iff any shard produced a gradient for
         # it; frozen parameters must stay masked so their moments and
@@ -661,7 +665,7 @@ class FusedTrainer:
         sharded = config.grad_shards > 1
         pool = None
         self.model.train()
-        start = time.perf_counter()
+        start = self._clock()
 
         def write_checkpoint(rng_state, epoch, batch_in_epoch) -> None:
             self._snapshot(
@@ -672,7 +676,7 @@ class FusedTrainer:
                 partial_sums=sums,
                 partial_batches=partial_batches,
                 steps=steps,
-                wall_time=wall_before + (time.perf_counter() - start),
+                wall_time=wall_before + (self._clock() - start),
                 epoch_stats=epoch_stats,
             ).save(checkpoint_path)
 
@@ -700,13 +704,13 @@ class FusedTrainer:
                     if epoch == start_epoch and index < skip:
                         continue
                     if track:
-                        t_step = time.perf_counter()
+                        t_step = self._clock()
                     if sharded:
                         stats = self._step_sharded(descriptor, optimizer, pool)
                     else:
                         stats = self._step_unsharded(descriptor, optimizer)
                     if track:
-                        dt = time.perf_counter() - t_step
+                        dt = self._clock() - t_step
                         step_counter.inc()
                         step_hist.observe(dt)
                         if dt > 0:
@@ -726,7 +730,7 @@ class FusedTrainer:
                 partial_batches = 0
             result = TrainingResult(
                 epochs=epoch_stats,
-                wall_time_seconds=wall_before + (time.perf_counter() - start),
+                wall_time_seconds=wall_before + (self._clock() - start),
                 steps=steps,
             )
             if checkpoint_path is not None:

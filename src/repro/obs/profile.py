@@ -23,9 +23,10 @@ from time import perf_counter
 import json
 
 from . import registry as _registry
+from ..analysis.schemas import PIPELINE_PROFILE_V1
 from .registry import REGISTRY, MetricsRegistry
 
-PROFILE_SCHEMA = "repro/pipeline-profile/v1"
+PROFILE_SCHEMA = PIPELINE_PROFILE_V1
 
 #: span-name first segment -> canonical stage name
 STAGE_OF_PREFIX = {

@@ -34,7 +34,9 @@ import threading
 
 import numpy as np
 
-METRICS_SCHEMA = "repro/metrics/v1"
+from ..analysis.schemas import METRICS_V1
+
+METRICS_SCHEMA = METRICS_V1
 
 _ENABLED = False
 

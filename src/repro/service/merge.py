@@ -196,6 +196,7 @@ class ChunkMerger:
         n = self.num_shards
         if not any(counts):
             return []
+        # Per-shard, not per-event.  repro-lint: allow[hot-path-purity]
         for s in range(n):
             if counts[s]:
                 self._consolidate(s)
@@ -206,6 +207,7 @@ class ChunkMerger:
             # The emission horizon: min (t, rank, shard) over the last
             # buffered event of every unfinished shard.
             horizon = None
+            # Per-shard horizon scan.  repro-lint: allow[hot-path-purity]
             for s in range(n):
                 if self._finished[s]:
                     continue
@@ -215,6 +217,9 @@ class ChunkMerger:
                     horizon = key
             t_star, g_star, s_star = horizon
             cuts = [0] * n
+            # Per-shard cut computation (searchsorted inside, so each
+            # iteration is O(log events), never per-event).
+            # repro-lint: allow[hot-path-purity]
             for s in range(n):
                 if not counts[s]:
                     continue
@@ -239,6 +244,10 @@ class ChunkMerger:
             return []
         use_cells = bool(self._use_cells)
         seg_times, seg_ues, seg_events, seg_cells, seg_shards = [], [], [], [], []
+        # Gathers one array *segment* per shard; the appends collect
+        # whole columns for one concatenate, which is exactly the
+        # accumulate-then-concatenate idiom the rule asks for.
+        # repro-lint: allow[hot-path-purity]
         for s in range(n):
             c = cuts[s]
             if not c:
@@ -274,6 +283,7 @@ class ChunkMerger:
             cells=None if cat_cells is None else cat_cells[order],
             tables=self.tables,
         )
+        # Per-shard consume bookkeeping.  repro-lint: allow[hot-path-purity]
         for s in range(n):
             c = int(consumed[s])
             if not c:

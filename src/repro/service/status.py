@@ -33,10 +33,12 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
+from ..analysis.schemas import SERVICE_STATUS_V2
+
 __all__ = ["ServiceStatus", "STATUS_SCHEMA_VERSION"]
 
 #: Schema tag stamped on every JSONL status line (see module docstring).
-STATUS_SCHEMA_VERSION = "repro/service-status/v2"
+STATUS_SCHEMA_VERSION = SERVICE_STATUS_V2
 
 
 @dataclass

@@ -211,6 +211,10 @@ class TransitionOracle:
         counted = 0
         violating = 0
         table = self.table
+        # Per-*position* wavefront: each iteration advances every
+        # active stream with whole-column ops, so the loop count is
+        # max stream length, not event count.
+        # repro-lint: allow[hot-path-purity]
         for position in range(padded.shape[1]):
             active = num_streams - int(
                 np.searchsorted(ascending, position, side="right")
@@ -315,6 +319,8 @@ class TransitionOracle:
         counted = 0
         violating = 0
         table = self.table
+        # Per-position wavefront (see _validate_padded).
+        # repro-lint: allow[hot-path-purity]
         for position in range(max_len):
             active = num_streams - int(
                 np.searchsorted(ascending, position, side="right")

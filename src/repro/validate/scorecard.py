@@ -15,13 +15,14 @@ from pathlib import Path
 
 import numpy as np
 
+from ..analysis.schemas import FIDELITY_SCORECARD_V1
 from .oracle import ConformanceReport
 from .stats import DistanceResult, TrafficSketch
 
 __all__ = ["GateThresholds", "CheckResult", "FidelityScorecard", "build_scorecard"]
 
 #: Scorecard JSON schema identifier (bump on breaking layout changes).
-SCHEMA = "repro/fidelity-scorecard/v1"
+SCHEMA = FIDELITY_SCORECARD_V1
 
 
 @dataclass(frozen=True)

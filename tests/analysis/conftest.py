@@ -1,0 +1,33 @@
+"""Shared fixtures: lint small in-memory package trees.
+
+``lint_snippet`` writes a source snippet at a path *inside* a synthetic
+``repro`` package directory (so ``FileContext.pkg_rel`` zone checks see
+``workload/...``, ``service/...`` and friends exactly as they do for
+the real tree) and lints it with a chosen rule subset.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_lint, select_rules
+
+
+@pytest.fixture
+def pkg_root(tmp_path):
+    root = tmp_path / "repro"
+    root.mkdir()
+    return root
+
+
+@pytest.fixture
+def lint_snippet(pkg_root):
+    def _lint(pkg_path: str, source: str, rules=None):
+        file = pkg_root / pkg_path
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source))
+        return run_lint([file], select_rules(rules))
+
+    return _lint

@@ -1,0 +1,116 @@
+"""Baseline add/expire contract: grandfather, survive drift, go stale."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import run_lint, select_rules
+from repro.analysis.framework import Baseline
+from repro.analysis.schemas import LINT_BASELINE_V1
+
+BAD = """\
+import time
+
+
+def f():
+    return time.time()
+"""
+
+
+def _lint(path):
+    return run_lint([path], select_rules(["R002"]))
+
+
+@pytest.fixture
+def bad_file(pkg_root):
+    file = pkg_root / "workload" / "w.py"
+    file.parent.mkdir()
+    file.write_text(BAD)
+    return file
+
+
+def test_baseline_grandfathers_findings(bad_file):
+    result = _lint(bad_file)
+    assert len(result.findings) == 1
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+
+    fresh, baselined, stale = baseline.apply(result.findings, result.line_text)
+    assert fresh == [] and stale == []
+    assert len(baselined) == 1
+
+
+def test_baseline_survives_line_drift(bad_file):
+    result = _lint(bad_file)
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+
+    # Unrelated edit above the finding: its line number moves, its text
+    # doesn't — fingerprints key on the text, so the entry still matches.
+    bad_file.write_text("import os\n" + BAD)
+    drifted = _lint(bad_file)
+    assert drifted.findings[0].line != result.findings[0].line
+    fresh, baselined, stale = baseline.apply(drifted.findings, drifted.line_text)
+    assert fresh == [] and stale == []
+    assert len(baselined) == 1
+
+
+def test_fixed_finding_goes_stale(bad_file):
+    result = _lint(bad_file)
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+
+    bad_file.write_text("def f(clock):\n    return clock()\n")
+    fixed = _lint(bad_file)
+    assert fixed.clean
+    fresh, baselined, stale = baseline.apply(fixed.findings, fixed.line_text)
+    assert fresh == [] and baselined == []
+    assert len(stale) == 1
+    assert stale[0]["rule"] == "wallclock-in-deterministic-path"
+
+
+def test_new_finding_stays_fresh(bad_file):
+    result = _lint(bad_file)
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+
+    bad_file.write_text(BAD + "\n\ndef g():\n    return time.monotonic()\n")
+    grown = _lint(bad_file)
+    assert len(grown.findings) == 2
+    fresh, baselined, stale = baseline.apply(grown.findings, grown.line_text)
+    assert len(fresh) == 1 and len(baselined) == 1 and stale == []
+    assert "time.monotonic" in fresh[0].message
+
+
+def test_duplicate_lines_fingerprint_by_occurrence(bad_file):
+    # Two textually identical violations must baseline as two entries.
+    bad_file.write_text(
+        "import time\n\n\ndef f():\n    return time.time()\n\n\n"
+        "def g():\n    return time.time()\n"
+    )
+    result = _lint(bad_file)
+    assert len(result.findings) == 2
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+    prints = {e["fingerprint"] for e in baseline.entries}
+    assert len(prints) == 2
+    fresh, baselined, stale = baseline.apply(result.findings, result.line_text)
+    assert fresh == [] and stale == [] and len(baselined) == 2
+
+
+def test_save_load_round_trip(bad_file, tmp_path):
+    result = _lint(bad_file)
+    baseline = Baseline.from_findings(result.findings, result.line_text)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == LINT_BASELINE_V1
+    loaded = Baseline.load(path)
+    assert loaded.entries == sorted(
+        baseline.entries, key=lambda e: (e["path"], e["rule"], e["fingerprint"])
+    )
+
+
+def test_load_rejects_foreign_schema(tmp_path):
+    path = tmp_path / "nope.json"
+    path.write_text(json.dumps({"schema": "repro/other/v9", "findings": []}))
+    with pytest.raises(ValueError, match="not a lint baseline"):
+        Baseline.load(path)

@@ -1,0 +1,153 @@
+"""`repro lint` end to end: exit codes, reporters, baseline flow, and
+the hard gate that the shipped tree itself lints clean."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import lint_main
+from repro.analysis.schemas import LINT_REPORT_V1
+
+SRC_TREE = Path(repro.__file__).parent
+
+BAD = """\
+import time
+
+
+def f():
+    return time.time()
+"""
+
+
+@pytest.fixture
+def bad_file(pkg_root):
+    file = pkg_root / "workload" / "w.py"
+    file.parent.mkdir()
+    file.write_text(BAD)
+    return file
+
+
+def run_main(*args, **kwargs):
+    out = io.StringIO()
+    code = lint_main(*args, out=out, **kwargs)
+    return code, out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# The gate: the repository's own sources are lint-clean.
+# ----------------------------------------------------------------------
+def test_shipped_tree_is_clean_without_baseline():
+    code, output = run_main([SRC_TREE])
+    assert code == 0, output
+    assert output.startswith("clean:")
+
+
+# ----------------------------------------------------------------------
+# Exit codes and reporters
+# ----------------------------------------------------------------------
+def test_findings_exit_1_human_format(bad_file):
+    code, output = run_main([bad_file])
+    assert code == 1
+    assert "R002[wallclock-in-deterministic-path]" in output
+    assert "1 finding(s) across 1 file(s)" in output
+
+
+def test_unknown_rule_exits_2(bad_file, capsys):
+    code, _ = run_main([bad_file], rules=["bogus"])
+    assert code == 2
+    assert "unknown rule 'bogus'" in capsys.readouterr().err
+
+
+def test_list_rules():
+    code, output = run_main(list_rules=True)
+    assert code == 0
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
+        assert rule_id in output
+
+
+def test_json_report_to_stdout(bad_file):
+    code, output = run_main([bad_file], json_out="-")
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["schema"] == LINT_REPORT_V1
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule_id"] == "R002"
+
+
+def test_json_report_to_file(bad_file, tmp_path):
+    report = tmp_path / "lint.json"
+    code, _ = run_main([bad_file], json_out=str(report))
+    assert code == 1
+    assert json.loads(report.read_text())["schema"] == LINT_REPORT_V1
+
+
+# ----------------------------------------------------------------------
+# Baseline flow
+# ----------------------------------------------------------------------
+def test_baseline_write_then_filter_then_expire(bad_file, tmp_path):
+    baseline = tmp_path / "baseline.json"
+
+    code, output = run_main(
+        [bad_file], baseline=str(baseline), write_baseline=True
+    )
+    assert code == 0
+    assert "baseline of 1 finding(s)" in output
+
+    # Grandfathered finding: run is clean, annotated as baselined.
+    code, output = run_main([bad_file], baseline=str(baseline))
+    assert code == 0
+    assert "(1 baselined)" in output
+
+    # Fixing the violation strands the entry: stale fails the run.
+    bad_file.write_text("def f(clock):\n    return clock()\n")
+    code, output = run_main([bad_file], baseline=str(baseline))
+    assert code == 1
+    assert "stale baseline entry" in output
+
+
+def test_corrupt_baseline_exits_2(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    code, _ = run_main([bad_file], baseline=str(baseline))
+    assert code == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Subprocess e2e (the CI entry point)
+# ----------------------------------------------------------------------
+def _repro_lint(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_TREE.parent)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_cli_subprocess_clean_tree():
+    proc = _repro_lint(str(SRC_TREE))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_cli_subprocess_bad_file_json(bad_file):
+    proc = _repro_lint(str(bad_file), "--json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["schema"] == LINT_REPORT_V1
+    assert payload["findings"]
+
+
+def test_cli_subprocess_rule_filter(bad_file):
+    proc = _repro_lint(str(bad_file), "--rule", "rng-discipline")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,174 @@
+"""Framework mechanics: suppressions, rule registry, result plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import available_rule_names, select_rules
+from repro.analysis.framework import Finding
+
+
+ALL_RULES = [
+    "rng-discipline",
+    "wallclock-in-deterministic-path",
+    "hot-path-purity",
+    "fork-safety",
+    "schema-registry",
+    "invariant-guard",
+]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_same_line_allow_suppresses(lint_snippet):
+    result = lint_snippet(
+        "workload/a.py",
+        """
+        import time
+
+        def f():
+            return time.time()  # repro-lint: allow[wallclock-in-deterministic-path]
+        """,
+        ["R002"],
+    )
+    assert result.clean
+
+
+def test_line_above_allow_suppresses(lint_snippet):
+    result = lint_snippet(
+        "workload/b.py",
+        """
+        import time
+
+        def f():
+            # repro-lint: allow[wallclock-in-deterministic-path]
+            return time.time()
+        """,
+        ["R002"],
+    )
+    assert result.clean
+
+
+def test_allow_by_rule_id_and_star(lint_snippet):
+    for tag in ("R002", "*"):
+        result = lint_snippet(
+            f"workload/c_{tag.strip('*') or 'star'}.py",
+            f"""
+            import time
+
+            def f():
+                return time.time()  # repro-lint: allow[{tag}]
+            """,
+            ["R002"],
+        )
+        assert result.clean, tag
+
+
+def test_allow_for_other_rule_does_not_suppress(lint_snippet):
+    result = lint_snippet(
+        "workload/d.py",
+        """
+        import time
+
+        def f():
+            return time.time()  # repro-lint: allow[rng-discipline]
+        """,
+        ["R002"],
+    )
+    assert [f.rule_id for f in result.findings] == ["R002"]
+
+
+def test_docstring_mention_is_not_a_suppression(lint_snippet):
+    # Only real COMMENT tokens suppress; the marker inside a string
+    # (docstring on the line above) must not.
+    result = lint_snippet(
+        "workload/e.py",
+        '''
+        import time
+
+        def f():
+            """repro-lint: allow[wallclock-in-deterministic-path]"""
+            return time.time()
+        ''',
+        ["R002"],
+    )
+    assert [f.rule_id for f in result.findings] == ["R002"]
+
+
+def test_allow_buried_in_block_body_does_not_cover_header(lint_snippet):
+    result = lint_snippet(
+        "core/kern.py",
+        """
+        from repro.analysis import hot_path
+
+        @hot_path
+        def kernel(xs):
+            for x in xs:
+                pass  # repro-lint: allow[hot-path-purity]
+        """,
+        ["R003"],
+    )
+    assert [f.rule_id for f in result.findings] == ["R003"]
+
+
+# ----------------------------------------------------------------------
+# Registry / selection
+# ----------------------------------------------------------------------
+def test_available_rule_names():
+    assert available_rule_names() == ALL_RULES
+
+
+def test_select_rules_by_name_id_and_dedup():
+    assert [r.id for r in select_rules(None)] == [
+        "R001", "R002", "R003", "R004", "R005", "R006",
+    ]
+    chosen = select_rules(["R003", "hot-path-purity", "R001"])
+    assert [r.id for r in chosen] == ["R001", "R003"]
+
+
+def test_select_rules_unknown_raises():
+    with pytest.raises(KeyError, match="unknown rule 'nope'"):
+        select_rules(["nope"])
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def test_finding_format_and_dict():
+    finding = Finding(
+        rule="rng-discipline",
+        rule_id="R001",
+        severity="error",
+        path="core/x.py",
+        line=7,
+        col=4,
+        message="boom",
+    )
+    assert finding.format() == "core/x.py:7:4: R001[rng-discipline] boom"
+    assert finding.as_dict()["rule_id"] == "R001"
+
+
+def test_unparseable_file_is_an_error_not_a_crash(lint_snippet):
+    result = lint_snippet("core/broken.py", "def f(:\n", ["R001"])
+    assert result.files == 0
+    assert len(result.errors) == 1
+    assert not result.clean
+
+
+def test_findings_sorted_by_location(lint_snippet):
+    result = lint_snippet(
+        "core/multi.py",
+        """
+        import random
+        import time
+
+        def f():
+            t = time.time()
+            return random.random() + t
+        """,
+        ["R001", "R002"],
+    )
+    assert [f.rule_id for f in result.findings] == ["R002", "R001"]
+    lines = [f.line for f in result.findings]
+    assert lines == sorted(lines)

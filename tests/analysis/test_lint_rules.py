@@ -1,0 +1,408 @@
+"""Each lint rule fires on a known-bad snippet and stays quiet on the
+matching known-good one."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint, select_rules
+from repro.analysis.hotpath import HOT_PATH_MANIFEST, hot_path
+
+
+def rules_of(result):
+    return [f.rule_id for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# R001 rng-discipline
+# ----------------------------------------------------------------------
+def test_r001_unseeded_default_rng_fires(lint_snippet):
+    result = lint_snippet(
+        "workload/bad_rng.py",
+        """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """,
+        ["rng-discipline"],
+    )
+    assert rules_of(result) == ["R001"]
+    assert "unseeded" in result.findings[0].message
+
+
+def test_r001_legacy_numpy_and_stdlib_random_fire(lint_snippet):
+    result = lint_snippet(
+        "core/legacy.py",
+        """
+        import random
+
+        import numpy as np
+
+        np.random.seed(0)
+        x = np.random.rand(3)
+        y = random.random()
+        """,
+        ["R001"],
+    )
+    assert rules_of(result) == ["R001", "R001", "R001"]
+
+
+def test_r001_seeded_rng_is_fine_outside_topology(lint_snippet):
+    result = lint_snippet(
+        "workload/good_rng.py",
+        """
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed)
+        """,
+        ["R001"],
+    )
+    assert result.clean
+
+
+def test_r001_topology_requires_seed_sequence_key(lint_snippet):
+    bad = lint_snippet(
+        "topology/bad_key.py",
+        """
+        from numpy.random import default_rng
+
+        def make(seed):
+            return default_rng(seed)
+        """,
+        ["R001"],
+    )
+    assert rules_of(bad) == ["R001"]
+    assert "SeedSequence" in bad.findings[0].message
+
+    good = lint_snippet(
+        "topology/good_key.py",
+        """
+        import numpy as np
+
+        def make(entropy):
+            return np.random.default_rng(np.random.SeedSequence(entropy))
+        """,
+        ["R001"],
+    )
+    assert good.clean
+
+
+def test_r001_skips_test_files(lint_snippet):
+    result = lint_snippet(
+        "workload/test_sampling.py",
+        """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """,
+        ["R001"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# R002 wallclock-in-deterministic-path
+# ----------------------------------------------------------------------
+def test_r002_wallclock_call_fires_in_zone(lint_snippet):
+    result = lint_snippet(
+        "workload/w.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        ["wallclock-in-deterministic-path"],
+    )
+    assert rules_of(result) == ["R002"]
+
+
+def test_r002_resolves_from_import_alias(lint_snippet):
+    result = lint_snippet(
+        "core/t.py",
+        """
+        from time import perf_counter as pc
+
+        def f():
+            return pc()
+        """,
+        ["R002"],
+    )
+    assert rules_of(result) == ["R002"]
+    assert "time.perf_counter" in result.findings[0].message
+
+
+def test_r002_injectable_clock_default_is_legal(lint_snippet):
+    result = lint_snippet(
+        "core/clocked.py",
+        """
+        import time
+
+        def f(clock=time.monotonic):
+            return clock()
+        """,
+        ["R002"],
+    )
+    assert result.clean
+
+
+def test_r002_only_applies_in_deterministic_zones(lint_snippet):
+    result = lint_snippet(
+        "service/free.py",
+        """
+        import time
+
+        def f():
+            return time.time()
+        """,
+        ["R002"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# R003 hot-path-purity
+# ----------------------------------------------------------------------
+_HOT_LOOP = """
+    from repro.analysis import hot_path
+
+    @hot_path
+    def kernel(xs):
+        out = []
+        for x in xs:
+            out.append(x + 1)
+        return out
+"""
+
+
+def test_r003_loop_and_append_fire_in_hot_function(lint_snippet):
+    result = lint_snippet("core/kern.py", _HOT_LOOP, ["hot-path-purity"])
+    assert rules_of(result) == ["R003", "R003"]
+    messages = " / ".join(f.message for f in result.findings)
+    assert "for" in messages and "append" in messages
+
+
+def test_r003_undecorated_function_is_ignored(lint_snippet):
+    result = lint_snippet(
+        "core/cold.py",
+        _HOT_LOOP.replace("@hot_path\n    ", ""),
+        ["R003"],
+    )
+    assert result.clean
+
+
+def test_r003_header_allow_covers_loop_body(lint_snippet):
+    result = lint_snippet(
+        "core/kern_ok.py",
+        """
+        from repro.analysis import hot_path
+
+        @hot_path
+        def kernel(shards):
+            out = []
+            # repro-lint: allow[hot-path-purity]
+            for s in shards:
+                out.append(s.sum())
+            return out
+        """,
+        ["R003"],
+    )
+    assert result.clean
+
+
+def test_r003_manifest_entry_marks_function_hot(lint_snippet):
+    result = lint_snippet(
+        "service/merge.py",
+        """
+        class ChunkMerger:
+            def pop_ready_chunks(self):
+                for item in self.pending:
+                    yield item
+        """,
+        ["R003"],
+    )
+    assert rules_of(result) == ["R003"]
+
+
+def test_r003_per_iteration_object_construction_fires(lint_snippet):
+    result = lint_snippet(
+        "core/objy.py",
+        """
+        from repro.analysis import hot_path
+
+        class Event:
+            pass
+
+        @hot_path
+        def decode(rows):
+            # repro-lint: allow[hot-path-purity]
+            for row in rows:
+                yield Event(row)
+        """,
+        ["R003"],
+    )
+    # The loop itself is allowed; construction inside is separately
+    # flagged only when the loop is not suppressed (block coverage).
+    assert result.clean
+
+
+def test_hot_path_decorator_marks_and_preserves():
+    @hot_path
+    def f(x):
+        "doc"
+        return x + 1
+
+    assert f.__repro_hot_path__ is True
+    assert f(1) == 2
+    assert f.__doc__ == "doc"
+
+
+def test_hot_path_manifest_entries_exist_in_tree():
+    src = Path(repro.__file__).parent
+    for suffix, qualname in HOT_PATH_MANIFEST:
+        path = src / suffix
+        assert path.exists(), f"manifest names missing module {suffix}"
+        tree = ast.parse(path.read_text())
+        found = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, ast.FunctionDef):
+                        found.add(f"{node.name}.{child.name}")
+            elif isinstance(node, ast.FunctionDef):
+                found.add(node.name)
+        assert qualname in found, f"{suffix}: {qualname} not found"
+
+
+# ----------------------------------------------------------------------
+# R004 fork-safety
+# ----------------------------------------------------------------------
+def test_r004_module_level_mutable_state_fires(lint_snippet):
+    result = lint_snippet(
+        "core/forker.py",
+        """
+        import multiprocessing
+        import threading
+
+        _CACHE = {}
+        _LOCK = threading.Lock()
+        """,
+        ["fork-safety"],
+    )
+    assert rules_of(result) == ["R004", "R004"]
+    messages = [f.message for f in result.findings]
+    assert any("mutable container" in m for m in messages)
+    assert any("synchronization primitive" in m for m in messages)
+
+
+def test_r004_teardown_registries_and_dunders_exempt(lint_snippet):
+    result = lint_snippet(
+        "core/forker_ok.py",
+        """
+        import multiprocessing
+
+        __all__ = ["spawn"]
+        _LIVE_POOLS = []
+        _LIVE_WORKERS = []
+
+        def spawn():
+            local = {}
+            return local
+        """,
+        ["R004"],
+    )
+    assert result.clean
+
+
+def test_r004_skips_modules_that_never_fork(lint_snippet):
+    result = lint_snippet(
+        "obs/plain.py",
+        """
+        _CACHE = {}
+        """,
+        ["R004"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# R005 schema-registry
+# ----------------------------------------------------------------------
+def test_r005_adhoc_schema_literal_fires(lint_snippet):
+    result = lint_snippet(
+        "obs/writer.py",
+        """
+        SCHEMA = "repro/foo/v1"
+        """,
+        ["schema-registry"],
+    )
+    assert rules_of(result) == ["R005"]
+    assert "repro/foo/v1" in result.findings[0].message
+
+
+def test_r005_docstring_mentions_are_fine(lint_snippet):
+    result = lint_snippet(
+        "obs/documented.py",
+        '''
+        """repro/foo/v1"""
+
+        def emit():
+            """repro/bar/v2"""
+        ''',
+        ["R005"],
+    )
+    assert result.clean
+
+
+def test_r005_exempts_the_schema_table_itself(lint_snippet):
+    result = lint_snippet(
+        "analysis/schemas.py",
+        """
+        METRICS_V1 = "repro/metrics/v1"
+        """,
+        ["R005"],
+    )
+    assert result.clean
+
+
+# ----------------------------------------------------------------------
+# R006 invariant-guard
+# ----------------------------------------------------------------------
+def test_r006_unaudited_counter_mutation_fires(lint_snippet):
+    result = lint_snippet(
+        "service/sidecar.py",
+        """
+        class Sidecar:
+            def bump(self):
+                self.delivered += 1
+
+            def tally(self, account, name):
+                account.by_cohort[name] = 1
+        """,
+        ["invariant-guard"],
+    )
+    assert rules_of(result) == ["R006", "R006"]
+    assert "Sidecar.bump" in result.findings[0].message
+
+
+def test_r006_audited_mutators_pass_on_real_tree():
+    src = Path(repro.__file__).parent / "service"
+    result = run_lint([src], select_rules(["invariant-guard"]))
+    assert result.files
+    assert result.clean, "\n".join(f.format() for f in result.findings)
+
+
+def test_r006_scope_is_service_only(lint_snippet):
+    result = lint_snippet(
+        "workload/elsewhere.py",
+        """
+        class Counter:
+            def bump(self):
+                self.delivered += 1
+        """,
+        ["R006"],
+    )
+    assert result.clean

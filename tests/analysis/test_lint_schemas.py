@@ -1,0 +1,77 @@
+"""The schema constant table and its round-trip with every writer."""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.schemas import (
+    FIDELITY_SCORECARD_V1,
+    LINT_BASELINE_V1,
+    LINT_REPORT_V1,
+    METRICS_V1,
+    PIPELINE_PROFILE_V1,
+    SCHEMAS,
+    SERVICE_STATUS_V2,
+)
+
+_SHAPE = re.compile(r"^repro/[a-z0-9_-]+/v\d+$")
+
+
+def test_table_shape_and_keys():
+    assert SCHEMAS == {
+        "metrics": METRICS_V1,
+        "service-status": SERVICE_STATUS_V2,
+        "fidelity-scorecard": FIDELITY_SCORECARD_V1,
+        "pipeline-profile": PIPELINE_PROFILE_V1,
+        "lint-report": LINT_REPORT_V1,
+        "lint-baseline": LINT_BASELINE_V1,
+    }
+    for key, value in SCHEMAS.items():
+        assert _SHAPE.match(value), value
+        assert value.split("/")[1] == key, (key, value)
+    assert len(set(SCHEMAS.values())) == len(SCHEMAS)
+
+
+def test_metrics_writer_round_trip():
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    assert registry.to_json()["schema"] == METRICS_V1
+
+
+def test_service_status_uses_table():
+    from repro.service.status import STATUS_SCHEMA_VERSION
+
+    assert STATUS_SCHEMA_VERSION == SERVICE_STATUS_V2
+
+
+def test_pipeline_profile_round_trip():
+    from repro.obs.profile import PipelineProfile
+
+    profile = PipelineProfile(total_seconds=1.0)
+    payload = profile.to_dict()
+    assert payload["schema"] == PIPELINE_PROFILE_V1
+    assert PipelineProfile.from_dict(payload).schema == PIPELINE_PROFILE_V1
+
+
+def test_scorecard_schema_uses_table():
+    from repro.validate.scorecard import SCHEMA
+
+    assert SCHEMA == FIDELITY_SCORECARD_V1
+
+
+def test_lint_report_uses_table():
+    from repro.analysis.framework import LintResult, report_json
+
+    assert report_json(LintResult())["schema"] == LINT_REPORT_V1
+
+
+def test_lint_baseline_uses_table(tmp_path):
+    import json
+
+    from repro.analysis.framework import Baseline
+
+    path = tmp_path / "b.json"
+    Baseline().save(path)
+    assert json.loads(path.read_text())["schema"] == LINT_BASELINE_V1

@@ -1,64 +1,36 @@
-"""Source-level RNG audit of the topology subsystem.
+"""RNG-discipline audit of the topology subsystem.
 
 Every random draw under ``src/repro/topology`` must flow from a
 ``SeedSequence`` spawn key (the per-UE recipe in
 :meth:`TopologyRuntime._ue_rng`) so injections are independent of shard
-layout and worker count.  A bare ``default_rng(...)`` call, module-level
-RNG, or legacy ``np.random.seed`` would silently break the determinism
-contract — this test greps the sources so the rule is enforced, not just
-documented.
+layout and worker count.  The audit is enforced by the ``repro lint``
+rng-discipline rule (R001), which resolves import aliases through the
+AST instead of grepping source text: a bare ``default_rng(...)``,
+legacy ``np.random.*`` API, or stdlib ``random`` call anywhere in the
+package fails this test.
 """
 
 from __future__ import annotations
 
-import re
 from pathlib import Path
 
 import repro.topology
+from repro.analysis import run_lint, select_rules
 
 TOPOLOGY_SRC = Path(repro.topology.__file__).parent
 
-#: default_rng calls must seed from a SeedSequence, allowing whitespace
-#: and line breaks between the call and its argument.
-_SEEDED = re.compile(r"default_rng\(\s*(np\.random\.)?SeedSequence")
-_ANY_CALL = re.compile(r"default_rng\(")
 
-#: Legacy global-state RNG APIs: banned outright.
-_BANNED = (
-    re.compile(r"np\.random\.seed\("),
-    re.compile(r"np\.random\.(rand|randn|randint|random|choice|shuffle)\("),
-    re.compile(r"\bRandomState\("),
-)
-
-
-def _sources() -> list[Path]:
-    files = sorted(TOPOLOGY_SRC.glob("*.py"))
-    assert files, f"no sources under {TOPOLOGY_SRC}"
-    return files
-
-
-def test_every_default_rng_is_seed_sequence_keyed():
-    for path in _sources():
-        text = path.read_text()
-        calls = len(_ANY_CALL.findall(text))
-        seeded = len(_SEEDED.findall(text))
-        assert calls == seeded, (
-            f"{path.name}: {calls - seeded} default_rng call(s) not keyed "
-            "by a SeedSequence — topology randomness must use spawn keys"
-        )
-
-
-def test_no_global_rng_state():
-    for path in _sources():
-        text = path.read_text()
-        for pattern in _BANNED:
-            assert not pattern.search(text), (
-                f"{path.name}: matches banned RNG pattern {pattern.pattern}"
-            )
+def test_topology_passes_rng_discipline_lint():
+    result = run_lint([TOPOLOGY_SRC], rules=select_rules(["rng-discipline"]))
+    assert result.files, f"no sources under {TOPOLOGY_SRC}"
+    assert not result.errors, result.errors
+    assert not result.findings, "\n".join(
+        f.format() for f in result.findings
+    )
 
 
 def test_runtime_rng_keyed_by_cohort_and_ue():
-    # The audit above is textual; check the actual recipe: the per-UE
+    # The lint audit is static; check the actual recipe: the per-UE
     # stream depends only on (seed, cohort, ue) — two runtimes agree,
     # and distinct UEs/cohorts/seeds diverge.
     from repro.topology.runtime import TopologyRuntime
